@@ -1,0 +1,105 @@
+//! Read-from assignment enumeration utilities.
+//!
+//! The checker enumerates, for every load, a read-from candidate: the initial
+//! memory value or one of the program's stores. This module provides the
+//! enumeration as a reusable iterator so that tests, examples and the
+//! verification crate can inspect the raw assignment space.
+
+use crate::execution::{ProgramIndex, RfCandidate};
+
+/// An iterator over every read-from assignment of a program.
+///
+/// Each item assigns one [`RfCandidate`] to each load of the indexed program,
+/// in the order of [`ProgramIndex::loads`]. The number of assignments is
+/// `(stores + 1) ^ loads`; address consistency is *not* checked here (that is
+/// the job of value propagation).
+#[derive(Debug, Clone)]
+pub struct RfAssignments {
+    num_loads: usize,
+    options: usize,
+    counter: Option<Vec<usize>>,
+}
+
+impl RfAssignments {
+    /// Creates the assignment enumeration for an indexed program.
+    #[must_use]
+    pub fn new(index: &ProgramIndex) -> Self {
+        RfAssignments {
+            num_loads: index.loads.len(),
+            options: index.stores.len() + 1,
+            counter: Some(vec![0; index.loads.len()]),
+        }
+    }
+
+    /// Total number of assignments that will be produced.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.options.pow(self.num_loads as u32)
+    }
+}
+
+impl Iterator for RfAssignments {
+    type Item = Vec<RfCandidate>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let counter = self.counter.as_mut()?;
+        let assignment = counter
+            .iter()
+            .map(|&c| if c == 0 { RfCandidate::Init } else { RfCandidate::Store(c - 1) })
+            .collect();
+        // Advance the mixed-radix counter; drop it when it wraps around.
+        let mut digit = 0;
+        loop {
+            if digit == counter.len() {
+                self.counter = None;
+                break;
+            }
+            counter[digit] += 1;
+            if counter[digit] < self.options {
+                break;
+            }
+            counter[digit] = 0;
+            digit += 1;
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::library;
+
+    #[test]
+    fn dekker_has_nine_assignments() {
+        let index = ProgramIndex::new(library::dekker().program());
+        let assignments = RfAssignments::new(&index);
+        assert_eq!(assignments.total(), 9);
+        let all: Vec<_> = assignments.collect();
+        assert_eq!(all.len(), 9);
+        // Every assignment has one candidate per load.
+        assert!(all.iter().all(|a| a.len() == 2));
+        // The first assignment is all-Init.
+        assert_eq!(all[0], vec![RfCandidate::Init, RfCandidate::Init]);
+        // All assignments are distinct.
+        let unique: std::collections::BTreeSet<String> =
+            all.iter().map(|a| format!("{a:?}")).collect();
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn store_only_program_has_one_empty_assignment() {
+        let index = ProgramIndex::new(library::two_plus_two_w().program());
+        let assignments: Vec<_> = RfAssignments::new(&index).collect();
+        assert_eq!(assignments.len(), 1);
+        assert!(assignments[0].is_empty());
+    }
+
+    #[test]
+    fn rsw_assignment_count_matches_formula() {
+        let index = ProgramIndex::new(library::rsw().program());
+        let assignments = RfAssignments::new(&index);
+        assert_eq!(assignments.total(), (index.stores.len() + 1).pow(index.loads.len() as u32));
+        assert_eq!(assignments.count(), (index.stores.len() + 1).pow(index.loads.len() as u32));
+    }
+}

@@ -1,0 +1,60 @@
+//! Errors produced by the axiomatic checker.
+
+use std::fmt;
+
+/// Errors that prevent a litmus test from being checked axiomatically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// The axiomatic checker only handles straight-line programs; the paper's
+    /// litmus tests never contain branches.
+    BranchesUnsupported {
+        /// The litmus test in question.
+        test: String,
+    },
+    /// The program has more memory events than the configured search bound.
+    TooManyEvents {
+        /// The litmus test in question.
+        test: String,
+        /// Number of memory events in the program.
+        events: usize,
+        /// The configured maximum.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::BranchesUnsupported { test } => {
+                write!(f, "litmus test `{test}` contains branches, which the axiomatic checker does not support")
+            }
+            CheckError::TooManyEvents { test, events, limit } => write!(
+                f,
+                "litmus test `{test}` has {events} memory events, more than the configured limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = CheckError::BranchesUnsupported { test: "x".into() };
+        assert!(err.to_string().contains("branches"));
+        let err = CheckError::TooManyEvents { test: "x".into(), events: 20, limit: 14 };
+        assert!(err.to_string().contains("20"));
+        assert!(err.to_string().contains("14"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CheckError>();
+    }
+}

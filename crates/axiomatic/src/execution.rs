@@ -1,0 +1,213 @@
+//! Concrete executions: identifiers, read-from candidates and resolved values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gam_core::{ResolvedInstr, RfSource};
+use gam_isa::{Instruction, Program, Value};
+
+/// Identifies one static instruction instance: processor index plus
+/// program-order index within that processor's thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstrRef {
+    /// Processor (thread) index.
+    pub proc: usize,
+    /// Program-order index within the thread.
+    pub idx: usize,
+}
+
+impl InstrRef {
+    /// Creates an instruction reference.
+    #[must_use]
+    pub const fn new(proc: usize, idx: usize) -> Self {
+        InstrRef { proc, idx }
+    }
+}
+
+impl fmt::Display for InstrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}.I{}", self.proc + 1, self.idx + 1)
+    }
+}
+
+/// A candidate read-from source for a load, before values are known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RfCandidate {
+    /// The load reads the initial memory value of its (yet unknown) address.
+    Init,
+    /// The load reads from the store with the given index into
+    /// [`ProgramIndex::stores`].
+    Store(usize),
+}
+
+/// A static index of a program's loads and stores, assigning each store a
+/// stable global identifier.
+#[derive(Debug, Clone)]
+pub struct ProgramIndex {
+    /// All loads in the program, in (processor, program-order) order.
+    pub loads: Vec<InstrRef>,
+    /// All stores in the program, in (processor, program-order) order. The
+    /// position in this vector is the store's global identifier.
+    pub stores: Vec<InstrRef>,
+    /// All memory instructions (loads and stores) in a fixed global order;
+    /// the position in this vector is the instruction's *event index* used by
+    /// the memory-order search.
+    pub memory_events: Vec<InstrRef>,
+}
+
+impl ProgramIndex {
+    /// Builds the index of a program.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let mut loads = Vec::new();
+        let mut stores = Vec::new();
+        let mut memory_events = Vec::new();
+        for (proc, idx, instr) in program.iter_instructions() {
+            let reference = InstrRef::new(proc.index(), idx);
+            if instr.is_load() {
+                loads.push(reference);
+                memory_events.push(reference);
+            } else if instr.is_store() {
+                stores.push(reference);
+                memory_events.push(reference);
+            }
+        }
+        ProgramIndex { loads, stores, memory_events }
+    }
+
+    /// Returns the global store identifier of the store at `reference`.
+    #[must_use]
+    pub fn store_id(&self, reference: InstrRef) -> Option<usize> {
+        self.stores.iter().position(|&s| s == reference)
+    }
+
+    /// Returns the event index (position in [`ProgramIndex::memory_events`])
+    /// of the memory instruction at `reference`.
+    #[must_use]
+    pub fn event_index(&self, reference: InstrRef) -> Option<usize> {
+        self.memory_events.iter().position(|&e| e == reference)
+    }
+}
+
+/// A fully concretised execution candidate: every instruction has a result
+/// value, every memory instruction an address, and every load a read-from
+/// source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcreteExecution {
+    /// Per-thread, per-instruction result values (ALU destination value, load
+    /// value, or store data).
+    pub values: Vec<Vec<Value>>,
+    /// Per-thread, per-instruction resolved addresses (only memory
+    /// instructions have one).
+    pub addresses: Vec<Vec<Option<u64>>>,
+    /// Read-from source of every load.
+    pub rf: BTreeMap<InstrRef, RfSource>,
+}
+
+impl ConcreteExecution {
+    /// The result value of the instruction at `reference`.
+    #[must_use]
+    pub fn value(&self, reference: InstrRef) -> Value {
+        self.values[reference.proc][reference.idx]
+    }
+
+    /// The resolved address of the memory instruction at `reference`.
+    #[must_use]
+    pub fn address(&self, reference: InstrRef) -> Option<u64> {
+        self.addresses[reference.proc][reference.idx]
+    }
+
+    /// The read-from source of the load at `reference`.
+    #[must_use]
+    pub fn rf_source(&self, reference: InstrRef) -> Option<RfSource> {
+        self.rf.get(&reference).copied()
+    }
+
+    /// Builds the resolved-instruction view of one thread, the input to
+    /// `gam_core::preserved_program_order`.
+    #[must_use]
+    pub fn resolved_thread(&self, program: &Program, proc: usize) -> Vec<ResolvedInstr> {
+        let thread = &program.threads()[proc];
+        thread
+            .instructions()
+            .iter()
+            .enumerate()
+            .map(|(idx, instr)| {
+                let reference = InstrRef::new(proc, idx);
+                let addr = self.address(reference);
+                let rf = self.rf_source(reference);
+                resolve_one(instr, addr, rf)
+            })
+            .collect()
+    }
+
+    /// The final value of a register in a thread: the result of the youngest
+    /// instruction writing it, or zero if it is never written.
+    #[must_use]
+    pub fn final_register_value(&self, program: &Program, proc: usize, reg: gam_isa::Reg) -> Value {
+        let thread = &program.threads()[proc];
+        thread
+            .instructions()
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, instr)| instr.write_set().contains(&reg))
+            .map(|(idx, _)| self.value(InstrRef::new(proc, idx)))
+            .unwrap_or(Value::ZERO)
+    }
+}
+
+fn resolve_one(instr: &Instruction, addr: Option<u64>, rf: Option<RfSource>) -> ResolvedInstr {
+    ResolvedInstr::from_instruction(instr, addr, rf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::library;
+    use gam_isa::{Addr, Loc, Operand, ProcId, Reg, ThreadProgram};
+
+    #[test]
+    fn instr_ref_display() {
+        assert_eq!(InstrRef::new(0, 0).to_string(), "P1.I1");
+        assert_eq!(InstrRef::new(2, 3).to_string(), "P3.I4");
+    }
+
+    #[test]
+    fn program_index_counts_dekker() {
+        let test = library::dekker();
+        let index = ProgramIndex::new(test.program());
+        assert_eq!(index.loads.len(), 2);
+        assert_eq!(index.stores.len(), 2);
+        assert_eq!(index.memory_events.len(), 4);
+        for (i, &event) in index.memory_events.iter().enumerate() {
+            assert_eq!(index.event_index(event), Some(i));
+        }
+        assert_eq!(index.store_id(index.stores[1]), Some(1));
+        assert_eq!(index.store_id(InstrRef::new(0, 1)), None, "the load is not a store");
+    }
+
+    #[test]
+    fn concrete_execution_accessors() {
+        let a = Loc::new("a");
+        let mut t0 = ThreadProgram::builder(ProcId::new(0));
+        t0.store(Addr::loc(a), Operand::imm(7)).load(Reg::new(1), Addr::loc(a));
+        let program = gam_isa::Program::new(vec![t0.build()]);
+        let exec = ConcreteExecution {
+            values: vec![vec![Value::new(7), Value::new(7)]],
+            addresses: vec![vec![Some(a.address()), Some(a.address())]],
+            rf: [(InstrRef::new(0, 1), RfSource::Store(0))].into_iter().collect(),
+        };
+        assert_eq!(exec.value(InstrRef::new(0, 0)), Value::new(7));
+        assert_eq!(exec.address(InstrRef::new(0, 1)), Some(a.address()));
+        assert_eq!(exec.rf_source(InstrRef::new(0, 1)), Some(RfSource::Store(0)));
+        assert_eq!(exec.rf_source(InstrRef::new(0, 0)), None);
+        assert_eq!(exec.final_register_value(&program, 0, Reg::new(1)), Value::new(7));
+        assert_eq!(exec.final_register_value(&program, 0, Reg::new(9)), Value::ZERO);
+        let resolved = exec.resolved_thread(&program, 0);
+        assert_eq!(resolved.len(), 2);
+        assert!(resolved[0].is_store());
+        assert!(resolved[1].is_load());
+        assert_eq!(resolved[1].rf_source(), Some(RfSource::Store(0)));
+    }
+}

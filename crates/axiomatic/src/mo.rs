@@ -1,0 +1,300 @@
+//! Search for a global memory order satisfying the model's axioms.
+//!
+//! A [`MoProblem`] describes one concretised execution under one model: the
+//! set of memory events, the ordering edges that any global memory order must
+//! contain (axiom *InstOrder*: `I1 <ppo I2 ⇒ I1 <mo I2`, plus sound read-from
+//! pruning edges), and one [`LoadConstraint`] per load encoding the
+//! *LoadValue* axiom of Figure 15:
+//!
+//! ```text
+//! St [a] v  -rf->  Ld [a]   ⇒
+//!     St [a] v = max_mo { St [a] v' | St [a] v' <mo Ld [a]  ∨  St [a] v' <po Ld [a] }
+//! ```
+//!
+//! (the `<po` disjunct is only present for models with local store
+//! forwarding — every model except SC).
+//!
+//! The search enumerates linear extensions of the edge relation by
+//! backtracking and validates the LoadValue axiom on every complete order.
+//! Litmus tests have at most a dozen memory events, so explicit enumeration
+//! is exact and fast.
+
+use gam_core::Relation;
+
+/// The LoadValue obligation of a single load event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadConstraint {
+    /// Event index of the load.
+    pub load: usize,
+    /// Address of the load.
+    pub addr: u64,
+    /// Event index of the store the load reads from, or `None` for the
+    /// initial memory value.
+    pub source: Option<usize>,
+    /// Event indices of same-address stores that are program-order-older than
+    /// the load on the same processor *and* visible through local store
+    /// forwarding (empty for models without the `<po` disjunct).
+    pub po_older_stores: Vec<usize>,
+}
+
+/// A memory-order search problem for one concretised execution and one model.
+#[derive(Debug, Clone)]
+pub struct MoProblem {
+    num_events: usize,
+    precede: Relation,
+    store_addr: Vec<Option<u64>>,
+    loads: Vec<LoadConstraint>,
+}
+
+impl MoProblem {
+    /// Creates a problem over `num_events` memory events.
+    ///
+    /// `store_addr[e]` must be `Some(addr)` exactly when event `e` is a store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precede` or `store_addr` do not have `num_events` elements.
+    #[must_use]
+    pub fn new(
+        num_events: usize,
+        precede: Relation,
+        store_addr: Vec<Option<u64>>,
+        loads: Vec<LoadConstraint>,
+    ) -> Self {
+        assert_eq!(precede.len(), num_events, "edge relation size mismatch");
+        assert_eq!(store_addr.len(), num_events, "store address table size mismatch");
+        MoProblem { num_events, precede, store_addr, loads }
+    }
+
+    /// Number of memory events.
+    #[must_use]
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Checks the LoadValue axiom on a complete memory order (given as the
+    /// sequence of event indices from oldest to youngest).
+    #[must_use]
+    pub fn validate_order(&self, order: &[usize]) -> bool {
+        debug_assert_eq!(order.len(), self.num_events);
+        let mut position = vec![0usize; self.num_events];
+        for (rank, &event) in order.iter().enumerate() {
+            position[event] = rank;
+        }
+        self.loads.iter().all(|constraint| self.validate_load(constraint, &position))
+    }
+
+    fn validate_load(&self, constraint: &LoadConstraint, position: &[usize]) -> bool {
+        // The candidate set of the LoadValue axiom: same-address stores that
+        // are memory-order-older than the load, or locally forwardable.
+        let candidate = |event: usize| -> bool {
+            self.store_addr[event] == Some(constraint.addr)
+                && (position[event] < position[constraint.load]
+                    || constraint.po_older_stores.contains(&event))
+        };
+        match constraint.source {
+            None => (0..self.num_events).all(|e| !candidate(e)),
+            Some(source) => {
+                if !candidate(source) {
+                    return false;
+                }
+                // `source` must be the memory-order maximum of the candidate set.
+                (0..self.num_events)
+                    .filter(|&e| e != source && candidate(e))
+                    .all(|e| position[e] < position[source])
+            }
+        }
+    }
+
+    /// Enumerates every linear extension of the edge relation that satisfies
+    /// the LoadValue axiom, invoking `on_valid` with each one. `on_valid`
+    /// returns `true` to continue the enumeration and `false` to stop.
+    ///
+    /// Returns `true` if the enumeration ran to completion and `false` if it
+    /// was stopped by the callback.
+    pub fn for_each_valid_order(&self, mut on_valid: impl FnMut(&[usize]) -> bool) -> bool {
+        let mut placed = Vec::with_capacity(self.num_events);
+        let mut used = vec![false; self.num_events];
+        self.extend(&mut placed, &mut used, &mut on_valid)
+    }
+
+    /// Returns true if at least one valid memory order exists.
+    #[must_use]
+    pub fn has_valid_order(&self) -> bool {
+        let mut found = false;
+        self.for_each_valid_order(|_| {
+            found = true;
+            false
+        });
+        found
+    }
+
+    fn extend(
+        &self,
+        placed: &mut Vec<usize>,
+        used: &mut [bool],
+        on_valid: &mut impl FnMut(&[usize]) -> bool,
+    ) -> bool {
+        if placed.len() == self.num_events {
+            if self.validate_order(placed) {
+                return on_valid(placed);
+            }
+            return true;
+        }
+        for event in 0..self.num_events {
+            if used[event] {
+                continue;
+            }
+            // Every required predecessor must already be placed.
+            let ready = (0..self.num_events)
+                .all(|other| !self.precede.contains(other, event) || used[other]);
+            if !ready {
+                continue;
+            }
+            used[event] = true;
+            placed.push(event);
+            let keep_going = self.extend(placed, used, on_valid);
+            placed.pop();
+            used[event] = false;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two stores (events 0, 1) to the same address and one load (event 2).
+    fn two_stores_one_load(source: Option<usize>, po_older: Vec<usize>) -> MoProblem {
+        MoProblem::new(
+            3,
+            Relation::new(3),
+            vec![Some(8), Some(8), None],
+            vec![LoadConstraint { load: 2, addr: 8, source, po_older_stores: po_older }],
+        )
+    }
+
+    #[test]
+    fn load_from_init_requires_no_older_store() {
+        let problem = two_stores_one_load(None, vec![]);
+        let mut orders = Vec::new();
+        problem.for_each_valid_order(|o| {
+            orders.push(o.to_vec());
+            true
+        });
+        // The load must come first; the two stores may follow in either order.
+        assert_eq!(orders.len(), 2);
+        for order in &orders {
+            assert_eq!(order[0], 2);
+        }
+    }
+
+    #[test]
+    fn load_from_store_requires_it_to_be_the_max() {
+        let problem = two_stores_one_load(Some(0), vec![]);
+        let mut orders = Vec::new();
+        problem.for_each_valid_order(|o| {
+            orders.push(o.to_vec());
+            true
+        });
+        // Valid orders: store0 before load, store1 after the load OR before store0.
+        // i.e. [0,2,1], [1,0,2]; invalid: [0,1,2], [1,2,0], [2,..].
+        assert_eq!(orders.len(), 2);
+        assert!(orders.contains(&vec![0, 2, 1]));
+        assert!(orders.contains(&vec![1, 0, 2]));
+    }
+
+    #[test]
+    fn po_older_store_participates_without_mo_edge() {
+        // The load reads from store 0 which is po-older (forwarding); store 0
+        // may then be anywhere, but store 1 must not sit between store 0 and
+        // the load in a way that makes it the max of the candidate set.
+        let problem = two_stores_one_load(Some(0), vec![0]);
+        let mut orders = Vec::new();
+        problem.for_each_valid_order(|o| {
+            orders.push(o.to_vec());
+            true
+        });
+        // All 6 permutations, minus the ones where store 1 is a candidate
+        // newer than store 0: [1,2,0] keeps store1 older than the load but
+        // store0 older still? position(1)<position(2): candidate; max must be 0.
+        for order in &orders {
+            let pos = |e: usize| order.iter().position(|&x| x == e).unwrap();
+            let store1_candidate = pos(1) < pos(2);
+            if store1_candidate {
+                assert!(pos(1) < pos(0), "store 1 must be older than the forwarded store 0");
+            }
+        }
+        assert!(orders.contains(&vec![2, 0, 1]), "forwarding lets the load precede its source");
+    }
+
+    #[test]
+    fn precede_edges_are_respected() {
+        let mut precede = Relation::new(3);
+        precede.insert(0, 1);
+        precede.insert(1, 2);
+        let problem = MoProblem::new(
+            3,
+            precede,
+            vec![Some(8), Some(8), None],
+            vec![LoadConstraint { load: 2, addr: 8, source: Some(1), po_older_stores: vec![] }],
+        );
+        let mut orders = Vec::new();
+        problem.for_each_valid_order(|o| {
+            orders.push(o.to_vec());
+            true
+        });
+        assert_eq!(orders, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn cyclic_edges_have_no_order() {
+        let mut precede = Relation::new(2);
+        precede.insert(0, 1);
+        precede.insert(1, 0);
+        let problem = MoProblem::new(2, precede, vec![Some(4), Some(4)], vec![]);
+        assert!(!problem.has_valid_order());
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let problem = MoProblem::new(3, Relation::new(3), vec![None, None, None], vec![]);
+        let mut count = 0;
+        let completed = problem.for_each_valid_order(|_| {
+            count += 1;
+            count < 2
+        });
+        assert!(!completed);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn loads_of_different_addresses_do_not_interfere() {
+        let problem = MoProblem::new(
+            2,
+            Relation::new(2),
+            vec![Some(16), None],
+            vec![LoadConstraint { load: 1, addr: 32, source: None, po_older_stores: vec![] }],
+        );
+        let mut count = 0;
+        problem.for_each_valid_order(|_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 2, "the store to a different address never blocks the init read");
+    }
+
+    #[test]
+    fn has_valid_order_matches_enumeration() {
+        let problem = two_stores_one_load(Some(1), vec![]);
+        assert!(problem.has_valid_order());
+        // A load reading from init while a po-older same-address store exists
+        // (forwarding visible) can never validate.
+        let impossible = two_stores_one_load(None, vec![0]);
+        assert!(!impossible.has_valid_order());
+    }
+}

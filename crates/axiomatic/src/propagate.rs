@@ -1,0 +1,312 @@
+//! Value propagation: turning a read-from assignment into a concrete execution.
+//!
+//! Given a read-from candidate for every load, this module computes every
+//! register value, memory address and store datum by propagating values to a
+//! fixpoint. Assignments whose values cannot be resolved (a cyclic value
+//! dependency through read-from edges, the out-of-thin-air shape of Figure 5)
+//! or whose addresses are inconsistent (a load "reading from" a store to a
+//! different address) are rejected by returning `None`.
+
+use std::collections::BTreeMap;
+
+use gam_core::RfSource;
+use gam_isa::litmus::LitmusTest;
+use gam_isa::{Instruction, Operand, Program, Value};
+
+use crate::execution::{ConcreteExecution, InstrRef, ProgramIndex, RfCandidate};
+
+/// Per-instruction resolution state during propagation.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    value: Option<Value>,
+    address: Option<u64>,
+}
+
+/// Attempts to concretise an execution from a read-from assignment.
+///
+/// `assignment[i]` is the read-from candidate of `index.loads[i]`.
+///
+/// Returns `None` when the assignment is inconsistent: a value dependency
+/// cycle prevents resolution, or a load is assigned a store to a different
+/// address.
+#[must_use]
+pub fn concretize(
+    test: &LitmusTest,
+    index: &ProgramIndex,
+    assignment: &[RfCandidate],
+) -> Option<ConcreteExecution> {
+    let program = test.program();
+    let mut slots: Vec<Vec<Slot>> =
+        program.threads().iter().map(|t| vec![Slot::default(); t.len()]).collect();
+
+    // Fences produce no value; mark them resolved immediately so the fixpoint
+    // terminates on the remaining instructions only.
+    for (proc, idx, instr) in program.iter_instructions() {
+        if instr.is_fence() {
+            slots[proc.index()][idx].value = Some(Value::ZERO);
+        }
+    }
+
+    let rf_of_load: BTreeMap<InstrRef, RfCandidate> =
+        index.loads.iter().copied().zip(assignment.iter().copied()).collect();
+
+    loop {
+        let mut progress = false;
+        for (proc, idx, instr) in program.iter_instructions() {
+            let reference = InstrRef::new(proc.index(), idx);
+            let slot = &slots[proc.index()][idx];
+            if slot.value.is_some() && (slot.address.is_some() || !instr.is_memory()) {
+                continue;
+            }
+            let (value, address) = evaluate(program, &slots, &rf_of_load, index, test, reference, instr);
+            let slot = &mut slots[proc.index()][idx];
+            if slot.value.is_none() && value.is_some() {
+                slot.value = value;
+                progress = true;
+            }
+            if slot.address.is_none() && address.is_some() {
+                slot.address = address;
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    // Every instruction must be fully resolved.
+    for (proc, idx, instr) in program.iter_instructions() {
+        let slot = &slots[proc.index()][idx];
+        if slot.value.is_none() {
+            return None;
+        }
+        if instr.is_memory() && slot.address.is_none() {
+            return None;
+        }
+    }
+
+    // Address consistency: a load must read from a store to the same address.
+    for (load_ref, candidate) in &rf_of_load {
+        if let RfCandidate::Store(sid) = candidate {
+            let store_ref = index.stores[*sid];
+            let load_addr = slots[load_ref.proc][load_ref.idx].address;
+            let store_addr = slots[store_ref.proc][store_ref.idx].address;
+            if load_addr != store_addr {
+                return None;
+            }
+        }
+    }
+
+    let rf = rf_of_load
+        .iter()
+        .map(|(&load_ref, candidate)| {
+            let source = match candidate {
+                RfCandidate::Init => {
+                    let addr = slots[load_ref.proc][load_ref.idx]
+                        .address
+                        .expect("resolved load has an address");
+                    RfSource::Init(addr)
+                }
+                RfCandidate::Store(sid) => RfSource::Store(*sid as u32),
+            };
+            (load_ref, source)
+        })
+        .collect();
+
+    Some(ConcreteExecution {
+        values: slots
+            .iter()
+            .map(|thread| thread.iter().map(|s| s.value.expect("resolved")).collect())
+            .collect(),
+        addresses: slots.iter().map(|thread| thread.iter().map(|s| s.address).collect()).collect(),
+        rf,
+    })
+}
+
+/// Tries to compute the value and address of one instruction from the current
+/// partial resolution. Returns `(value, address)` with `None` for parts that
+/// are not yet computable.
+fn evaluate(
+    program: &Program,
+    slots: &[Vec<Slot>],
+    rf_of_load: &BTreeMap<InstrRef, RfCandidate>,
+    index: &ProgramIndex,
+    test: &LitmusTest,
+    reference: InstrRef,
+    instr: &Instruction,
+) -> (Option<Value>, Option<u64>) {
+    let operand = |op: &Operand| -> Option<Value> {
+        match op {
+            Operand::Imm(v) => Some(*v),
+            Operand::Reg(reg) => {
+                // Value of the youngest older writer of `reg`, or zero.
+                let thread = &program.threads()[reference.proc];
+                let writer = (0..reference.idx)
+                    .rev()
+                    .find(|&i| thread.instructions()[i].write_set().contains(reg));
+                match writer {
+                    Some(i) => slots[reference.proc][i].value,
+                    None => Some(Value::ZERO),
+                }
+            }
+        }
+    };
+
+    match instr {
+        Instruction::Alu { op, lhs, rhs, .. } => {
+            let value = match (operand(lhs), operand(rhs)) {
+                (Some(a), Some(b)) => Some(op.apply(a, b)),
+                _ => None,
+            };
+            (value, None)
+        }
+        Instruction::Load { addr, .. } => {
+            let address = operand(&addr.base).map(|base| addr.evaluate(base).raw());
+            let value = address.and_then(|resolved_addr| {
+                match rf_of_load.get(&reference).copied().unwrap_or(RfCandidate::Init) {
+                    RfCandidate::Init => Some(test.initial_value(resolved_addr)),
+                    RfCandidate::Store(sid) => {
+                        let store_ref = index.stores[sid];
+                        slots[store_ref.proc][store_ref.idx].value
+                    }
+                }
+            });
+            (value, address)
+        }
+        Instruction::Store { addr, data } => {
+            let address = operand(&addr.base).map(|base| addr.evaluate(base).raw());
+            (operand(data), address)
+        }
+        Instruction::Fence { .. } => (Some(Value::ZERO), None),
+        // Branches are rejected by the checker before propagation starts.
+        Instruction::Branch { .. } => (None, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::library;
+    use gam_isa::Loc;
+
+    fn index_of(test: &LitmusTest) -> ProgramIndex {
+        ProgramIndex::new(test.program())
+    }
+
+    #[test]
+    fn dekker_init_reads_resolve_to_zero() {
+        let test = library::dekker();
+        let index = index_of(&test);
+        // Both loads read the initial value.
+        let exec = concretize(&test, &index, &[RfCandidate::Init, RfCandidate::Init]).unwrap();
+        for &load in &index.loads {
+            assert_eq!(exec.value(load), Value::ZERO);
+        }
+        // Both loads read the other processor's store.
+        let exec = concretize(&test, &index, &[RfCandidate::Store(1), RfCandidate::Store(0)]).unwrap();
+        for &load in &index.loads {
+            assert_eq!(exec.value(load), Value::new(1));
+        }
+    }
+
+    #[test]
+    fn address_mismatch_is_rejected() {
+        // In Dekker, load of `b` (load 0) cannot read from the store to `a` (store 0).
+        let test = library::dekker();
+        let index = index_of(&test);
+        assert!(concretize(&test, &index, &[RfCandidate::Store(0), RfCandidate::Init]).is_none());
+    }
+
+    #[test]
+    fn oota_cycle_is_rejected() {
+        // Both loads reading from the other thread's dependent store forms a
+        // value cycle, which propagation cannot resolve.
+        let test = library::oota();
+        let index = index_of(&test);
+        assert!(concretize(&test, &index, &[RfCandidate::Store(1), RfCandidate::Store(0)]).is_none());
+        // Reading the initial values is fine and yields zeros.
+        let exec = concretize(&test, &index, &[RfCandidate::Init, RfCandidate::Init]).unwrap();
+        for &load in &index.loads {
+            assert_eq!(exec.value(load), Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn mp_addr_dependent_address_is_computed() {
+        let test = library::mp_addr();
+        let index = index_of(&test);
+        let a = Loc::new("a");
+        // Load of b reads the store of `a`'s address (store 1), the dependent
+        // load then addresses `a` and reads store 0.
+        let store_b = index
+            .stores
+            .iter()
+            .position(|s| s.proc == 0 && s.idx == 2)
+            .expect("store to b exists");
+        let store_a = index
+            .stores
+            .iter()
+            .position(|s| s.proc == 0 && s.idx == 0)
+            .expect("store to a exists");
+        let exec =
+            concretize(&test, &index, &[RfCandidate::Store(store_b), RfCandidate::Store(store_a)])
+                .unwrap();
+        let dependent_load = index.loads[1];
+        assert_eq!(exec.address(dependent_load), Some(a.address()));
+        assert_eq!(exec.value(dependent_load), Value::new(1));
+    }
+
+    #[test]
+    fn mp_addr_dependent_load_of_zero_address() {
+        // If the first load reads the initial value 0, the dependent load
+        // addresses location 0 and reads its initial value 0.
+        let test = library::mp_addr();
+        let index = index_of(&test);
+        let exec = concretize(&test, &index, &[RfCandidate::Init, RfCandidate::Init]).unwrap();
+        let dependent_load = index.loads[1];
+        assert_eq!(exec.address(dependent_load), Some(0));
+        assert_eq!(exec.value(dependent_load), Value::ZERO);
+    }
+
+    #[test]
+    fn initial_memory_values_are_respected() {
+        use gam_isa::{Addr, Operand as Op, ProcId, Reg, ThreadProgram};
+        let a = Loc::new("a");
+        let mut t0 = ThreadProgram::builder(ProcId::new(0));
+        t0.load(Reg::new(1), Addr::loc(a));
+        let program = gam_isa::Program::new(vec![t0.build()]);
+        let test = LitmusTest::builder("init-demo", program)
+            .init(a, 123u64)
+            .expect_reg(ProcId::new(0), Reg::new(1), 123u64)
+            .build();
+        let index = index_of(&test);
+        let exec = concretize(&test, &index, &[RfCandidate::Init]).unwrap();
+        assert_eq!(exec.value(index.loads[0]), Value::new(123));
+        // Keep the builder import used.
+        let _ = Op::imm(0);
+    }
+
+    #[test]
+    fn store_forwarding_values() {
+        let test = library::store_forwarding();
+        let index = index_of(&test);
+        // The load reads the second store (r1 = 0 initially, so value 0).
+        let exec = concretize(&test, &index, &[RfCandidate::Store(1)]).unwrap();
+        assert_eq!(exec.value(index.loads[0]), Value::ZERO);
+        // Or the first store, value 1.
+        let exec = concretize(&test, &index, &[RfCandidate::Store(0)]).unwrap();
+        assert_eq!(exec.value(index.loads[0]), Value::new(1));
+    }
+
+    #[test]
+    fn rf_sources_are_recorded() {
+        let test = library::corr();
+        let index = index_of(&test);
+        let exec = concretize(&test, &index, &[RfCandidate::Store(0), RfCandidate::Init]).unwrap();
+        assert_eq!(exec.rf_source(index.loads[0]), Some(RfSource::Store(0)));
+        assert_eq!(
+            exec.rf_source(index.loads[1]),
+            Some(RfSource::Init(Loc::new("a").address()))
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the axiomatic checker on randomly generated
+//! branch-free litmus tests: model-strength inclusion, witness soundness and
+//! basic sanity of the outcome sets.
+
+use gam_axiomatic::AxiomaticChecker;
+use gam_core::model;
+use gam_isa::litmus::LitmusTest;
+use gam_isa::prelude::*;
+use proptest::prelude::*;
+
+/// One randomly chosen straight-line instruction acting on two locations.
+#[derive(Debug, Clone)]
+enum Step {
+    Store { loc: u8, value: u8 },
+    Load { loc: u8 },
+    Fence { kind: u8 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..2, 1u8..3).prop_map(|(loc, value)| Step::Store { loc, value }),
+        (0u8..2).prop_map(|loc| Step::Load { loc }),
+        (0u8..4).prop_map(|kind| Step::Fence { kind }),
+    ]
+}
+
+fn build_test(threads: Vec<Vec<Step>>) -> LitmusTest {
+    let locations = [Loc::new("px"), Loc::new("py")];
+    let fences = [FenceKind::LL, FenceKind::LS, FenceKind::SL, FenceKind::SS];
+    let mut programs = Vec::new();
+    let mut observed = Vec::new();
+    for (proc_index, steps) in threads.iter().enumerate() {
+        let proc = ProcId::new(proc_index);
+        let mut builder = ThreadProgram::builder(proc);
+        let mut next_reg = 1u32;
+        for step in steps {
+            match step {
+                Step::Store { loc, value } => {
+                    builder.store(Addr::loc(locations[*loc as usize]), Operand::imm(u64::from(*value)));
+                }
+                Step::Load { loc } => {
+                    let reg = Reg::new(next_reg);
+                    next_reg += 1;
+                    builder.load(reg, Addr::loc(locations[*loc as usize]));
+                    observed.push((proc, reg));
+                }
+                Step::Fence { kind } => {
+                    builder.fence(fences[*kind as usize]);
+                }
+            }
+        }
+        programs.push(builder.build());
+    }
+    let program = Program::new(programs);
+    let mut builder = LitmusTest::builder("proptest", program)
+        .observe_mem(locations[0])
+        .observe_mem(locations[1]);
+    for (proc, reg) in observed {
+        builder = builder.observe_reg(proc, reg);
+    }
+    builder.build()
+}
+
+fn two_threads() -> impl Strategy<Value = LitmusTest> {
+    (
+        proptest::collection::vec(step(), 1..4),
+        proptest::collection::vec(step(), 1..4),
+    )
+        .prop_map(|(a, b)| build_test(vec![a, b]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Outcome-set inclusion along the strength order SC ⊆ TSO ⊆ GAM ⊆ GAM-ARM ⊆ GAM0,
+    /// and non-emptiness: every model admits at least one execution of every program.
+    #[test]
+    fn model_strength_inclusion(test in two_threads()) {
+        let sc = AxiomaticChecker::new(model::sc()).allowed_outcomes(&test).unwrap();
+        let tso = AxiomaticChecker::new(model::tso()).allowed_outcomes(&test).unwrap();
+        let gam = AxiomaticChecker::new(model::gam()).allowed_outcomes(&test).unwrap();
+        let arm = AxiomaticChecker::new(model::gam_arm()).allowed_outcomes(&test).unwrap();
+        let gam0 = AxiomaticChecker::new(model::gam0()).allowed_outcomes(&test).unwrap();
+        prop_assert!(!sc.is_empty());
+        prop_assert!(sc.is_subset(&tso));
+        prop_assert!(tso.is_subset(&gam));
+        prop_assert!(gam.is_subset(&arm));
+        prop_assert!(arm.is_subset(&gam0));
+    }
+
+    /// A witness returned for the condition of interest really matches it and
+    /// is itself a member of the allowed-outcome set.
+    #[test]
+    fn witnesses_are_sound(test in two_threads(), target_value in 0u64..3) {
+        // Re-target the condition at an arbitrary observed register value so
+        // the search has something non-trivial to do.
+        let observed_reg = test
+            .observed()
+            .iter()
+            .find_map(|obs| match obs {
+                gam_isa::litmus::Observation::Register(p, r) => Some((*p, *r)),
+                gam_isa::litmus::Observation::Memory(_) => None,
+            });
+        prop_assume!(observed_reg.is_some());
+        let (proc, reg) = observed_reg.unwrap();
+        let retargeted = LitmusTest::builder("retargeted", test.program().clone())
+            .expect_reg(proc, reg, target_value)
+            .build();
+        let checker = AxiomaticChecker::new(model::gam());
+        let witness = checker.find_witness(&retargeted).unwrap();
+        let outcomes = checker.allowed_outcomes(&retargeted).unwrap();
+        match witness {
+            Some(w) => {
+                prop_assert!(retargeted.condition().matched_by(&w.outcome));
+                prop_assert!(outcomes.contains(&w.outcome));
+            }
+            None => {
+                prop_assert!(!outcomes.iter().any(|o| retargeted.condition().matched_by(o)));
+            }
+        }
+    }
+
+    /// Loads only ever observe values that some store in the program (or the
+    /// initial state) wrote — no out-of-thin-air values, for any model.
+    #[test]
+    fn no_out_of_thin_air_values(test in two_threads()) {
+        let mut writable: Vec<Value> = vec![Value::ZERO];
+        for (_, _, instr) in test.program().iter_instructions() {
+            if let gam_isa::Instruction::Store { data: Operand::Imm(v), .. } = instr {
+                writable.push(*v);
+            }
+        }
+        for spec in model::all() {
+            let outcomes = AxiomaticChecker::new(spec.clone()).allowed_outcomes(&test).unwrap();
+            for outcome in &outcomes {
+                for (_, value) in outcome.iter() {
+                    prop_assert!(
+                        writable.contains(value),
+                        "{}: value {value} appeared from nowhere",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the formal-model checkers: the axiomatic
+//! enumerator, the operational explorer and the equivalence comparison, on
+//! representative litmus tests from the paper (Figures 2, 13 and 14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gam_axiomatic::AxiomaticChecker;
+use gam_core::{model, ModelKind};
+use gam_isa::litmus::library;
+use gam_operational::OperationalChecker;
+use gam_verify::EquivalenceReport;
+
+fn bench_axiomatic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("axiomatic");
+    group.sample_size(20);
+    for test in [library::dekker(), library::corr(), library::mp_addr(), library::rsw()] {
+        for spec in [model::gam(), model::gam0(), model::sc()] {
+            let checker = AxiomaticChecker::new(spec.clone());
+            let id = BenchmarkId::new(spec.name(), test.name());
+            group.bench_with_input(id, &test, |b, test| {
+                b.iter(|| checker.check(test).expect("checkable"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_operational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operational");
+    group.sample_size(10);
+    for test in [library::dekker(), library::corr(), library::mp_fence_ss_only()] {
+        for kind in [ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0] {
+            let checker = OperationalChecker::new(kind);
+            let id = BenchmarkId::new(format!("{kind}"), test.name());
+            group.bench_with_input(id, &test, |b, test| {
+                b.iter(|| checker.allowed_outcomes(test).expect("explorable"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence");
+    group.sample_size(10);
+    let tests = vec![library::dekker(), library::corr()];
+    group.bench_function("gam-dekker-corr", |b| {
+        b.iter(|| {
+            let report = EquivalenceReport::compute(&tests, ModelKind::Gam);
+            assert!(report.all_equivalent());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_axiomatic, bench_operational, bench_equivalence);
+criterion_main!(benches);

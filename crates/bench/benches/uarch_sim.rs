@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the microarchitecture simulator, one group per
+//! paper experiment: Figure 18 (normalized uPC), Table II (kills/stalls) and
+//! Table III (load-load forwarding). Each group runs a scaled-down version of
+//! the corresponding harness so that `cargo bench` stays fast; the
+//! full-length experiment binaries (`fig18`, `table2`, `table3`) print the
+//! complete tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gam_bench::{run_workload, table2, table3};
+use gam_uarch::config::{MemoryModelPolicy, SimConfig};
+use gam_uarch::workload::{WorkloadSpec, WorkloadSuite};
+use gam_uarch::Simulator;
+
+const BENCH_OPS: usize = 20_000;
+
+fn bench_fig18_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_sim");
+    group.sample_size(10);
+    let trace = WorkloadSpec::mixed("fig18.bench", 256 * 1024, 0.03).generate(BENCH_OPS, 42);
+    for policy in MemoryModelPolicy::ALL {
+        let simulator = Simulator::new(SimConfig::haswell_like(policy));
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &trace, |b, trace| {
+            b.iter(|| simulator.run(trace));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_sim");
+    group.sample_size(10);
+    let spec = WorkloadSpec::same_addr_heavy("table2.bench", 64 * 1024);
+    group.bench_function("kills-and-stalls", |b| {
+        b.iter(|| {
+            let result = run_workload(&spec, BENCH_OPS, 7);
+            table2(&[result])
+        });
+    });
+    group.finish();
+}
+
+fn bench_table3_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_sim");
+    group.sample_size(10);
+    let spec = WorkloadSpec::pointer_chase("table3.bench", 1024 * 1024);
+    group.bench_function("load-load-forwarding", |b| {
+        b.iter(|| {
+            let result = run_workload(&spec, BENCH_OPS, 9);
+            table3(&[result])
+        });
+    });
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(20);
+    for spec in WorkloadSuite::small().specs() {
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), spec, |b, spec| {
+            b.iter(|| spec.generate(BENCH_OPS, 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig18_policies,
+    bench_table2_pipeline,
+    bench_table3_pipeline,
+    bench_workload_generation
+);
+criterion_main!(benches);

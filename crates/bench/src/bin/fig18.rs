@@ -1,0 +1,22 @@
+//! Reproduces Figure 18 of the paper: uPC of ARM, GAM0 and Alpha\* normalized
+//! to GAM across the workload suite.
+//!
+//! Usage: `cargo run --release -p gam-bench --bin fig18 [-- --ops N --seed S]`
+//! (default 200_000 micro-ops per workload, seed 42).
+
+use gam_bench::{arg_value, render_fig18, run_suite};
+use gam_uarch::workload::WorkloadSuite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops: usize = arg_value(&args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    let suite = WorkloadSuite::paper();
+    eprintln!(
+        "simulating {} workloads x 4 policies x {ops} micro-ops (seed {seed})...",
+        suite.len()
+    );
+    let results = run_suite(&suite, ops, seed);
+    print!("{}", render_fig18(&results));
+}

@@ -1,0 +1,38 @@
+//! Reproduces the litmus-test verdicts of the paper's figures (2, 5, 8, 13
+//! and 14) plus the classical tests, as a model-comparison matrix, and
+//! cross-checks the axiomatic and operational definitions of every model that
+//! has an abstract machine.
+
+use gam_isa::litmus::library;
+use gam_verify::{ComparisonMatrix, EquivalenceReport};
+
+fn main() {
+    let tests = library::all_tests();
+    println!("Litmus-test verdicts per model (axiomatic checker)");
+    println!("==================================================");
+    let matrix = ComparisonMatrix::compute(&tests).expect("litmus tests are checkable");
+    print!("{matrix}");
+    println!();
+    if matrix.matches_expectations() {
+        println!("all verdicts match the paper / expectation table");
+    } else {
+        println!("MISMATCHES against the expectation table:");
+        for row in matrix.mismatched_rows() {
+            println!("  {}: {:?}", row.test, row.mismatches);
+        }
+    }
+
+    println!();
+    println!("Axiomatic vs operational equivalence (complete outcome sets)");
+    println!("=============================================================");
+    let report = EquivalenceReport::compute_all(&tests);
+    let mismatches = report.mismatches();
+    println!(
+        "{} comparisons across SC, TSO, GAM and GAM0; {} mismatches",
+        report.results().len(),
+        mismatches.len()
+    );
+    for mismatch in mismatches {
+        println!("  {mismatch}");
+    }
+}

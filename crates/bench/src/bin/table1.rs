@@ -1,0 +1,20 @@
+//! Reproduces Table I of the paper: the simulated processor parameters.
+
+use gam_uarch::config::{MemoryModelPolicy, SimConfig};
+
+fn main() {
+    println!("Table I — processor parameters (Haswell-like, as in the paper)");
+    println!("===============================================================");
+    print!("{}", SimConfig::haswell_like(MemoryModelPolicy::Gam));
+    println!();
+    println!("Memory-model policies available for the evaluation:");
+    for policy in MemoryModelPolicy::ALL {
+        println!(
+            "  {:<7} stalls={} kills={} load-load-forwarding={}",
+            policy.to_string(),
+            policy.stalls_same_address_loads(),
+            policy.kills_same_address_loads(),
+            policy.allows_load_load_forwarding()
+        );
+    }
+}

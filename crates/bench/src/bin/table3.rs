@@ -1,0 +1,22 @@
+//! Reproduces Table III of the paper: the effects of load-load forwarding in
+//! Alpha\* — forwardings per thousand micro-ops and the reduction in L1 load
+//! misses relative to GAM.
+//!
+//! Usage: `cargo run --release -p gam-bench --bin table3 [-- --ops N --seed S]`.
+
+use gam_bench::{arg_value, render_table3, run_suite};
+use gam_uarch::workload::WorkloadSuite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops: usize = arg_value(&args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    let suite = WorkloadSuite::paper();
+    eprintln!(
+        "simulating {} workloads x 2 policies (GAM, Alpha*) x {ops} micro-ops (seed {seed})...",
+        suite.len()
+    );
+    let results = run_suite(&suite, ops, seed);
+    print!("{}", render_table3(&results));
+}

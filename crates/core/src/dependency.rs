@@ -1,0 +1,213 @@
+//! Syntactic data and address dependencies (Definitions 4 and 5 of the paper).
+//!
+//! Both dependencies relate instructions of a single thread: `I1 <ddep I2`
+//! holds when `I2` reads a register whose *last* writer before `I2` is `I1`
+//! (read-after-write with no intervening overwrite), and `I1 <adep I2` is the
+//! restriction of the same condition to the registers `I2` uses to compute
+//! its memory address. Address dependency implies data dependency.
+
+use gam_isa::Reg;
+
+use crate::relation::Relation;
+use crate::resolved::ResolvedInstr;
+
+/// Generic "last writer" dependency: relates `I1 <dep I2` when some register
+/// in `reads(I2)` has `I1` as its most recent program-order writer.
+fn last_writer_dependency(
+    thread: &[ResolvedInstr],
+    reads: impl Fn(&ResolvedInstr) -> &[Reg],
+) -> Relation {
+    let n = thread.len();
+    let mut rel = Relation::new(n);
+    for (j, consumer) in thread.iter().enumerate() {
+        for &reg in reads(consumer) {
+            // Find the youngest older instruction writing `reg`.
+            let writer = (0..j).rev().find(|&i| thread[i].write_set().contains(&reg));
+            if let Some(i) = writer {
+                rel.insert(i, j);
+            }
+        }
+    }
+    rel
+}
+
+/// Computes the data-dependency relation `<ddep` (Definition 4) over the
+/// instructions of one thread, identified by their program-order indices.
+///
+/// `I1 <ddep I2` iff `I1 <po I2`, `WS(I1) ∩ RS(I2) ≠ ∅`, and for some register
+/// `r` in the intersection no instruction between `I1` and `I2` writes `r`.
+///
+/// # Example
+///
+/// ```
+/// use gam_core::{data_dependencies, ResolvedInstr};
+/// use gam_isa::{Addr, Instruction, Reg};
+/// // r1 = Ld [a]; r2 = Ld [r1]
+/// let a = gam_isa::Loc::new("a");
+/// let load1 = Instruction::Load { dst: Reg::new(1), addr: Addr::loc(a) };
+/// let load2 = Instruction::Load { dst: Reg::new(2), addr: Addr::reg(Reg::new(1)) };
+/// let thread = vec![
+///     ResolvedInstr::from_instruction(&load1, Some(a.address()), None),
+///     ResolvedInstr::from_instruction(&load2, Some(0), None),
+/// ];
+/// let ddep = data_dependencies(&thread);
+/// assert!(ddep.contains(0, 1));
+/// ```
+#[must_use]
+pub fn data_dependencies(thread: &[ResolvedInstr]) -> Relation {
+    last_writer_dependency(thread, ResolvedInstr::read_set)
+}
+
+/// Computes the address-dependency relation `<adep` (Definition 5) over the
+/// instructions of one thread.
+///
+/// `I1 <adep I2` iff `I1 <po I2`, `WS(I1) ∩ ARS(I2) ≠ ∅`, and for some
+/// register `r` in the intersection no instruction between `I1` and `I2`
+/// writes `r`. Address dependency implies data dependency.
+#[must_use]
+pub fn address_dependencies(thread: &[ResolvedInstr]) -> Relation {
+    last_writer_dependency(thread, ResolvedInstr::addr_read_set)
+}
+
+/// Computes the dependency from producers to the *data* operand of stores:
+/// `I1 <sdep I2` when `I2` is a store and `I1` is the last writer of one of
+/// the registers feeding the store data. Used by constraint SAStLd.
+#[must_use]
+pub fn store_data_dependencies(thread: &[ResolvedInstr]) -> Relation {
+    last_writer_dependency(thread, ResolvedInstr::data_read_set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolved::ResolvedKind;
+    use gam_isa::{Addr, AluOp, Instruction, Loc, Operand};
+
+    fn r(i: u32) -> Reg {
+        Reg::new(i)
+    }
+
+    fn resolve(instr: &Instruction, addr: Option<u64>) -> ResolvedInstr {
+        ResolvedInstr::from_instruction(instr, addr, None)
+    }
+
+    /// r1 = Ld [a]; r2 = a + r1; r3 = r2 - r1; r4 = Ld [r3]
+    fn artificial_dep_thread() -> Vec<ResolvedInstr> {
+        let a = Loc::new("a");
+        let i1 = Instruction::Load { dst: r(1), addr: Addr::loc(a) };
+        let i2 = Instruction::Alu {
+            dst: r(2),
+            op: AluOp::Add,
+            lhs: Operand::loc(a),
+            rhs: Operand::reg(r(1)),
+        };
+        let i3 = Instruction::Alu {
+            dst: r(3),
+            op: AluOp::Sub,
+            lhs: Operand::reg(r(2)),
+            rhs: Operand::reg(r(1)),
+        };
+        let i4 = Instruction::Load { dst: r(4), addr: Addr::reg(r(3)) };
+        vec![
+            resolve(&i1, Some(a.address())),
+            resolve(&i2, None),
+            resolve(&i3, None),
+            resolve(&i4, Some(a.address())),
+        ]
+    }
+
+    #[test]
+    fn direct_data_dependency() {
+        let thread = artificial_dep_thread();
+        let ddep = data_dependencies(&thread);
+        assert!(ddep.contains(0, 1), "load feeds the add");
+        assert!(ddep.contains(0, 2), "load feeds the sub via r1");
+        assert!(ddep.contains(1, 2), "add feeds the sub via r2");
+        assert!(ddep.contains(2, 3), "sub feeds the final load address");
+        assert!(!ddep.contains(0, 3), "no direct register from load to final load");
+        assert!(!ddep.contains(3, 0), "dependencies never point backwards");
+    }
+
+    #[test]
+    fn address_dependency_restricted_to_address_registers() {
+        let thread = artificial_dep_thread();
+        let adep = address_dependencies(&thread);
+        assert!(adep.contains(2, 3), "sub produces the address of the final load");
+        assert!(!adep.contains(0, 1), "the add is not a memory instruction");
+        assert!(!adep.contains(1, 3), "r2 is not the address register of the final load");
+    }
+
+    #[test]
+    fn overwrite_breaks_dependency() {
+        // r1 = Ld [a]; r1 = mov 7; r2 = Ld [r1]
+        let a = Loc::new("a");
+        let i1 = Instruction::Load { dst: r(1), addr: Addr::loc(a) };
+        let i2 = Instruction::Alu {
+            dst: r(1),
+            op: AluOp::Mov,
+            lhs: Operand::imm(7),
+            rhs: Operand::imm(0),
+        };
+        let i3 = Instruction::Load { dst: r(2), addr: Addr::reg(r(1)) };
+        let thread = vec![resolve(&i1, Some(a.address())), resolve(&i2, None), resolve(&i3, Some(7))];
+        let ddep = data_dependencies(&thread);
+        assert!(!ddep.contains(0, 2), "the mov overwrote r1, killing the dependency");
+        assert!(ddep.contains(1, 2), "the mov is the last writer of r1");
+    }
+
+    #[test]
+    fn store_data_dependency() {
+        // r1 = Ld [a]; St [b] r1
+        let a = Loc::new("a");
+        let b = Loc::new("b");
+        let i1 = Instruction::Load { dst: r(1), addr: Addr::loc(a) };
+        let i2 = Instruction::Store { addr: Addr::loc(b), data: Operand::reg(r(1)) };
+        let thread = vec![resolve(&i1, Some(a.address())), resolve(&i2, Some(b.address()))];
+        let sdep = store_data_dependencies(&thread);
+        assert!(sdep.contains(0, 1));
+        let adep = address_dependencies(&thread);
+        assert!(!adep.contains(0, 1), "the store address is a constant");
+        let ddep = data_dependencies(&thread);
+        assert!(ddep.contains(0, 1), "store data is part of the read set");
+    }
+
+    #[test]
+    fn no_dependency_between_independent_instructions() {
+        let a = Loc::new("a");
+        let i1 = Instruction::Load { dst: r(1), addr: Addr::loc(a) };
+        let i2 = Instruction::Load { dst: r(2), addr: Addr::loc(a) };
+        let thread = vec![resolve(&i1, Some(a.address())), resolve(&i2, Some(a.address()))];
+        let ddep = data_dependencies(&thread);
+        assert_eq!(ddep.edge_count(), 0);
+    }
+
+    #[test]
+    fn empty_thread_has_empty_relations() {
+        let thread: Vec<ResolvedInstr> = Vec::new();
+        assert_eq!(data_dependencies(&thread).edge_count(), 0);
+        assert_eq!(address_dependencies(&thread).edge_count(), 0);
+    }
+
+    #[test]
+    fn dependency_on_synthetic_parts() {
+        // A synthetic ALU that reads r5 and writes r6, consumed by a store's address.
+        let producer = ResolvedInstr::from_parts(
+            ResolvedKind::Alu,
+            vec![r(5)],
+            vec![r(6)],
+            vec![],
+            vec![],
+        );
+        let consumer = ResolvedInstr::from_parts(
+            ResolvedKind::Store { addr: 32 },
+            vec![r(6), r(7)],
+            vec![],
+            vec![r(6)],
+            vec![r(7)],
+        );
+        let thread = vec![producer, consumer];
+        assert!(data_dependencies(&thread).contains(0, 1));
+        assert!(address_dependencies(&thread).contains(0, 1));
+        assert!(!store_data_dependencies(&thread).contains(0, 1));
+    }
+}

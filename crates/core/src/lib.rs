@@ -1,0 +1,52 @@
+//! # gam-core
+//!
+//! The memory-model core of the GAM reproduction. This crate turns the
+//! constructions of Sections III and IV-A of *Constructing a Weak Memory
+//! Model* (ISCA 2018) into executable definitions:
+//!
+//! * [`relation`] — dense binary relations over instruction indices with
+//!   transitive closure and cycle detection, the workhorse of both the
+//!   preserved-program-order computation and the axiomatic checker;
+//! * [`resolved`] — *resolved instructions*: an instruction instance whose
+//!   memory address (and, for loads, read-from source) is known. Preserved
+//!   program order depends on concrete addresses ("same address" in
+//!   Definition 6), so it is defined over resolved instructions rather than
+//!   static ones;
+//! * [`dependency`] — the syntactic data and address dependencies `<ddep` and
+//!   `<adep` of Definitions 4 and 5;
+//! * [`ppo`] — preserved program order (Definition 6) for the whole model
+//!   family: the GAM constraints (SAMemSt, SAStLd, SALdLd, RegRAW, BrSt,
+//!   AddrSt, FenceOrd, transitivity), the ARM alternative `SALdLdARM`, and the
+//!   stronger SC / TSO baselines;
+//! * [`model`] — the model catalogue: [`model::ModelSpec`] bundles a base
+//!   ordering, a same-address load-load policy and a load-value rule, and the
+//!   constructors [`model::sc`], [`model::tso`], [`model::gam`],
+//!   [`model::gam0`], [`model::gam_arm`] produce the five models the
+//!   reproduction compares.
+//!
+//! # Example
+//!
+//! ```
+//! use gam_core::model;
+//!
+//! let gam = model::gam();
+//! assert!(gam.orders_same_address_loads());
+//! let gam0 = model::gam0();
+//! assert!(!gam0.orders_same_address_loads());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dependency;
+pub mod model;
+pub mod ppo;
+pub mod relation;
+pub mod resolved;
+
+pub use dependency::{address_dependencies, data_dependencies};
+pub use model::{BaseOrdering, ModelKind, ModelSpec, SameAddrLoadLoad};
+pub use ppo::preserved_program_order;
+pub use relation::Relation;
+pub use resolved::{ResolvedInstr, ResolvedKind, RfSource};

@@ -1,0 +1,251 @@
+//! The memory-model catalogue.
+//!
+//! A [`ModelSpec`] is a small bundle of choices that together determine the
+//! axiomatic semantics of a model in the GAM family (plus the SC and TSO
+//! baselines):
+//!
+//! * the [`BaseOrdering`]: which program-order pairs of memory instructions
+//!   are unconditionally preserved (all for SC, all but store→load for TSO,
+//!   only the constructed constraints of Figure 7 for the weak models);
+//! * the [`SameAddrLoadLoad`] policy: unordered (GAM0 / RMO-like), ordered
+//!   unless separated by a same-address store (GAM's constraint SALdLd), or
+//!   ordered unless the two loads read from the same store (the ARM
+//!   alternative `SALdLdARM`);
+//! * whether a load may read a program-order-older local store that is not
+//!   yet in the global memory order (store forwarding in the LoadValue axiom;
+//!   true for TSO and the GAM family, false for SC).
+
+use std::fmt;
+
+/// The unconditional part of preserved program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseOrdering {
+    /// Every pair of memory instructions stays ordered (SC, axiom InstOrderSC).
+    Sc,
+    /// Every pair except store→load stays ordered (TSO).
+    Tso,
+    /// Only the constraints constructed in Section III of the paper apply
+    /// (the GAM family).
+    Weak,
+}
+
+/// Policy for two program-order-adjacent loads of the same address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SameAddrLoadLoad {
+    /// No ordering (GAM0, RMO); per-location SC is violated by CoRR.
+    Unordered,
+    /// Ordered unless an intervening same-address store separates them
+    /// (GAM's constraint SALdLd).
+    Ordered,
+    /// Ordered unless both loads read from the same store (constraint
+    /// SALdLdARM, Section III-E2).
+    UnlessSameStore,
+}
+
+/// A label for the models the reproduction ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelKind {
+    /// Sequential consistency.
+    Sc,
+    /// Total store order.
+    Tso,
+    /// The paper's General Atomic Memory Model.
+    Gam,
+    /// GAM without the same-address load-load constraint.
+    Gam0,
+    /// GAM with the ARM-style same-address rule instead of SALdLd.
+    GamArm,
+}
+
+impl ModelKind {
+    /// All model kinds in a fixed display order.
+    pub const ALL: [ModelKind; 5] =
+        [ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0, ModelKind::GamArm];
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModelKind::Sc => "SC",
+            ModelKind::Tso => "TSO",
+            ModelKind::Gam => "GAM",
+            ModelKind::Gam0 => "GAM0",
+            ModelKind::GamArm => "GAM-ARM",
+        })
+    }
+}
+
+/// A complete memory-model specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    kind: ModelKind,
+    base: BaseOrdering,
+    same_addr_load_load: SameAddrLoadLoad,
+    load_value_local_bypass: bool,
+}
+
+impl ModelSpec {
+    /// Creates a model specification from its parts.
+    #[must_use]
+    pub fn new(
+        kind: ModelKind,
+        base: BaseOrdering,
+        same_addr_load_load: SameAddrLoadLoad,
+        load_value_local_bypass: bool,
+    ) -> Self {
+        ModelSpec { kind, base, same_addr_load_load, load_value_local_bypass }
+    }
+
+    /// The model's label.
+    #[must_use]
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The model's display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.kind.to_string()
+    }
+
+    /// The unconditional ordering baseline.
+    #[must_use]
+    pub fn base(&self) -> BaseOrdering {
+        self.base
+    }
+
+    /// The same-address load-load policy.
+    #[must_use]
+    pub fn same_addr_load_load(&self) -> SameAddrLoadLoad {
+        self.same_addr_load_load
+    }
+
+    /// Whether the LoadValue axiom lets a load read program-order-older local
+    /// stores that are not yet in the global memory order (store forwarding).
+    ///
+    /// This is the `∨ St [a] v' <po Ld [a]` disjunct of axiom LoadValueGAM
+    /// (Figure 15); SC's LoadValueSC axiom (Figure 3) does not have it.
+    #[must_use]
+    pub fn load_value_local_bypass(&self) -> bool {
+        self.load_value_local_bypass
+    }
+
+    /// Returns true if the model orders same-address loads in some way
+    /// (i.e. it has per-location SC).
+    #[must_use]
+    pub fn orders_same_address_loads(&self) -> bool {
+        !matches!(self.same_addr_load_load, SameAddrLoadLoad::Unordered)
+            || !matches!(self.base, BaseOrdering::Weak)
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+/// Sequential consistency (Figure 3 of the paper).
+#[must_use]
+pub fn sc() -> ModelSpec {
+    ModelSpec::new(ModelKind::Sc, BaseOrdering::Sc, SameAddrLoadLoad::Ordered, false)
+}
+
+/// Total store order: store→load reordering with store forwarding.
+#[must_use]
+pub fn tso() -> ModelSpec {
+    ModelSpec::new(ModelKind::Tso, BaseOrdering::Tso, SameAddrLoadLoad::Ordered, true)
+}
+
+/// The General Atomic Memory Model (Section III-E1, Figure 15).
+#[must_use]
+pub fn gam() -> ModelSpec {
+    ModelSpec::new(ModelKind::Gam, BaseOrdering::Weak, SameAddrLoadLoad::Ordered, true)
+}
+
+/// GAM0: the base model of Section III-D, without constraint SALdLd.
+#[must_use]
+pub fn gam0() -> ModelSpec {
+    ModelSpec::new(ModelKind::Gam0, BaseOrdering::Weak, SameAddrLoadLoad::Unordered, true)
+}
+
+/// GAM with the ARM-style `SALdLdARM` rule instead of SALdLd (Section III-E2).
+#[must_use]
+pub fn gam_arm() -> ModelSpec {
+    ModelSpec::new(ModelKind::GamArm, BaseOrdering::Weak, SameAddrLoadLoad::UnlessSameStore, true)
+}
+
+/// Builds a model specification from its label.
+#[must_use]
+pub fn by_kind(kind: ModelKind) -> ModelSpec {
+    match kind {
+        ModelKind::Sc => sc(),
+        ModelKind::Tso => tso(),
+        ModelKind::Gam => gam(),
+        ModelKind::Gam0 => gam0(),
+        ModelKind::GamArm => gam_arm(),
+    }
+}
+
+/// All models of the catalogue in display order.
+#[must_use]
+pub fn all() -> Vec<ModelSpec> {
+    ModelKind::ALL.iter().map(|&k| by_kind(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_five_models() {
+        let models = all();
+        assert_eq!(models.len(), 5);
+        let kinds: Vec<ModelKind> = models.iter().map(ModelSpec::kind).collect();
+        assert_eq!(kinds, ModelKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(sc().name(), "SC");
+        assert_eq!(tso().name(), "TSO");
+        assert_eq!(gam().name(), "GAM");
+        assert_eq!(gam0().name(), "GAM0");
+        assert_eq!(gam_arm().name(), "GAM-ARM");
+        assert_eq!(gam().to_string(), "GAM");
+    }
+
+    #[test]
+    fn by_kind_round_trips() {
+        for kind in ModelKind::ALL {
+            assert_eq!(by_kind(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn sc_has_no_local_bypass() {
+        assert!(!sc().load_value_local_bypass());
+        assert!(tso().load_value_local_bypass());
+        assert!(gam().load_value_local_bypass());
+    }
+
+    #[test]
+    fn same_address_policies() {
+        assert_eq!(gam().same_addr_load_load(), SameAddrLoadLoad::Ordered);
+        assert_eq!(gam0().same_addr_load_load(), SameAddrLoadLoad::Unordered);
+        assert_eq!(gam_arm().same_addr_load_load(), SameAddrLoadLoad::UnlessSameStore);
+        assert!(gam().orders_same_address_loads());
+        assert!(!gam0().orders_same_address_loads());
+        assert!(gam_arm().orders_same_address_loads());
+        assert!(sc().orders_same_address_loads());
+    }
+
+    #[test]
+    fn bases() {
+        assert_eq!(sc().base(), BaseOrdering::Sc);
+        assert_eq!(tso().base(), BaseOrdering::Tso);
+        assert_eq!(gam().base(), BaseOrdering::Weak);
+        assert_eq!(gam0().base(), BaseOrdering::Weak);
+        assert_eq!(gam_arm().base(), BaseOrdering::Weak);
+    }
+}

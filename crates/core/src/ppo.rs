@@ -1,0 +1,479 @@
+//! Preserved program order (Definition 6 of the paper).
+//!
+//! `preserved_program_order` computes, for one thread of a resolved
+//! execution, the relation `<ppo` relating the instructions whose execution
+//! order must match the commit (program) order under a given model. For the
+//! weak models this is the union of the constructed constraints of Figures 7
+//! and 12 — SAMemSt, SAStLd, SALdLd (or SALdLdARM), RegRAW, BrSt, AddrSt and
+//! FenceOrd — closed under transitivity; for the SC and TSO baselines the
+//! corresponding unconditional orderings are added first.
+
+use crate::dependency::{address_dependencies, data_dependencies};
+use crate::model::{BaseOrdering, ModelSpec, SameAddrLoadLoad};
+use crate::relation::Relation;
+use crate::resolved::ResolvedInstr;
+
+/// Computes `<ppo` for one thread under the given model.
+///
+/// The returned relation ranges over *all* instructions of the thread
+/// (including ALU instructions, branches and fences); the transitive closure
+/// is already applied, so chains through non-memory instructions (e.g.
+/// load → ALU → ALU → load address dependencies, or load → fence → store)
+/// appear as direct pairs. Callers interested only in memory instructions
+/// can restrict the relation afterwards.
+///
+/// # Example
+///
+/// ```
+/// use gam_core::{model, preserved_program_order, ResolvedInstr};
+/// use gam_isa::{Addr, Instruction, Loc, Reg};
+///
+/// // The consumer of MP+addr: r1 = Ld [b]; r2 = Ld [r1]
+/// let b = Loc::new("b");
+/// let a = Loc::new("a");
+/// let i1 = Instruction::Load { dst: Reg::new(1), addr: Addr::loc(b) };
+/// let i2 = Instruction::Load { dst: Reg::new(2), addr: Addr::reg(Reg::new(1)) };
+/// let thread = vec![
+///     ResolvedInstr::from_instruction(&i1, Some(b.address()), None),
+///     ResolvedInstr::from_instruction(&i2, Some(a.address()), None),
+/// ];
+/// let ppo = preserved_program_order(&thread, &model::gam0());
+/// assert!(ppo.contains(0, 1), "the address dependency is preserved even by GAM0");
+/// ```
+#[must_use]
+pub fn preserved_program_order(thread: &[ResolvedInstr], model: &ModelSpec) -> Relation {
+    let n = thread.len();
+    let mut ppo = Relation::new(n);
+    let ddep = data_dependencies(thread);
+    let adep = address_dependencies(thread);
+
+    for j in 0..n {
+        for i in 0..j {
+            let older = &thread[i];
+            let younger = &thread[j];
+
+            if base_orders(model.base(), older, younger) {
+                ppo.insert(i, j);
+                continue;
+            }
+
+            // Constraint SAMemSt: any memory access before a same-address store.
+            if younger.is_store() && older.is_memory() && older.same_address(younger) {
+                ppo.insert(i, j);
+                continue;
+            }
+
+            // Constraint RegRAW: direct data dependency.
+            if ddep.contains(i, j) {
+                ppo.insert(i, j);
+                continue;
+            }
+
+            // Constraint BrSt: a store may not be issued before an older branch resolves.
+            if older.is_branch() && younger.is_store() {
+                ppo.insert(i, j);
+                continue;
+            }
+
+            // Constraint AddrSt: a store may not be issued before the address of
+            // any older memory instruction is known.
+            if younger.is_store() && addr_st(thread, &adep, i, j) {
+                ppo.insert(i, j);
+                continue;
+            }
+
+            // Constraint SAStLd: a load that may forward from the immediately
+            // preceding same-address store is ordered after the producers of
+            // that store's address and data.
+            if younger.is_load() && sa_st_ld(thread, &ddep, i, j) {
+                ppo.insert(i, j);
+                continue;
+            }
+
+            // Constraint SALdLd / SALdLdARM.
+            if older.is_load()
+                && younger.is_load()
+                && older.same_address(younger)
+                && same_addr_loads_ordered(model.same_addr_load_load(), thread, i, j)
+            {
+                ppo.insert(i, j);
+                continue;
+            }
+
+            // Constraint FenceOrd.
+            if fence_orders(older, younger) {
+                ppo.insert(i, j);
+            }
+        }
+    }
+
+    ppo.transitive_closure()
+}
+
+/// The unconditional baseline orderings of SC and TSO.
+fn base_orders(base: BaseOrdering, older: &ResolvedInstr, younger: &ResolvedInstr) -> bool {
+    if !older.is_memory() || !younger.is_memory() {
+        return false;
+    }
+    match base {
+        BaseOrdering::Sc => true,
+        BaseOrdering::Tso => !(older.is_store() && younger.is_load()),
+        BaseOrdering::Weak => false,
+    }
+}
+
+/// Constraint AddrSt: there is a memory instruction `m`, older than the store
+/// `j`, whose address is produced by instruction `i`.
+fn addr_st(thread: &[ResolvedInstr], adep: &Relation, i: usize, j: usize) -> bool {
+    ((i + 1)..j).any(|m| thread[m].is_memory() && adep.contains(i, m))
+}
+
+/// Constraint SAStLd: `j` is a load; let `s` be the youngest store older than
+/// `j` for the same address (with no other same-address store between `s` and
+/// `j`); the constraint orders the producers of `s`'s address and data before
+/// `j`, i.e. requires `i <ddep s`.
+fn sa_st_ld(thread: &[ResolvedInstr], ddep: &Relation, i: usize, j: usize) -> bool {
+    let Some(s) = ((i + 1)..j)
+        .rev()
+        .find(|&s| thread[s].is_store() && thread[s].same_address(&thread[j]))
+    else {
+        return false;
+    };
+    ddep.contains(i, s)
+}
+
+/// The same-address load-load policies of GAM (SALdLd) and ARM (SALdLdARM).
+fn same_addr_loads_ordered(
+    policy: SameAddrLoadLoad,
+    thread: &[ResolvedInstr],
+    i: usize,
+    j: usize,
+) -> bool {
+    match policy {
+        SameAddrLoadLoad::Unordered => false,
+        SameAddrLoadLoad::Ordered => {
+            // Ordered unless an intervening same-address store separates them.
+            !((i + 1)..j)
+                .any(|k| thread[k].is_store() && thread[k].same_address(&thread[j]))
+        }
+        SameAddrLoadLoad::UnlessSameStore => {
+            // Ordered unless both loads read from the same store.
+            match (thread[i].rf_source(), thread[j].rf_source()) {
+                (Some(a), Some(b)) => a != b,
+                // Unknown read-from information: conservatively ordered.
+                _ => true,
+            }
+        }
+    }
+}
+
+/// Constraint FenceOrd: `FenceXY` is ordered after older type-X memory
+/// instructions and before younger type-Y memory instructions.
+fn fence_orders(older: &ResolvedInstr, younger: &ResolvedInstr) -> bool {
+    if let (Some(kind), Some(ty)) = (older.fence_kind(), younger.mem_access_type()) {
+        if kind.orders_younger(ty) {
+            return true;
+        }
+    }
+    if let (Some(ty), Some(kind)) = (older.mem_access_type(), younger.fence_kind()) {
+        if kind.orders_older(ty) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Restricts a ppo relation to pairs of memory instructions, which is the
+/// form used by axiom InstOrder (memory order only contains loads and stores).
+#[must_use]
+pub fn memory_ppo(thread: &[ResolvedInstr], ppo: &Relation) -> Relation {
+    ppo.restrict(|i| thread[i].is_memory())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::resolved::RfSource;
+    use gam_isa::{Addr, AluOp, FenceKind, Instruction, Loc, Operand, Reg};
+
+    fn r(i: u32) -> Reg {
+        Reg::new(i)
+    }
+
+    fn load(dst: u32, loc: &str) -> ResolvedInstr {
+        let l = Loc::new(loc);
+        let i = Instruction::Load { dst: r(dst), addr: Addr::loc(l) };
+        ResolvedInstr::from_instruction(&i, Some(l.address()), None)
+    }
+
+    fn load_rf(dst: u32, loc: &str, rf: RfSource) -> ResolvedInstr {
+        let l = Loc::new(loc);
+        let i = Instruction::Load { dst: r(dst), addr: Addr::loc(l) };
+        ResolvedInstr::from_instruction(&i, Some(l.address()), Some(rf))
+    }
+
+    fn load_reg(dst: u32, addr_reg: u32, addr: u64) -> ResolvedInstr {
+        let i = Instruction::Load { dst: r(dst), addr: Addr::reg(r(addr_reg)) };
+        ResolvedInstr::from_instruction(&i, Some(addr), None)
+    }
+
+    fn store(loc: &str, data: Operand) -> ResolvedInstr {
+        let l = Loc::new(loc);
+        let i = Instruction::Store { addr: Addr::loc(l), data };
+        ResolvedInstr::from_instruction(&i, Some(l.address()), None)
+    }
+
+    fn store_reg_addr(addr_reg: u32, addr: u64, data: Operand) -> ResolvedInstr {
+        let i = Instruction::Store { addr: Addr::reg(r(addr_reg)), data };
+        ResolvedInstr::from_instruction(&i, Some(addr), None)
+    }
+
+    fn fence(kind: FenceKind) -> ResolvedInstr {
+        ResolvedInstr::from_instruction(&Instruction::Fence { kind }, None, None)
+    }
+
+    fn branch() -> ResolvedInstr {
+        let i = Instruction::Branch {
+            cond: gam_isa::BranchCond::Eq,
+            lhs: Operand::reg(r(1)),
+            rhs: Operand::imm(0),
+            target: gam_isa::Label::new("l"),
+        };
+        ResolvedInstr::from_instruction(&i, None, None)
+    }
+
+    fn alu(dst: u32, srcs: (u32, u32)) -> ResolvedInstr {
+        let i = Instruction::Alu {
+            dst: r(dst),
+            op: AluOp::Add,
+            lhs: Operand::reg(r(srcs.0)),
+            rhs: Operand::reg(r(srcs.1)),
+        };
+        ResolvedInstr::from_instruction(&i, None, None)
+    }
+
+    #[test]
+    fn sc_orders_all_memory_pairs() {
+        let thread = vec![store("a", Operand::imm(1)), load(1, "b"), store("c", Operand::imm(2))];
+        let ppo = preserved_program_order(&thread, &model::sc());
+        assert!(ppo.contains(0, 1));
+        assert!(ppo.contains(1, 2));
+        assert!(ppo.contains(0, 2));
+    }
+
+    #[test]
+    fn tso_relaxes_store_to_load_only() {
+        let thread = vec![store("a", Operand::imm(1)), load(1, "b")];
+        let ppo = preserved_program_order(&thread, &model::tso());
+        assert!(!ppo.contains(0, 1), "TSO relaxes store->load");
+        let thread = vec![load(1, "b"), store("a", Operand::imm(1))];
+        let ppo = preserved_program_order(&thread, &model::tso());
+        assert!(ppo.contains(0, 1), "TSO keeps load->store");
+        let thread = vec![store("a", Operand::imm(1)), store("b", Operand::imm(1))];
+        let ppo = preserved_program_order(&thread, &model::tso());
+        assert!(ppo.contains(0, 1), "TSO keeps store->store");
+    }
+
+    #[test]
+    fn gam_relaxes_independent_pairs() {
+        // Independent accesses to different addresses: no ordering under GAM.
+        let thread = vec![store("a", Operand::imm(1)), load(1, "b")];
+        assert!(!preserved_program_order(&thread, &model::gam()).contains(0, 1));
+        let thread = vec![load(1, "b"), store("a", Operand::imm(1))];
+        assert!(!preserved_program_order(&thread, &model::gam()).contains(0, 1));
+        let thread = vec![store("a", Operand::imm(1)), store("b", Operand::imm(1))];
+        assert!(!preserved_program_order(&thread, &model::gam()).contains(0, 1));
+        let thread = vec![load(1, "a"), load(2, "b")];
+        assert!(!preserved_program_order(&thread, &model::gam()).contains(0, 1));
+    }
+
+    #[test]
+    fn sa_mem_st_orders_same_address_stores() {
+        let thread = vec![store("a", Operand::imm(1)), store("a", Operand::imm(2))];
+        assert!(preserved_program_order(&thread, &model::gam0()).contains(0, 1));
+        let thread = vec![load(1, "a"), store("a", Operand::imm(2))];
+        assert!(preserved_program_order(&thread, &model::gam0()).contains(0, 1));
+    }
+
+    #[test]
+    fn reg_raw_orders_address_dependent_loads() {
+        // r1 = Ld [b]; r2 = Ld [r1]  (MP+addr consumer)
+        let b = Loc::new("b");
+        let i1 = Instruction::Load { dst: r(1), addr: Addr::loc(b) };
+        let thread = vec![
+            ResolvedInstr::from_instruction(&i1, Some(b.address()), None),
+            load_reg(2, 1, Loc::new("a").address()),
+        ];
+        for m in [model::gam(), model::gam0(), model::gam_arm()] {
+            assert!(preserved_program_order(&thread, &m).contains(0, 1), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn artificial_dependency_chain_is_transitively_ordered() {
+        // r1 = Ld [b]; r2 = add a, r1; r3 = sub r2, r1; r4 = Ld [r3]
+        let thread = vec![
+            load(1, "b"),
+            alu(2, (1, 1)),
+            alu(3, (2, 1)),
+            load_reg(4, 3, Loc::new("a").address()),
+        ];
+        let ppo = preserved_program_order(&thread, &model::gam0());
+        assert!(ppo.contains(0, 3), "transitivity through the ALU chain");
+    }
+
+    #[test]
+    fn br_st_orders_stores_after_branches() {
+        let thread = vec![branch(), store("a", Operand::imm(1))];
+        assert!(preserved_program_order(&thread, &model::gam0()).contains(0, 1));
+        // ... but not loads.
+        let thread = vec![branch(), load(1, "a")];
+        assert!(!preserved_program_order(&thread, &model::gam0()).contains(0, 1));
+    }
+
+    #[test]
+    fn addr_st_orders_store_after_older_address_producer() {
+        // r1 = Ld [a]; r2 = Ld [r1]; St [b] 1
+        // The store must wait for the address of the older load (produced by I0).
+        let thread = vec![
+            load(1, "a"),
+            load_reg(2, 1, Loc::new("c").address()),
+            store("b", Operand::imm(1)),
+        ];
+        let ppo = preserved_program_order(&thread, &model::gam0());
+        assert!(ppo.contains(0, 2), "AddrSt: I0 produces the address of I1 which is older than the store");
+    }
+
+    #[test]
+    fn sa_st_ld_orders_forwarding_producers() {
+        // Figure 8: I1: St [a] 1 ; S: St [a] r1 ; I2: r2 = Ld [a]
+        // r1 is produced by an older ALU; the load is ordered after that ALU.
+        let thread = vec![
+            alu(1, (9, 9)),
+            store("a", Operand::imm(1)),
+            store("a", Operand::reg(r(1))),
+            load(2, "a"),
+        ];
+        let ppo = preserved_program_order(&thread, &model::gam0());
+        assert!(ppo.contains(0, 3), "SAStLd orders the data producer of S before the load");
+        assert!(
+            !ppo.contains(1, 3),
+            "no constraint between the older store I1 and the forwarded load"
+        );
+    }
+
+    #[test]
+    fn sa_ld_ld_gam_vs_gam0() {
+        let thread = vec![load(1, "a"), load(2, "a")];
+        assert!(preserved_program_order(&thread, &model::gam()).contains(0, 1));
+        assert!(!preserved_program_order(&thread, &model::gam0()).contains(0, 1));
+    }
+
+    #[test]
+    fn sa_ld_ld_not_applied_across_intervening_store() {
+        // Figure 14b: Ld [b]; St [b] 2; Ld [b] — the two loads are NOT ordered by SALdLd.
+        let thread =
+            vec![load(1, "b"), store("b", Operand::imm(2)), load(2, "b")];
+        let ppo = preserved_program_order(&thread, &model::gam());
+        assert!(!ppo.contains(0, 2), "intervening same-address store removes the SALdLd edge");
+        // The store itself is still ordered after the first load and the
+        // second load reads from it (SAMemSt), but load-load stays relaxed.
+        assert!(ppo.contains(0, 1));
+    }
+
+    #[test]
+    fn sa_ld_ld_arm_depends_on_read_from() {
+        let same = RfSource::Init(Loc::new("a").address());
+        let thread = vec![load_rf(1, "a", same), load_rf(2, "a", same)];
+        let ppo = preserved_program_order(&thread, &model::gam_arm());
+        assert!(!ppo.contains(0, 1), "same store read: ARM leaves the loads unordered");
+
+        let thread = vec![load_rf(1, "a", RfSource::Store(7)), load_rf(2, "a", same)];
+        let ppo = preserved_program_order(&thread, &model::gam_arm());
+        assert!(ppo.contains(0, 1), "different stores: ARM orders the loads");
+
+        // Unknown read-from is conservatively ordered.
+        let thread = vec![load(1, "a"), load(2, "a")];
+        assert!(preserved_program_order(&thread, &model::gam_arm()).contains(0, 1));
+    }
+
+    #[test]
+    fn fences_order_their_types_and_compose_transitively() {
+        // Ld a; FenceLS; St b  =>  load before store via the fence.
+        let thread = vec![load(1, "a"), fence(FenceKind::LS), store("b", Operand::imm(1))];
+        let ppo = preserved_program_order(&thread, &model::gam());
+        assert!(ppo.contains(0, 1));
+        assert!(ppo.contains(1, 2));
+        assert!(ppo.contains(0, 2));
+
+        // FenceLS does not order store -> load.
+        let thread = vec![store("a", Operand::imm(1)), fence(FenceKind::LS), load(1, "b")];
+        let ppo = preserved_program_order(&thread, &model::gam());
+        assert!(!ppo.contains(0, 2));
+
+        // FenceSS orders store -> store.
+        let thread = vec![store("a", Operand::imm(1)), fence(FenceKind::SS), store("b", Operand::imm(1))];
+        assert!(preserved_program_order(&thread, &model::gam()).contains(0, 2));
+
+        // FenceSL orders store -> load.
+        let thread = vec![store("a", Operand::imm(1)), fence(FenceKind::SL), load(1, "b")];
+        assert!(preserved_program_order(&thread, &model::gam()).contains(0, 2));
+
+        // FenceLL orders load -> load.
+        let thread = vec![load(1, "a"), fence(FenceKind::LL), load(2, "b")];
+        assert!(preserved_program_order(&thread, &model::gam()).contains(0, 2));
+    }
+
+    #[test]
+    fn two_fences_are_not_ordered_with_each_other() {
+        let thread = vec![fence(FenceKind::LL), fence(FenceKind::SS)];
+        let ppo = preserved_program_order(&thread, &model::gam());
+        assert!(!ppo.contains(0, 1));
+        assert!(!ppo.contains(1, 0));
+    }
+
+    #[test]
+    fn memory_ppo_drops_non_memory_nodes() {
+        let thread = vec![load(1, "a"), fence(FenceKind::LL), load(2, "b")];
+        let ppo = preserved_program_order(&thread, &model::gam());
+        let mem = memory_ppo(&thread, &ppo);
+        assert!(mem.contains(0, 2));
+        assert!(!mem.contains(0, 1));
+        assert!(!mem.contains(1, 2));
+    }
+
+    #[test]
+    fn store_data_dependency_orders_load_store() {
+        // r1 = Ld [a]; St [b] r1  (the WRC producer): RegRAW orders them.
+        let thread = vec![load(1, "a"), store("b", Operand::reg(r(1)))];
+        for m in [model::gam(), model::gam0(), model::gam_arm()] {
+            assert!(preserved_program_order(&thread, &m).contains(0, 1), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn store_address_dependency_counts_as_reg_raw() {
+        // r1 = Ld [a]; St [r1] 7
+        let thread = vec![load(1, "a"), store_reg_addr(1, 0x40, Operand::imm(7))];
+        assert!(preserved_program_order(&thread, &model::gam0()).contains(0, 1));
+    }
+
+    #[test]
+    fn ppo_is_contained_in_program_order() {
+        // ppo never relates younger -> older.
+        let thread = vec![
+            store("a", Operand::imm(1)),
+            fence(FenceKind::SS),
+            store("b", Operand::imm(1)),
+            load(1, "b"),
+            load(2, "a"),
+        ];
+        for m in model::all() {
+            let ppo = preserved_program_order(&thread, &m);
+            for (i, j) in ppo.iter_pairs() {
+                assert!(i < j, "{}: ppo edge {i}->{j} violates program order", m.name());
+            }
+        }
+    }
+}

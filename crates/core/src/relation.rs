@@ -1,0 +1,307 @@
+//! Dense binary relations over a small index set.
+//!
+//! Litmus-test threads and executions contain at most a few dozen
+//! instructions, so relations are represented as dense boolean matrices. The
+//! operations provided are exactly the ones the memory-model definitions
+//! need: union, composition-free transitive closure, acyclicity and
+//! topological iteration.
+
+use std::fmt;
+
+/// A binary relation over the index set `0..len`.
+///
+/// # Example
+///
+/// ```
+/// use gam_core::Relation;
+/// let mut r = Relation::new(3);
+/// r.insert(0, 1);
+/// r.insert(1, 2);
+/// let closed = r.transitive_closure();
+/// assert!(closed.contains(0, 2));
+/// assert!(closed.is_acyclic());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    len: usize,
+    bits: Vec<bool>,
+}
+
+impl Relation {
+    /// Creates the empty relation over `0..len`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Relation { len, bits: vec![false; len * len] }
+    }
+
+    /// Number of elements of the underlying index set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the index set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds the pair `(from, to)` to the relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn insert(&mut self, from: usize, to: usize) {
+        assert!(from < self.len && to < self.len, "relation index out of range");
+        self.bits[from * self.len + to] = true;
+    }
+
+    /// Removes the pair `(from, to)` from the relation.
+    pub fn remove(&mut self, from: usize, to: usize) {
+        assert!(from < self.len && to < self.len, "relation index out of range");
+        self.bits[from * self.len + to] = false;
+    }
+
+    /// Returns true if the pair `(from, to)` is in the relation.
+    #[must_use]
+    pub fn contains(&self, from: usize, to: usize) -> bool {
+        from < self.len && to < self.len && self.bits[from * self.len + to]
+    }
+
+    /// Number of pairs in the relation.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Iterates over all pairs in the relation.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.len)
+            .flat_map(move |i| (0..self.len).map(move |j| (i, j)))
+            .filter(move |&(i, j)| self.contains(i, j))
+    }
+
+    /// Returns the union of two relations over the same index set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index sets differ in size.
+    #[must_use]
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.len, other.len, "relation size mismatch");
+        let bits = self.bits.iter().zip(&other.bits).map(|(a, b)| *a || *b).collect();
+        Relation { len: self.len, bits }
+    }
+
+    /// In-place union with another relation over the same index set.
+    pub fn union_with(&mut self, other: &Relation) {
+        assert_eq!(self.len, other.len, "relation size mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a = *a || *b;
+        }
+    }
+
+    /// Returns the transitive closure of the relation (Floyd–Warshall).
+    #[must_use]
+    pub fn transitive_closure(&self) -> Relation {
+        let mut closed = self.clone();
+        let n = self.len;
+        for k in 0..n {
+            for i in 0..n {
+                if closed.bits[i * n + k] {
+                    for j in 0..n {
+                        if closed.bits[k * n + j] {
+                            closed.bits[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        closed
+    }
+
+    /// Returns true if the relation contains no cycle (and no self-loop).
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        let closed = self.transitive_closure();
+        (0..self.len).all(|i| !closed.contains(i, i))
+    }
+
+    /// Returns a topological ordering of the index set consistent with the
+    /// relation, or `None` if the relation is cyclic.
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.len;
+        let mut indegree = vec![0usize; n];
+        for (_, to) in self.iter_pairs() {
+            indegree[to] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(node) = ready.pop() {
+            order.push(node);
+            for next in 0..n {
+                if self.contains(node, next) {
+                    indegree[next] -= 1;
+                    if indegree[next] == 0 {
+                        ready.push(next);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Restricts the relation to the pairs where both ends satisfy `keep`,
+    /// returning a relation over the same index set.
+    #[must_use]
+    pub fn restrict(&self, keep: impl Fn(usize) -> bool) -> Relation {
+        let mut out = Relation::new(self.len);
+        for (from, to) in self.iter_pairs() {
+            if keep(from) && keep(to) {
+                out.insert(from, to);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({} elems, {{", self.len)?;
+        let mut first = true;
+        for (i, j) in self.iter_pairs() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}->{j}")?;
+            first = false;
+        }
+        write!(f, "}})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut r = Relation::new(4);
+        assert!(!r.contains(1, 2));
+        r.insert(1, 2);
+        assert!(r.contains(1, 2));
+        assert_eq!(r.edge_count(), 1);
+        r.remove(1, 2);
+        assert!(!r.contains(1, 2));
+        assert!(r.is_empty() == (r.len() == 0));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let r = Relation::new(2);
+        assert!(!r.contains(5, 0));
+        assert!(!r.contains(0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut r = Relation::new(2);
+        r.insert(2, 0);
+    }
+
+    #[test]
+    fn transitive_closure_chains() {
+        let mut r = Relation::new(4);
+        r.insert(0, 1);
+        r.insert(1, 2);
+        r.insert(2, 3);
+        let c = r.transitive_closure();
+        assert!(c.contains(0, 3));
+        assert!(c.contains(1, 3));
+        assert!(!c.contains(3, 0));
+        // closure of an acyclic relation stays acyclic
+        assert!(c.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut r = Relation::new(3);
+        r.insert(0, 1);
+        r.insert(1, 2);
+        assert!(r.is_acyclic());
+        r.insert(2, 0);
+        assert!(!r.is_acyclic());
+        assert!(r.topological_order().is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut r = Relation::new(2);
+        r.insert(1, 1);
+        assert!(!r.is_acyclic());
+    }
+
+    #[test]
+    fn union_merges_edges() {
+        let mut a = Relation::new(3);
+        a.insert(0, 1);
+        let mut b = Relation::new(3);
+        b.insert(1, 2);
+        let u = a.union(&b);
+        assert!(u.contains(0, 1) && u.contains(1, 2));
+        let mut c = a.clone();
+        c.union_with(&b);
+        assert_eq!(c, u);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut r = Relation::new(5);
+        r.insert(0, 2);
+        r.insert(1, 2);
+        r.insert(2, 3);
+        r.insert(3, 4);
+        let order = r.topological_order().expect("acyclic");
+        let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+        for (i, j) in r.iter_pairs() {
+            assert!(pos(i) < pos(j), "{i} must precede {j}");
+        }
+    }
+
+    #[test]
+    fn restrict_keeps_only_selected_nodes() {
+        let mut r = Relation::new(4);
+        r.insert(0, 1);
+        r.insert(1, 2);
+        r.insert(2, 3);
+        let restricted = r.restrict(|i| i != 1);
+        assert!(!restricted.contains(0, 1));
+        assert!(!restricted.contains(1, 2));
+        assert!(restricted.contains(2, 3));
+    }
+
+    #[test]
+    fn iter_pairs_matches_contains() {
+        let mut r = Relation::new(3);
+        r.insert(2, 0);
+        r.insert(0, 1);
+        let pairs: Vec<_> = r.iter_pairs().collect();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(2, 0)));
+        assert!(pairs.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn debug_output_lists_edges() {
+        let mut r = Relation::new(2);
+        r.insert(0, 1);
+        let text = format!("{r:?}");
+        assert!(text.contains("0->1"));
+    }
+}

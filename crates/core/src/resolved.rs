@@ -1,0 +1,313 @@
+//! Resolved instructions: instruction instances with concrete addresses and
+//! read-from sources.
+//!
+//! Preserved program order (Definition 6 of the paper) is not a purely
+//! syntactic notion: three of its cases ask whether two memory instructions
+//! access the *same address*, and the ARM variant `SALdLdARM` asks whether two
+//! loads read from the *same store*. Both are properties of a particular
+//! execution. A [`ResolvedInstr`] therefore records, next to the syntactic
+//! register sets, the concrete address of a memory access and the read-from
+//! source of a load.
+
+use gam_isa::{FenceKind, Instruction, MemAccessType, Reg};
+
+/// Identifies the store a load reads from, at the granularity needed by the
+/// ARM same-address rule: two loads "read from the same store" iff their
+/// [`RfSource`]s are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RfSource {
+    /// The load reads the initial value of the given address.
+    Init(u64),
+    /// The load reads from the store with the given global identifier
+    /// (assigned by the execution builder; equal identifiers mean the same
+    /// dynamic store instance).
+    Store(u32),
+}
+
+/// The execution-dependent part of a resolved instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedKind {
+    /// A load from a concrete address, together with its read-from source if
+    /// already known (the axiomatic enumerator always knows it; callers that
+    /// do not may use `rf: None`).
+    Load {
+        /// Concrete address of the access.
+        addr: u64,
+        /// Which store the load reads from, when known.
+        rf: Option<RfSource>,
+    },
+    /// A store to a concrete address.
+    Store {
+        /// Concrete address of the access.
+        addr: u64,
+    },
+    /// A fence of the given kind.
+    Fence(FenceKind),
+    /// A conditional branch.
+    Branch,
+    /// A register-to-register computation.
+    Alu,
+}
+
+/// An instruction instance whose execution-dependent attributes are resolved.
+///
+/// The syntactic register sets (`RS`, `WS`, `ARS` and the store-data read set)
+/// are copied out of the [`Instruction`] so that downstream crates can build
+/// resolved instructions without holding on to the original program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedInstr {
+    kind: ResolvedKind,
+    read_set: Vec<Reg>,
+    write_set: Vec<Reg>,
+    addr_read_set: Vec<Reg>,
+    data_read_set: Vec<Reg>,
+}
+
+impl ResolvedInstr {
+    /// Resolves a static instruction given its concrete address (for memory
+    /// instructions) and read-from source (for loads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is `None` for a memory instruction.
+    #[must_use]
+    pub fn from_instruction(
+        instr: &Instruction,
+        addr: Option<u64>,
+        rf: Option<RfSource>,
+    ) -> Self {
+        let kind = match instr {
+            Instruction::Load { .. } => {
+                ResolvedKind::Load { addr: addr.expect("load must have a resolved address"), rf }
+            }
+            Instruction::Store { .. } => {
+                ResolvedKind::Store { addr: addr.expect("store must have a resolved address") }
+            }
+            Instruction::Fence { kind } => ResolvedKind::Fence(*kind),
+            Instruction::Branch { .. } => ResolvedKind::Branch,
+            Instruction::Alu { .. } => ResolvedKind::Alu,
+        };
+        ResolvedInstr {
+            kind,
+            read_set: instr.read_set(),
+            write_set: instr.write_set(),
+            addr_read_set: instr.addr_read_set(),
+            data_read_set: instr.data_read_set(),
+        }
+    }
+
+    /// Builds a resolved instruction directly from its parts (useful in tests
+    /// and for synthetic executions).
+    #[must_use]
+    pub fn from_parts(
+        kind: ResolvedKind,
+        read_set: Vec<Reg>,
+        write_set: Vec<Reg>,
+        addr_read_set: Vec<Reg>,
+        data_read_set: Vec<Reg>,
+    ) -> Self {
+        ResolvedInstr { kind, read_set, write_set, addr_read_set, data_read_set }
+    }
+
+    /// The execution-dependent kind.
+    #[must_use]
+    pub fn kind(&self) -> ResolvedKind {
+        self.kind
+    }
+
+    /// `RS(I)`: registers read by the instruction.
+    #[must_use]
+    pub fn read_set(&self) -> &[Reg] {
+        &self.read_set
+    }
+
+    /// `WS(I)`: registers written by the instruction.
+    #[must_use]
+    pub fn write_set(&self) -> &[Reg] {
+        &self.write_set
+    }
+
+    /// `ARS(I)`: registers read to compute the memory address.
+    #[must_use]
+    pub fn addr_read_set(&self) -> &[Reg] {
+        &self.addr_read_set
+    }
+
+    /// Registers read to compute the data of a store.
+    #[must_use]
+    pub fn data_read_set(&self) -> &[Reg] {
+        &self.data_read_set
+    }
+
+    /// Returns true for loads.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, ResolvedKind::Load { .. })
+    }
+
+    /// Returns true for stores.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, ResolvedKind::Store { .. })
+    }
+
+    /// Returns true for loads and stores.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns true for fences.
+    #[must_use]
+    pub fn is_fence(&self) -> bool {
+        matches!(self.kind, ResolvedKind::Fence(_))
+    }
+
+    /// Returns true for branches.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(self.kind, ResolvedKind::Branch)
+    }
+
+    /// The fence kind, for fences.
+    #[must_use]
+    pub fn fence_kind(&self) -> Option<FenceKind> {
+        match self.kind {
+            ResolvedKind::Fence(kind) => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// The memory access type, for loads and stores.
+    #[must_use]
+    pub fn mem_access_type(&self) -> Option<MemAccessType> {
+        match self.kind {
+            ResolvedKind::Load { .. } => Some(MemAccessType::Load),
+            ResolvedKind::Store { .. } => Some(MemAccessType::Store),
+            _ => None,
+        }
+    }
+
+    /// The concrete address, for loads and stores.
+    #[must_use]
+    pub fn address(&self) -> Option<u64> {
+        match self.kind {
+            ResolvedKind::Load { addr, .. } | ResolvedKind::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// The read-from source, for loads that know it.
+    #[must_use]
+    pub fn rf_source(&self) -> Option<RfSource> {
+        match self.kind {
+            ResolvedKind::Load { rf, .. } => rf,
+            _ => None,
+        }
+    }
+
+    /// Returns true if `self` and `other` are memory instructions for the same address.
+    #[must_use]
+    pub fn same_address(&self, other: &ResolvedInstr) -> bool {
+        match (self.address(), other.address()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::{Addr, AluOp, Loc, Operand};
+
+    fn r(i: u32) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn resolve_load() {
+        let instr = Instruction::Load { dst: r(1), addr: Addr::reg(r(2)) };
+        let resolved = ResolvedInstr::from_instruction(&instr, Some(64), Some(RfSource::Init(64)));
+        assert!(resolved.is_load() && resolved.is_memory());
+        assert_eq!(resolved.address(), Some(64));
+        assert_eq!(resolved.rf_source(), Some(RfSource::Init(64)));
+        assert_eq!(resolved.read_set(), &[r(2)]);
+        assert_eq!(resolved.write_set(), &[r(1)]);
+        assert_eq!(resolved.addr_read_set(), &[r(2)]);
+        assert_eq!(resolved.mem_access_type(), Some(MemAccessType::Load));
+    }
+
+    #[test]
+    fn resolve_store() {
+        let instr = Instruction::Store { addr: Addr::loc(Loc::new("a")), data: Operand::reg(r(3)) };
+        let resolved = ResolvedInstr::from_instruction(&instr, Some(Loc::new("a").address()), None);
+        assert!(resolved.is_store());
+        assert_eq!(resolved.data_read_set(), &[r(3)]);
+        assert_eq!(resolved.rf_source(), None);
+        assert_eq!(resolved.mem_access_type(), Some(MemAccessType::Store));
+    }
+
+    #[test]
+    fn resolve_fence_branch_alu() {
+        let fence = Instruction::Fence { kind: FenceKind::LS };
+        let resolved = ResolvedInstr::from_instruction(&fence, None, None);
+        assert!(resolved.is_fence());
+        assert_eq!(resolved.fence_kind(), Some(FenceKind::LS));
+        assert_eq!(resolved.address(), None);
+
+        let alu = Instruction::Alu {
+            dst: r(1),
+            op: AluOp::Add,
+            lhs: Operand::reg(r(2)),
+            rhs: Operand::imm(1),
+        };
+        let resolved = ResolvedInstr::from_instruction(&alu, None, None);
+        assert!(!resolved.is_memory() && !resolved.is_fence() && !resolved.is_branch());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved address")]
+    fn memory_instruction_requires_address() {
+        let instr = Instruction::Load { dst: r(1), addr: Addr::reg(r(2)) };
+        let _ = ResolvedInstr::from_instruction(&instr, None, None);
+    }
+
+    #[test]
+    fn same_address_predicate() {
+        let a = ResolvedInstr::from_parts(
+            ResolvedKind::Store { addr: 8 },
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        let b = ResolvedInstr::from_parts(
+            ResolvedKind::Load { addr: 8, rf: None },
+            vec![],
+            vec![r(1)],
+            vec![],
+            vec![],
+        );
+        let c = ResolvedInstr::from_parts(
+            ResolvedKind::Load { addr: 16, rf: None },
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        );
+        assert!(a.same_address(&b));
+        assert!(!a.same_address(&c));
+        let alu = ResolvedInstr::from_parts(ResolvedKind::Alu, vec![], vec![], vec![], vec![]);
+        assert!(!a.same_address(&alu));
+    }
+
+    #[test]
+    fn rf_source_equality_distinguishes_init_and_stores() {
+        assert_eq!(RfSource::Init(4), RfSource::Init(4));
+        assert_ne!(RfSource::Init(4), RfSource::Init(8));
+        assert_ne!(RfSource::Init(4), RfSource::Store(0));
+        assert_eq!(RfSource::Store(3), RfSource::Store(3));
+        assert_ne!(RfSource::Store(3), RfSource::Store(4));
+    }
+}

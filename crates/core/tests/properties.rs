@@ -1,0 +1,144 @@
+//! Property-based tests of relations, dependencies and preserved program
+//! order.
+
+use gam_core::{model, preserved_program_order, Relation, ResolvedInstr, ResolvedKind};
+use gam_isa::Reg;
+use proptest::prelude::*;
+
+/// Strategy: a random relation over `n` elements given as an edge list.
+fn relation(n: usize, edges: &[(usize, usize)]) -> Relation {
+    let mut rel = Relation::new(n);
+    for &(a, b) in edges {
+        rel.insert(a % n.max(1), b % n.max(1));
+    }
+    rel
+}
+
+/// Strategy: a random straight-line thread of resolved instructions over two
+/// addresses and four registers.
+fn arbitrary_thread() -> impl Strategy<Value = Vec<ResolvedInstr>> {
+    let instr = (0u8..5, 0u64..2, 0u32..4, 0u32..4).prop_map(|(kind, addr, dst, src)| {
+        let address = 0x100 + addr * 8;
+        match kind {
+            0 => ResolvedInstr::from_parts(
+                ResolvedKind::Load { addr: address, rf: None },
+                vec![Reg::new(src)],
+                vec![Reg::new(dst)],
+                vec![Reg::new(src)],
+                vec![],
+            ),
+            1 => ResolvedInstr::from_parts(
+                ResolvedKind::Store { addr: address },
+                vec![Reg::new(src), Reg::new(dst)],
+                vec![],
+                vec![Reg::new(src)],
+                vec![Reg::new(dst)],
+            ),
+            2 => ResolvedInstr::from_parts(
+                ResolvedKind::Fence(gam_isa::FenceKind::ALL[(addr % 4) as usize]),
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            ),
+            3 => ResolvedInstr::from_parts(
+                ResolvedKind::Branch,
+                vec![Reg::new(src)],
+                vec![],
+                vec![],
+                vec![],
+            ),
+            _ => ResolvedInstr::from_parts(
+                ResolvedKind::Alu,
+                vec![Reg::new(src)],
+                vec![Reg::new(dst)],
+                vec![],
+                vec![],
+            ),
+        }
+    });
+    proptest::collection::vec(instr, 0..8)
+}
+
+proptest! {
+    /// Transitive closure is idempotent and only ever adds edges.
+    #[test]
+    fn closure_is_idempotent_and_extensive(
+        n in 1usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..20),
+    ) {
+        let rel = relation(n, &edges);
+        let closed = rel.transitive_closure();
+        prop_assert_eq!(closed.transitive_closure(), closed.clone());
+        for (a, b) in rel.iter_pairs() {
+            prop_assert!(closed.contains(a, b));
+        }
+    }
+
+    /// A topological order exists exactly for acyclic relations, and respects
+    /// every edge when it exists.
+    #[test]
+    fn topological_order_iff_acyclic(
+        n in 1usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..20),
+    ) {
+        let rel = relation(n, &edges);
+        match rel.topological_order() {
+            Some(order) => {
+                prop_assert!(rel.is_acyclic());
+                let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+                for (a, b) in rel.iter_pairs() {
+                    prop_assert!(pos(a) < pos(b));
+                }
+            }
+            None => prop_assert!(!rel.is_acyclic()),
+        }
+    }
+
+    /// Preserved program order is always a subset of program order (edges only
+    /// point forward), is acyclic, and is transitively closed — for every model.
+    #[test]
+    fn ppo_is_a_forward_closed_partial_order(thread in arbitrary_thread()) {
+        for spec in model::all() {
+            let ppo = preserved_program_order(&thread, &spec);
+            for (i, j) in ppo.iter_pairs() {
+                prop_assert!(i < j, "{}: edge {i}->{j} points backwards", spec.name());
+            }
+            prop_assert!(ppo.is_acyclic(), "{}", spec.name());
+            prop_assert_eq!(ppo.transitive_closure(), ppo.clone());
+        }
+    }
+
+    /// Model strength on ppo: SC preserves every pair TSO preserves, TSO every
+    /// pair GAM preserves, GAM every pair GAM0 preserves (over the same
+    /// resolved thread).
+    #[test]
+    fn ppo_is_monotone_across_model_strength(thread in arbitrary_thread()) {
+        let sc = preserved_program_order(&thread, &model::sc());
+        let tso = preserved_program_order(&thread, &model::tso());
+        let gam = preserved_program_order(&thread, &model::gam());
+        let gam0 = preserved_program_order(&thread, &model::gam0());
+        for (i, j) in gam0.iter_pairs() {
+            prop_assert!(gam.contains(i, j), "GAM0 edge {i}->{j} missing from GAM");
+        }
+        for (i, j) in gam.iter_pairs() {
+            prop_assert!(tso.contains(i, j), "GAM edge {i}->{j} missing from TSO");
+        }
+        for (i, j) in tso.iter_pairs() {
+            prop_assert!(sc.contains(i, j), "TSO edge {i}->{j} missing from SC");
+        }
+    }
+
+    /// Under SC every pair of memory instructions is ordered.
+    #[test]
+    fn sc_orders_every_memory_pair(thread in arbitrary_thread()) {
+        let sc = preserved_program_order(&thread, &model::sc());
+        for j in 0..thread.len() {
+            for i in 0..j {
+                if thread[i].is_memory() && thread[j].is_memory() {
+                    prop_assert!(sc.contains(i, j), "SC must order memory pair {i}->{j}");
+                }
+            }
+        }
+    }
+}

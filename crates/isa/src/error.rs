@@ -1,0 +1,99 @@
+//! Error types for the `gam-isa` crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating programs and litmus tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A label was referenced by a branch but never defined in the thread.
+    UndefinedLabel {
+        /// The missing label name.
+        label: String,
+        /// The thread in which the reference appears.
+        thread: usize,
+    },
+    /// A label was defined more than once within a thread.
+    DuplicateLabel {
+        /// The duplicated label name.
+        label: String,
+        /// The thread in which the duplicate appears.
+        thread: usize,
+    },
+    /// A program was constructed with no threads.
+    EmptyProgram,
+    /// A thread was given an inconsistent processor identifier.
+    ProcIdMismatch {
+        /// The index the thread occupies in the program.
+        expected: usize,
+        /// The processor id stored in the thread.
+        found: usize,
+    },
+    /// A litmus-test observation refers to a register that the program never writes.
+    UnwrittenObservedRegister {
+        /// Processor the observation refers to.
+        proc: usize,
+        /// Register index observed.
+        reg: u32,
+    },
+    /// Two distinct symbolic locations were mapped to the same concrete address.
+    LocationAddressClash {
+        /// Name of the first location.
+        first: String,
+        /// Name of the second location.
+        second: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UndefinedLabel { label, thread } => {
+                write!(f, "label `{label}` referenced but not defined in thread {thread}")
+            }
+            IsaError::DuplicateLabel { label, thread } => {
+                write!(f, "label `{label}` defined more than once in thread {thread}")
+            }
+            IsaError::EmptyProgram => write!(f, "program has no threads"),
+            IsaError::ProcIdMismatch { expected, found } => {
+                write!(f, "thread at index {expected} carries processor id {found}")
+            }
+            IsaError::UnwrittenObservedRegister { proc, reg } => {
+                write!(f, "observed register r{reg} on processor {proc} is never written")
+            }
+            IsaError::LocationAddressClash { first, second } => {
+                write!(f, "locations `{first}` and `{second}` map to the same address")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_undefined_label() {
+        let err = IsaError::UndefinedLabel { label: "loop".into(), thread: 1 };
+        assert_eq!(err.to_string(), "label `loop` referenced but not defined in thread 1");
+    }
+
+    #[test]
+    fn display_empty_program() {
+        assert_eq!(IsaError::EmptyProgram.to_string(), "program has no threads");
+    }
+
+    #[test]
+    fn display_proc_id_mismatch() {
+        let err = IsaError::ProcIdMismatch { expected: 0, found: 3 };
+        assert!(err.to_string().contains("processor id 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<IsaError>();
+    }
+}

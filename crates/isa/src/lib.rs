@@ -1,0 +1,69 @@
+//! # gam-isa
+//!
+//! A minimal RISC-like instruction set, program representation and litmus-test
+//! infrastructure used by the GAM (General Atomic Memory Model) reproduction.
+//!
+//! The instruction set is exactly what the paper *Constructing a Weak Memory
+//! Model* (ISCA 2018) needs to express its constructions and litmus tests:
+//!
+//! * register-to-register ALU instructions,
+//! * loads and stores whose addresses are computed from registers and
+//!   immediates,
+//! * the four basic fences `FenceLL`, `FenceLS`, `FenceSL`, `FenceSS`
+//!   (plus the derived acquire / release / full fences),
+//! * conditional branches.
+//!
+//! Programs are collections of per-processor instruction sequences
+//! ([`ThreadProgram`], [`Program`]). Litmus tests ([`litmus::LitmusTest`])
+//! wrap a program with an initial state and a condition on the final state;
+//! [`litmus::library`] contains every litmus test that appears in the paper
+//! plus a collection of classical tests.
+//!
+//! # Example
+//!
+//! ```
+//! use gam_isa::prelude::*;
+//!
+//! // Dekker (Figure 2 of the paper): two processors each store to one
+//! // location then load the other.
+//! let a = Loc::new("a");
+//! let b = Loc::new("b");
+//! let mut p1 = ThreadProgram::builder(ProcId::new(0));
+//! p1.store(Addr::loc(a), Operand::imm(1));
+//! p1.load(Reg::new(1), Addr::loc(b));
+//! let mut p2 = ThreadProgram::builder(ProcId::new(1));
+//! p2.store(Addr::loc(b), Operand::imm(1));
+//! p2.load(Reg::new(2), Addr::loc(a));
+//! let program = Program::new(vec![p1.build(), p2.build()]);
+//! assert_eq!(program.num_threads(), 2);
+//! assert_eq!(program.memory_instruction_count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod instr;
+pub mod litmus;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod value;
+
+pub use error::IsaError;
+pub use instr::{Addr, Instruction, Operand};
+pub use op::{AluOp, BranchCond, FenceKind, MemAccessType};
+pub use program::{Label, ProcId, Program, ThreadBuilder, ThreadProgram};
+pub use reg::Reg;
+pub use value::{Loc, Value};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::instr::{Addr, Instruction, Operand};
+    pub use crate::litmus::{LitmusTest, Observation, Outcome};
+    pub use crate::op::{AluOp, BranchCond, FenceKind, MemAccessType};
+    pub use crate::program::{Label, ProcId, Program, ThreadBuilder, ThreadProgram};
+    pub use crate::reg::Reg;
+    pub use crate::value::{Loc, Value};
+}

@@ -1,0 +1,794 @@
+//! The litmus-test library: every test from the paper plus classical tests.
+//!
+//! Each function builds one litmus test. The *condition* attached to a test is
+//! the behaviour the paper (or the classical literature) discusses — usually a
+//! non-SC behaviour whose allowed/forbidden status distinguishes memory
+//! models. The expected verdict of each model for each test lives in the
+//! `gam-verify` crate so that this crate stays a pure program database.
+
+use crate::instr::{Addr, Operand};
+use crate::op::FenceKind;
+use crate::program::{ProcId, Program, ThreadProgram};
+use crate::reg::Reg;
+use crate::value::Loc;
+
+use super::LitmusTest;
+
+fn p(i: usize) -> ProcId {
+    ProcId::new(i)
+}
+
+fn r(i: u32) -> Reg {
+    Reg::new(i)
+}
+
+/// Dekker / store-buffering (Figure 2 of the paper).
+///
+/// `P1: St [a] 1; r1 = Ld [b]` and `P2: St [b] 1; r2 = Ld [a]`.
+/// The condition `r1 = 0 ∧ r2 = 0` is forbidden by SC but allowed by TSO and
+/// every weaker model (store→load reordering).
+#[must_use]
+pub fn dekker() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1)).load(r(1), Addr::loc(b));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(b), Operand::imm(1)).load(r(2), Addr::loc(a));
+    LitmusTest::builder("dekker", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 2: store buffering; SC forbids r1=0,r2=0")
+        .expect_reg(p(0), r(1), 0u64)
+        .expect_reg(p(1), r(2), 0u64)
+        .build()
+}
+
+/// Dekker with a `FenceSL` between the store and the load on both processors.
+///
+/// The fence restores the store→load ordering, so every model in the catalogue
+/// forbids `r1 = 0 ∧ r2 = 0`.
+#[must_use]
+pub fn dekker_fence_sl() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1)).fence(FenceKind::SL).load(r(1), Addr::loc(b));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(b), Operand::imm(1)).fence(FenceKind::SL).load(r(2), Addr::loc(a));
+    LitmusTest::builder("dekker+fence-sl", Program::new(vec![p1.build(), p2.build()]))
+        .description("Dekker with FenceSL on both sides; all models forbid r1=0,r2=0")
+        .expect_reg(p(0), r(1), 0u64)
+        .expect_reg(p(1), r(2), 0u64)
+        .build()
+}
+
+/// Out-of-thin-air (Figure 5 of the paper).
+///
+/// `P1: r1 = Ld [a]; St [b] r1` and `P2: r2 = Ld [b]; St [a] r2`.
+/// No model may allow `r1 = r2 = 42`: the value 42 would appear from nowhere.
+#[must_use]
+pub fn oota() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.load(r(1), Addr::loc(a)).store(Addr::loc(b), Operand::reg(r(1)));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(2), Addr::loc(b)).store(Addr::loc(a), Operand::reg(r(2)));
+    LitmusTest::builder("oota", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 5: out-of-thin-air; all models forbid r1=r2=42")
+        .expect_reg(p(0), r(1), 42u64)
+        .expect_reg(p(1), r(2), 42u64)
+        .build()
+}
+
+/// Store forwarding within one processor (Figure 8 of the paper).
+///
+/// `I1: St [a] 1; S: St [a] r1; I2: r2 = Ld [a]` with `r1 = 0` initially.
+/// The load must observe the youngest program-order-older store `S`, so
+/// `r2 = 1` (skipping over `S` to read `I1`) is forbidden by every model.
+#[must_use]
+pub fn store_forwarding() -> LitmusTest {
+    let a = Loc::new("a");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .store(Addr::loc(a), Operand::reg(r(1)))
+        .load(r(2), Addr::loc(a));
+    LitmusTest::builder("store-forwarding", Program::new(vec![p1.build()]))
+        .description("Figure 8: a load may not skip over the youngest older same-address store")
+        .expect_reg(p(0), r(2), 1u64)
+        .build()
+}
+
+/// Message passing without any fence or dependency.
+///
+/// The classical MP shape; the stale-read outcome `r1 = 1 ∧ r2 = 0` is allowed
+/// by every model that relaxes either store→store or load→load ordering.
+#[must_use]
+pub fn mp() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1)).store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b)).load(r(2), Addr::loc(a));
+    LitmusTest::builder("mp", Program::new(vec![p1.build(), p2.build()]))
+        .description("classical message passing with no fences; weak models allow r1=1,r2=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), 0u64)
+        .build()
+}
+
+/// Message passing with `FenceSS` on the producer and `FenceLL` on the consumer.
+///
+/// Fully fenced MP: the stale-read outcome is forbidden by every model.
+#[must_use]
+pub fn mp_fences() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b)).fence(FenceKind::LL).load(r(2), Addr::loc(a));
+    LitmusTest::builder("mp+fences", Program::new(vec![p1.build(), p2.build()]))
+        .description("message passing with FenceSS / FenceLL; all models forbid r1=1,r2=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), 0u64)
+        .build()
+}
+
+/// Message passing with only the producer-side `FenceSS`.
+///
+/// Without a consumer-side ordering the two loads may still be reordered, so
+/// models that relax load→load ordering allow the stale read.
+#[must_use]
+pub fn mp_fence_ss_only() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b)).load(r(2), Addr::loc(a));
+    LitmusTest::builder("mp+fence-ss", Program::new(vec![p1.build(), p2.build()]))
+        .description("message passing with only the producer fence; load-load reordering exposes r1=1,r2=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), 0u64)
+        .build()
+}
+
+/// MP+addr (Figure 13a of the paper): address dependency on the consumer.
+///
+/// `P2: r1 = Ld [b]; r2 = Ld [r1]`. Because GAM0/GAM preserve syntactic data
+/// dependencies (constraint RegRAW), `r1 = a ∧ r2 = 0` is forbidden.
+#[must_use]
+pub fn mp_addr() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::loc(a));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b)).load(r(2), Addr::reg(r(1)));
+    LitmusTest::builder("mp+addr", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 13a: address dependency; GAM0/GAM forbid r1=a,r2=0")
+        .expect_reg(p(1), r(1), a.value())
+        .expect_reg(p(1), r(2), 0u64)
+        .build()
+}
+
+/// MP+artificial-addr (Figure 13b of the paper).
+///
+/// The consumer builds an artificial syntactic dependency
+/// `r2 = a + r1 - r1` before the second load; the dependency must be honoured,
+/// so `r1 = 1 ∧ r2 = a ∧ r3 = 0` is forbidden by GAM0/GAM.
+#[must_use]
+pub fn mp_artificial_addr() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b)).artificial_addr_dep(r(2), a, r(1)).load(r(3), Addr::reg(r(2)));
+    LitmusTest::builder("mp+artificial-addr", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 13b: artificial address dependency; GAM0/GAM forbid r1=1,r2=a,r3=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), a.value())
+        .expect_reg(p(1), r(3), 0u64)
+        .build()
+}
+
+/// Dependency through a memory location (Figure 13c of the paper).
+///
+/// The consumer stores the value it read to `c`, loads it back, and uses it in
+/// an artificial address dependency. Constraint SAStLd keeps the chain
+/// ordered, so `r1 = r2 = 1 ∧ r3 = a ∧ r4 = 0` is forbidden by GAM0/GAM.
+#[must_use]
+pub fn mp_mem_dep() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let c = Loc::new("c");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b))
+        .store(Addr::loc(c), Operand::reg(r(1)))
+        .load(r(2), Addr::loc(c))
+        .artificial_addr_dep(r(3), a, r(2))
+        .load(r(4), Addr::reg(r(3)));
+    LitmusTest::builder("mp+mem-dep", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 13c: dependency via memory; GAM0/GAM forbid r1=r2=1,r3=a,r4=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), 1u64)
+        .expect_reg(p(1), r(3), a.value())
+        .expect_reg(p(1), r(4), 0u64)
+        .build()
+}
+
+/// MP+prefetch (Figure 13d of the paper).
+///
+/// The consumer first loads `a` (possibly reading 0), then loads `b`, then
+/// loads through the value of `b`. Without load-load forwarding the dependent
+/// load must go to memory, so `r1 = 0 ∧ r2 = a ∧ r3 = 0` is forbidden by
+/// GAM0/GAM; a machine with load-load forwarding (Alpha*) would exhibit it.
+#[must_use]
+pub fn mp_prefetch() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::loc(a));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(a)).load(r(2), Addr::loc(b)).load(r(3), Addr::reg(r(2)));
+    LitmusTest::builder("mp+prefetch", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 13d: prefetch; GAM0/GAM forbid r1=0,r2=a,r3=0")
+        .expect_reg(p(1), r(1), 0u64)
+        .expect_reg(p(1), r(2), a.value())
+        .expect_reg(p(1), r(3), 0u64)
+        .build()
+}
+
+/// CoRR — coherent read-read (Figure 14a of the paper).
+///
+/// Two consecutive loads of the same address must not appear to go backwards
+/// in time. Models with per-location SC (SC, TSO, GAM, ARM) forbid
+/// `r1 = 1 ∧ r2 = 0`; GAM0 and RMO allow it.
+#[must_use]
+pub fn corr() -> LitmusTest {
+    let a = Loc::new("a");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(a)).load(r(2), Addr::loc(a));
+    LitmusTest::builder("corr", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 14a: coherent read-read; GAM forbids r1=1,r2=0, GAM0/RMO allow it")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), 0u64)
+        .build()
+}
+
+/// Same-address loads with an intervening store (Figure 14b of the paper).
+///
+/// The intervening store `St [b] 2` lets the younger load forward from it and
+/// execute early, so `r1 = 1 ∧ r2 = 2 ∧ r3 = 0` is allowed by per-location SC
+/// and by GAM.
+#[must_use]
+pub fn corr_intervening_store() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b))
+        .store(Addr::loc(b), Operand::imm(2))
+        .load(r(2), Addr::loc(b))
+        .artificial_addr_dep(r(4), a, r(2))
+        .load(r(3), Addr::reg(r(4)));
+    LitmusTest::builder("corr+intervening-store", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 14b: same-address loads separated by a store; GAM allows r1=1,r2=2,r3=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), 2u64)
+        .expect_reg(p(1), r(3), 0u64)
+        .build()
+}
+
+/// RSW — read-same-write (Figure 14c of the paper).
+///
+/// Both middle loads of `c` read the initial value. Under the ARM rule
+/// (`SALdLdARM`) they are unordered because they read from the same store, so
+/// the non-SC outcome is allowed; GAM's `SALdLd` orders them and forbids it.
+#[must_use]
+pub fn rsw() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let c = Loc::new("c");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b))
+        .artificial_addr_dep(r(2), c, r(1))
+        .load(r(3), Addr::reg(r(2)))
+        .load(r(4), Addr::loc(c))
+        .artificial_addr_dep(r(5), a, r(4))
+        .load(r(6), Addr::reg(r(5)));
+    LitmusTest::builder("rsw", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 14c: read-same-write; ARM allows, GAM forbids the stale final read")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), c.value())
+        .expect_reg(p(1), r(3), 0u64)
+        .expect_reg(p(1), r(4), 0u64)
+        .expect_reg(p(1), r(5), a.value())
+        .expect_reg(p(1), r(6), 0u64)
+        .build()
+}
+
+/// RNSW — read-not-same-write (Figure 14d of the paper).
+///
+/// Identical to RSW except the producer also rewrites the initial value 0 to
+/// `c`. If the two middle loads were reordered they would now read from
+/// *different* stores, so even the ARM rule forbids the outcome; GAM forbids
+/// it as well, which is the paper's argument for the simpler `SALdLd` rule.
+#[must_use]
+pub fn rnsw() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let c = Loc::new("c");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(c), Operand::imm(0))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b))
+        .artificial_addr_dep(r(2), c, r(1))
+        .load(r(3), Addr::reg(r(2)))
+        .load(r(4), Addr::loc(c))
+        .artificial_addr_dep(r(5), a, r(4))
+        .load(r(6), Addr::reg(r(5)));
+    LitmusTest::builder("rnsw", Program::new(vec![p1.build(), p2.build()]))
+        .description("Figure 14d: read-not-same-write; both ARM and GAM forbid the stale final read")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(1), r(2), c.value())
+        .expect_reg(p(1), r(3), 0u64)
+        .expect_reg(p(1), r(4), 0u64)
+        .expect_reg(p(1), r(5), a.value())
+        .expect_reg(p(1), r(6), 0u64)
+        .build()
+}
+
+/// Load buffering: `P1: r1 = Ld [a]; St [b] 1` and `P2: r2 = Ld [b]; St [a] 1`.
+///
+/// With no dependency between the load and the store, GAM allows
+/// `r1 = 1 ∧ r2 = 1` (load→store reordering); SC and TSO forbid it.
+#[must_use]
+pub fn lb() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.load(r(1), Addr::loc(a)).store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(2), Addr::loc(b)).store(Addr::loc(a), Operand::imm(1));
+    LitmusTest::builder("lb", Program::new(vec![p1.build(), p2.build()]))
+        .description("load buffering without dependencies; GAM allows r1=r2=1")
+        .expect_reg(p(0), r(1), 1u64)
+        .expect_reg(p(1), r(2), 1u64)
+        .build()
+}
+
+/// Load buffering with data dependencies (`St [b] r1` / `St [a] r2`).
+///
+/// The data dependencies make the outcome `r1 = r2 = 1` an out-of-thin-air
+/// behaviour, forbidden by every model.
+#[must_use]
+pub fn lb_data() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.load(r(1), Addr::loc(a)).store(Addr::loc(b), Operand::reg(r(1)));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(2), Addr::loc(b)).store(Addr::loc(a), Operand::reg(r(2)));
+    LitmusTest::builder("lb+data", Program::new(vec![p1.build(), p2.build()]))
+        .description("load buffering with data dependencies; all models forbid r1=r2=1")
+        .expect_reg(p(0), r(1), 1u64)
+        .expect_reg(p(1), r(2), 1u64)
+        .build()
+}
+
+/// Load buffering with a `FenceLS` between the load and the store on both sides.
+///
+/// The fences restore load→store ordering, so every model forbids
+/// `r1 = r2 = 1`.
+#[must_use]
+pub fn lb_fence_ls() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.load(r(1), Addr::loc(a)).fence(FenceKind::LS).store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(2), Addr::loc(b)).fence(FenceKind::LS).store(Addr::loc(a), Operand::imm(1));
+    LitmusTest::builder("lb+fence-ls", Program::new(vec![p1.build(), p2.build()]))
+        .description("load buffering with FenceLS; all models forbid r1=r2=1")
+        .expect_reg(p(0), r(1), 1u64)
+        .expect_reg(p(1), r(2), 1u64)
+        .build()
+}
+
+/// IRIW — independent reads of independent writes, no fences.
+///
+/// Models that relax load→load ordering (GAM, GAM0, ARM) allow the two reader
+/// processors to disagree on the order of the writes; SC and TSO forbid it.
+#[must_use]
+pub fn iriw() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(b), Operand::imm(1));
+    let mut p3 = ThreadProgram::builder(p(2));
+    p3.load(r(1), Addr::loc(a)).load(r(2), Addr::loc(b));
+    let mut p4 = ThreadProgram::builder(p(3));
+    p4.load(r(3), Addr::loc(b)).load(r(4), Addr::loc(a));
+    LitmusTest::builder(
+        "iriw",
+        Program::new(vec![p1.build(), p2.build(), p3.build(), p4.build()]),
+    )
+    .description("independent reads of independent writes; weak models allow the readers to disagree")
+    .expect_reg(p(2), r(1), 1u64)
+    .expect_reg(p(2), r(2), 0u64)
+    .expect_reg(p(3), r(3), 1u64)
+    .expect_reg(p(3), r(4), 0u64)
+    .build()
+}
+
+/// IRIW with a `FenceLL` between the loads on both reader processors.
+///
+/// Because GAM is a model of *atomic* memory, the fences are sufficient to
+/// forbid the readers from disagreeing — a key difference from non-atomic
+/// models such as POWER.
+#[must_use]
+pub fn iriw_fence_ll() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(b), Operand::imm(1));
+    let mut p3 = ThreadProgram::builder(p(2));
+    p3.load(r(1), Addr::loc(a)).fence(FenceKind::LL).load(r(2), Addr::loc(b));
+    let mut p4 = ThreadProgram::builder(p(3));
+    p4.load(r(3), Addr::loc(b)).fence(FenceKind::LL).load(r(4), Addr::loc(a));
+    LitmusTest::builder(
+        "iriw+fence-ll",
+        Program::new(vec![p1.build(), p2.build(), p3.build(), p4.build()]),
+    )
+    .description("IRIW with FenceLL on the readers; atomic-memory models forbid the disagreement")
+    .expect_reg(p(2), r(1), 1u64)
+    .expect_reg(p(2), r(2), 0u64)
+    .expect_reg(p(3), r(3), 1u64)
+    .expect_reg(p(3), r(4), 0u64)
+    .build()
+}
+
+/// WRC — write-to-read causality with dependencies.
+///
+/// `P2` forwards the value it read into a store (data dependency) and `P3`
+/// uses an address dependency for its final load, so GAM forbids the stale
+/// read `r3 = 0`; with no dependencies it would be allowed.
+#[must_use]
+pub fn wrc() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(a)).store(Addr::loc(b), Operand::reg(r(1)));
+    let mut p3 = ThreadProgram::builder(p(2));
+    p3.load(r(2), Addr::loc(b)).artificial_addr_dep(r(4), a, r(2)).load(r(3), Addr::reg(r(4)));
+    LitmusTest::builder("wrc", Program::new(vec![p1.build(), p2.build(), p3.build()]))
+        .description("write-to-read causality with data+address dependencies; GAM forbids r3=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(2), r(2), 1u64)
+        .expect_reg(p(2), r(3), 0u64)
+        .build()
+}
+
+/// WRC without dependencies on the final reader.
+///
+/// `P3` performs two independent loads, which weak models may reorder, so the
+/// stale read is allowed by GAM/GAM0/ARM.
+#[must_use]
+pub fn wrc_no_dep() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(a)).store(Addr::loc(b), Operand::reg(r(1)));
+    let mut p3 = ThreadProgram::builder(p(2));
+    p3.load(r(2), Addr::loc(b)).load(r(3), Addr::loc(a));
+    LitmusTest::builder("wrc+no-dep", Program::new(vec![p1.build(), p2.build(), p3.build()]))
+        .description("write-to-read causality without reader dependencies; weak models allow r3=0")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_reg(p(2), r(2), 1u64)
+        .expect_reg(p(2), r(3), 0u64)
+        .build()
+}
+
+/// CoRW — a load followed by a same-address store on one processor.
+///
+/// The load may not read the value of the program-order-younger store
+/// (constraint SAMemSt plus the load-value axiom), so `r1 = 1` is forbidden
+/// by every model.
+#[must_use]
+pub fn corw() -> LitmusTest {
+    let a = Loc::new("a");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.load(r(1), Addr::loc(a)).store(Addr::loc(a), Operand::imm(1));
+    LitmusTest::builder("corw", Program::new(vec![p1.build()]))
+        .description("a load may not read its own processor's younger store; all models forbid r1=1")
+        .expect_reg(p(0), r(1), 1u64)
+        .build()
+}
+
+/// CoWR — a store followed by a same-address load, with a racing remote store.
+///
+/// The local load must observe the local store or something coherence-newer,
+/// never the stale initial value, so `r1 = 0` is forbidden by every model.
+#[must_use]
+pub fn cowr() -> LitmusTest {
+    let a = Loc::new("a");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1)).load(r(1), Addr::loc(a));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(a), Operand::imm(2));
+    LitmusTest::builder("cowr", Program::new(vec![p1.build(), p2.build()]))
+        .description("a load after a same-address store must not read older values; all models forbid r1=0")
+        .expect_reg(p(0), r(1), 0u64)
+        .build()
+}
+
+/// CoWW — two same-address stores on one processor observed through final memory.
+///
+/// Constraint SAMemSt keeps the stores in order, so the final memory value
+/// cannot be that of the older store (`m[a] = 1` is forbidden) — per-location
+/// coherence for writes.
+#[must_use]
+pub fn coww() -> LitmusTest {
+    let a = Loc::new("a");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1)).store(Addr::loc(a), Operand::imm(2));
+    LitmusTest::builder("coww", Program::new(vec![p1.build()]))
+        .description("same-address stores stay ordered; all models forbid final m[a]=1")
+        .expect_mem(a, 1u64)
+        .build()
+}
+
+/// 2+2W — two processors each writing both locations in opposite orders.
+///
+/// The condition observes final memory `a = 2 ∧ b = 2`, which requires both
+/// processors' *first* stores to lose the coherence race; models that relax
+/// store→store ordering (GAM, GAM0, ARM) allow it, SC and TSO forbid it.
+#[must_use]
+pub fn two_plus_two_w() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(2)).store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(b), Operand::imm(2)).store(Addr::loc(a), Operand::imm(1));
+    LitmusTest::builder("2+2w", Program::new(vec![p1.build(), p2.build()]))
+        .description("2+2W; store-store relaxation allows final a=2,b=2")
+        .expect_mem(a, 2u64)
+        .expect_mem(b, 2u64)
+        .build()
+}
+
+/// 2+2W with a `FenceSS` between the stores on both processors.
+///
+/// The fences restore store→store ordering, so every model forbids the
+/// `a = 2 ∧ b = 2` final state.
+#[must_use]
+pub fn two_plus_two_w_fence() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(2))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(b), Operand::imm(2))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(a), Operand::imm(1));
+    LitmusTest::builder("2+2w+fence-ss", Program::new(vec![p1.build(), p2.build()]))
+        .description("2+2W with FenceSS; all models forbid final a=2,b=2")
+        .expect_mem(a, 2u64)
+        .expect_mem(b, 2u64)
+        .build()
+}
+
+/// S — store-store ordering observed through a racing write.
+///
+/// `P1: St [a] 2; FenceSS; St [b] 1` and `P2: r1 = Ld [b]; St [a] 1`.
+/// The condition `r1 = 1 ∧ m[a] = 2` needs `P2`'s store to be coherence-older
+/// than `P1`'s even though it causally follows it; GAM allows it only via
+/// load→store reordering on `P2`, SC/TSO forbid it.
+#[must_use]
+pub fn s_test() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(2))
+        .fence(FenceKind::SS)
+        .store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.load(r(1), Addr::loc(b)).store(Addr::loc(a), Operand::imm(1));
+    LitmusTest::builder("s", Program::new(vec![p1.build(), p2.build()]))
+        .description("S shape; load->store relaxation allows r1=1 with final a=2")
+        .expect_reg(p(1), r(1), 1u64)
+        .expect_mem(a, 2u64)
+        .build()
+}
+
+/// R — store-store ordering against a racing store observed by a load.
+///
+/// `P1: St [a] 1; St [b] 1` and `P2: St [b] 2; r1 = Ld [a]`.
+/// The condition `m[b] = 2 ∧ r1 = 0` requires `P2`'s store to win the
+/// coherence race on `b` while its later load still misses `P1`'s store to
+/// `a`; SC forbids it, any model that relaxes store→load ordering (TSO and
+/// weaker) allows it.
+#[must_use]
+pub fn r_test() -> LitmusTest {
+    let a = Loc::new("a");
+    let b = Loc::new("b");
+    let mut p1 = ThreadProgram::builder(p(0));
+    p1.store(Addr::loc(a), Operand::imm(1)).store(Addr::loc(b), Operand::imm(1));
+    let mut p2 = ThreadProgram::builder(p(1));
+    p2.store(Addr::loc(b), Operand::imm(2)).load(r(1), Addr::loc(a));
+    LitmusTest::builder("r", Program::new(vec![p1.build(), p2.build()]))
+        .description("R shape; store->load relaxation allows final b=2 with r1=0")
+        .expect_mem(b, 2u64)
+        .expect_reg(p(1), r(1), 0u64)
+        .build()
+}
+
+/// Every litmus test that appears as a figure in the paper.
+#[must_use]
+pub fn paper_tests() -> Vec<LitmusTest> {
+    vec![
+        dekker(),
+        oota(),
+        store_forwarding(),
+        mp_addr(),
+        mp_artificial_addr(),
+        mp_mem_dep(),
+        mp_prefetch(),
+        corr(),
+        corr_intervening_store(),
+        rsw(),
+        rnsw(),
+    ]
+}
+
+/// The classical litmus tests used in addition to the paper's figures.
+#[must_use]
+pub fn classic_tests() -> Vec<LitmusTest> {
+    vec![
+        dekker_fence_sl(),
+        mp(),
+        mp_fences(),
+        mp_fence_ss_only(),
+        lb(),
+        lb_data(),
+        lb_fence_ls(),
+        iriw(),
+        iriw_fence_ll(),
+        wrc(),
+        wrc_no_dep(),
+        corw(),
+        cowr(),
+        coww(),
+        two_plus_two_w(),
+        two_plus_two_w_fence(),
+        s_test(),
+        r_test(),
+    ]
+}
+
+/// All litmus tests in the library (paper figures first, then classics).
+#[must_use]
+pub fn all_tests() -> Vec<LitmusTest> {
+    let mut tests = paper_tests();
+    tests.extend(classic_tests());
+    tests
+}
+
+/// Looks up a litmus test by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<LitmusTest> {
+    all_tests().into_iter().find(|t| t.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn library_has_paper_and_classic_tests() {
+        assert_eq!(paper_tests().len(), 11);
+        assert_eq!(classic_tests().len(), 18);
+        assert_eq!(all_tests().len(), 29);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: BTreeSet<String> =
+            all_tests().iter().map(|t| t.name().to_string()).collect();
+        assert_eq!(names.len(), all_tests().len());
+    }
+
+    #[test]
+    fn all_tests_validate_and_observe_something() {
+        for test in all_tests() {
+            assert!(test.program().num_threads() >= 1, "{}", test.name());
+            assert!(!test.condition().is_empty(), "{}", test.name());
+            assert!(!test.observed().is_empty(), "{}", test.name());
+            assert!(!test.description().is_empty(), "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn by_name_finds_paper_tests() {
+        assert!(by_name("dekker").is_some());
+        assert!(by_name("rsw").is_some());
+        assert!(by_name("rnsw").is_some());
+        assert!(by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn dekker_shape() {
+        let t = dekker();
+        assert_eq!(t.program().num_threads(), 2);
+        assert_eq!(t.program().memory_instruction_count(), 4);
+        assert!(!t.program().has_branches());
+    }
+
+    #[test]
+    fn iriw_has_four_threads() {
+        assert_eq!(iriw().program().num_threads(), 4);
+        assert_eq!(iriw_fence_ll().program().num_threads(), 4);
+    }
+
+    #[test]
+    fn rsw_and_rnsw_differ_by_one_store_and_fence() {
+        let rsw_count = rsw().program().instruction_count();
+        let rnsw_count = rnsw().program().instruction_count();
+        assert_eq!(rnsw_count, rsw_count + 2);
+    }
+
+    #[test]
+    fn mem_dep_test_uses_three_locations() {
+        let t = mp_mem_dep();
+        // P2 has 4 loads/stores touching b, c, c, and a dependent address.
+        assert_eq!(t.program().threads()[1].memory_instruction_count(), 4);
+    }
+
+    #[test]
+    fn coww_observes_memory() {
+        let t = coww();
+        assert!(matches!(t.observed()[0], crate::litmus::Observation::Memory(_)));
+    }
+}

@@ -1,0 +1,245 @@
+//! Operation kinds: ALU operations, branch conditions, fence kinds and memory
+//! access types.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Arithmetic / logic operations for register-to-register instructions.
+///
+/// The set is intentionally small: it is sufficient to express every
+/// computation in the paper's litmus tests (notably the artificial address
+/// dependency `r2 = a + r1 - r1`) and realistic enough for the dependency
+/// analysis to be meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Copy of the first operand (the second operand is ignored).
+    Mov,
+}
+
+impl AluOp {
+    /// Applies the operation to two values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gam_isa::{AluOp, Value};
+    /// assert_eq!(AluOp::Add.apply(Value::new(2), Value::new(3)), Value::new(5));
+    /// assert_eq!(AluOp::Mov.apply(Value::new(2), Value::new(3)), Value::new(2));
+    /// ```
+    #[must_use]
+    pub fn apply(self, lhs: Value, rhs: Value) -> Value {
+        match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::And => Value::new(lhs.raw() & rhs.raw()),
+            AluOp::Or => Value::new(lhs.raw() | rhs.raw()),
+            AluOp::Xor => Value::new(lhs.raw() ^ rhs.raw()),
+            AluOp::Mov => lhs,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Mov => "mov",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Conditions for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BranchCond {
+    /// Branch if the two operands are equal.
+    Eq,
+    /// Branch if the two operands differ.
+    Ne,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two values.
+    #[must_use]
+    pub fn holds(self, lhs: Value, rhs: Value) -> bool {
+        match self {
+            BranchCond::Eq => lhs == rhs,
+            BranchCond::Ne => lhs != rhs,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+        })
+    }
+}
+
+/// The type of memory access a fence side refers to: loads or stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccessType {
+    /// A load access.
+    Load,
+    /// A store access.
+    Store,
+}
+
+impl fmt::Display for MemAccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemAccessType::Load => "L",
+            MemAccessType::Store => "S",
+        })
+    }
+}
+
+/// One of the four basic fences of the paper (Section III-D1).
+///
+/// A `FenceXY` orders all memory instructions of type `X` that are older than
+/// the fence before all memory instructions of type `Y` that are younger than
+/// the fence, in the execution order (constraint *FenceOrd*, Figure 12).
+/// Stronger fences (acquire, release, full) are sequences of the basic ones;
+/// see [`FenceKind::acquire`], [`FenceKind::release`] and [`FenceKind::full`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FenceKind {
+    /// The access type ordered *before* the fence.
+    pub before: MemAccessType,
+    /// The access type ordered *after* the fence.
+    pub after: MemAccessType,
+}
+
+impl FenceKind {
+    /// `FenceLL`: orders older loads before younger loads.
+    pub const LL: FenceKind =
+        FenceKind { before: MemAccessType::Load, after: MemAccessType::Load };
+    /// `FenceLS`: orders older loads before younger stores.
+    pub const LS: FenceKind =
+        FenceKind { before: MemAccessType::Load, after: MemAccessType::Store };
+    /// `FenceSL`: orders older stores before younger loads.
+    pub const SL: FenceKind =
+        FenceKind { before: MemAccessType::Store, after: MemAccessType::Load };
+    /// `FenceSS`: orders older stores before younger stores.
+    pub const SS: FenceKind =
+        FenceKind { before: MemAccessType::Store, after: MemAccessType::Store };
+
+    /// The four basic fences in a fixed order.
+    pub const ALL: [FenceKind; 4] = [Self::LL, Self::LS, Self::SL, Self::SS];
+
+    /// The acquire fence of the paper: `FenceLL; FenceLS`.
+    #[must_use]
+    pub fn acquire() -> Vec<FenceKind> {
+        vec![Self::LL, Self::LS]
+    }
+
+    /// The release fence of the paper: `FenceLS; FenceSS`.
+    #[must_use]
+    pub fn release() -> Vec<FenceKind> {
+        vec![Self::LS, Self::SS]
+    }
+
+    /// The full fence of the paper: all four basic fences.
+    #[must_use]
+    pub fn full() -> Vec<FenceKind> {
+        vec![Self::LL, Self::LS, Self::SL, Self::SS]
+    }
+
+    /// Returns true if the fence orders older accesses of type `ty` (the `X` in `FenceXY`).
+    #[must_use]
+    pub fn orders_older(self, ty: MemAccessType) -> bool {
+        self.before == ty
+    }
+
+    /// Returns true if the fence orders younger accesses of type `ty` (the `Y` in `FenceXY`).
+    #[must_use]
+    pub fn orders_younger(self, ty: MemAccessType) -> bool {
+        self.after == ty
+    }
+}
+
+impl fmt::Display for FenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fence{}{}", self.before, self.after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        let a = Value::new(0b1100);
+        let b = Value::new(0b1010);
+        assert_eq!(AluOp::Add.apply(a, b), Value::new(0b1100 + 0b1010));
+        assert_eq!(AluOp::Sub.apply(a, b), Value::new(0b1100 - 0b1010));
+        assert_eq!(AluOp::And.apply(a, b), Value::new(0b1000));
+        assert_eq!(AluOp::Or.apply(a, b), Value::new(0b1110));
+        assert_eq!(AluOp::Xor.apply(a, b), Value::new(0b0110));
+        assert_eq!(AluOp::Mov.apply(a, b), a);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.holds(Value::new(1), Value::new(1)));
+        assert!(!BranchCond::Eq.holds(Value::new(1), Value::new(2)));
+        assert!(BranchCond::Ne.holds(Value::new(1), Value::new(2)));
+        assert!(!BranchCond::Ne.holds(Value::new(1), Value::new(1)));
+    }
+
+    #[test]
+    fn fence_display_names() {
+        assert_eq!(FenceKind::LL.to_string(), "FenceLL");
+        assert_eq!(FenceKind::LS.to_string(), "FenceLS");
+        assert_eq!(FenceKind::SL.to_string(), "FenceSL");
+        assert_eq!(FenceKind::SS.to_string(), "FenceSS");
+    }
+
+    #[test]
+    fn fence_ordering_predicates() {
+        assert!(FenceKind::LS.orders_older(MemAccessType::Load));
+        assert!(!FenceKind::LS.orders_older(MemAccessType::Store));
+        assert!(FenceKind::LS.orders_younger(MemAccessType::Store));
+        assert!(!FenceKind::LS.orders_younger(MemAccessType::Load));
+    }
+
+    #[test]
+    fn derived_fences_match_paper() {
+        assert_eq!(FenceKind::acquire(), vec![FenceKind::LL, FenceKind::LS]);
+        assert_eq!(FenceKind::release(), vec![FenceKind::LS, FenceKind::SS]);
+        assert_eq!(
+            FenceKind::full(),
+            vec![FenceKind::LL, FenceKind::LS, FenceKind::SL, FenceKind::SS]
+        );
+    }
+
+    #[test]
+    fn all_contains_four_distinct_fences() {
+        let all = FenceKind::ALL;
+        assert_eq!(all.len(), 4);
+        for (i, x) in all.iter().enumerate() {
+            for y in all.iter().skip(i + 1) {
+                assert_ne!(x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Thread programs, processor identifiers and multiprocessor programs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::IsaError;
+use crate::instr::{Addr, Instruction, Operand};
+use crate::op::{AluOp, BranchCond, FenceKind};
+use crate::reg::Reg;
+use crate::value::Loc;
+
+/// Identifier of a (logical) processor in a multiprocessor program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(usize);
+
+impl ProcId {
+    /// Creates a processor identifier.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the processor index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(index: usize) -> Self {
+        ProcId::new(index)
+    }
+}
+
+/// A branch target label inside a thread program.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(String);
+
+impl Label {
+    /// Creates a label from a name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Label(name.into())
+    }
+
+    /// Returns the label name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(name: &str) -> Self {
+        Label::new(name)
+    }
+}
+
+/// The instruction sequence of one processor, together with label definitions.
+///
+/// Instruction indices within a thread are the *program order* positions used
+/// throughout the memory-model crates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThreadProgram {
+    proc: ProcId,
+    instructions: Vec<Instruction>,
+    /// Label name → index of the instruction the label precedes (may equal
+    /// `instructions.len()` for an end-of-thread label).
+    labels: BTreeMap<String, usize>,
+}
+
+impl ThreadProgram {
+    /// Starts building a thread program for the given processor.
+    #[must_use]
+    pub fn builder(proc: ProcId) -> ThreadBuilder {
+        ThreadBuilder { proc, instructions: Vec::new(), labels: BTreeMap::new() }
+    }
+
+    /// Returns the processor this thread runs on.
+    #[must_use]
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Returns the instructions in program order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Returns the number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns true if the thread has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Resolves a label to the program-order index it points at.
+    #[must_use]
+    pub fn resolve_label(&self, label: &Label) -> Option<usize> {
+        self.labels.get(label.name()).copied()
+    }
+
+    /// Returns the labels defined in this thread with their target indices.
+    #[must_use]
+    pub fn labels(&self) -> &BTreeMap<String, usize> {
+        &self.labels
+    }
+
+    /// Number of memory instructions (loads and stores) in the thread.
+    #[must_use]
+    pub fn memory_instruction_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_memory()).count()
+    }
+
+    /// Returns true if the thread contains any branch instruction.
+    #[must_use]
+    pub fn has_branches(&self) -> bool {
+        self.instructions.iter().any(Instruction::is_branch)
+    }
+
+    /// Validates label references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UndefinedLabel`] when a branch targets a label that
+    /// is not defined in this thread.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        for instr in &self.instructions {
+            if let Instruction::Branch { target, .. } = instr {
+                if !self.labels.contains_key(target.name()) {
+                    return Err(IsaError::UndefinedLabel {
+                        label: target.name().to_string(),
+                        thread: self.proc.index(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ThreadProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.proc)?;
+        for (idx, instr) in self.instructions.iter().enumerate() {
+            for (name, target) in &self.labels {
+                if *target == idx {
+                    writeln!(f, "{name}:")?;
+                }
+            }
+            writeln!(f, "  I{}: {instr}", idx + 1)?;
+        }
+        for (name, target) in &self.labels {
+            if *target == self.instructions.len() {
+                writeln!(f, "{name}:")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`ThreadProgram`].
+///
+/// The builder offers one method per instruction class plus litmus-test
+/// conveniences. All methods return `&mut Self` so construction chains.
+#[derive(Debug)]
+pub struct ThreadBuilder {
+    proc: ProcId,
+    instructions: Vec<Instruction>,
+    labels: BTreeMap<String, usize>,
+}
+
+impl ThreadBuilder {
+    /// Appends an arbitrary instruction.
+    pub fn push(&mut self, instruction: Instruction) -> &mut Self {
+        self.instructions.push(instruction);
+        self
+    }
+
+    /// Appends `dst = Ld [addr]`.
+    pub fn load(&mut self, dst: Reg, addr: Addr) -> &mut Self {
+        self.push(Instruction::Load { dst, addr })
+    }
+
+    /// Appends `St [addr] data`.
+    pub fn store(&mut self, addr: Addr, data: impl Into<Operand>) -> &mut Self {
+        self.push(Instruction::Store { addr, data: data.into() })
+    }
+
+    /// Appends `dst = op(lhs, rhs)`.
+    pub fn alu(
+        &mut self,
+        dst: Reg,
+        op: AluOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Instruction::Alu { dst, op, lhs: lhs.into(), rhs: rhs.into() })
+    }
+
+    /// Appends `dst = src` (a register/immediate move).
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.alu(dst, AluOp::Mov, src, Operand::imm(0))
+    }
+
+    /// Appends the artificial-dependency idiom of the paper:
+    /// `dst = loc + dep - dep`, which syntactically depends on `dep` but always
+    /// evaluates to the address of `loc`.
+    pub fn artificial_addr_dep(&mut self, dst: Reg, loc: Loc, dep: Reg) -> &mut Self {
+        let scratch = dst;
+        self.alu(scratch, AluOp::Add, Operand::loc(loc), Operand::reg(dep));
+        self.alu(dst, AluOp::Sub, Operand::reg(scratch), Operand::reg(dep))
+    }
+
+    /// Appends a single basic fence.
+    pub fn fence(&mut self, kind: FenceKind) -> &mut Self {
+        self.push(Instruction::Fence { kind })
+    }
+
+    /// Appends the acquire fence (`FenceLL; FenceLS`).
+    pub fn fence_acquire(&mut self) -> &mut Self {
+        for kind in FenceKind::acquire() {
+            self.fence(kind);
+        }
+        self
+    }
+
+    /// Appends the release fence (`FenceLS; FenceSS`).
+    pub fn fence_release(&mut self) -> &mut Self {
+        for kind in FenceKind::release() {
+            self.fence(kind);
+        }
+        self
+    }
+
+    /// Appends the full fence (all four basic fences).
+    pub fn fence_full(&mut self) -> &mut Self {
+        for kind in FenceKind::full() {
+            self.fence(kind);
+        }
+        self
+    }
+
+    /// Appends a conditional branch to `target`.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+        target: impl Into<Label>,
+    ) -> &mut Self {
+        self.push(Instruction::Branch {
+            cond,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+            target: target.into(),
+        })
+    }
+
+    /// Defines a label at the current position (the next pushed instruction).
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        self.labels.insert(name.into(), self.instructions.len());
+        self
+    }
+
+    /// Finishes the thread program.
+    #[must_use]
+    pub fn build(&mut self) -> ThreadProgram {
+        ThreadProgram {
+            proc: self.proc,
+            instructions: std::mem::take(&mut self.instructions),
+            labels: std::mem::take(&mut self.labels),
+        }
+    }
+}
+
+/// A complete multiprocessor program: one [`ThreadProgram`] per processor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Program {
+    threads: Vec<ThreadProgram>,
+}
+
+impl Program {
+    /// Creates a program from its per-processor threads.
+    ///
+    /// Thread `i` must carry processor id `i`; use [`Program::try_new`] to
+    /// observe violations as errors instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread list is empty or a thread's processor id does not
+    /// match its position.
+    #[must_use]
+    pub fn new(threads: Vec<ThreadProgram>) -> Self {
+        Self::try_new(threads).expect("invalid program")
+    }
+
+    /// Fallible counterpart of [`Program::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the thread list is empty, a thread's processor id
+    /// does not match its position, or a branch references an undefined label.
+    pub fn try_new(threads: Vec<ThreadProgram>) -> Result<Self, IsaError> {
+        if threads.is_empty() {
+            return Err(IsaError::EmptyProgram);
+        }
+        for (idx, thread) in threads.iter().enumerate() {
+            if thread.proc().index() != idx {
+                return Err(IsaError::ProcIdMismatch {
+                    expected: idx,
+                    found: thread.proc().index(),
+                });
+            }
+            thread.validate()?;
+        }
+        Ok(Program { threads })
+    }
+
+    /// Returns the per-processor threads.
+    #[must_use]
+    pub fn threads(&self) -> &[ThreadProgram] {
+        &self.threads
+    }
+
+    /// Returns the thread running on the given processor, if any.
+    #[must_use]
+    pub fn thread(&self, proc: ProcId) -> Option<&ThreadProgram> {
+        self.threads.get(proc.index())
+    }
+
+    /// Number of processors in the program.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total number of instructions across all threads.
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        self.threads.iter().map(ThreadProgram::len).sum()
+    }
+
+    /// Total number of memory instructions (loads and stores) across all threads.
+    #[must_use]
+    pub fn memory_instruction_count(&self) -> usize {
+        self.threads.iter().map(ThreadProgram::memory_instruction_count).sum()
+    }
+
+    /// Returns true if any thread contains a branch.
+    #[must_use]
+    pub fn has_branches(&self) -> bool {
+        self.threads.iter().any(ThreadProgram::has_branches)
+    }
+
+    /// Iterates over `(ProcId, program-order index, &Instruction)` for every
+    /// instruction in the program.
+    pub fn iter_instructions(&self) -> impl Iterator<Item = (ProcId, usize, &Instruction)> {
+        self.threads.iter().flat_map(|t| {
+            t.instructions().iter().enumerate().map(move |(idx, instr)| (t.proc(), idx, instr))
+        })
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for thread in &self.threads {
+            write!(f, "{thread}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Loc;
+
+    fn r(i: u32) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn builder_constructs_in_order() {
+        let a = Loc::new("a");
+        let mut b = ThreadProgram::builder(ProcId::new(0));
+        b.store(Addr::loc(a), Operand::imm(1)).fence(FenceKind::SS).load(r(1), Addr::loc(a));
+        let t = b.build();
+        assert_eq!(t.len(), 3);
+        assert!(t.instructions()[0].is_store());
+        assert!(t.instructions()[1].is_fence());
+        assert!(t.instructions()[2].is_load());
+        assert_eq!(t.memory_instruction_count(), 2);
+        assert!(!t.has_branches());
+    }
+
+    #[test]
+    fn builder_full_fence_emits_four() {
+        let mut b = ThreadProgram::builder(ProcId::new(0));
+        b.fence_full();
+        assert_eq!(b.build().len(), 4);
+    }
+
+    #[test]
+    fn builder_acquire_release() {
+        let mut b = ThreadProgram::builder(ProcId::new(0));
+        b.fence_acquire().fence_release();
+        let t = b.build();
+        assert_eq!(t.len(), 4);
+        assert!(t.instructions().iter().all(Instruction::is_fence));
+    }
+
+    #[test]
+    fn artificial_dep_reads_dep_register() {
+        let mut b = ThreadProgram::builder(ProcId::new(0));
+        b.artificial_addr_dep(r(2), Loc::new("a"), r(1));
+        let t = b.build();
+        assert_eq!(t.len(), 2);
+        assert!(t.instructions()[0].read_set().contains(&r(1)));
+        assert!(t.instructions()[1].read_set().contains(&r(1)));
+        assert_eq!(t.instructions()[1].write_set(), vec![r(2)]);
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let mut b = ThreadProgram::builder(ProcId::new(0));
+        b.label("start")
+            .load(r(1), Addr::loc(Loc::new("a")))
+            .branch(BranchCond::Eq, Operand::reg(r(1)), Operand::imm(0), "start")
+            .label("end");
+        let t = b.build();
+        assert_eq!(t.resolve_label(&Label::new("start")), Some(0));
+        assert_eq!(t.resolve_label(&Label::new("end")), Some(2));
+        assert_eq!(t.resolve_label(&Label::new("missing")), None);
+        assert!(t.validate().is_ok());
+        assert!(t.has_branches());
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut b = ThreadProgram::builder(ProcId::new(0));
+        b.branch(BranchCond::Ne, Operand::reg(r(1)), Operand::imm(0), "nowhere");
+        let t = b.build();
+        assert_eq!(
+            t.validate(),
+            Err(IsaError::UndefinedLabel { label: "nowhere".into(), thread: 0 })
+        );
+        assert!(Program::try_new(vec![t]).is_err());
+    }
+
+    #[test]
+    fn program_construction_and_counts() {
+        let a = Loc::new("a");
+        let b_loc = Loc::new("b");
+        let mut p1 = ThreadProgram::builder(ProcId::new(0));
+        p1.store(Addr::loc(a), Operand::imm(1)).load(r(1), Addr::loc(b_loc));
+        let mut p2 = ThreadProgram::builder(ProcId::new(1));
+        p2.store(Addr::loc(b_loc), Operand::imm(1)).load(r(2), Addr::loc(a));
+        let prog = Program::new(vec![p1.build(), p2.build()]);
+        assert_eq!(prog.num_threads(), 2);
+        assert_eq!(prog.instruction_count(), 4);
+        assert_eq!(prog.memory_instruction_count(), 4);
+        assert!(!prog.has_branches());
+        assert_eq!(prog.iter_instructions().count(), 4);
+        assert!(prog.thread(ProcId::new(0)).is_some());
+        assert!(prog.thread(ProcId::new(5)).is_none());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Program::try_new(vec![]), Err(IsaError::EmptyProgram));
+    }
+
+    #[test]
+    fn proc_id_mismatch_rejected() {
+        let mut b = ThreadProgram::builder(ProcId::new(3));
+        b.load(r(1), Addr::loc(Loc::new("a")));
+        let err = Program::try_new(vec![b.build()]).unwrap_err();
+        assert_eq!(err, IsaError::ProcIdMismatch { expected: 0, found: 3 });
+    }
+
+    #[test]
+    fn display_contains_instructions() {
+        let mut b = ThreadProgram::builder(ProcId::new(0));
+        b.store(Addr::loc(Loc::new("a")), Operand::imm(1));
+        let prog = Program::new(vec![b.build()]);
+        let text = prog.to_string();
+        assert!(text.contains("P1:"));
+        assert!(text.contains("I1: St ["));
+    }
+}

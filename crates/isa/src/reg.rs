@@ -1,0 +1,86 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural general-purpose register.
+///
+/// Registers are identified by a small integer index. The program counter is
+/// *not* representable as a [`Reg`]; the paper's dependency definitions
+/// (Definitions 1–5) explicitly ignore the PC register, so keeping it out of
+/// the register namespace makes that impossible to get wrong.
+///
+/// # Example
+///
+/// ```
+/// use gam_isa::Reg;
+/// let r1 = Reg::new(1);
+/// assert_eq!(r1.index(), 1);
+/// assert_eq!(r1.to_string(), "r1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u32);
+
+impl Reg {
+    /// Creates a register with the given index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Reg(index)
+    }
+
+    /// Returns the register index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for Reg {
+    fn from(index: u32) -> Self {
+        Reg::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = Reg::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(Reg::from(7u32), r);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::new(0).to_string(), "r0");
+        assert_eq!(Reg::new(42).to_string(), "r42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        let mut set = BTreeSet::new();
+        set.insert(Reg::new(3));
+        set.insert(Reg::new(1));
+        set.insert(Reg::new(2));
+        let ordered: Vec<u32> = set.into_iter().map(Reg::index).collect();
+        assert_eq!(ordered, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn copy_and_hash() {
+        use std::collections::HashSet;
+        let r = Reg::new(5);
+        let copied = r;
+        let mut s = HashSet::new();
+        s.insert(r);
+        assert!(s.contains(&copied));
+    }
+}

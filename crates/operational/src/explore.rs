@@ -1,0 +1,231 @@
+//! Exhaustive exploration of an abstract machine's state space.
+//!
+//! The explorer performs a memoised depth-first search over the transition
+//! graph of an [`AbstractMachine`], collecting the outcome of every reachable
+//! final state. Litmus-test state spaces are finite (bounded ROBs, bounded
+//! programs), so the search is exact; configurable limits guard against
+//! pathological inputs.
+
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+use gam_isa::litmus::Outcome;
+
+use crate::machine::AbstractMachine;
+
+/// Limits for the exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplorerConfig {
+    /// Maximum number of distinct states to visit before giving up.
+    pub max_states: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig { max_states: 5_000_000 }
+    }
+}
+
+/// Errors reported by the explorer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// The state space exceeded [`ExplorerConfig::max_states`].
+    StateLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A non-final state had no enabled rule (the machine deadlocked), which
+    /// indicates a modelling bug.
+    Deadlock,
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::StateLimitExceeded { limit } => {
+                write!(f, "state space exceeded the limit of {limit} states")
+            }
+            ExploreError::Deadlock => write!(f, "a non-final state has no enabled rule"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// The result of an exhaustive exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// The set of outcomes of all reachable final states.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Number of distinct states visited.
+    pub states_visited: usize,
+    /// Number of reachable final states (counted once per distinct state).
+    pub final_states: usize,
+}
+
+/// An exhaustive state-space explorer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Explorer {
+    config: ExplorerConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given limits.
+    #[must_use]
+    pub fn new(config: ExplorerConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// The explorer's configuration.
+    #[must_use]
+    pub fn config(&self) -> ExplorerConfig {
+        self.config
+    }
+
+    /// Exhaustively explores the machine and collects every reachable final
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::StateLimitExceeded`] if the state space is
+    /// larger than the configured limit, and [`ExploreError::Deadlock`] if a
+    /// non-final state has no successor.
+    pub fn explore<M: AbstractMachine>(&self, machine: &M) -> Result<Exploration, ExploreError> {
+        let mut visited: HashSet<M::State> = HashSet::new();
+        let mut stack: Vec<M::State> = Vec::new();
+        let mut outcomes = BTreeSet::new();
+        let mut final_states = 0usize;
+
+        let initial = machine.initial_state();
+        visited.insert(initial.clone());
+        stack.push(initial);
+
+        while let Some(state) = stack.pop() {
+            let successors = machine.successors(&state);
+            if successors.is_empty() {
+                if machine.is_final(&state) {
+                    final_states += 1;
+                    outcomes.insert(machine.outcome(&state));
+                } else {
+                    return Err(ExploreError::Deadlock);
+                }
+                continue;
+            }
+            // A state can be final while still having enabled rules (e.g. a
+            // fetch past the interesting instructions); record it either way.
+            if machine.is_final(&state) {
+                final_states += 1;
+                outcomes.insert(machine.outcome(&state));
+            }
+            for next in successors {
+                if visited.contains(&next) {
+                    continue;
+                }
+                if visited.len() >= self.config.max_states {
+                    return Err(ExploreError::StateLimitExceeded { limit: self.config.max_states });
+                }
+                visited.insert(next.clone());
+                stack.push(next);
+            }
+        }
+
+        Ok(Exploration { outcomes, states_visited: visited.len(), final_states })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::AbstractMachine;
+    use gam_isa::litmus::Outcome;
+
+    /// A diamond-shaped machine with two final states.
+    #[derive(Debug)]
+    struct Diamond;
+
+    impl AbstractMachine for Diamond {
+        type State = u8;
+
+        fn initial_state(&self) -> u8 {
+            0
+        }
+
+        fn successors(&self, state: &u8) -> Vec<u8> {
+            match state {
+                0 => vec![1, 2],
+                1 | 2 => vec![3],
+                _ => vec![],
+            }
+        }
+
+        fn is_final(&self, state: &u8) -> bool {
+            *state == 3
+        }
+
+        fn outcome(&self, _state: &u8) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "diamond"
+        }
+    }
+
+    /// A machine that deadlocks in a non-final state.
+    #[derive(Debug)]
+    struct Stuck;
+
+    impl AbstractMachine for Stuck {
+        type State = u8;
+
+        fn initial_state(&self) -> u8 {
+            0
+        }
+
+        fn successors(&self, _state: &u8) -> Vec<u8> {
+            vec![]
+        }
+
+        fn is_final(&self, _state: &u8) -> bool {
+            false
+        }
+
+        fn outcome(&self, _state: &u8) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "stuck"
+        }
+    }
+
+    #[test]
+    fn diamond_visits_all_states_once() {
+        let exploration = Explorer::default().explore(&Diamond).unwrap();
+        assert_eq!(exploration.states_visited, 4);
+        assert_eq!(exploration.final_states, 1);
+        assert_eq!(exploration.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        assert_eq!(Explorer::default().explore(&Stuck), Err(ExploreError::Deadlock));
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let explorer = Explorer::new(ExplorerConfig { max_states: 2 });
+        assert_eq!(
+            explorer.explore(&Diamond),
+            Err(ExploreError::StateLimitExceeded { limit: 2 })
+        );
+        assert_eq!(explorer.config().max_states, 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ExploreError::Deadlock.to_string().contains("no enabled rule"));
+        assert!(ExploreError::StateLimitExceeded { limit: 7 }.to_string().contains('7'));
+    }
+}

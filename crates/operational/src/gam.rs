@@ -1,0 +1,762 @@
+//! The GAM abstract machine (Section IV-B, Figures 16 and 17 of the paper).
+//!
+//! Each processor owns a reorder buffer (ROB) and a PC register; all
+//! processors share a monolithic memory. One step fires one rule on one
+//! processor:
+//!
+//! * **Fetch** — speculatively fetch the next instruction (with branch-target
+//!   prediction for branches);
+//! * **Execute-Reg-to-Reg**, **Execute-Branch** — local computation; a
+//!   mispredicted branch squashes every younger ROB entry;
+//! * **Execute-Fence** — a `FenceXY` completes once all older type-X memory
+//!   instructions are done;
+//! * **Execute-Load** — a load searches older ROB entries for the first
+//!   not-done same-address memory instruction: a not-done load stalls it
+//!   (constraint SALdLd), a not-done store forwards its data when available
+//!   (constraint SAStLd), otherwise the load reads the monolithic memory;
+//! * **Compute-Store-Data**, **Execute-Store** — a store completes only when
+//!   its address and data are known, all older branches are done, all older
+//!   memory addresses are known and all older same-address accesses are done
+//!   (constraints BrSt, AddrSt, SAMemSt);
+//! * **Compute-Mem-Addr** — resolving a memory address squashes a younger
+//!   same-address load that already executed (preserving LdVal/SAStLd, and
+//!   SALdLd when the resolving instruction is itself a load).
+//!
+//! [`GamConfig::same_address_load_load`] switches the SALdLd enforcement on
+//! (GAM) or off (GAM0), mirroring the two models' operational definitions.
+
+use std::collections::BTreeMap;
+
+use gam_isa::litmus::{LitmusTest, Observation, Outcome};
+use gam_isa::{Instruction, MemAccessType, Operand, Program, Reg, ThreadProgram, Value};
+
+use crate::machine::AbstractMachine;
+
+/// Configuration of the GAM abstract machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GamConfig {
+    /// Enforce the same-address load-load ordering constraint SALdLd
+    /// (true = GAM, false = GAM0).
+    pub same_address_load_load: bool,
+    /// Resolve constant addresses and constant store data at fetch time.
+    /// This is a pure state-space reduction: firing Compute-Mem-Addr /
+    /// Compute-Store-Data immediately when they have no register inputs
+    /// cannot change the reachable outcomes (no younger entries exist at
+    /// fetch time, so no squash can be triggered, and making information
+    /// available earlier never disables another rule).
+    pub resolve_constants_at_fetch: bool,
+}
+
+impl Default for GamConfig {
+    fn default() -> Self {
+        GamConfig { same_address_load_load: true, resolve_constants_at_fetch: true }
+    }
+}
+
+impl GamConfig {
+    /// The configuration of the GAM operational model.
+    #[must_use]
+    pub fn gam() -> Self {
+        GamConfig::default()
+    }
+
+    /// The configuration of the GAM0 operational model (no SALdLd).
+    #[must_use]
+    pub fn gam0() -> Self {
+        GamConfig { same_address_load_load: false, ..GamConfig::default() }
+    }
+}
+
+/// One reorder-buffer entry (Figure 16).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RobEntry {
+    /// Index of the instruction in the thread program (its "PC").
+    pub instr_index: usize,
+    /// Has the instruction finished execution?
+    pub done: bool,
+    /// Execution result (load value, ALU result, store data once executed).
+    pub result: Value,
+    /// Is the memory address computed (loads and stores)?
+    pub addr_avail: bool,
+    /// The computed memory address.
+    pub addr: u64,
+    /// Is the store data computed (stores)?
+    pub data_avail: bool,
+    /// The computed store data.
+    pub data: Value,
+    /// Predicted next PC recorded at fetch time (branches).
+    pub predicted_target: usize,
+}
+
+impl RobEntry {
+    fn new(instr_index: usize) -> Self {
+        RobEntry {
+            instr_index,
+            done: false,
+            result: Value::ZERO,
+            addr_avail: false,
+            addr: 0,
+            data_avail: false,
+            data: Value::ZERO,
+            predicted_target: instr_index + 1,
+        }
+    }
+}
+
+/// Per-processor state: the PC register and the ROB.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct GamProcState {
+    /// Address (instruction index) of the next instruction to fetch.
+    pub pc: usize,
+    /// The reorder buffer, oldest entry first.
+    pub rob: Vec<RobEntry>,
+}
+
+/// A configuration of the GAM abstract machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GamState {
+    /// The monolithic memory.
+    pub memory: BTreeMap<u64, Value>,
+    /// Per-processor state.
+    pub procs: Vec<GamProcState>,
+}
+
+/// The GAM abstract machine for one litmus test.
+#[derive(Debug, Clone)]
+pub struct GamMachine {
+    program: Program,
+    initial_memory: BTreeMap<u64, Value>,
+    observed: Vec<Observation>,
+    config: GamConfig,
+    /// When the program has no branches the machine pre-fetches every
+    /// instruction, which removes fetch interleavings from the state space
+    /// without changing the reachable outcomes (the Fetch rule has no guard
+    /// and enabling an entry earlier never disables an older entry's rule).
+    eager_fetch: bool,
+    name: String,
+}
+
+impl GamMachine {
+    /// Builds the GAM machine (with SALdLd) for a litmus test.
+    #[must_use]
+    pub fn new(test: &LitmusTest) -> Self {
+        Self::with_config(test, GamConfig::gam())
+    }
+
+    /// Builds the machine with an explicit configuration.
+    #[must_use]
+    pub fn with_config(test: &LitmusTest, config: GamConfig) -> Self {
+        let eager_fetch = !test.program().has_branches();
+        let name = if config.same_address_load_load {
+            "GAM abstract machine".to_string()
+        } else {
+            "GAM0 abstract machine".to_string()
+        };
+        GamMachine {
+            program: test.program().clone(),
+            initial_memory: test.initial_memory().clone(),
+            observed: test.observed().to_vec(),
+            config,
+            eager_fetch,
+            name,
+        }
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> GamConfig {
+        self.config
+    }
+
+    fn thread(&self, proc: usize) -> &ThreadProgram {
+        &self.program.threads()[proc]
+    }
+
+    fn instruction<'a>(&'a self, proc: usize, entry: &RobEntry) -> &'a Instruction {
+        &self.thread(proc).instructions()[entry.instr_index]
+    }
+
+    fn read_memory(&self, memory: &BTreeMap<u64, Value>, addr: u64) -> Value {
+        memory.get(&addr).copied().unwrap_or(Value::ZERO)
+    }
+
+    /// The value of a register as seen by ROB entry `index`: the result of the
+    /// youngest older done entry that writes it, `None` if that entry is not
+    /// done yet, or zero if no older entry writes it (initial register state).
+    fn register_value(
+        &self,
+        proc: usize,
+        rob: &[RobEntry],
+        index: usize,
+        reg: Reg,
+    ) -> Option<Value> {
+        for older in rob[..index].iter().rev() {
+            let instr = self.instruction(proc, older);
+            if instr.write_set().contains(&reg) {
+                return if older.done { Some(older.result) } else { None };
+            }
+        }
+        Some(Value::ZERO)
+    }
+
+    fn operand_value(
+        &self,
+        proc: usize,
+        rob: &[RobEntry],
+        index: usize,
+        operand: &Operand,
+    ) -> Option<Value> {
+        match operand {
+            Operand::Imm(v) => Some(*v),
+            Operand::Reg(r) => self.register_value(proc, rob, index, *r),
+        }
+    }
+
+    /// Fetches one instruction into the ROB of `proc`, resolving constant
+    /// operands if configured. Returns the predicted next PCs (two for a
+    /// branch, one otherwise).
+    fn fetch_entry(&self, proc: usize, pc: usize) -> (RobEntry, Vec<usize>) {
+        let thread = self.thread(proc);
+        let instr = &thread.instructions()[pc];
+        let mut entry = RobEntry::new(pc);
+        if self.config.resolve_constants_at_fetch {
+            match instr {
+                Instruction::Load { addr, .. } | Instruction::Store { addr, .. }
+                    if addr.source_reg().is_none() =>
+                {
+                    entry.addr_avail = true;
+                    entry.addr = addr.evaluate(match addr.base {
+                        Operand::Imm(v) => v,
+                        Operand::Reg(_) => unreachable!("no source register"),
+                    })
+                    .raw();
+                }
+                _ => {}
+            }
+            if let Instruction::Store { data: Operand::Imm(v), .. } = instr {
+                entry.data_avail = true;
+                entry.data = *v;
+            }
+        }
+        let predictions = match instr {
+            Instruction::Branch { target, .. } => {
+                let taken = thread.resolve_label(target).unwrap_or(thread.len());
+                if taken == pc + 1 {
+                    vec![pc + 1]
+                } else {
+                    vec![pc + 1, taken]
+                }
+            }
+            _ => vec![pc + 1],
+        };
+        (entry, predictions)
+    }
+
+    /// Pre-fetches every instruction of every thread (branch-free programs only).
+    fn prefetch_all(&self) -> Vec<GamProcState> {
+        (0..self.program.num_threads())
+            .map(|proc| {
+                let thread = self.thread(proc);
+                let rob = (0..thread.len()).map(|pc| self.fetch_entry(proc, pc).0).collect();
+                GamProcState { pc: thread.len(), rob }
+            })
+            .collect()
+    }
+
+    /// After a squash in eager mode, re-fetch every remaining instruction so
+    /// the ROB is complete again.
+    fn refill(&self, proc: usize, state: &mut GamProcState) {
+        if !self.eager_fetch {
+            return;
+        }
+        let len = self.thread(proc).len();
+        while state.pc < len {
+            let (entry, _) = self.fetch_entry(proc, state.pc);
+            state.rob.push(entry);
+            state.pc += 1;
+        }
+    }
+
+    // ----- rule guards and actions -------------------------------------------------
+
+    fn rule_fetch(&self, state: &GamState, proc: usize, out: &mut Vec<GamState>) {
+        let thread = self.thread(proc);
+        let pc = state.procs[proc].pc;
+        if pc >= thread.len() {
+            return;
+        }
+        let (entry, predictions) = self.fetch_entry(proc, pc);
+        for predicted in predictions {
+            let mut next = state.clone();
+            let mut fetched = entry.clone();
+            fetched.predicted_target = predicted;
+            next.procs[proc].rob.push(fetched);
+            next.procs[proc].pc = predicted;
+            out.push(next);
+        }
+    }
+
+    fn rule_execute_alu(
+        &self,
+        state: &GamState,
+        proc: usize,
+        index: usize,
+        out: &mut Vec<GamState>,
+    ) {
+        let rob = &state.procs[proc].rob;
+        let entry = &rob[index];
+        let Instruction::Alu { op, lhs, rhs, .. } = self.instruction(proc, entry) else {
+            return;
+        };
+        let (Some(a), Some(b)) = (
+            self.operand_value(proc, rob, index, lhs),
+            self.operand_value(proc, rob, index, rhs),
+        ) else {
+            return;
+        };
+        let mut next = state.clone();
+        let entry = &mut next.procs[proc].rob[index];
+        entry.result = op.apply(a, b);
+        entry.done = true;
+        out.push(next);
+    }
+
+    fn rule_execute_branch(
+        &self,
+        state: &GamState,
+        proc: usize,
+        index: usize,
+        out: &mut Vec<GamState>,
+    ) {
+        let rob = &state.procs[proc].rob;
+        let entry = &rob[index];
+        let Instruction::Branch { cond, lhs, rhs, target } = self.instruction(proc, entry) else {
+            return;
+        };
+        let (Some(a), Some(b)) = (
+            self.operand_value(proc, rob, index, lhs),
+            self.operand_value(proc, rob, index, rhs),
+        ) else {
+            return;
+        };
+        let thread = self.thread(proc);
+        let actual = if cond.holds(a, b) {
+            thread.resolve_label(target).unwrap_or(thread.len())
+        } else {
+            entry.instr_index + 1
+        };
+        let mut next = state.clone();
+        let predicted = next.procs[proc].rob[index].predicted_target;
+        next.procs[proc].rob[index].done = true;
+        if actual != predicted {
+            next.procs[proc].rob.truncate(index + 1);
+            next.procs[proc].pc = actual;
+            self.refill(proc, &mut next.procs[proc]);
+        }
+        out.push(next);
+    }
+
+    fn rule_execute_fence(
+        &self,
+        state: &GamState,
+        proc: usize,
+        index: usize,
+        out: &mut Vec<GamState>,
+    ) {
+        let rob = &state.procs[proc].rob;
+        let entry = &rob[index];
+        let Instruction::Fence { kind } = self.instruction(proc, entry) else {
+            return;
+        };
+        let older_done = rob[..index].iter().all(|older| {
+            match self.instruction(proc, older).mem_access_type() {
+                Some(ty) if kind.orders_older(ty) => older.done,
+                _ => true,
+            }
+        });
+        if !older_done {
+            return;
+        }
+        let mut next = state.clone();
+        next.procs[proc].rob[index].done = true;
+        out.push(next);
+    }
+
+    fn rule_execute_load(
+        &self,
+        state: &GamState,
+        proc: usize,
+        index: usize,
+        out: &mut Vec<GamState>,
+    ) {
+        let rob = &state.procs[proc].rob;
+        let entry = &rob[index];
+        let Instruction::Load { .. } = self.instruction(proc, entry) else {
+            return;
+        };
+        if !entry.addr_avail {
+            return;
+        }
+        // All older fences ordering younger loads must be done.
+        let fences_done = rob[..index].iter().all(|older| {
+            match self.instruction(proc, older) {
+                Instruction::Fence { kind } if kind.orders_younger(MemAccessType::Load) => {
+                    older.done
+                }
+                _ => true,
+            }
+        });
+        if !fences_done {
+            return;
+        }
+        // Search older entries, youngest first, for the first not-done
+        // same-address memory instruction.
+        let addr = entry.addr;
+        let blocker = rob[..index].iter().rev().find(|older| {
+            if !older.addr_avail || older.addr != addr || older.done {
+                return false;
+            }
+            match self.instruction(proc, older) {
+                Instruction::Load { .. } => self.config.same_address_load_load,
+                Instruction::Store { .. } => true,
+                _ => false,
+            }
+        });
+        let value = match blocker {
+            Some(older) => match self.instruction(proc, older) {
+                Instruction::Load { .. } => return, // stall on an older not-done load (SALdLd)
+                Instruction::Store { .. } => {
+                    if older.data_avail {
+                        older.data // forward from the store (SAStLd)
+                    } else {
+                        return; // stall until the store data is known
+                    }
+                }
+                _ => unreachable!("blocker is a memory instruction"),
+            },
+            None => self.read_memory(&state.memory, addr),
+        };
+        let mut next = state.clone();
+        let entry = &mut next.procs[proc].rob[index];
+        entry.result = value;
+        entry.done = true;
+        out.push(next);
+    }
+
+    fn rule_compute_store_data(
+        &self,
+        state: &GamState,
+        proc: usize,
+        index: usize,
+        out: &mut Vec<GamState>,
+    ) {
+        let rob = &state.procs[proc].rob;
+        let entry = &rob[index];
+        if entry.data_avail {
+            return;
+        }
+        let Instruction::Store { data, .. } = self.instruction(proc, entry) else {
+            return;
+        };
+        let Some(value) = self.operand_value(proc, rob, index, data) else {
+            return;
+        };
+        let mut next = state.clone();
+        let entry = &mut next.procs[proc].rob[index];
+        entry.data = value;
+        entry.data_avail = true;
+        out.push(next);
+    }
+
+    fn rule_execute_store(
+        &self,
+        state: &GamState,
+        proc: usize,
+        index: usize,
+        out: &mut Vec<GamState>,
+    ) {
+        let rob = &state.procs[proc].rob;
+        let entry = &rob[index];
+        let Instruction::Store { .. } = self.instruction(proc, entry) else {
+            return;
+        };
+        if !entry.addr_avail || !entry.data_avail {
+            return;
+        }
+        let addr = entry.addr;
+        let guards_hold = rob[..index].iter().all(|older| {
+            let instr = self.instruction(proc, older);
+            match instr {
+                // Guard 3 (BrSt): all older branches are done.
+                Instruction::Branch { .. } => older.done,
+                // Guard 6 (FenceOrd): all older fences ordering younger stores are done.
+                Instruction::Fence { kind } => {
+                    !kind.orders_younger(MemAccessType::Store) || older.done
+                }
+                // Guards 4 and 5 (AddrSt, SAMemSt): all older memory
+                // instructions have known addresses, and same-address ones
+                // are done.
+                Instruction::Load { .. } | Instruction::Store { .. } => {
+                    older.addr_avail && (older.addr != addr || older.done)
+                }
+                Instruction::Alu { .. } => true,
+            }
+        });
+        if !guards_hold {
+            return;
+        }
+        let mut next = state.clone();
+        let data = next.procs[proc].rob[index].data;
+        next.memory.insert(addr, data);
+        let entry = &mut next.procs[proc].rob[index];
+        entry.result = data;
+        entry.done = true;
+        out.push(next);
+    }
+
+    fn rule_compute_mem_addr(
+        &self,
+        state: &GamState,
+        proc: usize,
+        index: usize,
+        out: &mut Vec<GamState>,
+    ) {
+        let rob = &state.procs[proc].rob;
+        let entry = &rob[index];
+        if entry.addr_avail {
+            return;
+        }
+        let instr = self.instruction(proc, entry);
+        let addr_expr = match instr {
+            Instruction::Load { addr, .. } | Instruction::Store { addr, .. } => addr,
+            _ => return,
+        };
+        let Some(base) = self.operand_value(proc, rob, index, &addr_expr.base) else {
+            return;
+        };
+        let addr = addr_expr.evaluate(base).raw();
+
+        let mut next = state.clone();
+        {
+            let entry = &mut next.procs[proc].rob[index];
+            entry.addr_avail = true;
+            entry.addr = addr;
+        }
+        // Squash check: find the first younger same-address memory entry.
+        // A done load must be squashed (together with everything younger).
+        // The SALdLd-motivated squash on load-triggered resolution only
+        // applies when the machine enforces SALdLd (GAM, not GAM0).
+        let squash_applies = instr.is_store() || self.config.same_address_load_load;
+        if squash_applies {
+            let younger = next.procs[proc].rob[index + 1..]
+                .iter()
+                .position(|e| e.addr_avail && e.addr == addr)
+                .map(|offset| index + 1 + offset);
+            if let Some(victim) = younger {
+                let victim_entry = &next.procs[proc].rob[victim];
+                let victim_is_done_load = victim_entry.done
+                    && self.instruction(proc, victim_entry).is_load();
+                if victim_is_done_load {
+                    let restart_pc = victim_entry.instr_index;
+                    next.procs[proc].rob.truncate(victim);
+                    next.procs[proc].pc = restart_pc;
+                    self.refill(proc, &mut next.procs[proc]);
+                }
+            }
+        }
+        out.push(next);
+    }
+}
+
+impl AbstractMachine for GamMachine {
+    type State = GamState;
+
+    fn initial_state(&self) -> GamState {
+        let procs = if self.eager_fetch {
+            self.prefetch_all()
+        } else {
+            vec![GamProcState::default(); self.program.num_threads()]
+        };
+        GamState { memory: self.initial_memory.clone(), procs }
+    }
+
+    fn successors(&self, state: &GamState) -> Vec<GamState> {
+        let mut out = Vec::new();
+        for proc in 0..self.program.num_threads() {
+            if !self.eager_fetch {
+                self.rule_fetch(state, proc, &mut out);
+            }
+            for index in 0..state.procs[proc].rob.len() {
+                if state.procs[proc].rob[index].done {
+                    // Completed entries only participate as context for others,
+                    // except stores whose data rule has already fired.
+                    continue;
+                }
+                self.rule_execute_alu(state, proc, index, &mut out);
+                self.rule_execute_branch(state, proc, index, &mut out);
+                self.rule_execute_fence(state, proc, index, &mut out);
+                self.rule_execute_load(state, proc, index, &mut out);
+                self.rule_compute_store_data(state, proc, index, &mut out);
+                self.rule_execute_store(state, proc, index, &mut out);
+                self.rule_compute_mem_addr(state, proc, index, &mut out);
+            }
+        }
+        out
+    }
+
+    fn is_final(&self, state: &GamState) -> bool {
+        state.procs.iter().enumerate().all(|(proc, p)| {
+            p.pc >= self.thread(proc).len() && p.rob.iter().all(|entry| entry.done)
+        })
+    }
+
+    fn outcome(&self, state: &GamState) -> Outcome {
+        let mut outcome = Outcome::new();
+        for observation in &self.observed {
+            let value = match observation {
+                Observation::Register(proc, reg) => {
+                    let p = proc.index();
+                    state.procs[p]
+                        .rob
+                        .iter()
+                        .rev()
+                        .find(|entry| {
+                            entry.done
+                                && self.instruction(p, entry).write_set().contains(reg)
+                        })
+                        .map(|entry| entry.result)
+                        .unwrap_or(Value::ZERO)
+                }
+                Observation::Memory(loc) => self.read_memory(&state.memory, loc.address()),
+            };
+            outcome.set(*observation, value);
+        }
+        outcome
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use gam_isa::litmus::library;
+
+    fn outcomes(test: &LitmusTest, config: GamConfig) -> std::collections::BTreeSet<Outcome> {
+        let machine = GamMachine::with_config(test, config);
+        Explorer::default().explore(&machine).unwrap().outcomes
+    }
+
+    fn reachable(test: &LitmusTest, config: GamConfig) -> bool {
+        outcomes(test, config).iter().any(|o| test.condition().matched_by(o))
+    }
+
+    #[test]
+    fn dekker_non_sc_outcome_reachable() {
+        assert!(reachable(&library::dekker(), GamConfig::gam()));
+        assert!(reachable(&library::dekker(), GamConfig::gam0()));
+    }
+
+    #[test]
+    fn oota_unreachable() {
+        assert!(!reachable(&library::oota(), GamConfig::gam()));
+        assert!(!reachable(&library::oota(), GamConfig::gam0()));
+    }
+
+    #[test]
+    fn corr_distinguishes_gam_from_gam0() {
+        assert!(!reachable(&library::corr(), GamConfig::gam()), "SALdLd forbids the stale re-read");
+        assert!(reachable(&library::corr(), GamConfig::gam0()), "GAM0 allows the stale re-read");
+    }
+
+    #[test]
+    fn mp_addr_dependency_respected() {
+        assert!(!reachable(&library::mp_addr(), GamConfig::gam()));
+        assert!(!reachable(&library::mp_addr(), GamConfig::gam0()));
+    }
+
+    #[test]
+    fn mp_without_consumer_ordering_is_weak() {
+        assert!(reachable(&library::mp(), GamConfig::gam()));
+        assert!(reachable(&library::mp_fence_ss_only(), GamConfig::gam()));
+        assert!(!reachable(&library::mp_fences(), GamConfig::gam()));
+    }
+
+    #[test]
+    fn load_buffering_allowed_without_dependency() {
+        assert!(reachable(&library::lb(), GamConfig::gam()));
+        assert!(!reachable(&library::lb_data(), GamConfig::gam()));
+        assert!(!reachable(&library::lb_fence_ls(), GamConfig::gam()));
+    }
+
+    #[test]
+    fn store_forwarding_cannot_skip_the_youngest_store() {
+        assert!(!reachable(&library::store_forwarding(), GamConfig::gam()));
+        assert!(!reachable(&library::store_forwarding(), GamConfig::gam0()));
+    }
+
+    #[test]
+    fn corw_and_cowr_coherence() {
+        assert!(!reachable(&library::corw(), GamConfig::gam()));
+        assert!(!reachable(&library::cowr(), GamConfig::gam()));
+        assert!(!reachable(&library::coww(), GamConfig::gam()));
+    }
+
+    #[test]
+    fn constant_resolution_does_not_change_outcomes() {
+        for test in [library::dekker(), library::corr(), library::mp_fence_ss_only()] {
+            let eager = outcomes(&test, GamConfig::gam());
+            let lazy = outcomes(
+                &test,
+                GamConfig { resolve_constants_at_fetch: false, ..GamConfig::gam() },
+            );
+            assert_eq!(eager, lazy, "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn branchy_program_squashes_on_misprediction() {
+        use gam_isa::{Addr, BranchCond, Loc, ProcId};
+        // P1: r1 = Ld [a]; if r1 != 0 goto skip; St [b] 1; skip:
+        // P2: St [a] 1
+        // If the load reads 1 the store to b must not happen.
+        let a = Loc::new("a");
+        let b = Loc::new("b");
+        let mut p1 = gam_isa::ThreadProgram::builder(ProcId::new(0));
+        p1.load(Reg::new(1), Addr::loc(a))
+            .branch(BranchCond::Ne, Operand::reg(Reg::new(1)), Operand::imm(0), "skip")
+            .store(Addr::loc(b), Operand::imm(1))
+            .label("skip");
+        let mut p2 = gam_isa::ThreadProgram::builder(ProcId::new(1));
+        p2.store(Addr::loc(a), Operand::imm(1));
+        let program = Program::new(vec![p1.build(), p2.build()]);
+        let test = LitmusTest::builder("branch-squash", program)
+            .expect_reg(ProcId::new(0), Reg::new(1), 1u64)
+            .expect_mem(b, 1u64)
+            .build();
+        // r1 = 1 together with b = 1 would mean the squashed store escaped.
+        assert!(!reachable(&test, GamConfig::gam()));
+        // Both r1 = 0 (store b happens) and r1 = 1 (store b suppressed) exist.
+        let all = outcomes(&test, GamConfig::gam());
+        assert!(all.len() >= 2);
+    }
+
+    #[test]
+    fn outcome_projection_reads_registers_and_memory() {
+        let test = library::coww();
+        let machine = GamMachine::new(&test);
+        let exploration = Explorer::default().explore(&machine).unwrap();
+        assert_eq!(exploration.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn machine_names_reflect_configuration() {
+        let test = library::dekker();
+        assert!(GamMachine::new(&test).name().contains("GAM abstract"));
+        assert!(GamMachine::with_config(&test, GamConfig::gam0()).name().contains("GAM0"));
+        assert!(GamMachine::new(&test).config().same_address_load_load);
+    }
+}

@@ -1,0 +1,93 @@
+//! The abstract-machine interface shared by all operational models.
+
+use std::hash::Hash;
+
+use gam_isa::litmus::Outcome;
+
+/// An operational memory-model definition: a non-deterministic transition
+/// system whose reachable final states determine the allowed program
+/// behaviours.
+///
+/// Implementations are *machines for one litmus test*: the program, the
+/// initial memory and the observed registers/locations are baked into the
+/// machine, and [`AbstractMachine::outcome`] projects a final state onto the
+/// test's observations.
+pub trait AbstractMachine {
+    /// A machine configuration. States must be cheap to clone and hashable so
+    /// the explorer can memoise visited configurations.
+    type State: Clone + Eq + Hash;
+
+    /// The initial configuration.
+    fn initial_state(&self) -> Self::State;
+
+    /// All configurations reachable from `state` in one rule firing.
+    ///
+    /// Returning an empty vector means no rule is enabled; if the state is
+    /// not final this indicates deadlock, which the explorer reports.
+    fn successors(&self, state: &Self::State) -> Vec<Self::State>;
+
+    /// Returns true when the machine has completely executed the program.
+    fn is_final(&self, state: &Self::State) -> bool;
+
+    /// Projects a final state onto the litmus test's observed registers and
+    /// memory locations.
+    fn outcome(&self, state: &Self::State) -> Outcome;
+
+    /// A short human-readable name for diagnostics.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::Outcome;
+
+    /// A trivial two-step machine used to exercise the trait's object safety
+    /// and default-free design.
+    #[derive(Debug)]
+    struct Countdown {
+        start: u8,
+    }
+
+    impl AbstractMachine for Countdown {
+        type State = u8;
+
+        fn initial_state(&self) -> u8 {
+            self.start
+        }
+
+        fn successors(&self, state: &u8) -> Vec<u8> {
+            if *state == 0 {
+                vec![]
+            } else {
+                vec![state - 1]
+            }
+        }
+
+        fn is_final(&self, state: &u8) -> bool {
+            *state == 0
+        }
+
+        fn outcome(&self, _state: &u8) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "countdown"
+        }
+    }
+
+    #[test]
+    fn countdown_machine_behaves() {
+        let machine = Countdown { start: 2 };
+        let s0 = machine.initial_state();
+        assert!(!machine.is_final(&s0));
+        let s1 = machine.successors(&s0);
+        assert_eq!(s1, vec![1]);
+        let s2 = machine.successors(&s1[0]);
+        assert!(machine.is_final(&s2[0]));
+        assert!(machine.successors(&s2[0]).is_empty());
+        assert_eq!(machine.name(), "countdown");
+        assert!(machine.outcome(&s2[0]).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Random-walk execution of an abstract machine.
+//!
+//! Where the exhaustive explorer computes the *complete* outcome set, the
+//! random walker samples executions: from the initial state it repeatedly
+//! picks a uniformly random enabled rule until the machine reaches a final
+//! state. Sampling is useful for quick demonstrations, for differential
+//! fuzzing against the axiomatic checker, and for estimating how often a
+//! relaxed behaviour actually shows up.
+
+use std::collections::BTreeMap;
+
+use gam_isa::litmus::Outcome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::machine::AbstractMachine;
+
+/// A seeded random-walk executor.
+#[derive(Debug, Clone)]
+pub struct RandomWalker {
+    rng: StdRng,
+    max_steps: usize,
+}
+
+impl RandomWalker {
+    /// Creates a walker with the given seed and the default step bound.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RandomWalker { rng: StdRng::seed_from_u64(seed), max_steps: 100_000 }
+    }
+
+    /// Sets the maximum number of steps per walk (guards against machines
+    /// with livelocks, e.g. programs with infinite loops).
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs one random execution and returns its outcome, or `None` if the
+    /// step bound was reached before a final state.
+    pub fn run_once<M: AbstractMachine>(&mut self, machine: &M) -> Option<Outcome> {
+        let mut state = machine.initial_state();
+        for _ in 0..self.max_steps {
+            let successors = machine.successors(&state);
+            if successors.is_empty() {
+                return machine.is_final(&state).then(|| machine.outcome(&state));
+            }
+            let choice = self.rng.gen_range(0..successors.len());
+            state = successors.into_iter().nth(choice).expect("index in range");
+        }
+        None
+    }
+
+    /// Runs `runs` random executions and returns a histogram of outcomes.
+    pub fn sample<M: AbstractMachine>(
+        &mut self,
+        machine: &M,
+        runs: usize,
+    ) -> BTreeMap<Outcome, usize> {
+        let mut histogram = BTreeMap::new();
+        for _ in 0..runs {
+            if let Some(outcome) = self.run_once(machine) {
+                *histogram.entry(outcome).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use crate::gam::GamMachine;
+    use crate::sc::ScMachine;
+    use gam_isa::litmus::library;
+
+    #[test]
+    fn sampling_is_deterministic_for_a_fixed_seed() {
+        let test = library::dekker();
+        let machine = ScMachine::new(&test);
+        let h1 = RandomWalker::new(7).sample(&machine, 50);
+        let h2 = RandomWalker::new(7).sample(&machine, 50);
+        assert_eq!(h1, h2);
+        let h3 = RandomWalker::new(8).sample(&machine, 50);
+        // Different seeds almost surely give a different histogram; both must
+        // still only contain SC-allowed outcomes.
+        assert!(h1.keys().all(|o| !test.condition().matched_by(o)));
+        assert!(h3.keys().all(|o| !test.condition().matched_by(o)));
+    }
+
+    #[test]
+    fn sampled_outcomes_are_a_subset_of_explored_outcomes() {
+        let test = library::mp_fence_ss_only();
+        let machine = GamMachine::new(&test);
+        let explored = Explorer::default().explore(&machine).unwrap().outcomes;
+        let sampled = RandomWalker::new(42).sample(&machine, 200);
+        for outcome in sampled.keys() {
+            assert!(explored.contains(outcome), "sampled outcome {outcome} not in explored set");
+        }
+        let total: usize = sampled.values().sum();
+        assert_eq!(total, 200, "every walk of a finite litmus test terminates");
+    }
+
+    #[test]
+    fn step_bound_terminates_walks() {
+        let test = library::dekker();
+        let machine = GamMachine::new(&test);
+        let mut walker = RandomWalker::new(1).with_max_steps(1);
+        assert_eq!(walker.run_once(&machine), None);
+    }
+}

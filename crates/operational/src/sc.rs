@@ -1,0 +1,235 @@
+//! The SC abstract machine (Figure 1 of the paper).
+//!
+//! All processors are connected directly to a monolithic memory. In one step
+//! a single processor executes its next instruction atomically: reg-to-reg
+//! and branch instructions update local state, loads read the monolithic
+//! memory instantaneously, stores update it instantaneously. Fences are
+//! no-ops under SC.
+
+use std::collections::BTreeMap;
+
+use gam_isa::litmus::{LitmusTest, Observation, Outcome};
+use gam_isa::{Instruction, Operand, Program, Reg, ThreadProgram, Value};
+
+use crate::machine::AbstractMachine;
+
+/// Sequential per-processor state: a register file and a program counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SeqProcState {
+    /// Register file (registers not present hold zero).
+    pub regs: BTreeMap<Reg, Value>,
+    /// Index of the next instruction to execute.
+    pub pc: usize,
+}
+
+impl SeqProcState {
+    /// Reads a register (zero if never written).
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> Value {
+        self.regs.get(&reg).copied().unwrap_or(Value::ZERO)
+    }
+
+    /// Evaluates an operand against the register file.
+    #[must_use]
+    pub fn operand(&self, operand: &Operand) -> Value {
+        match operand {
+            Operand::Imm(v) => *v,
+            Operand::Reg(r) => self.reg(*r),
+        }
+    }
+}
+
+/// Resolves the next program counter of a sequentially executed instruction,
+/// returning `(new_pc, Some((reg, value)))` for register writes.
+pub(crate) fn next_pc(thread: &ThreadProgram, pc: usize, taken: bool, instr: &Instruction) -> usize {
+    if let Instruction::Branch { target, .. } = instr {
+        if taken {
+            return thread.resolve_label(target).unwrap_or(thread.len());
+        }
+    }
+    pc + 1
+}
+
+/// The SC machine for one litmus test.
+#[derive(Debug, Clone)]
+pub struct ScMachine {
+    program: Program,
+    initial_memory: BTreeMap<u64, Value>,
+    observed: Vec<Observation>,
+}
+
+/// A configuration of the SC machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScState {
+    /// The monolithic memory.
+    pub memory: BTreeMap<u64, Value>,
+    /// Per-processor sequential state.
+    pub procs: Vec<SeqProcState>,
+}
+
+impl ScMachine {
+    /// Builds the SC machine for a litmus test.
+    #[must_use]
+    pub fn new(test: &LitmusTest) -> Self {
+        ScMachine {
+            program: test.program().clone(),
+            initial_memory: test.initial_memory().clone(),
+            observed: test.observed().to_vec(),
+        }
+    }
+
+    fn read_memory(memory: &BTreeMap<u64, Value>, addr: u64) -> Value {
+        memory.get(&addr).copied().unwrap_or(Value::ZERO)
+    }
+}
+
+impl AbstractMachine for ScMachine {
+    type State = ScState;
+
+    fn initial_state(&self) -> ScState {
+        ScState {
+            memory: self.initial_memory.clone(),
+            procs: vec![SeqProcState::default(); self.program.num_threads()],
+        }
+    }
+
+    fn successors(&self, state: &ScState) -> Vec<ScState> {
+        let mut next_states = Vec::new();
+        for (proc_index, proc) in state.procs.iter().enumerate() {
+            let thread = &self.program.threads()[proc_index];
+            if proc.pc >= thread.len() {
+                continue;
+            }
+            let instr = &thread.instructions()[proc.pc];
+            let mut next = state.clone();
+            let next_proc = &mut next.procs[proc_index];
+            match instr {
+                Instruction::Alu { dst, op, lhs, rhs } => {
+                    let value = op.apply(next_proc.operand(lhs), next_proc.operand(rhs));
+                    next_proc.regs.insert(*dst, value);
+                    next_proc.pc += 1;
+                }
+                Instruction::Load { dst, addr } => {
+                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
+                    let value = Self::read_memory(&next.memory, address);
+                    next.procs[proc_index].regs.insert(*dst, value);
+                    next.procs[proc_index].pc += 1;
+                }
+                Instruction::Store { addr, data } => {
+                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
+                    let value = next_proc.operand(data);
+                    next.memory.insert(address, value);
+                    next.procs[proc_index].pc += 1;
+                }
+                Instruction::Fence { .. } => {
+                    next_proc.pc += 1;
+                }
+                Instruction::Branch { cond, lhs, rhs, .. } => {
+                    let taken = cond.holds(next_proc.operand(lhs), next_proc.operand(rhs));
+                    next_proc.pc = next_pc(thread, next_proc.pc, taken, instr);
+                }
+            }
+            next_states.push(next);
+        }
+        next_states
+    }
+
+    fn is_final(&self, state: &ScState) -> bool {
+        state
+            .procs
+            .iter()
+            .zip(self.program.threads())
+            .all(|(proc, thread)| proc.pc >= thread.len())
+    }
+
+    fn outcome(&self, state: &ScState) -> Outcome {
+        let mut outcome = Outcome::new();
+        for observation in &self.observed {
+            let value = match observation {
+                Observation::Register(proc, reg) => state.procs[proc.index()].reg(*reg),
+                Observation::Memory(loc) => Self::read_memory(&state.memory, loc.address()),
+            };
+            outcome.set(*observation, value);
+        }
+        outcome
+    }
+
+    fn name(&self) -> &str {
+        "SC abstract machine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use gam_isa::litmus::library;
+    use gam_isa::{Addr, BranchCond, Loc, ProcId};
+
+    #[test]
+    fn dekker_under_sc_forbids_both_zero() {
+        let test = library::dekker();
+        let machine = ScMachine::new(&test);
+        let exploration = Explorer::default().explore(&machine).unwrap();
+        assert!(!exploration.outcomes.is_empty());
+        assert!(
+            !exploration.outcomes.iter().any(|o| test.condition().matched_by(o)),
+            "SC forbids r1=0, r2=0"
+        );
+        // But the SC-permitted outcomes are present: at least one load sees 1.
+        assert!(exploration.outcomes.len() >= 3);
+    }
+
+    #[test]
+    fn mp_under_sc_forbids_stale_read() {
+        let test = library::mp();
+        let machine = ScMachine::new(&test);
+        let exploration = Explorer::default().explore(&machine).unwrap();
+        assert!(!exploration.outcomes.iter().any(|o| test.condition().matched_by(o)));
+    }
+
+    #[test]
+    fn single_thread_with_branch_terminates() {
+        // r1 = Ld [a]; if r1 == 0 goto end; St [b] 1; end:
+        let a = Loc::new("a");
+        let b = Loc::new("b");
+        let mut t = gam_isa::ThreadProgram::builder(ProcId::new(0));
+        t.load(Reg::new(1), Addr::loc(a))
+            .branch(BranchCond::Eq, Operand::reg(Reg::new(1)), Operand::imm(0), "end")
+            .store(Addr::loc(b), Operand::imm(1))
+            .label("end");
+        let program = Program::new(vec![t.build()]);
+        let test = LitmusTest::builder("branchy", program)
+            .init(a, 0u64)
+            .observe_mem(b)
+            .expect_mem(b, 1u64)
+            .build();
+        let machine = ScMachine::new(&test);
+        let exploration = Explorer::default().explore(&machine).unwrap();
+        // The branch is taken (r1 == 0), so the store is skipped and b stays 0.
+        assert_eq!(exploration.outcomes.len(), 1);
+        assert!(!exploration.outcomes.iter().any(|o| test.condition().matched_by(o)));
+    }
+
+    #[test]
+    fn initial_memory_is_observed() {
+        let a = Loc::new("a");
+        let mut t = gam_isa::ThreadProgram::builder(ProcId::new(0));
+        t.load(Reg::new(1), Addr::loc(a));
+        let program = Program::new(vec![t.build()]);
+        let test = LitmusTest::builder("init", program)
+            .init(a, 5u64)
+            .expect_reg(ProcId::new(0), Reg::new(1), 5u64)
+            .build();
+        let machine = ScMachine::new(&test);
+        let exploration = Explorer::default().explore(&machine).unwrap();
+        assert!(exploration.outcomes.iter().any(|o| test.condition().matched_by(o)));
+    }
+
+    #[test]
+    fn seq_proc_state_defaults_to_zero() {
+        let proc = SeqProcState::default();
+        assert_eq!(proc.reg(Reg::new(3)), Value::ZERO);
+        assert_eq!(proc.operand(&Operand::imm(9)), Value::new(9));
+    }
+}

@@ -1,0 +1,222 @@
+//! A TSO abstract machine: the SC machine plus per-processor FIFO store
+//! buffers.
+//!
+//! Stores are enqueued into the issuing processor's store buffer and drain to
+//! the monolithic memory in FIFO order at non-deterministic times. Loads
+//! first search their own store buffer (youngest matching entry wins) and
+//! fall back to memory. A fence that orders stores before loads
+//! (`FenceSL`) may only execute when the store buffer is empty; the other
+//! basic fences are no-ops because TSO already preserves those orderings.
+
+use std::collections::BTreeMap;
+
+use gam_isa::litmus::{LitmusTest, Observation, Outcome};
+use gam_isa::{Instruction, MemAccessType, Program, Value};
+
+use crate::machine::AbstractMachine;
+use crate::sc::{next_pc, SeqProcState};
+
+/// The TSO machine for one litmus test.
+#[derive(Debug, Clone)]
+pub struct TsoMachine {
+    program: Program,
+    initial_memory: BTreeMap<u64, Value>,
+    observed: Vec<Observation>,
+}
+
+/// Per-processor TSO state: sequential state plus a FIFO store buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TsoProcState {
+    /// Register file and program counter.
+    pub seq: SeqProcState,
+    /// FIFO store buffer, oldest entry first.
+    pub store_buffer: Vec<(u64, Value)>,
+}
+
+/// A configuration of the TSO machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TsoState {
+    /// The monolithic memory.
+    pub memory: BTreeMap<u64, Value>,
+    /// Per-processor state.
+    pub procs: Vec<TsoProcState>,
+}
+
+impl TsoMachine {
+    /// Builds the TSO machine for a litmus test.
+    #[must_use]
+    pub fn new(test: &LitmusTest) -> Self {
+        TsoMachine {
+            program: test.program().clone(),
+            initial_memory: test.initial_memory().clone(),
+            observed: test.observed().to_vec(),
+        }
+    }
+
+    fn read(&self, state: &TsoState, proc_index: usize, addr: u64) -> Value {
+        // Youngest store-buffer entry for the address wins; otherwise memory.
+        state.procs[proc_index]
+            .store_buffer
+            .iter()
+            .rev()
+            .find(|(a, _)| *a == addr)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| state.memory.get(&addr).copied().unwrap_or(Value::ZERO))
+    }
+}
+
+impl AbstractMachine for TsoMachine {
+    type State = TsoState;
+
+    fn initial_state(&self) -> TsoState {
+        TsoState {
+            memory: self.initial_memory.clone(),
+            procs: vec![TsoProcState::default(); self.program.num_threads()],
+        }
+    }
+
+    fn successors(&self, state: &TsoState) -> Vec<TsoState> {
+        let mut next_states = Vec::new();
+        for (proc_index, proc) in state.procs.iter().enumerate() {
+            let thread = &self.program.threads()[proc_index];
+
+            // Drain rule: publish the oldest store-buffer entry to memory.
+            if let Some(&(addr, value)) = proc.store_buffer.first() {
+                let mut next = state.clone();
+                next.procs[proc_index].store_buffer.remove(0);
+                next.memory.insert(addr, value);
+                next_states.push(next);
+            }
+
+            if proc.seq.pc >= thread.len() {
+                continue;
+            }
+            let instr = &thread.instructions()[proc.seq.pc];
+            match instr {
+                Instruction::Alu { dst, op, lhs, rhs } => {
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    let value = op.apply(p.seq.operand(lhs), p.seq.operand(rhs));
+                    p.seq.regs.insert(*dst, value);
+                    p.seq.pc += 1;
+                    next_states.push(next);
+                }
+                Instruction::Load { dst, addr } => {
+                    let address = addr.evaluate(proc.seq.operand(&addr.base)).raw();
+                    let value = self.read(state, proc_index, address);
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    p.seq.regs.insert(*dst, value);
+                    p.seq.pc += 1;
+                    next_states.push(next);
+                }
+                Instruction::Store { addr, data } => {
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    let address = addr.evaluate(p.seq.operand(&addr.base)).raw();
+                    let value = p.seq.operand(data);
+                    p.store_buffer.push((address, value));
+                    p.seq.pc += 1;
+                    next_states.push(next);
+                }
+                Instruction::Fence { kind } => {
+                    // Only store->load ordering is not already guaranteed by TSO;
+                    // such a fence waits for the store buffer to drain.
+                    let needs_drain = kind.before == MemAccessType::Store
+                        && kind.after == MemAccessType::Load;
+                    if !needs_drain || proc.store_buffer.is_empty() {
+                        let mut next = state.clone();
+                        next.procs[proc_index].seq.pc += 1;
+                        next_states.push(next);
+                    }
+                }
+                Instruction::Branch { cond, lhs, rhs, .. } => {
+                    let taken = cond.holds(proc.seq.operand(lhs), proc.seq.operand(rhs));
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    p.seq.pc = next_pc(thread, p.seq.pc, taken, instr);
+                    next_states.push(next);
+                }
+            }
+        }
+        next_states
+    }
+
+    fn is_final(&self, state: &TsoState) -> bool {
+        state.procs.iter().zip(self.program.threads()).all(|(proc, thread)| {
+            proc.seq.pc >= thread.len() && proc.store_buffer.is_empty()
+        })
+    }
+
+    fn outcome(&self, state: &TsoState) -> Outcome {
+        let mut outcome = Outcome::new();
+        for observation in &self.observed {
+            let value = match observation {
+                Observation::Register(proc, reg) => state.procs[proc.index()].seq.reg(*reg),
+                Observation::Memory(loc) => {
+                    state.memory.get(&loc.address()).copied().unwrap_or(Value::ZERO)
+                }
+            };
+            outcome.set(*observation, value);
+        }
+        outcome
+    }
+
+    fn name(&self) -> &str {
+        "TSO abstract machine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Explorer;
+    use gam_isa::litmus::library;
+
+    fn reachable(test: &gam_isa::litmus::LitmusTest) -> bool {
+        let machine = TsoMachine::new(test);
+        let exploration = Explorer::default().explore(&machine).unwrap();
+        exploration.outcomes.iter().any(|o| test.condition().matched_by(o))
+    }
+
+    #[test]
+    fn dekker_allowed_under_tso() {
+        assert!(reachable(&library::dekker()), "store buffering exposes r1=0, r2=0");
+    }
+
+    #[test]
+    fn dekker_with_fence_sl_forbidden_under_tso() {
+        assert!(!reachable(&library::dekker_fence_sl()));
+    }
+
+    #[test]
+    fn mp_forbidden_under_tso() {
+        assert!(!reachable(&library::mp()), "TSO preserves store-store and load-load order");
+    }
+
+    #[test]
+    fn load_buffering_forbidden_under_tso() {
+        assert!(!reachable(&library::lb()));
+    }
+
+    #[test]
+    fn store_forwarding_reads_own_buffer() {
+        assert!(!reachable(&library::store_forwarding()));
+        assert!(!reachable(&library::cowr()), "a load may not miss its own buffered store");
+    }
+
+    #[test]
+    fn two_plus_two_w_forbidden_under_tso() {
+        assert!(!reachable(&library::two_plus_two_w()));
+    }
+
+    #[test]
+    fn final_state_requires_empty_store_buffers() {
+        let test = library::coww();
+        let machine = TsoMachine::new(&test);
+        let exploration = Explorer::default().explore(&machine).unwrap();
+        // Final memory must reflect the younger store (value 2) only.
+        assert_eq!(exploration.outcomes.len(), 1);
+        assert!(!exploration.outcomes.iter().any(|o| test.condition().matched_by(o)));
+    }
+}

@@ -1,0 +1,326 @@
+//! A three-level, set-associative, inclusive, write-back cache hierarchy.
+//!
+//! The model is deliberately simple but structurally faithful: every level is
+//! a set-associative array with LRU replacement, a fixed hit latency and a
+//! bounded number of MSHRs (outstanding misses). A demand access walks down
+//! the hierarchy, fills every level on the way back and reports both the
+//! total latency and whether it hit in the L1 (the statistic Table III
+//! needs). MSHR pressure is modelled by delaying an access when all MSHRs of
+//! a level are still busy with earlier misses.
+
+use crate::config::{CacheConfig, CacheHierarchyConfig};
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the unified L2.
+    L2,
+    /// Served by the last-level cache.
+    L3,
+    /// Served by main memory.
+    Memory,
+}
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Total latency of the access in cycles (including MSHR waiting).
+    pub latency: u64,
+    /// The level that provided the data.
+    pub level: HitLevel,
+}
+
+impl CacheAccess {
+    /// Returns true if the access hit in the L1 data cache.
+    #[must_use]
+    pub fn l1_hit(&self) -> bool {
+        self.level == HitLevel::L1
+    }
+}
+
+/// One set-associative cache level.
+#[derive(Debug, Clone)]
+struct CacheLevel {
+    config: CacheConfig,
+    /// `tags[set][way]` — the line tag, or `None` when invalid.
+    tags: Vec<Vec<Option<u64>>>,
+    /// LRU stamps parallel to `tags` (larger = more recently used).
+    stamps: Vec<Vec<u64>>,
+    stamp_counter: u64,
+    /// Cycle at which each MSHR becomes free again.
+    mshr_free_at: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    fn new(config: CacheConfig) -> Self {
+        let sets = config.num_sets();
+        CacheLevel {
+            config,
+            tags: vec![vec![None; config.ways]; sets],
+            stamps: vec![vec![0; config.ways]; sets],
+            stamp_counter: 0,
+            mshr_free_at: vec![0; config.mshrs],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line % self.tags.len() as u64) as usize;
+        (set, line)
+    }
+
+    /// Looks up `addr`, updating LRU state. Returns true on hit.
+    fn lookup(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.stamp_counter += 1;
+        if let Some(way) = self.tags[set].iter().position(|t| *t == Some(tag)) {
+            self.stamps[set][way] = self.stamp_counter;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Checks for a hit without touching LRU state or statistics.
+    fn peek(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.tags[set].iter().any(|t| *t == Some(tag))
+    }
+
+    /// Fills `addr` into the level, evicting the LRU way.
+    fn fill(&mut self, addr: u64) {
+        let (set, tag) = self.set_and_tag(addr);
+        if self.tags[set].contains(&Some(tag)) {
+            return;
+        }
+        self.stamp_counter += 1;
+        let victim = (0..self.config.ways)
+            .min_by_key(|&way| self.stamps[set][way])
+            .expect("at least one way");
+        self.tags[set][victim] = Some(tag);
+        self.stamps[set][victim] = self.stamp_counter;
+    }
+
+    /// Reserves an MSHR for a miss issued at `now`, returning the extra delay
+    /// incurred if all MSHRs are busy, and marks it busy until
+    /// `now + delay + occupancy`.
+    fn reserve_mshr(&mut self, now: u64, occupancy: u64) -> u64 {
+        let (slot, free_at) = self
+            .mshr_free_at
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|(_, free_at)| *free_at)
+            .expect("at least one MSHR");
+        let delay = free_at.saturating_sub(now);
+        self.mshr_free_at[slot] = now + delay + occupancy;
+        delay
+    }
+}
+
+/// The full data-cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    l3: CacheLevel,
+    memory_latency: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds an empty (cold) hierarchy.
+    #[must_use]
+    pub fn new(config: &CacheHierarchyConfig) -> Self {
+        CacheHierarchy {
+            l1: CacheLevel::new(config.l1d),
+            l2: CacheLevel::new(config.l2),
+            l3: CacheLevel::new(config.l3),
+            memory_latency: config.memory_latency,
+        }
+    }
+
+    /// Performs a demand access at time `now` and returns its latency and
+    /// serving level. Lines are filled into every level on the way back
+    /// (inclusive hierarchy).
+    pub fn access(&mut self, addr: u64, now: u64) -> CacheAccess {
+        if self.l1.lookup(addr) {
+            return CacheAccess { latency: self.l1.config.hit_latency, level: HitLevel::L1 };
+        }
+        let l1_lat = self.l1.config.hit_latency;
+        let l1_mshr_delay = self.l1.reserve_mshr(now, self.l2.config.hit_latency);
+
+        if self.l2.lookup(addr) {
+            self.l1.fill(addr);
+            let latency = l1_lat + l1_mshr_delay + self.l2.config.hit_latency;
+            return CacheAccess { latency, level: HitLevel::L2 };
+        }
+        let l2_mshr_delay = self.l2.reserve_mshr(now, self.l3.config.hit_latency);
+
+        if self.l3.lookup(addr) {
+            self.l2.fill(addr);
+            self.l1.fill(addr);
+            let latency = l1_lat
+                + l1_mshr_delay
+                + self.l2.config.hit_latency
+                + l2_mshr_delay
+                + self.l3.config.hit_latency;
+            return CacheAccess { latency, level: HitLevel::L3 };
+        }
+        let l3_mshr_delay = self.l3.reserve_mshr(now, self.memory_latency);
+
+        self.l3.fill(addr);
+        self.l2.fill(addr);
+        self.l1.fill(addr);
+        let latency = l1_lat
+            + l1_mshr_delay
+            + self.l2.config.hit_latency
+            + l2_mshr_delay
+            + self.l3.config.hit_latency
+            + l3_mshr_delay
+            + self.memory_latency;
+        CacheAccess { latency, level: HitLevel::Memory }
+    }
+
+    /// Would the access hit in L1? Does not update any state; used by the
+    /// Alpha\* load-load-forwarding accounting (Table III's "reduced L1 load
+    /// misses" column).
+    #[must_use]
+    pub fn peek_l1(&self, addr: u64) -> bool {
+        self.l1.peek(addr)
+    }
+
+    /// L1 data-cache hits so far.
+    #[must_use]
+    pub fn l1_hits(&self) -> u64 {
+        self.l1.hits
+    }
+
+    /// L1 data-cache misses so far.
+    #[must_use]
+    pub fn l1_misses(&self) -> u64 {
+        self.l1.misses
+    }
+
+    /// L2 misses so far.
+    #[must_use]
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses
+    }
+
+    /// L3 misses so far.
+    #[must_use]
+    pub fn l3_misses(&self) -> u64 {
+        self.l3.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(&CacheHierarchyConfig::paper())
+    }
+
+    #[test]
+    fn first_access_misses_everywhere_then_hits() {
+        let mut caches = hierarchy();
+        let first = caches.access(0x1000, 0);
+        assert_eq!(first.level, HitLevel::Memory);
+        assert!(first.latency >= 200);
+        let second = caches.access(0x1000, first.latency);
+        assert_eq!(second.level, HitLevel::L1);
+        assert_eq!(second.latency, 4);
+        assert!(second.l1_hit());
+        assert!(!first.l1_hit());
+    }
+
+    #[test]
+    fn same_line_accesses_hit() {
+        let mut caches = hierarchy();
+        caches.access(0x2000, 0);
+        // Any address within the same 64-byte line hits in L1.
+        let hit = caches.access(0x2038, 10);
+        assert_eq!(hit.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn capacity_eviction_falls_back_to_l2() {
+        let config = CacheHierarchyConfig::paper();
+        let mut caches = CacheHierarchy::new(&config);
+        // Touch enough distinct lines to overflow the 32 KiB L1 (512 lines).
+        let lines = (config.l1d.size_bytes / config.l1d.line_bytes) as u64;
+        for i in 0..(lines * 2) {
+            caches.access(i * 64, i * 10);
+        }
+        // The first line was evicted from L1 but still lives in L2.
+        let again = caches.access(0, 1_000_000);
+        assert_eq!(again.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn peek_does_not_change_state() {
+        let mut caches = hierarchy();
+        assert!(!caches.peek_l1(0x3000));
+        let misses_before = caches.l1_misses();
+        assert!(!caches.peek_l1(0x3000));
+        assert_eq!(caches.l1_misses(), misses_before, "peek must not count as an access");
+        caches.access(0x3000, 0);
+        assert!(caches.peek_l1(0x3000));
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut caches = hierarchy();
+        caches.access(0x100, 0);
+        caches.access(0x100, 10);
+        caches.access(0x100, 20);
+        assert_eq!(caches.l1_misses(), 1);
+        assert_eq!(caches.l1_hits(), 2);
+        assert_eq!(caches.l2_misses(), 1);
+        assert_eq!(caches.l3_misses(), 1);
+    }
+
+    #[test]
+    fn mshr_pressure_adds_latency() {
+        let config = CacheHierarchyConfig::tiny();
+        let mut caches = CacheHierarchy::new(&config);
+        // Issue more simultaneous misses than the L1 has MSHRs (4); the later
+        // ones must queue and observe extra latency.
+        let mut latencies = Vec::new();
+        for i in 0..8u64 {
+            latencies.push(caches.access(0x10_000 + i * 4096, 0).latency);
+        }
+        assert!(
+            latencies[7] > latencies[0],
+            "the eighth concurrent miss must wait for an MSHR ({latencies:?})"
+        );
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_line() {
+        let config = CacheHierarchyConfig::tiny();
+        let mut caches = CacheHierarchy::new(&config);
+        // The tiny L1 is 2-way with 16 sets; three lines mapping to the same
+        // set evict the least recently used one.
+        let set_stride = (config.l1d.num_sets() * config.l1d.line_bytes) as u64;
+        let a = 0;
+        let b = set_stride;
+        let c = 2 * set_stride;
+        caches.access(a, 0);
+        caches.access(b, 10);
+        caches.access(a, 20); // refresh a
+        caches.access(c, 30); // evicts b
+        assert!(caches.peek_l1(a));
+        assert!(!caches.peek_l1(b));
+        assert!(caches.peek_l1(c));
+    }
+}

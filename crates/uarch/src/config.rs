@@ -1,0 +1,397 @@
+//! Simulator configuration: core structure sizes, cache hierarchy and
+//! memory-model policy.
+//!
+//! [`SimConfig::haswell_like`] reproduces Table I of the paper: a 4-wide
+//! fetch/decode/rename/commit, 6-wide issue core with a 192-entry ROB,
+//! 60-entry reservation station, 72-entry load queue and 42-entry store
+//! queue, backed by 32 KiB L1 caches, a 256 KiB L2, a 1 MiB L3 and 200-cycle
+//! main memory.
+
+use std::fmt;
+
+/// The memory-model enforcement policy of the simulated core (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryModelPolicy {
+    /// GAM: constraint SALdLd — same-address load-load *kills* (when a load
+    /// resolves its address, younger same-address loads that already got
+    /// their value from memory or from an older store are squashed) and
+    /// *stalls* (a ready load waits for an older unissued same-address load).
+    Gam,
+    /// ARM: constraint SALdLdARM modelled optimistically as in the paper —
+    /// the stalls of GAM but no kills.
+    Arm,
+    /// GAM0: no same-address load-load constraint at all.
+    Gam0,
+    /// Alpha\*: GAM0 plus load-load data forwarding (a ready load may take its
+    /// value from an older completed same-address load instead of accessing
+    /// the cache), which breaks data-dependency ordering.
+    AlphaStar,
+}
+
+impl MemoryModelPolicy {
+    /// All policies in the order used by Figure 18.
+    pub const ALL: [MemoryModelPolicy; 4] = [
+        MemoryModelPolicy::Gam,
+        MemoryModelPolicy::Arm,
+        MemoryModelPolicy::Gam0,
+        MemoryModelPolicy::AlphaStar,
+    ];
+
+    /// Does the policy stall a ready load behind an older unissued
+    /// same-address load?
+    #[must_use]
+    pub fn stalls_same_address_loads(self) -> bool {
+        matches!(self, MemoryModelPolicy::Gam | MemoryModelPolicy::Arm)
+    }
+
+    /// Does the policy kill younger executed same-address loads when a load
+    /// resolves its address?
+    #[must_use]
+    pub fn kills_same_address_loads(self) -> bool {
+        matches!(self, MemoryModelPolicy::Gam)
+    }
+
+    /// Does the policy allow load-to-load data forwarding?
+    #[must_use]
+    pub fn allows_load_load_forwarding(self) -> bool {
+        matches!(self, MemoryModelPolicy::AlphaStar)
+    }
+}
+
+impl fmt::Display for MemoryModelPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemoryModelPolicy::Gam => "GAM",
+            MemoryModelPolicy::Arm => "ARM",
+            MemoryModelPolicy::Gam0 => "GAM0",
+            MemoryModelPolicy::AlphaStar => "Alpha*",
+        })
+    }
+}
+
+/// Core (pipeline) parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched/decoded/renamed/dispatched per cycle.
+    pub fetch_width: usize,
+    /// Micro-ops issued to execution per cycle.
+    pub issue_width: usize,
+    /// Micro-ops committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Reservation-station (scheduler) entries.
+    pub rs_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries (speculative and committed stores).
+    pub sq_entries: usize,
+    /// Number of simple integer ALUs.
+    pub int_alu_units: usize,
+    /// Number of integer multiply units.
+    pub int_mul_units: usize,
+    /// Number of integer divide units.
+    pub int_div_units: usize,
+    /// Number of FP ALUs.
+    pub fp_alu_units: usize,
+    /// Number of FP multiply units.
+    pub fp_mul_units: usize,
+    /// Number of FP divide/sqrt units.
+    pub fp_div_units: usize,
+    /// Number of load/store ports.
+    pub mem_ports: usize,
+    /// Cycles lost re-filling the front end after a branch misprediction or a
+    /// memory-order squash.
+    pub redirect_penalty: u64,
+}
+
+impl CoreConfig {
+    /// The core of Table I (sized to match a Haswell-class machine).
+    #[must_use]
+    pub fn haswell_like() -> Self {
+        CoreConfig {
+            fetch_width: 4,
+            issue_width: 6,
+            commit_width: 4,
+            rob_entries: 192,
+            rs_entries: 60,
+            lq_entries: 72,
+            sq_entries: 42,
+            int_alu_units: 4,
+            int_mul_units: 1,
+            int_div_units: 1,
+            fp_alu_units: 2,
+            fp_mul_units: 1,
+            fp_div_units: 1,
+            mem_ports: 2,
+            redirect_penalty: 8,
+        }
+    }
+
+    /// A deliberately small core for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        CoreConfig {
+            fetch_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            rob_entries: 16,
+            rs_entries: 8,
+            lq_entries: 8,
+            sq_entries: 6,
+            int_alu_units: 2,
+            int_mul_units: 1,
+            int_div_units: 1,
+            fp_alu_units: 1,
+            fp_mul_units: 1,
+            fp_div_units: 1,
+            mem_ports: 1,
+            redirect_penalty: 4,
+        }
+    }
+}
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+    /// Miss-status-holding registers (maximum outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(lines % self.ways == 0, "cache geometry must divide evenly");
+        lines / self.ways
+    }
+}
+
+/// The full cache hierarchy plus main memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheHierarchyConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub l3: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+}
+
+impl CacheHierarchyConfig {
+    /// The hierarchy of Table I: 32 KiB / 8-way / 4-cycle L1D,
+    /// 256 KiB / 8-way / 12-cycle L2, 1 MiB / 16-way / 35-cycle L3 and
+    /// 200-cycle memory, with 64-byte lines throughout.
+    #[must_use]
+    pub fn paper() -> Self {
+        CacheHierarchyConfig {
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 4,
+                mshrs: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 12,
+                mshrs: 20,
+            },
+            l3: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: 35,
+                mshrs: 30,
+            },
+            memory_latency: 200,
+        }
+    }
+
+    /// A small hierarchy for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        CacheHierarchyConfig {
+            l1d: CacheConfig {
+                size_bytes: 2 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                hit_latency: 2,
+                mshrs: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                hit_latency: 8,
+                mshrs: 8,
+            },
+            l3: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                hit_latency: 20,
+                mshrs: 8,
+            },
+            memory_latency: 100,
+        }
+    }
+}
+
+/// The complete simulator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy parameters.
+    pub caches: CacheHierarchyConfig,
+    /// Memory-model policy under evaluation.
+    pub policy: MemoryModelPolicy,
+}
+
+impl SimConfig {
+    /// The configuration of Table I with the given memory-model policy.
+    #[must_use]
+    pub fn haswell_like(policy: MemoryModelPolicy) -> Self {
+        SimConfig { core: CoreConfig::haswell_like(), caches: CacheHierarchyConfig::paper(), policy }
+    }
+
+    /// A small configuration for fast unit tests.
+    #[must_use]
+    pub fn tiny(policy: MemoryModelPolicy) -> Self {
+        SimConfig { core: CoreConfig::tiny(), caches: CacheHierarchyConfig::tiny(), policy }
+    }
+}
+
+impl fmt::Display for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "memory-model policy: {}", self.policy)?;
+        writeln!(
+            f,
+            "core: {}-wide fetch/commit, {}-wide issue, ROB {}, RS {}, LQ {}, SQ {}",
+            self.core.fetch_width,
+            self.core.issue_width,
+            self.core.rob_entries,
+            self.core.rs_entries,
+            self.core.lq_entries,
+            self.core.sq_entries
+        )?;
+        writeln!(
+            f,
+            "function units: {} int ALU, {} int mul, {} int div, {} FP ALU, {} FP mul, {} FP div, {} load/store ports",
+            self.core.int_alu_units,
+            self.core.int_mul_units,
+            self.core.int_div_units,
+            self.core.fp_alu_units,
+            self.core.fp_mul_units,
+            self.core.fp_div_units,
+            self.core.mem_ports
+        )?;
+        writeln!(
+            f,
+            "L1D: {} KiB {}-way, {}-cycle hit, {} MSHRs",
+            self.caches.l1d.size_bytes / 1024,
+            self.caches.l1d.ways,
+            self.caches.l1d.hit_latency,
+            self.caches.l1d.mshrs
+        )?;
+        writeln!(
+            f,
+            "L2:  {} KiB {}-way, {}-cycle hit, {} MSHRs",
+            self.caches.l2.size_bytes / 1024,
+            self.caches.l2.ways,
+            self.caches.l2.hit_latency,
+            self.caches.l2.mshrs
+        )?;
+        writeln!(
+            f,
+            "L3:  {} KiB {}-way, {}-cycle hit, {} MSHRs",
+            self.caches.l3.size_bytes / 1024,
+            self.caches.l3.ways,
+            self.caches.l3.hit_latency,
+            self.caches.l3.mshrs
+        )?;
+        writeln!(f, "memory: {}-cycle latency", self.caches.memory_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_parameters() {
+        let config = SimConfig::haswell_like(MemoryModelPolicy::Gam);
+        assert_eq!(config.core.rob_entries, 192);
+        assert_eq!(config.core.rs_entries, 60);
+        assert_eq!(config.core.lq_entries, 72);
+        assert_eq!(config.core.sq_entries, 42);
+        assert_eq!(config.core.fetch_width, 4);
+        assert_eq!(config.core.issue_width, 6);
+        assert_eq!(config.caches.l1d.size_bytes, 32 * 1024);
+        assert_eq!(config.caches.l2.size_bytes, 256 * 1024);
+        assert_eq!(config.caches.l3.size_bytes, 1024 * 1024);
+        assert_eq!(config.caches.memory_latency, 200);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let l1 = CacheHierarchyConfig::paper().l1d;
+        assert_eq!(l1.num_sets(), 64);
+        let l3 = CacheHierarchyConfig::paper().l3;
+        assert_eq!(l3.num_sets(), 1024);
+    }
+
+    #[test]
+    fn policy_capabilities_match_the_paper() {
+        use MemoryModelPolicy as P;
+        assert!(P::Gam.stalls_same_address_loads() && P::Gam.kills_same_address_loads());
+        assert!(P::Arm.stalls_same_address_loads() && !P::Arm.kills_same_address_loads());
+        assert!(!P::Gam0.stalls_same_address_loads() && !P::Gam0.kills_same_address_loads());
+        assert!(!P::AlphaStar.stalls_same_address_loads());
+        assert!(P::AlphaStar.allows_load_load_forwarding());
+        assert!(!P::Gam.allows_load_load_forwarding());
+        assert_eq!(P::ALL.len(), 4);
+    }
+
+    #[test]
+    fn policy_display_names() {
+        assert_eq!(MemoryModelPolicy::Gam.to_string(), "GAM");
+        assert_eq!(MemoryModelPolicy::Arm.to_string(), "ARM");
+        assert_eq!(MemoryModelPolicy::Gam0.to_string(), "GAM0");
+        assert_eq!(MemoryModelPolicy::AlphaStar.to_string(), "Alpha*");
+    }
+
+    #[test]
+    fn config_display_lists_table_one() {
+        let text = SimConfig::haswell_like(MemoryModelPolicy::Gam).to_string();
+        assert!(text.contains("ROB 192"));
+        assert!(text.contains("L1D: 32 KiB"));
+        assert!(text.contains("200-cycle"));
+    }
+
+    #[test]
+    fn tiny_config_is_smaller() {
+        let tiny = SimConfig::tiny(MemoryModelPolicy::Gam0);
+        let paper = SimConfig::haswell_like(MemoryModelPolicy::Gam0);
+        assert!(tiny.core.rob_entries < paper.core.rob_entries);
+        assert!(tiny.caches.l1d.size_bytes < paper.caches.l1d.size_bytes);
+    }
+}

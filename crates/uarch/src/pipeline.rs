@@ -1,0 +1,703 @@
+//! The out-of-order core model.
+//!
+//! A cycle-level, trace-driven model of the processor in Table I: wide
+//! in-order fetch/dispatch into a ROB, reservation-station-limited dynamic
+//! issue to a pool of functional units, a load queue and a store queue with
+//! store-to-load forwarding, in-order commit, branch-misprediction redirects
+//! and memory-order squashes.
+//!
+//! The four memory-model policies of Section V hook into three places:
+//!
+//! * **load issue** — GAM and ARM stall a ready load while an older
+//!   *unissued* load to the same address exists (unless a store between them
+//!   can forward); Alpha\* may instead take the value of an older *completed*
+//!   load to the same address (load-load forwarding);
+//! * **address resolution of a load** — GAM kills younger same-address loads
+//!   that already obtained their value from memory or from a store older
+//!   than the resolving load (constraint SALdLd);
+//! * **address resolution of a store** — every policy squashes younger
+//!   same-address loads that executed too early (plain memory-order
+//!   violation, needed for single-thread correctness).
+
+use crate::cache::CacheHierarchy;
+use crate::config::SimConfig;
+use crate::stats::SimStats;
+use crate::trace::{Trace, UopKind};
+
+/// Where a completed load obtained its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadValueSource {
+    /// From the cache hierarchy / memory.
+    Memory,
+    /// Forwarded from the store at this trace index.
+    Store(usize),
+    /// Forwarded from the older load at this trace index (Alpha\* only).
+    Load(usize),
+}
+
+/// One micro-op in flight.
+#[derive(Debug, Clone)]
+struct InFlight {
+    trace_idx: usize,
+    kind: UopKind,
+    addr: u64,
+    mispredicted: bool,
+    dep1: Option<usize>,
+    dep2: Option<usize>,
+    /// Dispatched into the window (always true once in the ROB).
+    issued: bool,
+    done: bool,
+    complete_cycle: u64,
+    /// The cycle at which the memory address became known (memory ops).
+    addr_resolved: bool,
+    value_source: Option<LoadValueSource>,
+    counted_stall: bool,
+}
+
+/// The trace-driven out-of-order core simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The simulator configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the trace to completion and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails to make forward progress (a modelling
+    /// bug), after a generous cycle bound.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> SimStats {
+        Engine::new(&self.config, trace).run()
+    }
+}
+
+/// Per-run mutable simulation state.
+struct Engine<'a> {
+    config: &'a SimConfig,
+    trace: &'a Trace,
+    caches: CacheHierarchy,
+    now: u64,
+    rob: Vec<InFlight>,
+    /// Trace index of the next micro-op to dispatch.
+    next_fetch: usize,
+    /// Number of micro-ops committed so far; also the trace index of the ROB head.
+    committed: usize,
+    /// Front end is stalled (misprediction or squash refill) until this cycle.
+    fetch_stall_until: u64,
+    /// Committed stores still draining to the cache: cycle at which each
+    /// store-queue entry frees up.
+    draining_stores: Vec<u64>,
+    stats: SimStats,
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &'a SimConfig, trace: &'a Trace) -> Self {
+        Engine {
+            config,
+            trace,
+            caches: CacheHierarchy::new(&config.caches),
+            now: 0,
+            rob: Vec::with_capacity(config.core.rob_entries),
+            next_fetch: 0,
+            committed: 0,
+            fetch_stall_until: 0,
+            draining_stores: Vec::new(),
+            stats: SimStats {
+                workload: trace.name().to_string(),
+                policy: config.policy.to_string(),
+                ..SimStats::default()
+            },
+        }
+    }
+
+    fn run(mut self) -> SimStats {
+        let limit = 400 * self.trace.len() as u64 + 100_000;
+        while self.committed < self.trace.len() {
+            self.now += 1;
+            assert!(self.now < limit, "pipeline failed to make forward progress");
+            self.drain_stores();
+            self.writeback();
+            self.commit();
+            self.resolve_addresses();
+            self.issue();
+            self.dispatch();
+        }
+        self.stats.cycles = self.now;
+        self.stats.l1d_hits = self.caches.l1_hits();
+        self.stats.l1d_misses = self.caches.l1_misses();
+        self.stats.l2_misses = self.caches.l2_misses();
+        self.stats.l3_misses = self.caches.l3_misses();
+        self.stats
+    }
+
+    // --------------------------------------------------------------- helpers
+
+    /// Is the producer micro-op at `trace_idx` done (committed counts as done)?
+    fn producer_done(&self, trace_idx: usize) -> bool {
+        if trace_idx < self.committed {
+            return true;
+        }
+        let pos = trace_idx - self.committed;
+        self.rob.get(pos).is_some_and(|entry| entry.done)
+    }
+
+    fn deps_done(&self, entry: &InFlight) -> bool {
+        entry.dep1.is_none_or(|d| self.producer_done(d))
+            && entry.dep2.is_none_or(|d| self.producer_done(d))
+    }
+
+    /// Memory operations compute their address from `dep1` only; `dep2` of a
+    /// store is its data producer. The address can therefore resolve before
+    /// the operation is ready to execute.
+    fn addr_deps_done(&self, entry: &InFlight) -> bool {
+        entry.dep1.is_none_or(|d| self.producer_done(d))
+    }
+
+    fn loads_in_rob(&self) -> usize {
+        self.rob.iter().filter(|e| e.kind == UopKind::Load).count()
+    }
+
+    fn stores_in_rob(&self) -> usize {
+        self.rob.iter().filter(|e| e.kind == UopKind::Store).count()
+    }
+
+    fn rs_occupancy(&self) -> usize {
+        self.rob.iter().filter(|e| !e.issued).count()
+    }
+
+    // ----------------------------------------------------------------- stages
+
+    /// Frees store-queue entries whose cache write has completed.
+    fn drain_stores(&mut self) {
+        let now = self.now;
+        self.draining_stores.retain(|&free_at| free_at > now);
+    }
+
+    /// Marks issued micro-ops whose latency elapsed as done and handles
+    /// branch-misprediction redirects.
+    fn writeback(&mut self) {
+        let mut redirect = false;
+        for entry in &mut self.rob {
+            if entry.issued && !entry.done && self.now >= entry.complete_cycle {
+                entry.done = true;
+                if entry.kind == UopKind::Branch && entry.mispredicted {
+                    redirect = true;
+                    self.stats.branch_mispredicts += 1;
+                }
+            }
+        }
+        if redirect {
+            self.fetch_stall_until =
+                self.fetch_stall_until.max(self.now + self.config.core.redirect_penalty);
+        }
+    }
+
+    /// Retires completed micro-ops in order.
+    fn commit(&mut self) {
+        let mut retired = 0;
+        while retired < self.config.core.commit_width {
+            let Some(head) = self.rob.first() else { break };
+            if !head.done {
+                break;
+            }
+            if head.kind == UopKind::Store {
+                // Committed stores drain to the cache asynchronously but keep
+                // their store-queue entry busy until the write completes.
+                let access = self.caches.access(head.addr, self.now);
+                self.draining_stores.push(self.now + access.latency);
+                self.stats.committed_stores += 1;
+            }
+            if head.kind == UopKind::Load {
+                self.stats.committed_loads += 1;
+            }
+            self.stats.committed_uops += 1;
+            self.rob.remove(0);
+            self.committed += 1;
+            retired += 1;
+        }
+    }
+
+    /// Resolves memory addresses whose operands became available and applies
+    /// the squash rules tied to address resolution.
+    fn resolve_addresses(&mut self) {
+        let mut pos = 0;
+        // A squash truncates the ROB, so the bound must be re-read every step.
+        while pos < self.rob.len() {
+            let entry = &self.rob[pos];
+            let resolvable =
+                entry.kind.is_memory() && !entry.addr_resolved && self.addr_deps_done(entry);
+            if !resolvable {
+                pos += 1;
+                continue;
+            }
+            let kind = entry.kind;
+            let addr = entry.addr;
+            let trace_idx = entry.trace_idx;
+            self.rob[pos].addr_resolved = true;
+
+            match kind {
+                UopKind::Store => self.squash_loads_after_store(pos, addr),
+                UopKind::Load => {
+                    if self.config.policy.kills_same_address_loads() {
+                        self.kill_loads_after_load(pos, addr, trace_idx);
+                    }
+                }
+                _ => unreachable!("only memory ops are resolved"),
+            }
+            pos += 1;
+        }
+    }
+
+    /// Memory-order violation: a store resolved its address and a younger
+    /// same-address load already executed without forwarding from it (or from
+    /// anything younger). Present under every policy.
+    fn squash_loads_after_store(&mut self, store_pos: usize, addr: u64) {
+        let store_trace_idx = self.rob[store_pos].trace_idx;
+        let victim = self.rob[store_pos + 1..].iter().position(|e| {
+            e.kind == UopKind::Load
+                && e.addr == addr
+                && (e.issued || e.done)
+                && match e.value_source {
+                    Some(LoadValueSource::Store(src)) | Some(LoadValueSource::Load(src)) => {
+                        src < store_trace_idx
+                    }
+                    Some(LoadValueSource::Memory) | None => true,
+                }
+        });
+        if let Some(offset) = victim {
+            self.stats.store_order_squashes += 1;
+            self.squash_from(store_pos + 1 + offset);
+        }
+    }
+
+    /// Constraint SALdLd in the implementation (Section III-E1): when a load
+    /// resolves its address, younger same-address loads that already obtained
+    /// their value from memory or from a store older than this load are
+    /// killed.
+    fn kill_loads_after_load(&mut self, load_pos: usize, addr: u64, load_trace_idx: usize) {
+        let victim = self.rob[load_pos + 1..].iter().position(|e| {
+            e.kind == UopKind::Load
+                && e.addr == addr
+                && (e.issued || e.done)
+                && match e.value_source {
+                    // Forwarded from a store younger than the resolving load:
+                    // per-location ordering is already satisfied.
+                    Some(LoadValueSource::Store(src)) => src < load_trace_idx,
+                    Some(LoadValueSource::Load(_)) | Some(LoadValueSource::Memory) | None => true,
+                }
+        });
+        if let Some(offset) = victim {
+            self.stats.same_addr_load_kills += 1;
+            self.squash_from(load_pos + 1 + offset);
+        }
+    }
+
+    /// Squashes the ROB from `pos` onwards and redirects the front end.
+    fn squash_from(&mut self, pos: usize) {
+        let restart = self.rob[pos].trace_idx;
+        self.rob.truncate(pos);
+        self.next_fetch = restart;
+        self.fetch_stall_until =
+            self.fetch_stall_until.max(self.now + self.config.core.redirect_penalty);
+    }
+
+    /// Issues ready micro-ops to the functional units.
+    fn issue(&mut self) {
+        let mut issued_this_cycle = 0usize;
+        let mut int_alu = 0usize;
+        let mut int_mul = 0usize;
+        let mut int_div = 0usize;
+        let mut fp_alu = 0usize;
+        let mut fp_mul = 0usize;
+        let mut fp_div = 0usize;
+        let mut mem_ports = 0usize;
+
+        for pos in 0..self.rob.len() {
+            if issued_this_cycle >= self.config.core.issue_width {
+                break;
+            }
+            let entry = &self.rob[pos];
+            if entry.issued || !self.deps_done(entry) {
+                continue;
+            }
+            let core = &self.config.core;
+            let (unit_used, unit_limit): (&mut usize, usize) = match entry.kind {
+                UopKind::IntAlu | UopKind::Branch => (&mut int_alu, core.int_alu_units),
+                UopKind::IntMul => (&mut int_mul, core.int_mul_units),
+                UopKind::IntDiv => (&mut int_div, core.int_div_units),
+                UopKind::FpAlu => (&mut fp_alu, core.fp_alu_units),
+                UopKind::FpMul => (&mut fp_mul, core.fp_mul_units),
+                UopKind::FpDiv => (&mut fp_div, core.fp_div_units),
+                UopKind::Load | UopKind::Store => (&mut mem_ports, core.mem_ports),
+            };
+            if *unit_used >= unit_limit {
+                continue;
+            }
+
+            let latency = match entry.kind {
+                UopKind::Load => match self.try_issue_load(pos) {
+                    Some(latency) => latency,
+                    None => continue,
+                },
+                UopKind::Store => entry.kind.latency(),
+                _ => entry.kind.latency(),
+            };
+
+            let entry = &mut self.rob[pos];
+            entry.issued = true;
+            entry.complete_cycle = self.now + latency;
+            *unit_used += 1;
+            issued_this_cycle += 1;
+        }
+    }
+
+    /// Decides how a ready load obtains its value, applying the memory-model
+    /// policy. Returns the execution latency, or `None` if the load must wait.
+    fn try_issue_load(&mut self, pos: usize) -> Option<u64> {
+        let addr = self.rob[pos].addr;
+        let trace_idx = self.rob[pos].trace_idx;
+
+        // Youngest older same-address store in the window (its position and
+        // readiness), used both for forwarding and for the stall exemption.
+        let forwarding_store = self.rob[..pos]
+            .iter()
+            .rposition(|e| e.kind == UopKind::Store && e.addr_resolved && e.addr == addr);
+
+        // GAM / ARM: stall behind an older unissued same-address load unless a
+        // store younger than that load can forward.
+        if self.config.policy.stalls_same_address_loads() {
+            let older_unissued_load = self.rob[..pos]
+                .iter()
+                .position(|e| e.kind == UopKind::Load && !e.issued && e.addr_resolved && e.addr == addr);
+            if let Some(older_pos) = older_unissued_load {
+                let exempted = forwarding_store.is_some_and(|store_pos| store_pos > older_pos);
+                if !exempted {
+                    if !self.rob[pos].counted_stall {
+                        self.stats.same_addr_load_stalls += 1;
+                        self.rob[pos].counted_stall = true;
+                    }
+                    return None;
+                }
+            }
+        }
+
+        // Store-to-load forwarding from the youngest older same-address store.
+        if let Some(store_pos) = forwarding_store {
+            let store = &self.rob[store_pos];
+            if self.deps_done(store) {
+                let store_idx = store.trace_idx;
+                self.stats.store_to_load_forwardings += 1;
+                self.rob[pos].value_source = Some(LoadValueSource::Store(store_idx));
+                return Some(2);
+            }
+            // The producing store's data is not ready: wait for it rather than
+            // reading a stale value from the cache.
+            return None;
+        }
+
+        // Alpha*: load-load forwarding from an older completed same-address load.
+        if self.config.policy.allows_load_load_forwarding() {
+            let older_done_load = self.rob[..pos]
+                .iter()
+                .rposition(|e| e.kind == UopKind::Load && e.done && e.addr == addr);
+            if let Some(older_pos) = older_done_load {
+                let source_idx = self.rob[older_pos].trace_idx;
+                self.stats.load_load_forwardings += 1;
+                if !self.caches.peek_l1(addr) {
+                    self.stats.forwardings_that_hid_l1_misses += 1;
+                }
+                self.rob[pos].value_source = Some(LoadValueSource::Load(source_idx));
+                return Some(2);
+            }
+        }
+
+        // Regular cache access.
+        let access = self.caches.access(addr, self.now);
+        self.rob[pos].value_source = Some(LoadValueSource::Memory);
+        let _ = trace_idx;
+        Some(access.latency)
+    }
+
+    /// Fetches and dispatches micro-ops into the window.
+    fn dispatch(&mut self) {
+        if self.now < self.fetch_stall_until {
+            return;
+        }
+        for _ in 0..self.config.core.fetch_width {
+            if self.next_fetch >= self.trace.len() {
+                return;
+            }
+            if self.rob.len() >= self.config.core.rob_entries {
+                return;
+            }
+            if self.rs_occupancy() >= self.config.core.rs_entries {
+                return;
+            }
+            let op = &self.trace.ops()[self.next_fetch];
+            match op.kind {
+                UopKind::Load => {
+                    if self.loads_in_rob() >= self.config.core.lq_entries {
+                        return;
+                    }
+                }
+                UopKind::Store => {
+                    if self.stores_in_rob() + self.draining_stores.len()
+                        >= self.config.core.sq_entries
+                    {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            let trace_idx = self.next_fetch;
+            let to_abs = |d: Option<u32>| d.map(|dist| trace_idx - dist as usize);
+            // The address of a memory operation comes from dep1 only; a store
+            // with a constant address but late data resolves immediately.
+            let addr_resolved = op.is_memory() && op.dep1.is_none();
+            self.rob.push(InFlight {
+                trace_idx,
+                kind: op.kind,
+                addr: op.addr,
+                mispredicted: op.mispredicted,
+                dep1: to_abs(op.dep1),
+                dep2: to_abs(op.dep2),
+                issued: false,
+                done: false,
+                complete_cycle: 0,
+                addr_resolved,
+                value_source: None,
+                counted_stall: false,
+            });
+            self.next_fetch += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MemoryModelPolicy, SimConfig};
+    use crate::trace::MicroOp;
+    use crate::workload::{WorkloadSpec, WorkloadSuite};
+
+    fn run(policy: MemoryModelPolicy, trace: &Trace) -> SimStats {
+        Simulator::new(SimConfig::haswell_like(policy)).run(trace)
+    }
+
+    #[test]
+    fn empty_trace_terminates_immediately() {
+        let trace = Trace::new("empty", vec![]);
+        let stats = run(MemoryModelPolicy::Gam, &trace);
+        assert_eq!(stats.committed_uops, 0);
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_upc() {
+        let ops = vec![MicroOp::simple(UopKind::IntAlu); 20_000];
+        let trace = Trace::new("alu", ops);
+        let stats = run(MemoryModelPolicy::Gam, &trace);
+        assert_eq!(stats.committed_uops, 20_000);
+        assert!(stats.upc() > 3.0, "independent ALU ops should sustain close to 4 uPC, got {}", stats.upc());
+    }
+
+    #[test]
+    fn dependent_chain_is_serialised() {
+        let mut ops = vec![MicroOp::simple(UopKind::IntAlu)];
+        for _ in 1..10_000 {
+            let mut op = MicroOp::simple(UopKind::IntAlu);
+            op.dep1 = Some(1);
+            ops.push(op);
+        }
+        let trace = Trace::new("chain", ops);
+        let stats = run(MemoryModelPolicy::Gam, &trace);
+        assert!(stats.upc() < 1.2, "a serial dependence chain cannot exceed 1 uPC, got {}", stats.upc());
+    }
+
+    #[test]
+    fn all_uops_commit_exactly_once_despite_squashes() {
+        let spec = WorkloadSpec::same_addr_heavy("squashy", 16 * 1024);
+        let trace = spec.generate(30_000, 3);
+        for policy in MemoryModelPolicy::ALL {
+            let stats = run(policy, &trace);
+            assert_eq!(stats.committed_uops as usize, trace.len(), "{policy}");
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_slower_than_streaming() {
+        let chase = WorkloadSpec::pointer_chase("chase", 8 * 1024 * 1024).generate(30_000, 5);
+        let stream = WorkloadSpec::streaming("stream", 64 * 1024, 8).generate(30_000, 5);
+        let chase_stats = run(MemoryModelPolicy::Gam, &chase);
+        let stream_stats = run(MemoryModelPolicy::Gam, &stream);
+        assert!(
+            chase_stats.upc() < stream_stats.upc(),
+            "dependent misses must hurt throughput ({} vs {})",
+            chase_stats.upc(),
+            stream_stats.upc()
+        );
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        let clean = WorkloadSpec::branchy("clean", 0.0).generate(30_000, 7);
+        let dirty = WorkloadSpec::branchy("dirty", 0.15).generate(30_000, 7);
+        let clean_stats = run(MemoryModelPolicy::Gam, &clean);
+        let dirty_stats = run(MemoryModelPolicy::Gam, &dirty);
+        assert!(dirty_stats.branch_mispredicts > 500);
+        assert_eq!(clean_stats.branch_mispredicts, 0);
+        assert!(dirty_stats.upc() < clean_stats.upc());
+    }
+
+    /// A store whose data arrives late, followed by two loads of its address:
+    /// the first load waits for the store data, the second hits the
+    /// same-address load-load *stall* of GAM/ARM.
+    fn stall_trace() -> Trace {
+        let mut ops = vec![MicroOp::simple(UopKind::IntDiv)];
+        // Constant-address store whose data comes from the slow divide.
+        ops.push(MicroOp::store(0x100, Some(1)));
+        ops.push(MicroOp::load(0x100, None));
+        ops.push(MicroOp::load(0x100, None));
+        ops.extend(std::iter::repeat(MicroOp::simple(UopKind::IntAlu)).take(50));
+        Trace::new("stall-shape", ops)
+    }
+
+    /// A load whose address resolves late, while a younger same-address load
+    /// already executed from memory: the GAM *kill* of constraint SALdLd.
+    fn kill_trace() -> Trace {
+        let mut ops = vec![MicroOp::simple(UopKind::IntDiv)];
+        ops.push(MicroOp::load(0x200, Some(1)));
+        ops.push(MicroOp::load(0x200, None));
+        ops.extend(std::iter::repeat(MicroOp::simple(UopKind::IntAlu)).take(50));
+        Trace::new("kill-shape", ops)
+    }
+
+    /// Two loads of the same address: the older one completes early but stays
+    /// in the window behind a long divide chain; the younger only becomes
+    /// ready once the chain retires, at which point Alpha\* forwards
+    /// load-to-load while the other policies access the cache again.
+    fn load_forward_trace() -> Trace {
+        let mut ops = vec![MicroOp::simple(UopKind::IntDiv)];
+        for _ in 0..13 {
+            let mut op = MicroOp::simple(UopKind::IntDiv);
+            op.dep1 = Some(1);
+            ops.push(op);
+        }
+        ops.push(MicroOp::load(0x300, None));
+        // Ready once the *second to last* divide finishes: the older load is
+        // done by then but still sits in the window behind the last divide.
+        ops.push(MicroOp::load(0x300, Some(3)));
+        ops.extend(std::iter::repeat(MicroOp::simple(UopKind::IntAlu)).take(20));
+        Trace::new("load-forward-shape", ops)
+    }
+
+    #[test]
+    fn same_address_stalls_only_under_gam_and_arm() {
+        let trace = stall_trace();
+        let gam = run(MemoryModelPolicy::Gam, &trace);
+        let arm = run(MemoryModelPolicy::Arm, &trace);
+        let gam0 = run(MemoryModelPolicy::Gam0, &trace);
+        let alpha = run(MemoryModelPolicy::AlphaStar, &trace);
+        assert!(gam.same_addr_load_stalls >= 1, "GAM must stall the younger load");
+        assert!(arm.same_addr_load_stalls >= 1, "ARM keeps the stall behaviour");
+        assert_eq!(gam0.same_addr_load_stalls, 0, "GAM0 never stalls on same-address loads");
+        assert_eq!(alpha.same_addr_load_stalls, 0);
+    }
+
+    #[test]
+    fn same_address_kills_only_under_gam() {
+        let trace = kill_trace();
+        let gam = run(MemoryModelPolicy::Gam, &trace);
+        let arm = run(MemoryModelPolicy::Arm, &trace);
+        let gam0 = run(MemoryModelPolicy::Gam0, &trace);
+        let alpha = run(MemoryModelPolicy::AlphaStar, &trace);
+        assert!(gam.same_addr_load_kills >= 1, "GAM must squash the early younger load");
+        assert_eq!(arm.same_addr_load_kills, 0, "ARM is modelled without kills");
+        assert_eq!(gam0.same_addr_load_kills, 0);
+        assert_eq!(alpha.same_addr_load_kills, 0);
+        // All policies still retire the whole trace.
+        assert_eq!(gam.committed_uops as usize, trace.len());
+    }
+
+    #[test]
+    fn load_load_forwarding_only_under_alpha_star() {
+        let trace = load_forward_trace();
+        let gam = run(MemoryModelPolicy::Gam, &trace);
+        let alpha = run(MemoryModelPolicy::AlphaStar, &trace);
+        assert!(alpha.load_load_forwardings >= 1, "Alpha* must forward load-to-load");
+        assert_eq!(gam.load_load_forwardings, 0);
+        assert_eq!(run(MemoryModelPolicy::Arm, &trace).load_load_forwardings, 0);
+        assert_eq!(run(MemoryModelPolicy::Gam0, &trace).load_load_forwardings, 0);
+    }
+
+    #[test]
+    fn suite_workloads_keep_same_address_events_rare() {
+        // The paper's headline statistic (Table II): kills and stalls are rare
+        // even though they do occur. On an ordinary mixed workload both rates
+        // must stay below a handful per thousand micro-ops.
+        let trace = WorkloadSpec::mixed("rare-events", 256 * 1024, 0.03).generate(40_000, 11);
+        let gam = run(MemoryModelPolicy::Gam, &trace);
+        assert!(gam.kills_per_kilo_uop() < 5.0, "kills/1K = {}", gam.kills_per_kilo_uop());
+        assert!(gam.stalls_per_kilo_uop() < 5.0, "stalls/1K = {}", gam.stalls_per_kilo_uop());
+        let gam0 = run(MemoryModelPolicy::Gam0, &trace);
+        assert_eq!(gam0.same_addr_load_kills, 0);
+        assert_eq!(gam0.same_addr_load_stalls, 0);
+    }
+
+    #[test]
+    fn policy_upc_differences_are_small_on_regular_workloads() {
+        // The headline claim of Figure 18: the four policies are within a few
+        // per-cent of each other on ordinary workloads.
+        let trace = WorkloadSpec::mixed("figure18-smoke", 256 * 1024, 0.03).generate(40_000, 13);
+        let upcs: Vec<f64> =
+            MemoryModelPolicy::ALL.iter().map(|&p| run(p, &trace).upc()).collect();
+        let max = upcs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = upcs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (max - min) / max < 0.05,
+            "policies should be within 5% on a mixed workload: {upcs:?}"
+        );
+    }
+
+    #[test]
+    fn store_to_load_forwarding_happens() {
+        let trace = WorkloadSpec::store_heavy("fwd", 64 * 1024).generate(30_000, 17);
+        let stats = run(MemoryModelPolicy::Gam, &trace);
+        assert!(stats.store_to_load_forwardings > 0);
+    }
+
+    #[test]
+    fn cache_statistics_are_populated() {
+        let trace = WorkloadSpec::random_access("misses", 16 * 1024 * 1024).generate(30_000, 19);
+        let stats = run(MemoryModelPolicy::Gam, &trace);
+        assert!(stats.l1d_misses > 1_000, "a 16 MiB random footprint must miss a lot");
+        assert!(stats.l1d_hits > 0);
+        assert!(stats.l3_misses > 0);
+    }
+
+    #[test]
+    fn whole_suite_runs_under_every_policy() {
+        for spec in WorkloadSuite::small().specs() {
+            let trace = spec.generate(10_000, 23);
+            for policy in MemoryModelPolicy::ALL {
+                let stats = Simulator::new(SimConfig::tiny(policy)).run(&trace);
+                assert_eq!(stats.committed_uops as usize, trace.len());
+                assert!(stats.upc() > 0.05);
+            }
+        }
+    }
+}

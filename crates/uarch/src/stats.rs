@@ -1,0 +1,179 @@
+//! Per-run simulation statistics.
+//!
+//! [`SimStats`] carries every quantity the paper's evaluation reports:
+//! micro-ops per cycle (Figure 18), same-address load-load kills and stalls
+//! per thousand micro-ops (Table II), load-load forwardings and the change in
+//! L1 load misses (Table III), plus general pipeline and cache counters
+//! useful for sanity-checking the simulator.
+
+use std::fmt;
+
+/// Statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Workload name.
+    pub workload: String,
+    /// Memory-model policy name.
+    pub policy: String,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Micro-ops committed.
+    pub committed_uops: u64,
+    /// Loads committed.
+    pub committed_loads: u64,
+    /// Stores committed.
+    pub committed_stores: u64,
+    /// Branch mispredictions taken (front-end redirects).
+    pub branch_mispredicts: u64,
+    /// Squashes caused by the same-address load-load kill of constraint
+    /// SALdLd (the "kills" row of Table II).
+    pub same_addr_load_kills: u64,
+    /// Issue-time stalls caused by an older unissued same-address load
+    /// (the "stalls" row of Table II).
+    pub same_addr_load_stalls: u64,
+    /// Squashes caused by a store resolving its address after a younger
+    /// same-address load already executed (memory-order violations; present
+    /// under every policy).
+    pub store_order_squashes: u64,
+    /// Load-to-load data forwardings performed (Alpha\* only; Table III).
+    pub load_load_forwardings: u64,
+    /// Among the load-load forwardings, how many would have missed in the L1
+    /// had they accessed the cache (Table III's "reduced L1 load misses").
+    pub forwardings_that_hid_l1_misses: u64,
+    /// Loads that forwarded their value from an older store in the store queue.
+    pub store_to_load_forwardings: u64,
+    /// L1 data-cache hits.
+    pub l1d_hits: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 misses.
+    pub l3_misses: u64,
+}
+
+impl SimStats {
+    /// Micro-ops per cycle (the y-axis of Figure 18).
+    #[must_use]
+    pub fn upc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Events per thousand committed micro-ops.
+    #[must_use]
+    pub fn per_kilo_uop(&self, events: u64) -> f64 {
+        if self.committed_uops == 0 {
+            0.0
+        } else {
+            events as f64 * 1000.0 / self.committed_uops as f64
+        }
+    }
+
+    /// Same-address load-load kills per 1K uOPs (Table II).
+    #[must_use]
+    pub fn kills_per_kilo_uop(&self) -> f64 {
+        self.per_kilo_uop(self.same_addr_load_kills)
+    }
+
+    /// Same-address load-load stalls per 1K uOPs (Table II).
+    #[must_use]
+    pub fn stalls_per_kilo_uop(&self) -> f64 {
+        self.per_kilo_uop(self.same_addr_load_stalls)
+    }
+
+    /// Load-load forwardings per 1K uOPs (Table III).
+    #[must_use]
+    pub fn load_load_forwardings_per_kilo_uop(&self) -> f64 {
+        self.per_kilo_uop(self.load_load_forwardings)
+    }
+
+    /// L1 load misses per 1K uOPs.
+    #[must_use]
+    pub fn l1_misses_per_kilo_uop(&self) -> f64 {
+        self.per_kilo_uop(self.l1d_misses)
+    }
+
+    /// L1 data-cache miss rate over all L1 accesses.
+    #[must_use]
+    pub fn l1_miss_rate(&self) -> f64 {
+        let total = self.l1d_hits + self.l1d_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} under {}:", self.workload, self.policy)?;
+        writeln!(f, "  {} uops in {} cycles  (uPC {:.3})", self.committed_uops, self.cycles, self.upc())?;
+        writeln!(
+            f,
+            "  kills/1K {:.3}   stalls/1K {:.3}   ld-ld fwd/1K {:.3}",
+            self.kills_per_kilo_uop(),
+            self.stalls_per_kilo_uop(),
+            self.load_load_forwardings_per_kilo_uop()
+        )?;
+        writeln!(
+            f,
+            "  L1D miss rate {:.2}%   store->load fwd {}   mispredicts {}",
+            self.l1_miss_rate() * 100.0,
+            self.store_to_load_forwardings,
+            self.branch_mispredicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimStats {
+        SimStats {
+            workload: "demo".into(),
+            policy: "GAM".into(),
+            cycles: 1_000,
+            committed_uops: 2_000,
+            committed_loads: 500,
+            committed_stores: 200,
+            same_addr_load_kills: 4,
+            same_addr_load_stalls: 6,
+            load_load_forwardings: 44,
+            l1d_hits: 450,
+            l1d_misses: 50,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn upc_and_per_kilo_metrics() {
+        let stats = sample();
+        assert!((stats.upc() - 2.0).abs() < 1e-12);
+        assert!((stats.kills_per_kilo_uop() - 2.0).abs() < 1e-12);
+        assert!((stats.stalls_per_kilo_uop() - 3.0).abs() < 1e-12);
+        assert!((stats.load_load_forwardings_per_kilo_uop() - 22.0).abs() < 1e-12);
+        assert!((stats.l1_misses_per_kilo_uop() - 25.0).abs() < 1e-12);
+        assert!((stats.l1_miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_do_not_panic() {
+        let stats = SimStats::default();
+        assert_eq!(stats.upc(), 0.0);
+        assert_eq!(stats.kills_per_kilo_uop(), 0.0);
+        assert_eq!(stats.l1_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_headline_numbers() {
+        let text = sample().to_string();
+        assert!(text.contains("uPC 2.000"));
+        assert!(text.contains("demo under GAM"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Micro-op traces.
+//!
+//! The timing simulator is trace-driven: architectural values are irrelevant
+//! for timing, so a workload is a sequence of [`MicroOp`]s carrying only what
+//! the pipeline needs — the operation class, up to two register dependencies
+//! (expressed as backward distances to the producing micro-ops), a memory
+//! address for loads and stores, and a misprediction flag for branches.
+
+use std::fmt;
+
+/// The class of a micro-op, which determines the functional unit it needs and
+/// its execution latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UopKind {
+    /// Simple integer ALU operation (1 cycle).
+    IntAlu,
+    /// Integer multiply (3 cycles).
+    IntMul,
+    /// Integer divide (20 cycles, unpipelined).
+    IntDiv,
+    /// Floating-point add/compare (3 cycles).
+    FpAlu,
+    /// Floating-point multiply (5 cycles).
+    FpMul,
+    /// Floating-point divide / square root (15 cycles, unpipelined).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (1 cycle).
+    Branch,
+}
+
+impl UopKind {
+    /// Execution latency in cycles (memory operations add cache latency on top
+    /// of address generation).
+    #[must_use]
+    pub fn latency(self) -> u64 {
+        match self {
+            UopKind::IntAlu | UopKind::Branch => 1,
+            UopKind::IntMul | UopKind::FpAlu => 3,
+            UopKind::FpMul => 5,
+            UopKind::FpDiv => 15,
+            UopKind::IntDiv => 20,
+            UopKind::Load | UopKind::Store => 1,
+        }
+    }
+
+    /// Returns true for loads and stores.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::Store)
+    }
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            UopKind::IntAlu => "int-alu",
+            UopKind::IntMul => "int-mul",
+            UopKind::IntDiv => "int-div",
+            UopKind::FpAlu => "fp-alu",
+            UopKind::FpMul => "fp-mul",
+            UopKind::FpDiv => "fp-div",
+            UopKind::Load => "load",
+            UopKind::Store => "store",
+            UopKind::Branch => "branch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One micro-op of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Operation class.
+    pub kind: UopKind,
+    /// First register dependency, as the distance (in micro-ops) back to the
+    /// producer: `Some(1)` depends on the immediately preceding micro-op.
+    pub dep1: Option<u32>,
+    /// Second register dependency.
+    pub dep2: Option<u32>,
+    /// Memory address (loads and stores; ignored otherwise).
+    pub addr: u64,
+    /// Whether this branch is mispredicted (branches only).
+    pub mispredicted: bool,
+}
+
+impl MicroOp {
+    /// A micro-op with no dependencies and no address.
+    #[must_use]
+    pub fn simple(kind: UopKind) -> Self {
+        MicroOp { kind, dep1: None, dep2: None, addr: 0, mispredicted: false }
+    }
+
+    /// A load from `addr` depending on the micro-op `dep` positions back (if any).
+    #[must_use]
+    pub fn load(addr: u64, dep: Option<u32>) -> Self {
+        MicroOp { kind: UopKind::Load, dep1: dep, dep2: None, addr, mispredicted: false }
+    }
+
+    /// A store to `addr` whose *data* is produced by the micro-op `data_dep`
+    /// positions back (if any). The address itself is constant (`dep1` is the
+    /// address dependency and stays empty); use
+    /// [`MicroOp::store_with_addr_dep`] for stores with computed addresses.
+    #[must_use]
+    pub fn store(addr: u64, data_dep: Option<u32>) -> Self {
+        MicroOp { kind: UopKind::Store, dep1: None, dep2: data_dep, addr, mispredicted: false }
+    }
+
+    /// A store whose address is produced by the micro-op `addr_dep` positions
+    /// back and whose data is produced by the micro-op `data_dep` positions
+    /// back.
+    #[must_use]
+    pub fn store_with_addr_dep(addr: u64, addr_dep: Option<u32>, data_dep: Option<u32>) -> Self {
+        MicroOp { kind: UopKind::Store, dep1: addr_dep, dep2: data_dep, addr, mispredicted: false }
+    }
+
+    /// A branch with the given misprediction flag.
+    #[must_use]
+    pub fn branch(mispredicted: bool) -> Self {
+        MicroOp { kind: UopKind::Branch, dep1: Some(1), dep2: None, addr: 0, mispredicted }
+    }
+
+    /// Returns true for loads and stores.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        self.kind.is_memory()
+    }
+}
+
+/// A micro-op trace together with its generating workload's name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    ops: Vec<MicroOp>,
+}
+
+impl Trace {
+    /// Wraps a micro-op sequence.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ops: Vec<MicroOp>) -> Self {
+        Trace { name: name.into(), ops }
+    }
+
+    /// The workload name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The micro-ops in program order.
+    #[must_use]
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Number of micro-ops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns true if the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Fraction of micro-ops that are loads.
+    #[must_use]
+    pub fn load_fraction(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        self.ops.iter().filter(|op| op.kind == UopKind::Load).count() as f64 / self.ops.len() as f64
+    }
+
+    /// Fraction of micro-ops that are stores.
+    #[must_use]
+    pub fn store_fraction(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        self.ops.iter().filter(|op| op.kind == UopKind::Store).count() as f64
+            / self.ops.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        assert!(UopKind::IntAlu.latency() < UopKind::IntMul.latency());
+        assert!(UopKind::IntMul.latency() < UopKind::IntDiv.latency());
+        assert!(UopKind::FpMul.latency() < UopKind::FpDiv.latency());
+        assert_eq!(UopKind::Branch.latency(), 1);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(UopKind::Load.is_memory());
+        assert!(UopKind::Store.is_memory());
+        assert!(!UopKind::IntAlu.is_memory());
+        assert!(MicroOp::load(64, None).is_memory());
+        assert!(!MicroOp::simple(UopKind::FpAlu).is_memory());
+    }
+
+    #[test]
+    fn constructors_populate_fields() {
+        let load = MicroOp::load(0x100, Some(2));
+        assert_eq!(load.addr, 0x100);
+        assert_eq!(load.dep1, Some(2));
+        let store = MicroOp::store(0x40, Some(3));
+        assert_eq!(store.kind, UopKind::Store);
+        assert_eq!(store.dep1, None, "a plain store has a constant address");
+        assert_eq!(store.dep2, Some(3), "the data dependency lives in dep2");
+        let indexed = MicroOp::store_with_addr_dep(0x40, Some(1), Some(2));
+        assert_eq!(indexed.dep1, Some(1));
+        assert_eq!(indexed.dep2, Some(2));
+        let branch = MicroOp::branch(true);
+        assert!(branch.mispredicted);
+        assert_eq!(branch.kind, UopKind::Branch);
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let ops = vec![
+            MicroOp::load(0, None),
+            MicroOp::simple(UopKind::IntAlu),
+            MicroOp::store(64, Some(1)),
+            MicroOp::load(128, None),
+        ];
+        let trace = Trace::new("demo", ops);
+        assert_eq!(trace.len(), 4);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.name(), "demo");
+        assert!((trace.load_fraction() - 0.5).abs() < 1e-9);
+        assert!((trace.store_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_fractions_are_zero() {
+        let trace = Trace::new("empty", vec![]);
+        assert_eq!(trace.load_fraction(), 0.0);
+        assert_eq!(trace.store_fraction(), 0.0);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(UopKind::Load.to_string(), "load");
+        assert_eq!(UopKind::FpDiv.to_string(), "fp-div");
+    }
+}

@@ -1,0 +1,640 @@
+//! Synthetic workload generators — the SPEC CPU2006 stand-in.
+//!
+//! The paper's evaluation (Section V) runs the 55 SPEC CPU2006 reference
+//! inputs; its conclusions are statistical: same-address load pairs close
+//! enough together to trigger kills or stalls are rare, and load-load
+//! forwarding almost never hides an L1 miss. The generators in this module
+//! expose exactly the knobs that drive those statistics — memory footprint,
+//! address pattern, dependency density, same-address reuse, store/load
+//! aliasing, branch behaviour — and [`WorkloadSuite::paper`] instantiates a
+//! 20-input suite spanning the same behavioural range (pointer-chasing,
+//! streaming, random access, compute-bound, branchy, store-heavy, …).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{MicroOp, Trace, UopKind};
+
+/// Base virtual address of the synthetic data segment.
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// How load and store addresses walk through the footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AddressPattern {
+    /// Sequential streaming with the given stride in bytes.
+    Sequential {
+        /// Stride between consecutive accesses, in bytes.
+        stride: u64,
+    },
+    /// Uniformly random addresses within the footprint.
+    Random,
+    /// Pointer chasing: every load's address depends on the previous load.
+    PointerChase,
+}
+
+/// Tunable parameters of a synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Fraction of micro-ops that are loads.
+    pub load_frac: f64,
+    /// Fraction of micro-ops that are stores.
+    pub store_frac: f64,
+    /// Fraction of micro-ops that are branches.
+    pub branch_frac: f64,
+    /// Fraction of branches that are mispredicted.
+    pub mispredict_rate: f64,
+    /// Fraction of non-memory, non-branch micro-ops that are floating point.
+    pub fp_frac: f64,
+    /// Fraction of ALU micro-ops that are long-latency (multiply / divide).
+    pub long_latency_frac: f64,
+    /// Memory footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Address pattern of loads and stores.
+    pub pattern: AddressPattern,
+    /// Probability that a micro-op depends on its immediate predecessor.
+    pub dep_chain: f64,
+    /// Probability that a load's address depends on the most recent load.
+    pub load_dep_frac: f64,
+    /// Probability that a load re-reads the exact address of a recent load
+    /// (the trigger for the same-address load-load machinery of Section V).
+    pub same_addr_load_frac: f64,
+    /// Probability that a load aliases a recent store's address (store-to-load
+    /// forwarding and memory-order squashes).
+    pub store_load_alias_frac: f64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            load_frac: 0.25,
+            store_frac: 0.10,
+            branch_frac: 0.10,
+            mispredict_rate: 0.03,
+            fp_frac: 0.2,
+            long_latency_frac: 0.05,
+            footprint_bytes: 256 * 1024,
+            pattern: AddressPattern::Random,
+            dep_chain: 0.35,
+            load_dep_frac: 0.05,
+            same_addr_load_frac: 0.02,
+            store_load_alias_frac: 0.05,
+        }
+    }
+}
+
+/// A named synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    name: String,
+    params: WorkloadParams,
+}
+
+impl WorkloadSpec {
+    /// Creates a workload from explicit parameters.
+    #[must_use]
+    pub fn new(name: impl Into<String>, params: WorkloadParams) -> Self {
+        WorkloadSpec { name: name.into(), params }
+    }
+
+    /// The workload name (used as the benchmark label in Figure 18).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload parameters.
+    #[must_use]
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// A streaming workload (sequential accesses with the given stride).
+    #[must_use]
+    pub fn streaming(name: impl Into<String>, footprint_bytes: u64, stride: u64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                load_frac: 0.30,
+                store_frac: 0.12,
+                pattern: AddressPattern::Sequential { stride },
+                footprint_bytes,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A pointer-chasing workload (dependent loads, latency bound).
+    ///
+    /// The traversal visits distinct nodes (a full-period walk), so —
+    /// like real list/tree chasing — it produces essentially no same-address
+    /// load pairs of its own; its cost is the serialised dependent misses.
+    #[must_use]
+    pub fn pointer_chase(name: impl Into<String>, footprint_bytes: u64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                load_frac: 0.35,
+                store_frac: 0.05,
+                pattern: AddressPattern::PointerChase,
+                load_dep_frac: 0.9,
+                same_addr_load_frac: 0.0,
+                store_load_alias_frac: 0.02,
+                footprint_bytes,
+                dep_chain: 0.5,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A random-access workload (cache-miss heavy for large footprints).
+    #[must_use]
+    pub fn random_access(name: impl Into<String>, footprint_bytes: u64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                load_frac: 0.30,
+                store_frac: 0.10,
+                pattern: AddressPattern::Random,
+                footprint_bytes,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A compute-bound workload with few memory operations.
+    #[must_use]
+    pub fn alu_heavy(name: impl Into<String>, fp_frac: f64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                load_frac: 0.10,
+                store_frac: 0.05,
+                branch_frac: 0.08,
+                fp_frac,
+                long_latency_frac: 0.10,
+                footprint_bytes: 32 * 1024,
+                dep_chain: 0.45,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A branch-heavy workload with the given misprediction rate.
+    #[must_use]
+    pub fn branchy(name: impl Into<String>, mispredict_rate: f64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                branch_frac: 0.22,
+                mispredict_rate,
+                load_frac: 0.20,
+                store_frac: 0.08,
+                footprint_bytes: 64 * 1024,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A store-heavy workload.
+    #[must_use]
+    pub fn store_heavy(name: impl Into<String>, footprint_bytes: u64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                load_frac: 0.15,
+                store_frac: 0.30,
+                store_load_alias_frac: 0.15,
+                footprint_bytes,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A workload with frequent same-address load pairs (stresses the
+    /// SALdLd kill/stall machinery well beyond what SPEC exhibits). Used by
+    /// the adversarial/ablation suite rather than the Figure 18 suite.
+    #[must_use]
+    pub fn same_addr_heavy(name: impl Into<String>, footprint_bytes: u64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                load_frac: 0.35,
+                store_frac: 0.08,
+                same_addr_load_frac: 0.30,
+                load_dep_frac: 0.25,
+                footprint_bytes,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A workload with a moderate amount of same-address load reuse and some
+    /// address-dependent loads — the kind of hot-structure access real codes
+    /// exhibit. This is what keeps Table II non-zero without being
+    /// adversarial.
+    #[must_use]
+    pub fn reuse(name: impl Into<String>, footprint_bytes: u64, reuse_frac: f64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams {
+                load_frac: 0.30,
+                store_frac: 0.10,
+                same_addr_load_frac: reuse_frac,
+                load_dep_frac: 0.10,
+                footprint_bytes,
+                ..WorkloadParams::default()
+            },
+        )
+    }
+
+    /// A mixed workload resembling integer SPEC codes.
+    #[must_use]
+    pub fn mixed(name: impl Into<String>, footprint_bytes: u64, mispredict_rate: f64) -> Self {
+        WorkloadSpec::new(
+            name,
+            WorkloadParams { footprint_bytes, mispredict_rate, ..WorkloadParams::default() },
+        )
+    }
+
+    /// Generates a trace of `num_ops` micro-ops with the given seed.
+    ///
+    /// The same `(spec, num_ops, seed)` triple always yields the same trace,
+    /// so the four memory-model policies of Figure 18 are compared on
+    /// identical instruction streams.
+    #[must_use]
+    pub fn generate(&self, num_ops: usize, seed: u64) -> Trace {
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&self.name));
+        let mut ops = Vec::with_capacity(num_ops);
+        let footprint = p.footprint_bytes.max(64);
+        let mut stream_addr: u64 = 0;
+        let mut recent_loads: Vec<(usize, u64)> = Vec::new();
+        let mut recent_stores: Vec<(usize, u64)> = Vec::new();
+
+        for i in 0..num_ops {
+            let roll: f64 = rng.gen();
+            let mut op = if roll < p.load_frac {
+                self.generate_load(i, &mut rng, footprint, &mut stream_addr, &recent_loads, &recent_stores)
+            } else if roll < p.load_frac + p.store_frac {
+                self.generate_store(i, &mut rng, footprint, &mut stream_addr, &recent_loads)
+            } else if roll < p.load_frac + p.store_frac + p.branch_frac {
+                MicroOp::branch(rng.gen::<f64>() < p.mispredict_rate)
+            } else {
+                self.generate_alu(i, &mut rng)
+            };
+            // Dependencies can never point before the start of the trace.
+            op.dep1 = op.dep1.filter(|d| *d > 0 && (*d as usize) <= i);
+            op.dep2 = op.dep2.filter(|d| *d > 0 && (*d as usize) <= i);
+
+            if op.kind == UopKind::Load {
+                recent_loads.push((i, op.addr));
+                if recent_loads.len() > 32 {
+                    recent_loads.remove(0);
+                }
+            } else if op.kind == UopKind::Store {
+                recent_stores.push((i, op.addr));
+                if recent_stores.len() > 32 {
+                    recent_stores.remove(0);
+                }
+            }
+            ops.push(op);
+        }
+        Trace::new(self.name.clone(), ops)
+    }
+
+    fn next_addr(
+        &self,
+        rng: &mut StdRng,
+        footprint: u64,
+        stream_addr: &mut u64,
+    ) -> u64 {
+        let slots = (footprint / 8).max(1);
+        let offset = match self.params.pattern {
+            AddressPattern::Sequential { stride } => {
+                *stream_addr = (*stream_addr + stride) % footprint;
+                *stream_addr
+            }
+            AddressPattern::Random => rng.gen_range(0..slots) * 8,
+            AddressPattern::PointerChase => {
+                // A full-period affine walk over the footprint models a
+                // linked-list traversal: consecutive pointer loads touch
+                // distinct nodes instead of colliding at random, exactly like
+                // chasing a shuffled list.
+                let current = (*stream_addr / 8) % slots;
+                let next = (current.wrapping_mul(5).wrapping_add(1)) % slots;
+                *stream_addr = next * 8;
+                *stream_addr
+            }
+        };
+        DATA_BASE + (offset & !0x7)
+    }
+
+    fn generate_load(
+        &self,
+        index: usize,
+        rng: &mut StdRng,
+        footprint: u64,
+        stream_addr: &mut u64,
+        recent_loads: &[(usize, u64)],
+        recent_stores: &[(usize, u64)],
+    ) -> MicroOp {
+        let p = &self.params;
+        // Same-address reuse of a recent load (the SALdLd trigger).
+        if !recent_loads.is_empty() && rng.gen::<f64>() < p.same_addr_load_frac {
+            let &(_, addr) = &recent_loads[rng.gen_range(0..recent_loads.len())];
+            return MicroOp::load(addr, None);
+        }
+        // Alias a recent store (store-to-load forwarding / squashes).
+        if !recent_stores.is_empty() && rng.gen::<f64>() < p.store_load_alias_frac {
+            let &(_, addr) = &recent_stores[rng.gen_range(0..recent_stores.len())];
+            return MicroOp::load(addr, None);
+        }
+        let addr = self.next_addr(rng, footprint, stream_addr);
+        // Address dependency on the previous load (pointer chasing).
+        let dep = if rng.gen::<f64>() < p.load_dep_frac {
+            recent_loads.last().map(|(producer, _)| (index - producer) as u32)
+        } else if rng.gen::<f64>() < p.dep_chain && index > 0 {
+            Some(1)
+        } else {
+            None
+        };
+        MicroOp::load(addr, dep)
+    }
+
+    fn generate_store(
+        &self,
+        index: usize,
+        rng: &mut StdRng,
+        footprint: u64,
+        stream_addr: &mut u64,
+        recent_loads: &[(usize, u64)],
+    ) -> MicroOp {
+        let p = &self.params;
+        let addr = self.next_addr(rng, footprint, stream_addr);
+        // Store data usually comes from something computed recently.
+        let data_dep = if rng.gen::<f64>() < p.dep_chain && index > 0 {
+            Some(1 + rng.gen_range(0..4.min(index as u32)))
+        } else {
+            recent_loads.last().map(|(producer, _)| (index - producer) as u32)
+        };
+        // Occasionally the store address itself is computed from a recent load
+        // (indexed stores), which is what makes stores resolve late and
+        // exercises the memory-order squash path.
+        let addr_dep = if rng.gen::<f64>() < p.load_dep_frac {
+            recent_loads.last().map(|(producer, _)| (index - producer) as u32)
+        } else {
+            None
+        };
+        MicroOp::store_with_addr_dep(
+            addr,
+            addr_dep.filter(|d| *d > 0 && (*d as usize) <= index),
+            data_dep.filter(|d| *d > 0 && (*d as usize) <= index),
+        )
+    }
+
+    fn generate_alu(&self, index: usize, rng: &mut StdRng) -> MicroOp {
+        let p = &self.params;
+        let kind = if rng.gen::<f64>() < p.fp_frac {
+            if rng.gen::<f64>() < p.long_latency_frac {
+                if rng.gen::<bool>() {
+                    UopKind::FpDiv
+                } else {
+                    UopKind::FpMul
+                }
+            } else {
+                UopKind::FpAlu
+            }
+        } else if rng.gen::<f64>() < p.long_latency_frac {
+            if rng.gen::<bool>() {
+                UopKind::IntDiv
+            } else {
+                UopKind::IntMul
+            }
+        } else {
+            UopKind::IntAlu
+        };
+        let mut op = MicroOp::simple(kind);
+        if index > 0 && rng.gen::<f64>() < p.dep_chain {
+            op.dep1 = Some(1);
+        }
+        if index > 1 && rng.gen::<f64>() < p.dep_chain / 2.0 {
+            op.dep2 = Some(2);
+        }
+        op
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A named collection of workloads (the x-axis of Figure 18).
+#[derive(Debug, Clone)]
+pub struct WorkloadSuite {
+    specs: Vec<WorkloadSpec>,
+}
+
+impl WorkloadSuite {
+    /// Builds a suite from explicit specs.
+    #[must_use]
+    pub fn new(specs: Vec<WorkloadSpec>) -> Self {
+        WorkloadSuite { specs }
+    }
+
+    /// The 20-workload suite used to regenerate Figure 18 and Tables II/III.
+    ///
+    /// Names follow a `behaviour.variant` convention; the behaviours cover
+    /// the range the SPEC reference inputs exhibit: pointer chasing
+    /// (mcf/xalanc-like), streaming (libquantum/lbm-like), random access
+    /// (omnetpp-like), compute-bound integer and floating point
+    /// (hmmer/gamess-like), branchy codes (gobmk/sjeng-like), store-heavy
+    /// phases (bzip2-like), hot-structure reuse and mixed behaviour
+    /// (gcc-like). Deliberately adversarial same-address workloads live in
+    /// [`WorkloadSuite::adversarial`] instead.
+    #[must_use]
+    pub fn paper() -> Self {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        WorkloadSuite::new(vec![
+            WorkloadSpec::pointer_chase("ptrchase.l1", 16 * KIB),
+            WorkloadSpec::pointer_chase("ptrchase.l2", 128 * KIB),
+            WorkloadSpec::pointer_chase("ptrchase.mem", 8 * MIB),
+            WorkloadSpec::streaming("stream.dense", 512 * KIB, 8),
+            WorkloadSpec::streaming("stream.line", 2 * MIB, 64),
+            WorkloadSpec::streaming("stream.sparse", 8 * MIB, 256),
+            WorkloadSpec::random_access("random.l1", 16 * KIB),
+            WorkloadSpec::random_access("random.l3", 768 * KIB),
+            WorkloadSpec::random_access("random.mem", 16 * MIB),
+            WorkloadSpec::alu_heavy("compute.int", 0.05),
+            WorkloadSpec::alu_heavy("compute.fp", 0.75),
+            WorkloadSpec::branchy("branchy.predictable", 0.01),
+            WorkloadSpec::branchy("branchy.hard", 0.10),
+            WorkloadSpec::store_heavy("store.l2", 128 * KIB),
+            WorkloadSpec::store_heavy("store.mem", 8 * MIB),
+            WorkloadSpec::reuse("reuse.hot", 32 * KIB, 0.06),
+            WorkloadSpec::reuse("reuse.cold", 2 * MIB, 0.03),
+            WorkloadSpec::mixed("mix.small", 64 * KIB, 0.02),
+            WorkloadSpec::mixed("mix.large", 4 * MIB, 0.03),
+            WorkloadSpec::mixed("mix.branchy", 512 * KIB, 0.08),
+        ])
+    }
+
+    /// Deliberately adversarial workloads that hammer the same-address
+    /// load-load machinery far harder than any SPEC-like code: used by the
+    /// ablation study (`cargo run -p gam-bench --bin ablation`), *not* by the
+    /// Figure 18 suite.
+    #[must_use]
+    pub fn adversarial() -> Self {
+        WorkloadSuite::new(vec![
+            WorkloadSpec::same_addr_heavy("samereads.hot", 8 * 1024),
+            WorkloadSpec::same_addr_heavy("samereads.cold", 2 * 1024 * 1024),
+            WorkloadSpec::pointer_chase("ptrchase.tiny", 4 * 1024),
+        ])
+    }
+
+    /// A three-workload suite for fast tests and examples.
+    #[must_use]
+    pub fn small() -> Self {
+        WorkloadSuite::new(vec![
+            WorkloadSpec::pointer_chase("ptrchase.small", 32 * 1024),
+            WorkloadSpec::streaming("stream.small", 64 * 1024, 64),
+            WorkloadSpec::mixed("mix.tiny", 32 * 1024, 0.03),
+        ])
+    }
+
+    /// The workloads in the suite.
+    #[must_use]
+    pub fn specs(&self) -> &[WorkloadSpec] {
+        &self.specs
+    }
+
+    /// Number of workloads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns true if the suite has no workloads.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::mixed("repro", 64 * 1024, 0.05);
+        let a = spec.generate(5_000, 7);
+        let b = spec.generate(5_000, 7);
+        assert_eq!(a, b);
+        let c = spec.generate(5_000, 8);
+        assert_ne!(a, c, "a different seed must change the trace");
+    }
+
+    #[test]
+    fn fractions_roughly_match_parameters() {
+        let spec = WorkloadSpec::mixed("fractions", 256 * 1024, 0.03);
+        let trace = spec.generate(50_000, 1);
+        let p = spec.params();
+        assert!((trace.load_fraction() - p.load_frac).abs() < 0.02);
+        assert!((trace.store_fraction() - p.store_frac).abs() < 0.02);
+    }
+
+    #[test]
+    fn dependencies_never_point_before_the_trace_start() {
+        let suite = WorkloadSuite::paper();
+        for spec in suite.specs() {
+            let trace = spec.generate(2_000, 3);
+            for (i, op) in trace.ops().iter().enumerate() {
+                for dep in [op.dep1, op.dep2].into_iter().flatten() {
+                    assert!(dep as usize <= i, "{}: op {i} depends {dep} back", spec.name());
+                    assert!(dep > 0, "{}: op {i} depends on itself", spec.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_stay_inside_the_footprint() {
+        let spec = WorkloadSpec::random_access("bounds", 4096);
+        let trace = spec.generate(10_000, 11);
+        for op in trace.ops() {
+            if op.is_memory() {
+                assert!(op.addr >= DATA_BASE);
+                assert!(op.addr < DATA_BASE + 4096);
+                assert_eq!(op.addr % 8, 0, "addresses are 8-byte aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chase_has_dependent_loads() {
+        let spec = WorkloadSpec::pointer_chase("chase", 1024 * 1024);
+        let trace = spec.generate(20_000, 5);
+        let dependent_loads = trace
+            .ops()
+            .iter()
+            .filter(|op| op.kind == UopKind::Load && op.dep1.is_some())
+            .count();
+        let loads = trace.ops().iter().filter(|op| op.kind == UopKind::Load).count();
+        assert!(
+            dependent_loads as f64 > 0.5 * loads as f64,
+            "pointer chasing must make most loads dependent ({dependent_loads}/{loads})"
+        );
+    }
+
+    #[test]
+    fn same_addr_heavy_produces_repeated_addresses() {
+        let spec = WorkloadSpec::same_addr_heavy("hot", 64 * 1024);
+        let trace = spec.generate(20_000, 9);
+        let mut repeats = 0usize;
+        let mut window: Vec<u64> = Vec::new();
+        for op in trace.ops() {
+            if op.kind == UopKind::Load {
+                if window.contains(&op.addr) {
+                    repeats += 1;
+                }
+                window.push(op.addr);
+                if window.len() > 32 {
+                    window.remove(0);
+                }
+            }
+        }
+        assert!(repeats > 500, "expected many same-address load pairs, got {repeats}");
+    }
+
+    #[test]
+    fn branchy_workload_has_mispredicts() {
+        let spec = WorkloadSpec::branchy("hard", 0.10);
+        let trace = spec.generate(20_000, 13);
+        let branches = trace.ops().iter().filter(|o| o.kind == UopKind::Branch).count();
+        let mispredicts = trace.ops().iter().filter(|o| o.mispredicted).count();
+        assert!(branches > 3_000);
+        let rate = mispredicts as f64 / branches as f64;
+        assert!((rate - 0.10).abs() < 0.03, "misprediction rate {rate} too far from 10%");
+    }
+
+    #[test]
+    fn paper_suite_has_twenty_distinct_workloads() {
+        let suite = WorkloadSuite::paper();
+        assert_eq!(suite.len(), 20);
+        assert!(!suite.is_empty());
+        let names: std::collections::BTreeSet<&str> =
+            suite.specs().iter().map(WorkloadSpec::name).collect();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn small_suite_is_a_subset_in_spirit() {
+        assert_eq!(WorkloadSuite::small().len(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the workload generators, the cache hierarchy and
+//! the pipeline simulator.
+
+use gam_uarch::cache::CacheHierarchy;
+use gam_uarch::config::{CacheHierarchyConfig, MemoryModelPolicy, SimConfig};
+use gam_uarch::workload::{WorkloadParams, WorkloadSpec};
+use gam_uarch::{MicroOp, Simulator, Trace, UopKind};
+use proptest::prelude::*;
+
+/// Strategy: a small random trace with well-formed dependencies.
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    let op = (0u8..6, 0u64..4, 0u32..4, any::<bool>()).prop_map(|(kind, addr, dep, misp)| {
+        let address = 0x2000 + addr * 8;
+        match kind {
+            0 => MicroOp::load(address, (dep > 0).then_some(dep)),
+            1 => MicroOp::store(address, (dep > 0).then_some(dep)),
+            2 => MicroOp::branch(misp),
+            3 => MicroOp::simple(UopKind::IntMul),
+            4 => {
+                let mut alu = MicroOp::simple(UopKind::IntAlu);
+                alu.dep1 = (dep > 0).then_some(dep);
+                alu
+            }
+            _ => MicroOp::simple(UopKind::FpAlu),
+        }
+    });
+    proptest::collection::vec(op, 0..120).prop_map(|mut ops| {
+        for (i, op) in ops.iter_mut().enumerate() {
+            op.dep1 = op.dep1.filter(|d| (*d as usize) <= i);
+            op.dep2 = op.dep2.filter(|d| (*d as usize) <= i);
+        }
+        Trace::new("proptest", ops)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every policy retires exactly the trace, never more, never fewer.
+    #[test]
+    fn simulation_retires_the_whole_trace(trace in arbitrary_trace()) {
+        for policy in MemoryModelPolicy::ALL {
+            let stats = Simulator::new(SimConfig::tiny(policy)).run(&trace);
+            prop_assert_eq!(stats.committed_uops as usize, trace.len());
+            prop_assert_eq!(
+                stats.committed_loads as usize,
+                trace.ops().iter().filter(|o| o.kind == UopKind::Load).count()
+            );
+            prop_assert_eq!(
+                stats.committed_stores as usize,
+                trace.ops().iter().filter(|o| o.kind == UopKind::Store).count()
+            );
+            // uPC can never exceed the commit width.
+            if stats.cycles > 0 {
+                prop_assert!(stats.upc() <= SimConfig::tiny(policy).core.commit_width as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// Policy capabilities are respected: only GAM kills, only GAM/ARM stall,
+    /// only Alpha* forwards load-to-load.
+    #[test]
+    fn policy_capabilities_hold_on_random_traces(trace in arbitrary_trace()) {
+        for policy in MemoryModelPolicy::ALL {
+            let stats = Simulator::new(SimConfig::tiny(policy)).run(&trace);
+            if !policy.kills_same_address_loads() {
+                prop_assert_eq!(stats.same_addr_load_kills, 0);
+            }
+            if !policy.stalls_same_address_loads() {
+                prop_assert_eq!(stats.same_addr_load_stalls, 0);
+            }
+            if !policy.allows_load_load_forwarding() {
+                prop_assert_eq!(stats.load_load_forwardings, 0);
+            }
+            prop_assert!(stats.forwardings_that_hid_l1_misses <= stats.load_load_forwardings);
+        }
+    }
+
+    /// The same (spec, ops, seed) triple always generates the same trace, and
+    /// memory addresses stay inside the configured footprint.
+    #[test]
+    fn workload_generation_is_deterministic_and_bounded(
+        footprint_kib in 1u64..64,
+        ops in 100usize..800,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec::new(
+            "prop",
+            WorkloadParams { footprint_bytes: footprint_kib * 1024, ..WorkloadParams::default() },
+        );
+        let a = spec.generate(ops, seed);
+        let b = spec.generate(ops, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), ops);
+        for op in a.ops() {
+            if op.is_memory() {
+                prop_assert!(op.addr >= 0x1000_0000);
+                prop_assert!(op.addr < 0x1000_0000 + footprint_kib * 1024);
+            }
+        }
+    }
+
+    /// Cache accesses are coherent with the hierarchy's latencies: an L1 hit
+    /// costs exactly the L1 latency, anything else costs strictly more, and
+    /// repeating an access immediately always hits.
+    #[test]
+    fn cache_latencies_are_ordered(addrs in proptest::collection::vec(0u64..0x8000, 1..100)) {
+        let config = CacheHierarchyConfig::paper();
+        let mut caches = CacheHierarchy::new(&config);
+        let mut now = 0;
+        let count = addrs.len() as u64;
+        for addr in addrs {
+            let first = caches.access(addr, now);
+            now += first.latency;
+            if first.l1_hit() {
+                prop_assert_eq!(first.latency, config.l1d.hit_latency);
+            } else {
+                prop_assert!(first.latency > config.l1d.hit_latency);
+            }
+            let second = caches.access(addr, now);
+            now += second.latency;
+            prop_assert!(second.l1_hit());
+        }
+        prop_assert_eq!(caches.l1_hits() + caches.l1_misses(), 2 * count);
+    }
+}

@@ -1,0 +1,158 @@
+//! Model-comparison matrices.
+//!
+//! A [`ComparisonMatrix`] records, for a set of litmus tests, the verdict of
+//! every model in the catalogue as computed by the axiomatic checker, and
+//! whether each verdict matches the expectation table. Its `Display`
+//! implementation prints the same kind of table the paper uses to discuss its
+//! litmus tests, which the `litmus-tables` benchmark binary reuses.
+
+use std::fmt;
+
+use gam_axiomatic::{AxiomaticChecker, CheckError, Verdict};
+use gam_core::{model, ModelKind};
+use gam_isa::litmus::LitmusTest;
+
+use crate::expectations;
+
+/// One row of the comparison matrix: a litmus test and the verdict of every model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonRow {
+    /// Litmus-test name.
+    pub test: String,
+    /// `(model, verdict)` pairs in catalogue order.
+    pub verdicts: Vec<(ModelKind, Verdict)>,
+    /// Models whose verdict disagrees with the expectation table (empty when
+    /// everything matches or no expectation exists).
+    pub mismatches: Vec<ModelKind>,
+}
+
+impl ComparisonRow {
+    /// The verdict of a given model in this row.
+    #[must_use]
+    pub fn verdict(&self, model: ModelKind) -> Option<Verdict> {
+        self.verdicts.iter().find(|(m, _)| *m == model).map(|(_, v)| *v)
+    }
+
+    /// Returns true if every computed verdict matches the expectation table.
+    #[must_use]
+    pub fn matches_expectations(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Verdicts of every model on a set of litmus tests.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonMatrix {
+    rows: Vec<ComparisonRow>,
+}
+
+impl ComparisonMatrix {
+    /// Runs the axiomatic checker for every model on every test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first checker error (branches or too many events).
+    pub fn compute(tests: &[LitmusTest]) -> Result<Self, CheckError> {
+        let models = model::all();
+        let mut rows = Vec::with_capacity(tests.len());
+        for test in tests {
+            let mut verdicts = Vec::with_capacity(models.len());
+            for spec in &models {
+                let verdict = AxiomaticChecker::new(spec.clone()).check(test)?;
+                verdicts.push((spec.kind(), verdict));
+            }
+            let mismatches = match expectations::expectation_for(test.name()) {
+                Some(expected) => verdicts
+                    .iter()
+                    .filter(|(kind, verdict)| expected.allowed(*kind) != verdict.is_allowed())
+                    .map(|(kind, _)| *kind)
+                    .collect(),
+                None => Vec::new(),
+            };
+            rows.push(ComparisonRow { test: test.name().to_string(), verdicts, mismatches });
+        }
+        Ok(ComparisonMatrix { rows })
+    }
+
+    /// The rows of the matrix.
+    #[must_use]
+    pub fn rows(&self) -> &[ComparisonRow] {
+        &self.rows
+    }
+
+    /// Returns true if every row matches the expectation table.
+    #[must_use]
+    pub fn matches_expectations(&self) -> bool {
+        self.rows.iter().all(ComparisonRow::matches_expectations)
+    }
+
+    /// Rows that disagree with the expectation table.
+    #[must_use]
+    pub fn mismatched_rows(&self) -> Vec<&ComparisonRow> {
+        self.rows.iter().filter(|r| !r.matches_expectations()).collect()
+    }
+}
+
+impl fmt::Display for ComparisonMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9}  {}",
+            "litmus test", "SC", "TSO", "GAM", "GAM0", "GAM-ARM", "matches paper"
+        )?;
+        for row in &self.rows {
+            write!(f, "{:<24}", row.test)?;
+            for kind in ModelKind::ALL {
+                let text = match row.verdict(kind) {
+                    Some(Verdict::Allowed) => "allowed",
+                    Some(Verdict::Forbidden) => "forbidden",
+                    None => "-",
+                };
+                write!(f, " {text:>9}")?;
+            }
+            writeln!(f, "  {}", if row.matches_expectations() { "yes" } else { "NO" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::library;
+
+    #[test]
+    fn paper_figures_match_expectations() {
+        let matrix = ComparisonMatrix::compute(&library::paper_tests()).unwrap();
+        assert!(
+            matrix.matches_expectations(),
+            "mismatched rows: {:?}",
+            matrix
+                .mismatched_rows()
+                .iter()
+                .map(|r| (r.test.clone(), r.mismatches.clone()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn display_lists_every_test_and_model() {
+        let tests = vec![library::dekker(), library::corr()];
+        let matrix = ComparisonMatrix::compute(&tests).unwrap();
+        let text = matrix.to_string();
+        assert!(text.contains("dekker"));
+        assert!(text.contains("corr"));
+        assert!(text.contains("GAM-ARM"));
+        assert!(text.contains("allowed"));
+        assert!(text.contains("forbidden"));
+    }
+
+    #[test]
+    fn row_accessors() {
+        let matrix = ComparisonMatrix::compute(&[library::corr()]).unwrap();
+        let row = &matrix.rows()[0];
+        assert_eq!(row.verdict(ModelKind::Gam), Some(Verdict::Forbidden));
+        assert_eq!(row.verdict(ModelKind::Gam0), Some(Verdict::Allowed));
+        assert!(row.matches_expectations());
+    }
+}

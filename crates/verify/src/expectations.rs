@@ -1,0 +1,175 @@
+//! Expected verdicts of every model on every litmus test in the library.
+//!
+//! The entries for the paper's own figures restate the verdicts printed in
+//! the paper (Figures 2, 5, 8, 13 and 14); the entries for the classical
+//! tests follow from the models' definitions (and are cross-checked against
+//! both the axiomatic checker and the operational machines by this crate's
+//! tests and by the `tests/paper_litmus.rs` integration suite).
+
+use gam_core::ModelKind;
+
+/// The expected verdict of every model for one litmus test's condition of
+/// interest (`true` = allowed, `false` = forbidden).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expectation {
+    /// Litmus-test name (matches `gam_isa::litmus::library` names).
+    pub test: &'static str,
+    /// Verdict under SC.
+    pub sc: bool,
+    /// Verdict under TSO.
+    pub tso: bool,
+    /// Verdict under GAM.
+    pub gam: bool,
+    /// Verdict under GAM0.
+    pub gam0: bool,
+    /// Verdict under GAM with the ARM same-address rule.
+    pub gam_arm: bool,
+    /// Where the expectation comes from (paper figure or classical argument).
+    pub source: &'static str,
+}
+
+impl Expectation {
+    /// The expected verdict for a given model.
+    #[must_use]
+    pub fn allowed(&self, model: ModelKind) -> bool {
+        match model {
+            ModelKind::Sc => self.sc,
+            ModelKind::Tso => self.tso,
+            ModelKind::Gam => self.gam,
+            ModelKind::Gam0 => self.gam0,
+            ModelKind::GamArm => self.gam_arm,
+        }
+    }
+}
+
+macro_rules! expectation {
+    ($test:literal, $sc:expr, $tso:expr, $gam:expr, $gam0:expr, $arm:expr, $source:literal) => {
+        Expectation {
+            test: $test,
+            sc: $sc,
+            tso: $tso,
+            gam: $gam,
+            gam0: $gam0,
+            gam_arm: $arm,
+            source: $source,
+        }
+    };
+}
+
+/// The full expectation table (one row per library litmus test).
+#[must_use]
+pub fn paper_expectations() -> Vec<Expectation> {
+    const A: bool = true; // allowed
+    const F: bool = false; // forbidden
+    vec![
+        // ------------------------------- paper figures -------------------------------
+        expectation!("dekker", F, A, A, A, A, "Figure 2: SC forbids r1=r2=0; store->load relaxation allows it"),
+        expectation!("oota", F, F, F, F, F, "Figure 5: out-of-thin-air must be forbidden by every model"),
+        expectation!("store-forwarding", F, F, F, F, F, "Figure 8: a load may not skip the youngest older same-address store"),
+        expectation!("mp+addr", F, F, F, F, F, "Figure 13a: address dependency keeps the consumer loads ordered"),
+        expectation!("mp+artificial-addr", F, F, F, F, F, "Figure 13b: artificial (syntactic) dependencies are honoured"),
+        expectation!("mp+mem-dep", F, F, F, F, F, "Figure 13c: dependency chained through memory (constraint SAStLd)"),
+        expectation!("mp+prefetch", F, F, F, F, F, "Figure 13d: no load-load forwarding, the dependent load sees the up-to-date value"),
+        expectation!("corr", F, F, F, A, F, "Figure 14a: per-location SC (SALdLd / SALdLdARM) forbids; GAM0 and RMO allow"),
+        expectation!("corr+intervening-store", F, F, A, A, F, "Figure 14b: the intervening same-address store lets GAM reorder; SALdLdARM orders the loads because they read different stores"),
+        expectation!("rsw", F, F, F, A, A, "Figure 14c: ARM allows (both middle loads read the same store), GAM forbids"),
+        expectation!("rnsw", F, F, F, A, F, "Figure 14d: the extra store makes the middle loads read different stores, so ARM also forbids"),
+        // ------------------------------ classical tests ------------------------------
+        expectation!("dekker+fence-sl", F, F, F, F, F, "FenceSL restores store->load ordering on both sides"),
+        expectation!("mp", F, F, A, A, A, "unfenced message passing is only safe on SC/TSO"),
+        expectation!("mp+fences", F, F, F, F, F, "FenceSS + FenceLL restore the producer and consumer orderings"),
+        expectation!("mp+fence-ss", F, F, A, A, A, "without consumer ordering the loads may still be reordered"),
+        expectation!("lb", F, F, A, A, A, "load buffering: load->store reordering is allowed by the weak models"),
+        expectation!("lb+data", F, F, F, F, F, "data dependencies turn load buffering into out-of-thin-air"),
+        expectation!("lb+fence-ls", F, F, F, F, F, "FenceLS restores the load->store ordering"),
+        expectation!("iriw", F, F, A, A, A, "unfenced readers may disagree when load->load ordering is relaxed"),
+        expectation!("iriw+fence-ll", F, F, F, F, F, "with FenceLL on the readers, atomic memory forbids the disagreement"),
+        expectation!("wrc", F, F, F, F, F, "data + address dependencies preserve write-to-read causality"),
+        expectation!("wrc+no-dep", F, F, A, A, A, "without reader dependencies the final load may be reordered"),
+        expectation!("corw", F, F, F, F, F, "a load may not observe a program-order-younger store"),
+        expectation!("cowr", F, F, F, F, F, "a load after a same-address store may not observe an older value"),
+        expectation!("coww", F, F, F, F, F, "same-address stores commit in program order (constraint SAMemSt)"),
+        expectation!("2+2w", F, F, A, A, A, "store->store relaxation lets both first stores lose the coherence race"),
+        expectation!("2+2w+fence-ss", F, F, F, F, F, "FenceSS restores the store->store ordering"),
+        expectation!("s", F, F, A, A, A, "load->store relaxation on the consumer allows the S shape"),
+        expectation!("r", F, A, A, A, A, "store->load relaxation (already in TSO) allows the R shape"),
+    ]
+}
+
+/// Looks up the expectation for a test by name.
+#[must_use]
+pub fn expectation_for(test: &str) -> Option<Expectation> {
+    paper_expectations().into_iter().find(|e| e.test == test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::library;
+
+    #[test]
+    fn every_library_test_has_an_expectation() {
+        let table = paper_expectations();
+        for test in library::all_tests() {
+            assert!(
+                table.iter().any(|e| e.test == test.name()),
+                "missing expectation for `{}`",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_expectation_names_a_library_test() {
+        for expectation in paper_expectations() {
+            assert!(
+                library::by_name(expectation.test).is_some(),
+                "expectation `{}` does not match any library test",
+                expectation.test
+            );
+        }
+    }
+
+    #[test]
+    fn monotonicity_sc_is_strongest() {
+        // Anything allowed by SC must be allowed by every weaker model, and
+        // anything allowed by TSO must be allowed by the GAM family.
+        for e in paper_expectations() {
+            if e.sc {
+                assert!(e.tso && e.gam && e.gam0 && e.gam_arm, "{}", e.test);
+            }
+            if e.tso {
+                assert!(e.gam && e.gam0 && e.gam_arm, "{}", e.test);
+            }
+            // GAM is stronger than GAM0 (it only adds constraint SALdLd).
+            if e.gam {
+                assert!(e.gam0, "{}", e.test);
+            }
+            // GAM-ARM is weaker than GAM (SALdLdARM relaxes SALdLd) and
+            // stronger than GAM0.
+            if e.gam {
+                assert!(e.gam0, "{}", e.test);
+            }
+            if e.gam_arm {
+                assert!(e.gam0, "{}", e.test);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(expectation_for("dekker").is_some());
+        assert!(expectation_for("rsw").unwrap().gam_arm);
+        assert!(!expectation_for("rnsw").unwrap().gam_arm);
+        assert!(expectation_for("not-a-test").is_none());
+    }
+
+    #[test]
+    fn allowed_accessor_matches_fields() {
+        let e = expectation_for("corr").unwrap();
+        assert!(!e.allowed(ModelKind::Sc));
+        assert!(!e.allowed(ModelKind::Gam));
+        assert!(e.allowed(ModelKind::Gam0));
+        assert!(!e.allowed(ModelKind::GamArm));
+    }
+}

@@ -1,0 +1,38 @@
+//! # gam-verify
+//!
+//! The verification layer of the GAM reproduction. It ties the litmus-test
+//! library, the axiomatic checker and the operational machines together:
+//!
+//! * [`expectations`] — the paper's (and the classical literature's) expected
+//!   verdict of every model on every litmus test in the library, as a
+//!   machine-readable table;
+//! * [`compare`] — runs the axiomatic checker over tests × models and builds
+//!   a comparison matrix, flagging any disagreement with the expectations;
+//! * [`equivalence`] — cross-checks the axiomatic and operational definitions
+//!   of each model by comparing their complete allowed-outcome sets on every
+//!   litmus test (the machine-checkable counterpart of the paper's
+//!   equivalence proof for GAM).
+//!
+//! # Example
+//!
+//! ```
+//! use gam_verify::expectations;
+//! use gam_core::ModelKind;
+//!
+//! let table = expectations::paper_expectations();
+//! let dekker = table.iter().find(|e| e.test == "dekker").unwrap();
+//! assert!(!dekker.allowed(ModelKind::Sc));
+//! assert!(dekker.allowed(ModelKind::Gam));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compare;
+pub mod equivalence;
+pub mod expectations;
+
+pub use compare::{ComparisonMatrix, ComparisonRow};
+pub use equivalence::{EquivalenceReport, EquivalenceResult};
+pub use expectations::Expectation;

@@ -1,0 +1,54 @@
+//! Explore the full litmus-test library: print every test, every model's
+//! verdict, and (for allowed behaviours under GAM) a witness execution with
+//! its read-from relation and global memory order.
+//!
+//! Run with: `cargo run --example litmus_explorer [-- <test-name>]`
+
+use gam::axiomatic::AxiomaticChecker;
+use gam::core::model;
+use gam::isa::litmus::library;
+use gam::verify::ComparisonMatrix;
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1);
+
+    match filter {
+        None => {
+            let tests = library::all_tests();
+            println!("{} litmus tests in the library\n", tests.len());
+            let matrix = ComparisonMatrix::compute(&tests).expect("all tests are checkable");
+            print!("{matrix}");
+            println!();
+            println!("Run `cargo run --example litmus_explorer -- <name>` for details on one test.");
+        }
+        Some(name) => {
+            let Some(test) = library::by_name(&name) else {
+                eprintln!("unknown litmus test `{name}`; available tests:");
+                for test in library::all_tests() {
+                    eprintln!("  {}", test.name());
+                }
+                std::process::exit(1);
+            };
+            println!("{test}");
+            for spec in model::all() {
+                let checker = AxiomaticChecker::new(spec.clone());
+                let verdict = checker.check(&test).expect("checkable");
+                println!("{:<8} {}", spec.name(), verdict);
+                if verdict.is_allowed() {
+                    if let Some(witness) = checker.find_witness(&test).expect("checkable") {
+                        println!("  witness outcome : {}", witness.outcome);
+                        let rf: Vec<String> = witness
+                            .rf
+                            .iter()
+                            .map(|(load, src)| format!("{load} <- {src:?}"))
+                            .collect();
+                        println!("  read-from       : {}", rf.join(", "));
+                        let mo: Vec<String> =
+                            witness.memory_order.iter().map(ToString::to_string).collect();
+                        println!("  memory order    : {}", mo.join(" -> "));
+                    }
+                }
+            }
+        }
+    }
+}

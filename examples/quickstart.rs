@@ -1,0 +1,52 @@
+//! Quickstart: build a litmus test by hand, check it against every memory
+//! model axiomatically, and confirm the verdict on the GAM abstract machine.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gam::axiomatic::AxiomaticChecker;
+use gam::core::model;
+use gam::isa::litmus::LitmusTest;
+use gam::isa::prelude::*;
+use gam::operational::{Explorer, GamMachine};
+
+fn main() {
+    // The message-passing idiom: P1 publishes data then sets a flag,
+    // P2 reads the flag then the data. No fences, no dependencies.
+    let data = Loc::new("data");
+    let flag = Loc::new("flag");
+
+    let mut producer = ThreadProgram::builder(ProcId::new(0));
+    producer.store(Addr::loc(data), Operand::imm(42)).store(Addr::loc(flag), Operand::imm(1));
+
+    let mut consumer = ThreadProgram::builder(ProcId::new(1));
+    consumer.load(Reg::new(1), Addr::loc(flag)).load(Reg::new(2), Addr::loc(data));
+
+    let program = Program::new(vec![producer.build(), consumer.build()]);
+    let test = LitmusTest::builder("mp-quickstart", program)
+        .description("message passing without fences: can the consumer see the flag but stale data?")
+        .expect_reg(ProcId::new(1), Reg::new(1), 1u64)
+        .expect_reg(ProcId::new(1), Reg::new(2), 0u64)
+        .build();
+
+    println!("{test}");
+    println!("Is the stale-data outcome allowed?");
+    for spec in model::all() {
+        let verdict = AxiomaticChecker::new(spec.clone()).check(&test).expect("checkable");
+        println!("  {:<8} {}", spec.name(), verdict);
+    }
+
+    // Cross-check GAM's verdict on the operational abstract machine.
+    let machine = GamMachine::new(&test);
+    let exploration = Explorer::default().explore(&machine).expect("explorable");
+    let reachable = exploration.outcomes.iter().any(|o| test.condition().matched_by(o));
+    println!();
+    println!(
+        "GAM abstract machine: explored {} states, {} final outcomes, stale-data outcome reachable: {}",
+        exploration.states_visited,
+        exploration.outcomes.len(),
+        reachable
+    );
+    println!();
+    println!("Fix: add a FenceSS on the producer and a FenceLL on the consumer,");
+    println!("or make the second load depend on the first (see `mp+addr` in the library).");
+}

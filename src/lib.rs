@@ -1,0 +1,41 @@
+//! # gam
+//!
+//! Umbrella crate of the GAM reproduction: a Rust implementation of the
+//! memory-model construction, formal definitions and evaluation of
+//! *Constructing a Weak Memory Model* (Zhang, Vijayaraghavan, Wright,
+//! Alipour, Arvind — ISCA 2018).
+//!
+//! The individual crates are re-exported under short module names:
+//!
+//! * [`isa`] — the instruction set, programs and the litmus-test library;
+//! * [`core`] — dependencies, preserved program order and the model
+//!   catalogue (SC, TSO, GAM, GAM0, GAM-ARM);
+//! * [`axiomatic`] — the axiomatic execution enumerator;
+//! * [`operational`] — the abstract machines (SC, TSO, GAM/GAM0) and the
+//!   exhaustive explorer;
+//! * [`verify`] — paper expectations, model comparison and
+//!   axiomatic-vs-operational equivalence checking;
+//! * [`uarch`] — the out-of-order core timing simulator and the synthetic
+//!   workload suite used to reproduce Figure 18 and Tables I–III.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gam::axiomatic::{AxiomaticChecker, Verdict};
+//! use gam::core::model;
+//! use gam::isa::litmus::library;
+//!
+//! // Does GAM allow the Dekker non-SC outcome? (Yes: store->load reordering.)
+//! let checker = AxiomaticChecker::new(model::gam());
+//! assert_eq!(checker.check(&library::dekker()).unwrap(), Verdict::Allowed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gam_axiomatic as axiomatic;
+pub use gam_core as core;
+pub use gam_isa as isa;
+pub use gam_operational as operational;
+pub use gam_uarch as uarch;
+pub use gam_verify as verify;

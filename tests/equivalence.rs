@@ -1,0 +1,38 @@
+//! Integration test: the axiomatic and operational definitions agree on the
+//! complete outcome set of every litmus test in the library, for every model
+//! that has an abstract machine (SC, TSO, GAM, GAM0). This is the
+//! machine-checkable counterpart of the paper's Section IV equivalence claim.
+
+use gam::core::ModelKind;
+use gam::isa::litmus::library;
+use gam::verify::EquivalenceReport;
+
+fn assert_equivalent(kind: ModelKind) {
+    let tests = library::all_tests();
+    let report = EquivalenceReport::compute(&tests, kind);
+    assert_eq!(report.results().len(), tests.len());
+    assert!(
+        report.all_equivalent(),
+        "{kind}: axiomatic and operational outcome sets differ:\n{report}"
+    );
+}
+
+#[test]
+fn sc_axiomatic_equals_operational_on_the_whole_library() {
+    assert_equivalent(ModelKind::Sc);
+}
+
+#[test]
+fn tso_axiomatic_equals_operational_on_the_whole_library() {
+    assert_equivalent(ModelKind::Tso);
+}
+
+#[test]
+fn gam_axiomatic_equals_operational_on_the_whole_library() {
+    assert_equivalent(ModelKind::Gam);
+}
+
+#[test]
+fn gam0_axiomatic_equals_operational_on_the_whole_library() {
+    assert_equivalent(ModelKind::Gam0);
+}

@@ -1,0 +1,78 @@
+//! Integration test of the Section V evaluation pipeline: the workload suite,
+//! the simulator and the table/figure harness reproduce the *shape* of the
+//! paper's results — the four policies perform within a whisker of each
+//! other, kills and stalls are rare, and load-load forwarding almost never
+//! hides an L1 miss.
+
+use gam_bench::{run_suite, table2, table3, render_fig18};
+use gam::uarch::config::MemoryModelPolicy;
+use gam::uarch::workload::WorkloadSuite;
+
+/// A scaled-down run of the full evaluation (small op count keeps CI fast).
+fn results() -> Vec<gam_bench::WorkloadResult> {
+    run_suite(&WorkloadSuite::small(), 15_000, 42)
+}
+
+#[test]
+fn figure_18_shape_policies_within_a_few_percent() {
+    let results = results();
+    for result in &results {
+        for policy in [MemoryModelPolicy::Arm, MemoryModelPolicy::Gam0, MemoryModelPolicy::AlphaStar] {
+            let normalized = result.normalized_upc(policy);
+            assert!(
+                (normalized - 1.0).abs() < 0.10,
+                "{} under {policy}: normalized uPC {normalized} strays too far from 1.0",
+                result.workload
+            );
+        }
+    }
+    let rendered = render_fig18(&results);
+    assert!(rendered.contains("average"));
+}
+
+#[test]
+fn table_2_shape_kills_and_stalls_are_rare() {
+    let results = results();
+    let table = table2(&results);
+    assert!(table.kills_gam_avg < 5.0, "kills/1K uOPs average {}", table.kills_gam_avg);
+    assert!(table.stalls_gam_avg < 5.0, "stalls/1K uOPs average {}", table.stalls_gam_avg);
+    assert!(table.kills_gam_avg <= table.kills_gam_max);
+    assert!(table.stalls_gam_avg <= table.stalls_gam_max);
+    // ARM has no kills by construction; its stall machinery matches GAM's.
+    for result in &results {
+        assert_eq!(result.of(MemoryModelPolicy::Arm).same_addr_load_kills, 0);
+        assert_eq!(result.of(MemoryModelPolicy::Gam0).same_addr_load_kills, 0);
+        assert_eq!(result.of(MemoryModelPolicy::Gam0).same_addr_load_stalls, 0);
+    }
+}
+
+#[test]
+fn table_3_shape_forwarding_does_not_reduce_misses_much() {
+    let results = results();
+    let table = table3(&results);
+    // Forwardings may or may not be frequent on the small suite, but the miss
+    // reduction must be negligible — that is the paper's point.
+    assert!(
+        table.reduced_misses_avg < 1.0,
+        "load-load forwarding should not hide many L1 misses: {}",
+        table.reduced_misses_avg
+    );
+    assert!(table.forwardings_avg >= 0.0);
+    // Only Alpha* ever forwards load-to-load.
+    for result in &results {
+        assert_eq!(result.of(MemoryModelPolicy::Gam).load_load_forwardings, 0);
+        assert_eq!(result.of(MemoryModelPolicy::Arm).load_load_forwardings, 0);
+        assert_eq!(result.of(MemoryModelPolicy::Gam0).load_load_forwardings, 0);
+    }
+}
+
+#[test]
+fn every_policy_commits_the_same_instruction_stream() {
+    for result in results() {
+        let committed: Vec<u64> = MemoryModelPolicy::ALL
+            .iter()
+            .map(|&p| result.of(p).committed_uops)
+            .collect();
+        assert!(committed.windows(2).all(|w| w[0] == w[1]), "{committed:?}");
+    }
+}
