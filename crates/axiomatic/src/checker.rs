@@ -175,16 +175,17 @@ impl AxiomaticChecker {
         let mut stop = false;
 
         loop {
-            let assignment: Vec<RfCandidate> = assignment_counter
-                .iter()
-                .map(|&choice| {
-                    if choice == 0 {
-                        RfCandidate::Init
-                    } else {
-                        RfCandidate::Store(choice - 1)
-                    }
-                })
-                .collect();
+            let assignment: Vec<RfCandidate> =
+                assignment_counter
+                    .iter()
+                    .map(|&choice| {
+                        if choice == 0 {
+                            RfCandidate::Init
+                        } else {
+                            RfCandidate::Store(choice - 1)
+                        }
+                    })
+                    .collect();
 
             if let Some(exec) = concretize(test, &index, &assignment) {
                 let problem = self.build_problem(test, &index, &exec);
@@ -286,9 +287,8 @@ impl AxiomaticChecker {
                 }
                 RfSource::Store(sid) => {
                     let store_ref = index.stores[sid as usize];
-                    let locally_forwardable = bypass
-                        && store_ref.proc == load_ref.proc
-                        && store_ref.idx < load_ref.idx;
+                    let locally_forwardable =
+                        bypass && store_ref.proc == load_ref.proc && store_ref.idx < load_ref.idx;
                     if !locally_forwardable {
                         precede.insert(event_of(store_ref), load_event);
                     }
@@ -479,8 +479,7 @@ mod tests {
     #[test]
     fn event_limit_is_enforced() {
         let test = library::dekker();
-        let checker =
-            AxiomaticChecker::with_config(model::gam(), CheckerConfig { max_events: 2 });
+        let checker = AxiomaticChecker::with_config(model::gam(), CheckerConfig { max_events: 2 });
         assert!(matches!(checker.check(&test), Err(CheckError::TooManyEvents { .. })));
     }
 

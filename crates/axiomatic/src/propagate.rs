@@ -58,7 +58,8 @@ pub fn concretize(
             if slot.value.is_some() && (slot.address.is_some() || !instr.is_memory()) {
                 continue;
             }
-            let (value, address) = evaluate(program, &slots, &rf_of_load, index, test, reference, instr);
+            let (value, address) =
+                evaluate(program, &slots, &rf_of_load, index, test, reference, instr);
             let slot = &mut slots[proc.index()][idx];
             if slot.value.is_none() && value.is_some() {
                 slot.value = value;
@@ -77,9 +78,7 @@ pub fn concretize(
     // Every instruction must be fully resolved.
     for (proc, idx, instr) in program.iter_instructions() {
         let slot = &slots[proc.index()][idx];
-        if slot.value.is_none() {
-            return None;
-        }
+        slot.value?;
         if instr.is_memory() && slot.address.is_none() {
             return None;
         }
@@ -203,7 +202,8 @@ mod tests {
             assert_eq!(exec.value(load), Value::ZERO);
         }
         // Both loads read the other processor's store.
-        let exec = concretize(&test, &index, &[RfCandidate::Store(1), RfCandidate::Store(0)]).unwrap();
+        let exec =
+            concretize(&test, &index, &[RfCandidate::Store(1), RfCandidate::Store(0)]).unwrap();
         for &load in &index.loads {
             assert_eq!(exec.value(load), Value::new(1));
         }
@@ -223,7 +223,9 @@ mod tests {
         // value cycle, which propagation cannot resolve.
         let test = library::oota();
         let index = index_of(&test);
-        assert!(concretize(&test, &index, &[RfCandidate::Store(1), RfCandidate::Store(0)]).is_none());
+        assert!(
+            concretize(&test, &index, &[RfCandidate::Store(1), RfCandidate::Store(0)]).is_none()
+        );
         // Reading the initial values is fine and yields zeros.
         let exec = concretize(&test, &index, &[RfCandidate::Init, RfCandidate::Init]).unwrap();
         for &load in &index.loads {
@@ -238,16 +240,10 @@ mod tests {
         let a = Loc::new("a");
         // Load of b reads the store of `a`'s address (store 1), the dependent
         // load then addresses `a` and reads store 0.
-        let store_b = index
-            .stores
-            .iter()
-            .position(|s| s.proc == 0 && s.idx == 2)
-            .expect("store to b exists");
-        let store_a = index
-            .stores
-            .iter()
-            .position(|s| s.proc == 0 && s.idx == 0)
-            .expect("store to a exists");
+        let store_b =
+            index.stores.iter().position(|s| s.proc == 0 && s.idx == 2).expect("store to b exists");
+        let store_a =
+            index.stores.iter().position(|s| s.proc == 0 && s.idx == 0).expect("store to a exists");
         let exec =
             concretize(&test, &index, &[RfCandidate::Store(store_b), RfCandidate::Store(store_a)])
                 .unwrap();
@@ -304,9 +300,6 @@ mod tests {
         let index = index_of(&test);
         let exec = concretize(&test, &index, &[RfCandidate::Store(0), RfCandidate::Init]).unwrap();
         assert_eq!(exec.rf_source(index.loads[0]), Some(RfSource::Store(0)));
-        assert_eq!(
-            exec.rf_source(index.loads[1]),
-            Some(RfSource::Init(Loc::new("a").address()))
-        );
+        assert_eq!(exec.rf_source(index.loads[1]), Some(RfSource::Init(Loc::new("a").address())));
     }
 }

@@ -36,7 +36,10 @@ fn build_test(threads: Vec<Vec<Step>>) -> LitmusTest {
         for step in steps {
             match step {
                 Step::Store { loc, value } => {
-                    builder.store(Addr::loc(locations[*loc as usize]), Operand::imm(u64::from(*value)));
+                    builder.store(
+                        Addr::loc(locations[*loc as usize]),
+                        Operand::imm(u64::from(*value)),
+                    );
                 }
                 Step::Load { loc } => {
                     let reg = Reg::new(next_reg);
@@ -62,10 +65,7 @@ fn build_test(threads: Vec<Vec<Step>>) -> LitmusTest {
 }
 
 fn two_threads() -> impl Strategy<Value = LitmusTest> {
-    (
-        proptest::collection::vec(step(), 1..4),
-        proptest::collection::vec(step(), 1..4),
-    )
+    (proptest::collection::vec(step(), 1..4), proptest::collection::vec(step(), 1..4))
         .prop_map(|(a, b)| build_test(vec![a, b]))
 }
 

@@ -1,11 +1,13 @@
 //! Criterion benchmarks of the formal-model checkers: the axiomatic
-//! enumerator, the operational explorer and the equivalence comparison, on
-//! representative litmus tests from the paper (Figures 2, 13 and 14).
+//! enumerator, the operational explorer, the equivalence comparison and the
+//! parallel engine facade, on representative litmus tests from the paper
+//! (Figures 2, 13 and 14).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gam_axiomatic::AxiomaticChecker;
 use gam_core::{model, ModelKind};
+use gam_engine::{Backend, Engine};
 use gam_isa::litmus::library;
 use gam_operational::OperationalChecker;
 use gam_verify::EquivalenceReport;
@@ -53,5 +55,35 @@ fn bench_equivalence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_axiomatic, bench_operational, bench_equivalence);
+fn bench_engine_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_suite");
+    group.sample_size(10);
+    let tests = library::paper_tests();
+    for backend in Backend::ALL {
+        for workers in [1usize, 4] {
+            let engine = Engine::builder()
+                .model(ModelKind::Gam)
+                .backend(backend)
+                .parallelism(workers)
+                .build()
+                .expect("GAM is supported by both backends");
+            let id = BenchmarkId::new(backend.name(), format!("{workers}-workers"));
+            group.bench_with_input(id, &tests, |b, tests| {
+                b.iter(|| {
+                    let report = engine.run_suite(tests);
+                    assert!(report.all_ok());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_axiomatic,
+    bench_operational,
+    bench_equivalence,
+    bench_engine_suite
+);
 criterion_main!(benches);

@@ -16,6 +16,7 @@ use gam_uarch::Simulator;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    eprintln!("{}", gam_bench::validate_models_via_engine());
     let ops: usize = arg_value(&args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(100_000);
     let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
 
@@ -39,7 +40,9 @@ fn main() {
 
     println!();
     println!("Ablation 2 — window-size sensitivity of the SALdLd kill rate");
-    println!("(adversarial `samereads.hot` workload; larger windows expose more same-address pairs)");
+    println!(
+        "(adversarial `samereads.hot` workload; larger windows expose more same-address pairs)"
+    );
     println!("{:<10} {:>10} {:>12} {:>12} {:>12}", "ROB", "LQ", "kills/1K", "stalls/1K", "GAM uPC");
     let spec = &WorkloadSuite::adversarial().specs()[0].clone();
     let trace = spec.generate(ops, seed);

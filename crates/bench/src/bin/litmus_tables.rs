@@ -1,16 +1,41 @@
 //! Reproduces the litmus-test verdicts of the paper's figures (2, 5, 8, 13
 //! and 14) plus the classical tests, as a model-comparison matrix, and
 //! cross-checks the axiomatic and operational definitions of every model that
-//! has an abstract machine.
+//! has an abstract machine. Everything runs through the parallel
+//! [`gam_engine::Engine`] facade.
+//!
+//! Usage: `cargo run --release -p gam-bench --bin litmus_tables [-- --json]
+//! [--parallel N]`
+//!
+//! With `--json`, the complete per-test suite results (verdict, outcome set,
+//! wall time, backend) are printed as machine-readable JSON for the
+//! perf-trajectory tooling instead of the human-readable tables.
 
+use gam_bench::{arg_flag, arg_value};
+use gam_core::ModelKind;
+use gam_engine::{Backend, Engine, Json, ToJson};
 use gam_isa::litmus::library;
 use gam_verify::{ComparisonMatrix, EquivalenceReport};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let parallelism: usize = arg_value(&args, "--parallel")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .max(1);
     let tests = library::all_tests();
-    println!("Litmus-test verdicts per model (axiomatic checker)");
+
+    if arg_flag(&args, "--json") {
+        print_json(parallelism);
+        return;
+    }
+
+    println!("Litmus-test verdicts per model (axiomatic engine, {parallelism} workers)");
     println!("==================================================");
-    let matrix = ComparisonMatrix::compute(&tests).expect("litmus tests are checkable");
+    let matrix = ComparisonMatrix::compute_with_parallelism(&tests, parallelism)
+        .expect("litmus tests are checkable");
     print!("{matrix}");
     println!();
     if matrix.matches_expectations() {
@@ -35,4 +60,42 @@ fn main() {
     for mismatch in mismatches {
         println!("  {mismatch}");
     }
+}
+
+/// Runs every supported `(model, backend)` pair over the whole library and
+/// prints one JSON document with all suite reports plus an equivalence
+/// summary.
+fn print_json(parallelism: usize) {
+    let tests = library::all_tests();
+    let mut suites = Vec::new();
+    for model in ModelKind::ALL {
+        for backend in Backend::ALL {
+            if !backend.supports(model) {
+                continue;
+            }
+            let engine = Engine::builder()
+                .model(model)
+                .backend(backend)
+                .parallelism(parallelism)
+                .build()
+                .expect("supported (model, backend) pair");
+            suites.push(engine.run_suite(&tests));
+        }
+    }
+
+    let equivalence = EquivalenceReport::compute_all(&tests);
+    let document = Json::object([
+        ("parallelism", Json::from(parallelism as u64)),
+        ("test_count", Json::from(tests.len() as u64)),
+        ("suites", Json::array(suites.iter().map(ToJson::to_json))),
+        (
+            "equivalence",
+            Json::object([
+                ("comparisons", Json::from(equivalence.results().len() as u64)),
+                ("mismatches", Json::from(equivalence.mismatches().len() as u64)),
+                ("all_equivalent", Json::from(equivalence.all_equivalent())),
+            ]),
+        ),
+    ]);
+    println!("{document}");
 }

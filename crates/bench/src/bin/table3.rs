@@ -9,6 +9,7 @@ use gam_uarch::workload::WorkloadSuite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    eprintln!("{}", gam_bench::validate_models_via_engine());
     let ops: usize = arg_value(&args, "--ops").and_then(|v| v.parse().ok()).unwrap_or(200_000);
     let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
 

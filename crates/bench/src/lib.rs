@@ -103,7 +103,11 @@ pub fn render_fig18(results: &[WorkloadResult]) -> String {
         out,
         "Figure 18 — uPC normalized to GAM (higher than 1.000 means faster than GAM)"
     );
-    let _ = writeln!(out, "{:<22} {:>8} {:>8} {:>8} {:>10}", "benchmark", "ARM", "GAM0", "Alpha*", "GAM uPC");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>8} {:>8} {:>10}",
+        "benchmark", "ARM", "GAM0", "Alpha*", "GAM uPC"
+    );
     let compared = [MemoryModelPolicy::Arm, MemoryModelPolicy::Gam0, MemoryModelPolicy::AlphaStar];
     let mut sums = [0.0f64; 3];
     for result in results {
@@ -167,9 +171,18 @@ pub fn render_table2(results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table II — kills and stalls caused by same-address load-load ordering");
     let _ = writeln!(out, "{:<22} {:>10} {:>10}", "events per 1K uOPs", "Average", "Max");
-    let _ = writeln!(out, "{:<22} {:>10.3} {:>10.3}", "Kills in GAM", t.kills_gam_avg, t.kills_gam_max);
-    let _ = writeln!(out, "{:<22} {:>10.3} {:>10.3}", "Stalls in GAM", t.stalls_gam_avg, t.stalls_gam_max);
-    let _ = writeln!(out, "{:<22} {:>10.3} {:>10.3}", "Stalls in ARM", t.stalls_arm_avg, t.stalls_arm_max);
+    let _ =
+        writeln!(out, "{:<22} {:>10.3} {:>10.3}", "Kills in GAM", t.kills_gam_avg, t.kills_gam_max);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10.3} {:>10.3}",
+        "Stalls in GAM", t.stalls_gam_avg, t.stalls_gam_max
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10.3} {:>10.3}",
+        "Stalls in ARM", t.stalls_arm_avg, t.stalls_arm_max
+    );
     out
 }
 
@@ -235,6 +248,43 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// Returns true if a bare `--flag` is present in a raw argument list.
+#[must_use]
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Validates the formal-model foundation through the parallel engine facade
+/// before a long simulation run: every paper litmus test under every model,
+/// checked against the paper's expectation table.
+///
+/// Every experiment binary calls this first, so a regression in the memory
+/// models can never hide behind hours of timing simulation.
+///
+/// # Panics
+///
+/// Panics if any verdict disagrees with the expectation table.
+#[must_use]
+pub fn validate_models_via_engine() -> String {
+    let tests = gam_isa::litmus::library::paper_tests();
+    let matrix =
+        gam_verify::ComparisonMatrix::compute(&tests).expect("paper litmus tests are checkable");
+    assert!(
+        matrix.matches_expectations(),
+        "litmus verdicts disagree with the paper: {:?}",
+        matrix
+            .mismatched_rows()
+            .iter()
+            .map(|row| (row.test.clone(), row.mismatches.clone()))
+            .collect::<Vec<_>>()
+    );
+    format!(
+        "model sanity (engine facade): {} litmus tests x {} models match the paper",
+        tests.len(),
+        gam_core::ModelKind::ALL.len()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,7 +308,9 @@ mod tests {
     #[test]
     fn normalized_upc_is_close_to_one() {
         for result in small_results() {
-            for policy in [MemoryModelPolicy::Arm, MemoryModelPolicy::Gam0, MemoryModelPolicy::AlphaStar] {
+            for policy in
+                [MemoryModelPolicy::Arm, MemoryModelPolicy::Gam0, MemoryModelPolicy::AlphaStar]
+            {
                 let normalized = result.normalized_upc(policy);
                 assert!(
                     (normalized - 1.0).abs() < 0.10,
@@ -302,10 +354,20 @@ mod tests {
 
     #[test]
     fn arg_value_parses_flags() {
-        let args: Vec<String> =
-            ["prog", "--ops", "1000", "--seed", "9"].iter().map(ToString::to_string).collect();
+        let args: Vec<String> = ["prog", "--ops", "1000", "--seed", "9", "--json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(arg_value(&args, "--ops"), Some("1000".into()));
         assert_eq!(arg_value(&args, "--seed"), Some("9".into()));
         assert_eq!(arg_value(&args, "--missing"), None);
+        assert!(arg_flag(&args, "--json"));
+        assert!(!arg_flag(&args, "--quiet"));
+    }
+
+    #[test]
+    fn model_validation_passes_and_summarizes() {
+        let summary = validate_models_via_engine();
+        assert!(summary.contains("match the paper"));
     }
 }

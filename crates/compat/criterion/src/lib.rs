@@ -1,0 +1,207 @@
+//! A minimal, dependency-free stand-in for the parts of the `criterion`
+//! benchmark framework this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real `criterion`
+//! cannot be vendored. This crate keeps `cargo bench` working with the same
+//! bench sources: it runs each benchmark for a fixed number of timed samples
+//! (after a short warm-up) and prints the mean, minimum and maximum sample
+//! time. There are no statistical refinements, HTML reports or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque hint that stops the optimiser from deleting a value (best-effort
+/// safe-Rust version: a volatile-free identity through `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures; handed to the benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations_per_sample: u32,
+    sample_count: u32,
+}
+
+impl Bencher {
+    fn with_samples(sample_count: u32) -> Self {
+        Bencher { samples: Vec::new(), iterations_per_sample: 1, sample_count }
+    }
+
+    /// Runs the routine repeatedly and records per-sample wall time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, and calibration of iterations per sample for fast routines.
+        let calibration = Instant::now();
+        black_box(routine());
+        let once = calibration.elapsed();
+        let target = Duration::from_millis(2);
+        self.iterations_per_sample = if once < target && !once.is_zero() {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32
+        } else {
+            1
+        };
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iterations_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iterations_per_sample);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        println!(
+            "{label:<48} mean {:>12?}   min {:>12?}   max {:>12?}   ({} samples x {} iters)",
+            mean,
+            min,
+            max,
+            self.samples.len(),
+            self.iterations_per_sample
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1) as u32;
+        self
+    }
+
+    /// Benchmarks a routine that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::with_samples(self.sample_size);
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Benchmarks a routine without a prepared input.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::with_samples(self.sample_size);
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group `{name}`");
+        BenchmarkGroup { name, sample_size: 20, _criterion: self }
+    }
+
+    /// Kept for API compatibility with the real `criterion_group!` expansion.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_full_group_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

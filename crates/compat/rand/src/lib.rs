@@ -1,0 +1,179 @@
+//! A minimal, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses (`StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`,
+//! `Rng::gen_bool`).
+//!
+//! The build environment has no access to crates.io, so the real `rand` crate
+//! cannot be vendored; this crate keeps the same import paths working. The
+//! generator is SplitMix64 — statistically solid for simulation workloads and
+//! deterministic for a given seed, though its streams intentionally do *not*
+//! match the real `StdRng` (any seed-derived expectations in tests must hold
+//! for every reasonable PRNG, which they do).
+
+#![forbid(unsafe_code)]
+
+/// Standard RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A seedable pseudo-random generator (SplitMix64 core).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero state pathologies by pre-mixing the seed once.
+        let mut rng = StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from their full domain (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[low, high)`.
+    fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as u128) - (low as u128);
+                // Widening-multiply range reduction (Lemire); the tiny residual
+                // bias over a u64 draw is irrelevant for simulation workloads.
+                let draw = ((rng.next_u64() as u128) * span) >> 64;
+                low + draw as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+/// The sampling interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draws one value of an inferred type from its full domain.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Draws a value uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T;
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            seen[x - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket of a small range is hit");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "~25% expected, got {hits}");
+    }
+}

@@ -149,7 +149,8 @@ mod tests {
             rhs: Operand::imm(0),
         };
         let i3 = Instruction::Load { dst: r(2), addr: Addr::reg(r(1)) };
-        let thread = vec![resolve(&i1, Some(a.address())), resolve(&i2, None), resolve(&i3, Some(7))];
+        let thread =
+            vec![resolve(&i1, Some(a.address())), resolve(&i2, None), resolve(&i3, Some(7))];
         let ddep = data_dependencies(&thread);
         assert!(!ddep.contains(0, 2), "the mov overwrote r1, killing the dependency");
         assert!(ddep.contains(1, 2), "the mov is the last writer of r1");
@@ -191,13 +192,8 @@ mod tests {
     #[test]
     fn dependency_on_synthetic_parts() {
         // A synthetic ALU that reads r5 and writes r6, consumed by a store's address.
-        let producer = ResolvedInstr::from_parts(
-            ResolvedKind::Alu,
-            vec![r(5)],
-            vec![r(6)],
-            vec![],
-            vec![],
-        );
+        let producer =
+            ResolvedInstr::from_parts(ResolvedKind::Alu, vec![r(5)], vec![r(6)], vec![], vec![]);
         let consumer = ResolvedInstr::from_parts(
             ResolvedKind::Store { addr: 32 },
             vec![r(6), r(7)],

@@ -133,9 +133,8 @@ fn addr_st(thread: &[ResolvedInstr], adep: &Relation, i: usize, j: usize) -> boo
 /// `j`); the constraint orders the producers of `s`'s address and data before
 /// `j`, i.e. requires `i <ddep s`.
 fn sa_st_ld(thread: &[ResolvedInstr], ddep: &Relation, i: usize, j: usize) -> bool {
-    let Some(s) = ((i + 1)..j)
-        .rev()
-        .find(|&s| thread[s].is_store() && thread[s].same_address(&thread[j]))
+    let Some(s) =
+        ((i + 1)..j).rev().find(|&s| thread[s].is_store() && thread[s].same_address(&thread[j]))
     else {
         return false;
     };
@@ -153,8 +152,7 @@ fn same_addr_loads_ordered(
         SameAddrLoadLoad::Unordered => false,
         SameAddrLoadLoad::Ordered => {
             // Ordered unless an intervening same-address store separates them.
-            !((i + 1)..j)
-                .any(|k| thread[k].is_store() && thread[k].same_address(&thread[j]))
+            !((i + 1)..j).any(|k| thread[k].is_store() && thread[k].same_address(&thread[j]))
         }
         SameAddrLoadLoad::UnlessSameStore => {
             // Ordered unless both loads read from the same store.
@@ -342,7 +340,10 @@ mod tests {
             store("b", Operand::imm(1)),
         ];
         let ppo = preserved_program_order(&thread, &model::gam0());
-        assert!(ppo.contains(0, 2), "AddrSt: I0 produces the address of I1 which is older than the store");
+        assert!(
+            ppo.contains(0, 2),
+            "AddrSt: I0 produces the address of I1 which is older than the store"
+        );
     }
 
     #[test]
@@ -373,8 +374,7 @@ mod tests {
     #[test]
     fn sa_ld_ld_not_applied_across_intervening_store() {
         // Figure 14b: Ld [b]; St [b] 2; Ld [b] — the two loads are NOT ordered by SALdLd.
-        let thread =
-            vec![load(1, "b"), store("b", Operand::imm(2)), load(2, "b")];
+        let thread = vec![load(1, "b"), store("b", Operand::imm(2)), load(2, "b")];
         let ppo = preserved_program_order(&thread, &model::gam());
         assert!(!ppo.contains(0, 2), "intervening same-address store removes the SALdLd edge");
         // The store itself is still ordered after the first load and the
@@ -413,7 +413,8 @@ mod tests {
         assert!(!ppo.contains(0, 2));
 
         // FenceSS orders store -> store.
-        let thread = vec![store("a", Operand::imm(1)), fence(FenceKind::SS), store("b", Operand::imm(1))];
+        let thread =
+            vec![store("a", Operand::imm(1)), fence(FenceKind::SS), store("b", Operand::imm(1))];
         assert!(preserved_program_order(&thread, &model::gam()).contains(0, 2));
 
         // FenceSL orders store -> load.

@@ -71,11 +71,7 @@ impl ResolvedInstr {
     ///
     /// Panics if `addr` is `None` for a memory instruction.
     #[must_use]
-    pub fn from_instruction(
-        instr: &Instruction,
-        addr: Option<u64>,
-        rf: Option<RfSource>,
-    ) -> Self {
+    pub fn from_instruction(instr: &Instruction, addr: Option<u64>, rf: Option<RfSource>) -> Self {
         let kind = match instr {
             Instruction::Load { .. } => {
                 ResolvedKind::Load { addr: addr.expect("load must have a resolved address"), rf }

@@ -1,0 +1,171 @@
+//! The unified, object-safe [`Checker`] trait.
+//!
+//! Both formal backends — the axiomatic enumerator and the operational
+//! explorer — implement this trait, so every consumer (the [`crate::Engine`]
+//! facade, the verification layer, benches and examples) can drive either
+//! semantics through one polymorphic API. This is the code-level counterpart
+//! of the paper's Theorem 1: the two definitions answer exactly the same
+//! questions, so they deserve exactly the same interface.
+
+use std::collections::BTreeSet;
+
+use gam_axiomatic::{AxiomaticChecker, Verdict};
+use gam_core::ModelKind;
+use gam_isa::litmus::{LitmusTest, Outcome};
+use gam_operational::OperationalChecker;
+
+use crate::engine::Backend;
+use crate::error::EngineError;
+
+/// A memory-model checker for one model, behind one of the two backends.
+///
+/// The trait is object-safe: the engine stores `dyn Checker` and suite
+/// runners fan work out over `&dyn Checker` across threads (hence the
+/// `Send + Sync` supertraits).
+pub trait Checker: Send + Sync {
+    /// A short human-readable backend name (`"axiomatic"` / `"operational"`).
+    fn name(&self) -> &'static str;
+
+    /// The backend this checker belongs to.
+    fn backend(&self) -> Backend;
+
+    /// The model this checker runs.
+    fn model(&self) -> ModelKind;
+
+    /// Returns true if this checker's backend has semantics for `model`.
+    ///
+    /// Backend gaps (e.g. GAM-ARM, which the paper defines only
+    /// axiomatically) are queried uniformly through this method instead of
+    /// ad-hoc per-backend capability functions.
+    fn supports(&self, model: ModelKind) -> bool;
+
+    /// The complete set of outcomes the model allows for the test.
+    fn allowed_outcomes(&self, test: &LitmusTest) -> Result<BTreeSet<Outcome>, EngineError>;
+
+    /// Decides whether the test's condition of interest is allowed.
+    fn check(&self, test: &LitmusTest) -> Result<Verdict, EngineError>;
+
+    /// Searches for an outcome matching the test's condition of interest and
+    /// returns it as a witness, or `None` when the condition is forbidden.
+    fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, EngineError>;
+}
+
+impl Checker for AxiomaticChecker {
+    fn name(&self) -> &'static str {
+        "axiomatic"
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Axiomatic
+    }
+
+    fn model(&self) -> ModelKind {
+        AxiomaticChecker::model(self).kind()
+    }
+
+    fn supports(&self, _model: ModelKind) -> bool {
+        // Every model in the catalogue has an axiomatic definition.
+        true
+    }
+
+    fn allowed_outcomes(&self, test: &LitmusTest) -> Result<BTreeSet<Outcome>, EngineError> {
+        Ok(AxiomaticChecker::allowed_outcomes(self, test)?)
+    }
+
+    fn check(&self, test: &LitmusTest) -> Result<Verdict, EngineError> {
+        Ok(AxiomaticChecker::check(self, test)?)
+    }
+
+    fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, EngineError> {
+        Ok(AxiomaticChecker::find_witness(self, test)?.map(|witness| witness.outcome))
+    }
+}
+
+impl Checker for OperationalChecker {
+    fn name(&self) -> &'static str {
+        "operational"
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Operational
+    }
+
+    fn model(&self) -> ModelKind {
+        OperationalChecker::model(self)
+    }
+
+    fn supports(&self, model: ModelKind) -> bool {
+        OperationalChecker::supports(model)
+    }
+
+    fn allowed_outcomes(&self, test: &LitmusTest) -> Result<BTreeSet<Outcome>, EngineError> {
+        Ok(OperationalChecker::allowed_outcomes(self, test)?)
+    }
+
+    fn check(&self, test: &LitmusTest) -> Result<Verdict, EngineError> {
+        Ok(if OperationalChecker::is_allowed(self, test)? {
+            Verdict::Allowed
+        } else {
+            Verdict::Forbidden
+        })
+    }
+
+    fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, EngineError> {
+        let outcomes = OperationalChecker::allowed_outcomes(self, test)?;
+        Ok(outcomes.into_iter().find(|outcome| test.condition().matched_by(outcome)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_core::model;
+    use gam_isa::litmus::library;
+
+    fn checkers(kind: ModelKind) -> Vec<Box<dyn Checker>> {
+        vec![
+            Box::new(AxiomaticChecker::new(model::by_kind(kind))),
+            Box::new(OperationalChecker::new(kind)),
+        ]
+    }
+
+    #[test]
+    fn both_backends_answer_identically_through_the_trait() {
+        let test = library::dekker();
+        for checker in checkers(ModelKind::Gam) {
+            assert_eq!(checker.model(), ModelKind::Gam);
+            assert_eq!(checker.check(&test).unwrap(), Verdict::Allowed);
+            let witness = checker.find_witness(&test).unwrap().expect("allowed => witness");
+            assert!(test.condition().matched_by(&witness));
+            assert!(checker.allowed_outcomes(&test).unwrap().contains(&witness));
+        }
+    }
+
+    #[test]
+    fn supports_reports_the_operational_gap_uniformly() {
+        for checker in checkers(ModelKind::Gam) {
+            assert!(checker.supports(ModelKind::Sc));
+            assert!(checker.supports(ModelKind::Gam));
+            assert_eq!(
+                checker.supports(ModelKind::GamArm),
+                checker.backend() == Backend::Axiomatic,
+                "only the axiomatic backend defines GAM-ARM"
+            );
+        }
+    }
+
+    #[test]
+    fn forbidden_conditions_have_no_witness() {
+        let test = library::corr();
+        for checker in checkers(ModelKind::Gam) {
+            assert_eq!(checker.check(&test).unwrap(), Verdict::Forbidden);
+            assert!(checker.find_witness(&test).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn names_distinguish_backends() {
+        let names: Vec<&str> = checkers(ModelKind::Sc).iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["axiomatic", "operational"]);
+    }
+}

@@ -1,0 +1,458 @@
+//! The [`Engine`] facade: backend selection, configuration and parallel
+//! litmus-suite execution.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use gam_axiomatic::{AxiomaticChecker, CheckerConfig, Verdict};
+use gam_core::{model, ModelKind};
+use gam_isa::litmus::LitmusTest;
+use gam_operational::{ExplorerConfig, OperationalChecker};
+
+use crate::checker::Checker;
+use crate::error::EngineError;
+use crate::report::{SuiteReport, TestReport};
+
+/// The two formal backends of the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Backend {
+    /// The axiomatic execution enumerator (`gam-axiomatic`).
+    Axiomatic,
+    /// The abstract-machine explorer (`gam-operational`).
+    Operational,
+}
+
+impl Backend {
+    /// Both backends, in a fixed order.
+    pub const ALL: [Backend; 2] = [Backend::Axiomatic, Backend::Operational];
+
+    /// A short lowercase name (`"axiomatic"` / `"operational"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Axiomatic => "axiomatic",
+            Backend::Operational => "operational",
+        }
+    }
+
+    /// Returns true if this backend has semantics for `model`.
+    ///
+    /// Every model has an axiomatic definition; the operational machines
+    /// exist for SC, TSO, GAM and GAM0 but not for GAM-ARM (the paper defines
+    /// the ARM-style same-address variant only axiomatically).
+    #[must_use]
+    pub fn supports(self, model: ModelKind) -> bool {
+        match self {
+            Backend::Axiomatic => true,
+            Backend::Operational => OperationalChecker::supports(model),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configures and constructs an [`Engine`].
+///
+/// Defaults: GAM model, axiomatic backend, parallelism of 1.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    model: ModelKind,
+    backend: Backend,
+    parallelism: usize,
+    axiomatic_config: CheckerConfig,
+    explorer_config: ExplorerConfig,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            model: ModelKind::Gam,
+            backend: Backend::Axiomatic,
+            parallelism: 1,
+            axiomatic_config: CheckerConfig::default(),
+            explorer_config: ExplorerConfig::default(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Selects the memory model.
+    #[must_use]
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Selects the backend.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the number of worker threads used by [`Engine::run_suite`].
+    /// Values are clamped to at least 1.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets the parallelism to the machine's available hardware parallelism.
+    #[must_use]
+    pub fn parallelism_available(self) -> Self {
+        let n = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.parallelism(n)
+    }
+
+    /// Overrides the axiomatic checker limits (axiomatic backend only).
+    #[must_use]
+    pub fn axiomatic_config(mut self, config: CheckerConfig) -> Self {
+        self.axiomatic_config = config;
+        self
+    }
+
+    /// Overrides the operational explorer limits (operational backend only).
+    #[must_use]
+    pub fn explorer_config(mut self, config: ExplorerConfig) -> Self {
+        self.explorer_config = config;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnsupportedModel`] if the selected backend has
+    /// no semantics for the selected model (e.g. operational GAM-ARM).
+    pub fn build(self) -> Result<Engine, EngineError> {
+        if !self.backend.supports(self.model) {
+            return Err(EngineError::UnsupportedModel { backend: self.backend, model: self.model });
+        }
+        let checker: Arc<dyn Checker> = match self.backend {
+            Backend::Axiomatic => Arc::new(AxiomaticChecker::with_config(
+                model::by_kind(self.model),
+                self.axiomatic_config,
+            )),
+            Backend::Operational => {
+                Arc::new(OperationalChecker::with_config(self.model, self.explorer_config))
+            }
+        };
+        Ok(Engine { checker, parallelism: self.parallelism })
+    }
+}
+
+/// A polymorphic checking facade over one `(model, backend)` pair.
+///
+/// The engine answers single-test queries through the [`Checker`] trait and
+/// runs whole litmus suites in parallel across a thread pool, producing a
+/// structured [`SuiteReport`].
+///
+/// # Example
+///
+/// ```
+/// use gam_engine::{Backend, Engine};
+/// use gam_core::ModelKind;
+/// use gam_isa::litmus::library;
+///
+/// let engine = Engine::builder()
+///     .model(ModelKind::Gam)
+///     .backend(Backend::Axiomatic)
+///     .parallelism(4)
+///     .build()
+///     .unwrap();
+/// let report = engine.run_suite(&library::paper_tests());
+/// assert!(report.all_ok());
+/// ```
+pub struct Engine {
+    checker: Arc<dyn Checker>,
+    parallelism: usize,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("backend", &self.backend())
+            .field("model", &self.model())
+            .field("parallelism", &self.parallelism)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An axiomatic engine for `model` with default limits (never fails: the
+    /// axiomatic backend covers every model).
+    #[must_use]
+    pub fn axiomatic(model: ModelKind) -> Engine {
+        Engine::builder()
+            .model(model)
+            .backend(Backend::Axiomatic)
+            .build()
+            .expect("the axiomatic backend supports every model")
+    }
+
+    /// An operational engine for `model` with default limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnsupportedModel`] for models without an
+    /// abstract machine (GAM-ARM).
+    pub fn operational(model: ModelKind) -> Result<Engine, EngineError> {
+        Engine::builder().model(model).backend(Backend::Operational).build()
+    }
+
+    /// The underlying checker as a trait object.
+    #[must_use]
+    pub fn checker(&self) -> &dyn Checker {
+        &*self.checker
+    }
+
+    /// The engine's backend.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.checker.backend()
+    }
+
+    /// The engine's model.
+    #[must_use]
+    pub fn model(&self) -> ModelKind {
+        self.checker.model()
+    }
+
+    /// The worker-thread count used by [`Engine::run_suite`].
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Decides whether the test's condition of interest is allowed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`EngineError`].
+    pub fn check(&self, test: &LitmusTest) -> Result<Verdict, EngineError> {
+        self.checker.check(test)
+    }
+
+    /// The complete allowed-outcome set of the test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`EngineError`].
+    pub fn allowed_outcomes(
+        &self,
+        test: &LitmusTest,
+    ) -> Result<std::collections::BTreeSet<gam_isa::litmus::Outcome>, EngineError> {
+        self.checker.allowed_outcomes(test)
+    }
+
+    /// A witness outcome for the test's condition of interest, if allowed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`EngineError`].
+    pub fn find_witness(
+        &self,
+        test: &LitmusTest,
+    ) -> Result<Option<gam_isa::litmus::Outcome>, EngineError> {
+        self.checker.find_witness(test)
+    }
+
+    /// Runs a whole litmus suite, fanning tests out over the configured
+    /// worker threads, and returns a structured per-test report with the
+    /// complete allowed-outcome set of every test.
+    ///
+    /// Results are reported in input order regardless of parallelism, and
+    /// per-test backend errors are captured in the report rather than
+    /// aborting the run.
+    #[must_use]
+    pub fn run_suite(&self, tests: &[LitmusTest]) -> SuiteReport {
+        self.run_suite_mode(tests, SuiteMode::Full)
+    }
+
+    /// Like [`Engine::run_suite`], but only decides each test's verdict,
+    /// letting the backend stop at the first witness instead of enumerating
+    /// every execution. The reports' `outcomes` sets are left empty.
+    ///
+    /// Use this when only allowed/forbidden answers are needed (e.g. verdict
+    /// matrices); it is substantially cheaper on tests with many executions.
+    #[must_use]
+    pub fn run_suite_verdicts(&self, tests: &[LitmusTest]) -> SuiteReport {
+        self.run_suite_mode(tests, SuiteMode::VerdictsOnly)
+    }
+
+    fn run_suite_mode(&self, tests: &[LitmusTest], mode: SuiteMode) -> SuiteReport {
+        let start = Instant::now();
+        let total = tests.len();
+        let workers = self.parallelism.min(total.max(1));
+        let mut slots: Vec<Option<TestReport>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        let slots = Mutex::new(slots);
+        let next = AtomicUsize::new(0);
+        let checker: &dyn Checker = &*self.checker;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let report = run_one(checker, &tests[index], mode);
+                    slots.lock().expect("suite slot lock")[index] = Some(report);
+                });
+            }
+        });
+
+        let reports = slots
+            .into_inner()
+            .expect("suite slot lock")
+            .into_iter()
+            .map(|slot| slot.expect("every test produced a report"))
+            .collect();
+        SuiteReport {
+            backend: self.backend(),
+            model: self.model(),
+            parallelism: workers,
+            wall: start.elapsed(),
+            reports,
+        }
+    }
+}
+
+/// How much work a suite run does per test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SuiteMode {
+    /// Enumerate the complete allowed-outcome set.
+    Full,
+    /// Decide the verdict only (first-witness early exit); outcomes stay empty.
+    VerdictsOnly,
+}
+
+/// Checks one test, capturing errors and wall time.
+fn run_one(checker: &dyn Checker, test: &LitmusTest, mode: SuiteMode) -> TestReport {
+    let start = Instant::now();
+    let result = match mode {
+        SuiteMode::Full => checker.allowed_outcomes(test).map(|outcomes| {
+            let allowed = outcomes.iter().any(|outcome| test.condition().matched_by(outcome));
+            (if allowed { Verdict::Allowed } else { Verdict::Forbidden }, outcomes)
+        }),
+        SuiteMode::VerdictsOnly => {
+            checker.check(test).map(|verdict| (verdict, std::collections::BTreeSet::new()))
+        }
+    };
+    match result {
+        Ok((verdict, outcomes)) => TestReport {
+            test: test.name().to_string(),
+            verdict: Some(verdict),
+            outcomes,
+            error: None,
+            wall: start.elapsed(),
+        },
+        Err(err) => TestReport {
+            test: test.name().to_string(),
+            verdict: None,
+            outcomes: std::collections::BTreeSet::new(),
+            error: Some(err.to_string()),
+            wall: start.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::library;
+
+    #[test]
+    fn builder_defaults_and_accessors() {
+        let engine = Engine::builder().build().unwrap();
+        assert_eq!(engine.model(), ModelKind::Gam);
+        assert_eq!(engine.backend(), Backend::Axiomatic);
+        assert_eq!(engine.parallelism(), 1);
+        assert_eq!(engine.checker().name(), "axiomatic");
+    }
+
+    #[test]
+    fn operational_gam_arm_is_rejected_at_build_time() {
+        let err = Engine::operational(ModelKind::GamArm).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnsupportedModel {
+                backend: Backend::Operational,
+                model: ModelKind::GamArm
+            }
+        ));
+    }
+
+    #[test]
+    fn single_test_queries_agree_across_backends() {
+        let test = library::dekker();
+        for backend in Backend::ALL {
+            let engine = Engine::builder().model(ModelKind::Gam).backend(backend).build().unwrap();
+            assert_eq!(engine.check(&test).unwrap(), Verdict::Allowed);
+            assert!(engine.find_witness(&test).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn suite_reports_are_in_input_order_and_capture_errors() {
+        let tests = vec![library::dekker(), library::corr(), library::mp()];
+        let engine = Engine::builder()
+            .model(ModelKind::Gam)
+            .axiomatic_config(CheckerConfig { max_events: 3 })
+            .parallelism(4)
+            .build()
+            .unwrap();
+        let report = engine.run_suite(&tests);
+        assert_eq!(report.reports.len(), 3);
+        assert_eq!(report.reports[0].test, "dekker");
+        assert_eq!(report.reports[1].test, "corr");
+        assert_eq!(report.reports[2].test, "mp");
+        // dekker has 4 memory events > limit 3 => captured error, not a panic.
+        assert!(!report.reports[0].is_ok());
+        assert!(report.reports[0].error.as_deref().unwrap().contains("memory events"));
+        assert!(report.reports[1].is_ok());
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn verdict_only_suite_matches_the_full_suite() {
+        let tests = vec![library::dekker(), library::corr(), library::mp()];
+        for backend in Backend::ALL {
+            let engine = Engine::builder()
+                .model(ModelKind::Gam)
+                .backend(backend)
+                .parallelism(4)
+                .build()
+                .unwrap();
+            let full = engine.run_suite(&tests);
+            let verdicts = engine.run_suite_verdicts(&tests);
+            assert!(verdicts.all_ok());
+            let full_v: Vec<_> = full.verdicts().collect();
+            let fast_v: Vec<_> = verdicts.verdicts().collect();
+            assert_eq!(full_v, fast_v, "{backend}: verdict-only mode disagrees");
+            assert!(verdicts.reports.iter().all(|r| r.outcomes.is_empty()));
+        }
+    }
+
+    #[test]
+    fn parallelism_is_clamped_to_suite_size() {
+        let engine = Engine::builder().parallelism(64).build().unwrap();
+        let report = engine.run_suite(&[library::dekker()]);
+        assert_eq!(report.parallelism, 1);
+        assert!(report.all_ok());
+    }
+}

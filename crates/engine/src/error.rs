@@ -1,0 +1,93 @@
+//! The unified error type of the engine facade.
+
+use std::fmt;
+
+use gam_axiomatic::CheckError;
+use gam_core::ModelKind;
+use gam_operational::OperationalError;
+
+use crate::engine::Backend;
+
+/// Errors produced by any backend behind the [`crate::Checker`] trait.
+///
+/// Both backend error types convert into this one, so consumers no longer
+/// need per-backend error handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The axiomatic enumerator rejected the test (branches or event limit).
+    Axiomatic(CheckError),
+    /// The operational explorer failed (state limit, deadlock, or a model
+    /// without an abstract machine).
+    Operational(OperationalError),
+    /// The requested backend has no semantics for the requested model.
+    UnsupportedModel {
+        /// The backend that was asked.
+        backend: Backend,
+        /// The model it cannot run.
+        model: ModelKind,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Axiomatic(err) => write!(f, "axiomatic backend: {err}"),
+            EngineError::Operational(err) => write!(f, "operational backend: {err}"),
+            EngineError::UnsupportedModel { backend, model } => {
+                write!(f, "the {backend} backend does not support {model} (no semantics defined)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Axiomatic(err) => Some(err),
+            EngineError::Operational(err) => Some(err),
+            EngineError::UnsupportedModel { .. } => None,
+        }
+    }
+}
+
+impl From<CheckError> for EngineError {
+    fn from(err: CheckError) -> Self {
+        EngineError::Axiomatic(err)
+    }
+}
+
+impl From<OperationalError> for EngineError {
+    fn from(err: OperationalError) -> Self {
+        EngineError::Operational(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: EngineError = CheckError::BranchesUnsupported { test: "t".into() }.into();
+        assert!(err.to_string().contains("axiomatic backend"));
+        let err: EngineError =
+            OperationalError::UnsupportedModel { model: ModelKind::GamArm }.into();
+        assert!(err.to_string().contains("operational backend"));
+        let err = EngineError::UnsupportedModel {
+            backend: Backend::Operational,
+            model: ModelKind::GamArm,
+        };
+        assert!(err.to_string().contains("GAM-ARM"));
+        assert!(err.to_string().contains("operational"));
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        let err: EngineError = CheckError::BranchesUnsupported { test: "t".into() }.into();
+        assert!(std::error::Error::source(&err).is_some());
+        let err =
+            EngineError::UnsupportedModel { backend: Backend::Axiomatic, model: ModelKind::Gam };
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

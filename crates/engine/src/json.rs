@@ -1,0 +1,196 @@
+//! A tiny dependency-free JSON tree and the [`ToJson`] trait.
+//!
+//! The build environment has no registry access, so `serde` cannot be used;
+//! this module is the machine-readable export path for suite results (the
+//! `--json` flag of the `litmus_tables` binary and any perf-trajectory
+//! tooling). The emitted JSON is plain and stable: objects keep insertion
+//! order, strings are escaped per RFC 8259.
+
+use std::fmt;
+
+use gam_axiomatic::Verdict;
+use gam_isa::litmus::Outcome;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (suite reports never need floats or negatives).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn object<'a>(pairs: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    #[must_use]
+    pub fn array(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(values.into_iter().collect())
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(n) => write!(f, "{n}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(values) => {
+                f.write_str("[")?;
+                for (i, value) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{value}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Conversion into the JSON tree — the serialization hook of the engine's
+/// report types (a hand-rolled stand-in for `serde::Serialize`, which is
+/// unavailable in this offline build).
+pub trait ToJson {
+    /// Converts `self` into a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Verdict {
+    fn to_json(&self) -> Json {
+        Json::from(self.to_string())
+    }
+}
+
+impl ToJson for Outcome {
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(observation, value)| (observation.to_string(), Json::UInt(value.raw())))
+                .collect(),
+        )
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().map_or(Json::Null, ToJson::to_json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::Observation;
+    use gam_isa::{Loc, ProcId, Reg};
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::from(true).to_string(), "true");
+        assert_eq!(Json::from(42u64).to_string(), "42");
+        assert_eq!(Json::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::from("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::from("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_render_in_order() {
+        let json = Json::object([
+            ("b", Json::from(1u64)),
+            ("a", Json::array([Json::Null, Json::from(false)])),
+        ]);
+        assert_eq!(json.to_string(), "{\"b\":1,\"a\":[null,false]}");
+    }
+
+    #[test]
+    fn verdict_and_outcome_serialize() {
+        assert_eq!(Verdict::Allowed.to_json().to_string(), "\"allowed\"");
+        assert_eq!(Verdict::Forbidden.to_json().to_string(), "\"forbidden\"");
+        let outcome = Outcome::new()
+            .with_reg(ProcId::new(1), Reg::new(2), 7u64)
+            .with_mem(Loc::new("a"), 3u64);
+        let json = outcome.to_json().to_string();
+        assert!(json.contains(":7"));
+        assert!(json.contains(":3"));
+        let observation = Observation::Register(ProcId::new(1), Reg::new(2));
+        assert!(json.contains(&format!("\"{observation}\"")));
+    }
+
+    #[test]
+    fn option_serializes_to_null_or_value() {
+        assert_eq!(None::<Verdict>.to_json().to_string(), "null");
+        assert_eq!(Some(Verdict::Allowed).to_json().to_string(), "\"allowed\"");
+    }
+}

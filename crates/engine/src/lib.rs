@@ -1,0 +1,65 @@
+//! # gam-engine
+//!
+//! The unified checking facade of the GAM reproduction.
+//!
+//! The paper's central claim is that the axiomatic and the operational
+//! definitions of GAM are *equivalent* — so the two backends deserve one API.
+//! This crate provides it:
+//!
+//! * [`Checker`] — an object-safe trait implemented by both
+//!   [`gam_axiomatic::AxiomaticChecker`] and
+//!   [`gam_operational::OperationalChecker`]: verdicts, complete
+//!   allowed-outcome sets, witnesses and capability queries through one
+//!   interface;
+//! * [`EngineError`] — the unified error type both backends convert into;
+//! * [`Engine`] / [`EngineBuilder`] — backend and model selection plus a
+//!   parallel suite runner that fans litmus tests out over a thread pool and
+//!   returns a structured, JSON-serializable [`SuiteReport`];
+//! * [`json`] — a dependency-free JSON tree ([`Json`], [`ToJson`]) used for
+//!   machine-readable result export.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gam_engine::{Backend, Engine};
+//! use gam_core::ModelKind;
+//! use gam_isa::litmus::library;
+//!
+//! // Check one test through each backend — same trait, same answers.
+//! let test = library::dekker();
+//! for backend in Backend::ALL {
+//!     let engine = Engine::builder()
+//!         .model(ModelKind::Gam)
+//!         .backend(backend)
+//!         .build()
+//!         .unwrap();
+//!     assert!(engine.check(&test).unwrap().is_allowed());
+//! }
+//!
+//! // Run a whole suite in parallel and inspect the structured report.
+//! let engine = Engine::builder().model(ModelKind::Gam).parallelism(4).build().unwrap();
+//! let report = engine.run_suite(&library::paper_tests());
+//! assert!(report.all_ok());
+//! let json = report.to_json_string();
+//! assert!(json.contains("\"model\":\"GAM\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod report;
+
+pub use checker::Checker;
+pub use engine::{Backend, Engine, EngineBuilder};
+pub use error::EngineError;
+pub use json::{Json, ToJson};
+pub use report::{SuiteReport, TestReport};
+
+// Re-exported so facade users can name verdicts and configs without
+// depending on the backend crates directly.
+pub use gam_axiomatic::{CheckerConfig, Verdict};
+pub use gam_operational::ExplorerConfig;

@@ -152,7 +152,9 @@ pub fn mp_fence_ss_only() -> LitmusTest {
     let mut p2 = ThreadProgram::builder(p(1));
     p2.load(r(1), Addr::loc(b)).load(r(2), Addr::loc(a));
     LitmusTest::builder("mp+fence-ss", Program::new(vec![p1.build(), p2.build()]))
-        .description("message passing with only the producer fence; load-load reordering exposes r1=1,r2=0")
+        .description(
+            "message passing with only the producer fence; load-load reordering exposes r1=1,r2=0",
+        )
         .expect_reg(p(1), r(1), 1u64)
         .expect_reg(p(1), r(2), 0u64)
         .build()
@@ -294,7 +296,9 @@ pub fn corr_intervening_store() -> LitmusTest {
         .artificial_addr_dep(r(4), a, r(2))
         .load(r(3), Addr::reg(r(4)));
     LitmusTest::builder("corr+intervening-store", Program::new(vec![p1.build(), p2.build()]))
-        .description("Figure 14b: same-address loads separated by a store; GAM allows r1=1,r2=2,r3=0")
+        .description(
+            "Figure 14b: same-address loads separated by a store; GAM allows r1=1,r2=2,r3=0",
+        )
         .expect_reg(p(1), r(1), 1u64)
         .expect_reg(p(1), r(2), 2u64)
         .expect_reg(p(1), r(3), 0u64)
@@ -358,7 +362,9 @@ pub fn rnsw() -> LitmusTest {
         .artificial_addr_dep(r(5), a, r(4))
         .load(r(6), Addr::reg(r(5)));
     LitmusTest::builder("rnsw", Program::new(vec![p1.build(), p2.build()]))
-        .description("Figure 14d: read-not-same-write; both ARM and GAM forbid the stale final read")
+        .description(
+            "Figure 14d: read-not-same-write; both ARM and GAM forbid the stale final read",
+        )
         .expect_reg(p(1), r(1), 1u64)
         .expect_reg(p(1), r(2), c.value())
         .expect_reg(p(1), r(3), 0u64)
@@ -441,16 +447,15 @@ pub fn iriw() -> LitmusTest {
     p3.load(r(1), Addr::loc(a)).load(r(2), Addr::loc(b));
     let mut p4 = ThreadProgram::builder(p(3));
     p4.load(r(3), Addr::loc(b)).load(r(4), Addr::loc(a));
-    LitmusTest::builder(
-        "iriw",
-        Program::new(vec![p1.build(), p2.build(), p3.build(), p4.build()]),
-    )
-    .description("independent reads of independent writes; weak models allow the readers to disagree")
-    .expect_reg(p(2), r(1), 1u64)
-    .expect_reg(p(2), r(2), 0u64)
-    .expect_reg(p(3), r(3), 1u64)
-    .expect_reg(p(3), r(4), 0u64)
-    .build()
+    LitmusTest::builder("iriw", Program::new(vec![p1.build(), p2.build(), p3.build(), p4.build()]))
+        .description(
+            "independent reads of independent writes; weak models allow the readers to disagree",
+        )
+        .expect_reg(p(2), r(1), 1u64)
+        .expect_reg(p(2), r(2), 0u64)
+        .expect_reg(p(3), r(3), 1u64)
+        .expect_reg(p(3), r(4), 0u64)
+        .build()
 }
 
 /// IRIW with a `FenceLL` between the loads on both reader processors.
@@ -538,7 +543,9 @@ pub fn corw() -> LitmusTest {
     let mut p1 = ThreadProgram::builder(p(0));
     p1.load(r(1), Addr::loc(a)).store(Addr::loc(a), Operand::imm(1));
     LitmusTest::builder("corw", Program::new(vec![p1.build()]))
-        .description("a load may not read its own processor's younger store; all models forbid r1=1")
+        .description(
+            "a load may not read its own processor's younger store; all models forbid r1=1",
+        )
         .expect_reg(p(0), r(1), 1u64)
         .build()
 }
@@ -555,7 +562,9 @@ pub fn cowr() -> LitmusTest {
     let mut p2 = ThreadProgram::builder(p(1));
     p2.store(Addr::loc(a), Operand::imm(2));
     LitmusTest::builder("cowr", Program::new(vec![p1.build(), p2.build()]))
-        .description("a load after a same-address store must not read older values; all models forbid r1=0")
+        .description(
+            "a load after a same-address store must not read older values; all models forbid r1=0",
+        )
         .expect_reg(p(0), r(1), 0u64)
         .build()
 }
@@ -735,8 +744,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: BTreeSet<String> =
-            all_tests().iter().map(|t| t.name().to_string()).collect();
+        let names: BTreeSet<String> = all_tests().iter().map(|t| t.name().to_string()).collect();
         assert_eq!(names.len(), all_tests().len());
     }
 

@@ -198,10 +198,7 @@ impl LitmusTest {
     /// Restricts a full outcome to the observations of this test.
     #[must_use]
     pub fn project(&self, full: &Outcome) -> Outcome {
-        self.observed
-            .iter()
-            .filter_map(|obs| full.get(obs).map(|v| (*obs, v)))
-            .collect()
+        self.observed.iter().filter_map(|obs| full.get(obs).map(|v| (*obs, v))).collect()
     }
 }
 
@@ -366,9 +363,9 @@ mod tests {
     #[test]
     fn project_restricts_to_observed() {
         let p2 = ProcId::new(1);
-        let test = LitmusTest::builder("demo", tiny_program()).expect_reg(p2, Reg::new(1), 0u64).build();
-        let full =
-            Outcome::new().with_reg(p2, Reg::new(1), 1u64).with_reg(p2, Reg::new(9), 42u64);
+        let test =
+            LitmusTest::builder("demo", tiny_program()).expect_reg(p2, Reg::new(1), 0u64).build();
+        let full = Outcome::new().with_reg(p2, Reg::new(1), 1u64).with_reg(p2, Reg::new(9), 42u64);
         let projected = test.project(&full);
         assert_eq!(projected.len(), 1);
         assert_eq!(projected.get(&Observation::Register(p2, Reg::new(1))), Some(Value::new(1)));

@@ -130,8 +130,7 @@ pub struct FenceKind {
 
 impl FenceKind {
     /// `FenceLL`: orders older loads before younger loads.
-    pub const LL: FenceKind =
-        FenceKind { before: MemAccessType::Load, after: MemAccessType::Load };
+    pub const LL: FenceKind = FenceKind { before: MemAccessType::Load, after: MemAccessType::Load };
     /// `FenceLS`: orders older loads before younger stores.
     pub const LS: FenceKind =
         FenceKind { before: MemAccessType::Load, after: MemAccessType::Store };

@@ -112,7 +112,10 @@ impl OperationalChecker {
     /// # Errors
     ///
     /// See [`OperationalChecker::explore`].
-    pub fn allowed_outcomes(&self, test: &LitmusTest) -> Result<BTreeSet<Outcome>, OperationalError> {
+    pub fn allowed_outcomes(
+        &self,
+        test: &LitmusTest,
+    ) -> Result<BTreeSet<Outcome>, OperationalError> {
         Ok(self.explore(test)?.outcomes)
     }
 
@@ -122,10 +125,7 @@ impl OperationalChecker {
     ///
     /// See [`OperationalChecker::explore`].
     pub fn is_allowed(&self, test: &LitmusTest) -> Result<bool, OperationalError> {
-        Ok(self
-            .allowed_outcomes(test)?
-            .iter()
-            .any(|outcome| test.condition().matched_by(outcome)))
+        Ok(self.allowed_outcomes(test)?.iter().any(|outcome| test.condition().matched_by(outcome)))
     }
 
     /// Convenience: run a specific machine for a test regardless of the

@@ -216,10 +216,7 @@ mod tests {
     #[test]
     fn state_limit_is_enforced() {
         let explorer = Explorer::new(ExplorerConfig { max_states: 2 });
-        assert_eq!(
-            explorer.explore(&Diamond),
-            Err(ExploreError::StateLimitExceeded { limit: 2 })
-        );
+        assert_eq!(explorer.explore(&Diamond), Err(ExploreError::StateLimitExceeded { limit: 2 }));
         assert_eq!(explorer.config().max_states, 2);
     }
 

@@ -225,11 +225,12 @@ impl GamMachine {
                     if addr.source_reg().is_none() =>
                 {
                     entry.addr_avail = true;
-                    entry.addr = addr.evaluate(match addr.base {
-                        Operand::Imm(v) => v,
-                        Operand::Reg(_) => unreachable!("no source register"),
-                    })
-                    .raw();
+                    entry.addr = addr
+                        .evaluate(match addr.base {
+                            Operand::Imm(v) => v,
+                            Operand::Reg(_) => unreachable!("no source register"),
+                        })
+                        .raw();
                 }
                 _ => {}
             }
@@ -308,10 +309,9 @@ impl GamMachine {
         let Instruction::Alu { op, lhs, rhs, .. } = self.instruction(proc, entry) else {
             return;
         };
-        let (Some(a), Some(b)) = (
-            self.operand_value(proc, rob, index, lhs),
-            self.operand_value(proc, rob, index, rhs),
-        ) else {
+        let (Some(a), Some(b)) =
+            (self.operand_value(proc, rob, index, lhs), self.operand_value(proc, rob, index, rhs))
+        else {
             return;
         };
         let mut next = state.clone();
@@ -333,10 +333,9 @@ impl GamMachine {
         let Instruction::Branch { cond, lhs, rhs, target } = self.instruction(proc, entry) else {
             return;
         };
-        let (Some(a), Some(b)) = (
-            self.operand_value(proc, rob, index, lhs),
-            self.operand_value(proc, rob, index, rhs),
-        ) else {
+        let (Some(a), Some(b)) =
+            (self.operand_value(proc, rob, index, lhs), self.operand_value(proc, rob, index, rhs))
+        else {
             return;
         };
         let thread = self.thread(proc);
@@ -398,13 +397,9 @@ impl GamMachine {
             return;
         }
         // All older fences ordering younger loads must be done.
-        let fences_done = rob[..index].iter().all(|older| {
-            match self.instruction(proc, older) {
-                Instruction::Fence { kind } if kind.orders_younger(MemAccessType::Load) => {
-                    older.done
-                }
-                _ => true,
-            }
+        let fences_done = rob[..index].iter().all(|older| match self.instruction(proc, older) {
+            Instruction::Fence { kind } if kind.orders_younger(MemAccessType::Load) => older.done,
+            _ => true,
         });
         if !fences_done {
             return;
@@ -554,8 +549,8 @@ impl GamMachine {
                 .map(|offset| index + 1 + offset);
             if let Some(victim) = younger {
                 let victim_entry = &next.procs[proc].rob[victim];
-                let victim_is_done_load = victim_entry.done
-                    && self.instruction(proc, victim_entry).is_load();
+                let victim_is_done_load =
+                    victim_entry.done && self.instruction(proc, victim_entry).is_load();
                 if victim_is_done_load {
                     let restart_pc = victim_entry.instr_index;
                     next.procs[proc].rob.truncate(victim);
@@ -621,8 +616,7 @@ impl AbstractMachine for GamMachine {
                         .iter()
                         .rev()
                         .find(|entry| {
-                            entry.done
-                                && self.instruction(p, entry).write_set().contains(reg)
+                            entry.done && self.instruction(p, entry).write_set().contains(reg)
                         })
                         .map(|entry| entry.result)
                         .unwrap_or(Value::ZERO)

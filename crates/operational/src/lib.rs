@@ -44,7 +44,7 @@ pub mod random;
 pub mod sc;
 pub mod tso;
 
-pub use checker::OperationalChecker;
+pub use checker::{OperationalChecker, OperationalError};
 pub use explore::{Exploration, ExploreError, Explorer, ExplorerConfig};
 pub use gam::{GamConfig, GamMachine};
 pub use machine::AbstractMachine;

@@ -41,7 +41,12 @@ impl SeqProcState {
 
 /// Resolves the next program counter of a sequentially executed instruction,
 /// returning `(new_pc, Some((reg, value)))` for register writes.
-pub(crate) fn next_pc(thread: &ThreadProgram, pc: usize, taken: bool, instr: &Instruction) -> usize {
+pub(crate) fn next_pc(
+    thread: &ThreadProgram,
+    pc: usize,
+    taken: bool,
+    instr: &Instruction,
+) -> usize {
     if let Instruction::Branch { target, .. } = instr {
         if taken {
             return thread.resolve_label(target).unwrap_or(thread.len());
@@ -135,11 +140,7 @@ impl AbstractMachine for ScMachine {
     }
 
     fn is_final(&self, state: &ScState) -> bool {
-        state
-            .procs
-            .iter()
-            .zip(self.program.threads())
-            .all(|(proc, thread)| proc.pc >= thread.len())
+        state.procs.iter().zip(self.program.threads()).all(|(proc, thread)| proc.pc >= thread.len())
     }
 
     fn outcome(&self, state: &ScState) -> Outcome {

@@ -122,8 +122,8 @@ impl AbstractMachine for TsoMachine {
                 Instruction::Fence { kind } => {
                     // Only store->load ordering is not already guaranteed by TSO;
                     // such a fence waits for the store buffer to drain.
-                    let needs_drain = kind.before == MemAccessType::Store
-                        && kind.after == MemAccessType::Load;
+                    let needs_drain =
+                        kind.before == MemAccessType::Store && kind.after == MemAccessType::Load;
                     if !needs_drain || proc.store_buffer.is_empty() {
                         let mut next = state.clone();
                         next.procs[proc_index].seq.pc += 1;
@@ -143,9 +143,11 @@ impl AbstractMachine for TsoMachine {
     }
 
     fn is_final(&self, state: &TsoState) -> bool {
-        state.procs.iter().zip(self.program.threads()).all(|(proc, thread)| {
-            proc.seq.pc >= thread.len() && proc.store_buffer.is_empty()
-        })
+        state
+            .procs
+            .iter()
+            .zip(self.program.threads())
+            .all(|(proc, thread)| proc.seq.pc >= thread.len() && proc.store_buffer.is_empty())
     }
 
     fn outcome(&self, state: &TsoState) -> Outcome {

@@ -92,7 +92,7 @@ impl CacheLevel {
     /// Checks for a hit without touching LRU state or statistics.
     fn peek(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.tags[set].iter().any(|t| *t == Some(tag))
+        self.tags[set].contains(&Some(tag))
     }
 
     /// Fills `addr` into the level, evicting the LRU way.

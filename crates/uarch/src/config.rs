@@ -175,7 +175,7 @@ impl CacheConfig {
     #[must_use]
     pub fn num_sets(&self) -> usize {
         let lines = self.size_bytes / self.line_bytes;
-        assert!(lines % self.ways == 0, "cache geometry must divide evenly");
+        assert!(lines.is_multiple_of(self.ways), "cache geometry must divide evenly");
         lines / self.ways
     }
 }
@@ -270,7 +270,11 @@ impl SimConfig {
     /// The configuration of Table I with the given memory-model policy.
     #[must_use]
     pub fn haswell_like(policy: MemoryModelPolicy) -> Self {
-        SimConfig { core: CoreConfig::haswell_like(), caches: CacheHierarchyConfig::paper(), policy }
+        SimConfig {
+            core: CoreConfig::haswell_like(),
+            caches: CacheHierarchyConfig::paper(),
+            policy,
+        }
     }
 
     /// A small configuration for fast unit tests.

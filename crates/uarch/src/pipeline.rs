@@ -380,9 +380,9 @@ impl<'a> Engine<'a> {
         // GAM / ARM: stall behind an older unissued same-address load unless a
         // store younger than that load can forward.
         if self.config.policy.stalls_same_address_loads() {
-            let older_unissued_load = self.rob[..pos]
-                .iter()
-                .position(|e| e.kind == UopKind::Load && !e.issued && e.addr_resolved && e.addr == addr);
+            let older_unissued_load = self.rob[..pos].iter().position(|e| {
+                e.kind == UopKind::Load && !e.issued && e.addr_resolved && e.addr == addr
+            });
             if let Some(older_pos) = older_unissued_load {
                 let exempted = forwarding_store.is_some_and(|store_pos| store_pos > older_pos);
                 if !exempted {
@@ -449,17 +449,14 @@ impl<'a> Engine<'a> {
             }
             let op = &self.trace.ops()[self.next_fetch];
             match op.kind {
-                UopKind::Load => {
-                    if self.loads_in_rob() >= self.config.core.lq_entries {
-                        return;
-                    }
+                UopKind::Load if self.loads_in_rob() >= self.config.core.lq_entries => {
+                    return;
                 }
-                UopKind::Store => {
+                UopKind::Store
                     if self.stores_in_rob() + self.draining_stores.len()
-                        >= self.config.core.sq_entries
-                    {
-                        return;
-                    }
+                        >= self.config.core.sq_entries =>
+                {
+                    return;
                 }
                 _ => {}
             }
@@ -511,7 +508,11 @@ mod tests {
         let trace = Trace::new("alu", ops);
         let stats = run(MemoryModelPolicy::Gam, &trace);
         assert_eq!(stats.committed_uops, 20_000);
-        assert!(stats.upc() > 3.0, "independent ALU ops should sustain close to 4 uPC, got {}", stats.upc());
+        assert!(
+            stats.upc() > 3.0,
+            "independent ALU ops should sustain close to 4 uPC, got {}",
+            stats.upc()
+        );
     }
 
     #[test]
@@ -524,7 +525,11 @@ mod tests {
         }
         let trace = Trace::new("chain", ops);
         let stats = run(MemoryModelPolicy::Gam, &trace);
-        assert!(stats.upc() < 1.2, "a serial dependence chain cannot exceed 1 uPC, got {}", stats.upc());
+        assert!(
+            stats.upc() < 1.2,
+            "a serial dependence chain cannot exceed 1 uPC, got {}",
+            stats.upc()
+        );
     }
 
     #[test]
@@ -572,7 +577,7 @@ mod tests {
         ops.push(MicroOp::store(0x100, Some(1)));
         ops.push(MicroOp::load(0x100, None));
         ops.push(MicroOp::load(0x100, None));
-        ops.extend(std::iter::repeat(MicroOp::simple(UopKind::IntAlu)).take(50));
+        ops.extend(std::iter::repeat_n(MicroOp::simple(UopKind::IntAlu), 50));
         Trace::new("stall-shape", ops)
     }
 
@@ -582,7 +587,7 @@ mod tests {
         let mut ops = vec![MicroOp::simple(UopKind::IntDiv)];
         ops.push(MicroOp::load(0x200, Some(1)));
         ops.push(MicroOp::load(0x200, None));
-        ops.extend(std::iter::repeat(MicroOp::simple(UopKind::IntAlu)).take(50));
+        ops.extend(std::iter::repeat_n(MicroOp::simple(UopKind::IntAlu), 50));
         Trace::new("kill-shape", ops)
     }
 
@@ -601,7 +606,7 @@ mod tests {
         // Ready once the *second to last* divide finishes: the older load is
         // done by then but still sits in the window behind the last divide.
         ops.push(MicroOp::load(0x300, Some(3)));
-        ops.extend(std::iter::repeat(MicroOp::simple(UopKind::IntAlu)).take(20));
+        ops.extend(std::iter::repeat_n(MicroOp::simple(UopKind::IntAlu), 20));
         Trace::new("load-forward-shape", ops)
     }
 
@@ -663,8 +668,7 @@ mod tests {
         // The headline claim of Figure 18: the four policies are within a few
         // per-cent of each other on ordinary workloads.
         let trace = WorkloadSpec::mixed("figure18-smoke", 256 * 1024, 0.03).generate(40_000, 13);
-        let upcs: Vec<f64> =
-            MemoryModelPolicy::ALL.iter().map(|&p| run(p, &trace).upc()).collect();
+        let upcs: Vec<f64> = MemoryModelPolicy::ALL.iter().map(|&p| run(p, &trace).upc()).collect();
         let max = upcs.iter().cloned().fold(f64::MIN, f64::max);
         let min = upcs.iter().cloned().fold(f64::MAX, f64::min);
         assert!(

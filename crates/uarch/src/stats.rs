@@ -112,7 +112,13 @@ impl SimStats {
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} under {}:", self.workload, self.policy)?;
-        writeln!(f, "  {} uops in {} cycles  (uPC {:.3})", self.committed_uops, self.cycles, self.upc())?;
+        writeln!(
+            f,
+            "  {} uops in {} cycles  (uPC {:.3})",
+            self.committed_uops,
+            self.cycles,
+            self.upc()
+        )?;
         writeln!(
             f,
             "  kills/1K {:.3}   stalls/1K {:.3}   ld-ld fwd/1K {:.3}",

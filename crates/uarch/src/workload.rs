@@ -274,7 +274,14 @@ impl WorkloadSpec {
         for i in 0..num_ops {
             let roll: f64 = rng.gen();
             let mut op = if roll < p.load_frac {
-                self.generate_load(i, &mut rng, footprint, &mut stream_addr, &recent_loads, &recent_stores)
+                self.generate_load(
+                    i,
+                    &mut rng,
+                    footprint,
+                    &mut stream_addr,
+                    &recent_loads,
+                    &recent_stores,
+                )
             } else if roll < p.load_frac + p.store_frac {
                 self.generate_store(i, &mut rng, footprint, &mut stream_addr, &recent_loads)
             } else if roll < p.load_frac + p.store_frac + p.branch_frac {
@@ -302,12 +309,7 @@ impl WorkloadSpec {
         Trace::new(self.name.clone(), ops)
     }
 
-    fn next_addr(
-        &self,
-        rng: &mut StdRng,
-        footprint: u64,
-        stream_addr: &mut u64,
-    ) -> u64 {
+    fn next_addr(&self, rng: &mut StdRng, footprint: u64, stream_addr: &mut u64) -> u64 {
         let slots = (footprint / 8).max(1);
         let offset = match self.params.pattern {
             AddressPattern::Sequential { stride } => {
@@ -580,11 +582,8 @@ mod tests {
     fn pointer_chase_has_dependent_loads() {
         let spec = WorkloadSpec::pointer_chase("chase", 1024 * 1024);
         let trace = spec.generate(20_000, 5);
-        let dependent_loads = trace
-            .ops()
-            .iter()
-            .filter(|op| op.kind == UopKind::Load && op.dep1.is_some())
-            .count();
+        let dependent_loads =
+            trace.ops().iter().filter(|op| op.kind == UopKind::Load && op.dep1.is_some()).count();
         let loads = trace.ops().iter().filter(|op| op.kind == UopKind::Load).count();
         assert!(
             dependent_loads as f64 > 0.5 * loads as f64,

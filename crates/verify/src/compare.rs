@@ -1,15 +1,18 @@
 //! Model-comparison matrices.
 //!
 //! A [`ComparisonMatrix`] records, for a set of litmus tests, the verdict of
-//! every model in the catalogue as computed by the axiomatic checker, and
-//! whether each verdict matches the expectation table. Its `Display`
-//! implementation prints the same kind of table the paper uses to discuss its
-//! litmus tests, which the `litmus-tables` benchmark binary reuses.
+//! every model in the catalogue and whether each verdict matches the
+//! expectation table. Since the engine redesign this module is a thin layer
+//! over [`gam_engine::Engine`]: one axiomatic engine per model runs the whole
+//! suite in parallel, and the matrix is assembled from the structured
+//! [`gam_engine::SuiteReport`]s. Its `Display` implementation prints the same
+//! kind of table the paper uses to discuss its litmus tests, which the
+//! `litmus-tables` benchmark binary reuses.
 
 use std::fmt;
 
-use gam_axiomatic::{AxiomaticChecker, CheckError, Verdict};
 use gam_core::{model, ModelKind};
+use gam_engine::{Backend, Engine, EngineError, SuiteReport, Verdict};
 use gam_isa::litmus::LitmusTest;
 
 use crate::expectations;
@@ -47,20 +50,58 @@ pub struct ComparisonMatrix {
 }
 
 impl ComparisonMatrix {
-    /// Runs the axiomatic checker for every model on every test.
+    /// Runs every model over every test through the axiomatic engine, using
+    /// all available hardware parallelism.
     ///
     /// # Errors
     ///
     /// Propagates the first checker error (branches or too many events).
-    pub fn compute(tests: &[LitmusTest]) -> Result<Self, CheckError> {
+    pub fn compute(tests: &[LitmusTest]) -> Result<Self, EngineError> {
+        Self::compute_with_parallelism(tests, available_parallelism())
+    }
+
+    /// Like [`ComparisonMatrix::compute`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first checker error (branches or too many events).
+    pub fn compute_with_parallelism(
+        tests: &[LitmusTest],
+        parallelism: usize,
+    ) -> Result<Self, EngineError> {
         let models = model::all();
-        let mut rows = Vec::with_capacity(tests.len());
-        for test in tests {
-            let mut verdicts = Vec::with_capacity(models.len());
-            for spec in &models {
-                let verdict = AxiomaticChecker::new(spec.clone()).check(test)?;
-                verdicts.push((spec.kind(), verdict));
+        let mut suites: Vec<SuiteReport> = Vec::with_capacity(models.len());
+        for spec in &models {
+            let engine = Engine::builder()
+                .model(spec.kind())
+                .backend(Backend::Axiomatic)
+                .parallelism(parallelism)
+                .build()
+                .expect("the axiomatic backend supports every model");
+            // The matrix only needs verdicts, so let the checker stop at the
+            // first witness instead of enumerating every execution.
+            let suite = engine.run_suite_verdicts(tests);
+            // The suite captures per-test failures; surface the first one as
+            // this function's error (re-check retrieves the typed error).
+            if let Some(failed) = suite.reports.iter().position(|report| !report.is_ok()) {
+                return Err(engine
+                    .check(&tests[failed])
+                    .expect_err("run_suite recorded an error for this test"));
             }
+            suites.push(suite);
+        }
+
+        let mut rows = Vec::with_capacity(tests.len());
+        for (index, test) in tests.iter().enumerate() {
+            let verdicts: Vec<(ModelKind, Verdict)> = models
+                .iter()
+                .zip(&suites)
+                .map(|(spec, suite)| {
+                    let verdict =
+                        suite.reports[index].verdict.expect("error-free suite has verdicts");
+                    (spec.kind(), verdict)
+                })
+                .collect();
             let mismatches = match expectations::expectation_for(test.name()) {
                 Some(expected) => verdicts
                     .iter()
@@ -93,12 +134,17 @@ impl ComparisonMatrix {
     }
 }
 
+/// The machine's available hardware parallelism (at least 1).
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 impl fmt::Display for ComparisonMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9}  {}",
-            "litmus test", "SC", "TSO", "GAM", "GAM0", "GAM-ARM", "matches paper"
+            "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9}  matches paper",
+            "litmus test", "SC", "TSO", "GAM", "GAM0", "GAM-ARM"
         )?;
         for row in &self.rows {
             write!(f, "{:<24}", row.test)?;
@@ -154,5 +200,28 @@ mod tests {
         assert_eq!(row.verdict(ModelKind::Gam), Some(Verdict::Forbidden));
         assert_eq!(row.verdict(ModelKind::Gam0), Some(Verdict::Allowed));
         assert!(row.matches_expectations());
+    }
+
+    #[test]
+    fn parallel_and_sequential_matrices_are_identical() {
+        let tests = library::paper_tests();
+        let sequential = ComparisonMatrix::compute_with_parallelism(&tests, 1).unwrap();
+        let parallel = ComparisonMatrix::compute_with_parallelism(&tests, 8).unwrap();
+        assert_eq!(sequential.rows(), parallel.rows());
+    }
+
+    #[test]
+    fn checker_errors_surface_as_engine_errors() {
+        // A program with branches cannot be checked axiomatically; the error
+        // must propagate through the engine as a typed EngineError.
+        use gam_isa::prelude::*;
+        let mut thread = ThreadProgram::builder(ProcId::new(0));
+        thread.label("spin");
+        thread.load(Reg::new(1), Addr::loc(Loc::new("a")));
+        thread.branch(BranchCond::Eq, Operand::reg(Reg::new(1)), Operand::imm(0), "spin");
+        let program = Program::new(vec![thread.build()]);
+        let test = gam_isa::litmus::LitmusTest::builder("branchy", program).build();
+        let err = ComparisonMatrix::compute(&[test]).unwrap_err();
+        assert!(matches!(err, EngineError::Axiomatic(_)));
     }
 }

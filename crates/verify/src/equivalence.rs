@@ -7,14 +7,19 @@
 //! library, compute the *complete* allowed-outcome set under both semantics
 //! and require them to be identical. The same cross-check is applied to the
 //! other models that have an operational machine (SC, TSO, GAM0).
+//!
+//! Since the engine redesign the comparison itself is backend-agnostic: both
+//! semantics are driven through the same [`gam_engine::Checker`] trait by two
+//! [`gam_engine::Engine`]s — equivalence is literally "run both backends
+//! through one API and diff the outcome sets" — and each suite runs in
+//! parallel across the machine's cores.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use gam_axiomatic::AxiomaticChecker;
-use gam_core::{model, ModelKind};
+use gam_core::ModelKind;
+use gam_engine::{Backend, Engine, SuiteReport};
 use gam_isa::litmus::{LitmusTest, Outcome};
-use gam_operational::OperationalChecker;
 
 /// The outcome-set comparison for one litmus test under one model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,35 +69,52 @@ pub struct EquivalenceReport {
 
 impl EquivalenceReport {
     /// Compares the axiomatic and operational definitions of `model_kind` on
-    /// every test in `tests`.
+    /// every test in `tests`, running each backend's suite in parallel.
     ///
     /// # Panics
     ///
-    /// Panics if either checker fails (event limit, state limit, deadlock);
-    /// the litmus-test library is well within both limits.
+    /// Panics if the model has no operational machine, or if either backend
+    /// fails on a test (event limit, state limit, deadlock); the litmus-test
+    /// library is well within both limits.
     #[must_use]
     pub fn compute(tests: &[LitmusTest], model_kind: ModelKind) -> Self {
         assert!(
-            OperationalChecker::supports(model_kind),
+            Backend::Operational.supports(model_kind),
             "{model_kind} has no operational machine to compare against"
         );
-        let axiomatic = AxiomaticChecker::new(model::by_kind(model_kind));
-        let operational = OperationalChecker::new(model_kind);
-        let mut results = Vec::with_capacity(tests.len());
-        for test in tests {
-            let ax = axiomatic.allowed_outcomes(test).expect("axiomatic check succeeds");
-            let op = operational.allowed_outcomes(test).expect("operational check succeeds");
-            let axiomatic_only: BTreeSet<Outcome> = ax.difference(&op).cloned().collect();
-            let operational_only: BTreeSet<Outcome> = op.difference(&ax).cloned().collect();
-            let common = ax.intersection(&op).count();
-            results.push(EquivalenceResult {
-                test: test.name().to_string(),
-                model: model_kind,
-                axiomatic_only,
-                operational_only,
-                common,
-            });
-        }
+        // Both backends behind the same trait: build one engine per backend
+        // and run the identical suite through each.
+        let [axiomatic, operational]: [SuiteReport; 2] = Backend::ALL.map(|backend| {
+            Engine::builder()
+                .model(model_kind)
+                .backend(backend)
+                .parallelism_available()
+                .build()
+                .expect("both backends support this model")
+                .run_suite(tests)
+        });
+
+        let results = axiomatic
+            .reports
+            .iter()
+            .zip(&operational.reports)
+            .map(|(ax, op)| {
+                assert!(ax.is_ok(), "axiomatic check succeeds: {:?}", ax.error);
+                assert!(op.is_ok(), "operational check succeeds: {:?}", op.error);
+                let axiomatic_only: BTreeSet<Outcome> =
+                    ax.outcomes.difference(&op.outcomes).cloned().collect();
+                let operational_only: BTreeSet<Outcome> =
+                    op.outcomes.difference(&ax.outcomes).cloned().collect();
+                let common = ax.outcomes.intersection(&op.outcomes).count();
+                EquivalenceResult {
+                    test: ax.test.clone(),
+                    model: model_kind,
+                    axiomatic_only,
+                    operational_only,
+                    common,
+                }
+            })
+            .collect();
         EquivalenceReport { results }
     }
 
@@ -101,7 +123,7 @@ impl EquivalenceReport {
     pub fn compute_all(tests: &[LitmusTest]) -> Self {
         let mut results = Vec::new();
         for kind in ModelKind::ALL {
-            if OperationalChecker::supports(kind) {
+            if Backend::Operational.supports(kind) {
                 results.extend(Self::compute(tests, kind).results);
             }
         }
@@ -132,12 +154,7 @@ impl fmt::Display for EquivalenceReport {
         for result in &self.results {
             writeln!(f, "{result}")?;
         }
-        writeln!(
-            f,
-            "{} comparisons, {} mismatches",
-            self.results.len(),
-            self.mismatches().len()
-        )
+        writeln!(f, "{} comparisons, {} mismatches", self.results.len(), self.mismatches().len())
     }
 }
 
@@ -148,8 +165,12 @@ mod tests {
 
     #[test]
     fn gam_axiomatic_and_operational_agree_on_key_paper_tests() {
-        let tests =
-            vec![library::dekker(), library::corr(), library::mp_addr(), library::store_forwarding()];
+        let tests = vec![
+            library::dekker(),
+            library::corr(),
+            library::mp_addr(),
+            library::store_forwarding(),
+        ];
         let report = EquivalenceReport::compute(&tests, ModelKind::Gam);
         assert!(report.all_equivalent(), "{report}");
         assert_eq!(report.results().len(), 4);

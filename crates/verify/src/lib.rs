@@ -6,12 +6,17 @@
 //! * [`expectations`] — the paper's (and the classical literature's) expected
 //!   verdict of every model on every litmus test in the library, as a
 //!   machine-readable table;
-//! * [`compare`] — runs the axiomatic checker over tests × models and builds
-//!   a comparison matrix, flagging any disagreement with the expectations;
+//! * [`compare`] — runs every model over tests through the parallel
+//!   [`gam_engine::Engine`] facade and builds a comparison matrix, flagging
+//!   any disagreement with the expectations;
 //! * [`equivalence`] — cross-checks the axiomatic and operational definitions
-//!   of each model by comparing their complete allowed-outcome sets on every
-//!   litmus test (the machine-checkable counterpart of the paper's
-//!   equivalence proof for GAM).
+//!   of each model by driving *both* backends through the same
+//!   [`gam_engine::Checker`] trait and comparing their complete
+//!   allowed-outcome sets on every litmus test (the machine-checkable
+//!   counterpart of the paper's equivalence proof for GAM).
+//!
+//! Both modules are thin layers over `gam-engine`; they no longer talk to the
+//! backend crates' checker types directly.
 //!
 //! # Example
 //!

@@ -4,6 +4,11 @@
 //! outcome set of the axiomatic enumerator must equal the set of outcomes
 //! reachable on the operational machine.
 //!
+//! Since the engine redesign, `verify::EquivalenceReport` *is* this check:
+//! it drives both backends through the same `Checker` trait — one parallel
+//! engine per backend — and diffs the complete outcome sets. This example
+//! just runs it per model and prints any mismatching outcomes in full.
+//!
 //! Run with: `cargo run --release --example equivalence`
 
 use gam::core::ModelKind;
@@ -12,10 +17,7 @@ use gam::verify::EquivalenceReport;
 
 fn main() {
     let tests = library::all_tests();
-    println!(
-        "comparing axiomatic and operational outcome sets on {} litmus tests...",
-        tests.len()
-    );
+    println!("comparing axiomatic and operational outcome sets on {} litmus tests...", tests.len());
     let mut total = 0;
     let mut mismatched = 0;
     for kind in [ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0] {
@@ -25,6 +27,8 @@ fn main() {
         mismatched += bad;
         println!("  {kind:<5} {} tests, {} mismatches", report.results().len(), bad);
         for mismatch in report.mismatches() {
+            // EquivalenceResult::Display names every outcome each backend
+            // claims exclusively — the detail needed to debug a divergence.
             println!("    {mismatch}");
         }
     }

@@ -1,11 +1,15 @@
 //! Explore the full litmus-test library: print every test, every model's
-//! verdict, and (for allowed behaviours under GAM) a witness execution with
-//! its read-from relation and global memory order.
+//! verdict, and (for allowed behaviours under GAM) a witness execution.
+//! Verdicts and witness outcomes come from the engine facade; the detailed
+//! read-from relation and memory order are a backend-specific extra fetched
+//! from the axiomatic checker directly (the soft-deprecated direct API
+//! remains available exactly for such cases).
 //!
 //! Run with: `cargo run --example litmus_explorer [-- <test-name>]`
 
 use gam::axiomatic::AxiomaticChecker;
 use gam::core::model;
+use gam::engine::Engine;
 use gam::isa::litmus::library;
 use gam::verify::ComparisonMatrix;
 
@@ -19,7 +23,9 @@ fn main() {
             let matrix = ComparisonMatrix::compute(&tests).expect("all tests are checkable");
             print!("{matrix}");
             println!();
-            println!("Run `cargo run --example litmus_explorer -- <name>` for details on one test.");
+            println!(
+                "Run `cargo run --example litmus_explorer -- <name>` for details on one test."
+            );
         }
         Some(name) => {
             let Some(test) = library::by_name(&name) else {
@@ -31,11 +37,16 @@ fn main() {
             };
             println!("{test}");
             for spec in model::all() {
-                let checker = AxiomaticChecker::new(spec.clone());
-                let verdict = checker.check(&test).expect("checkable");
+                let engine = Engine::axiomatic(spec.kind());
+                let verdict = engine.check(&test).expect("checkable");
                 println!("{:<8} {}", spec.name(), verdict);
                 if verdict.is_allowed() {
-                    if let Some(witness) = checker.find_witness(&test).expect("checkable") {
+                    // Backend-specific detail: the axiomatic witness carries
+                    // the read-from relation and the global memory order on
+                    // top of the witnessing outcome.
+                    let detailed =
+                        AxiomaticChecker::new(spec.clone()).find_witness(&test).expect("checkable");
+                    if let Some(witness) = detailed {
                         println!("  witness outcome : {}", witness.outcome);
                         let rf: Vec<String> = witness
                             .rf

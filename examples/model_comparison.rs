@@ -1,12 +1,12 @@
 //! Compare the complete allowed-outcome sets of the five models on a chosen
 //! litmus test — not just the verdict on the condition of interest, but every
-//! final state each model admits.
+//! final state each model admits. All queries go through the engine facade.
 //!
 //! Run with: `cargo run --example model_comparison [-- <test-name>]`
 //! (default test: `corr`, Figure 14a of the paper).
 
-use gam::axiomatic::AxiomaticChecker;
 use gam::core::model;
+use gam::engine::Engine;
 use gam::isa::litmus::library;
 
 fn main() {
@@ -18,12 +18,15 @@ fn main() {
 
     println!("{test}");
     for spec in model::all() {
-        let outcomes =
-            AxiomaticChecker::new(spec.clone()).allowed_outcomes(&test).expect("checkable");
+        let engine = Engine::axiomatic(spec.kind());
+        let outcomes = engine.allowed_outcomes(&test).expect("checkable");
         println!("{} allows {} outcomes:", spec.name(), outcomes.len());
         for outcome in &outcomes {
-            let marker =
-                if test.condition().matched_by(outcome) { "   <-- condition of interest" } else { "" };
+            let marker = if test.condition().matched_by(outcome) {
+                "   <-- condition of interest"
+            } else {
+                ""
+            };
             println!("  {outcome}{marker}");
         }
         println!();

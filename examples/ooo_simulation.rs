@@ -1,25 +1,47 @@
 //! Run the out-of-order core simulator on a few workloads under all four
 //! memory-model policies and print the per-workload statistics that feed
-//! Figure 18 and Tables II/III.
+//! Figure 18 and Tables II/III. Before the timing runs, the formal models the
+//! policies implement are sanity-checked through the parallel engine facade.
 //!
 //! Run with: `cargo run --release --example ooo_simulation [-- <ops>]`
 //! (default 50_000 micro-ops per workload).
 
+use gam::core::ModelKind;
+use gam::engine::Engine;
+use gam::isa::litmus::library;
 use gam::uarch::config::{MemoryModelPolicy, SimConfig};
 use gam::uarch::workload::WorkloadSuite;
 use gam::uarch::Simulator;
 
 fn main() {
-    let ops: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let ops: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(50_000);
+
+    // The timing policies implement GAM / GAM-ARM / GAM0 ordering rules; make
+    // sure the formal side actually behaves that way before trusting timings.
+    let engine = Engine::builder()
+        .model(ModelKind::Gam)
+        .parallelism(4)
+        .build()
+        .expect("axiomatic GAM engine");
+    let report = engine.run_suite(&library::paper_tests());
+    assert!(report.all_ok(), "litmus sanity run failed:\n{report}");
+    println!(
+        "model sanity via engine facade: {} litmus tests under GAM in {:.0} ms\n",
+        report.reports.len(),
+        report.wall.as_secs_f64() * 1e3
+    );
+
     let suite = WorkloadSuite::small();
     println!("simulating {} workloads x 4 policies x {ops} micro-ops\n", suite.len());
 
     for spec in suite.specs() {
         let trace = spec.generate(ops, 42);
-        println!("workload `{}` ({} loads, {} stores)", spec.name(),
+        println!(
+            "workload `{}` ({} loads, {} stores)",
+            spec.name(),
             (trace.load_fraction() * trace.len() as f64) as usize,
-            (trace.store_fraction() * trace.len() as f64) as usize);
+            (trace.store_fraction() * trace.len() as f64) as usize
+        );
         let mut baseline = None;
         for policy in MemoryModelPolicy::ALL {
             let stats = Simulator::new(SimConfig::haswell_like(policy)).run(&trace);

@@ -1,13 +1,13 @@
-//! Quickstart: build a litmus test by hand, check it against every memory
-//! model axiomatically, and confirm the verdict on the GAM abstract machine.
+//! Quickstart: build a litmus test by hand and check it against every memory
+//! model through the unified engine facade — then confirm the GAM verdict
+//! through the operational backend, using the *same* API.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use gam::axiomatic::AxiomaticChecker;
-use gam::core::model;
+use gam::core::{model, ModelKind};
+use gam::engine::{Backend, Engine};
 use gam::isa::litmus::LitmusTest;
 use gam::isa::prelude::*;
-use gam::operational::{Explorer, GamMachine};
 
 fn main() {
     // The message-passing idiom: P1 publishes data then sets a flag,
@@ -23,29 +23,40 @@ fn main() {
 
     let program = Program::new(vec![producer.build(), consumer.build()]);
     let test = LitmusTest::builder("mp-quickstart", program)
-        .description("message passing without fences: can the consumer see the flag but stale data?")
+        .description(
+            "message passing without fences: can the consumer see the flag but stale data?",
+        )
         .expect_reg(ProcId::new(1), Reg::new(1), 1u64)
         .expect_reg(ProcId::new(1), Reg::new(2), 0u64)
         .build();
 
     println!("{test}");
-    println!("Is the stale-data outcome allowed?");
+    println!("Is the stale-data outcome allowed? (axiomatic engine)");
     for spec in model::all() {
-        let verdict = AxiomaticChecker::new(spec.clone()).check(&test).expect("checkable");
+        let engine = Engine::axiomatic(spec.kind());
+        let verdict = engine.check(&test).expect("checkable");
         println!("  {:<8} {}", spec.name(), verdict);
     }
 
-    // Cross-check GAM's verdict on the operational abstract machine.
-    let machine = GamMachine::new(&test);
-    let exploration = Explorer::default().explore(&machine).expect("explorable");
-    let reachable = exploration.outcomes.iter().any(|o| test.condition().matched_by(o));
+    // Cross-check GAM's verdict on the abstract machine: same facade, other
+    // backend — the paper's Theorem 1 says the answers must coincide.
+    let operational = Engine::builder()
+        .model(ModelKind::Gam)
+        .backend(Backend::Operational)
+        .build()
+        .expect("GAM has an abstract machine");
+    let outcomes = operational.allowed_outcomes(&test).expect("explorable");
+    let witness = operational.find_witness(&test).expect("explorable");
     println!();
     println!(
-        "GAM abstract machine: explored {} states, {} final outcomes, stale-data outcome reachable: {}",
-        exploration.states_visited,
-        exploration.outcomes.len(),
-        reachable
+        "GAM abstract machine ({} backend): {} reachable outcomes, stale-data outcome reachable: {}",
+        operational.checker().name(),
+        outcomes.len(),
+        witness.is_some()
     );
+    if let Some(outcome) = witness {
+        println!("  witness outcome: {outcome}");
+    }
     println!();
     println!("Fix: add a FenceSS on the producer and a FenceLL on the consumer,");
     println!("or make the second load depend on the first (see `mp+addr` in the library).");

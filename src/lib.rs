@@ -10,24 +10,44 @@
 //! * [`isa`] — the instruction set, programs and the litmus-test library;
 //! * [`core`] — dependencies, preserved program order and the model
 //!   catalogue (SC, TSO, GAM, GAM0, GAM-ARM);
+//! * [`engine`] — **the recommended entry point**: the unified
+//!   [`Checker`](engine::Checker) trait over both formal backends and the
+//!   parallel [`Engine`](engine::Engine) facade with structured,
+//!   JSON-serializable suite reports;
 //! * [`axiomatic`] — the axiomatic execution enumerator;
 //! * [`operational`] — the abstract machines (SC, TSO, GAM/GAM0) and the
 //!   exhaustive explorer;
 //! * [`verify`] — paper expectations, model comparison and
-//!   axiomatic-vs-operational equivalence checking;
+//!   axiomatic-vs-operational equivalence checking (thin layers over the
+//!   engine);
 //! * [`uarch`] — the out-of-order core timing simulator and the synthetic
 //!   workload suite used to reproduce Figure 18 and Tables I–III.
+//!
+//! The direct checker constructors ([`axiomatic::AxiomaticChecker`],
+//! [`operational::OperationalChecker`]) remain available for backend-specific
+//! needs (e.g. detailed axiomatic witnesses), but new code should go through
+//! the engine facade, which exposes both semantics behind one API.
 //!
 //! # Quick start
 //!
 //! ```
-//! use gam::axiomatic::{AxiomaticChecker, Verdict};
-//! use gam::core::model;
+//! use gam::core::ModelKind;
+//! use gam::engine::{Backend, Engine};
 //! use gam::isa::litmus::library;
 //!
-//! // Does GAM allow the Dekker non-SC outcome? (Yes: store->load reordering.)
-//! let checker = AxiomaticChecker::new(model::gam());
-//! assert_eq!(checker.check(&library::dekker()).unwrap(), Verdict::Allowed);
+//! // Does GAM allow the Dekker non-SC outcome? Ask either backend through
+//! // the same facade. (Yes: store->load reordering.)
+//! let engine = Engine::builder()
+//!     .model(ModelKind::Gam)
+//!     .backend(Backend::Axiomatic)
+//!     .build()
+//!     .unwrap();
+//! assert!(engine.check(&library::dekker()).unwrap().is_allowed());
+//!
+//! // Run the whole paper suite in parallel and get a structured report.
+//! let engine = Engine::builder().model(ModelKind::Gam).parallelism(4).build().unwrap();
+//! let report = engine.run_suite(&library::paper_tests());
+//! assert!(report.all_ok());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,6 +55,7 @@
 
 pub use gam_axiomatic as axiomatic;
 pub use gam_core as core;
+pub use gam_engine as engine;
 pub use gam_isa as isa;
 pub use gam_operational as operational;
 pub use gam_uarch as uarch;

@@ -1,0 +1,116 @@
+//! Cross-backend agreement property test — the machine-checked counterpart
+//! of the paper's Theorem 1 at library scale, driven through the unified
+//! `dyn Checker` trait.
+//!
+//! Every litmus test in the library is checked under every model that both
+//! backends support ({SC, TSO, GAM, GAM0}), through trait objects so that
+//! the two backends are literally indistinguishable to the test driver, and
+//! the *complete* allowed-outcome sets must be identical. Witnesses and
+//! verdicts are cross-checked as well, and the one capability gap (GAM-ARM
+//! has no abstract machine) must be reported uniformly by `supports`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gam::axiomatic::AxiomaticChecker;
+use gam::core::{model, ModelKind};
+use gam::engine::{Backend, Checker, Engine, EngineError};
+use gam::isa::litmus::library;
+use gam::operational::OperationalChecker;
+
+/// Both backends for one model, erased to the unified trait.
+fn checkers_for(kind: ModelKind) -> [Box<dyn Checker>; 2] {
+    [Box::new(AxiomaticChecker::new(model::by_kind(kind))), Box::new(OperationalChecker::new(kind))]
+}
+
+/// Drives every library test through both backends via `dyn Checker` (work
+/// is fanned out over a few threads to keep the full-library sweep fast) and
+/// asserts identical allowed-outcome sets, verdicts and witness consistency.
+fn assert_backends_agree(kind: ModelKind) {
+    let tests = library::all_tests();
+    let [axiomatic, operational] = checkers_for(kind);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= tests.len() {
+                    break;
+                }
+                let test = &tests[index];
+                let name = test.name();
+                let ax = axiomatic
+                    .allowed_outcomes(test)
+                    .unwrap_or_else(|e| panic!("{kind}/{name}: axiomatic failed: {e}"));
+                let op = operational
+                    .allowed_outcomes(test)
+                    .unwrap_or_else(|e| panic!("{kind}/{name}: operational failed: {e}"));
+                assert_eq!(
+                    ax, op,
+                    "{kind}/{name}: allowed-outcome sets differ between the backends"
+                );
+
+                let ax_verdict = axiomatic.check(test).expect("axiomatic verdict");
+                let op_verdict = operational.check(test).expect("operational verdict");
+                assert_eq!(ax_verdict, op_verdict, "{kind}/{name}: verdicts differ");
+
+                // A witness exists iff the condition is allowed, on both
+                // backends, and is a member of the (shared) outcome set.
+                for checker in [&axiomatic, &operational] {
+                    let witness = checker.find_witness(test).expect("witness query");
+                    assert_eq!(
+                        witness.is_some(),
+                        ax_verdict.is_allowed(),
+                        "{kind}/{name}: witness presence disagrees with the verdict"
+                    );
+                    if let Some(outcome) = witness {
+                        assert!(test.condition().matched_by(&outcome));
+                        assert!(ax.contains(&outcome));
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn sc_backends_agree_on_the_whole_library() {
+    assert_backends_agree(ModelKind::Sc);
+}
+
+#[test]
+fn tso_backends_agree_on_the_whole_library() {
+    assert_backends_agree(ModelKind::Tso);
+}
+
+#[test]
+fn gam_backends_agree_on_the_whole_library() {
+    assert_backends_agree(ModelKind::Gam);
+}
+
+#[test]
+fn gam0_backends_agree_on_the_whole_library() {
+    assert_backends_agree(ModelKind::Gam0);
+}
+
+#[test]
+fn capability_gaps_are_uniform_across_the_trait() {
+    for kind in [ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0] {
+        for checker in checkers_for(kind) {
+            assert!(checker.supports(kind), "{}/{kind}", checker.name());
+            assert_eq!(
+                checker.supports(ModelKind::GamArm),
+                checker.backend() == Backend::Axiomatic,
+                "GAM-ARM is axiomatic-only"
+            );
+        }
+    }
+    // The engine surfaces the same gap as a typed build error.
+    assert!(matches!(
+        Engine::operational(ModelKind::GamArm),
+        Err(EngineError::UnsupportedModel {
+            backend: Backend::Operational,
+            model: ModelKind::GamArm
+        })
+    ));
+    assert!(Engine::axiomatic(ModelKind::GamArm).check(&library::dekker()).is_ok());
+}

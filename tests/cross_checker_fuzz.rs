@@ -89,7 +89,8 @@ fn axiomatic_and_operational_agree_on_random_programs() {
                 .allowed_outcomes(&test)
                 .expect("operational check succeeds");
             assert_eq!(
-                axiomatic, operational,
+                axiomatic,
+                operational,
                 "seed {seed} under {kind}: outcome sets differ\nprogram:\n{}",
                 test.program()
             );

@@ -4,9 +4,9 @@
 //! other, kills and stalls are rare, and load-load forwarding almost never
 //! hides an L1 miss.
 
-use gam_bench::{run_suite, table2, table3, render_fig18};
 use gam::uarch::config::MemoryModelPolicy;
 use gam::uarch::workload::WorkloadSuite;
+use gam_bench::{render_fig18, run_suite, table2, table3};
 
 /// A scaled-down run of the full evaluation (small op count keeps CI fast).
 fn results() -> Vec<gam_bench::WorkloadResult> {
@@ -17,7 +17,9 @@ fn results() -> Vec<gam_bench::WorkloadResult> {
 fn figure_18_shape_policies_within_a_few_percent() {
     let results = results();
     for result in &results {
-        for policy in [MemoryModelPolicy::Arm, MemoryModelPolicy::Gam0, MemoryModelPolicy::AlphaStar] {
+        for policy in
+            [MemoryModelPolicy::Arm, MemoryModelPolicy::Gam0, MemoryModelPolicy::AlphaStar]
+        {
             let normalized = result.normalized_upc(policy);
             assert!(
                 (normalized - 1.0).abs() < 0.10,
@@ -69,10 +71,8 @@ fn table_3_shape_forwarding_does_not_reduce_misses_much() {
 #[test]
 fn every_policy_commits_the_same_instruction_stream() {
     for result in results() {
-        let committed: Vec<u64> = MemoryModelPolicy::ALL
-            .iter()
-            .map(|&p| result.of(p).committed_uops)
-            .collect();
+        let committed: Vec<u64> =
+            MemoryModelPolicy::ALL.iter().map(|&p| result.of(p).committed_uops).collect();
         assert!(committed.windows(2).all(|w| w[0] == w[1]), "{committed:?}");
     }
 }
