@@ -7,8 +7,9 @@ use gam_core::{model::ModelSpec, ppo, Relation, RfSource};
 use gam_isa::litmus::{LitmusTest, Observation, Outcome};
 use gam_isa::Value;
 
+use crate::enumerate::RfAssignments;
 use crate::error::CheckError;
-use crate::execution::{ConcreteExecution, InstrRef, ProgramIndex, RfCandidate};
+use crate::execution::{ConcreteExecution, InstrRef, ProgramIndex};
 use crate::mo::{LoadConstraint, MoProblem};
 use crate::propagate::concretize;
 
@@ -48,6 +49,35 @@ pub struct Witness {
     pub rf: Vec<(InstrRef, RfSource)>,
     /// The global memory order, oldest first.
     pub memory_order: Vec<InstrRef>,
+}
+
+/// Search statistics of one checking run, the raw material of the perf
+/// trajectory (`perf_snapshot` in `gam-bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckStats {
+    /// Size of the unpruned read-from assignment space
+    /// `(stores + 1) ^ loads`, saturated at `u128::MAX`.
+    pub assignments_naive: u128,
+    /// Read-from assignments actually enumerated (after address pruning).
+    pub assignments_enumerated: u64,
+    /// Enumerated assignments that survived value propagation and produced a
+    /// memory-order search problem.
+    pub assignments_concretized: u64,
+    /// Valid memory orders visited across all assignments.
+    pub orders_visited: u64,
+}
+
+impl CheckStats {
+    /// The pruning factor `naive / enumerated` (1 when nothing was pruned;
+    /// `None` for load-free programs with an empty assignment space).
+    #[must_use]
+    pub fn pruning_factor(&self) -> Option<f64> {
+        if self.assignments_enumerated == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(self.assignments_naive as f64 / self.assignments_enumerated as f64)
+    }
 }
 
 /// Tunable limits of the checker.
@@ -98,8 +128,44 @@ impl AxiomaticChecker {
     /// Returns an error if the program contains branches or exceeds the
     /// configured event limit.
     pub fn allowed_outcomes(&self, test: &LitmusTest) -> Result<BTreeSet<Outcome>, CheckError> {
+        Ok(self.allowed_outcomes_with_stats(test)?.0)
+    }
+
+    /// Like [`AxiomaticChecker::allowed_outcomes`], additionally reporting
+    /// the search statistics (assignments enumerated/pruned, orders visited).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program contains branches or exceeds the
+    /// configured event limit.
+    pub fn allowed_outcomes_with_stats(
+        &self,
+        test: &LitmusTest,
+    ) -> Result<(BTreeSet<Outcome>, CheckStats), CheckError> {
         let mut outcomes = BTreeSet::new();
-        self.enumerate(test, |_, _, outcome| {
+        let stats = self.enumerate(test, |_, _, outcome| {
+            outcomes.insert(outcome.clone());
+            true
+        })?;
+        Ok((outcomes, stats))
+    }
+
+    /// The complete outcome set computed by the *unoptimised* reference
+    /// pipeline: naive read-from enumeration (no address pruning) and the
+    /// validate-complete-orders-only memory-order search. Exponentially
+    /// slower than [`AxiomaticChecker::allowed_outcomes`]; exists purely as
+    /// the oracle for differential tests of the optimisations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program contains branches or exceeds the
+    /// configured event limit.
+    pub fn allowed_outcomes_reference(
+        &self,
+        test: &LitmusTest,
+    ) -> Result<BTreeSet<Outcome>, CheckError> {
+        let mut outcomes = BTreeSet::new();
+        self.enumerate_with(test, SearchStrategy::Reference, |_, _, outcome| {
             outcomes.insert(outcome.clone());
             true
         })?;
@@ -144,12 +210,23 @@ impl AxiomaticChecker {
     /// Enumerates every consistent execution of the test under the model and
     /// invokes `visit` with the concrete execution, the memory order (as
     /// event indices) and the projected outcome. `visit` returns `false` to
-    /// stop the enumeration.
+    /// stop the enumeration. Returns the search statistics.
     fn enumerate(
         &self,
         test: &LitmusTest,
+        visit: impl FnMut(&ConcreteExecution, &[usize], &Outcome) -> bool,
+    ) -> Result<CheckStats, CheckError> {
+        self.enumerate_with(test, SearchStrategy::Optimized, visit)
+    }
+
+    /// The enumeration core shared by the optimised and the reference
+    /// pipelines.
+    fn enumerate_with(
+        &self,
+        test: &LitmusTest,
+        strategy: SearchStrategy,
         mut visit: impl FnMut(&ConcreteExecution, &[usize], &Outcome) -> bool,
-    ) -> Result<(), CheckError> {
+    ) -> Result<CheckStats, CheckError> {
         if test.program().has_branches() {
             return Err(CheckError::BranchesUnsupported { test: test.name().to_string() });
         }
@@ -169,80 +246,68 @@ impl AxiomaticChecker {
         let needs_all_orders =
             test.observed().iter().any(|obs| matches!(obs, Observation::Memory(_)));
 
-        let num_loads = index.loads.len();
-        let options = index.stores.len() + 1;
-        let mut assignment_counter = vec![0usize; num_loads];
+        let assignments = match strategy {
+            SearchStrategy::Optimized => RfAssignments::address_pruned(test, &index),
+            SearchStrategy::Reference => RfAssignments::new(&index),
+        };
+        let mut stats =
+            CheckStats { assignments_naive: assignments.naive_total(), ..CheckStats::default() };
+        // One edge-relation allocation recycled across every assignment.
+        let mut scratch = Relation::new(events);
         let mut stop = false;
 
-        loop {
-            let assignment: Vec<RfCandidate> =
-                assignment_counter
-                    .iter()
-                    .map(|&choice| {
-                        if choice == 0 {
-                            RfCandidate::Init
-                        } else {
-                            RfCandidate::Store(choice - 1)
-                        }
-                    })
-                    .collect();
-
+        for assignment in assignments {
+            stats.assignments_enumerated += 1;
             if let Some(exec) = concretize(test, &index, &assignment) {
-                let problem = self.build_problem(test, &index, &exec);
-                let mut seen_for_assignment = false;
-                problem.for_each_valid_order(|order| {
-                    seen_for_assignment = true;
+                stats.assignments_concretized += 1;
+                scratch.clear();
+                let problem = self.build_problem(test, &index, &exec, scratch);
+                let mut on_order = |order: &[usize]| {
+                    stats.orders_visited += 1;
                     let outcome = self.project_outcome(test, &index, &exec, order);
                     if !visit(&exec, order, &outcome) {
                         stop = true;
                         return false;
                     }
                     needs_all_orders
-                });
-                let _ = seen_for_assignment;
+                };
+                match strategy {
+                    SearchStrategy::Optimized => problem.for_each_valid_order(&mut on_order),
+                    SearchStrategy::Reference => {
+                        problem.for_each_valid_order_reference(&mut on_order)
+                    }
+                };
+                scratch = problem.into_precede();
             }
             if stop {
                 break;
             }
-            // Advance the mixed-radix counter over read-from assignments.
-            let mut digit = 0;
-            loop {
-                if digit == num_loads {
-                    return Ok(());
-                }
-                assignment_counter[digit] += 1;
-                if assignment_counter[digit] < options {
-                    break;
-                }
-                assignment_counter[digit] = 0;
-                digit += 1;
-            }
-            if num_loads == 0 {
-                // A program without loads has exactly one (empty) assignment.
-                return Ok(());
-            }
         }
-        Ok(())
+        Ok(stats)
     }
 
     /// Builds the memory-order search problem for one concrete execution.
+    /// `precede` is a cleared scratch relation of the right size, recycled by
+    /// the caller across assignments.
     fn build_problem(
         &self,
         test: &LitmusTest,
         index: &ProgramIndex,
         exec: &ConcreteExecution,
+        mut precede: Relation,
     ) -> MoProblem {
         let program = test.program();
         let events = &index.memory_events;
         let n = events.len();
         let event_of = |r: InstrRef| index.event_index(r).expect("memory event");
 
+        debug_assert_eq!(precede.len(), n, "scratch relation sized to the event count");
+        debug_assert_eq!(precede.edge_count(), 0, "scratch relation starts cleared");
+
         let mut store_addr = vec![None; n];
         for &store_ref in &index.stores {
             store_addr[event_of(store_ref)] = exec.address(store_ref);
         }
-
-        let mut precede = Relation::new(n);
 
         // Axiom InstOrder: ppo edges, restricted to memory instructions.
         for proc in 0..program.num_threads() {
@@ -323,6 +388,15 @@ impl AxiomaticChecker {
         }
         outcome
     }
+}
+
+/// Which enumeration/search pipeline [`AxiomaticChecker::enumerate_with`]
+/// runs: the optimised one (address-pruned assignments, incremental
+/// memory-order pruning) or the naive reference oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchStrategy {
+    Optimized,
+    Reference,
 }
 
 /// The final value of a memory location: the datum of the memory-order-last

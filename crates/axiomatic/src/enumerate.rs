@@ -4,37 +4,122 @@
 //! memory value or one of the program's stores. This module provides the
 //! enumeration as a reusable iterator so that tests, examples and the
 //! verification crate can inspect the raw assignment space.
+//!
+//! Two enumeration strategies exist. [`RfAssignments::new`] produces the
+//! naive full space of `(stores + 1) ^ loads` assignments and serves as the
+//! reference oracle. [`RfAssignments::address_pruned`] first runs a static
+//! value-set dataflow pass over the program ([`StaticAddrs`]): every register
+//! is mapped to the set of values it can possibly hold across *all* read-from
+//! choices, which resolves memory addresses (exactly or to a small candidate
+//! set) before any enumeration happens. A load then only pairs with `Init`
+//! and with stores whose possible addresses intersect the load's — every
+//! skipped pair is one that [`crate::propagate::concretize`] or the
+//! memory-order search would have rejected anyway, so the pruned space yields
+//! exactly the same consistent executions while being orders of magnitude
+//! smaller on real litmus tests.
 
-use crate::execution::{ProgramIndex, RfCandidate};
+use std::collections::BTreeSet;
 
-/// An iterator over every read-from assignment of a program.
+use gam_isa::litmus::LitmusTest;
+use gam_isa::{Instruction, Operand, Program, Reg};
+
+use crate::execution::{InstrRef, ProgramIndex, RfCandidate};
+
+/// An iterator over read-from assignments of a program.
 ///
 /// Each item assigns one [`RfCandidate`] to each load of the indexed program,
-/// in the order of [`ProgramIndex::loads`]. The number of assignments is
-/// `(stores + 1) ^ loads`; address consistency is *not* checked here (that is
-/// the job of value propagation).
+/// in the order of [`ProgramIndex::loads`].
 #[derive(Debug, Clone)]
 pub struct RfAssignments {
-    num_loads: usize,
-    options: usize,
+    /// Per-load candidate lists; the mixed-radix counter walks these.
+    candidates: Vec<Vec<RfCandidate>>,
+    /// Size of the unpruned space: `(stores + 1) ^ loads`, saturated.
+    naive_total: u128,
     counter: Option<Vec<usize>>,
 }
 
 impl RfAssignments {
-    /// Creates the assignment enumeration for an indexed program.
+    /// Creates the naive assignment enumeration for an indexed program: every
+    /// load pairs with `Init` and with every store, regardless of addresses.
+    /// This is the reference oracle; prefer [`RfAssignments::address_pruned`]
+    /// for checking.
     #[must_use]
     pub fn new(index: &ProgramIndex) -> Self {
-        RfAssignments {
-            num_loads: index.loads.len(),
-            options: index.stores.len() + 1,
-            counter: Some(vec![0; index.loads.len()]),
-        }
+        let all: Vec<RfCandidate> = std::iter::once(RfCandidate::Init)
+            .chain((0..index.stores.len()).map(RfCandidate::Store))
+            .collect();
+        Self::from_candidates(index, vec![all; index.loads.len()])
     }
 
-    /// Total number of assignments that will be produced.
+    /// Creates the address-pruned assignment enumeration. Two sound,
+    /// model-independent rules shrink each load's candidate list:
+    ///
+    /// 1. *Address pruning* — a store is skipped when the value-set analysis
+    ///    proves its address can never equal the load's (the sets of possible
+    ///    addresses are disjoint); value propagation would reject the pairing
+    ///    on every enumeration path.
+    /// 2. *Local causality* — a store that is program-order-*younger* than
+    ///    the load in the same thread is skipped: constraint SAMemSt orders
+    ///    any memory access before a same-address younger store in every
+    ///    model, so such a pairing either fails address consistency or forms
+    ///    a `ppo`/`rf` cycle the memory-order search can never satisfy.
     #[must_use]
-    pub fn total(&self) -> usize {
-        self.options.pow(self.num_loads as u32)
+    pub fn address_pruned(test: &LitmusTest, index: &ProgramIndex) -> Self {
+        let addrs = StaticAddrs::analyze(test);
+        let candidates = index
+            .loads
+            .iter()
+            .map(|&load_ref| {
+                std::iter::once(RfCandidate::Init)
+                    .chain(index.stores.iter().enumerate().filter_map(|(sid, &store_ref)| {
+                        if store_ref.proc == load_ref.proc && store_ref.idx > load_ref.idx {
+                            return None;
+                        }
+                        if addrs.may_alias(load_ref, store_ref) {
+                            Some(RfCandidate::Store(sid))
+                        } else {
+                            None
+                        }
+                    }))
+                    .collect()
+            })
+            .collect();
+        Self::from_candidates(index, candidates)
+    }
+
+    fn from_candidates(index: &ProgramIndex, candidates: Vec<Vec<RfCandidate>>) -> Self {
+        let options = index.stores.len() as u128 + 1;
+        let naive_total = options
+            .checked_pow(u32::try_from(index.loads.len()).unwrap_or(u32::MAX))
+            .unwrap_or(u128::MAX);
+        let counter = Some(vec![0; candidates.len()]);
+        RfAssignments { candidates, naive_total, counter }
+    }
+
+    /// Total number of assignments this enumeration will produce. Saturates
+    /// at `u128::MAX` instead of silently overflowing on large programs.
+    #[must_use]
+    pub fn total(&self) -> u128 {
+        self.candidates
+            .iter()
+            .try_fold(1u128, |acc, c| acc.checked_mul(c.len() as u128))
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Size of the unpruned assignment space `(stores + 1) ^ loads`,
+    /// saturated at `u128::MAX`. For [`RfAssignments::new`] this equals
+    /// [`RfAssignments::total`]; for the address-pruned enumeration the ratio
+    /// of the two is the pruning factor.
+    #[must_use]
+    pub fn naive_total(&self) -> u128 {
+        self.naive_total
+    }
+
+    /// The number of read-from candidates of each load, in
+    /// [`ProgramIndex::loads`] order.
+    #[must_use]
+    pub fn candidates_per_load(&self) -> Vec<usize> {
+        self.candidates.iter().map(Vec::len).collect()
     }
 }
 
@@ -43,10 +128,8 @@ impl Iterator for RfAssignments {
 
     fn next(&mut self) -> Option<Self::Item> {
         let counter = self.counter.as_mut()?;
-        let assignment = counter
-            .iter()
-            .map(|&c| if c == 0 { RfCandidate::Init } else { RfCandidate::Store(c - 1) })
-            .collect();
+        let assignment =
+            counter.iter().zip(&self.candidates).map(|(&c, options)| options[c]).collect();
         // Advance the mixed-radix counter; drop it when it wraps around.
         let mut digit = 0;
         loop {
@@ -55,7 +138,7 @@ impl Iterator for RfAssignments {
                 break;
             }
             counter[digit] += 1;
-            if counter[digit] < self.options {
+            if counter[digit] < self.candidates[digit].len() {
                 break;
             }
             counter[digit] = 0;
@@ -65,16 +148,231 @@ impl Iterator for RfAssignments {
     }
 }
 
+/// A set of possible 64-bit values: either a small explicit set or `Top`
+/// (unknown / too many to track).
+type ValueSet = Option<BTreeSet<u64>>;
+
+/// Sets larger than this widen to `Top`; litmus-scale programs stay far
+/// below it.
+const MAX_SET: usize = 16;
+
+fn widen(set: BTreeSet<u64>) -> ValueSet {
+    if set.len() > MAX_SET {
+        None
+    } else {
+        Some(set)
+    }
+}
+
+/// Applies a binary operation pointwise over two value sets.
+fn apply_sets(op: impl Fn(u64, u64) -> u64 + Copy, lhs: &ValueSet, rhs: &ValueSet) -> ValueSet {
+    match (lhs, rhs) {
+        (Some(a), Some(b)) if a.len() * b.len() <= MAX_SET * MAX_SET => {
+            widen(a.iter().flat_map(|&x| b.iter().map(move |&y| op(x, y))).collect())
+        }
+        _ => None,
+    }
+}
+
+/// Statically possible addresses (and values) of a program's instructions,
+/// computed by a whole-program value-set fixpoint.
+///
+/// Every register starts at zero (the ISA's uninitialised-register value);
+/// ALU instructions combine operand sets pointwise; a load's value set is the
+/// union of the initial values of its possible addresses and the data sets of
+/// every store it may read from (excluding program-order-younger same-thread
+/// stores, which no model lets a load observe). Sets larger than a small
+/// bound widen to "unknown". The least fixpoint over-approximates every
+/// execution that value propagation can concretise, so disjoint address sets
+/// prove a read-from pairing impossible.
+#[derive(Debug, Clone)]
+pub struct StaticAddrs {
+    /// `addrs[proc][idx]`: possible addresses of the memory instruction at
+    /// that position (`None` for unknown, and for non-memory instructions).
+    addrs: Vec<Vec<ValueSet>>,
+}
+
+impl StaticAddrs {
+    /// Runs the value-set analysis over every thread of the test's program.
+    #[must_use]
+    pub fn analyze(test: &LitmusTest) -> Self {
+        let program = test.program();
+        if program.has_branches() {
+            // The checker never enumerates branchy programs; map everything
+            // to "unknown" instead of reasoning about control flow.
+            let addrs = program.threads().iter().map(|thread| vec![None; thread.len()]).collect();
+            return StaticAddrs { addrs };
+        }
+        let mut state = Analysis::new(program);
+        while state.pass(test) {}
+        StaticAddrs { addrs: state.addrs }
+    }
+
+    /// The statically resolved address of the instruction at `(proc, idx)`:
+    /// `Some(addr)` when the analysis proves the address is always `addr`,
+    /// `None` when it is dynamic (or the instruction is not a memory access).
+    #[must_use]
+    pub fn address_of(&self, proc: usize, idx: usize) -> Option<u64> {
+        match &self.addrs[proc][idx] {
+            Some(set) if set.len() == 1 => set.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// Returns true unless the analysis proves the two memory instructions
+    /// can never touch the same address.
+    #[must_use]
+    pub fn may_alias(&self, a: InstrRef, b: InstrRef) -> bool {
+        match (&self.addrs[a.proc][a.idx], &self.addrs[b.proc][b.idx]) {
+            (Some(x), Some(y)) => !x.is_disjoint(y),
+            _ => true,
+        }
+    }
+}
+
+/// The mutable state of the value-set fixpoint.
+struct Analysis {
+    /// Possible result values per instruction (ALU result, load value, store
+    /// data).
+    values: Vec<Vec<ValueSet>>,
+    /// Possible addresses per memory instruction.
+    addrs: Vec<Vec<ValueSet>>,
+    /// Every store in the program, for the load transfer function.
+    stores: Vec<InstrRef>,
+}
+
+impl Analysis {
+    fn new(program: &Program) -> Self {
+        let empty: Vec<Vec<ValueSet>> = program
+            .threads()
+            .iter()
+            .map(|thread| vec![Some(BTreeSet::new()); thread.len()])
+            .collect();
+        let stores = program
+            .iter_instructions()
+            .filter(|(_, _, instr)| instr.is_store())
+            .map(|(proc, idx, _)| InstrRef::new(proc.index(), idx))
+            .collect();
+        Analysis { values: empty.clone(), addrs: empty, stores }
+    }
+
+    /// The value set of an operand read by the instruction at
+    /// `(proc, idx)`: an immediate, the youngest older writer of the
+    /// register, or zero for an unwritten register.
+    fn operand(&self, program: &Program, proc: usize, idx: usize, op: &Operand) -> ValueSet {
+        match op {
+            Operand::Imm(v) => Some([v.raw()].into()),
+            Operand::Reg(reg) => self.register(program, proc, idx, *reg),
+        }
+    }
+
+    fn register(&self, program: &Program, proc: usize, idx: usize, reg: Reg) -> ValueSet {
+        let thread = &program.threads()[proc];
+        let writer = (0..idx).rev().find(|&i| thread.instructions()[i].write_set().contains(&reg));
+        match writer {
+            Some(i) => self.values[proc][i].clone(),
+            None => Some([0].into()),
+        }
+    }
+
+    /// One monotone pass over every instruction; returns true if any set
+    /// grew.
+    fn pass(&mut self, test: &LitmusTest) -> bool {
+        let program = test.program();
+        let mut changed = false;
+        for (proc_id, idx, instr) in program.iter_instructions() {
+            let proc = proc_id.index();
+            let (value, addr) = match instr {
+                Instruction::Alu { op, lhs, rhs, .. } => {
+                    let lhs = self.operand(program, proc, idx, lhs);
+                    let rhs = self.operand(program, proc, idx, rhs);
+                    let op = *op;
+                    let apply = move |a: u64, b: u64| op.apply(a.into(), b.into()).raw();
+                    (apply_sets(apply, &lhs, &rhs), None)
+                }
+                Instruction::Load { addr, .. } => {
+                    let base = self.operand(program, proc, idx, &addr.base);
+                    let addresses =
+                        apply_sets(u64::wrapping_add, &base, &Some([addr.offset].into()));
+                    let value = self.load_value(test, InstrRef::new(proc, idx), &addresses);
+                    (value, Some(addresses))
+                }
+                Instruction::Store { addr, data } => {
+                    let base = self.operand(program, proc, idx, &addr.base);
+                    let addresses =
+                        apply_sets(u64::wrapping_add, &base, &Some([addr.offset].into()));
+                    (self.operand(program, proc, idx, data), Some(addresses))
+                }
+                Instruction::Fence { .. } | Instruction::Branch { .. } => (Some([0].into()), None),
+            };
+            changed |= grow(&mut self.values[proc][idx], value);
+            if let Some(addresses) = addr {
+                changed |= grow(&mut self.addrs[proc][idx], addresses);
+            }
+        }
+        changed
+    }
+
+    /// The possible values of a load: initial values of its possible
+    /// addresses plus the data of every store it may read from.
+    fn load_value(&self, test: &LitmusTest, load: InstrRef, addresses: &ValueSet) -> ValueSet {
+        let Some(address_set) = addresses else { return None };
+        let mut out: BTreeSet<u64> =
+            address_set.iter().map(|&a| test.initial_value(a).raw()).collect();
+        for &store in &self.stores {
+            if store.proc == load.proc && store.idx > load.idx {
+                continue;
+            }
+            let store_addrs = &self.addrs[store.proc][store.idx];
+            let aliases = match store_addrs {
+                Some(set) => !set.is_disjoint(address_set),
+                None => true,
+            };
+            if !aliases {
+                continue;
+            }
+            match &self.values[store.proc][store.idx] {
+                Some(data) => out.extend(data.iter().copied()),
+                None => return None,
+            }
+        }
+        widen(out)
+    }
+}
+
+/// Grows `slot` to include `update` (sets only ever grow towards `Top`);
+/// returns true if the slot changed.
+fn grow(slot: &mut ValueSet, update: ValueSet) -> bool {
+    match (&mut *slot, update) {
+        (None, _) => false,
+        (Some(_), None) => {
+            *slot = None;
+            true
+        }
+        (Some(current), Some(new)) => {
+            let before = current.len();
+            current.extend(new);
+            if current.len() > MAX_SET {
+                *slot = None;
+                return true;
+            }
+            current.len() != before
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gam_isa::litmus::library;
 
     #[test]
-    fn dekker_has_nine_assignments() {
-        let index = ProgramIndex::new(library::dekker().program());
+    fn dekker_has_nine_naive_assignments() {
+        let test = library::dekker();
+        let index = ProgramIndex::new(test.program());
         let assignments = RfAssignments::new(&index);
         assert_eq!(assignments.total(), 9);
+        assert_eq!(assignments.naive_total(), 9);
         let all: Vec<_> = assignments.collect();
         assert_eq!(all.len(), 9);
         // Every assignment has one candidate per load.
@@ -85,6 +383,76 @@ mod tests {
         let unique: std::collections::BTreeSet<String> =
             all.iter().map(|a| format!("{a:?}")).collect();
         assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn dekker_pruning_keeps_only_same_address_pairings() {
+        // Dekker: each load has exactly one same-address store, so the pruned
+        // space is 2^2 = 4 instead of 3^2 = 9.
+        let test = library::dekker();
+        let index = ProgramIndex::new(test.program());
+        let pruned = RfAssignments::address_pruned(&test, &index);
+        assert_eq!(pruned.total(), 4);
+        assert_eq!(pruned.naive_total(), 9);
+        assert_eq!(pruned.clone().count(), 4);
+        // Every pruned-away assignment fails concretisation anyway.
+        for assignment in RfAssignments::new(&index) {
+            let concretisable = crate::propagate::concretize(&test, &index, &assignment).is_some();
+            let kept = RfAssignments::address_pruned(&test, &index).any(|a| a == assignment);
+            assert!(kept || !concretisable, "pruned a concretisable assignment");
+        }
+    }
+
+    #[test]
+    fn dependent_addresses_resolve_to_small_sets() {
+        // mp_addr's second load computes its address from the first load's
+        // result: the value-set analysis narrows it to {0, a}, keeping the
+        // store to `a` but pruning the store to `b`.
+        let test = library::mp_addr();
+        let index = ProgramIndex::new(test.program());
+        let addrs = StaticAddrs::analyze(&test);
+        let dependent = index.loads[1];
+        assert_eq!(addrs.address_of(dependent.proc, dependent.idx), None, "not a singleton");
+        let pruned = RfAssignments::address_pruned(&test, &index);
+        let per_load = pruned.candidates_per_load();
+        assert_eq!(per_load, vec![2, 2], "each load keeps Init plus one store");
+        assert_eq!(pruned.total(), 4);
+        assert_eq!(pruned.naive_total(), 9);
+    }
+
+    #[test]
+    fn artificial_dependencies_do_not_defeat_the_analysis() {
+        // rsw's `r2 = c + r1 - r1` always equals `c`, but the set-based
+        // analysis loses the correlation between the two `r1` reads and
+        // yields {c-1, c, c+1}. None of those phantom addresses is a store
+        // address, so the middle load still prunes to Init-only.
+        let test = library::rsw();
+        let index = ProgramIndex::new(test.program());
+        let pruned = RfAssignments::address_pruned(&test, &index);
+        assert_eq!(pruned.candidates_per_load(), vec![2, 1, 1, 2]);
+        assert!(
+            pruned.naive_total() >= 5 * pruned.total(),
+            "rsw: naive {} vs pruned {}",
+            pruned.naive_total(),
+            pruned.total()
+        );
+    }
+
+    #[test]
+    fn at_least_three_library_tests_prune_five_fold() {
+        let five_fold: Vec<String> = library::all_tests()
+            .iter()
+            .filter(|test| {
+                let index = ProgramIndex::new(test.program());
+                let pruned = RfAssignments::address_pruned(test, &index);
+                pruned.total() > 0 && pruned.naive_total() >= 5 * pruned.total()
+            })
+            .map(|test| test.name().to_string())
+            .collect();
+        assert!(
+            five_fold.len() >= 3,
+            "expected >= 3 tests with a 5x pruning factor, got {five_fold:?}"
+        );
     }
 
     #[test]
@@ -99,7 +467,66 @@ mod tests {
     fn rsw_assignment_count_matches_formula() {
         let index = ProgramIndex::new(library::rsw().program());
         let assignments = RfAssignments::new(&index);
-        assert_eq!(assignments.total(), (index.stores.len() + 1).pow(index.loads.len() as u32));
-        assert_eq!(assignments.count(), (index.stores.len() + 1).pow(index.loads.len() as u32));
+        let expected = (index.stores.len() as u128 + 1).pow(index.loads.len() as u32);
+        assert_eq!(assignments.total(), expected);
+        assert_eq!(assignments.count() as u128, expected);
+    }
+
+    #[test]
+    fn pruning_never_drops_a_concretisable_assignment() {
+        for test in library::all_tests() {
+            let index = ProgramIndex::new(test.program());
+            let kept: std::collections::BTreeSet<Vec<RfCandidate>> =
+                RfAssignments::address_pruned(&test, &index).collect();
+            for assignment in RfAssignments::new(&index) {
+                if crate::propagate::concretize(&test, &index, &assignment).is_some() {
+                    // Pruned assignments must be exactly the non-concretisable
+                    // ones or ones rejected by every memory-order search
+                    // (po-younger same-thread stores); the latter always fail
+                    // concretisation too unless addresses match, in which
+                    // case the checker-level differential tests cover them.
+                    let same_thread_future =
+                        index.loads.iter().zip(&assignment).any(|(&load_ref, candidate)| {
+                            match candidate {
+                                RfCandidate::Store(sid) => {
+                                    let store_ref = index.stores[*sid];
+                                    store_ref.proc == load_ref.proc && store_ref.idx > load_ref.idx
+                                }
+                                RfCandidate::Init => false,
+                            }
+                        });
+                    assert!(
+                        kept.contains(&assignment) || same_thread_future,
+                        "{}: pruned a concretisable assignment {assignment:?}",
+                        test.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_overflowing() {
+        use gam_isa::prelude::*;
+        // 80 loads x 41 options is far beyond u64 (and the old usize::pow
+        // would have panicked or wrapped); the totals must saturate or report
+        // the exact u128 value, never wrap.
+        let a = Loc::new("a");
+        let mut threads = Vec::new();
+        for p in 0..8 {
+            let mut t = ThreadProgram::builder(ProcId::new(p));
+            for i in 0..10 {
+                t.store(Addr::loc(a), Operand::imm(1));
+                t.load(Reg::new(i + 1), Addr::loc(a));
+            }
+            threads.push(t.build());
+        }
+        let program = Program::new(threads);
+        let index = ProgramIndex::new(&program);
+        let assignments = RfAssignments::new(&index);
+        let expected = 81u128.checked_pow(80).unwrap_or(u128::MAX);
+        assert_eq!(assignments.naive_total(), expected);
+        assert_eq!(assignments.total(), expected);
+        assert!(assignments.total() > u128::from(u64::MAX));
     }
 }

@@ -31,7 +31,7 @@ impl fmt::Display for InstrRef {
 }
 
 /// A candidate read-from source for a load, before values are known.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RfCandidate {
     /// The load reads the initial memory value of its (yet unknown) address.
     Init,

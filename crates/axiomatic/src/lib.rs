@@ -46,6 +46,6 @@ pub mod execution;
 pub mod mo;
 pub mod propagate;
 
-pub use checker::{AxiomaticChecker, CheckerConfig, Verdict, Witness};
+pub use checker::{AxiomaticChecker, CheckStats, CheckerConfig, Verdict, Witness};
 pub use error::CheckError;
 pub use execution::{ConcreteExecution, InstrRef, RfCandidate};

@@ -15,9 +15,16 @@
 //! forwarding — every model except SC).
 //!
 //! The search enumerates linear extensions of the edge relation by
-//! backtracking and validates the LoadValue axiom on every complete order.
-//! Litmus tests have at most a dozen memory events, so explicit enumeration
-//! is exact and fast.
+//! backtracking. The LoadValue axiom is enforced *incrementally*: placing an
+//! event immediately checks every part of the axiom that the partial order
+//! already determines (a load's source must already be placed or locally
+//! forwardable, a placed same-address store must not outrank the source, a
+//! forwardable store must not be placed after an already-placed source), so
+//! doomed prefixes are cut without enumerating their exponentially many
+//! completions. Readiness is tracked with per-event predecessor counts
+//! instead of rescanning the edge relation, making each search step O(degree)
+//! rather than O(n²). [`MoProblem::for_each_valid_order_reference`] keeps the
+//! original validate-complete-orders-only search as a differential oracle.
 
 use gam_core::Relation;
 
@@ -72,6 +79,14 @@ impl MoProblem {
         self.num_events
     }
 
+    /// Consumes the problem and returns its edge relation, so callers that
+    /// solve one problem per enumerated execution can recycle the allocation
+    /// (clear + refill) instead of reallocating per assignment.
+    #[must_use]
+    pub fn into_precede(self) -> Relation {
+        self.precede
+    }
+
     /// Checks the LoadValue axiom on a complete memory order (given as the
     /// sequence of event indices from oldest to youngest).
     #[must_use]
@@ -113,9 +128,28 @@ impl MoProblem {
     /// Returns `true` if the enumeration ran to completion and `false` if it
     /// was stopped by the callback.
     pub fn for_each_valid_order(&self, mut on_valid: impl FnMut(&[usize]) -> bool) -> bool {
+        // A load reading the initial value while a locally forwardable
+        // same-address store exists can never validate: the forwardable store
+        // is always in the candidate set. Fail before searching.
+        if self.loads.iter().any(|c| c.source.is_none() && !c.po_older_stores.is_empty()) {
+            return true;
+        }
+        let mut search = Search::new(self);
+        search.extend(self, &mut on_valid)
+    }
+
+    /// The original reference search: enumerates every linear extension and
+    /// validates the LoadValue axiom only on complete orders. Exponentially
+    /// slower than [`MoProblem::for_each_valid_order`] on constrained
+    /// problems but trivially correct — kept as the oracle for differential
+    /// tests of the incremental pruning.
+    pub fn for_each_valid_order_reference(
+        &self,
+        mut on_valid: impl FnMut(&[usize]) -> bool,
+    ) -> bool {
         let mut placed = Vec::with_capacity(self.num_events);
         let mut used = vec![false; self.num_events];
-        self.extend(&mut placed, &mut used, &mut on_valid)
+        self.extend_reference(&mut placed, &mut used, &mut on_valid)
     }
 
     /// Returns true if at least one valid memory order exists.
@@ -129,7 +163,7 @@ impl MoProblem {
         found
     }
 
-    fn extend(
+    fn extend_reference(
         &self,
         placed: &mut Vec<usize>,
         used: &mut [bool],
@@ -153,9 +187,149 @@ impl MoProblem {
             }
             used[event] = true;
             placed.push(event);
-            let keep_going = self.extend(placed, used, on_valid);
+            let keep_going = self.extend_reference(placed, used, on_valid);
             placed.pop();
             used[event] = false;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The incremental backtracking state of one enumeration.
+struct Search {
+    placed: Vec<usize>,
+    used: Vec<bool>,
+    /// `position[e]` is the rank of `e`; only meaningful while `used[e]`.
+    position: Vec<usize>,
+    /// Direct successors per event (from the edge relation).
+    successors: Vec<Vec<usize>>,
+    /// Number of direct predecessors of each event not yet placed; an event
+    /// is ready exactly when this hits zero.
+    pred_remaining: Vec<usize>,
+    /// Index into `MoProblem::loads` of the constraint of a load event.
+    constraint_of: Vec<Option<usize>>,
+    /// Per constraint: whether each event is a locally forwardable
+    /// (`po_older_stores`) store of that load.
+    po_older: Vec<Vec<bool>>,
+    /// Per store event: the constraints whose address matches the store's.
+    store_watch: Vec<Vec<usize>>,
+}
+
+impl Search {
+    fn new(problem: &MoProblem) -> Self {
+        let n = problem.num_events;
+        let mut successors = vec![Vec::new(); n];
+        let mut pred_remaining = vec![0usize; n];
+        for (from, to) in problem.precede.iter_pairs() {
+            successors[from].push(to);
+            pred_remaining[to] += 1;
+        }
+        let mut constraint_of = vec![None; n];
+        let mut po_older = Vec::with_capacity(problem.loads.len());
+        let mut store_watch = vec![Vec::new(); n];
+        for (ci, constraint) in problem.loads.iter().enumerate() {
+            constraint_of[constraint.load] = Some(ci);
+            let mut flags = vec![false; n];
+            for &store in &constraint.po_older_stores {
+                flags[store] = true;
+            }
+            po_older.push(flags);
+            for (event, addr) in problem.store_addr.iter().enumerate() {
+                if *addr == Some(constraint.addr) {
+                    store_watch[event].push(ci);
+                }
+            }
+        }
+        Search {
+            placed: Vec::with_capacity(n),
+            used: vec![false; n],
+            position: vec![0; n],
+            successors,
+            pred_remaining,
+            constraint_of,
+            po_older,
+            store_watch,
+        }
+    }
+
+    /// Checks the LoadValue obligations that placing `event` at the current
+    /// rank already determines. Returning false prunes the whole subtree.
+    fn placement_ok(&self, problem: &MoProblem, event: usize) -> bool {
+        if let Some(ci) = self.constraint_of[event] {
+            let constraint = &problem.loads[ci];
+            match constraint.source {
+                // Reading the initial value: no same-address store may be
+                // memory-order-older, and every store placed so far is older.
+                // (Forwardable stores were rejected before the search.)
+                None => !problem
+                    .store_addr
+                    .iter()
+                    .enumerate()
+                    .any(|(e, addr)| *addr == Some(constraint.addr) && self.used[e]),
+                Some(source) => {
+                    // The source must already be a candidate: placed before
+                    // the load or locally forwardable.
+                    if !self.used[source] && !self.po_older[ci][source] {
+                        return false;
+                    }
+                    // Every already-placed same-address store is a candidate
+                    // and must not outrank a placed source. (If the source is
+                    // an unplaced forwardable store it outranks them all.)
+                    !self.used[source]
+                        || problem.store_addr.iter().enumerate().all(|(e, addr)| {
+                            e == source
+                                || *addr != Some(constraint.addr)
+                                || !self.used[e]
+                                || self.position[e] < self.position[source]
+                        })
+                }
+            }
+        } else {
+            // Placing a store after a load it could still serve: the store is
+            // only a candidate of an already-placed load through forwarding,
+            // and then it must not be placed after the load's placed source.
+            self.store_watch[event].iter().all(|&ci| {
+                let constraint = &problem.loads[ci];
+                if !self.used[constraint.load] || !self.po_older[ci][event] {
+                    return true;
+                }
+                match constraint.source {
+                    // source == event: the forwarded source itself may land
+                    // anywhere after its load.
+                    Some(source) => source == event || !self.used[source],
+                    None => false,
+                }
+            })
+        }
+    }
+
+    fn extend(&mut self, problem: &MoProblem, on_valid: &mut impl FnMut(&[usize]) -> bool) -> bool {
+        if self.placed.len() == problem.num_events {
+            debug_assert!(problem.validate_order(&self.placed), "incremental pruning is unsound");
+            return on_valid(&self.placed);
+        }
+        for event in 0..problem.num_events {
+            if self.used[event] || self.pred_remaining[event] != 0 {
+                continue;
+            }
+            if !self.placement_ok(problem, event) {
+                continue;
+            }
+            self.position[event] = self.placed.len();
+            self.used[event] = true;
+            self.placed.push(event);
+            for i in 0..self.successors[event].len() {
+                self.pred_remaining[self.successors[event][i]] -= 1;
+            }
+            let keep_going = self.extend(problem, on_valid);
+            for i in 0..self.successors[event].len() {
+                self.pred_remaining[self.successors[event][i]] += 1;
+            }
+            self.placed.pop();
+            self.used[event] = false;
             if !keep_going {
                 return false;
             }
@@ -178,14 +352,31 @@ mod tests {
         )
     }
 
+    /// Collects the valid orders of both the incremental and the reference
+    /// search and asserts they are identical (as sets).
+    fn valid_orders(problem: &MoProblem) -> Vec<Vec<usize>> {
+        let mut incremental = Vec::new();
+        problem.for_each_valid_order(|o| {
+            incremental.push(o.to_vec());
+            true
+        });
+        let mut reference = Vec::new();
+        problem.for_each_valid_order_reference(|o| {
+            reference.push(o.to_vec());
+            true
+        });
+        let mut a = incremental.clone();
+        let mut b = reference;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "incremental and reference searches disagree");
+        incremental
+    }
+
     #[test]
     fn load_from_init_requires_no_older_store() {
         let problem = two_stores_one_load(None, vec![]);
-        let mut orders = Vec::new();
-        problem.for_each_valid_order(|o| {
-            orders.push(o.to_vec());
-            true
-        });
+        let orders = valid_orders(&problem);
         // The load must come first; the two stores may follow in either order.
         assert_eq!(orders.len(), 2);
         for order in &orders {
@@ -196,11 +387,7 @@ mod tests {
     #[test]
     fn load_from_store_requires_it_to_be_the_max() {
         let problem = two_stores_one_load(Some(0), vec![]);
-        let mut orders = Vec::new();
-        problem.for_each_valid_order(|o| {
-            orders.push(o.to_vec());
-            true
-        });
+        let orders = valid_orders(&problem);
         // Valid orders: store0 before load, store1 after the load OR before store0.
         // i.e. [0,2,1], [1,0,2]; invalid: [0,1,2], [1,2,0], [2,..].
         assert_eq!(orders.len(), 2);
@@ -214,11 +401,7 @@ mod tests {
         // may then be anywhere, but store 1 must not sit between store 0 and
         // the load in a way that makes it the max of the candidate set.
         let problem = two_stores_one_load(Some(0), vec![0]);
-        let mut orders = Vec::new();
-        problem.for_each_valid_order(|o| {
-            orders.push(o.to_vec());
-            true
-        });
+        let orders = valid_orders(&problem);
         // All 6 permutations, minus the ones where store 1 is a candidate
         // newer than store 0: [1,2,0] keeps store1 older than the load but
         // store0 older still? position(1)<position(2): candidate; max must be 0.
@@ -233,6 +416,19 @@ mod tests {
     }
 
     #[test]
+    fn forwarded_source_with_other_po_older_stores() {
+        // Both stores are locally forwardable; the load reads store 1. Store 0
+        // is always a candidate, so it must always be older than store 1.
+        let problem = two_stores_one_load(Some(1), vec![0, 1]);
+        let orders = valid_orders(&problem);
+        assert!(!orders.is_empty());
+        for order in &orders {
+            let pos = |e: usize| order.iter().position(|&x| x == e).unwrap();
+            assert!(pos(0) < pos(1), "store 0 must stay older than the source: {order:?}");
+        }
+    }
+
+    #[test]
     fn precede_edges_are_respected() {
         let mut precede = Relation::new(3);
         precede.insert(0, 1);
@@ -243,11 +439,7 @@ mod tests {
             vec![Some(8), Some(8), None],
             vec![LoadConstraint { load: 2, addr: 8, source: Some(1), po_older_stores: vec![] }],
         );
-        let mut orders = Vec::new();
-        problem.for_each_valid_order(|o| {
-            orders.push(o.to_vec());
-            true
-        });
+        let orders = valid_orders(&problem);
         assert_eq!(orders, vec![vec![0, 1, 2]]);
     }
 
@@ -258,6 +450,7 @@ mod tests {
         precede.insert(1, 0);
         let problem = MoProblem::new(2, precede, vec![Some(4), Some(4)], vec![]);
         assert!(!problem.has_valid_order());
+        assert!(valid_orders(&problem).is_empty());
     }
 
     #[test]
@@ -280,12 +473,8 @@ mod tests {
             vec![Some(16), None],
             vec![LoadConstraint { load: 1, addr: 32, source: None, po_older_stores: vec![] }],
         );
-        let mut count = 0;
-        problem.for_each_valid_order(|_| {
-            count += 1;
-            true
-        });
-        assert_eq!(count, 2, "the store to a different address never blocks the init read");
+        let orders = valid_orders(&problem);
+        assert_eq!(orders.len(), 2, "the store to a different address never blocks the init read");
     }
 
     #[test]
@@ -296,5 +485,65 @@ mod tests {
         // (forwarding visible) can never validate.
         let impossible = two_stores_one_load(None, vec![0]);
         assert!(!impossible.has_valid_order());
+        assert!(valid_orders(&impossible).is_empty());
+    }
+
+    #[test]
+    fn randomized_problems_match_the_reference_search() {
+        // Pseudo-random small problems: events are a mix of stores over two
+        // addresses and loads with arbitrary (possibly unsatisfiable)
+        // constraints plus random precedence edges. The incremental search
+        // must produce exactly the reference's valid-order set on all of them
+        // (checked inside `valid_orders`).
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = move |bound: u64| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            ((state >> 33) % bound) as usize
+        };
+        let mut nonempty = 0;
+        for _ in 0..200 {
+            let n = 3 + next(4); // 3..=6 events
+            let mut store_addr = vec![None; n];
+            let mut stores = Vec::new();
+            let mut loads_events = Vec::new();
+            for (e, slot) in store_addr.iter_mut().enumerate() {
+                if next(2) == 0 {
+                    *slot = Some(if next(2) == 0 { 8 } else { 16 });
+                    stores.push(e);
+                } else {
+                    loads_events.push(e);
+                }
+            }
+            let loads: Vec<LoadConstraint> = loads_events
+                .iter()
+                .map(|&load| {
+                    let addr = if next(2) == 0 { 8 } else { 16 };
+                    let same: Vec<usize> =
+                        stores.iter().copied().filter(|&s| store_addr[s] == Some(addr)).collect();
+                    let source = if same.is_empty() || next(3) == 0 {
+                        None
+                    } else {
+                        Some(same[next(same.len() as u64)])
+                    };
+                    let po_older_stores: Vec<usize> =
+                        same.iter().copied().filter(|_| next(3) == 0).collect();
+                    LoadConstraint { load, addr, source, po_older_stores }
+                })
+                .collect();
+            let mut precede = Relation::new(n);
+            for _ in 0..next(4) {
+                let i = next(n as u64);
+                let j = next(n as u64);
+                if i != j {
+                    // Only forward edges, to keep some problems satisfiable.
+                    precede.insert(i.min(j), i.max(j));
+                }
+            }
+            let problem = MoProblem::new(n, precede, store_addr, loads);
+            if !valid_orders(&problem).is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty > 20, "random problems are not degenerate: {nonempty} satisfiable");
     }
 }

@@ -1,6 +1,8 @@
 //! Property-based tests of the axiomatic checker on randomly generated
-//! branch-free litmus tests: model-strength inclusion, witness soundness and
-//! basic sanity of the outcome sets.
+//! branch-free litmus tests: model-strength inclusion, witness soundness,
+//! basic sanity of the outcome sets, and differential equivalence of the
+//! optimised pipeline (address-pruned read-from enumeration + incremental
+//! memory-order pruning) against the naive reference implementation.
 
 use gam_axiomatic::AxiomaticChecker;
 use gam_core::model;
@@ -11,15 +13,45 @@ use proptest::prelude::*;
 /// One randomly chosen straight-line instruction acting on two locations.
 #[derive(Debug, Clone)]
 enum Step {
-    Store { loc: u8, value: u8 },
-    Load { loc: u8 },
-    Fence { kind: u8 },
+    Store {
+        loc: u8,
+        value: u8,
+    },
+    /// Stores the *address* of a location, so register-indirect loads can
+    /// chase it (exercises the value-set address analysis).
+    StoreLoc {
+        loc: u8,
+        target: u8,
+    },
+    Load {
+        loc: u8,
+    },
+    /// A load followed by a load through the first load's result — a real
+    /// address dependency whose target address is only known dynamically.
+    LoadDep {
+        loc: u8,
+    },
+    Fence {
+        kind: u8,
+    },
 }
 
 fn step() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0u8..2, 1u8..3).prop_map(|(loc, value)| Step::Store { loc, value }),
         (0u8..2).prop_map(|loc| Step::Load { loc }),
+        (0u8..4).prop_map(|kind| Step::Fence { kind }),
+    ]
+}
+
+/// Like [`step`], additionally generating address-storing stores and
+/// dependent loads.
+fn dependent_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..2, 1u8..3).prop_map(|(loc, value)| Step::Store { loc, value }),
+        (0u8..2, 0u8..2).prop_map(|(loc, target)| Step::StoreLoc { loc, target }),
+        (0u8..2).prop_map(|loc| Step::Load { loc }),
+        (0u8..2).prop_map(|loc| Step::LoadDep { loc }),
         (0u8..4).prop_map(|kind| Step::Fence { kind }),
     ]
 }
@@ -41,11 +73,26 @@ fn build_test(threads: Vec<Vec<Step>>) -> LitmusTest {
                         Operand::imm(u64::from(*value)),
                     );
                 }
+                Step::StoreLoc { loc, target } => {
+                    builder.store(
+                        Addr::loc(locations[*loc as usize]),
+                        Operand::loc(locations[*target as usize]),
+                    );
+                }
                 Step::Load { loc } => {
                     let reg = Reg::new(next_reg);
                     next_reg += 1;
                     builder.load(reg, Addr::loc(locations[*loc as usize]));
                     observed.push((proc, reg));
+                }
+                Step::LoadDep { loc } => {
+                    let pointer = Reg::new(next_reg);
+                    let value = Reg::new(next_reg + 1);
+                    next_reg += 2;
+                    builder.load(pointer, Addr::loc(locations[*loc as usize]));
+                    builder.load(value, Addr::reg(pointer));
+                    observed.push((proc, pointer));
+                    observed.push((proc, value));
                 }
                 Step::Fence { kind } => {
                     builder.fence(fences[*kind as usize]);
@@ -66,6 +113,16 @@ fn build_test(threads: Vec<Vec<Step>>) -> LitmusTest {
 
 fn two_threads() -> impl Strategy<Value = LitmusTest> {
     (proptest::collection::vec(step(), 1..4), proptest::collection::vec(step(), 1..4))
+        .prop_map(|(a, b)| build_test(vec![a, b]))
+}
+
+/// Small programs (the reference pipeline is exponential) with dependent
+/// addresses mixed in.
+fn two_small_dependent_threads() -> impl Strategy<Value = LitmusTest> {
+    (
+        proptest::collection::vec(dependent_step(), 1..3),
+        proptest::collection::vec(dependent_step(), 1..3),
+    )
         .prop_map(|(a, b)| build_test(vec![a, b]))
 }
 
@@ -117,6 +174,27 @@ proptest! {
             None => {
                 prop_assert!(!outcomes.iter().any(|o| retargeted.condition().matched_by(o)));
             }
+        }
+    }
+
+    /// The optimised pipeline (address-pruned read-from enumeration,
+    /// incremental memory-order pruning, scratch reuse) must produce exactly
+    /// the outcome sets of the naive reference implementation (full
+    /// `(stores+1)^loads` enumeration, complete-order-only validation), for
+    /// every model — including programs with dynamically computed addresses,
+    /// which stress the value-set analysis behind the pruning.
+    #[test]
+    fn optimised_pipeline_matches_reference(test in two_small_dependent_threads()) {
+        for spec in model::all() {
+            let checker = AxiomaticChecker::new(spec.clone());
+            let fast = checker.allowed_outcomes(&test).unwrap();
+            let reference = checker.allowed_outcomes_reference(&test).unwrap();
+            prop_assert_eq!(
+                &fast,
+                &reference,
+                "{}: optimised and reference outcome sets differ",
+                spec.name()
+            );
         }
     }
 

@@ -1,0 +1,304 @@
+//! `perf_snapshot` — the perf-trajectory recorder.
+//!
+//! Runs the full litmus library through both formal backends under every
+//! model, measures wall time and search effort (read-from assignments
+//! enumerated vs. the unpruned space, memory orders visited, machine states
+//! explored, sequential vs. parallel exploration), cross-checks that every
+//! configuration produced identical outcome sets, and writes a
+//! machine-readable `BENCH_<date>.json` so future changes have a baseline to
+//! beat.
+//!
+//! ```text
+//! usage: perf_snapshot [--quick] [--out PATH] [--parallelism N] [--date YYYY-MM-DD]
+//!
+//!   --quick          run the paper's 11 core tests instead of the full library
+//!   --out PATH       output path (default: BENCH_<date>.json in the CWD)
+//!   --parallelism N  worker threads for the parallel explorer (default: all cores)
+//!   --date D         date stamp for the file name and payload (default: today, UTC)
+//! ```
+//!
+//! The JSON schema (`gam-perf-snapshot/v1`) is documented in the README's
+//! "Performance" section.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use gam_axiomatic::{AxiomaticChecker, CheckStats};
+use gam_bench::{arg_flag, arg_value};
+use gam_core::{model, ModelKind};
+use gam_engine::Json;
+use gam_isa::litmus::{library, LitmusTest, Outcome};
+use gam_operational::{ExplorerConfig, OperationalChecker};
+
+/// Everything measured for one `(model, test)` pair.
+struct Row {
+    test: String,
+    axiomatic_wall: Duration,
+    stats: CheckStats,
+    outcomes: usize,
+    /// Sequential and parallel exploration measurements (models with an
+    /// abstract machine only).
+    operational: Option<OperationalRow>,
+}
+
+struct OperationalRow {
+    sequential_wall: Duration,
+    parallel_wall: Duration,
+    states_visited: usize,
+    final_states: usize,
+}
+
+fn check_one(model_kind: ModelKind, test: &LitmusTest, parallelism: usize) -> Result<Row, String> {
+    let checker = AxiomaticChecker::new(model::by_kind(model_kind));
+    let start = Instant::now();
+    let (ax_outcomes, stats) = checker
+        .allowed_outcomes_with_stats(test)
+        .map_err(|e| format!("axiomatic {model_kind}/{}: {e}", test.name()))?;
+    let axiomatic_wall = start.elapsed();
+
+    let operational = if OperationalChecker::supports(model_kind) {
+        let sequential = OperationalChecker::new(model_kind);
+        let start = Instant::now();
+        let seq = sequential
+            .explore(test)
+            .map_err(|e| format!("operational {model_kind}/{}: {e}", test.name()))?;
+        let sequential_wall = start.elapsed();
+
+        let parallel = OperationalChecker::with_config(
+            model_kind,
+            ExplorerConfig { parallelism, ..ExplorerConfig::default() },
+        );
+        let start = Instant::now();
+        let par = parallel
+            .explore(test)
+            .map_err(|e| format!("parallel operational {model_kind}/{}: {e}", test.name()))?;
+        let parallel_wall = start.elapsed();
+
+        expect_identical(
+            model_kind,
+            test,
+            "axiomatic vs operational",
+            &ax_outcomes,
+            &seq.outcomes,
+        )?;
+        expect_identical(model_kind, test, "sequential vs parallel", &seq.outcomes, &par.outcomes)?;
+        if seq.states_visited != par.states_visited {
+            return Err(format!(
+                "{model_kind}/{}: parallel visited {} states, sequential {}",
+                test.name(),
+                par.states_visited,
+                seq.states_visited
+            ));
+        }
+        Some(OperationalRow {
+            sequential_wall,
+            parallel_wall,
+            states_visited: seq.states_visited,
+            final_states: seq.final_states,
+        })
+    } else {
+        None
+    };
+
+    Ok(Row {
+        test: test.name().to_string(),
+        axiomatic_wall,
+        stats,
+        outcomes: ax_outcomes.len(),
+        operational,
+    })
+}
+
+fn expect_identical(
+    model_kind: ModelKind,
+    test: &LitmusTest,
+    what: &str,
+    a: &BTreeSet<Outcome>,
+    b: &BTreeSet<Outcome>,
+) -> Result<(), String> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(format!(
+            "{model_kind}/{}: {what} outcome sets differ ({} vs {} outcomes)",
+            test.name(),
+            a.len(),
+            b.len()
+        ))
+    }
+}
+
+/// Saturates a u128 statistic into the JSON integer space.
+fn uint(n: u128) -> Json {
+    Json::UInt(u64::try_from(n).unwrap_or(u64::MAX))
+}
+
+fn micros(d: Duration) -> Json {
+    Json::UInt(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
+fn row_json(row: &Row) -> Json {
+    let pruned =
+        row.stats.assignments_naive.saturating_sub(row.stats.assignments_enumerated.into());
+    let mut pairs = vec![
+        ("test", Json::from(row.test.as_str())),
+        (
+            "axiomatic",
+            Json::object([
+                ("wall_us", micros(row.axiomatic_wall)),
+                ("assignments_naive", uint(row.stats.assignments_naive)),
+                ("assignments_enumerated", Json::UInt(row.stats.assignments_enumerated)),
+                ("assignments_pruned", uint(pruned)),
+                ("assignments_concretized", Json::UInt(row.stats.assignments_concretized)),
+                ("orders_visited", Json::UInt(row.stats.orders_visited)),
+                ("outcomes", Json::UInt(row.outcomes as u64)),
+            ]),
+        ),
+    ];
+    if let Some(op) = &row.operational {
+        pairs.push((
+            "operational",
+            Json::object([
+                ("wall_us_sequential", micros(op.sequential_wall)),
+                ("wall_us_parallel", micros(op.parallel_wall)),
+                ("states_visited", Json::UInt(op.states_visited as u64)),
+                ("final_states", Json::UInt(op.final_states as u64)),
+            ]),
+        ));
+    }
+    Json::object(pairs.iter().map(|(k, v)| (*k, v.clone())))
+}
+
+/// Days-from-epoch to a civil `YYYY-MM-DD` date (Howard Hinnant's algorithm).
+fn civil_date(days: u64) -> String {
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn today() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    civil_date(secs / 86_400)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = arg_flag(&args, "--quick");
+    let date = arg_value(&args, "--date").unwrap_or_else(today);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+    // At least two workers, so the sharded-frontier code path is always the
+    // one measured and cross-checked (one worker falls back to sequential).
+    let parallelism = arg_value(&args, "--parallelism")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .max(2);
+
+    let tests = if quick { library::paper_tests() } else { library::all_tests() };
+    eprintln!(
+        "perf_snapshot: {} tests x {} models, explorer parallelism {parallelism}",
+        tests.len(),
+        ModelKind::ALL.len()
+    );
+
+    let started = Instant::now();
+    let mut model_sections = Vec::new();
+    let mut total_naive = 0u128;
+    let mut total_enumerated = 0u128;
+    let mut total_states = 0u64;
+    let mut total_ax_wall = Duration::ZERO;
+    let mut total_seq_wall = Duration::ZERO;
+    let mut total_par_wall = Duration::ZERO;
+    let mut five_fold: BTreeSet<String> = BTreeSet::new();
+
+    for model_kind in ModelKind::ALL {
+        let mut rows = Vec::new();
+        for test in &tests {
+            match check_one(model_kind, test, parallelism) {
+                Ok(row) => {
+                    total_naive = total_naive.saturating_add(row.stats.assignments_naive);
+                    total_enumerated =
+                        total_enumerated.saturating_add(row.stats.assignments_enumerated.into());
+                    total_ax_wall += row.axiomatic_wall;
+                    if let Some(op) = &row.operational {
+                        total_states += op.states_visited as u64;
+                        total_seq_wall += op.sequential_wall;
+                        total_par_wall += op.parallel_wall;
+                    }
+                    if row.stats.pruning_factor().is_some_and(|f| f >= 5.0) {
+                        five_fold.insert(row.test.clone());
+                    }
+                    rows.push(row_json(&row));
+                }
+                Err(message) => {
+                    eprintln!("perf_snapshot: FAILED: {message}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        model_sections.push(Json::object([
+            ("model", Json::from(model_kind.to_string())),
+            ("tests", Json::Array(rows)),
+        ]));
+    }
+
+    let snapshot = Json::object([
+        ("schema", Json::from("gam-perf-snapshot/v1")),
+        ("date", Json::from(date.as_str())),
+        ("quick", Json::from(quick)),
+        ("explorer_parallelism", Json::UInt(parallelism as u64)),
+        ("tests", Json::UInt(tests.len() as u64)),
+        ("models", Json::UInt(ModelKind::ALL.len() as u64)),
+        (
+            "totals",
+            Json::object([
+                ("wall_us_axiomatic", micros(total_ax_wall)),
+                ("wall_us_operational_sequential", micros(total_seq_wall)),
+                ("wall_us_operational_parallel", micros(total_par_wall)),
+                ("assignments_naive", uint(total_naive)),
+                ("assignments_enumerated", uint(total_enumerated)),
+                ("assignments_pruned", uint(total_naive.saturating_sub(total_enumerated))),
+                ("states_visited", Json::UInt(total_states)),
+                (
+                    "tests_with_5x_pruning",
+                    Json::array(five_fold.iter().map(|name| Json::from(name.as_str()))),
+                ),
+            ]),
+        ),
+        ("per_model", Json::Array(model_sections)),
+    ]);
+
+    let payload = format!("{snapshot}\n");
+    if let Err(err) = std::fs::write(&out_path, &payload) {
+        eprintln!("perf_snapshot: cannot write {out_path}: {err}");
+        std::process::exit(1);
+    }
+
+    let factor = if total_enumerated == 0 {
+        1.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            total_naive as f64 / total_enumerated as f64
+        }
+    };
+    println!(
+        "perf_snapshot: OK in {:?} — {} assignments enumerated (naive space {}, {:.1}x pruned), \
+         {} tests with a >=5x pruning factor, {} states visited; snapshot written to {out_path}",
+        started.elapsed(),
+        total_enumerated,
+        total_naive,
+        factor,
+        five_fold.len(),
+        total_states
+    );
+}

@@ -106,9 +106,12 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. The
+    /// `GAM_BENCH_SAMPLES` environment variable overrides every configured
+    /// size (CI sets it to 1 for a smoke run that only proves the benches
+    /// still execute).
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
-        self.sample_size = samples.max(1) as u32;
+        self.sample_size = sample_override().unwrap_or(samples.max(1) as u32);
         self
     }
 
@@ -141,6 +144,11 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// The sample-count override from `GAM_BENCH_SAMPLES`, if set and parsable.
+fn sample_override() -> Option<u32> {
+    std::env::var("GAM_BENCH_SAMPLES").ok()?.parse().ok().map(|n: u32| n.max(1))
+}
+
 /// The benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -150,7 +158,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== bench group `{name}`");
-        BenchmarkGroup { name, sample_size: 20, _criterion: self }
+        BenchmarkGroup { name, sample_size: sample_override().unwrap_or(20), _criterion: self }
     }
 
     /// Kept for API compatibility with the real `criterion_group!` expansion.

@@ -1,0 +1,137 @@
+//! A minimal, dependency-free stand-in for the `rustc-hash` crate: the Fx
+//! hash function (as used by the Rust compiler) plus the usual `FxHashMap` /
+//! `FxHashSet` aliases.
+//!
+//! The build environment has no access to crates.io, so the real crate cannot
+//! be vendored; this crate keeps the same import paths working. Fx is a
+//! non-cryptographic multiply-rotate hash: for the small, trusted keys of a
+//! state-space search (fixed-size machine configurations, integers) it is
+//! several times faster than the standard library's SipHash-1-3 default and,
+//! unlike SipHash, it is *deterministic across processes and runs* — a
+//! property the exploration sharding relies on.
+//!
+//! Not DoS-resistant; never use it on attacker-controlled keys.
+
+#![forbid(unsafe_code)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// The zero-seed build-hasher of [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The multiplicative constant of the Fx hash (64-bit variant): a prime close
+/// to `2^64 / phi`, giving good avalanche on the high bits after rotation.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash state: one 64-bit accumulator mixed word-by-word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"state"), hash_of(&"state"));
+        assert_eq!(hash_of(&(1u8, vec![2u32, 3])), hash_of(&(1u8, vec![2u32, 3])));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+    }
+
+    #[test]
+    fn tail_bytes_affect_the_hash() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<&str, u32> = FxHashMap::default();
+        map.insert("a", 1);
+        assert_eq!(map.get("a"), Some(&1));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+    }
+}

@@ -125,6 +125,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the number of worker threads the operational explorer shards
+    /// each test's state-space frontier across (operational backend only;
+    /// clamped to at least 1). This composes with
+    /// [`EngineBuilder::parallelism`]: the suite fans tests out over the
+    /// engine's workers, and each exploration can itself run parallel.
+    #[must_use]
+    pub fn explorer_parallelism(mut self, parallelism: usize) -> Self {
+        self.explorer_config.parallelism = parallelism.max(1);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors

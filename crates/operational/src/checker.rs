@@ -130,10 +130,13 @@ impl OperationalChecker {
 
     /// Convenience: run a specific machine for a test regardless of the
     /// checker's model (useful for differential experiments).
-    pub fn explore_machine<M: AbstractMachine>(
+    pub fn explore_machine<M: AbstractMachine + Sync>(
         &self,
         machine: &M,
-    ) -> Result<Exploration, OperationalError> {
+    ) -> Result<Exploration, OperationalError>
+    where
+        M::State: Send,
+    {
         Ok(self.explorer.explore(machine)?)
     }
 }

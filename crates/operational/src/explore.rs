@@ -1,28 +1,60 @@
 //! Exhaustive exploration of an abstract machine's state space.
 //!
-//! The explorer performs a memoised depth-first search over the transition
-//! graph of an [`AbstractMachine`], collecting the outcome of every reachable
-//! final state. Litmus-test state spaces are finite (bounded ROBs, bounded
+//! The explorer performs a memoised search over the transition graph of an
+//! [`AbstractMachine`], collecting the outcome of every reachable final
+//! state. Litmus-test state spaces are finite (bounded ROBs, bounded
 //! programs), so the search is exact; configurable limits guard against
 //! pathological inputs.
+//!
+//! Two performance mechanisms sit under the search. States are *interned*:
+//! an arena stores each distinct state exactly once and an `FxHash`-keyed
+//! index maps state hashes to arena slots, so the frontier and the visited
+//! set carry 4-byte indices instead of duplicated machine configurations, and
+//! every state is hashed once with a fast, deterministic hash
+//! ([`rustc_hash::FxHasher`]) instead of twice with SipHash. When
+//! [`ExplorerConfig::parallelism`] is above one, the frontier is sharded by
+//! state hash across that many worker threads: each shard owns the states
+//! whose hash lands in it (so deduplication stays lock-local), idle workers
+//! pull expansion batches from a shared injector queue, and the per-worker
+//! outcome sets are merged at the end — the merged set is identical to the
+//! sequential one because exploration order never affects which states are
+//! reachable.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use gam_isa::litmus::Outcome;
+use rustc_hash::{FxBuildHasher, FxHashMap};
 
 use crate::machine::AbstractMachine;
 
-/// Limits for the exhaustive exploration.
+/// Limits and resources of the exhaustive exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExplorerConfig {
     /// Maximum number of distinct states to visit before giving up.
     pub max_states: usize,
+    /// Number of worker threads exploring the state space (clamped to at
+    /// least 1; 1 means sequential exploration). Composes multiplicatively
+    /// with any suite-level parallelism (e.g. `Engine::run_suite` workers) —
+    /// keep the product near the core count.
+    pub parallelism: usize,
 }
 
 impl Default for ExplorerConfig {
     fn default() -> Self {
-        ExplorerConfig { max_states: 5_000_000 }
+        ExplorerConfig { max_states: 5_000_000, parallelism: 1 }
+    }
+}
+
+impl ExplorerConfig {
+    /// The default limits with the machine's available hardware parallelism.
+    #[must_use]
+    pub fn parallel() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ExplorerConfig { parallelism: n, ..ExplorerConfig::default() }
     }
 }
 
@@ -34,6 +66,13 @@ pub enum ExploreError {
     StateLimitExceeded {
         /// The configured limit.
         limit: usize,
+        /// Number of distinct states actually visited when the exploration
+        /// aborted (can exceed `limit` slightly under parallel exploration).
+        states_visited: usize,
+        /// The outcomes of the final states reached before the abort — a
+        /// sound *under*-approximation of the true outcome set, kept for
+        /// diagnostics.
+        partial_outcomes: BTreeSet<Outcome>,
     },
     /// A non-final state had no enabled rule (the machine deadlocked), which
     /// indicates a modelling bug.
@@ -43,8 +82,13 @@ pub enum ExploreError {
 impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExploreError::StateLimitExceeded { limit } => {
-                write!(f, "state space exceeded the limit of {limit} states")
+            ExploreError::StateLimitExceeded { limit, states_visited, partial_outcomes } => {
+                write!(
+                    f,
+                    "state space exceeded the limit of {limit} states \
+                     ({states_visited} visited, {} partial outcomes collected)",
+                    partial_outcomes.len()
+                )
             }
             ExploreError::Deadlock => write!(f, "a non-final state has no enabled rule"),
         }
@@ -84,53 +128,258 @@ impl Explorer {
     }
 
     /// Exhaustively explores the machine and collects every reachable final
-    /// outcome.
+    /// outcome, in parallel when [`ExplorerConfig::parallelism`] is above 1.
+    ///
+    /// The `Sync`/`Send` bounds exist for the parallel mode; a machine with a
+    /// thread-bound state can still use
+    /// [`Explorer::explore_sequential`] directly.
     ///
     /// # Errors
     ///
     /// Returns [`ExploreError::StateLimitExceeded`] if the state space is
     /// larger than the configured limit, and [`ExploreError::Deadlock`] if a
     /// non-final state has no successor.
-    pub fn explore<M: AbstractMachine>(&self, machine: &M) -> Result<Exploration, ExploreError> {
-        let mut visited: HashSet<M::State> = HashSet::new();
-        let mut stack: Vec<M::State> = Vec::new();
+    pub fn explore<M: AbstractMachine + Sync>(
+        &self,
+        machine: &M,
+    ) -> Result<Exploration, ExploreError>
+    where
+        M::State: Send,
+    {
+        if self.config.parallelism > 1 {
+            self.explore_parallel(machine)
+        } else {
+            self.explore_sequential(machine)
+        }
+    }
+
+    /// Single-threaded exploration, available without the thread-safety
+    /// bounds of [`Explorer::explore`] (ignores
+    /// [`ExplorerConfig::parallelism`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::explore`].
+    pub fn explore_sequential<M: AbstractMachine>(
+        &self,
+        machine: &M,
+    ) -> Result<Exploration, ExploreError> {
+        let mut visited: InternedStates<M::State> = InternedStates::default();
+        let mut stack: Vec<u32> = Vec::new();
         let mut outcomes = BTreeSet::new();
         let mut final_states = 0usize;
 
         let initial = machine.initial_state();
-        visited.insert(initial.clone());
-        stack.push(initial);
+        stack.push(visited.insert(initial).expect("initial state is new"));
 
-        while let Some(state) = stack.pop() {
-            let successors = machine.successors(&state);
-            if successors.is_empty() {
-                if machine.is_final(&state) {
-                    final_states += 1;
-                    outcomes.insert(machine.outcome(&state));
-                } else {
-                    return Err(ExploreError::Deadlock);
-                }
-                continue;
-            }
-            // A state can be final while still having enabled rules (e.g. a
-            // fetch past the interesting instructions); record it either way.
-            if machine.is_final(&state) {
+        while let Some(index) = stack.pop() {
+            // The borrow of the interned state ends with each call, so the
+            // arena can keep growing while the successors are inserted.
+            let successors = machine.successors(visited.get(index));
+            if machine.is_final(visited.get(index)) {
+                // A state can be final while still having enabled rules (e.g.
+                // a fetch past the interesting instructions); record it
+                // either way.
                 final_states += 1;
-                outcomes.insert(machine.outcome(&state));
+                outcomes.insert(machine.outcome(visited.get(index)));
+            } else if successors.is_empty() {
+                return Err(ExploreError::Deadlock);
             }
             for next in successors {
-                if visited.contains(&next) {
-                    continue;
+                if let Some(new_index) = visited.insert(next) {
+                    if visited.len() > self.config.max_states {
+                        return Err(ExploreError::StateLimitExceeded {
+                            limit: self.config.max_states,
+                            states_visited: visited.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
+                    stack.push(new_index);
                 }
-                if visited.len() >= self.config.max_states {
-                    return Err(ExploreError::StateLimitExceeded { limit: self.config.max_states });
-                }
-                visited.insert(next.clone());
-                stack.push(next);
             }
         }
 
         Ok(Exploration { outcomes, states_visited: visited.len(), final_states })
+    }
+
+    /// Sharded-frontier parallel exploration. Idle workers spin-yield rather
+    /// than parking: litmus-scale explorations finish in micro- to
+    /// milliseconds, so the spin window is short and a condvar handshake per
+    /// frontier item would cost more than it saves. Oversubscription is the
+    /// caller's concern — `parallelism` here multiplies with any suite-level
+    /// fan-out (see [`ExplorerConfig::parallelism`]).
+    fn explore_parallel<M: AbstractMachine + Sync>(
+        &self,
+        machine: &M,
+    ) -> Result<Exploration, ExploreError>
+    where
+        M::State: Send,
+    {
+        let workers = self.config.parallelism;
+        let shards: Vec<Mutex<InternedStates<M::State>>> =
+            (0..workers).map(|_| Mutex::new(InternedStates::default())).collect();
+        let shard_of = |hash: u64| (hash % workers as u64) as usize;
+
+        let visited_count = AtomicUsize::new(0);
+        let final_count = AtomicUsize::new(0);
+        // Frontier items not yet fully expanded; exploration is complete when
+        // this drains to zero (a worker only decrements *after* pushing every
+        // successor, so the count can never transiently hit zero while work
+        // remains).
+        let in_flight = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let injector: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+        let deadlocked = AtomicBool::new(false);
+        let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(BTreeSet::new());
+
+        {
+            let initial = machine.initial_state();
+            let hash = FxBuildHasher::default().hash_one(&initial);
+            let shard = shard_of(hash);
+            let index = shards[shard]
+                .lock()
+                .expect("shard lock")
+                .insert_hashed(hash, initial)
+                .expect("initial state is new");
+            visited_count.store(1, Ordering::Relaxed);
+            in_flight.store(1, Ordering::SeqCst);
+            injector.lock().expect("injector lock").push((shard as u32, index));
+        }
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let hasher = FxBuildHasher::default();
+                    let mut local: Vec<(u32, u32)> = Vec::new();
+                    let mut outcomes = BTreeSet::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Some((shard, index)) = local.pop().or_else(|| {
+                            let mut queue = injector.lock().expect("injector lock");
+                            let take = (queue.len() / 2).clamp(1, 64);
+                            let from = queue.len().saturating_sub(take);
+                            let drained: Vec<_> = queue.drain(from..).collect();
+                            drop(queue);
+                            local.extend(drained);
+                            local.pop()
+                        }) else {
+                            if in_flight.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+
+                        let state =
+                            shards[shard as usize].lock().expect("shard lock").get(index).clone();
+                        let successors = machine.successors(&state);
+                        if machine.is_final(&state) {
+                            final_count.fetch_add(1, Ordering::Relaxed);
+                            outcomes.insert(machine.outcome(&state));
+                        } else if successors.is_empty() {
+                            deadlocked.store(true, Ordering::Relaxed);
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        for next in successors {
+                            let hash = hasher.hash_one(&next);
+                            let target = shard_of(hash);
+                            let inserted = shards[target]
+                                .lock()
+                                .expect("shard lock")
+                                .insert_hashed(hash, next);
+                            if let Some(new_index) = inserted {
+                                if visited_count.fetch_add(1, Ordering::Relaxed) + 1
+                                    > self.config.max_states
+                                {
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                local.push((target as u32, new_index));
+                            }
+                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        // Keep other workers fed: spill half of a large local
+                        // stack into the shared injector.
+                        if local.len() > 64 {
+                            let spill: Vec<_> = local.drain(..local.len() / 2).collect();
+                            injector.lock().expect("injector lock").extend(spill);
+                        }
+                    }
+                    merged.lock().expect("outcome lock").append(&mut outcomes);
+                });
+            }
+        });
+
+        let outcomes = merged.into_inner().expect("outcome lock");
+        let states_visited = visited_count.load(Ordering::Relaxed);
+        if deadlocked.load(Ordering::Relaxed) {
+            return Err(ExploreError::Deadlock);
+        }
+        if abort.load(Ordering::Relaxed) {
+            return Err(ExploreError::StateLimitExceeded {
+                limit: self.config.max_states,
+                states_visited,
+                partial_outcomes: outcomes,
+            });
+        }
+        Ok(Exploration {
+            outcomes,
+            states_visited,
+            final_states: final_count.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// An interning state set: an arena holding each distinct state once, indexed
+/// by a hash → arena-slot map, so frontiers can carry `u32` slots instead of
+/// cloned states and membership tests hash each candidate exactly once.
+#[derive(Debug)]
+struct InternedStates<S> {
+    arena: Vec<S>,
+    by_hash: FxHashMap<u64, Vec<u32>>,
+    hasher: FxBuildHasher,
+}
+
+impl<S> Default for InternedStates<S> {
+    fn default() -> Self {
+        InternedStates {
+            arena: Vec::new(),
+            by_hash: FxHashMap::default(),
+            hasher: FxBuildHasher::default(),
+        }
+    }
+}
+
+impl<S: std::hash::Hash + Eq> InternedStates<S> {
+    /// Inserts a state, returning its fresh arena slot, or `None` if an equal
+    /// state was already interned.
+    fn insert(&mut self, state: S) -> Option<u32> {
+        let hash = self.hasher.hash_one(&state);
+        self.insert_hashed(hash, state)
+    }
+
+    /// Like `insert` with the hash precomputed (parallel shards hash before
+    /// picking a shard).
+    fn insert_hashed(&mut self, hash: u64, state: S) -> Option<u32> {
+        let bucket = self.by_hash.entry(hash).or_default();
+        if bucket.iter().any(|&slot| self.arena[slot as usize] == state) {
+            return None;
+        }
+        let slot = u32::try_from(self.arena.len()).expect("state count fits u32");
+        self.arena.push(state);
+        bucket.push(slot);
+        Some(slot)
+    }
+
+    fn get(&self, slot: u32) -> &S {
+        &self.arena[slot as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.arena.len()
     }
 }
 
@@ -200,6 +449,44 @@ mod tests {
         }
     }
 
+    /// A wide two-level tree: `fanout` interior states each fanning into
+    /// `fanout` final leaves (value-distinct outcomes are not needed; the
+    /// explorer counts distinct *states*).
+    #[derive(Debug)]
+    struct Wide {
+        fanout: u32,
+    }
+
+    impl AbstractMachine for Wide {
+        type State = u32;
+
+        fn initial_state(&self) -> u32 {
+            0
+        }
+
+        fn successors(&self, state: &u32) -> Vec<u32> {
+            if *state == 0 {
+                (1..=self.fanout).collect()
+            } else if *state <= self.fanout {
+                (1..=self.fanout).map(|leaf| self.fanout * *state + leaf).collect()
+            } else {
+                vec![]
+            }
+        }
+
+        fn is_final(&self, state: &u32) -> bool {
+            *state > self.fanout
+        }
+
+        fn outcome(&self, _state: &u32) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "wide"
+        }
+    }
+
     #[test]
     fn diamond_visits_all_states_once() {
         let exploration = Explorer::default().explore(&Diamond).unwrap();
@@ -214,15 +501,91 @@ mod tests {
     }
 
     #[test]
-    fn state_limit_is_enforced() {
-        let explorer = Explorer::new(ExplorerConfig { max_states: 2 });
-        assert_eq!(explorer.explore(&Diamond), Err(ExploreError::StateLimitExceeded { limit: 2 }));
+    fn parallel_deadlock_is_reported() {
+        let explorer = Explorer::new(ExplorerConfig { parallelism: 4, ..Default::default() });
+        assert_eq!(explorer.explore(&Stuck), Err(ExploreError::Deadlock));
+    }
+
+    #[test]
+    fn state_limit_reports_accurate_statistics() {
+        let explorer = Explorer::new(ExplorerConfig { max_states: 2, parallelism: 1 });
+        match explorer.explore(&Diamond) {
+            Err(ExploreError::StateLimitExceeded { limit, states_visited, partial_outcomes }) => {
+                assert_eq!(limit, 2);
+                // The third insertion trips the limit, so exactly 3 states
+                // were interned when the abort happened — not the configured
+                // limit, the true count.
+                assert_eq!(states_visited, 3);
+                // No final state was reached before the abort.
+                assert!(partial_outcomes.is_empty());
+            }
+            other => panic!("expected a state-limit error, got {other:?}"),
+        }
         assert_eq!(explorer.config().max_states, 2);
+    }
+
+    #[test]
+    fn state_limit_keeps_partial_outcomes() {
+        // The DFS finishes the first interior node's leaves (all final)
+        // before expanding the next interior node trips the limit.
+        let explorer = Explorer::new(ExplorerConfig { max_states: 12, parallelism: 1 });
+        match explorer.explore(&Wide { fanout: 5 }) {
+            Err(ExploreError::StateLimitExceeded { states_visited, partial_outcomes, .. }) => {
+                assert!(states_visited > 12);
+                assert_eq!(partial_outcomes.len(), 1, "the empty outcome was collected");
+            }
+            other => panic!("expected a state-limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_wide_tree() {
+        let machine = Wide { fanout: 40 };
+        let sequential = Explorer::default().explore(&machine).unwrap();
+        for workers in [2, 4, 8] {
+            let parallel =
+                Explorer::new(ExplorerConfig { parallelism: workers, ..Default::default() })
+                    .explore(&machine)
+                    .unwrap();
+            assert_eq!(parallel, sequential, "{workers} workers");
+        }
+        assert_eq!(sequential.states_visited, 1 + 40 + 40 * 40);
+        assert_eq!(sequential.final_states, 40 * 40);
+    }
+
+    #[test]
+    fn parallel_state_limit_aborts() {
+        let explorer = Explorer::new(ExplorerConfig { max_states: 10, parallelism: 4 });
+        match explorer.explore(&Wide { fanout: 40 }) {
+            Err(ExploreError::StateLimitExceeded { limit, states_visited, .. }) => {
+                assert_eq!(limit, 10);
+                assert!(states_visited > 10);
+            }
+            other => panic!("expected a state-limit error, got {other:?}"),
+        }
     }
 
     #[test]
     fn error_display() {
         assert!(ExploreError::Deadlock.to_string().contains("no enabled rule"));
-        assert!(ExploreError::StateLimitExceeded { limit: 7 }.to_string().contains('7'));
+        let err = ExploreError::StateLimitExceeded {
+            limit: 7,
+            states_visited: 9,
+            partial_outcomes: BTreeSet::new(),
+        };
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains('9'));
+    }
+
+    #[test]
+    fn interned_states_deduplicate_and_index() {
+        let mut set: InternedStates<u64> = InternedStates::default();
+        let a = set.insert(10).expect("new");
+        assert_eq!(set.insert(10), None);
+        let b = set.insert(11).expect("new");
+        assert_ne!(a, b);
+        assert_eq!(*set.get(a), 10);
+        assert_eq!(*set.get(b), 11);
+        assert_eq!(set.len(), 2);
     }
 }

@@ -1,0 +1,80 @@
+//! Parallel exploration must be observationally identical to sequential
+//! exploration: same outcome sets, same distinct-state counts, same
+//! final-state counts — for every litmus test in the library under every
+//! model with an abstract machine ({SC, TSO, GAM, GAM0}).
+//!
+//! This pins the correctness of the sharded frontier: races in deduplication
+//! or lost frontier items would change `states_visited` or drop outcomes.
+
+use gam_core::ModelKind;
+use gam_isa::litmus::library;
+use gam_operational::{ExplorerConfig, OperationalChecker};
+
+fn assert_parallel_matches(kind: ModelKind, parallelism: usize) {
+    let sequential = OperationalChecker::new(kind);
+    let parallel = OperationalChecker::with_config(
+        kind,
+        ExplorerConfig { parallelism, ..ExplorerConfig::default() },
+    );
+    for test in library::all_tests() {
+        let s = sequential.explore(&test).expect("sequential exploration succeeds");
+        let p = parallel.explore(&test).expect("parallel exploration succeeds");
+        assert_eq!(
+            s.outcomes,
+            p.outcomes,
+            "{kind}/{}: outcome sets diverge with {parallelism} workers",
+            test.name()
+        );
+        assert_eq!(
+            s.states_visited,
+            p.states_visited,
+            "{kind}/{}: distinct-state counts diverge",
+            test.name()
+        );
+        assert_eq!(
+            s.final_states,
+            p.final_states,
+            "{kind}/{}: final-state counts diverge",
+            test.name()
+        );
+    }
+}
+
+#[test]
+fn sc_parallel_matches_sequential_on_the_full_library() {
+    assert_parallel_matches(ModelKind::Sc, 4);
+}
+
+#[test]
+fn tso_parallel_matches_sequential_on_the_full_library() {
+    assert_parallel_matches(ModelKind::Tso, 4);
+}
+
+#[test]
+fn gam_parallel_matches_sequential_on_the_full_library() {
+    assert_parallel_matches(ModelKind::Gam, 4);
+}
+
+#[test]
+fn gam0_parallel_matches_sequential_on_the_full_library() {
+    assert_parallel_matches(ModelKind::Gam0, 4);
+}
+
+#[test]
+fn oversubscribed_parallelism_matches_on_a_sample() {
+    // More workers than frontier items at several points: exercises the
+    // idle/termination path.
+    let parallel = OperationalChecker::with_config(
+        ModelKind::Gam,
+        ExplorerConfig { parallelism: 16, ..ExplorerConfig::default() },
+    );
+    let sequential = OperationalChecker::new(ModelKind::Gam);
+    for test in [library::dekker(), library::corr(), library::iriw()] {
+        assert_eq!(
+            sequential.explore(&test).unwrap(),
+            parallel.explore(&test).unwrap(),
+            "{}",
+            test.name()
+        );
+    }
+}
