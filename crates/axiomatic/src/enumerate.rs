@@ -219,6 +219,18 @@ impl StaticAddrs {
         }
     }
 
+    /// The full set of addresses the memory instruction at `(proc, idx)` may
+    /// touch: `Some(set)` when the analysis bounded it, `None` when the
+    /// address is unbounded (or the instruction is not a memory access).
+    ///
+    /// This is the interface the operational explorer's footprint-based
+    /// partial-order reduction consumes: a thread's future accesses are the
+    /// union of these sets over its not-yet-performed memory instructions.
+    #[must_use]
+    pub fn possible_addresses(&self, proc: usize, idx: usize) -> Option<&BTreeSet<u64>> {
+        self.addrs[proc][idx].as_ref()
+    }
+
     /// Returns true unless the analysis proves the two memory instructions
     /// can never touch the same address.
     #[must_use]

@@ -47,5 +47,6 @@ pub mod mo;
 pub mod propagate;
 
 pub use checker::{AxiomaticChecker, CheckStats, CheckerConfig, Verdict, Witness};
+pub use enumerate::StaticAddrs;
 pub use error::CheckError;
 pub use execution::{ConcreteExecution, InstrRef, RfCandidate};

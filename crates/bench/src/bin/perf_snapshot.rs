@@ -3,22 +3,31 @@
 //! Runs the full litmus library through both formal backends under every
 //! model, measures wall time and search effort (read-from assignments
 //! enumerated vs. the unpruned space, memory orders visited, machine states
-//! explored, sequential vs. parallel exploration), cross-checks that every
-//! configuration produced identical outcome sets, and writes a
-//! machine-readable `BENCH_<date>.json` so future changes have a baseline to
-//! beat.
+//! explored — unreduced, partial-order-reduced, sequential and parallel),
+//! cross-checks that every configuration produced identical outcome sets,
+//! and writes a machine-readable `BENCH_<date>.json` so future changes have
+//! a baseline to beat.
 //!
 //! ```text
 //! usage: perf_snapshot [--quick] [--out PATH] [--parallelism N] [--date YYYY-MM-DD]
+//!                      [--compare OLD.json [--against NEW.json]]
+//!                      [--fail-threshold R]
 //!
-//!   --quick          run the paper's 11 core tests instead of the full library
-//!   --out PATH       output path (default: BENCH_<date>.json in the CWD)
-//!   --parallelism N  worker threads for the parallel explorer (default: all cores)
-//!   --date D         date stamp for the file name and payload (default: today, UTC)
+//!   --quick            run the paper's 11 core tests instead of the full library
+//!   --out PATH         output path (default: BENCH_<date>.json in the CWD)
+//!   --parallelism N    worker threads for the parallel explorer (default: all cores)
+//!   --date D           date stamp for the file name and payload (default: today, UTC)
+//!   --compare OLD      after the run, diff OLD against the fresh snapshot and
+//!                      exit non-zero on regressions beyond the threshold
+//!   --against NEW      with --compare: diff OLD against NEW instead of running
+//!   --fail-threshold R factor on the deterministic effort counters above which
+//!                      a difference is a regression (default 1.25; 0 = report only)
 //! ```
 //!
-//! The JSON schema (`gam-perf-snapshot/v1`) is documented in the README's
-//! "Performance" section.
+//! The JSON schema (`gam-perf-snapshot/v2`) is documented in the README's
+//! "Performance" section. `--compare` reads both v1 and v2 files and diffs
+//! whatever metrics the two snapshots share, so the committed baseline stays
+//! usable across schema bumps.
 
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -28,7 +37,7 @@ use gam_bench::{arg_flag, arg_value};
 use gam_core::{model, ModelKind};
 use gam_engine::Json;
 use gam_isa::litmus::{library, LitmusTest, Outcome};
-use gam_operational::{ExplorerConfig, OperationalChecker};
+use gam_operational::{ExplorerConfig, OperationalChecker, Reduction};
 
 /// Everything measured for one `(model, test)` pair.
 struct Row {
@@ -46,6 +55,44 @@ struct OperationalRow {
     parallel_wall: Duration,
     states_visited: usize,
     final_states: usize,
+    /// Reduced exploration, one entry per reduced [`Reduction`] mode.
+    sleep: ReducedRow,
+    sleep_canon: ReducedRow,
+}
+
+struct ReducedRow {
+    wall: Duration,
+    states_visited: usize,
+    transitions_pruned: usize,
+}
+
+fn reduced_run(
+    model_kind: ModelKind,
+    test: &LitmusTest,
+    reduction: Reduction,
+    baseline: &BTreeSet<Outcome>,
+) -> Result<ReducedRow, String> {
+    let checker = OperationalChecker::with_config(
+        model_kind,
+        ExplorerConfig { reduction, ..ExplorerConfig::default() },
+    );
+    let start = Instant::now();
+    let exploration = checker
+        .explore(test)
+        .map_err(|e| format!("{reduction} operational {model_kind}/{}: {e}", test.name()))?;
+    let wall = start.elapsed();
+    expect_identical(
+        model_kind,
+        test,
+        &format!("unreduced vs {reduction}"),
+        baseline,
+        &exploration.outcomes,
+    )?;
+    Ok(ReducedRow {
+        wall,
+        states_visited: exploration.states_visited,
+        transitions_pruned: exploration.transitions_pruned,
+    })
 }
 
 fn check_one(model_kind: ModelKind, test: &LitmusTest, parallelism: usize) -> Result<Row, String> {
@@ -90,11 +137,37 @@ fn check_one(model_kind: ModelKind, test: &LitmusTest, parallelism: usize) -> Re
                 seq.states_visited
             ));
         }
+
+        let sleep = reduced_run(model_kind, test, Reduction::Sleep, &seq.outcomes)?;
+        let sleep_canon = reduced_run(model_kind, test, Reduction::SleepPlusCanon, &seq.outcomes)?;
+        // The parallel reduced driver must agree too (its states/pruning are
+        // arrival-order dependent, so only the outcome set is pinned).
+        let parallel_reduced = OperationalChecker::with_config(
+            model_kind,
+            ExplorerConfig {
+                parallelism,
+                reduction: Reduction::SleepPlusCanon,
+                ..ExplorerConfig::default()
+            },
+        );
+        let par_red = parallel_reduced
+            .explore(test)
+            .map_err(|e| format!("parallel reduced {model_kind}/{}: {e}", test.name()))?;
+        expect_identical(
+            model_kind,
+            test,
+            "unreduced vs parallel sleep+canon",
+            &seq.outcomes,
+            &par_red.outcomes,
+        )?;
+
         Some(OperationalRow {
             sequential_wall,
             parallel_wall,
             states_visited: seq.states_visited,
             final_states: seq.final_states,
+            sleep,
+            sleep_canon,
         })
     } else {
         None
@@ -137,6 +210,14 @@ fn micros(d: Duration) -> Json {
     Json::UInt(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
 }
 
+fn reduced_json(row: &ReducedRow) -> Json {
+    Json::object([
+        ("wall_us", micros(row.wall)),
+        ("states_visited", Json::UInt(row.states_visited as u64)),
+        ("transitions_pruned", Json::UInt(row.transitions_pruned as u64)),
+    ])
+}
+
 fn row_json(row: &Row) -> Json {
     let pruned =
         row.stats.assignments_naive.saturating_sub(row.stats.assignments_enumerated.into());
@@ -163,6 +244,13 @@ fn row_json(row: &Row) -> Json {
                 ("wall_us_parallel", micros(op.parallel_wall)),
                 ("states_visited", Json::UInt(op.states_visited as u64)),
                 ("final_states", Json::UInt(op.final_states as u64)),
+                (
+                    "reduction",
+                    Json::object([
+                        ("sleep", reduced_json(&op.sleep)),
+                        ("sleep_canon", reduced_json(&op.sleep_canon)),
+                    ]),
+                ),
             ]),
         ));
     }
@@ -189,11 +277,162 @@ fn today() -> String {
     civil_date(secs / 86_400)
 }
 
+// ---- snapshot comparison ---------------------------------------------------
+
+/// The deterministic effort counters a comparison grades (path within a
+/// per-test entry, lower is better). Wall times are reported but never fail
+/// the comparison — they are machine- and load-dependent.
+const GRADED: [(&str, &[&str]); 5] = [
+    ("axiomatic.assignments_enumerated", &["axiomatic", "assignments_enumerated"]),
+    ("axiomatic.orders_visited", &["axiomatic", "orders_visited"]),
+    ("operational.states_visited", &["operational", "states_visited"]),
+    (
+        "operational.reduction.sleep.states_visited",
+        &["operational", "reduction", "sleep", "states_visited"],
+    ),
+    (
+        "operational.reduction.sleep_canon.states_visited",
+        &["operational", "reduction", "sleep_canon", "states_visited"],
+    ),
+];
+
+fn lookup<'a>(mut value: &'a Json, path: &[&str]) -> Option<&'a Json> {
+    for key in path {
+        value = value.get(key)?;
+    }
+    Some(value)
+}
+
+/// Flattens a snapshot into `(model, test) -> per-test entry`.
+fn test_entries(snapshot: &Json) -> Vec<(String, String, &Json)> {
+    let mut out = Vec::new();
+    let Some(models) = snapshot.get("per_model").and_then(Json::as_array) else {
+        return out;
+    };
+    for section in models {
+        let Some(model) = section.get("model").and_then(Json::as_str) else { continue };
+        let Some(tests) = section.get("tests").and_then(Json::as_array) else { continue };
+        for entry in tests {
+            if let Some(test) = entry.get("test").and_then(Json::as_str) {
+                out.push((model.to_string(), test.to_string(), entry));
+            }
+        }
+    }
+    out
+}
+
+fn load_snapshot(path: &str) -> Json {
+    let payload = match std::fs::read_to_string(path) {
+        Ok(payload) => payload,
+        Err(err) => {
+            eprintln!("perf_snapshot: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    match Json::parse(&payload) {
+        Ok(snapshot) => snapshot,
+        Err(err) => {
+            eprintln!("perf_snapshot: cannot parse {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Diffs two snapshots over the metrics they share; returns the number of
+/// regressions beyond `threshold`.
+fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> usize {
+    let old_schema = old.get("schema").and_then(Json::as_str).unwrap_or("?");
+    let new_schema = new.get("schema").and_then(Json::as_str).unwrap_or("?");
+    println!("compare: baseline schema {old_schema}, candidate schema {new_schema}");
+
+    let new_entries = test_entries(new);
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut total_old_wall = 0u64;
+    let mut total_new_wall = 0u64;
+
+    for (model, test, old_entry) in test_entries(old) {
+        let Some((_, _, new_entry)) =
+            new_entries.iter().find(|(m, t, _)| *m == model && *t == test)
+        else {
+            continue;
+        };
+        compared += 1;
+        for (label, path) in GRADED {
+            let (Some(old_value), Some(new_value)) = (
+                lookup(old_entry, path).and_then(Json::as_u64),
+                lookup(new_entry, path).and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            #[allow(clippy::cast_precision_loss)]
+            let factor = if old_value == 0 {
+                if new_value == 0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                new_value as f64 / old_value as f64
+            };
+            if threshold > 0.0 && factor > threshold {
+                regressions += 1;
+                println!(
+                    "compare: REGRESSION {model}/{test} {label}: {old_value} -> {new_value} \
+                     (x{factor:.2})"
+                );
+            } else if threshold > 0.0 && factor < 1.0 / threshold {
+                improvements += 1;
+                println!(
+                    "compare: improvement {model}/{test} {label}: {old_value} -> {new_value} \
+                     (x{factor:.2})"
+                );
+            } else if threshold <= 0.0 && old_value != new_value {
+                // Report-only mode: surface every difference, fail nothing.
+                println!(
+                    "compare: change {model}/{test} {label}: {old_value} -> {new_value} \
+                     (x{factor:.2})"
+                );
+            }
+        }
+        for wall in ["wall_us_sequential", "wall_us"] {
+            if let (Some(old_wall), Some(new_wall)) = (
+                lookup(old_entry, &["operational", wall]).and_then(Json::as_u64),
+                lookup(new_entry, &["operational", wall]).and_then(Json::as_u64),
+            ) {
+                total_old_wall += old_wall;
+                total_new_wall += new_wall;
+            }
+        }
+    }
+    println!(
+        "compare: {compared} (model, test) pairs compared, {regressions} regressions, \
+         {improvements} improvements (threshold x{threshold:.2}); operational sequential wall \
+         {total_old_wall}us -> {total_new_wall}us (informational)"
+    );
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = arg_flag(&args, "--quick");
     let date = arg_value(&args, "--date").unwrap_or_else(today);
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let compare = arg_value(&args, "--compare");
+    let against = arg_value(&args, "--against");
+    let threshold = arg_value(&args, "--fail-threshold")
+        .map(|v| v.parse::<f64>().expect("--fail-threshold takes a number"))
+        .unwrap_or(1.25);
+
+    if let (Some(old_path), Some(new_path)) = (&compare, &against) {
+        // Pure diff mode: no benchmark run.
+        let old = load_snapshot(old_path);
+        let new = load_snapshot(new_path);
+        let regressions = compare_snapshots(&old, &new, threshold);
+        std::process::exit(i32::from(regressions > 0));
+    }
+
     // At least two workers, so the sharded-frontier code path is always the
     // one measured and cross-checked (one worker falls back to sequential).
     let parallelism = arg_value(&args, "--parallelism")
@@ -215,10 +454,14 @@ fn main() {
     let mut total_naive = 0u128;
     let mut total_enumerated = 0u128;
     let mut total_states = 0u64;
+    let mut total_states_reduced = 0u64;
+    let mut total_pruned = 0u64;
     let mut total_ax_wall = Duration::ZERO;
     let mut total_seq_wall = Duration::ZERO;
     let mut total_par_wall = Duration::ZERO;
+    let mut total_reduced_wall = Duration::ZERO;
     let mut five_fold: BTreeSet<String> = BTreeSet::new();
+    let mut gam_two_fold: BTreeSet<String> = BTreeSet::new();
 
     for model_kind in ModelKind::ALL {
         let mut rows = Vec::new();
@@ -231,8 +474,16 @@ fn main() {
                     total_ax_wall += row.axiomatic_wall;
                     if let Some(op) = &row.operational {
                         total_states += op.states_visited as u64;
+                        total_states_reduced += op.sleep_canon.states_visited as u64;
+                        total_pruned += op.sleep_canon.transitions_pruned as u64;
                         total_seq_wall += op.sequential_wall;
                         total_par_wall += op.parallel_wall;
+                        total_reduced_wall += op.sleep_canon.wall;
+                        if model_kind == ModelKind::Gam
+                            && op.sleep_canon.states_visited * 2 <= op.states_visited
+                        {
+                            gam_two_fold.insert(row.test.clone());
+                        }
                     }
                     if row.stats.pruning_factor().is_some_and(|f| f >= 5.0) {
                         five_fold.insert(row.test.clone());
@@ -252,7 +503,7 @@ fn main() {
     }
 
     let snapshot = Json::object([
-        ("schema", Json::from("gam-perf-snapshot/v1")),
+        ("schema", Json::from("gam-perf-snapshot/v2")),
         ("date", Json::from(date.as_str())),
         ("quick", Json::from(quick)),
         ("explorer_parallelism", Json::UInt(parallelism as u64)),
@@ -264,13 +515,20 @@ fn main() {
                 ("wall_us_axiomatic", micros(total_ax_wall)),
                 ("wall_us_operational_sequential", micros(total_seq_wall)),
                 ("wall_us_operational_parallel", micros(total_par_wall)),
+                ("wall_us_operational_reduced", micros(total_reduced_wall)),
                 ("assignments_naive", uint(total_naive)),
                 ("assignments_enumerated", uint(total_enumerated)),
                 ("assignments_pruned", uint(total_naive.saturating_sub(total_enumerated))),
                 ("states_visited", Json::UInt(total_states)),
+                ("states_visited_reduced", Json::UInt(total_states_reduced)),
+                ("transitions_pruned", Json::UInt(total_pruned)),
                 (
                     "tests_with_5x_pruning",
                     Json::array(five_fold.iter().map(|name| Json::from(name.as_str()))),
+                ),
+                (
+                    "gam_tests_with_2x_state_reduction",
+                    Json::array(gam_two_fold.iter().map(|name| Json::from(name.as_str()))),
                 ),
             ]),
         ),
@@ -291,14 +549,34 @@ fn main() {
             total_naive as f64 / total_enumerated as f64
         }
     };
+    #[allow(clippy::cast_precision_loss)]
+    let reduction_factor = if total_states_reduced == 0 {
+        1.0
+    } else {
+        total_states as f64 / total_states_reduced as f64
+    };
     println!(
         "perf_snapshot: OK in {:?} — {} assignments enumerated (naive space {}, {:.1}x pruned), \
-         {} tests with a >=5x pruning factor, {} states visited; snapshot written to {out_path}",
+         {} tests with a >=5x pruning factor, {} states visited ({} reduced, {:.2}x, \
+         {} transitions pruned, {} GAM tests with >=2x state reduction); snapshot written to \
+         {out_path}",
         started.elapsed(),
         total_enumerated,
         total_naive,
         factor,
         five_fold.len(),
-        total_states
+        total_states,
+        total_states_reduced,
+        reduction_factor,
+        total_pruned,
+        gam_two_fold.len()
     );
+
+    if let Some(old_path) = compare {
+        let old = load_snapshot(&old_path);
+        let regressions = compare_snapshots(&old, &snapshot, threshold);
+        if regressions > 0 {
+            std::process::exit(1);
+        }
+    }
 }

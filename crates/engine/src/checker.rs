@@ -103,6 +103,8 @@ impl Checker for OperationalChecker {
     }
 
     fn check(&self, test: &LitmusTest) -> Result<Verdict, EngineError> {
+        // `is_allowed` decides through the explorer's early-exit witness
+        // search: an allowed verdict stops at the first matching final state.
         Ok(if OperationalChecker::is_allowed(self, test)? {
             Verdict::Allowed
         } else {
@@ -111,8 +113,7 @@ impl Checker for OperationalChecker {
     }
 
     fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, EngineError> {
-        let outcomes = OperationalChecker::allowed_outcomes(self, test)?;
-        Ok(outcomes.into_iter().find(|outcome| test.condition().matched_by(outcome)))
+        Ok(OperationalChecker::find_witness(self, test)?)
     }
 }
 

@@ -9,7 +9,7 @@ use std::time::Instant;
 use gam_axiomatic::{AxiomaticChecker, CheckerConfig, Verdict};
 use gam_core::{model, ModelKind};
 use gam_isa::litmus::LitmusTest;
-use gam_operational::{ExplorerConfig, OperationalChecker};
+use gam_operational::{ExplorerConfig, OperationalChecker, Reduction};
 
 use crate::checker::Checker;
 use crate::error::EngineError;
@@ -133,6 +133,17 @@ impl EngineBuilder {
     #[must_use]
     pub fn explorer_parallelism(mut self, parallelism: usize) -> Self {
         self.explorer_config.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Selects the operational explorer's partial-order/symmetry reduction
+    /// mode (operational backend only). Reduced exploration produces the
+    /// same outcome sets while visiting a fraction of the interleavings —
+    /// the agreement is pinned by the reduction test-suite for the whole
+    /// litmus library.
+    #[must_use]
+    pub fn reduction(mut self, reduction: Reduction) -> Self {
+        self.explorer_config.reduction = reduction;
         self
     }
 
@@ -456,6 +467,31 @@ mod tests {
             let fast_v: Vec<_> = verdicts.verdicts().collect();
             assert_eq!(full_v, fast_v, "{backend}: verdict-only mode disagrees");
             assert!(verdicts.reports.iter().all(|r| r.outcomes.is_empty()));
+        }
+    }
+
+    #[test]
+    fn reduced_operational_engine_agrees_with_unreduced() {
+        let tests = vec![library::dekker(), library::corr(), library::mp_addr(), library::wrc()];
+        let baseline = Engine::builder()
+            .model(ModelKind::Gam)
+            .backend(Backend::Operational)
+            .build()
+            .unwrap()
+            .run_suite(&tests);
+        for reduction in [Reduction::Sleep, Reduction::SleepPlusCanon] {
+            let reduced = Engine::builder()
+                .model(ModelKind::Gam)
+                .backend(Backend::Operational)
+                .reduction(reduction)
+                .build()
+                .unwrap()
+                .run_suite(&tests);
+            assert!(reduced.all_ok());
+            for (full, fast) in baseline.reports.iter().zip(&reduced.reports) {
+                assert_eq!(full.verdict, fast.verdict, "{reduction}/{}", full.test);
+                assert_eq!(full.outcomes, fast.outcomes, "{reduction}/{}", full.test);
+            }
         }
     }
 

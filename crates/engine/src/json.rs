@@ -40,6 +40,261 @@ impl Json {
     pub fn array(values: impl IntoIterator<Item = Json>) -> Json {
         Json::Array(values.into_iter().collect())
     }
+
+    /// Parses a JSON document produced by this module (RFC 8259 with one
+    /// restriction: numbers must be unsigned integers, which is all the
+    /// suite reports and perf snapshots ever emit).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with a byte offset on malformed input,
+    /// trailing garbage, or an unsupported (negative/fractional) number.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut parser = Parser { text: input, bytes: input.as_bytes(), offset: 0 };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.offset != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object (`None` for non-objects and missing
+    /// keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value (`None` for other variants).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value (`None` for other variants).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements (`None` for other variants).
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(values) => Some(values),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// A minimal recursive-descent parser over the input bytes.
+struct Parser<'a> {
+    /// The original input (for O(1) char decoding at a known boundary).
+    text: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError { offset: self.offset, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.offset += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.offset += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.offset..].starts_with(text.as_bytes()) {
+            self.offset += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b'-') => Err(self.error("negative numbers are not part of the schema")),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.offset;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.offset += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.error("fractional numbers are not part of the schema"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.offset]).expect("digits");
+        digits.parse::<u64>().map(Json::UInt).map_err(|_| self.error("integer overflows u64"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.offset += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.offset += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.offset += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.offset..self.offset + 4)
+                                .and_then(|hex| std::str::from_utf8(hex).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            // `from_str_radix` alone would accept a leading
+                            // '+'; require exactly four hex digits.
+                            if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                                return Err(self.error("invalid \\u escape"));
+                            }
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs never appear in our documents;
+                            // reject them instead of mis-decoding.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.offset += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(byte) if byte < 0x20 => return Err(self.error("raw control character")),
+                Some(byte) if byte < 0x80 => {
+                    out.push(byte as char);
+                    self.offset += 1;
+                }
+                Some(_) => {
+                    // Advance over one multi-byte UTF-8 scalar; `offset` is
+                    // always a char boundary of the original `&str`, so the
+                    // slice-and-decode is O(1).
+                    let c = self.text[self.offset..].chars().next().expect("non-empty");
+                    out.push(c);
+                    self.offset += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut values = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.offset += 1;
+            return Ok(Json::Array(values));
+        }
+        loop {
+            self.skip_whitespace();
+            values.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.offset += 1,
+                Some(b']') => {
+                    self.offset += 1;
+                    return Ok(Json::Array(values));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.offset += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.offset += 1,
+                Some(b'}') => {
+                    self.offset += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
 }
 
 impl From<&str> for Json {
@@ -192,5 +447,63 @@ mod tests {
     fn option_serializes_to_null_or_value() {
         assert_eq!(None::<Verdict>.to_json().to_string(), "null");
         assert_eq!(Some(Verdict::Allowed).to_json().to_string(), "\"allowed\"");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let document = Json::object([
+            ("schema", Json::from("gam-perf-snapshot/v2")),
+            ("quick", Json::from(false)),
+            ("count", Json::from(29u64)),
+            ("none", Json::Null),
+            (
+                "rows",
+                Json::array([
+                    Json::object([("a\"b\n", Json::from(1u64))]),
+                    Json::array([]),
+                    Json::object([]),
+                ]),
+            ),
+        ]);
+        let rendered = document.to_string();
+        assert_eq!(Json::parse(&rendered).unwrap(), document);
+        // Whitespace-tolerant.
+        let spaced = "{ \"a\" : [ 1 , 2 ] ,\n\t\"b\" : \"x\\u0041\" }";
+        let parsed = Json::parse(spaced).unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(parsed.get("b").unwrap().as_str(), Some("xA"));
+        assert_eq!(parsed.get("a").unwrap().as_array().unwrap()[1].as_u64(), Some(2));
+        assert_eq!(parsed.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for (input, needle) in [
+            ("", "expected a value"),
+            ("{\"a\":1", "expected ',' or '}'"),
+            ("[1 2]", "expected ',' or ']'"),
+            ("-4", "negative"),
+            ("1.5", "fractional"),
+            ("\"abc", "unterminated"),
+            ("\"\\u+041\"", "invalid \\u escape"),
+            ("nul", "expected 'null'"),
+            ("{}1", "trailing"),
+            ("99999999999999999999999", "overflows"),
+        ] {
+            let err = Json::parse(input).unwrap_err();
+            assert!(err.to_string().contains(needle), "{input:?}: expected {needle:?} in {err}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_committed_baseline_shape() {
+        // A fragment in the exact shape of BENCH_<date>.json.
+        let fragment = "{\"schema\":\"gam-perf-snapshot/v1\",\"totals\":{\"states_visited\":5579},\
+                        \"per_model\":[{\"model\":\"SC\",\"tests\":[{\"test\":\"dekker\",\
+                        \"operational\":{\"states_visited\":13}}]}]}";
+        let parsed = Json::parse(fragment).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some("gam-perf-snapshot/v1"));
+        let models = parsed.get("per_model").unwrap().as_array().unwrap();
+        assert_eq!(models[0].get("model").unwrap().as_str(), Some("SC"));
     }
 }

@@ -56,10 +56,10 @@ pub mod report;
 pub use checker::Checker;
 pub use engine::{Backend, Engine, EngineBuilder};
 pub use error::EngineError;
-pub use json::{Json, ToJson};
+pub use json::{Json, JsonParseError, ToJson};
 pub use report::{SuiteReport, TestReport};
 
 // Re-exported so facade users can name verdicts and configs without
 // depending on the backend crates directly.
 pub use gam_axiomatic::{CheckerConfig, Verdict};
-pub use gam_operational::ExplorerConfig;
+pub use gam_operational::{ExplorerConfig, Reduction};

@@ -13,7 +13,7 @@ use gam_isa::litmus::{LitmusTest, Outcome};
 
 use crate::explore::{Exploration, ExploreError, Explorer, ExplorerConfig};
 use crate::gam::{GamConfig, GamMachine};
-use crate::machine::AbstractMachine;
+use crate::machine::LabeledMachine;
 use crate::sc::ScMachine;
 use crate::tso::TsoMachine;
 
@@ -119,18 +119,47 @@ impl OperationalChecker {
         Ok(self.explore(test)?.outcomes)
     }
 
+    /// Searches for a reachable final outcome matching the test's condition
+    /// of interest, stopping at the *first* witness instead of exhausting
+    /// the state space. `None` means the exploration completed without a
+    /// match — the condition is forbidden.
+    ///
+    /// # Errors
+    ///
+    /// See [`OperationalChecker::explore`]. A state-limit abort before a
+    /// witness was found is an error: the condition was neither proven
+    /// reachable nor exhausted.
+    pub fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, OperationalError> {
+        let matches = |outcome: &Outcome| test.condition().matched_by(outcome);
+        match self.model {
+            ModelKind::Sc => Ok(self.explorer.find_outcome(&ScMachine::new(test), matches)?),
+            ModelKind::Tso => Ok(self.explorer.find_outcome(&TsoMachine::new(test), matches)?),
+            ModelKind::Gam => Ok(self
+                .explorer
+                .find_outcome(&GamMachine::with_config(test, GamConfig::gam()), matches)?),
+            ModelKind::Gam0 => Ok(self
+                .explorer
+                .find_outcome(&GamMachine::with_config(test, GamConfig::gam0()), matches)?),
+            ModelKind::GamArm => Err(OperationalError::UnsupportedModel { model: self.model }),
+        }
+    }
+
     /// Returns true if the test's condition of interest is reachable.
+    ///
+    /// Decides via [`OperationalChecker::find_witness`], so an *allowed*
+    /// verdict exits at the first matching final state; only a *forbidden*
+    /// verdict pays for the whole (reduced) state space.
     ///
     /// # Errors
     ///
     /// See [`OperationalChecker::explore`].
     pub fn is_allowed(&self, test: &LitmusTest) -> Result<bool, OperationalError> {
-        Ok(self.allowed_outcomes(test)?.iter().any(|outcome| test.condition().matched_by(outcome)))
+        Ok(self.find_witness(test)?.is_some())
     }
 
     /// Convenience: run a specific machine for a test regardless of the
     /// checker's model (useful for differential experiments).
-    pub fn explore_machine<M: AbstractMachine + Sync>(
+    pub fn explore_machine<M: LabeledMachine + Sync>(
         &self,
         machine: &M,
     ) -> Result<Exploration, OperationalError>

@@ -6,7 +6,7 @@
 //! programs), so the search is exact; configurable limits guard against
 //! pathological inputs.
 //!
-//! Two performance mechanisms sit under the search. States are *interned*:
+//! Three performance mechanisms sit under the search. States are *interned*:
 //! an arena stores each distinct state exactly once and an `FxHash`-keyed
 //! index maps state hashes to arena slots, so the frontier and the visited
 //! set carry 4-byte indices instead of duplicated machine configurations, and
@@ -16,9 +16,33 @@
 //! state hash across that many worker threads: each shard owns the states
 //! whose hash lands in it (so deduplication stays lock-local), idle workers
 //! pull expansion batches from a shared injector queue, and the per-worker
-//! outcome sets are merged at the end — the merged set is identical to the
-//! sequential one because exploration order never affects which states are
-//! reachable.
+//! outcome sets are merged at the end.
+//!
+//! The third mechanism is **partial-order and symmetry reduction** over the
+//! labels of a [`LabeledMachine`], selected by [`Reduction`]:
+//!
+//! * **Persistent sets** — when every enabled action of some thread is
+//!   thread-private (`ActionKind::Local` / `ActionKind::Fence`), those
+//!   actions commute with every action any other thread can ever take, so
+//!   exploring only that thread from this state reaches the same final
+//!   states. This prunes whole subtrees and therefore *states*.
+//! * **Sleep sets** — after exploring action `a` from a state, every
+//!   sibling ordering that begins with an action independent of `a` and
+//!   later fires `a` revisits the same states; the successor inherits a
+//!   *sleep set* of such already-covered actions and skips them. This prunes
+//!   *transitions* (re-expansions), not states. Revisiting an interned state
+//!   with a sleep set that is not a superset of the stored one re-expands it
+//!   with the intersection, which keeps the search exact.
+//! * **Canonicalization** ([`Reduction::SleepPlusCanon`]) — states are
+//!   rewritten by [`LabeledMachine::canonicalize`] before interning, so
+//!   states differing only in semantically dead fields (e.g. the recorded
+//!   prediction of a resolved branch) collapse to one arena slot.
+//!
+//! Soundness of the whole stack rests on the [`LabeledMachine`] contract
+//! (thread-local guards, honest memory-address labels): under it, the
+//! reduced search reaches exactly the final states of the full search, which
+//! the repository pins with differential tests over the entire litmus
+//! library and randomly generated programs.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -29,7 +53,55 @@ use std::sync::Mutex;
 use gam_isa::litmus::Outcome;
 use rustc_hash::{FxBuildHasher, FxHashMap};
 
-use crate::machine::AbstractMachine;
+use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
+
+/// The partial-order/symmetry reduction mode of the exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Reduction {
+    /// Visit every interleaving (the PR 2 behaviour); the baseline the
+    /// reduced modes are differentially tested against.
+    #[default]
+    Off,
+    /// Persistent-set + sleep-set partial-order reduction over transition
+    /// labels.
+    Sleep,
+    /// [`Reduction::Sleep`] plus state canonicalization
+    /// ([`LabeledMachine::canonicalize`]) before interning.
+    SleepPlusCanon,
+}
+
+impl Reduction {
+    /// All modes, in increasing aggressiveness.
+    pub const ALL: [Reduction; 3] = [Reduction::Off, Reduction::Sleep, Reduction::SleepPlusCanon];
+
+    /// Is any reduction active?
+    #[must_use]
+    pub fn is_reduced(self) -> bool {
+        !matches!(self, Reduction::Off)
+    }
+
+    /// Does the mode canonicalize states before interning?
+    #[must_use]
+    pub fn canonicalizes(self) -> bool {
+        matches!(self, Reduction::SleepPlusCanon)
+    }
+
+    /// A short lowercase name (`"off"` / `"sleep"` / `"sleep+canon"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Reduction::Off => "off",
+            Reduction::Sleep => "sleep",
+            Reduction::SleepPlusCanon => "sleep+canon",
+        }
+    }
+}
+
+impl fmt::Display for Reduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Limits and resources of the exhaustive exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +113,13 @@ pub struct ExplorerConfig {
     /// with any suite-level parallelism (e.g. `Engine::run_suite` workers) —
     /// keep the product near the core count.
     pub parallelism: usize,
+    /// The partial-order/symmetry reduction mode.
+    pub reduction: Reduction,
 }
 
 impl Default for ExplorerConfig {
     fn default() -> Self {
-        ExplorerConfig { max_states: 5_000_000, parallelism: 1 }
+        ExplorerConfig { max_states: 5_000_000, parallelism: 1, reduction: Reduction::Off }
     }
 }
 
@@ -55,6 +129,13 @@ impl ExplorerConfig {
     pub fn parallel() -> Self {
         let n = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         ExplorerConfig { parallelism: n, ..ExplorerConfig::default() }
+    }
+
+    /// The default limits with the strongest reduction
+    /// ([`Reduction::SleepPlusCanon`]).
+    #[must_use]
+    pub fn reduced() -> Self {
+        ExplorerConfig { reduction: Reduction::SleepPlusCanon, ..ExplorerConfig::default() }
     }
 }
 
@@ -102,16 +183,199 @@ impl std::error::Error for ExploreError {}
 pub struct Exploration {
     /// The set of outcomes of all reachable final states.
     pub outcomes: BTreeSet<Outcome>,
-    /// Number of distinct states visited.
+    /// Number of distinct states visited (canonical states under
+    /// [`Reduction::SleepPlusCanon`]).
     pub states_visited: usize,
     /// Number of reachable final states (counted once per distinct state).
     pub final_states: usize,
+    /// Number of enabled transitions the reduction skipped (persistent-set
+    /// and sleep-set prunes). Zero under [`Reduction::Off`].
+    pub transitions_pruned: usize,
 }
 
 /// An exhaustive state-space explorer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Explorer {
     config: ExplorerConfig,
+}
+
+/// Sorted-set helpers for sleep sets (small sorted `Vec<Action>`s).
+mod sleep {
+    use super::Action;
+
+    pub fn contains(set: &[Action], action: &Action) -> bool {
+        set.binary_search(action).is_ok()
+    }
+
+    /// Is `a` a subset of `b`? Both sorted and deduplicated.
+    pub fn is_subset(a: &[Action], b: &[Action]) -> bool {
+        a.iter().all(|x| contains(b, x))
+    }
+
+    /// The intersection of two sorted, deduplicated sets.
+    pub fn intersect(a: &[Action], b: &[Action]) -> Vec<Action> {
+        a.iter().filter(|x| contains(b, x)).copied().collect()
+    }
+}
+
+/// A persistent set chosen for one state expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Chosen {
+    /// No reduction possible: explore every enabled action.
+    All,
+    /// Explore only the given thread's actions.
+    Thread(u32),
+    /// Explore exactly one action.
+    Single(Action),
+}
+
+impl Chosen {
+    fn keeps(self, action: &Action) -> bool {
+        match self {
+            Chosen::All => true,
+            Chosen::Thread(thread) => action.thread == thread,
+            Chosen::Single(single) => *action == single,
+        }
+    }
+}
+
+/// Persistent-set selection over the transition labels, strongest first.
+///
+/// Three tiers, all resting on the [`LabeledMachine`] contract
+/// (thread-local guards and labels, honest memory addresses):
+///
+/// 1. **Singleton** — an action that is independent of everything its own
+///    thread can do ([`LabeledMachine::own_thread_independent`]) *and*
+///    cannot conflict with any other active thread (it is thread-private,
+///    or its address misses every other footprint) commutes with every
+///    action any sequence of non-chosen actions can ever contain; it is a
+///    one-element persistent set and is explored alone.
+/// 2. **Thread** — a thread whose enabled actions are all thread-private
+///    (`ActionKind::Local`/`ActionKind::Fence`), or whose memory actions
+///    are all footprint-disjoint from every other active thread: a read
+///    must miss the others' may-write sets, a write must miss their
+///    may-access sets ([`LabeledMachine::future_footprint`]).
+/// 3. **All** — no candidate qualifies; the state expands fully.
+///
+/// Only threads with an enabled action are consulted: guards are
+/// thread-local, so a thread without one can never be woken by another
+/// thread and will never act again. The choice is a pure function of the
+/// state, which keeps reduced exploration deterministic in the sequential
+/// driver.
+fn choose_persistent<M: LabeledMachine>(
+    machine: &M,
+    state: &M::State,
+    labeled: &[(Action, M::State)],
+) -> Chosen {
+    let mut threads: Vec<u32> = labeled.iter().map(|(action, _)| action.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    if threads.len() <= 1 {
+        // A single active thread is vacuously persistent — and there is
+        // nothing to prune.
+        return Chosen::All;
+    }
+    let mut footprints: Option<Vec<(u32, Footprint)>> = None;
+    let mut cross_thread_safe = |machine: &M, action: &Action| -> bool {
+        if !action.kind.touches_memory() {
+            return true;
+        }
+        let footprints = footprints.get_or_insert_with(|| {
+            threads
+                .iter()
+                .map(|&thread| (thread, machine.future_footprint(state, thread as usize)))
+                .collect()
+        });
+        footprints.iter().all(|(other, footprint)| {
+            *other == action.thread
+                || if action.kind.writes_memory() {
+                    !footprint.may_access(action.addr)
+                } else {
+                    !footprint.may_write(action.addr)
+                }
+        })
+    };
+
+    // Tier 1: a singleton.
+    for (action, _) in labeled {
+        if machine.own_thread_independent(state, action) && cross_thread_safe(machine, action) {
+            return Chosen::Single(*action);
+        }
+    }
+    // Tier 2: a whole thread.
+    'candidate: for &candidate in &threads {
+        for (action, _) in labeled {
+            if action.thread != candidate {
+                continue;
+            }
+            if !cross_thread_safe(machine, action) {
+                continue 'candidate;
+            }
+        }
+        return Chosen::Thread(candidate);
+    }
+    Chosen::All
+}
+
+/// Bound on singleton-chain compression steps between interned states.
+///
+/// Singleton-qualified rules make monotone progress in the shipped machines
+/// (they set done/available bits or advance in-order state), so chains
+/// cannot cycle; the cap is defensive, and keeps the state limit meaningful
+/// for machines whose chains are unexpectedly long.
+const MAX_CHAIN: usize = 64;
+
+/// The result of a compressed chain: the state to intern and its inherited
+/// sleep set, or `None` when the chain was sleep-pruned.
+type ChainEnd<S> = Option<(S, Vec<Action>)>;
+
+/// An early-exit predicate over final-state outcomes (`Sync` so the
+/// parallel drivers can consult it from every worker).
+type StopFn<'a> = &'a (dyn Fn(&Outcome) -> bool + Sync);
+
+/// Chain compression: advances a freshly produced successor through states
+/// whose persistent set is a *singleton*, without interning the
+/// intermediates.
+///
+/// A state with a one-action persistent set has exactly one outgoing
+/// transition in the reduced graph — it is pure bookkeeping on the way to
+/// the next genuine choice point, and interning it would only grow
+/// `states_visited`. The sleep set is carried along (each chained action
+/// drops the entries it is dependent with), and a chained action found in
+/// the sleep set prunes the whole remaining chain — the standard sleep-set
+/// argument: that continuation is explored from a sibling subtree.
+fn compress_chain<M: LabeledMachine>(
+    machine: &M,
+    mut state: M::State,
+    mut sleep_set: Vec<Action>,
+    canon: bool,
+    pruned: &mut usize,
+) -> Result<ChainEnd<M::State>, ExploreError> {
+    for _ in 0..MAX_CHAIN {
+        if machine.is_final(&state) {
+            break;
+        }
+        let labeled = machine.labeled_successors(&state);
+        if labeled.is_empty() {
+            return Err(ExploreError::Deadlock);
+        }
+        let Chosen::Single(action) = choose_persistent(machine, &state, &labeled) else {
+            break;
+        };
+        if sleep::contains(&sleep_set, &action) {
+            *pruned += 1;
+            return Ok(None);
+        }
+        *pruned += labeled.len() - 1;
+        let successor = labeled
+            .into_iter()
+            .find(|(candidate, _)| *candidate == action)
+            .expect("the chosen singleton is enabled")
+            .1;
+        state = if canon { machine.canonicalize(successor) } else { successor };
+        sleep_set.retain(|b| machine.independent(&action, b));
+    }
+    Ok(Some((state, sleep_set)))
 }
 
 impl Explorer {
@@ -128,7 +392,8 @@ impl Explorer {
     }
 
     /// Exhaustively explores the machine and collects every reachable final
-    /// outcome, in parallel when [`ExplorerConfig::parallelism`] is above 1.
+    /// outcome, in parallel when [`ExplorerConfig::parallelism`] is above 1
+    /// and with the configured [`Reduction`].
     ///
     /// The `Sync`/`Send` bounds exist for the parallel mode; a machine with a
     /// thread-bound state can still use
@@ -139,23 +404,69 @@ impl Explorer {
     /// Returns [`ExploreError::StateLimitExceeded`] if the state space is
     /// larger than the configured limit, and [`ExploreError::Deadlock`] if a
     /// non-final state has no successor.
-    pub fn explore<M: AbstractMachine + Sync>(
+    pub fn explore<M: LabeledMachine + Sync>(
         &self,
         machine: &M,
     ) -> Result<Exploration, ExploreError>
     where
         M::State: Send,
     {
-        if self.config.parallelism > 1 {
-            self.explore_parallel(machine)
-        } else {
-            self.explore_sequential(machine)
+        match (self.config.reduction, self.config.parallelism > 1) {
+            (Reduction::Off, false) => self.explore_sequential(machine),
+            (Reduction::Off, true) => {
+                self.explore_parallel(machine, None).map(|(exploration, _)| exploration)
+            }
+            (mode, false) => self
+                .explore_reduced_sequential(machine, mode.canonicalizes(), None)
+                .map(|(exploration, _)| exploration),
+            (mode, true) => self
+                .explore_reduced_parallel(machine, mode.canonicalizes(), None)
+                .map(|(exploration, _)| exploration),
         }
+    }
+
+    /// Searches for a final state whose outcome satisfies `matches` and
+    /// returns that outcome, or `None` after exhausting the (possibly
+    /// reduced) state space without a match.
+    ///
+    /// This is the early-exit entry point behind `check`/`find_witness`: the
+    /// search stops at the *first* matching final state instead of
+    /// enumerating the complete outcome set, and honours both the configured
+    /// [`Reduction`] and [`ExplorerConfig::parallelism`] — a forbidden
+    /// verdict still has to exhaust the state space, so the sharded workers
+    /// matter exactly there.
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::explore`]. A state-limit abort without a witness is
+    /// reported as an error (the absence of a witness was not proven).
+    pub fn find_outcome<M, F>(
+        &self,
+        machine: &M,
+        matches: F,
+    ) -> Result<Option<Outcome>, ExploreError>
+    where
+        M: LabeledMachine + Sync,
+        M::State: Send,
+        F: Fn(&Outcome) -> bool + Sync,
+    {
+        let stop: StopFn = &matches;
+        let result = match (self.config.reduction, self.config.parallelism > 1) {
+            (Reduction::Off, false) => self.explore_sequential_impl(machine, Some(stop)),
+            (Reduction::Off, true) => self.explore_parallel(machine, Some(stop)),
+            (mode, false) => {
+                self.explore_reduced_sequential(machine, mode.canonicalizes(), Some(stop))
+            }
+            (mode, true) => {
+                self.explore_reduced_parallel(machine, mode.canonicalizes(), Some(stop))
+            }
+        };
+        result.map(|(_, witness)| witness)
     }
 
     /// Single-threaded exploration, available without the thread-safety
     /// bounds of [`Explorer::explore`] (ignores
-    /// [`ExplorerConfig::parallelism`]).
+    /// [`ExplorerConfig::parallelism`] and [`ExplorerConfig::reduction`]).
     ///
     /// # Errors
     ///
@@ -164,6 +475,16 @@ impl Explorer {
         &self,
         machine: &M,
     ) -> Result<Exploration, ExploreError> {
+        self.explore_sequential_impl(machine, None).map(|(exploration, _)| exploration)
+    }
+
+    /// The unreduced sequential driver, with an optional early-exit
+    /// predicate over final-state outcomes.
+    fn explore_sequential_impl<M: AbstractMachine>(
+        &self,
+        machine: &M,
+        stop: Option<StopFn>,
+    ) -> Result<(Exploration, Option<Outcome>), ExploreError> {
         let mut visited: InternedStates<M::State> = InternedStates::default();
         let mut stack: Vec<u32> = Vec::new();
         let mut outcomes = BTreeSet::new();
@@ -181,7 +502,18 @@ impl Explorer {
                 // a fetch past the interesting instructions); record it
                 // either way.
                 final_states += 1;
-                outcomes.insert(machine.outcome(visited.get(index)));
+                let outcome = machine.outcome(visited.get(index));
+                let matched = stop.is_some_and(|matches| matches(&outcome));
+                outcomes.insert(outcome.clone());
+                if matched {
+                    let exploration = Exploration {
+                        outcomes,
+                        states_visited: visited.len(),
+                        final_states,
+                        transitions_pruned: 0,
+                    };
+                    return Ok((exploration, Some(outcome)));
+                }
             } else if successors.is_empty() {
                 return Err(ExploreError::Deadlock);
             }
@@ -199,7 +531,148 @@ impl Explorer {
             }
         }
 
-        Ok(Exploration { outcomes, states_visited: visited.len(), final_states })
+        let exploration = Exploration {
+            outcomes,
+            states_visited: visited.len(),
+            final_states,
+            transitions_pruned: 0,
+        };
+        Ok((exploration, None))
+    }
+
+    /// The reduced sequential driver: persistent sets + sleep sets, with
+    /// optional canonicalization and an optional early-exit predicate.
+    ///
+    /// Each interned state stores the smallest sleep set it has been reached
+    /// with; reaching it again with a sleep set that is not a superset
+    /// shrinks the stored set to the intersection and re-queues the state,
+    /// so every visit's exploration obligations are eventually met. The
+    /// stored set shrinks strictly on every re-queue, so the search
+    /// terminates.
+    fn explore_reduced_sequential<M: LabeledMachine>(
+        &self,
+        machine: &M,
+        canon: bool,
+        stop: Option<StopFn>,
+    ) -> Result<(Exploration, Option<Outcome>), ExploreError> {
+        let mut visited: InternedStates<M::State> = InternedStates::default();
+        // Per-slot reduction book-keeping, parallel to the arena: the
+        // smallest sleep set seen, and the sleep set of the last expansion
+        // (`None` = never expanded).
+        let mut sleep_sets: Vec<Vec<Action>> = Vec::new();
+        let mut expanded_with: Vec<Option<Vec<Action>>> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        let mut outcomes = BTreeSet::new();
+        let mut final_states = 0usize;
+        let mut pruned = 0usize;
+
+        let initial = {
+            let state = machine.initial_state();
+            if canon {
+                machine.canonicalize(state)
+            } else {
+                state
+            }
+        };
+        let (slot, _) = visited.intern(initial);
+        sleep_sets.push(Vec::new());
+        expanded_with.push(None);
+        stack.push(slot);
+
+        while let Some(slot) = stack.pop() {
+            let z = sleep_sets[slot as usize].clone();
+            if let Some(previous) = &expanded_with[slot as usize] {
+                if sleep::is_subset(previous, &z) {
+                    // Already expanded with an equal or smaller sleep set:
+                    // the pending obligations were covered.
+                    continue;
+                }
+            }
+            let first_expansion = expanded_with[slot as usize].is_none();
+            expanded_with[slot as usize] = Some(z.clone());
+
+            let labeled = machine.labeled_successors(visited.get(slot));
+            if machine.is_final(visited.get(slot)) {
+                if first_expansion {
+                    final_states += 1;
+                }
+                let outcome = machine.outcome(visited.get(slot));
+                let matched = stop.is_some_and(|matches| matches(&outcome));
+                outcomes.insert(outcome.clone());
+                if matched {
+                    let exploration = Exploration {
+                        outcomes,
+                        states_visited: visited.len(),
+                        final_states,
+                        transitions_pruned: pruned,
+                    };
+                    return Ok((exploration, Some(outcome)));
+                }
+            } else if labeled.is_empty() {
+                return Err(ExploreError::Deadlock);
+            }
+
+            let chosen = choose_persistent(machine, visited.get(slot), &labeled);
+            let mut explored: Vec<Action> = Vec::new();
+            for (action, successor) in labeled {
+                if !chosen.keeps(&action) {
+                    pruned += 1; // persistent-set prune
+                    continue;
+                }
+                if sleep::contains(&z, &action) {
+                    pruned += 1; // sleep-set prune
+                    continue;
+                }
+                let successor = if canon { machine.canonicalize(successor) } else { successor };
+                // The successor sleeps on every earlier-explored or inherited
+                // action it is independent of: those orderings are covered by
+                // the sibling subtrees.
+                let mut inherited: Vec<Action> = z
+                    .iter()
+                    .chain(explored.iter())
+                    .filter(|b| machine.independent(&action, b))
+                    .copied()
+                    .collect();
+                inherited.sort_unstable();
+                inherited.dedup();
+
+                let Some((successor, inherited)) =
+                    compress_chain(machine, successor, inherited, canon, &mut pruned)?
+                else {
+                    explored.push(action);
+                    continue;
+                };
+
+                let (next_slot, is_new) = visited.intern(successor);
+                if is_new {
+                    if visited.len() > self.config.max_states {
+                        return Err(ExploreError::StateLimitExceeded {
+                            limit: self.config.max_states,
+                            states_visited: visited.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
+                    sleep_sets.push(inherited);
+                    expanded_with.push(None);
+                    stack.push(next_slot);
+                } else {
+                    let stored = &sleep_sets[next_slot as usize];
+                    if !sleep::is_subset(stored, &inherited) {
+                        sleep_sets[next_slot as usize] = sleep::intersect(stored, &inherited);
+                        stack.push(next_slot);
+                    }
+                }
+                explored.push(action);
+            }
+        }
+
+        let exploration = Exploration {
+            outcomes,
+            states_visited: visited.len(),
+            final_states,
+            transitions_pruned: pruned,
+        };
+        Ok((exploration, None))
     }
 
     /// Sharded-frontier parallel exploration. Idle workers spin-yield rather
@@ -211,7 +684,8 @@ impl Explorer {
     fn explore_parallel<M: AbstractMachine + Sync>(
         &self,
         machine: &M,
-    ) -> Result<Exploration, ExploreError>
+        stop: Option<StopFn>,
+    ) -> Result<(Exploration, Option<Outcome>), ExploreError>
     where
         M::State: Send,
     {
@@ -222,6 +696,7 @@ impl Explorer {
 
         let visited_count = AtomicUsize::new(0);
         let final_count = AtomicUsize::new(0);
+        let witness: Mutex<Option<Outcome>> = Mutex::new(None);
         // Frontier items not yet fully expanded; exploration is complete when
         // this drains to zero (a worker only decrements *after* pushing every
         // successor, so the count can never transiently hit zero while work
@@ -277,7 +752,12 @@ impl Explorer {
                         let successors = machine.successors(&state);
                         if machine.is_final(&state) {
                             final_count.fetch_add(1, Ordering::Relaxed);
-                            outcomes.insert(machine.outcome(&state));
+                            let outcome = machine.outcome(&state);
+                            if stop.is_some_and(|matches| matches(&outcome)) {
+                                *witness.lock().expect("witness lock") = Some(outcome.clone());
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            outcomes.insert(outcome);
                         } else if successors.is_empty() {
                             deadlocked.store(true, Ordering::Relaxed);
                             abort.store(true, Ordering::Relaxed);
@@ -315,6 +795,18 @@ impl Explorer {
 
         let outcomes = merged.into_inner().expect("outcome lock");
         let states_visited = visited_count.load(Ordering::Relaxed);
+        let witness = witness.into_inner().expect("witness lock");
+        let exploration = Exploration {
+            outcomes,
+            states_visited,
+            final_states: final_count.load(Ordering::Relaxed),
+            transitions_pruned: 0,
+        };
+        if let Some(witness) = witness {
+            // The early exit aborted the workers on purpose; the partial
+            // exploration plus the witness is the answer.
+            return Ok((exploration, Some(witness)));
+        }
         if deadlocked.load(Ordering::Relaxed) {
             return Err(ExploreError::Deadlock);
         }
@@ -322,14 +814,255 @@ impl Explorer {
             return Err(ExploreError::StateLimitExceeded {
                 limit: self.config.max_states,
                 states_visited,
-                partial_outcomes: outcomes,
+                partial_outcomes: exploration.outcomes,
             });
         }
-        Ok(Exploration {
+        Ok((exploration, None))
+    }
+
+    /// The reduced parallel driver: the sharded frontier of
+    /// [`Explorer::explore_parallel`] carrying per-state sleep sets inside
+    /// each shard.
+    ///
+    /// The persistent-set choice is a pure function of the state, so it is
+    /// arrival-order independent; sleep sets are not (a state reached first
+    /// by a different worker can sleep on a different action set), which
+    /// makes `states_visited`/`transitions_pruned` run-dependent under
+    /// parallel reduction. The *outcome set* stays exact either way — the
+    /// re-expansion-on-smaller-sleep-set discipline guarantees every
+    /// obligation is eventually explored — and the repository pins outcome
+    /// equality against [`Reduction::Off`] for the full litmus library.
+    fn explore_reduced_parallel<M: LabeledMachine + Sync>(
+        &self,
+        machine: &M,
+        canon: bool,
+        stop: Option<StopFn>,
+    ) -> Result<(Exploration, Option<Outcome>), ExploreError>
+    where
+        M::State: Send,
+    {
+        struct Shard<S> {
+            states: InternedStates<S>,
+            sleep_sets: Vec<Vec<Action>>,
+            expanded_with: Vec<Option<Vec<Action>>>,
+        }
+        impl<S> Default for Shard<S> {
+            fn default() -> Self {
+                Shard {
+                    states: InternedStates::default(),
+                    sleep_sets: Vec::new(),
+                    expanded_with: Vec::new(),
+                }
+            }
+        }
+
+        let workers = self.config.parallelism;
+        let shards: Vec<Mutex<Shard<M::State>>> =
+            (0..workers).map(|_| Mutex::new(Shard::default())).collect();
+        let shard_of = |hash: u64| (hash % workers as u64) as usize;
+
+        let visited_count = AtomicUsize::new(0);
+        let final_count = AtomicUsize::new(0);
+        let pruned_count = AtomicUsize::new(0);
+        let witness: Mutex<Option<Outcome>> = Mutex::new(None);
+        let in_flight = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let injector: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+        let deadlocked = AtomicBool::new(false);
+        let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(BTreeSet::new());
+
+        {
+            let state = machine.initial_state();
+            let initial = if canon { machine.canonicalize(state) } else { state };
+            let hash = FxBuildHasher::default().hash_one(&initial);
+            let shard_index = shard_of(hash);
+            let mut shard = shards[shard_index].lock().expect("shard lock");
+            let (slot, _) = shard.states.intern_hashed(hash, initial);
+            shard.sleep_sets.push(Vec::new());
+            shard.expanded_with.push(None);
+            drop(shard);
+            visited_count.store(1, Ordering::Relaxed);
+            in_flight.store(1, Ordering::SeqCst);
+            injector.lock().expect("injector lock").push((shard_index as u32, slot));
+        }
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let hasher = FxBuildHasher::default();
+                    let mut local: Vec<(u32, u32)> = Vec::new();
+                    let mut outcomes = BTreeSet::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Some((shard_index, slot)) = local.pop().or_else(|| {
+                            let mut queue = injector.lock().expect("injector lock");
+                            let take = (queue.len() / 2).clamp(1, 64);
+                            let from = queue.len().saturating_sub(take);
+                            let drained: Vec<_> = queue.drain(from..).collect();
+                            drop(queue);
+                            local.extend(drained);
+                            local.pop()
+                        }) else {
+                            if in_flight.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+
+                        // Claim the expansion under the shard lock: read the
+                        // current (smallest) sleep set and skip if an equal
+                        // or smaller expansion already happened.
+                        let claimed = {
+                            let mut shard = shards[shard_index as usize].lock().expect("shard");
+                            let z = shard.sleep_sets[slot as usize].clone();
+                            let skip = shard.expanded_with[slot as usize]
+                                .as_ref()
+                                .is_some_and(|previous| sleep::is_subset(previous, &z));
+                            if skip {
+                                None
+                            } else {
+                                let first = shard.expanded_with[slot as usize].is_none();
+                                shard.expanded_with[slot as usize] = Some(z.clone());
+                                Some((shard.states.get(slot).clone(), z, first))
+                            }
+                        };
+                        let Some((state, z, first_expansion)) = claimed else {
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            continue;
+                        };
+
+                        let labeled = machine.labeled_successors(&state);
+                        if machine.is_final(&state) {
+                            if first_expansion {
+                                final_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let outcome = machine.outcome(&state);
+                            if stop.is_some_and(|matches| matches(&outcome)) {
+                                *witness.lock().expect("witness lock") = Some(outcome.clone());
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            outcomes.insert(outcome);
+                        } else if labeled.is_empty() {
+                            deadlocked.store(true, Ordering::Relaxed);
+                            abort.store(true, Ordering::Relaxed);
+                        }
+
+                        let chosen = choose_persistent(machine, &state, &labeled);
+                        let mut explored: Vec<Action> = Vec::new();
+                        for (action, successor) in labeled {
+                            if !chosen.keeps(&action) {
+                                pruned_count.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            if sleep::contains(&z, &action) {
+                                pruned_count.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            let successor =
+                                if canon { machine.canonicalize(successor) } else { successor };
+                            let mut inherited: Vec<Action> = z
+                                .iter()
+                                .chain(explored.iter())
+                                .filter(|b| machine.independent(&action, b))
+                                .copied()
+                                .collect();
+                            inherited.sort_unstable();
+                            inherited.dedup();
+
+                            let mut chain_pruned = 0usize;
+                            let compressed = match compress_chain(
+                                machine,
+                                successor,
+                                inherited,
+                                canon,
+                                &mut chain_pruned,
+                            ) {
+                                Ok(compressed) => compressed,
+                                Err(ExploreError::Deadlock) => {
+                                    deadlocked.store(true, Ordering::Relaxed);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(_) => unreachable!("chains only fail by deadlock"),
+                            };
+                            pruned_count.fetch_add(chain_pruned, Ordering::Relaxed);
+                            let Some((successor, inherited)) = compressed else {
+                                explored.push(action);
+                                continue;
+                            };
+
+                            let hash = hasher.hash_one(&successor);
+                            let target = shard_of(hash);
+                            let queue = {
+                                let mut shard = shards[target].lock().expect("shard lock");
+                                let (next_slot, is_new) =
+                                    shard.states.intern_hashed(hash, successor);
+                                if is_new {
+                                    shard.sleep_sets.push(inherited);
+                                    shard.expanded_with.push(None);
+                                    if visited_count.fetch_add(1, Ordering::Relaxed) + 1
+                                        > self.config.max_states
+                                    {
+                                        abort.store(true, Ordering::Relaxed);
+                                    }
+                                    Some(next_slot)
+                                } else {
+                                    let stored = &shard.sleep_sets[next_slot as usize];
+                                    if sleep::is_subset(stored, &inherited) {
+                                        None
+                                    } else {
+                                        shard.sleep_sets[next_slot as usize] =
+                                            sleep::intersect(stored, &inherited);
+                                        Some(next_slot)
+                                    }
+                                }
+                            };
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if let Some(next_slot) = queue {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                local.push((target as u32, next_slot));
+                            }
+                            explored.push(action);
+                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        if local.len() > 64 {
+                            let spill: Vec<_> = local.drain(..local.len() / 2).collect();
+                            injector.lock().expect("injector lock").extend(spill);
+                        }
+                    }
+                    merged.lock().expect("outcome lock").append(&mut outcomes);
+                });
+            }
+        });
+
+        let outcomes = merged.into_inner().expect("outcome lock");
+        let states_visited = visited_count.load(Ordering::Relaxed);
+        let witness = witness.into_inner().expect("witness lock");
+        let exploration = Exploration {
             outcomes,
             states_visited,
             final_states: final_count.load(Ordering::Relaxed),
-        })
+            transitions_pruned: pruned_count.load(Ordering::Relaxed),
+        };
+        if let Some(witness) = witness {
+            return Ok((exploration, Some(witness)));
+        }
+        if deadlocked.load(Ordering::Relaxed) {
+            return Err(ExploreError::Deadlock);
+        }
+        if abort.load(Ordering::Relaxed) {
+            return Err(ExploreError::StateLimitExceeded {
+                limit: self.config.max_states,
+                states_visited,
+                partial_outcomes: exploration.outcomes,
+            });
+        }
+        Ok((exploration, None))
     }
 }
 
@@ -337,7 +1070,7 @@ impl Explorer {
 /// by a hash → arena-slot map, so frontiers can carry `u32` slots instead of
 /// cloned states and membership tests hash each candidate exactly once.
 #[derive(Debug)]
-struct InternedStates<S> {
+pub(crate) struct InternedStates<S> {
     arena: Vec<S>,
     by_hash: FxHashMap<u64, Vec<u32>>,
     hasher: FxBuildHasher,
@@ -354,31 +1087,43 @@ impl<S> Default for InternedStates<S> {
 }
 
 impl<S: std::hash::Hash + Eq> InternedStates<S> {
-    /// Inserts a state, returning its fresh arena slot, or `None` if an equal
-    /// state was already interned.
-    fn insert(&mut self, state: S) -> Option<u32> {
+    /// Interns a state, returning its arena slot and whether it was new.
+    pub(crate) fn intern(&mut self, state: S) -> (u32, bool) {
         let hash = self.hasher.hash_one(&state);
-        self.insert_hashed(hash, state)
+        self.intern_hashed(hash, state)
     }
 
-    /// Like `insert` with the hash precomputed (parallel shards hash before
+    /// Like `intern` with the hash precomputed (parallel shards hash before
     /// picking a shard).
-    fn insert_hashed(&mut self, hash: u64, state: S) -> Option<u32> {
+    pub(crate) fn intern_hashed(&mut self, hash: u64, state: S) -> (u32, bool) {
         let bucket = self.by_hash.entry(hash).or_default();
-        if bucket.iter().any(|&slot| self.arena[slot as usize] == state) {
-            return None;
+        if let Some(&slot) = bucket.iter().find(|&&slot| self.arena[slot as usize] == state) {
+            return (slot, false);
         }
         let slot = u32::try_from(self.arena.len()).expect("state count fits u32");
         self.arena.push(state);
         bucket.push(slot);
-        Some(slot)
+        (slot, true)
     }
 
-    fn get(&self, slot: u32) -> &S {
+    /// Inserts a state, returning its fresh arena slot, or `None` if an equal
+    /// state was already interned.
+    pub(crate) fn insert(&mut self, state: S) -> Option<u32> {
+        let hash = self.hasher.hash_one(&state);
+        self.insert_hashed(hash, state)
+    }
+
+    /// Like `insert` with the hash precomputed.
+    pub(crate) fn insert_hashed(&mut self, hash: u64, state: S) -> Option<u32> {
+        let (slot, is_new) = self.intern_hashed(hash, state);
+        is_new.then_some(slot)
+    }
+
+    pub(crate) fn get(&self, slot: u32) -> &S {
         &self.arena[slot as usize]
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.arena.len()
     }
 }
@@ -421,6 +1166,16 @@ mod tests {
         }
     }
 
+    impl LabeledMachine for Diamond {
+        fn labeled_successors(&self, state: &u8) -> Vec<(Action, u8)> {
+            self.successors(state)
+                .into_iter()
+                .enumerate()
+                .map(|(ordinal, next)| (Action::local(0, ordinal as u32), next))
+                .collect()
+        }
+    }
+
     /// A machine that deadlocks in a non-final state.
     #[derive(Debug)]
     struct Stuck;
@@ -446,6 +1201,12 @@ mod tests {
 
         fn name(&self) -> &str {
             "stuck"
+        }
+    }
+
+    impl LabeledMachine for Stuck {
+        fn labeled_successors(&self, _state: &u8) -> Vec<(Action, u8)> {
+            vec![]
         }
     }
 
@@ -487,12 +1248,111 @@ mod tests {
         }
     }
 
+    impl LabeledMachine for Wide {
+        fn labeled_successors(&self, state: &u32) -> Vec<(Action, u32)> {
+            self.successors(state)
+                .into_iter()
+                .enumerate()
+                .map(|(ordinal, next)| (Action::local(0, ordinal as u32), next))
+                .collect()
+        }
+    }
+
+    /// Two threads of fully independent local counters: thread `t` counts
+    /// from 0 to `len`. The full space is the `(len+1)^2` grid; a
+    /// persistent-set exploration collapses it to one path.
+    #[derive(Debug)]
+    struct TwoLocalCounters {
+        len: u8,
+    }
+
+    impl AbstractMachine for TwoLocalCounters {
+        type State = (u8, u8);
+
+        fn initial_state(&self) -> (u8, u8) {
+            (0, 0)
+        }
+
+        fn successors(&self, state: &(u8, u8)) -> Vec<(u8, u8)> {
+            self.labeled_successors(state).into_iter().map(|(_, next)| next).collect()
+        }
+
+        fn is_final(&self, state: &(u8, u8)) -> bool {
+            state.0 == self.len && state.1 == self.len
+        }
+
+        fn outcome(&self, _state: &(u8, u8)) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "two-local-counters"
+        }
+    }
+
+    impl LabeledMachine for TwoLocalCounters {
+        fn labeled_successors(&self, state: &(u8, u8)) -> Vec<(Action, (u8, u8))> {
+            let mut out = Vec::new();
+            if state.0 < self.len {
+                out.push((Action::local(0, u32::from(state.0)), (state.0 + 1, state.1)));
+            }
+            if state.1 < self.len {
+                out.push((Action::local(1, u32::from(state.1)), (state.0, state.1 + 1)));
+            }
+            out
+        }
+    }
+
+    /// Two threads, each one shared-memory write to a distinct address: a
+    /// commuting diamond whose sleep sets prune one of the two transition
+    /// orders but still visit all four states.
+    #[derive(Debug)]
+    struct DisjointWrites;
+
+    impl AbstractMachine for DisjointWrites {
+        type State = (bool, bool);
+
+        fn initial_state(&self) -> (bool, bool) {
+            (false, false)
+        }
+
+        fn successors(&self, state: &(bool, bool)) -> Vec<(bool, bool)> {
+            self.labeled_successors(state).into_iter().map(|(_, next)| next).collect()
+        }
+
+        fn is_final(&self, state: &(bool, bool)) -> bool {
+            state.0 && state.1
+        }
+
+        fn outcome(&self, _state: &(bool, bool)) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "disjoint-writes"
+        }
+    }
+
+    impl LabeledMachine for DisjointWrites {
+        fn labeled_successors(&self, state: &(bool, bool)) -> Vec<(Action, (bool, bool))> {
+            let mut out = Vec::new();
+            if !state.0 {
+                out.push((Action::commit(0, 0, 100), (true, state.1)));
+            }
+            if !state.1 {
+                out.push((Action::commit(1, 0, 200), (state.0, true)));
+            }
+            out
+        }
+    }
+
     #[test]
     fn diamond_visits_all_states_once() {
         let exploration = Explorer::default().explore(&Diamond).unwrap();
         assert_eq!(exploration.states_visited, 4);
         assert_eq!(exploration.final_states, 1);
         assert_eq!(exploration.outcomes.len(), 1);
+        assert_eq!(exploration.transitions_pruned, 0);
     }
 
     #[test]
@@ -507,8 +1367,19 @@ mod tests {
     }
 
     #[test]
+    fn reduced_deadlock_is_reported() {
+        for reduction in [Reduction::Sleep, Reduction::SleepPlusCanon] {
+            let explorer = Explorer::new(ExplorerConfig { reduction, ..Default::default() });
+            assert_eq!(explorer.explore(&Stuck), Err(ExploreError::Deadlock), "{reduction}");
+            let parallel =
+                Explorer::new(ExplorerConfig { reduction, parallelism: 4, ..Default::default() });
+            assert_eq!(parallel.explore(&Stuck), Err(ExploreError::Deadlock), "{reduction}");
+        }
+    }
+
+    #[test]
     fn state_limit_reports_accurate_statistics() {
-        let explorer = Explorer::new(ExplorerConfig { max_states: 2, parallelism: 1 });
+        let explorer = Explorer::new(ExplorerConfig { max_states: 2, ..Default::default() });
         match explorer.explore(&Diamond) {
             Err(ExploreError::StateLimitExceeded { limit, states_visited, partial_outcomes }) => {
                 assert_eq!(limit, 2);
@@ -528,7 +1399,7 @@ mod tests {
     fn state_limit_keeps_partial_outcomes() {
         // The DFS finishes the first interior node's leaves (all final)
         // before expanding the next interior node trips the limit.
-        let explorer = Explorer::new(ExplorerConfig { max_states: 12, parallelism: 1 });
+        let explorer = Explorer::new(ExplorerConfig { max_states: 12, ..Default::default() });
         match explorer.explore(&Wide { fanout: 5 }) {
             Err(ExploreError::StateLimitExceeded { states_visited, partial_outcomes, .. }) => {
                 assert!(states_visited > 12);
@@ -536,6 +1407,81 @@ mod tests {
             }
             other => panic!("expected a state-limit error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn state_limit_is_enforced_under_reduction() {
+        // The counters machine is all-local, so the persistent set follows
+        // thread 0 first: the reduced space is one path of 2·len+1 states.
+        // A limit below that still aborts with accurate statistics and the
+        // partial outcomes collected so far.
+        for reduction in [Reduction::Sleep, Reduction::SleepPlusCanon] {
+            let explorer =
+                Explorer::new(ExplorerConfig { max_states: 5, reduction, ..Default::default() });
+            match explorer.explore(&TwoLocalCounters { len: 9 }) {
+                Err(ExploreError::StateLimitExceeded {
+                    limit,
+                    states_visited,
+                    partial_outcomes,
+                }) => {
+                    assert_eq!(limit, 5, "{reduction}");
+                    assert_eq!(states_visited, 6, "{reduction}: abort on the tripping insert");
+                    assert!(partial_outcomes.is_empty(), "{reduction}: no final state yet");
+                }
+                other => panic!("{reduction}: expected a state-limit error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_sets_collapse_independent_local_threads() {
+        let machine = TwoLocalCounters { len: 4 };
+        let full = Explorer::default().explore(&machine).unwrap();
+        assert_eq!(full.states_visited, 25, "the full space is the 5x5 grid");
+        let reduced = Explorer::new(ExplorerConfig::reduced()).explore(&machine).unwrap();
+        assert_eq!(reduced.outcomes, full.outcomes);
+        assert_eq!(
+            reduced.states_visited, 9,
+            "the persistent set walks thread 0 to completion, then thread 1"
+        );
+        assert!(reduced.transitions_pruned > 0);
+    }
+
+    #[test]
+    fn sleep_sets_prune_commuting_diamonds() {
+        let machine = DisjointWrites;
+        let full = Explorer::default().explore(&machine).unwrap();
+        let reduced =
+            Explorer::new(ExplorerConfig { reduction: Reduction::Sleep, ..Default::default() })
+                .explore(&machine)
+                .unwrap();
+        assert_eq!(reduced.outcomes, full.outcomes);
+        // Sleep sets alone do not remove states (all four corners of the
+        // diamond stay reachable), but they skip the second interleaving of
+        // the two commuting writes.
+        assert_eq!(reduced.states_visited, 4);
+        assert_eq!(reduced.transitions_pruned, 1, "one of the two orders is slept");
+    }
+
+    #[test]
+    fn find_outcome_stops_at_the_first_witness() {
+        // Every leaf of the wide tree has the same (empty) outcome, so the
+        // early exit must trigger long before the 1 + 40 + 1600 states of
+        // the full space are interned.
+        let machine = Wide { fanout: 40 };
+        for reduction in Reduction::ALL {
+            for parallelism in [1, 4] {
+                let explorer =
+                    Explorer::new(ExplorerConfig { reduction, parallelism, ..Default::default() });
+                let witness = explorer.find_outcome(&machine, |_| true).unwrap();
+                assert_eq!(witness, Some(Outcome::new()), "{reduction}/{parallelism}");
+                let missing = explorer.find_outcome(&machine, |_| false).unwrap();
+                assert_eq!(missing, None, "{reduction}/{parallelism}: exhaustion without a match");
+            }
+        }
+        // The full exploration still reports the whole space.
+        let full = Explorer::default().explore(&machine).unwrap();
+        assert_eq!(full.states_visited, 1 + 40 + 40 * 40);
     }
 
     #[test]
@@ -554,8 +1500,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_reduced_matches_sequential_outcomes() {
+        let machine = TwoLocalCounters { len: 6 };
+        let baseline = Explorer::default().explore(&machine).unwrap();
+        for reduction in [Reduction::Sleep, Reduction::SleepPlusCanon] {
+            for workers in [2, 4] {
+                let reduced = Explorer::new(ExplorerConfig {
+                    parallelism: workers,
+                    reduction,
+                    ..Default::default()
+                })
+                .explore(&machine)
+                .unwrap();
+                assert_eq!(reduced.outcomes, baseline.outcomes, "{reduction}/{workers}");
+                assert_eq!(reduced.final_states, 1, "{reduction}/{workers}");
+                assert!(
+                    reduced.states_visited <= baseline.states_visited,
+                    "{reduction}/{workers}: reduction may only shrink the space"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_state_limit_aborts() {
-        let explorer = Explorer::new(ExplorerConfig { max_states: 10, parallelism: 4 });
+        let explorer =
+            Explorer::new(ExplorerConfig { max_states: 10, parallelism: 4, ..Default::default() });
         match explorer.explore(&Wide { fanout: 40 }) {
             Err(ExploreError::StateLimitExceeded { limit, states_visited, .. }) => {
                 assert_eq!(limit, 10);
@@ -578,6 +1548,19 @@ mod tests {
     }
 
     #[test]
+    fn reduction_names_and_accessors() {
+        assert_eq!(Reduction::Off.to_string(), "off");
+        assert_eq!(Reduction::Sleep.to_string(), "sleep");
+        assert_eq!(Reduction::SleepPlusCanon.to_string(), "sleep+canon");
+        assert!(!Reduction::Off.is_reduced());
+        assert!(Reduction::Sleep.is_reduced());
+        assert!(!Reduction::Sleep.canonicalizes());
+        assert!(Reduction::SleepPlusCanon.canonicalizes());
+        assert_eq!(Reduction::default(), Reduction::Off);
+        assert_eq!(ExplorerConfig::reduced().reduction, Reduction::SleepPlusCanon);
+    }
+
+    #[test]
     fn interned_states_deduplicate_and_index() {
         let mut set: InternedStates<u64> = InternedStates::default();
         let a = set.insert(10).expect("new");
@@ -587,5 +1570,97 @@ mod tests {
         assert_eq!(*set.get(a), 10);
         assert_eq!(*set.get(b), 11);
         assert_eq!(set.len(), 2);
+        // intern reports the existing slot instead of hiding it.
+        assert_eq!(set.intern(10), (a, false));
+        assert_eq!(set.intern(12), (2, true));
+    }
+
+    /// A state whose `Hash` writes a constant: every instance lands in the
+    /// same hash bucket, forcing the collision chain through the arena.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Colliding(u32);
+
+    impl std::hash::Hash for Colliding {
+        fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+            state.write_u64(0xDEAD_BEEF);
+        }
+    }
+
+    #[test]
+    fn interned_states_survive_full_hash_collisions() {
+        let mut set: InternedStates<Colliding> = InternedStates::default();
+        // Distinct states with identical hashes each get their own slot.
+        let slots: Vec<u32> =
+            (0..64).map(|n| set.insert(Colliding(n)).expect("distinct state is new")).collect();
+        assert_eq!(set.len(), 64);
+        for (n, slot) in slots.iter().enumerate() {
+            assert_eq!(*set.get(*slot), Colliding(n as u32));
+        }
+        // Equal states are still deduplicated through the collision chain.
+        for n in 0..64 {
+            assert_eq!(set.insert(Colliding(n)), None);
+            assert_eq!(set.intern(Colliding(n)), (slots[n as usize], false));
+        }
+        assert_eq!(set.len(), 64);
+    }
+
+    /// A two-level machine over [`Colliding`] states: all states collide on
+    /// one hash bucket, so exploration correctness rests entirely on the
+    /// equality-based dedup walk.
+    #[derive(Debug)]
+    struct CollidingMachine;
+
+    impl AbstractMachine for CollidingMachine {
+        type State = Colliding;
+
+        fn initial_state(&self) -> Colliding {
+            Colliding(0)
+        }
+
+        fn successors(&self, state: &Colliding) -> Vec<Colliding> {
+            match state.0 {
+                0 => vec![Colliding(1), Colliding(2)],
+                1 | 2 => vec![Colliding(3)],
+                _ => vec![],
+            }
+        }
+
+        fn is_final(&self, state: &Colliding) -> bool {
+            state.0 == 3
+        }
+
+        fn outcome(&self, _state: &Colliding) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "colliding"
+        }
+    }
+
+    impl LabeledMachine for CollidingMachine {
+        fn labeled_successors(&self, state: &Colliding) -> Vec<(Action, Colliding)> {
+            self.successors(state)
+                .into_iter()
+                .enumerate()
+                .map(|(ordinal, next)| (Action::local(0, ordinal as u32), next))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn exploration_is_exact_under_full_hash_collisions() {
+        for reduction in Reduction::ALL {
+            for workers in [1, 4] {
+                let explorer = Explorer::new(ExplorerConfig {
+                    parallelism: workers,
+                    reduction,
+                    ..Default::default()
+                });
+                let exploration = explorer.explore(&CollidingMachine).unwrap();
+                assert_eq!(exploration.states_visited, 4, "{reduction}/{workers}");
+                assert_eq!(exploration.final_states, 1, "{reduction}/{workers}");
+            }
+        }
     }
 }

@@ -30,7 +30,27 @@ use std::collections::BTreeMap;
 use gam_isa::litmus::{LitmusTest, Observation, Outcome};
 use gam_isa::{Instruction, MemAccessType, Operand, Program, Reg, ThreadProgram, Value};
 
-use crate::machine::AbstractMachine;
+use crate::footprint;
+use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
+
+/// Rule tags packed into [`Action::id`] (`tag | rob_index << 3`) so that the
+/// several rules concurrently enabled on one ROB entry get distinct labels.
+mod tag {
+    pub const FETCH: u32 = 0;
+    pub const ALU: u32 = 1;
+    pub const BRANCH: u32 = 2;
+    pub const FENCE: u32 = 3;
+    pub const LOAD: u32 = 4;
+    pub const STORE_DATA: u32 = 5;
+    pub const STORE: u32 = 6;
+    pub const ADDR: u32 = 7;
+}
+
+/// Packs a rule tag and a per-thread ordinal (ROB index, or predicted pc for
+/// fetches) into an action id.
+fn act_id(rule: u32, ordinal: usize) -> u32 {
+    rule | (ordinal as u32) << 3
+}
 
 /// Configuration of the GAM abstract machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +153,10 @@ pub struct GamMachine {
     /// without changing the reachable outcomes (the Fetch rule has no guard
     /// and enabling an entry earlier never disables an older entry's rule).
     eager_fetch: bool,
+    /// `static_addrs[proc][idx]`: the value-set bound on the addresses the
+    /// memory instruction at that position can touch, in any execution
+    /// (drives the explorer's footprint-based partial-order reduction).
+    static_addrs: Vec<Vec<crate::machine::AddrSet>>,
     name: String,
 }
 
@@ -158,6 +182,7 @@ impl GamMachine {
             observed: test.observed().to_vec(),
             config,
             eager_fetch,
+            static_addrs: footprint::instr_addr_sets(test),
             name,
         }
     }
@@ -280,7 +305,7 @@ impl GamMachine {
 
     // ----- rule guards and actions -------------------------------------------------
 
-    fn rule_fetch(&self, state: &GamState, proc: usize, out: &mut Vec<GamState>) {
+    fn rule_fetch(&self, state: &GamState, proc: usize, out: &mut Vec<(Action, GamState)>) {
         let thread = self.thread(proc);
         let pc = state.procs[proc].pc;
         if pc >= thread.len() {
@@ -293,7 +318,7 @@ impl GamMachine {
             fetched.predicted_target = predicted;
             next.procs[proc].rob.push(fetched);
             next.procs[proc].pc = predicted;
-            out.push(next);
+            out.push((Action::local(proc, act_id(tag::FETCH, predicted)), next));
         }
     }
 
@@ -302,7 +327,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<GamState>,
+        out: &mut Vec<(Action, GamState)>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -318,7 +343,7 @@ impl GamMachine {
         let entry = &mut next.procs[proc].rob[index];
         entry.result = op.apply(a, b);
         entry.done = true;
-        out.push(next);
+        out.push((Action::local(proc, act_id(tag::ALU, index)), next));
     }
 
     fn rule_execute_branch(
@@ -326,7 +351,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<GamState>,
+        out: &mut Vec<(Action, GamState)>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -352,7 +377,7 @@ impl GamMachine {
             next.procs[proc].pc = actual;
             self.refill(proc, &mut next.procs[proc]);
         }
-        out.push(next);
+        out.push((Action::local(proc, act_id(tag::BRANCH, index)), next));
     }
 
     fn rule_execute_fence(
@@ -360,7 +385,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<GamState>,
+        out: &mut Vec<(Action, GamState)>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -378,7 +403,7 @@ impl GamMachine {
         }
         let mut next = state.clone();
         next.procs[proc].rob[index].done = true;
-        out.push(next);
+        out.push((Action::fence(proc, act_id(tag::FENCE, index)), next));
     }
 
     fn rule_execute_load(
@@ -386,7 +411,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<GamState>,
+        out: &mut Vec<(Action, GamState)>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -417,25 +442,34 @@ impl GamMachine {
                 _ => false,
             }
         });
-        let value = match blocker {
+        // A load satisfied by forwarding from an older in-flight store of
+        // the same processor never touches shared memory, so it is a
+        // thread-private step; only a forwarding miss reads memory. The
+        // distinction depends solely on the processor's own ROB, keeping the
+        // label stable across other threads' independent actions.
+        let (value, action) = match blocker {
             Some(older) => match self.instruction(proc, older) {
                 Instruction::Load { .. } => return, // stall on an older not-done load (SALdLd)
                 Instruction::Store { .. } => {
                     if older.data_avail {
-                        older.data // forward from the store (SAStLd)
+                        // Forward from the store (SAStLd).
+                        (older.data, Action::local(proc, act_id(tag::LOAD, index)))
                     } else {
                         return; // stall until the store data is known
                     }
                 }
                 _ => unreachable!("blocker is a memory instruction"),
             },
-            None => self.read_memory(&state.memory, addr),
+            None => (
+                self.read_memory(&state.memory, addr),
+                Action::read(proc, act_id(tag::LOAD, index), addr),
+            ),
         };
         let mut next = state.clone();
         let entry = &mut next.procs[proc].rob[index];
         entry.result = value;
         entry.done = true;
-        out.push(next);
+        out.push((action, next));
     }
 
     fn rule_compute_store_data(
@@ -443,7 +477,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<GamState>,
+        out: &mut Vec<(Action, GamState)>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -460,7 +494,7 @@ impl GamMachine {
         let entry = &mut next.procs[proc].rob[index];
         entry.data = value;
         entry.data_avail = true;
-        out.push(next);
+        out.push((Action::local(proc, act_id(tag::STORE_DATA, index)), next));
     }
 
     fn rule_execute_store(
@@ -468,7 +502,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<GamState>,
+        out: &mut Vec<(Action, GamState)>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -506,7 +540,7 @@ impl GamMachine {
         let entry = &mut next.procs[proc].rob[index];
         entry.result = data;
         entry.done = true;
-        out.push(next);
+        out.push((Action::commit(proc, act_id(tag::STORE, index), addr), next));
     }
 
     fn rule_compute_mem_addr(
@@ -514,7 +548,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<GamState>,
+        out: &mut Vec<(Action, GamState)>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -559,7 +593,7 @@ impl GamMachine {
                 }
             }
         }
-        out.push(next);
+        out.push((Action::local(proc, act_id(tag::ADDR, index)), next));
     }
 }
 
@@ -576,27 +610,7 @@ impl AbstractMachine for GamMachine {
     }
 
     fn successors(&self, state: &GamState) -> Vec<GamState> {
-        let mut out = Vec::new();
-        for proc in 0..self.program.num_threads() {
-            if !self.eager_fetch {
-                self.rule_fetch(state, proc, &mut out);
-            }
-            for index in 0..state.procs[proc].rob.len() {
-                if state.procs[proc].rob[index].done {
-                    // Completed entries only participate as context for others,
-                    // except stores whose data rule has already fired.
-                    continue;
-                }
-                self.rule_execute_alu(state, proc, index, &mut out);
-                self.rule_execute_branch(state, proc, index, &mut out);
-                self.rule_execute_fence(state, proc, index, &mut out);
-                self.rule_execute_load(state, proc, index, &mut out);
-                self.rule_compute_store_data(state, proc, index, &mut out);
-                self.rule_execute_store(state, proc, index, &mut out);
-                self.rule_compute_mem_addr(state, proc, index, &mut out);
-            }
-        }
-        out
+        self.labeled_successors(state).into_iter().map(|(_, next)| next).collect()
     }
 
     fn is_final(&self, state: &GamState) -> bool {
@@ -630,6 +644,131 @@ impl AbstractMachine for GamMachine {
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+impl LabeledMachine for GamMachine {
+    /// An action at the *oldest incomplete* ROB position is independent of
+    /// everything else its thread can do, for most rules:
+    ///
+    /// * every rule's guard scans only *older* entries, so a younger entry's
+    ///   action can never disable or relabel an older entry's action;
+    /// * with every older entry done, the action's register inputs are
+    ///   fixed, and nothing remains that could squash it (squash victims are
+    ///   always younger than the resolving entry);
+    /// * same-address interactions with younger entries are fenced off by
+    ///   the machine's own guards: a younger same-address store cannot
+    ///   execute past a not-done older access (SAMemSt), and a younger load
+    ///   co-enabled with an older same-address store is necessarily in
+    ///   forwarding mode, which reads the store's data either way.
+    ///
+    /// Two rules are excluded: **Execute-Branch** (a misprediction truncates
+    /// every younger entry — maximally dependent) and **Compute-Mem-Addr**
+    /// (resolving an address can squash a younger same-address load, and
+    /// whether the victim already executed is exactly the ordering the
+    /// SALdLd/LdVal semantics care about). Fetch is a thread-level action
+    /// with no ROB position and is likewise excluded.
+    fn own_thread_independent(&self, state: &GamState, action: &Action) -> bool {
+        let rule = action.id & 7;
+        if !matches!(rule, tag::ALU | tag::FENCE | tag::LOAD | tag::STORE_DATA | tag::STORE) {
+            return false;
+        }
+        let index = (action.id >> 3) as usize;
+        let rob = &state.procs[action.thread as usize].rob;
+        rob.iter().position(|entry| !entry.done) == Some(index)
+    }
+
+    /// The addresses the thread can still touch. Three populations:
+    ///
+    /// * not-done entries older than every unresolved address: their address
+    ///   is known and final — one concrete address each;
+    /// * every entry at or beyond the first memory entry whose address is
+    ///   still unknown: a Compute-Mem-Addr there can squash and re-execute
+    ///   them with *recomputed* addresses, so the static value-set bound is
+    ///   used instead of the current address;
+    /// * done entries older than every unresolved address: retired for good,
+    ///   no future access.
+    ///
+    /// Branchy programs fetch speculatively and squash across branches, so
+    /// any unfinished thread is conservatively unbounded there.
+    fn future_footprint(&self, state: &GamState, thread: usize) -> Footprint {
+        let proc = &state.procs[thread];
+        if !self.eager_fetch {
+            let finished =
+                proc.pc >= self.thread(thread).len() && proc.rob.iter().all(|entry| entry.done);
+            return if finished { Footprint::empty() } else { Footprint::top() };
+        }
+        let unstable_from = proc
+            .rob
+            .iter()
+            .position(|entry| {
+                let instr = self.instruction(thread, entry);
+                (instr.is_load() || instr.is_store()) && !entry.addr_avail
+            })
+            .unwrap_or(usize::MAX);
+        let mut footprint = Footprint::empty();
+        for (index, entry) in proc.rob.iter().enumerate() {
+            let instr = self.instruction(thread, entry);
+            let target = if instr.is_load() {
+                &mut footprint.reads
+            } else if instr.is_store() {
+                &mut footprint.writes
+            } else {
+                continue;
+            };
+            if index < unstable_from {
+                if !entry.done {
+                    // Older than every unresolved address: the address is
+                    // known (by definition of `unstable_from`) and the entry
+                    // cannot be squashed.
+                    target.insert(entry.addr);
+                }
+            } else {
+                target.union_with(&self.static_addrs[thread][entry.instr_index]);
+            }
+        }
+        footprint
+    }
+
+    fn labeled_successors(&self, state: &GamState) -> Vec<(Action, GamState)> {
+        let mut out = Vec::new();
+        for proc in 0..self.program.num_threads() {
+            if !self.eager_fetch {
+                self.rule_fetch(state, proc, &mut out);
+            }
+            for index in 0..state.procs[proc].rob.len() {
+                if state.procs[proc].rob[index].done {
+                    // Completed entries only participate as context for others,
+                    // except stores whose data rule has already fired.
+                    continue;
+                }
+                self.rule_execute_alu(state, proc, index, &mut out);
+                self.rule_execute_branch(state, proc, index, &mut out);
+                self.rule_execute_fence(state, proc, index, &mut out);
+                self.rule_execute_load(state, proc, index, &mut out);
+                self.rule_compute_store_data(state, proc, index, &mut out);
+                self.rule_execute_store(state, proc, index, &mut out);
+                self.rule_compute_mem_addr(state, proc, index, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Scrubs semantically dead fields so symmetric states intern to one
+    /// arena slot: the `predicted_target` of a *done* entry is never read
+    /// again by any rule (only Execute-Branch consults it, and only on
+    /// not-done entries), yet it records *how* a branch reached its resolved
+    /// state — a correctly predicted branch and a mispredicted, squashed and
+    /// refetched one otherwise differ in this one field forever.
+    fn canonicalize(&self, mut state: GamState) -> GamState {
+        for proc in &mut state.procs {
+            for entry in &mut proc.rob {
+                if entry.done {
+                    entry.predicted_target = 0;
+                }
+            }
+        }
+        state
     }
 }
 
@@ -736,6 +875,73 @@ mod tests {
         // Both r1 = 0 (store b happens) and r1 = 1 (store b suppressed) exist.
         let all = outcomes(&test, GamConfig::gam());
         assert!(all.len() >= 2);
+    }
+
+    #[test]
+    fn labels_project_onto_successors_and_classify_rules() {
+        for test in [library::dekker(), library::mp_addr(), library::mp_fences()] {
+            let machine = GamMachine::new(&test);
+            let mut frontier = vec![machine.initial_state()];
+            let mut steps = 0;
+            while let Some(state) = frontier.pop() {
+                if steps > 200 {
+                    break;
+                }
+                steps += 1;
+                let labeled = machine.labeled_successors(&state);
+                assert_eq!(
+                    labeled.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+                    machine.successors(&state),
+                    "{}: labeled successors must project onto the unlabeled API",
+                    test.name()
+                );
+                let mut seen = std::collections::BTreeSet::new();
+                for (action, next) in labeled {
+                    assert!(seen.insert(action), "{}: duplicate label {action:?}", test.name());
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forwarded_loads_are_thread_private() {
+        use crate::machine::ActionKind;
+        // store-forwarding: St [a] 1; St [a] r1; Ld r2 [a] in one thread.
+        // While the youngest store is in flight with known data, the load
+        // executes by SAStLd forwarding — a thread-private step; once every
+        // older store has committed, the load reads shared memory. Both label
+        // kinds must appear somewhere in the reachable space, and forwarded
+        // loads must never be labeled as memory reads of a stale blocker.
+        let test = library::store_forwarding();
+        let machine = GamMachine::new(&test);
+        let mut frontier = vec![machine.initial_state()];
+        let mut kinds = std::collections::BTreeSet::new();
+        while let Some(state) = frontier.pop() {
+            for (action, next) in machine.labeled_successors(&state) {
+                if action.id & 7 == super::tag::LOAD {
+                    kinds.insert(action.kind);
+                }
+                frontier.push(next);
+            }
+        }
+        assert!(kinds.contains(&ActionKind::Local), "SAStLd forwarding is thread-private");
+        assert!(kinds.contains(&ActionKind::MemoryRead), "a forwarding miss reads memory");
+    }
+
+    #[test]
+    fn canonicalization_scrubs_resolved_predictions_only() {
+        let test = library::dekker();
+        let machine = GamMachine::new(&test);
+        let mut state = machine.initial_state();
+        state.procs[0].rob[0].done = true;
+        state.procs[0].rob[0].predicted_target = 7;
+        state.procs[0].rob[1].predicted_target = 9;
+        let canon = machine.canonicalize(state.clone());
+        assert_eq!(canon.procs[0].rob[0].predicted_target, 0, "done entries are scrubbed");
+        assert_eq!(canon.procs[0].rob[1].predicted_target, 9, "pending entries are untouched");
+        // Idempotence.
+        assert_eq!(machine.canonicalize(canon.clone()), canon);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod checker;
 pub mod explore;
+mod footprint;
 pub mod gam;
 pub mod machine;
 pub mod random;
@@ -45,9 +46,9 @@ pub mod sc;
 pub mod tso;
 
 pub use checker::{OperationalChecker, OperationalError};
-pub use explore::{Exploration, ExploreError, Explorer, ExplorerConfig};
+pub use explore::{Exploration, ExploreError, Explorer, ExplorerConfig, Reduction};
 pub use gam::{GamConfig, GamMachine};
-pub use machine::AbstractMachine;
+pub use machine::{AbstractMachine, Action, ActionKind, AddrSet, Footprint, LabeledMachine};
 pub use random::RandomWalker;
 pub use sc::ScMachine;
 pub use tso::TsoMachine;

@@ -11,7 +11,8 @@ use std::collections::BTreeMap;
 use gam_isa::litmus::{LitmusTest, Observation, Outcome};
 use gam_isa::{Instruction, Operand, Program, Reg, ThreadProgram, Value};
 
-use crate::machine::AbstractMachine;
+use crate::footprint;
+use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
 
 /// Sequential per-processor state: a register file and a program counter.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -61,6 +62,9 @@ pub struct ScMachine {
     program: Program,
     initial_memory: BTreeMap<u64, Value>,
     observed: Vec<Observation>,
+    /// `suffix[proc][pc]`: the memory accesses the thread can still perform
+    /// (drives the explorer's footprint-based partial-order reduction).
+    suffix: Vec<Vec<Footprint>>,
 }
 
 /// A configuration of the SC machine.
@@ -76,10 +80,13 @@ impl ScMachine {
     /// Builds the SC machine for a litmus test.
     #[must_use]
     pub fn new(test: &LitmusTest) -> Self {
+        let sets = footprint::instr_addr_sets(test);
+        let suffix = footprint::suffix_footprints(test.program(), &sets);
         ScMachine {
             program: test.program().clone(),
             initial_memory: test.initial_memory().clone(),
             observed: test.observed().to_vec(),
+            suffix,
         }
     }
 
@@ -99,44 +106,7 @@ impl AbstractMachine for ScMachine {
     }
 
     fn successors(&self, state: &ScState) -> Vec<ScState> {
-        let mut next_states = Vec::new();
-        for (proc_index, proc) in state.procs.iter().enumerate() {
-            let thread = &self.program.threads()[proc_index];
-            if proc.pc >= thread.len() {
-                continue;
-            }
-            let instr = &thread.instructions()[proc.pc];
-            let mut next = state.clone();
-            let next_proc = &mut next.procs[proc_index];
-            match instr {
-                Instruction::Alu { dst, op, lhs, rhs } => {
-                    let value = op.apply(next_proc.operand(lhs), next_proc.operand(rhs));
-                    next_proc.regs.insert(*dst, value);
-                    next_proc.pc += 1;
-                }
-                Instruction::Load { dst, addr } => {
-                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
-                    let value = Self::read_memory(&next.memory, address);
-                    next.procs[proc_index].regs.insert(*dst, value);
-                    next.procs[proc_index].pc += 1;
-                }
-                Instruction::Store { addr, data } => {
-                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
-                    let value = next_proc.operand(data);
-                    next.memory.insert(address, value);
-                    next.procs[proc_index].pc += 1;
-                }
-                Instruction::Fence { .. } => {
-                    next_proc.pc += 1;
-                }
-                Instruction::Branch { cond, lhs, rhs, .. } => {
-                    let taken = cond.holds(next_proc.operand(lhs), next_proc.operand(rhs));
-                    next_proc.pc = next_pc(thread, next_proc.pc, taken, instr);
-                }
-            }
-            next_states.push(next);
-        }
-        next_states
+        self.labeled_successors(state).into_iter().map(|(_, next)| next).collect()
     }
 
     fn is_final(&self, state: &ScState) -> bool {
@@ -157,6 +127,66 @@ impl AbstractMachine for ScMachine {
 
     fn name(&self) -> &str {
         "SC abstract machine"
+    }
+}
+
+impl LabeledMachine for ScMachine {
+    fn future_footprint(&self, state: &ScState, thread: usize) -> Footprint {
+        // In-order execution: the future accesses are exactly the remaining
+        // program suffix (the whole thread when branches can jump back).
+        let suffix = &self.suffix[thread];
+        suffix[state.procs[thread].pc.min(suffix.len() - 1)].clone()
+    }
+
+    fn labeled_successors(&self, state: &ScState) -> Vec<(Action, ScState)> {
+        let mut out = Vec::new();
+        for (proc_index, proc) in state.procs.iter().enumerate() {
+            let thread = &self.program.threads()[proc_index];
+            if proc.pc >= thread.len() {
+                continue;
+            }
+            let instr = &thread.instructions()[proc.pc];
+            // The action id is the program counter of the executed
+            // instruction: each processor has exactly one enabled step, and
+            // another thread's independent action never moves this pc, so
+            // the label is stable.
+            let id = proc.pc as u32;
+            let mut next = state.clone();
+            let next_proc = &mut next.procs[proc_index];
+            let action = match instr {
+                Instruction::Alu { dst, op, lhs, rhs } => {
+                    let value = op.apply(next_proc.operand(lhs), next_proc.operand(rhs));
+                    next_proc.regs.insert(*dst, value);
+                    next_proc.pc += 1;
+                    Action::local(proc_index, id)
+                }
+                Instruction::Load { dst, addr } => {
+                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
+                    let value = Self::read_memory(&next.memory, address);
+                    next.procs[proc_index].regs.insert(*dst, value);
+                    next.procs[proc_index].pc += 1;
+                    Action::read(proc_index, id, address)
+                }
+                Instruction::Store { addr, data } => {
+                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
+                    let value = next_proc.operand(data);
+                    next.memory.insert(address, value);
+                    next.procs[proc_index].pc += 1;
+                    Action::commit(proc_index, id, address)
+                }
+                Instruction::Fence { .. } => {
+                    next_proc.pc += 1;
+                    Action::fence(proc_index, id)
+                }
+                Instruction::Branch { cond, lhs, rhs, .. } => {
+                    let taken = cond.holds(next_proc.operand(lhs), next_proc.operand(rhs));
+                    next_proc.pc = next_pc(thread, next_proc.pc, taken, instr);
+                    Action::local(proc_index, id)
+                }
+            };
+            out.push((action, next));
+        }
+        out
     }
 }
 
@@ -225,6 +255,31 @@ mod tests {
         let machine = ScMachine::new(&test);
         let exploration = Explorer::default().explore(&machine).unwrap();
         assert!(exploration.outcomes.iter().any(|o| test.condition().matched_by(o)));
+    }
+
+    #[test]
+    fn labels_project_onto_successors() {
+        use crate::machine::{ActionKind, LabeledMachine};
+        let test = library::dekker();
+        let machine = ScMachine::new(&test);
+        let state = machine.initial_state();
+        let labeled = machine.labeled_successors(&state);
+        assert_eq!(
+            labeled.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+            machine.successors(&state),
+            "labeled successors must project onto the unlabeled interface"
+        );
+        // Dekker's first instruction on each thread is a store: both actions
+        // are memory commits by distinct threads.
+        assert_eq!(labeled.len(), 2);
+        for (index, (action, _)) in labeled.iter().enumerate() {
+            assert_eq!(action.thread as usize, index);
+            assert_eq!(action.kind, ActionKind::MemoryCommit);
+        }
+        // enabled/apply round-trip through the default implementations.
+        let enabled = machine.enabled(&state);
+        assert_eq!(enabled.len(), 2);
+        assert_eq!(machine.apply(&state, &enabled[0]).unwrap(), labeled[0].1);
     }
 
     #[test]

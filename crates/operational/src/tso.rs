@@ -13,7 +13,8 @@ use std::collections::BTreeMap;
 use gam_isa::litmus::{LitmusTest, Observation, Outcome};
 use gam_isa::{Instruction, MemAccessType, Program, Value};
 
-use crate::machine::AbstractMachine;
+use crate::footprint;
+use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
 use crate::sc::{next_pc, SeqProcState};
 
 /// The TSO machine for one litmus test.
@@ -22,6 +23,10 @@ pub struct TsoMachine {
     program: Program,
     initial_memory: BTreeMap<u64, Value>,
     observed: Vec<Observation>,
+    /// `suffix[proc][pc]`: the memory accesses the thread's remaining
+    /// instructions can perform; pending store-buffer entries are added
+    /// dynamically in `future_footprint`.
+    suffix: Vec<Vec<Footprint>>,
 }
 
 /// Per-processor TSO state: sequential state plus a FIFO store buffer.
@@ -46,10 +51,13 @@ impl TsoMachine {
     /// Builds the TSO machine for a litmus test.
     #[must_use]
     pub fn new(test: &LitmusTest) -> Self {
+        let sets = footprint::instr_addr_sets(test);
+        let suffix = footprint::suffix_footprints(test.program(), &sets);
         TsoMachine {
             program: test.program().clone(),
             initial_memory: test.initial_memory().clone(),
             observed: test.observed().to_vec(),
+            suffix,
         }
     }
 
@@ -76,70 +84,7 @@ impl AbstractMachine for TsoMachine {
     }
 
     fn successors(&self, state: &TsoState) -> Vec<TsoState> {
-        let mut next_states = Vec::new();
-        for (proc_index, proc) in state.procs.iter().enumerate() {
-            let thread = &self.program.threads()[proc_index];
-
-            // Drain rule: publish the oldest store-buffer entry to memory.
-            if let Some(&(addr, value)) = proc.store_buffer.first() {
-                let mut next = state.clone();
-                next.procs[proc_index].store_buffer.remove(0);
-                next.memory.insert(addr, value);
-                next_states.push(next);
-            }
-
-            if proc.seq.pc >= thread.len() {
-                continue;
-            }
-            let instr = &thread.instructions()[proc.seq.pc];
-            match instr {
-                Instruction::Alu { dst, op, lhs, rhs } => {
-                    let mut next = state.clone();
-                    let p = &mut next.procs[proc_index];
-                    let value = op.apply(p.seq.operand(lhs), p.seq.operand(rhs));
-                    p.seq.regs.insert(*dst, value);
-                    p.seq.pc += 1;
-                    next_states.push(next);
-                }
-                Instruction::Load { dst, addr } => {
-                    let address = addr.evaluate(proc.seq.operand(&addr.base)).raw();
-                    let value = self.read(state, proc_index, address);
-                    let mut next = state.clone();
-                    let p = &mut next.procs[proc_index];
-                    p.seq.regs.insert(*dst, value);
-                    p.seq.pc += 1;
-                    next_states.push(next);
-                }
-                Instruction::Store { addr, data } => {
-                    let mut next = state.clone();
-                    let p = &mut next.procs[proc_index];
-                    let address = addr.evaluate(p.seq.operand(&addr.base)).raw();
-                    let value = p.seq.operand(data);
-                    p.store_buffer.push((address, value));
-                    p.seq.pc += 1;
-                    next_states.push(next);
-                }
-                Instruction::Fence { kind } => {
-                    // Only store->load ordering is not already guaranteed by TSO;
-                    // such a fence waits for the store buffer to drain.
-                    let needs_drain =
-                        kind.before == MemAccessType::Store && kind.after == MemAccessType::Load;
-                    if !needs_drain || proc.store_buffer.is_empty() {
-                        let mut next = state.clone();
-                        next.procs[proc_index].seq.pc += 1;
-                        next_states.push(next);
-                    }
-                }
-                Instruction::Branch { cond, lhs, rhs, .. } => {
-                    let taken = cond.holds(proc.seq.operand(lhs), proc.seq.operand(rhs));
-                    let mut next = state.clone();
-                    let p = &mut next.procs[proc_index];
-                    p.seq.pc = next_pc(thread, p.seq.pc, taken, instr);
-                    next_states.push(next);
-                }
-            }
-        }
-        next_states
+        self.labeled_successors(state).into_iter().map(|(_, next)| next).collect()
     }
 
     fn is_final(&self, state: &TsoState) -> bool {
@@ -166,6 +111,135 @@ impl AbstractMachine for TsoMachine {
 
     fn name(&self) -> &str {
         "TSO abstract machine"
+    }
+}
+
+impl LabeledMachine for TsoMachine {
+    /// Almost every TSO action is independent of its own thread's other
+    /// actions. A thread has at most two concurrently enabled actions — the
+    /// oldest drain and the next instruction — and they commute: draining
+    /// the head entry and executing an instruction touch the buffer from
+    /// opposite ends, and a load whose youngest buffer match is the
+    /// draining head reads the same value from the buffer before the drain
+    /// and from memory after it. Later same-thread actions always require
+    /// one of the two to fire first (the pc only advances through the
+    /// instruction; the next drain only exists once the head is gone), so
+    /// no other same-thread action can interleave at all.
+    ///
+    /// The one exception is a load currently satisfied by *forwarding*: its
+    /// label is thread-private now, but its own thread's drains can empty
+    /// the matching entries and turn it into a shared-memory read whose
+    /// value then depends on other threads' drains. Committing to it as a
+    /// singleton would drop the "wait for the buffer to drain, then read
+    /// whatever memory holds by then" futures, so it must not qualify.
+    fn own_thread_independent(&self, state: &TsoState, action: &Action) -> bool {
+        if action.kind == crate::machine::ActionKind::BufferDrain {
+            return true;
+        }
+        let proc = &state.procs[action.thread as usize];
+        let pc = (action.id - 1) as usize;
+        match &self.program.threads()[action.thread as usize].instructions()[pc] {
+            Instruction::Load { addr, .. } => {
+                let address = addr.evaluate(proc.seq.operand(&addr.base)).raw();
+                !proc.store_buffer.iter().any(|(buffered, _)| *buffered == address)
+            }
+            _ => true,
+        }
+    }
+
+    fn future_footprint(&self, state: &TsoState, thread: usize) -> Footprint {
+        // Instructions execute in order, so the instruction-level future is
+        // the program suffix; every buffered store is a write still waiting
+        // to drain into shared memory.
+        let proc = &state.procs[thread];
+        let suffix = &self.suffix[thread];
+        let mut footprint = suffix[proc.seq.pc.min(suffix.len() - 1)].clone();
+        for &(addr, _) in &proc.store_buffer {
+            footprint.writes.insert(addr);
+        }
+        footprint
+    }
+
+    fn labeled_successors(&self, state: &TsoState) -> Vec<(Action, TsoState)> {
+        let mut out = Vec::new();
+        for (proc_index, proc) in state.procs.iter().enumerate() {
+            let thread = &self.program.threads()[proc_index];
+
+            // Drain rule: publish the oldest store-buffer entry to memory.
+            // Id 0 is reserved for the drain; instruction executions use
+            // pc + 1 so the two never collide.
+            if let Some(&(addr, value)) = proc.store_buffer.first() {
+                let mut next = state.clone();
+                next.procs[proc_index].store_buffer.remove(0);
+                next.memory.insert(addr, value);
+                out.push((Action::drain(proc_index, 0, addr), next));
+            }
+
+            if proc.seq.pc >= thread.len() {
+                continue;
+            }
+            let id = proc.seq.pc as u32 + 1;
+            let instr = &thread.instructions()[proc.seq.pc];
+            match instr {
+                Instruction::Alu { dst, op, lhs, rhs } => {
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    let value = op.apply(p.seq.operand(lhs), p.seq.operand(rhs));
+                    p.seq.regs.insert(*dst, value);
+                    p.seq.pc += 1;
+                    out.push((Action::local(proc_index, id), next));
+                }
+                Instruction::Load { dst, addr } => {
+                    let address = addr.evaluate(proc.seq.operand(&addr.base)).raw();
+                    let value = self.read(state, proc_index, address);
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    p.seq.regs.insert(*dst, value);
+                    p.seq.pc += 1;
+                    // A load satisfied by forwarding from the processor's own
+                    // store buffer never touches shared memory, so it is a
+                    // thread-private step; only a buffer miss reads memory.
+                    let forwarded =
+                        proc.store_buffer.iter().any(|(buffered, _)| *buffered == address);
+                    let action = if forwarded {
+                        Action::local(proc_index, id)
+                    } else {
+                        Action::read(proc_index, id, address)
+                    };
+                    out.push((action, next));
+                }
+                Instruction::Store { addr, data } => {
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    let address = addr.evaluate(p.seq.operand(&addr.base)).raw();
+                    let value = p.seq.operand(data);
+                    p.store_buffer.push((address, value));
+                    p.seq.pc += 1;
+                    // Enqueueing only touches the private buffer; the shared
+                    // write happens later, at drain time.
+                    out.push((Action::local(proc_index, id), next));
+                }
+                Instruction::Fence { kind } => {
+                    // Only store->load ordering is not already guaranteed by TSO;
+                    // such a fence waits for the store buffer to drain.
+                    let needs_drain =
+                        kind.before == MemAccessType::Store && kind.after == MemAccessType::Load;
+                    if !needs_drain || proc.store_buffer.is_empty() {
+                        let mut next = state.clone();
+                        next.procs[proc_index].seq.pc += 1;
+                        out.push((Action::fence(proc_index, id), next));
+                    }
+                }
+                Instruction::Branch { cond, lhs, rhs, .. } => {
+                    let taken = cond.holds(proc.seq.operand(lhs), proc.seq.operand(rhs));
+                    let mut next = state.clone();
+                    let p = &mut next.procs[proc_index];
+                    p.seq.pc = next_pc(thread, p.seq.pc, taken, instr);
+                    out.push((Action::local(proc_index, id), next));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -210,6 +284,49 @@ mod tests {
     #[test]
     fn two_plus_two_w_forbidden_under_tso() {
         assert!(!reachable(&library::two_plus_two_w()));
+    }
+
+    #[test]
+    fn labels_classify_drains_and_forwarded_loads() {
+        use crate::machine::{ActionKind, LabeledMachine};
+        // store-forwarding: St [a] 1; St [a] r1; Ld r2 [a] on one thread.
+        let test = library::store_forwarding();
+        let machine = TsoMachine::new(&test);
+        let s0 = machine.initial_state();
+        let labeled = machine.labeled_successors(&s0);
+        assert_eq!(
+            labeled.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+            machine.successors(&s0)
+        );
+        // The only enabled step is the first store enqueue: a private buffer
+        // push.
+        assert_eq!(labeled.len(), 1);
+        assert_eq!(labeled[0].0.kind, ActionKind::Local);
+        // Enqueue the second store too; now the drain (a shared write) and
+        // the load are enabled, and the load forwards from the thread's own
+        // buffer, so it is private. Action ids are pc + 1, so the load is 3.
+        let s1 = labeled[0].1.clone();
+        let s2 = machine.apply(&s1, &Action::local(0, 2)).expect("second enqueue enabled");
+        let next = machine.labeled_successors(&s2);
+        let kinds: Vec<ActionKind> = next.iter().map(|(a, _)| a.kind).collect();
+        assert!(kinds.contains(&ActionKind::BufferDrain));
+        let load = next.iter().find(|(a, _)| a.id == 3).expect("load enabled");
+        assert_eq!(load.0.kind, ActionKind::Local, "forwarded load is thread-private");
+        // Drain both entries; the load now misses the buffer and reads
+        // shared memory.
+        let mut state = s2;
+        for _ in 0..2 {
+            let (action, drained) = machine
+                .labeled_successors(&state)
+                .into_iter()
+                .find(|(a, _)| a.kind == ActionKind::BufferDrain)
+                .expect("drain enabled");
+            assert_eq!(action.id, 0, "drains use the reserved id 0");
+            state = drained;
+        }
+        let after = machine.labeled_successors(&state);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].0.kind, ActionKind::MemoryRead);
     }
 
     #[test]
