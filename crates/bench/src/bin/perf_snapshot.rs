@@ -9,11 +9,14 @@
 //! a baseline to beat.
 //!
 //! ```text
-//! usage: perf_snapshot [--quick] [--out PATH] [--parallelism N] [--date YYYY-MM-DD]
+//! usage: perf_snapshot [--quick] [--corpus DIR] [--out PATH] [--parallelism N]
+//!                      [--date YYYY-MM-DD]
 //!                      [--compare OLD.json [--against NEW.json]]
 //!                      [--fail-threshold R]
 //!
 //!   --quick            run the paper's 11 core tests instead of the full library
+//!   --corpus DIR       measure a `.litmus` corpus directory (see `gam run`)
+//!                      instead of the in-code library
 //!   --out PATH         output path (default: BENCH_<date>.json in the CWD)
 //!   --parallelism N    worker threads for the parallel explorer (default: all cores)
 //!   --date D           date stamp for the file name and payload (default: today, UTC)
@@ -442,7 +445,20 @@ fn main() {
         })
         .max(2);
 
-    let tests = if quick { library::paper_tests() } else { library::all_tests() };
+    let tests = match arg_value(&args, "--corpus") {
+        Some(dir) => {
+            // A `.litmus` corpus as the workload source instead of the
+            // in-code library — the same files `gam run` consumes.
+            let corpus = gam_frontend::Corpus::load(&dir).unwrap_or_else(|err| {
+                eprintln!("perf_snapshot: {err}");
+                std::process::exit(2);
+            });
+            eprintln!("perf_snapshot: corpus {dir} ({} tests)", corpus.tests.len());
+            corpus.tests()
+        }
+        None if quick => library::paper_tests(),
+        None => library::all_tests(),
+    };
     eprintln!(
         "perf_snapshot: {} tests x {} models, explorer parallelism {parallelism}",
         tests.len(),

@@ -345,6 +345,7 @@ impl Engine {
             .map(|slot| slot.expect("every test produced a report"))
             .collect();
         SuiteReport {
+            suite: None,
             backend: self.backend(),
             model: self.model(),
             parallelism: workers,

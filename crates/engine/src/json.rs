@@ -206,24 +206,39 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.offset..self.offset + 4)
-                                .and_then(|hex| std::str::from_utf8(hex).ok())
-                                .ok_or_else(|| self.error("truncated \\u escape"))?;
-                            // `from_str_radix` alone would accept a leading
-                            // '+'; require exactly four hex digits.
-                            if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
-                                return Err(self.error("invalid \\u escape"));
-                            }
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.error("invalid \\u escape"))?;
-                            // Surrogate pairs never appear in our documents;
-                            // reject them instead of mis-decoding.
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            let code = self.unicode_escape_code()?;
+                            let c = match code {
+                                // A high surrogate must be followed by an
+                                // escaped low surrogate (RFC 8259 §7); the
+                                // pair decodes to one supplementary-plane
+                                // scalar. External tools (herd wrappers,
+                                // jq pipelines) emit these freely, so the
+                                // frontend must accept them.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.error("unpaired high surrogate"));
+                                    }
+                                    self.offset += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.error("unpaired high surrogate"));
+                                    }
+                                    self.offset += 1;
+                                    let low = self.unicode_escape_code()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.error(
+                                            "high surrogate not followed by a low surrogate",
+                                        ));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(scalar)
+                                        .ok_or_else(|| self.error("invalid surrogate pair"))?
+                                }
+                                0xDC00..=0xDFFF => return Err(self.error("unpaired low surrogate")),
+                                _ => char::from_u32(code).ok_or_else(|| {
+                                    self.error("\\u escape is not a scalar value")
+                                })?,
+                            };
                             out.push(c);
-                            self.offset += 4;
                         }
                         _ => return Err(self.error("unknown escape")),
                     }
@@ -243,6 +258,24 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (the `\u` itself already
+    /// consumed) and returns the code unit.
+    fn unicode_escape_code(&mut self) -> Result<u32, JsonParseError> {
+        let hex = self
+            .bytes
+            .get(self.offset..self.offset + 4)
+            .and_then(|hex| std::str::from_utf8(hex).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        // `from_str_radix` alone would accept a leading '+'; require exactly
+        // four hex digits.
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(self.error("invalid \\u escape"));
+        }
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.offset += 4;
+        Ok(code)
     }
 
     fn array(&mut self) -> Result<Json, JsonParseError> {
@@ -492,6 +525,43 @@ mod tests {
         ] {
             let err = Json::parse(input).unwrap_err();
             assert!(err.to_string().contains(needle), "{input:?}: expected {needle:?} in {err}");
+        }
+    }
+
+    #[test]
+    fn parse_decodes_escaped_unicode_including_surrogate_pairs() {
+        // BMP escapes, raw multi-byte UTF-8, and an astral-plane surrogate
+        // pair (U+1D11E MUSICAL SYMBOL G CLEF) — the input classes a CLI
+        // frontend sees from external JSON producers.
+        assert_eq!(Json::parse("\"\\u0041\\u00e9\"").unwrap().as_str(), Some("Aé"));
+        assert_eq!(Json::parse("\"caf\u{e9}\"").unwrap().as_str(), Some("café"));
+        assert_eq!(Json::parse("\"\\uD834\\uDD1E\"").unwrap().as_str(), Some("\u{1D11E}"));
+        assert_eq!(Json::parse("\"x\\uD83D\\uDE00y\"").unwrap().as_str(), Some("x\u{1F600}y"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_unicode_escapes() {
+        for (input, needle) in [
+            ("\"\\uD834\"", "unpaired high surrogate"),
+            ("\"\\uD834x\"", "unpaired high surrogate"),
+            ("\"\\uD834\\n\"", "unpaired high surrogate"),
+            ("\"\\uD834\\u0041\"", "not followed by a low surrogate"),
+            ("\"\\uDC00\"", "unpaired low surrogate"),
+            ("\"\\u12\"", "truncated"),
+            ("\"\\u12g4\"", "invalid \\u escape"),
+        ] {
+            let err = Json::parse(input).unwrap_err();
+            assert!(err.to_string().contains(needle), "{input:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_after_any_top_level_value() {
+        // The frontend feeds untrusted CLI input through `parse`; a document
+        // followed by junk must never silently truncate.
+        for input in ["{} {}", "[1] 2", "\"a\" \"b\"", "1 1", "null,", "true[]", "{\"a\":1}x"] {
+            let err = Json::parse(input).unwrap_err();
+            assert!(err.to_string().contains("trailing"), "{input:?}: {err}");
         }
     }
 

@@ -51,6 +51,8 @@ impl ToJson for TestReport {
 /// engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuiteReport {
+    /// Name of the suite (e.g. a corpus directory), if the caller gave one.
+    pub suite: Option<String>,
     /// The backend that ran the suite.
     pub backend: Backend,
     /// The model that was checked.
@@ -64,6 +66,13 @@ pub struct SuiteReport {
 }
 
 impl SuiteReport {
+    /// Names the suite (builder-style), e.g. after the corpus it ran.
+    #[must_use]
+    pub fn named(mut self, suite: impl Into<String>) -> Self {
+        self.suite = Some(suite.into());
+        self
+    }
+
     /// The report of one test, by name.
     #[must_use]
     pub fn report_for(&self, test: &str) -> Option<&TestReport> {
@@ -104,6 +113,7 @@ impl SuiteReport {
 impl ToJson for SuiteReport {
     fn to_json(&self) -> Json {
         Json::object([
+            ("suite", self.suite.as_deref().map_or(Json::Null, Json::from)),
             ("backend", Json::from(self.backend.name())),
             ("model", Json::from(self.model.to_string())),
             ("parallelism", Json::from(self.parallelism as u64)),
@@ -117,7 +127,8 @@ impl fmt::Display for SuiteReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "suite: {} tests under {} ({} backend, {} workers, {:.1} ms)",
+            "suite{}: {} tests under {} ({} backend, {} workers, {:.1} ms)",
+            self.suite.as_deref().map(|name| format!(" `{name}`")).unwrap_or_default(),
             self.reports.len(),
             self.model,
             self.backend,
@@ -181,6 +192,19 @@ mod tests {
         assert!(operational.agrees_with(&axiomatic));
         let shorter = Engine::axiomatic(ModelKind::Gam).run_suite(&[library::dekker()]);
         assert!(!axiomatic.agrees_with(&shorter));
+    }
+
+    #[test]
+    fn suite_names_flow_into_display_and_json() {
+        let anonymous = sample_report();
+        assert_eq!(anonymous.suite, None);
+        assert!(anonymous.to_json_string().contains("\"suite\":null"));
+        let named = sample_report().named("tests/corpus");
+        assert_eq!(named.suite.as_deref(), Some("tests/corpus"));
+        assert!(named.to_string().contains("suite `tests/corpus`:"));
+        assert!(named.to_json_string().contains("\"suite\":\"tests/corpus\""));
+        // Naming does not affect suite-level agreement.
+        assert!(named.agrees_with(&anonymous));
     }
 
     #[test]

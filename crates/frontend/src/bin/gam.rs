@@ -1,0 +1,524 @@
+//! `gam` — the litmus text-frontend CLI.
+//!
+//! ```text
+//! usage:
+//!   gam check FILE [--models LIST] [--backends LIST] [--parallelism N] [--json]
+//!                 [--no-expectations]
+//!   gam run DIR   [--models LIST] [--backends LIST] [--parallelism N] [--json]
+//!                 [--no-expectations]
+//!   gam print FILE
+//!   gam export-library DIR
+//!
+//!   --models LIST     comma-separated: sc,tso,gam,gam0,gam-arm
+//!                     (default: sc,tso,gam,gam0 for `run`; all five for `check`)
+//!   --backends LIST   comma-separated: axiomatic,operational (default: both;
+//!                     model/backend pairs without semantics are skipped)
+//!   --parallelism N   suite worker threads (default: all cores)
+//!   --json            machine-readable report on stdout
+//!   --no-expectations skip expectation diffing (`run`: the corpus
+//!                     expectations.txt; `check`: the built-in paper table)
+//! ```
+//!
+//! `check` parses one `.litmus` file, echoes the canonical form and prints
+//! every requested verdict; when the file is byte-for-byte a library test
+//! (same name *and* same structure) the verdicts are also diffed against
+//! the paper's expectation table. `run` loads a whole corpus directory,
+//! fans it out across the parallel engine for every `(model, backend)`
+//! pair, prints a verdict matrix and diffs the verdicts against the corpus
+//! `expectations.txt` (and against each backend pair) — failing also on
+//! coverage gaps: corpus tests with no expectations row, or rows naming no
+//! corpus test. `print` normalizes a file to canonical text.
+//! `export-library` writes the in-code library as a corpus. Exit status:
+//! 0 = clean, 1 = any mismatch, disagreement, coverage gap or error,
+//! 2 = usage error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use gam_core::ModelKind;
+use gam_engine::{Backend, Engine, Json, SuiteReport, ToJson, Verdict};
+use gam_frontend::{export_library, parse_litmus, print_litmus, Corpus};
+use gam_isa::litmus::LitmusTest;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("gam: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Dispatches a subcommand. `Ok(false)` means the command ran but found
+/// mismatches/errors (exit 1); `Err` is a usage or I/O problem (exit 2).
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing subcommand\n\n{USAGE}"));
+    };
+    match command.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "print" => cmd_print(&args[1..]),
+        "export-library" => cmd_export(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  gam check FILE [--models LIST] [--backends LIST] [--parallelism N] [--json] [--no-expectations]
+  gam run DIR   [--models LIST] [--backends LIST] [--parallelism N] [--json] [--no-expectations]
+  gam print FILE
+  gam export-library DIR
+
+  --models LIST     comma-separated: sc,tso,gam,gam0,gam-arm
+  --backends LIST   comma-separated: axiomatic,operational
+  --parallelism N   suite worker threads (default: all cores)
+  --json            machine-readable report on stdout
+  --no-expectations skip expectation diffing (run: corpus expectations.txt;
+                    check: built-in paper table)";
+
+// ---------------------------------------------------------------------------
+// argument helpers
+// ---------------------------------------------------------------------------
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The first argument that is not a flag or a flag's value.
+fn positional(args: &[String]) -> Option<&String> {
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            skip = matches!(arg.as_str(), "--models" | "--backends" | "--parallelism");
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+fn parse_models(list: &str) -> Result<Vec<ModelKind>, String> {
+    let mut models = Vec::new();
+    for word in list.split(',').filter(|w| !w.is_empty()) {
+        let model = match word.to_ascii_lowercase().as_str() {
+            "sc" => ModelKind::Sc,
+            "tso" => ModelKind::Tso,
+            "gam" => ModelKind::Gam,
+            "gam0" => ModelKind::Gam0,
+            "gam-arm" | "gamarm" | "gam_arm" => ModelKind::GamArm,
+            other => return Err(format!("unknown model `{other}` (try sc,tso,gam,gam0,gam-arm)")),
+        };
+        if !models.contains(&model) {
+            models.push(model);
+        }
+    }
+    if models.is_empty() {
+        return Err("empty --models list".to_string());
+    }
+    Ok(models)
+}
+
+fn parse_backends(list: &str) -> Result<Vec<Backend>, String> {
+    let mut backends = Vec::new();
+    for word in list.split(',').filter(|w| !w.is_empty()) {
+        let backend = match word.to_ascii_lowercase().as_str() {
+            "axiomatic" | "ax" => Backend::Axiomatic,
+            "operational" | "op" => Backend::Operational,
+            other => return Err(format!("unknown backend `{other}` (try axiomatic,operational)")),
+        };
+        if !backends.contains(&backend) {
+            backends.push(backend);
+        }
+    }
+    if backends.is_empty() {
+        return Err("empty --backends list".to_string());
+    }
+    Ok(backends)
+}
+
+fn parallelism(args: &[String]) -> Result<usize, String> {
+    match arg_value(args, "--parallelism") {
+        None => Ok(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)),
+        Some(n) => n.parse::<usize>().map_err(|_| format!("invalid --parallelism `{n}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// suite running shared by `check` and `run`
+// ---------------------------------------------------------------------------
+
+/// One verdict discrepancy found while diffing suite results.
+struct Mismatch {
+    test: String,
+    model: ModelKind,
+    detail: String,
+}
+
+/// Runs `tests` under every supported `(model, backend)` pair and returns
+/// the reports keyed by pair. Unsupported pairs (operational GAM-ARM) are
+/// skipped.
+fn run_matrix(
+    tests: &[LitmusTest],
+    suite_name: &str,
+    models: &[ModelKind],
+    backends: &[Backend],
+    workers: usize,
+) -> Result<BTreeMap<(ModelKind, Backend), SuiteReport>, String> {
+    let mut reports = BTreeMap::new();
+    for &model in models {
+        for &backend in backends {
+            if !backend.supports(model) {
+                continue;
+            }
+            let engine = Engine::builder()
+                .model(model)
+                .backend(backend)
+                .parallelism(workers)
+                .build()
+                .map_err(|err| err.to_string())?;
+            reports.insert((model, backend), engine.run_suite_verdicts(tests).named(suite_name));
+        }
+    }
+    if reports.is_empty() {
+        return Err("no supported (model, backend) combination selected".to_string());
+    }
+    Ok(reports)
+}
+
+/// Diffs the reports: backends must agree pairwise per `(test, model)`, no
+/// backend may error, and (where an expectation exists) the agreed verdict
+/// must match it.
+fn diff_reports(
+    tests: &[LitmusTest],
+    models: &[ModelKind],
+    reports: &BTreeMap<(ModelKind, Backend), SuiteReport>,
+    expectation: impl Fn(&str, ModelKind) -> Option<bool>,
+) -> Vec<Mismatch> {
+    let mut mismatches = Vec::new();
+    for test in tests {
+        for &model in models {
+            let mut verdicts: Vec<(Backend, Verdict)> = Vec::new();
+            for ((m, backend), report) in reports {
+                if *m != model {
+                    continue;
+                }
+                let Some(row) = report.report_for(test.name()) else { continue };
+                match (row.verdict, &row.error) {
+                    (Some(verdict), _) => verdicts.push((*backend, verdict)),
+                    (None, error) => mismatches.push(Mismatch {
+                        test: test.name().to_string(),
+                        model,
+                        detail: format!(
+                            "{} backend error: {}",
+                            backend,
+                            error.as_deref().unwrap_or("no verdict")
+                        ),
+                    }),
+                }
+            }
+            if let Some((first, rest)) = verdicts.split_first() {
+                for (backend, verdict) in rest {
+                    if verdict != &first.1 {
+                        mismatches.push(Mismatch {
+                            test: test.name().to_string(),
+                            model,
+                            detail: format!(
+                                "backends disagree: {}={} {}={}",
+                                first.0, first.1, backend, verdict
+                            ),
+                        });
+                    }
+                }
+                if let Some(expected) = expectation(test.name(), model) {
+                    let got = first.1.is_allowed();
+                    if got != expected {
+                        mismatches.push(Mismatch {
+                            test: test.name().to_string(),
+                            model,
+                            detail: format!(
+                                "expected {}, every backend says {}",
+                                verdict_word(expected),
+                                verdict_word(got)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    mismatches
+}
+
+fn verdict_word(allowed: bool) -> &'static str {
+    if allowed {
+        "allowed"
+    } else {
+        "forbidden"
+    }
+}
+
+/// Renders the test × model verdict matrix (letters A/F, `!` on any
+/// mismatch involving the cell).
+fn render_matrix(
+    tests: &[LitmusTest],
+    models: &[ModelKind],
+    reports: &BTreeMap<(ModelKind, Backend), SuiteReport>,
+    mismatches: &[Mismatch],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let name_width = tests.iter().map(|t| t.name().len()).max().unwrap_or(4).max("test".len());
+    let _ = write!(out, "{:<name_width$}", "test");
+    for model in models {
+        let _ = write!(out, "  {:>7}", model.to_string());
+    }
+    let _ = writeln!(out);
+    for test in tests {
+        let _ = write!(out, "{:<name_width$}", test.name());
+        for &model in models {
+            let verdict = reports
+                .iter()
+                .find(|((m, _), _)| *m == model)
+                .and_then(|(_, report)| report.report_for(test.name()))
+                .and_then(|row| row.verdict);
+            let mut cell = match verdict {
+                Some(Verdict::Allowed) => "A".to_string(),
+                Some(Verdict::Forbidden) => "F".to_string(),
+                None => "-".to_string(),
+            };
+            if mismatches.iter().any(|m| m.test == test.name() && m.model == model) {
+                cell.push('!');
+            }
+            let _ = write!(out, "  {cell:>7}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn json_report(
+    suite: &str,
+    models: &[ModelKind],
+    reports: &BTreeMap<(ModelKind, Backend), SuiteReport>,
+    mismatches: &[Mismatch],
+    coverage_gaps: &[String],
+) -> Json {
+    Json::object([
+        ("suite", Json::from(suite)),
+        ("models", Json::array(models.iter().map(|m| Json::from(m.to_string())))),
+        ("reports", Json::array(reports.values().map(ToJson::to_json))),
+        (
+            "mismatches",
+            Json::array(mismatches.iter().map(|m| {
+                Json::object([
+                    ("test", Json::from(m.test.as_str())),
+                    ("model", Json::from(m.model.to_string())),
+                    ("detail", Json::from(m.detail.as_str())),
+                ])
+            })),
+        ),
+        ("coverage_gaps", Json::array(coverage_gaps.iter().map(|gap| Json::from(gap.as_str())))),
+        ("ok", Json::from(mismatches.is_empty() && coverage_gaps.is_empty())),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_check(args: &[String]) -> Result<bool, String> {
+    let Some(path) = positional(args) else {
+        return Err("`gam check` needs a FILE argument".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let test = match parse_litmus(&text) {
+        Ok(test) => test,
+        Err(err) => {
+            eprintln!("{path}: {err}");
+            return Ok(false);
+        }
+    };
+    let models = match arg_value(args, "--models") {
+        Some(list) => parse_models(&list)?,
+        None => ModelKind::ALL.to_vec(),
+    };
+    let backends = match arg_value(args, "--backends") {
+        Some(list) => parse_backends(&list)?,
+        None => Backend::ALL.to_vec(),
+    };
+    let workers = parallelism(args)?;
+    let use_expectations = !arg_flag(args, "--no-expectations");
+    let tests = [test];
+    let reports = run_matrix(&tests, path, &models, &backends, workers)?;
+    let mismatches = diff_reports(&tests, &models, &reports, |name, model| {
+        // The built-in paper table applies only when the parsed test *is*
+        // the library test of that name — a user-written variant that merely
+        // reuses a library name (e.g. a custom `dekker`) must not be diffed
+        // against the paper's verdicts.
+        if !use_expectations {
+            return None;
+        }
+        let library_test = gam_isa::litmus::library::by_name(name)?;
+        if library_test != tests[0] {
+            return None;
+        }
+        gam_verify::expectations::expectation_for(name).map(|e| e.allowed(model))
+    });
+    if arg_flag(args, "--json") {
+        println!("{}", json_report(path, &models, &reports, &mismatches, &[]));
+    } else {
+        print!("{}", print_litmus(&tests[0]));
+        println!();
+        for ((model, backend), report) in &reports {
+            let row = report.report_for(tests[0].name()).expect("single-test suite");
+            match (&row.verdict, &row.error) {
+                (Some(verdict), _) => {
+                    println!("{:<8} {:<12} {verdict}", model.to_string(), backend.name());
+                }
+                (None, error) => println!(
+                    "{:<8} {:<12} ERROR: {}",
+                    model.to_string(),
+                    backend.name(),
+                    error.as_deref().unwrap_or("no verdict")
+                ),
+            }
+        }
+        for m in &mismatches {
+            println!("MISMATCH {} under {}: {}", m.test, m.model, m.detail);
+        }
+    }
+    Ok(mismatches.is_empty())
+}
+
+fn cmd_run(args: &[String]) -> Result<bool, String> {
+    let Some(dir) = positional(args) else {
+        return Err("`gam run` needs a corpus DIR argument".to_string());
+    };
+    let corpus = match Corpus::load(dir) {
+        Ok(corpus) => corpus,
+        Err(err) => {
+            eprintln!("{err}");
+            return Ok(false);
+        }
+    };
+    let models = match arg_value(args, "--models") {
+        Some(list) => parse_models(&list)?,
+        None => vec![ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0],
+    };
+    let backends = match arg_value(args, "--backends") {
+        Some(list) => parse_backends(&list)?,
+        None => Backend::ALL.to_vec(),
+    };
+    let workers = parallelism(args)?;
+    let use_expectations = !arg_flag(args, "--no-expectations");
+    let tests = corpus.tests();
+    let name = corpus.name();
+    let reports = run_matrix(&tests, &name, &models, &backends, workers)?;
+    let mismatches = diff_reports(&tests, &models, &reports, |test, model| {
+        if use_expectations {
+            corpus.expectation_for(test).map(|row| row.allowed(model))
+        } else {
+            None
+        }
+    });
+    // A test without an expectations row (or a row naming no test) would
+    // silently drop out of verdict enforcement; treat both as failures so
+    // the CI gate's contract holds.
+    let coverage_gaps =
+        if use_expectations { corpus.expectation_coverage_gaps() } else { Vec::new() };
+    let clean = mismatches.is_empty() && coverage_gaps.is_empty();
+    if arg_flag(args, "--json") {
+        println!("{}", json_report(&name, &models, &reports, &mismatches, &coverage_gaps));
+    } else {
+        let model_names: Vec<String> = models.iter().map(ToString::to_string).collect();
+        let backend_names: Vec<String> = backends.iter().map(ToString::to_string).collect();
+        let expectations = if use_expectations && !corpus.expectations.is_empty() {
+            format!("{} expectation rows", corpus.expectations.len())
+        } else {
+            "no expectations".to_string()
+        };
+        println!(
+            "corpus {name}: {} tests; models {}; backends {}; {expectations}\n",
+            tests.len(),
+            model_names.join(", "),
+            backend_names.join(", "),
+        );
+        print!("{}", render_matrix(&tests, &models, &reports, &mismatches));
+        println!();
+        for m in &mismatches {
+            println!("MISMATCH {} under {}: {}", m.test, m.model, m.detail);
+        }
+        for gap in &coverage_gaps {
+            println!("COVERAGE {gap}");
+        }
+        let pairs = reports.len();
+        if clean {
+            println!(
+                "{} tests x {} (model, backend) pairs: all verdicts agree{}",
+                tests.len(),
+                pairs,
+                if use_expectations && !corpus.expectations.is_empty() {
+                    " and match expectations"
+                } else {
+                    ""
+                }
+            );
+        } else {
+            println!(
+                "{} tests x {} (model, backend) pairs: {} mismatches, {} coverage gaps",
+                tests.len(),
+                pairs,
+                mismatches.len(),
+                coverage_gaps.len()
+            );
+        }
+    }
+    Ok(clean)
+}
+
+fn cmd_print(args: &[String]) -> Result<bool, String> {
+    let Some(path) = positional(args) else {
+        return Err("`gam print` needs a FILE argument".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    match parse_litmus(&text) {
+        Ok(test) => {
+            print!("{}", print_litmus(&test));
+            Ok(true)
+        }
+        Err(err) => {
+            eprintln!("{path}: {err}");
+            Ok(false)
+        }
+    }
+}
+
+fn cmd_export(args: &[String]) -> Result<bool, String> {
+    let Some(dir) = positional(args) else {
+        return Err("`gam export-library` needs a DIR argument".to_string());
+    };
+    let written = export_library(dir).map_err(|err| format!("cannot export to {dir}: {err}"))?;
+    println!("wrote {} files under {dir}", written.len());
+    Ok(true)
+}

@@ -1,0 +1,229 @@
+//! Loading a directory of `.litmus` files (plus an optional expectations
+//! table) and exporting the in-code library as such a directory.
+//!
+//! A corpus directory contains any number of `*.litmus` files — loaded in
+//! file-name order — and optionally an `expectations.txt` in the
+//! [`gam_verify::expectations`] text format recording the expected verdict
+//! of every model on every test.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use gam_isa::litmus::{library, LitmusTest};
+use gam_verify::expectations::{
+    parse_expectations, render_expectations, ExpectationParseError, OwnedExpectation,
+};
+
+use crate::diag::ParseError;
+use crate::printer::print_litmus;
+
+/// The file name of the per-corpus expectations table.
+pub const EXPECTATIONS_FILE: &str = "expectations.txt";
+
+/// One parsed test and the file it came from.
+#[derive(Debug, Clone)]
+pub struct CorpusTest {
+    /// The `.litmus` file path.
+    pub path: PathBuf,
+    /// The parsed test.
+    pub test: LitmusTest,
+}
+
+/// A loaded corpus: every test in file-name order, plus expectations.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The directory the corpus was loaded from.
+    pub dir: PathBuf,
+    /// The parsed tests, in file-name order.
+    pub tests: Vec<CorpusTest>,
+    /// Rows of the corpus `expectations.txt` (empty if the file is absent).
+    pub expectations: Vec<OwnedExpectation>,
+}
+
+impl Corpus {
+    /// Loads every `*.litmus` file under `dir` (non-recursive, file-name
+    /// order) and the optional `expectations.txt` next to them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CorpusError`] on I/O failure, on the first file that
+    /// fails to parse (with its position), on duplicate test names across
+    /// files, or when the directory contains no `.litmus` file at all.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Corpus, CorpusError> {
+        let dir = dir.as_ref().to_path_buf();
+        let entries =
+            fs::read_dir(&dir).map_err(|error| CorpusError::Io { path: dir.clone(), error })?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|error| CorpusError::Io { path: dir.clone(), error })?;
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "litmus") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        if paths.is_empty() {
+            return Err(CorpusError::Empty { dir });
+        }
+        let mut tests: Vec<CorpusTest> = Vec::new();
+        for path in paths {
+            let text = fs::read_to_string(&path)
+                .map_err(|error| CorpusError::Io { path: path.clone(), error })?;
+            let test = crate::parser::parse_litmus(&text)
+                .map_err(|error| CorpusError::Parse { path: path.clone(), error })?;
+            if let Some(existing) = tests.iter().find(|t| t.test.name() == test.name()) {
+                return Err(CorpusError::DuplicateTest {
+                    name: test.name().to_string(),
+                    first: existing.path.clone(),
+                    second: path,
+                });
+            }
+            tests.push(CorpusTest { path, test });
+        }
+        let expectations_path = dir.join(EXPECTATIONS_FILE);
+        let expectations = if expectations_path.exists() {
+            let text = fs::read_to_string(&expectations_path)
+                .map_err(|error| CorpusError::Io { path: expectations_path.clone(), error })?;
+            parse_expectations(&text)
+                .map_err(|error| CorpusError::Expectations { path: expectations_path, error })?
+        } else {
+            Vec::new()
+        };
+        Ok(Corpus { dir, tests, expectations })
+    }
+
+    /// The tests without their paths, in corpus order — the shape
+    /// [`gam_engine::Engine::run_suite`] wants.
+    #[must_use]
+    pub fn tests(&self) -> Vec<LitmusTest> {
+        self.tests.iter().map(|t| t.test.clone()).collect()
+    }
+
+    /// The expectation row for a test, if the corpus has one.
+    #[must_use]
+    pub fn expectation_for(&self, test: &str) -> Option<&OwnedExpectation> {
+        self.expectations.iter().find(|row| row.test == test)
+    }
+
+    /// A display name for the corpus (its directory path).
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.dir.display().to_string()
+    }
+
+    /// Expectation-coverage gaps: corpus tests with no `expectations.txt`
+    /// row (their verdicts would go unchecked) and rows naming no corpus
+    /// test (dangling after a rename). Empty when the corpus carries no
+    /// expectations at all — a corpus without the file opts out entirely.
+    ///
+    /// `gam run` treats any gap as a failure, so a test silently dropping
+    /// out of verdict enforcement cannot go unnoticed in CI.
+    #[must_use]
+    pub fn expectation_coverage_gaps(&self) -> Vec<String> {
+        let mut gaps = Vec::new();
+        if self.expectations.is_empty() {
+            return gaps;
+        }
+        for test in &self.tests {
+            if self.expectation_for(test.test.name()).is_none() {
+                gaps.push(format!(
+                    "test `{}` has no expectations row — its verdicts are unchecked",
+                    test.test.name()
+                ));
+            }
+        }
+        for row in &self.expectations {
+            if !self.tests.iter().any(|t| t.test.name() == row.test) {
+                gaps.push(format!("expectations row `{}` names no test in the corpus", row.test));
+            }
+        }
+        gaps
+    }
+}
+
+/// Writes the whole in-code litmus library as a corpus under `dir`: one
+/// pretty-printed `.litmus` file per test plus an `expectations.txt`
+/// rendering the paper's expectation table. Returns the written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_library(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for test in library::all_tests() {
+        let path = dir.join(format!("{}.litmus", test.name()));
+        fs::write(&path, print_litmus(&test))?;
+        written.push(path);
+    }
+    let rows: Vec<OwnedExpectation> =
+        gam_verify::expectations::paper_expectations().iter().map(OwnedExpectation::from).collect();
+    let path = dir.join(EXPECTATIONS_FILE);
+    fs::write(&path, render_expectations(&rows))?;
+    written.push(path);
+    Ok(written)
+}
+
+/// Why a corpus failed to load.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        error: io::Error,
+    },
+    /// A `.litmus` file failed to parse.
+    Parse {
+        /// The file that failed.
+        path: PathBuf,
+        /// The parse diagnostic (line/column inside the file).
+        error: ParseError,
+    },
+    /// The `expectations.txt` failed to parse.
+    Expectations {
+        /// The file that failed.
+        path: PathBuf,
+        /// The parse diagnostic (line inside the file).
+        error: ExpectationParseError,
+    },
+    /// The directory contains no `.litmus` file.
+    Empty {
+        /// The directory.
+        dir: PathBuf,
+    },
+    /// Two files define a test with the same name.
+    DuplicateTest {
+        /// The duplicated test name.
+        name: String,
+        /// The file that defined it first.
+        first: PathBuf,
+        /// The file that defined it again.
+        second: PathBuf,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            CorpusError::Parse { path, error } => write!(f, "{}: {error}", path.display()),
+            CorpusError::Expectations { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            CorpusError::Empty { dir } => write!(f, "{}: no .litmus files found", dir.display()),
+            CorpusError::DuplicateTest { name, first, second } => write!(
+                f,
+                "test `{name}` is defined in both {} and {}",
+                first.display(),
+                second.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}

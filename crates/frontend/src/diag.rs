@@ -1,0 +1,78 @@
+//! Source positions and parse diagnostics for the `.litmus` text format.
+
+use std::fmt;
+
+/// A position in a `.litmus` source text (both components 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (counted in characters, not bytes).
+    pub col: usize,
+}
+
+impl Span {
+    /// Creates a span from 1-based line and column.
+    #[must_use]
+    pub const fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// A `.litmus` parse failure: what went wrong and where.
+///
+/// Rendered as `line L, column C: message`, so a CLI can prefix the file
+/// name to get the conventional `file:line:col`-style diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error was detected.
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at a span.
+    #[must_use]
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_render_one_based_positions() {
+        assert_eq!(Span::new(3, 7).to_string(), "line 3, column 7");
+    }
+
+    #[test]
+    fn errors_render_span_and_message() {
+        let err = ParseError::new(Span::new(2, 1), "expected `;`");
+        assert_eq!(err.to_string(), "line 2, column 1: expected `;`");
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ParseError>();
+    }
+
+    #[test]
+    fn spans_order_by_line_then_column() {
+        assert!(Span::new(1, 9) < Span::new(2, 1));
+        assert!(Span::new(2, 1) < Span::new(2, 2));
+    }
+}

@@ -1,0 +1,293 @@
+//! The token scanner shared by every structured section of a `.litmus` file
+//! (init block, thread columns, `locations` clause, condition).
+//!
+//! The header and description lines are handled line-oriented by the parser
+//! (a test name like `2+2w+fence-ss` is free text, not a token sequence);
+//! everything below them is tokenized here with precise line/column spans.
+
+use crate::diag::{ParseError, Span};
+
+/// One token of the structured `.litmus` sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// An identifier: `St`, `r1`, `P2`, `a`, `FenceSS`, a label name, …
+    Ident(String),
+    /// An unsigned integer literal (decimal, or hexadecimal with `0x`).
+    Num(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `|`
+    Pipe,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `->`
+    Arrow,
+    /// `/\` — the conjunction of condition terms.
+    And,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// How the token reads in an error message.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("`{name}`"),
+            Tok::Num(value) => format!("`{value}`"),
+            Tok::LBrace => "`{`".to_string(),
+            Tok::RBrace => "`}`".to_string(),
+            Tok::LBracket => "`[`".to_string(),
+            Tok::RBracket => "`]`".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::Pipe => "`|`".to_string(),
+            Tok::Semi => "`;`".to_string(),
+            Tok::Colon => "`:`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::Eq => "`=`".to_string(),
+            Tok::Plus => "`+`".to_string(),
+            Tok::Arrow => "`->`".to_string(),
+            Tok::And => "`/\\`".to_string(),
+            Tok::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token plus the position it starts at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub(crate) tok: Tok,
+    pub(crate) span: Span,
+}
+
+/// Tokenizes `text`, whose first line is line `start_line` of the original
+/// file. `//` starts a comment running to the end of the line. The returned
+/// stream always ends with a single [`Tok::Eof`].
+pub(crate) fn lex(text: &str, start_line: usize) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut line = start_line;
+    let mut col = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let span = Span::new(line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some('/') => {
+                        // Comment: consume to (but not including) the newline.
+                        while chars.peek().is_some_and(|&c| c != '\n') {
+                            chars.next();
+                            col += 1;
+                        }
+                    }
+                    Some('\\') => {
+                        chars.next();
+                        col += 1;
+                        tokens.push(Token { tok: Tok::And, span });
+                    }
+                    _ => {
+                        return Err(ParseError::new(span, "expected `//` comment or `/\\`"));
+                    }
+                }
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    col += 1;
+                    tokens.push(Token { tok: Tok::Arrow, span });
+                } else {
+                    return Err(ParseError::new(span, "expected `->`"));
+                }
+            }
+            '0'..='9' => {
+                let mut digits = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        digits.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let cleaned = digits.replace('_', "");
+                let parsed = if let Some(hex) = cleaned.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else if let Some(hex) = cleaned.strip_prefix("0X") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    cleaned.parse::<u64>()
+                };
+                match parsed {
+                    Ok(value) => tokens.push(Token { tok: Tok::Num(value), span }),
+                    Err(_) => {
+                        return Err(ParseError::new(
+                            span,
+                            format!("`{digits}` is not a valid integer literal"),
+                        ))
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { tok: Tok::Ident(name), span });
+            }
+            _ => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '|' => Tok::Pipe,
+                    ';' => Tok::Semi,
+                    ':' => Tok::Colon,
+                    ',' => Tok::Comma,
+                    '=' => Tok::Eq,
+                    '+' => Tok::Plus,
+                    other => {
+                        return Err(ParseError::new(
+                            span,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                };
+                chars.next();
+                col += 1;
+                tokens.push(Token { tok, span });
+            }
+        }
+    }
+    tokens.push(Token { tok: Tok::Eof, span: Span::new(line, col) });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<Tok> {
+        lex(text, 1).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn tokenizes_an_instruction_cell() {
+        assert_eq!(
+            kinds("r1 = Ld [b + 8]"),
+            vec![
+                Tok::Ident("r1".into()),
+                Tok::Eq,
+                Tok::Ident("Ld".into()),
+                Tok::LBracket,
+                Tok::Ident("b".into()),
+                Tok::Plus,
+                Tok::Num(8),
+                Tok::RBracket,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_condition_syntax() {
+        assert_eq!(
+            kinds("exists (P2:r1 = 1 /\\ a = 0x10)"),
+            vec![
+                Tok::Ident("exists".into()),
+                Tok::LParen,
+                Tok::Ident("P2".into()),
+                Tok::Colon,
+                Tok::Ident("r1".into()),
+                Tok::Eq,
+                Tok::Num(1),
+                Tok::And,
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Num(16),
+                Tok::RParen,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let tokens = lex("ab cd\n  ef", 5).unwrap();
+        assert_eq!(tokens[0].span, Span::new(5, 1));
+        assert_eq!(tokens[1].span, Span::new(5, 4));
+        assert_eq!(tokens[2].span, Span::new(6, 3));
+        assert_eq!(tokens[3].tok, Tok::Eof);
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        assert_eq!(kinds("a // b c d\n;"), vec![Tok::Ident("a".into()), Tok::Semi, Tok::Eof]);
+    }
+
+    #[test]
+    fn rejects_stray_characters_with_positions() {
+        let err = lex("a\n  $", 1).unwrap_err();
+        assert_eq!(err.span, Span::new(2, 3));
+        assert!(err.message.contains('$'));
+        assert!(lex("a - b", 1).unwrap_err().message.contains("->"));
+        assert!(lex("a / b", 1).unwrap_err().message.contains("/\\"));
+        assert!(lex("99999999999999999999999", 1).unwrap_err().message.contains("integer"));
+    }
+
+    #[test]
+    fn arrow_and_branch_tokens() {
+        assert_eq!(
+            kinds("beq r1, 0 -> done"),
+            vec![
+                Tok::Ident("beq".into()),
+                Tok::Ident("r1".into()),
+                Tok::Comma,
+                Tok::Num(0),
+                Tok::Arrow,
+                Tok::Ident("done".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+}

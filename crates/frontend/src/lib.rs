@@ -1,0 +1,73 @@
+//! # gam-frontend
+//!
+//! The litmus **text frontend** of the GAM reproduction: a parser and
+//! pretty-printer for a herd-style `.litmus` format, a corpus loader, and
+//! the `gam` CLI binary that fans corpora out across the parallel
+//! [`gam_engine::Engine`] facade. It turns the checker stack from a closed
+//! library (tests hand-built in Rust) into a tool that accepts arbitrary
+//! user-supplied workloads.
+//!
+//! # The `.litmus` format
+//!
+//! ```text
+//! GAM mp                                   // header: <arch> <test-name>
+//! "classical message passing"              // optional quoted description
+//! { a = 0; b = 0; }                        // optional initial memory
+//! P1       | P2          ;                 // thread columns, `;`-terminated
+//! St [a] 1 | r1 = Ld [b] ;
+//! St [b] 1 | r2 = Ld [a] ;
+//! locations (P2:r1; P2:r2)                 // optional: observed quantities
+//! exists (P2:r1 = 1 /\ P2:r2 = 0)          // optional: condition of interest
+//! ```
+//!
+//! Cells hold at most one instruction, optionally preceded by `label:`
+//! definitions; the instruction syntax is the ISA's own display form —
+//! `rN = Ld [addr]`, `St [addr] data`, `rN = add x, y` (also `sub`, `and`,
+//! `or`, `xor`, `mov`), `FenceLL` / `FenceLS` / `FenceSL` / `FenceSS`, and
+//! `beq x, y -> label` / `bne x, y -> label`. Addresses are `[base]` or
+//! `[base + offset]` with a register, location name or integer base.
+//! Processors are 1-based (`P1` is thread 0); `forbidden` is accepted as a
+//! synonym of `exists` (the verdict lives in the expectations table, not
+//! the file). `//` starts a comment.
+//!
+//! Symbolic locations are pure hashes of their names
+//! ([`gam_isa::Loc::new`]), so the pretty-printer recovers names by
+//! *inverting* that hash over a dictionary ([`NameTable`]) and falls back
+//! to raw integer addresses — which makes the round-trip guarantee
+//! `parse(print(t)) == Ok(t)` hold for every test the workspace can build
+//! (the property suite pins it for the whole library plus random
+//! programs).
+//!
+//! # Example
+//!
+//! ```
+//! use gam_frontend::{parse_litmus, print_litmus};
+//! use gam_isa::litmus::library;
+//!
+//! // Round-trip the paper's Dekker test through the text format.
+//! let test = library::dekker();
+//! let text = print_litmus(&test);
+//! assert!(text.starts_with("GAM dekker"));
+//! assert_eq!(parse_litmus(&text).unwrap(), test);
+//!
+//! // Parse a hand-written test; errors carry line/column positions.
+//! let err = parse_litmus("GAM broken\nP1 ;\nSt [a) 1 ;\n").unwrap_err();
+//! assert_eq!((err.span.line, err.span.col), (3, 6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod corpus;
+pub mod diag;
+mod lexer;
+pub mod names;
+pub mod parser;
+pub mod printer;
+
+pub use corpus::{export_library, Corpus, CorpusError, CorpusTest, EXPECTATIONS_FILE};
+pub use diag::{ParseError, Span};
+pub use names::NameTable;
+pub use parser::parse_litmus;
+pub use printer::{print_litmus, print_litmus_with};

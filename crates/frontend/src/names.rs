@@ -1,0 +1,97 @@
+//! Recovering symbolic location names from concrete addresses.
+//!
+//! [`gam_isa::Loc`] stores only its concrete address — the symbolic name is
+//! hashed away at construction. Because `Loc::new` is a pure function of the
+//! name, a name table can *invert* that mapping for any dictionary of
+//! candidate names: an address prints as a name exactly when
+//! `Loc::new(name).address()` equals it, which is what makes the
+//! pretty-printer's round-trip guarantee hold (the parser maps the name back
+//! through the same hash). Addresses outside the dictionary render as plain
+//! integers, which the parser also accepts as raw locations.
+
+use std::collections::BTreeMap;
+
+use gam_isa::Loc;
+
+/// The built-in candidate names: every single letter plus the multi-letter
+/// names conventional in litmus suites.
+const DICTIONARY: [&str; 34] = [
+    "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p", "q", "r", "s",
+    "t", "u", "v", "w", "x", "y", "z", "flag", "data", "lock", "head", "tail", "buf", "ptr",
+    "addr",
+];
+
+/// A reverse map from concrete addresses to symbolic location names.
+#[derive(Debug, Clone)]
+pub struct NameTable {
+    by_addr: BTreeMap<u64, String>,
+}
+
+impl NameTable {
+    /// An empty table (every address renders as a raw integer).
+    #[must_use]
+    pub fn empty() -> Self {
+        NameTable { by_addr: BTreeMap::new() }
+    }
+
+    /// Registers a candidate name; the address it inverts is computed via
+    /// [`Loc::new`]. The first name registered for an address wins, so
+    /// custom names added after construction never change existing output.
+    pub fn add(&mut self, name: &str) {
+        self.by_addr.entry(Loc::new(name).address()).or_insert_with(|| name.to_string());
+    }
+
+    /// The symbolic name of an address, if one is known.
+    #[must_use]
+    pub fn name_of(&self, address: u64) -> Option<&str> {
+        self.by_addr.get(&address).map(String::as_str)
+    }
+}
+
+impl Default for NameTable {
+    /// The built-in dictionary: `a`–`z` and the conventional multi-letter
+    /// litmus names (`flag`, `data`, `lock`, …).
+    fn default() -> Self {
+        let mut table = NameTable::empty();
+        for name in DICTIONARY {
+            table.add(name);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_inverts_single_letters() {
+        let table = NameTable::default();
+        for name in ["a", "b", "c", "z", "flag", "data"] {
+            assert_eq!(table.name_of(Loc::new(name).address()), Some(name));
+        }
+    }
+
+    #[test]
+    fn unknown_addresses_have_no_name() {
+        let table = NameTable::default();
+        assert_eq!(table.name_of(0), None);
+        assert_eq!(table.name_of(Loc::new("very-unusual-name").address()), None);
+    }
+
+    #[test]
+    fn first_registration_wins() {
+        let mut table = NameTable::empty();
+        table.add("a");
+        table.add("a");
+        assert_eq!(table.name_of(Loc::new("a").address()), Some("a"));
+    }
+
+    #[test]
+    fn dictionary_is_collision_free() {
+        // All 34 candidate names must invert to 34 distinct addresses;
+        // a collision would make printing ambiguous.
+        let table = NameTable::default();
+        assert_eq!(table.by_addr.len(), DICTIONARY.len());
+    }
+}

@@ -1,0 +1,185 @@
+//! The canonical `.litmus` pretty-printer.
+//!
+//! [`print_litmus`] renders any [`LitmusTest`] as text that
+//! [`crate::parser::parse_litmus`] reads back to a structurally equal test —
+//! the round-trip guarantee `parse(print(t)) == Ok(t)`. It holds because
+//! every rendering choice is invertible:
+//!
+//! * a location address prints as a symbolic name only when
+//!   `Loc::new(name)` hashes to exactly that address (see
+//!   [`NameTable`]), and as a plain integer otherwise — both forms parse
+//!   back to the same address;
+//! * the `locations` clause always lists *every* observed quantity in its
+//!   original order, so the parser never has to reconstruct the order from
+//!   the (sorted) condition;
+//! * labels print immediately before the instruction they target, with
+//!   end-of-thread labels in a trailing cell.
+//!
+//! The only inputs outside the guarantee are tests whose name or
+//! description contain a newline, whose observed list contains duplicates,
+//! or whose label names are not identifiers — none of which the builders in
+//! this workspace produce.
+
+use std::fmt::Write as _;
+
+use gam_isa::litmus::{LitmusTest, Observation};
+use gam_isa::{Addr, Instruction, Operand, ThreadProgram, Value};
+
+use crate::names::NameTable;
+
+/// Renders a litmus test as canonical `.litmus` text using the default
+/// location-name dictionary.
+#[must_use]
+pub fn print_litmus(test: &LitmusTest) -> String {
+    print_litmus_with(test, &NameTable::default())
+}
+
+/// Renders a litmus test as canonical `.litmus` text with a caller-provided
+/// name table.
+#[must_use]
+pub fn print_litmus_with(test: &LitmusTest, names: &NameTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "GAM {}", test.name());
+    if !test.description().is_empty() {
+        let escaped = test.description().replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = writeln!(out, "\"{escaped}\"");
+    }
+    if !test.initial_memory().is_empty() {
+        let entries: Vec<String> = test
+            .initial_memory()
+            .iter()
+            .map(|(addr, value)| {
+                format!("{} = {};", render_address(*addr, names), render_value(*value, names))
+            })
+            .collect();
+        let _ = writeln!(out, "{{ {} }}", entries.join(" "));
+    }
+
+    // Thread columns: header row plus one row per program-order position,
+    // each column padded to its widest cell.
+    let threads = test.program().threads();
+    let mut columns: Vec<Vec<String>> =
+        threads.iter().map(|thread| thread_cells(thread, names)).collect();
+    let rows = columns.iter().map(Vec::len).max().unwrap_or(0);
+    for cells in &mut columns {
+        cells.resize(rows, String::new());
+    }
+    let widths: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, cells)| {
+            cells.iter().map(String::len).max().unwrap_or(0).max(format!("P{}", i + 1).len())
+        })
+        .collect();
+    let header: Vec<String> = widths
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, width)| format!("{:<width$}", format!("P{}", i + 1)))
+        .collect();
+    let _ = writeln!(out, "{} ;", header.join(" | "));
+    for row in 0..rows {
+        let cells: Vec<String> = columns
+            .iter()
+            .zip(widths.iter().copied())
+            .map(|(cells, width)| format!("{:<width$}", cells[row]))
+            .collect();
+        let _ = writeln!(out, "{} ;", cells.join(" | "));
+    }
+
+    if !test.observed().is_empty() {
+        let observed: Vec<String> =
+            test.observed().iter().map(|obs| render_observation(obs, names)).collect();
+        let _ = writeln!(out, "locations ({})", observed.join("; "));
+    }
+    if !test.condition().is_empty() {
+        let terms: Vec<String> = test
+            .condition()
+            .iter()
+            .map(|(obs, value)| {
+                format!("{} = {}", render_observation(obs, names), render_value(*value, names))
+            })
+            .collect();
+        let _ = writeln!(out, "exists ({})", terms.join(" /\\ "));
+    }
+    out
+}
+
+/// The cells of one thread column: labels prefix the instruction they
+/// precede; labels past the last instruction get a trailing cell.
+fn thread_cells(thread: &ThreadProgram, names: &NameTable) -> Vec<String> {
+    let labels_at = |index: usize| -> String {
+        thread
+            .labels()
+            .iter()
+            .filter(|(_, target)| **target == index)
+            .map(|(name, _)| format!("{name}: "))
+            .collect()
+    };
+    let mut cells: Vec<String> = thread
+        .instructions()
+        .iter()
+        .enumerate()
+        .map(|(index, instr)| format!("{}{}", labels_at(index), render_instruction(instr, names)))
+        .collect();
+    let trailing = labels_at(thread.len());
+    if !trailing.is_empty() {
+        cells.push(trailing.trim_end().to_string());
+    }
+    cells
+}
+
+fn render_instruction(instr: &Instruction, names: &NameTable) -> String {
+    match instr {
+        Instruction::Alu { dst, op, lhs, rhs } => {
+            format!("{dst} = {op} {}, {}", render_operand(*lhs, names), render_operand(*rhs, names))
+        }
+        Instruction::Load { dst, addr } => format!("{dst} = Ld {}", render_addr(*addr, names)),
+        Instruction::Store { addr, data } => {
+            format!("St {} {}", render_addr(*addr, names), render_operand(*data, names))
+        }
+        Instruction::Fence { kind } => kind.to_string(),
+        Instruction::Branch { cond, lhs, rhs, target } => {
+            format!(
+                "{cond} {}, {} -> {target}",
+                render_operand(*lhs, names),
+                render_operand(*rhs, names)
+            )
+        }
+    }
+}
+
+fn render_addr(addr: Addr, names: &NameTable) -> String {
+    let base = render_operand(addr.base, names);
+    if addr.offset == 0 {
+        format!("[{base}]")
+    } else {
+        format!("[{base} + {}]", addr.offset)
+    }
+}
+
+fn render_operand(operand: Operand, names: &NameTable) -> String {
+    match operand {
+        Operand::Reg(reg) => reg.to_string(),
+        Operand::Imm(value) => render_value(value, names),
+    }
+}
+
+/// A value prints as a symbolic location name when the name table can invert
+/// it, and as a plain integer otherwise.
+fn render_value(value: Value, names: &NameTable) -> String {
+    names.name_of(value.raw()).map_or_else(|| value.raw().to_string(), str::to_string)
+}
+
+/// An address (an initial-memory key or memory observation) prints like a
+/// value: name when invertible, integer otherwise.
+fn render_address(address: u64, names: &NameTable) -> String {
+    names.name_of(address).map_or_else(|| address.to_string(), str::to_string)
+}
+
+fn render_observation(obs: &Observation, names: &NameTable) -> String {
+    match obs {
+        Observation::Register(proc, reg) => format!("{proc}:{reg}"),
+        Observation::Memory(loc) => render_address(loc.address(), names),
+    }
+}

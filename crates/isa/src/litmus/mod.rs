@@ -129,7 +129,11 @@ impl FromIterator<(Observation, Value)> for Outcome {
 
 /// A litmus test: a program, its initial state, the observed quantities and
 /// the condition of interest.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural over every component (name, description, program,
+/// initial memory, observed quantities in order, condition), which is what
+/// the text frontend's round-trip guarantee `parse(print(t)) == t` relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LitmusTest {
     name: String,
     description: String,
@@ -239,6 +243,20 @@ impl LitmusTestBuilder {
         self
     }
 
+    /// Adds an observation to the observed set (no-op if already observed).
+    ///
+    /// This is the parser-facing form of [`LitmusTestBuilder::observe_reg`] /
+    /// [`LitmusTestBuilder::observe_mem`]: the text frontend's `locations`
+    /// clause and condition terms both funnel through it, and observing the
+    /// same quantity twice must not duplicate it.
+    #[must_use]
+    pub fn observe(mut self, observation: Observation) -> Self {
+        if !self.observed.contains(&observation) {
+            self.observed.push(observation);
+        }
+        self
+    }
+
     /// Adds a register to the observed set.
     #[must_use]
     pub fn observe_reg(mut self, proc: ProcId, reg: Reg) -> Self {
@@ -275,6 +293,19 @@ impl LitmusTestBuilder {
         self
     }
 
+    /// Adds an equality on an arbitrary observation to the condition of
+    /// interest (and observes the quantity). Generic form of
+    /// [`LitmusTestBuilder::expect_reg`] / [`LitmusTestBuilder::expect_mem`],
+    /// used by the text frontend's condition parser.
+    #[must_use]
+    pub fn expect(mut self, observation: Observation, value: impl Into<Value>) -> Self {
+        if !self.observed.contains(&observation) {
+            self.observed.push(observation);
+        }
+        self.condition.set(observation, value.into());
+        self
+    }
+
     /// Finishes the litmus test.
     #[must_use]
     pub fn build(self) -> LitmusTest {
@@ -286,6 +317,33 @@ impl LitmusTestBuilder {
             observed: self.observed,
             condition: self.condition,
         }
+    }
+
+    /// Finishes the litmus test after validating the observations against
+    /// the program — the checked entry point used by the text frontend,
+    /// where tests come from untrusted input rather than hand-written code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IsaError::UnwrittenObservedRegister`] when an
+    /// observed register belongs to a processor the program does not have,
+    /// or is never in the write set of any instruction of that processor's
+    /// thread (such an observation can only ever read zero, which is almost
+    /// certainly a typo in the source text).
+    pub fn try_build(self) -> Result<LitmusTest, crate::IsaError> {
+        for observation in &self.observed {
+            let Observation::Register(proc, reg) = observation else { continue };
+            let written = self.program.thread(*proc).is_some_and(|thread| {
+                thread.instructions().iter().any(|instr| instr.write_set().contains(reg))
+            });
+            if !written {
+                return Err(crate::IsaError::UnwrittenObservedRegister {
+                    proc: proc.index(),
+                    reg: reg.index(),
+                });
+            }
+        }
+        Ok(self.build())
     }
 }
 
@@ -358,6 +416,60 @@ mod tests {
             test.condition().get(&Observation::Register(ProcId::new(1), Reg::new(1))),
             Some(Value::new(1))
         );
+    }
+
+    #[test]
+    fn observe_and_expect_generic_forms_deduplicate() {
+        let p2 = ProcId::new(1);
+        let obs = Observation::Register(p2, Reg::new(1));
+        let test = LitmusTest::builder("demo", tiny_program())
+            .observe(obs)
+            .observe(obs)
+            .expect(obs, 0u64)
+            .build();
+        assert_eq!(test.observed(), &[obs]);
+        assert_eq!(test.condition().get(&obs), Some(Value::ZERO));
+    }
+
+    #[test]
+    fn try_build_accepts_written_registers_and_memory() {
+        let test = LitmusTest::builder("demo", tiny_program())
+            .expect_reg(ProcId::new(1), Reg::new(1), 0u64)
+            .observe_mem(Loc::new("a"))
+            .try_build()
+            .expect("valid observations");
+        assert_eq!(test.observed().len(), 2);
+    }
+
+    #[test]
+    fn try_build_rejects_unwritten_or_out_of_range_registers() {
+        // r9 is never written by thread P2.
+        let err = LitmusTest::builder("demo", tiny_program())
+            .expect_reg(ProcId::new(1), Reg::new(9), 0u64)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, crate::IsaError::UnwrittenObservedRegister { proc: 1, reg: 9 });
+        // Processor P5 does not exist.
+        let err = LitmusTest::builder("demo", tiny_program())
+            .expect_reg(ProcId::new(4), Reg::new(1), 0u64)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, crate::IsaError::UnwrittenObservedRegister { proc: 4, reg: 1 });
+    }
+
+    #[test]
+    fn structural_equality_distinguishes_components() {
+        let base = || {
+            LitmusTest::builder("demo", tiny_program()).expect_reg(
+                ProcId::new(1),
+                Reg::new(1),
+                0u64,
+            )
+        };
+        assert_eq!(base().build(), base().build());
+        assert_ne!(base().build(), base().description("different").build());
+        assert_ne!(base().build(), base().init(Loc::new("a"), 1u64).build());
+        assert_ne!(base().build(), base().observe_mem(Loc::new("a")).build());
     }
 
     #[test]

@@ -102,6 +102,156 @@ pub fn expectation_for(test: &str) -> Option<Expectation> {
     paper_expectations().into_iter().find(|e| e.test == test)
 }
 
+/// An expectation row with owned strings — the form produced by parsing an
+/// `expectations.txt` file from a litmus corpus on disk (the static
+/// [`Expectation`] table stays `&'static str` based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedExpectation {
+    /// Litmus-test name.
+    pub test: String,
+    /// Verdict under SC.
+    pub sc: bool,
+    /// Verdict under TSO.
+    pub tso: bool,
+    /// Verdict under GAM.
+    pub gam: bool,
+    /// Verdict under GAM0.
+    pub gam0: bool,
+    /// Verdict under GAM with the ARM same-address rule.
+    pub gam_arm: bool,
+    /// Where the expectation comes from (free text, may be empty).
+    pub source: String,
+}
+
+impl OwnedExpectation {
+    /// The expected verdict for a given model.
+    #[must_use]
+    pub fn allowed(&self, model: ModelKind) -> bool {
+        match model {
+            ModelKind::Sc => self.sc,
+            ModelKind::Tso => self.tso,
+            ModelKind::Gam => self.gam,
+            ModelKind::Gam0 => self.gam0,
+            ModelKind::GamArm => self.gam_arm,
+        }
+    }
+}
+
+impl From<&Expectation> for OwnedExpectation {
+    fn from(e: &Expectation) -> Self {
+        OwnedExpectation {
+            test: e.test.to_string(),
+            sc: e.sc,
+            tso: e.tso,
+            gam: e.gam,
+            gam0: e.gam0,
+            gam_arm: e.gam_arm,
+            source: e.source.to_string(),
+        }
+    }
+}
+
+/// A parse failure in an expectations file, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectationParseError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExpectationParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expectations line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExpectationParseError {}
+
+/// The model column order of the expectations text format.
+const TEXT_COLUMNS: [ModelKind; 5] =
+    [ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0, ModelKind::GamArm];
+
+/// Renders expectation rows as the `expectations.txt` corpus format:
+/// one line per test — the test name, five `allowed`/`forbidden` columns
+/// (SC TSO GAM GAM0 GAM-ARM), and the source as a trailing `#` comment.
+/// [`parse_expectations`] reads this format back.
+#[must_use]
+pub fn render_expectations(rows: &[OwnedExpectation]) -> String {
+    use std::fmt::Write as _;
+    let name_width = rows.iter().map(|r| r.test.len()).max().unwrap_or(4).max("test".len());
+    let mut out = String::new();
+    let _ = writeln!(out, "# Expected verdicts per model; `allowed` / `forbidden` (or A / F).");
+    let _ =
+        writeln!(out, "# {:<name_width$} SC        TSO       GAM       GAM0      GAM-ARM", "test");
+    for row in rows {
+        let _ = write!(out, "{:<width$}", row.test, width = name_width + 2);
+        for model in TEXT_COLUMNS {
+            let verdict = if row.allowed(model) { "allowed" } else { "forbidden" };
+            let _ = write!(out, "{verdict:<10}");
+        }
+        if row.source.is_empty() {
+            let _ = writeln!(out);
+        } else {
+            let _ = writeln!(out, "# {}", row.source);
+        }
+    }
+    out
+}
+
+/// Parses the `expectations.txt` corpus format rendered by
+/// [`render_expectations`]: blank lines and full-line `#` comments are
+/// skipped; each remaining line is `test SC TSO GAM GAM0 GAM-ARM` with the
+/// verdicts spelled `allowed`/`forbidden` (or abbreviated `A`/`F`,
+/// case-insensitive) and an optional trailing `# source` comment.
+///
+/// # Errors
+///
+/// Returns an [`ExpectationParseError`] carrying the 1-based line number on
+/// a malformed row, an unknown verdict word, or a duplicated test name.
+pub fn parse_expectations(text: &str) -> Result<Vec<OwnedExpectation>, ExpectationParseError> {
+    let mut rows: Vec<OwnedExpectation> = Vec::new();
+    for (index, raw_line) in text.lines().enumerate() {
+        let line = index + 1;
+        let error = |message: String| ExpectationParseError { line, message };
+        let (body, source) = match raw_line.find('#') {
+            Some(at) => (&raw_line[..at], raw_line[at + 1..].trim()),
+            None => (raw_line, ""),
+        };
+        let mut fields = body.split_whitespace();
+        let Some(test) = fields.next() else { continue };
+        let mut verdicts = [false; 5];
+        for (column, slot) in verdicts.iter_mut().enumerate() {
+            let word = fields.next().ok_or_else(|| {
+                error(format!(
+                    "expected 5 verdict columns (SC TSO GAM GAM0 GAM-ARM), found {column}"
+                ))
+            })?;
+            *slot = match word.to_ascii_lowercase().as_str() {
+                "allowed" | "a" => true,
+                "forbidden" | "f" => false,
+                other => return Err(error(format!("unknown verdict `{other}`"))),
+            };
+        }
+        if let Some(extra) = fields.next() {
+            return Err(error(format!("unexpected trailing field `{extra}`")));
+        }
+        if rows.iter().any(|row| row.test == test) {
+            return Err(error(format!("duplicate expectation for test `{test}`")));
+        }
+        rows.push(OwnedExpectation {
+            test: test.to_string(),
+            sc: verdicts[0],
+            tso: verdicts[1],
+            gam: verdicts[2],
+            gam0: verdicts[3],
+            gam_arm: verdicts[4],
+            source: source.to_string(),
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +312,39 @@ mod tests {
         assert!(expectation_for("rsw").unwrap().gam_arm);
         assert!(!expectation_for("rnsw").unwrap().gam_arm);
         assert!(expectation_for("not-a-test").is_none());
+    }
+
+    #[test]
+    fn text_format_round_trips_the_paper_table() {
+        let rows: Vec<OwnedExpectation> =
+            paper_expectations().iter().map(OwnedExpectation::from).collect();
+        let text = render_expectations(&rows);
+        let parsed = parse_expectations(&text).expect("rendered table parses");
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn text_format_accepts_abbreviations_and_comments() {
+        let text = "# header comment\n\n  dekker F a A allowed Forbidden # Figure 2\n";
+        let rows = parse_expectations(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].test, "dekker");
+        assert!(!rows[0].sc && rows[0].tso && rows[0].gam && rows[0].gam0 && !rows[0].gam_arm);
+        assert_eq!(rows[0].source, "Figure 2");
+    }
+
+    #[test]
+    fn text_format_reports_line_numbers_on_errors() {
+        for (text, line, needle) in [
+            ("dekker A A A\n", 1, "5 verdict columns"),
+            ("\ndekker A A A A maybe\n", 2, "unknown verdict"),
+            ("dekker A A A A A extra\n", 1, "trailing field"),
+            ("dekker A A A A A\ndekker F F F F F\n", 2, "duplicate"),
+        ] {
+            let err = parse_expectations(text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}");
+            assert!(err.to_string().contains(needle), "{text:?}: {err}");
+        }
     }
 
     #[test]

@@ -40,4 +40,6 @@ pub mod expectations;
 
 pub use compare::{ComparisonMatrix, ComparisonRow};
 pub use equivalence::{EquivalenceReport, EquivalenceResult};
-pub use expectations::Expectation;
+pub use expectations::{
+    parse_expectations, render_expectations, Expectation, ExpectationParseError, OwnedExpectation,
+};

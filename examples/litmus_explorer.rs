@@ -5,13 +5,44 @@
 //! from the axiomatic checker directly (the soft-deprecated direct API
 //! remains available exactly for such cases).
 //!
-//! Run with: `cargo run --example litmus_explorer [-- <test-name>]`
+//! Run with: `cargo run --example litmus_explorer [-- <test-name | file.litmus>]`
+//!
+//! The argument may be a library test name *or* a path to a `.litmus` file
+//! (anything containing a path separator or ending in `.litmus`), which is
+//! parsed through the text frontend — so the example exercises arbitrary
+//! user-supplied workloads, not just the built-in library.
 
 use gam::axiomatic::AxiomaticChecker;
 use gam::core::model;
 use gam::engine::Engine;
+use gam::frontend::{parse_litmus, print_litmus};
 use gam::isa::litmus::library;
+use gam::isa::litmus::LitmusTest;
 use gam::verify::ComparisonMatrix;
+
+/// Resolves the argument: a `.litmus` path goes through the text frontend,
+/// anything else is looked up in the built-in library.
+fn resolve(arg: &str) -> LitmusTest {
+    if arg.ends_with(".litmus") || arg.contains(std::path::MAIN_SEPARATOR) {
+        let text = std::fs::read_to_string(arg).unwrap_or_else(|err| {
+            eprintln!("cannot read {arg}: {err}");
+            std::process::exit(1);
+        });
+        parse_litmus(&text).unwrap_or_else(|err| {
+            eprintln!("{arg}: {err}");
+            std::process::exit(1);
+        })
+    } else if let Some(test) = library::by_name(arg) {
+        test
+    } else {
+        eprintln!("unknown litmus test `{arg}`; available tests:");
+        for test in library::all_tests() {
+            eprintln!("  {}", test.name());
+        }
+        eprintln!("(or pass a path to a .litmus file)");
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let filter: Option<String> = std::env::args().nth(1);
@@ -24,18 +55,13 @@ fn main() {
             print!("{matrix}");
             println!();
             println!(
-                "Run `cargo run --example litmus_explorer -- <name>` for details on one test."
+                "Run `cargo run --example litmus_explorer -- <name | file.litmus>` for details \
+                 on one test."
             );
         }
         Some(name) => {
-            let Some(test) = library::by_name(&name) else {
-                eprintln!("unknown litmus test `{name}`; available tests:");
-                for test in library::all_tests() {
-                    eprintln!("  {}", test.name());
-                }
-                std::process::exit(1);
-            };
-            println!("{test}");
+            let test = resolve(&name);
+            println!("{}", print_litmus(&test));
             for spec in model::all() {
                 let engine = Engine::axiomatic(spec.kind());
                 let verdict = engine.check(&test).expect("checkable");

@@ -17,6 +17,10 @@
 //! * [`axiomatic`] — the axiomatic execution enumerator;
 //! * [`operational`] — the abstract machines (SC, TSO, GAM/GAM0) and the
 //!   exhaustive explorer;
+//! * [`frontend`] — the litmus **text frontend**: a `.litmus` parser and
+//!   pretty-printer with a round-trip guarantee, the corpus loader behind
+//!   `tests/corpus/`, and the `gam` CLI binary that batch-runs corpora
+//!   through the engine;
 //! * [`verify`] — paper expectations, model comparison and
 //!   axiomatic-vs-operational equivalence checking (thin layers over the
 //!   engine);
@@ -56,6 +60,7 @@
 pub use gam_axiomatic as axiomatic;
 pub use gam_core as core;
 pub use gam_engine as engine;
+pub use gam_frontend as frontend;
 pub use gam_isa as isa;
 pub use gam_operational as operational;
 pub use gam_uarch as uarch;
