@@ -27,10 +27,16 @@
 //!                      a difference is a regression (default 1.25; 0 = report only)
 //! ```
 //!
-//! The JSON schema (`gam-perf-snapshot/v2`) is documented in the README's
-//! "Performance" section. `--compare` reads both v1 and v2 files and diffs
-//! whatever metrics the two snapshots share, so the committed baseline stays
-//! usable across schema bumps.
+//! The JSON schema (`gam-perf-snapshot/v3`) is documented in the README's
+//! "Performance" section: v2 plus per-test `states_per_sec` and the
+//! component-arena occupancy (distinct memory/proc components backing the
+//! visited states, and the peak interned bytes). `--compare` reads v1, v2
+//! and v3 files and diffs whatever metrics the two snapshots share, so the
+//! committed baselines stay usable across schema bumps — and it *gates* the
+//! adaptive parallelism: a candidate whose total parallel operational wall
+//! time exceeds the sequential wall time beyond the threshold factor fails
+//! the comparison, so the sharding regression this schema generation fixed
+//! cannot silently return.
 
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -40,7 +46,7 @@ use gam_bench::{arg_flag, arg_value};
 use gam_core::{model, ModelKind};
 use gam_engine::Json;
 use gam_isa::litmus::{library, LitmusTest, Outcome};
-use gam_operational::{ExplorerConfig, OperationalChecker, Reduction};
+use gam_operational::{ArenaOccupancy, ExplorerConfig, OperationalChecker, Reduction};
 
 /// Everything measured for one `(model, test)` pair.
 struct Row {
@@ -58,6 +64,8 @@ struct OperationalRow {
     parallel_wall: Duration,
     states_visited: usize,
     final_states: usize,
+    /// Component-arena sharing statistics of the sequential exploration.
+    occupancy: ArenaOccupancy,
     /// Reduced exploration, one entry per reduced [`Reduction`] mode.
     sleep: ReducedRow,
     sleep_canon: ReducedRow,
@@ -169,6 +177,7 @@ fn check_one(model_kind: ModelKind, test: &LitmusTest, parallelism: usize) -> Re
             parallel_wall,
             states_visited: seq.states_visited,
             final_states: seq.final_states,
+            occupancy: seq.arena.unwrap_or_default(),
             sleep,
             sleep_canon,
         })
@@ -213,6 +222,18 @@ fn micros(d: Duration) -> Json {
     Json::UInt(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
 }
 
+/// Exploration throughput (saturating; 0 for an unmeasurably fast run).
+fn states_per_sec(states: usize, wall: Duration) -> u64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (states as f64 / secs) as u64
+    }
+}
+
 fn reduced_json(row: &ReducedRow) -> Json {
     Json::object([
         ("wall_us", micros(row.wall)),
@@ -247,6 +268,22 @@ fn row_json(row: &Row) -> Json {
                 ("wall_us_parallel", micros(op.parallel_wall)),
                 ("states_visited", Json::UInt(op.states_visited as u64)),
                 ("final_states", Json::UInt(op.final_states as u64)),
+                (
+                    "states_per_sec",
+                    Json::UInt(states_per_sec(op.states_visited, op.sequential_wall)),
+                ),
+                (
+                    "arena",
+                    Json::object([
+                        ("distinct_memories", Json::UInt(op.occupancy.distinct_memories as u64)),
+                        ("distinct_procs", Json::UInt(op.occupancy.distinct_procs as u64)),
+                        (
+                            "distinct_components",
+                            Json::UInt(op.occupancy.distinct_components() as u64),
+                        ),
+                        ("interned_bytes", Json::UInt(op.occupancy.interned_bytes as u64)),
+                    ]),
+                ),
                 (
                     "reduction",
                     Json::object([
@@ -409,6 +446,32 @@ fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> usize {
             }
         }
     }
+    // The adaptive-parallelism gate: on the candidate snapshot the parallel
+    // operational wall time must not exceed the sequential wall time beyond
+    // the threshold factor. Wall times are noisy, hence the slack — but a
+    // parallel mode that is systematically *slower* than sequential (the
+    // pre-adaptive regression) trips this on every run.
+    if threshold > 0.0 {
+        if let (Some(seq), Some(par)) = (
+            lookup(new, &["totals", "wall_us_operational_sequential"]).and_then(Json::as_u64),
+            lookup(new, &["totals", "wall_us_operational_parallel"]).and_then(Json::as_u64),
+        ) {
+            #[allow(clippy::cast_precision_loss)]
+            if par as f64 > seq as f64 * threshold {
+                regressions += 1;
+                println!(
+                    "compare: REGRESSION totals.wall_us_operational_parallel: {par}us exceeds \
+                     the sequential {seq}us beyond x{threshold:.2} — adaptive sharding must \
+                     keep parallel exploration no slower than sequential"
+                );
+            } else {
+                println!(
+                    "compare: parallel operational wall {par}us <= sequential {seq}us x \
+                     {threshold:.2} (adaptive-parallelism gate holds)"
+                );
+            }
+        }
+    }
     println!(
         "compare: {compared} (model, test) pairs compared, {regressions} regressions, \
          {improvements} improvements (threshold x{threshold:.2}); operational sequential wall \
@@ -470,6 +533,8 @@ fn main() {
     let mut total_naive = 0u128;
     let mut total_enumerated = 0u128;
     let mut total_states = 0u64;
+    let mut total_components = 0u64;
+    let mut total_interned_bytes = 0u64;
     let mut total_states_reduced = 0u64;
     let mut total_pruned = 0u64;
     let mut total_ax_wall = Duration::ZERO;
@@ -490,6 +555,8 @@ fn main() {
                     total_ax_wall += row.axiomatic_wall;
                     if let Some(op) = &row.operational {
                         total_states += op.states_visited as u64;
+                        total_components += op.occupancy.distinct_components() as u64;
+                        total_interned_bytes += op.occupancy.interned_bytes as u64;
                         total_states_reduced += op.sleep_canon.states_visited as u64;
                         total_pruned += op.sleep_canon.transitions_pruned as u64;
                         total_seq_wall += op.sequential_wall;
@@ -519,7 +586,7 @@ fn main() {
     }
 
     let snapshot = Json::object([
-        ("schema", Json::from("gam-perf-snapshot/v2")),
+        ("schema", Json::from("gam-perf-snapshot/v3")),
         ("date", Json::from(date.as_str())),
         ("quick", Json::from(quick)),
         ("explorer_parallelism", Json::UInt(parallelism as u64)),
@@ -536,6 +603,8 @@ fn main() {
                 ("assignments_enumerated", uint(total_enumerated)),
                 ("assignments_pruned", uint(total_naive.saturating_sub(total_enumerated))),
                 ("states_visited", Json::UInt(total_states)),
+                ("arena_distinct_components", Json::UInt(total_components)),
+                ("arena_interned_bytes", Json::UInt(total_interned_bytes)),
                 ("states_visited_reduced", Json::UInt(total_states_reduced)),
                 ("transitions_pruned", Json::UInt(total_pruned)),
                 (

@@ -129,10 +129,27 @@ impl EngineBuilder {
     /// each test's state-space frontier across (operational backend only;
     /// clamped to at least 1). This composes with
     /// [`EngineBuilder::parallelism`]: the suite fans tests out over the
-    /// engine's workers, and each exploration can itself run parallel.
+    /// engine's workers (cross-test work-stealing is the primary
+    /// parallelism axis — litmus-scale tests are far cheaper to run
+    /// whole-test-per-worker than to shard), and each exploration *can*
+    /// itself go parallel — adaptively: sharding only kicks in once a
+    /// test's running state count passes
+    /// [`EngineBuilder::explorer_parallel_threshold`], so small state
+    /// spaces never pay thread overhead.
     #[must_use]
     pub fn explorer_parallelism(mut self, parallelism: usize) -> Self {
         self.explorer_config.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets the adaptive-sharding trigger of the per-test explorer: with
+    /// [`EngineBuilder::explorer_parallelism`] above 1, an exploration
+    /// still starts sequentially and escalates to the sharded parallel
+    /// driver only after interning this many states with frontier work
+    /// remaining. `0` shards immediately (the pre-adaptive behaviour).
+    #[must_use]
+    pub fn explorer_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.explorer_config.parallel_threshold = threshold;
         self
     }
 
@@ -492,6 +509,35 @@ mod tests {
             for (full, fast) in baseline.reports.iter().zip(&reduced.reports) {
                 assert_eq!(full.verdict, fast.verdict, "{reduction}/{}", full.test);
                 assert_eq!(full.outcomes, fast.outcomes, "{reduction}/{}", full.test);
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_parallelism_and_threshold_plumb_through() {
+        let tests = vec![library::dekker(), library::iriw()];
+        let baseline = Engine::builder()
+            .model(ModelKind::Gam)
+            .backend(Backend::Operational)
+            .build()
+            .unwrap()
+            .run_suite(&tests);
+        // Forced sharding (threshold 0) and adaptive sharding (default
+        // threshold, never reached at litmus scale) both reproduce the
+        // sequential verdicts and outcome sets.
+        for threshold in [Some(0), None] {
+            let mut builder = Engine::builder()
+                .model(ModelKind::Gam)
+                .backend(Backend::Operational)
+                .explorer_parallelism(4);
+            if let Some(threshold) = threshold {
+                builder = builder.explorer_parallel_threshold(threshold);
+            }
+            let report = builder.build().unwrap().run_suite(&tests);
+            assert!(report.all_ok());
+            for (seq, par) in baseline.reports.iter().zip(&report.reports) {
+                assert_eq!(seq.verdict, par.verdict, "{:?}/{}", threshold, seq.test);
+                assert_eq!(seq.outcomes, par.outcomes, "{:?}/{}", threshold, seq.test);
             }
         }
     }

@@ -62,4 +62,4 @@ pub use report::{SuiteReport, TestReport};
 // Re-exported so facade users can name verdicts and configs without
 // depending on the backend crates directly.
 pub use gam_axiomatic::{CheckerConfig, Verdict};
-pub use gam_operational::{ExplorerConfig, Reduction};
+pub use gam_operational::{ArenaOccupancy, ExplorerConfig, Reduction};

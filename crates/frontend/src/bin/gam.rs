@@ -2,21 +2,31 @@
 //!
 //! ```text
 //! usage:
-//!   gam check FILE [--models LIST] [--backends LIST] [--parallelism N] [--json]
-//!                 [--no-expectations]
-//!   gam run DIR   [--models LIST] [--backends LIST] [--parallelism N] [--json]
-//!                 [--no-expectations]
+//!   gam check FILE [--models LIST] [--backends LIST] [--jobs N]
+//!                 [--explorer-threads N] [--json] [--no-expectations]
+//!   gam run DIR   [--models LIST] [--backends LIST] [--jobs N]
+//!                 [--explorer-threads N] [--json] [--no-expectations]
+//!   gam bench DIR [--models LIST] [--explorer-threads N] [--json]
+//!   gam gen-corpus DIR [--count N] [--seed S]
 //!   gam print FILE
 //!   gam export-library DIR
 //!
-//!   --models LIST     comma-separated: sc,tso,gam,gam0,gam-arm
-//!                     (default: sc,tso,gam,gam0 for `run`; all five for `check`)
-//!   --backends LIST   comma-separated: axiomatic,operational (default: both;
-//!                     model/backend pairs without semantics are skipped)
-//!   --parallelism N   suite worker threads (default: all cores)
-//!   --json            machine-readable report on stdout
-//!   --no-expectations skip expectation diffing (`run`: the corpus
-//!                     expectations.txt; `check`: the built-in paper table)
+//!   --models LIST        comma-separated: sc,tso,gam,gam0,gam-arm
+//!                        (default: sc,tso,gam,gam0 for `run`/`bench`; all
+//!                        five for `check`)
+//!   --backends LIST      comma-separated: axiomatic,operational (default:
+//!                        both; model/backend pairs without semantics are
+//!                        skipped)
+//!   --jobs N             suite worker threads (default: all cores;
+//!                        `--parallelism N` is accepted as an alias)
+//!   --explorer-threads N worker threads *inside* each operational
+//!                        exploration (default 1; sharding is adaptive and
+//!                        only kicks in on state spaces past the threshold)
+//!   --count N, --seed S  `gen-corpus`: corpus size (default 200) and
+//!                        generator seed (default 2026)
+//!   --json               machine-readable report on stdout
+//!   --no-expectations    skip expectation diffing (`run`: the corpus
+//!                        expectations.txt; `check`: the built-in paper table)
 //! ```
 //!
 //! `check` parses one `.litmus` file, echoes the canonical form and prints
@@ -27,18 +37,27 @@
 //! pair, prints a verdict matrix and diffs the verdicts against the corpus
 //! `expectations.txt` (and against each backend pair) — failing also on
 //! coverage gaps: corpus tests with no expectations row, or rows naming no
-//! corpus test. `print` normalizes a file to canonical text.
-//! `export-library` writes the in-code library as a corpus. Exit status:
-//! 0 = clean, 1 = any mismatch, disagreement, coverage gap or error,
-//! 2 = usage error.
+//! corpus test. `bench` is the throughput runner: it explores every corpus
+//! test operationally under every requested machine model, reports wall
+//! time, states visited, states/second and component-arena occupancy, and
+//! cross-checks the complete outcome set against the axiomatic backend —
+//! any disagreement fails the run. `gen-corpus` writes a deterministic
+//! random corpus (`gam_operational::stress_tests`) plus an
+//! `expectations.txt` computed — and backend-cross-checked — by the
+//! engine. `print` normalizes a file to canonical text. `export-library`
+//! writes the in-code library as a corpus. Exit status: 0 = clean, 1 = any
+//! mismatch, disagreement, coverage gap or error, 2 = usage error.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use gam_core::ModelKind;
 use gam_engine::{Backend, Engine, Json, SuiteReport, ToJson, Verdict};
 use gam_frontend::{export_library, parse_litmus, print_litmus, Corpus};
 use gam_isa::litmus::LitmusTest;
+use gam_operational::{ExplorerConfig, OperationalChecker};
+use gam_verify::expectations::{render_expectations, OwnedExpectation};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +85,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     match command.as_str() {
         "check" => cmd_check(&args[1..]),
         "run" => cmd_run(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        "gen-corpus" => cmd_gen_corpus(&args[1..]),
         "print" => cmd_print(&args[1..]),
         "export-library" => cmd_export(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -77,17 +98,25 @@ fn run(args: &[String]) -> Result<bool, String> {
 }
 
 const USAGE: &str = "usage:
-  gam check FILE [--models LIST] [--backends LIST] [--parallelism N] [--json] [--no-expectations]
-  gam run DIR   [--models LIST] [--backends LIST] [--parallelism N] [--json] [--no-expectations]
+  gam check FILE [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
+                [--json] [--no-expectations]
+  gam run DIR   [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
+                [--json] [--no-expectations]
+  gam bench DIR [--models LIST] [--explorer-threads N] [--json]
+  gam gen-corpus DIR [--count N] [--seed S]
   gam print FILE
   gam export-library DIR
 
-  --models LIST     comma-separated: sc,tso,gam,gam0,gam-arm
-  --backends LIST   comma-separated: axiomatic,operational
-  --parallelism N   suite worker threads (default: all cores)
-  --json            machine-readable report on stdout
-  --no-expectations skip expectation diffing (run: corpus expectations.txt;
-                    check: built-in paper table)";
+  --models LIST        comma-separated: sc,tso,gam,gam0,gam-arm
+  --backends LIST      comma-separated: axiomatic,operational
+  --jobs N             suite worker threads (default: all cores;
+                       --parallelism N is accepted as an alias)
+  --explorer-threads N worker threads inside each operational exploration
+                       (default 1; sharding kicks in adaptively)
+  --count N, --seed S  gen-corpus: corpus size (default 200), seed (default 2026)
+  --json               machine-readable report on stdout
+  --no-expectations    skip expectation diffing (run: corpus expectations.txt;
+                       check: built-in paper table)";
 
 // ---------------------------------------------------------------------------
 // argument helpers
@@ -110,7 +139,16 @@ fn positional(args: &[String]) -> Option<&String> {
             continue;
         }
         if arg.starts_with("--") {
-            skip = matches!(arg.as_str(), "--models" | "--backends" | "--parallelism");
+            skip = matches!(
+                arg.as_str(),
+                "--models"
+                    | "--backends"
+                    | "--parallelism"
+                    | "--jobs"
+                    | "--explorer-threads"
+                    | "--count"
+                    | "--seed"
+            );
             continue;
         }
         return Some(arg);
@@ -158,9 +196,18 @@ fn parse_backends(list: &str) -> Result<Vec<Backend>, String> {
 }
 
 fn parallelism(args: &[String]) -> Result<usize, String> {
-    match arg_value(args, "--parallelism") {
+    // `--jobs` is the documented spelling; `--parallelism` stays as an
+    // alias for scripts written against the PR 4 CLI.
+    match arg_value(args, "--jobs").or_else(|| arg_value(args, "--parallelism")) {
         None => Ok(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)),
-        Some(n) => n.parse::<usize>().map_err(|_| format!("invalid --parallelism `{n}`")),
+        Some(n) => n.parse::<usize>().map_err(|_| format!("invalid --jobs `{n}`")),
+    }
+}
+
+fn explorer_threads(args: &[String]) -> Result<usize, String> {
+    match arg_value(args, "--explorer-threads") {
+        None => Ok(1),
+        Some(n) => n.parse::<usize>().map_err(|_| format!("invalid --explorer-threads `{n}`")),
     }
 }
 
@@ -184,6 +231,7 @@ fn run_matrix(
     models: &[ModelKind],
     backends: &[Backend],
     workers: usize,
+    explorer_workers: usize,
 ) -> Result<BTreeMap<(ModelKind, Backend), SuiteReport>, String> {
     let mut reports = BTreeMap::new();
     for &model in models {
@@ -195,6 +243,7 @@ fn run_matrix(
                 .model(model)
                 .backend(backend)
                 .parallelism(workers)
+                .explorer_parallelism(explorer_workers)
                 .build()
                 .map_err(|err| err.to_string())?;
             reports.insert((model, backend), engine.run_suite_verdicts(tests).named(suite_name));
@@ -368,9 +417,10 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
         None => Backend::ALL.to_vec(),
     };
     let workers = parallelism(args)?;
+    let explorer_workers = explorer_threads(args)?;
     let use_expectations = !arg_flag(args, "--no-expectations");
     let tests = [test];
-    let reports = run_matrix(&tests, path, &models, &backends, workers)?;
+    let reports = run_matrix(&tests, path, &models, &backends, workers, explorer_workers)?;
     let mismatches = diff_reports(&tests, &models, &reports, |name, model| {
         // The built-in paper table applies only when the parsed test *is*
         // the library test of that name — a user-written variant that merely
@@ -431,10 +481,11 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         None => Backend::ALL.to_vec(),
     };
     let workers = parallelism(args)?;
+    let explorer_workers = explorer_threads(args)?;
     let use_expectations = !arg_flag(args, "--no-expectations");
     let tests = corpus.tests();
     let name = corpus.name();
-    let reports = run_matrix(&tests, &name, &models, &backends, workers)?;
+    let reports = run_matrix(&tests, &name, &models, &backends, workers, explorer_workers)?;
     let mismatches = diff_reports(&tests, &models, &reports, |test, model| {
         if use_expectations {
             corpus.expectation_for(test).map(|row| row.allowed(model))
@@ -495,6 +546,276 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         }
     }
     Ok(clean)
+}
+
+/// One `(model, test)` throughput measurement of `gam bench`.
+struct BenchRow {
+    test: String,
+    operational_wall_us: u64,
+    states_visited: usize,
+    states_per_sec: u64,
+    /// Component-arena occupancy — `None` when the exploration escalated to
+    /// the sharded parallel driver, which stores full states.
+    occupancy: Option<gam_engine::ArenaOccupancy>,
+    axiomatic_wall_us: u64,
+    outcomes: usize,
+    agree: bool,
+}
+
+fn micros(duration: std::time::Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn cmd_bench(args: &[String]) -> Result<bool, String> {
+    let Some(dir) = positional(args) else {
+        return Err("`gam bench` needs a corpus DIR argument".to_string());
+    };
+    let corpus = match Corpus::load(dir) {
+        Ok(corpus) => corpus,
+        Err(err) => {
+            eprintln!("{err}");
+            return Ok(false);
+        }
+    };
+    let models = match arg_value(args, "--models") {
+        Some(list) => parse_models(&list)?,
+        None => vec![ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0],
+    };
+    let explorer_workers = explorer_threads(args)?;
+    let as_json = arg_flag(args, "--json");
+    let tests = corpus.tests();
+    let name = corpus.name();
+    let started = Instant::now();
+
+    let mut sections = Vec::new();
+    let mut disagreements = 0usize;
+    let mut errors = 0usize;
+    let mut total_states = 0u64;
+    let mut total_op_wall = 0u64;
+    let mut total_ax_wall = 0u64;
+    for &model in &models {
+        if !Backend::Operational.supports(model) {
+            eprintln!("gam bench: skipping {model} (no operational machine)");
+            continue;
+        }
+        let checker = OperationalChecker::with_config(
+            model,
+            ExplorerConfig { parallelism: explorer_workers, ..ExplorerConfig::default() },
+        );
+        let axiomatic = Engine::axiomatic(model);
+        let mut rows = Vec::new();
+        for test in &tests {
+            let start = Instant::now();
+            let exploration = match checker.explore(test) {
+                Ok(exploration) => exploration,
+                Err(err) => {
+                    eprintln!("gam bench: {model}/{}: operational: {err}", test.name());
+                    errors += 1;
+                    continue;
+                }
+            };
+            let operational_wall = start.elapsed();
+            let start = Instant::now();
+            let ax_outcomes = match axiomatic.allowed_outcomes(test) {
+                Ok(outcomes) => outcomes,
+                Err(err) => {
+                    eprintln!("gam bench: {model}/{}: axiomatic: {err}", test.name());
+                    errors += 1;
+                    continue;
+                }
+            };
+            let axiomatic_wall = start.elapsed();
+            let agree = ax_outcomes == exploration.outcomes;
+            if !agree {
+                disagreements += 1;
+                eprintln!(
+                    "gam bench: DISAGREEMENT {model}/{}: axiomatic {} outcomes vs operational {}",
+                    test.name(),
+                    ax_outcomes.len(),
+                    exploration.outcomes.len()
+                );
+            }
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+            #[allow(clippy::cast_sign_loss)]
+            let states_per_sec = if operational_wall.as_secs_f64() > 0.0 {
+                (exploration.states_visited as f64 / operational_wall.as_secs_f64()) as u64
+            } else {
+                0
+            };
+            total_states += exploration.states_visited as u64;
+            total_op_wall += micros(operational_wall);
+            total_ax_wall += micros(axiomatic_wall);
+            rows.push(BenchRow {
+                test: test.name().to_string(),
+                operational_wall_us: micros(operational_wall),
+                states_visited: exploration.states_visited,
+                states_per_sec,
+                occupancy: exploration.arena,
+                axiomatic_wall_us: micros(axiomatic_wall),
+                outcomes: exploration.outcomes.len(),
+                agree,
+            });
+        }
+        sections.push((model, rows));
+    }
+    let clean = disagreements == 0 && errors == 0;
+
+    if as_json {
+        let report = Json::object([
+            ("schema", Json::from("gam-bench/v1")),
+            ("suite", Json::from(name.as_str())),
+            ("tests", Json::UInt(tests.len() as u64)),
+            ("explorer_threads", Json::UInt(explorer_workers as u64)),
+            (
+                "totals",
+                Json::object([
+                    ("wall_us_operational", Json::UInt(total_op_wall)),
+                    ("wall_us_axiomatic", Json::UInt(total_ax_wall)),
+                    ("states_visited", Json::UInt(total_states)),
+                    ("disagreements", Json::UInt(disagreements as u64)),
+                    ("errors", Json::UInt(errors as u64)),
+                ]),
+            ),
+            (
+                "per_model",
+                Json::array(sections.iter().map(|(model, rows)| {
+                    Json::object([
+                        ("model", Json::from(model.to_string())),
+                        (
+                            "tests",
+                            Json::array(rows.iter().map(|row| {
+                                let mut pairs = vec![
+                                    ("test", Json::from(row.test.as_str())),
+                                    ("wall_us_operational", Json::UInt(row.operational_wall_us)),
+                                    ("states_visited", Json::UInt(row.states_visited as u64)),
+                                    ("states_per_sec", Json::UInt(row.states_per_sec)),
+                                ];
+                                // Omitted (rather than zeroed) when the
+                                // exploration escalated to the parallel
+                                // driver, which does no component interning.
+                                if let Some(occupancy) = &row.occupancy {
+                                    pairs.push((
+                                        "distinct_components",
+                                        Json::UInt(occupancy.distinct_components() as u64),
+                                    ));
+                                    pairs.push((
+                                        "interned_bytes",
+                                        Json::UInt(occupancy.interned_bytes as u64),
+                                    ));
+                                }
+                                pairs.extend([
+                                    ("wall_us_axiomatic", Json::UInt(row.axiomatic_wall_us)),
+                                    ("outcomes", Json::UInt(row.outcomes as u64)),
+                                    ("agree", Json::from(row.agree)),
+                                ]);
+                                Json::object(pairs)
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+            ("ok", Json::from(clean)),
+        ]);
+        println!("{report}");
+    } else {
+        println!(
+            "bench {name}: {} tests x {} models, explorer threads {explorer_workers}",
+            tests.len(),
+            sections.len()
+        );
+        for (model, rows) in &sections {
+            let model_states: u64 = rows.iter().map(|r| r.states_visited as u64).sum();
+            let model_wall: u64 = rows.iter().map(|r| r.operational_wall_us).sum();
+            let rate = (model_states * 1_000_000).checked_div(model_wall).unwrap_or(0);
+            println!(
+                "  {:<8} operational {model_wall:>8}us  {model_states:>8} states \
+                 ({rate:>9} states/s)  axiomatic {:>8}us",
+                model.to_string(),
+                rows.iter().map(|r| r.axiomatic_wall_us).sum::<u64>()
+            );
+        }
+        println!(
+            "totals: operational {total_op_wall}us, axiomatic {total_ax_wall}us, {total_states} \
+             states, {disagreements} disagreements, {errors} errors in {:?}",
+            started.elapsed()
+        );
+    }
+    Ok(clean)
+}
+
+fn cmd_gen_corpus(args: &[String]) -> Result<bool, String> {
+    let Some(dir) = positional(args) else {
+        return Err("`gam gen-corpus` needs a DIR argument".to_string());
+    };
+    let count = match arg_value(args, "--count") {
+        None => 200usize,
+        Some(n) => n.parse().map_err(|_| format!("invalid --count `{n}`"))?,
+    };
+    let seed = match arg_value(args, "--seed") {
+        None => 2026u64,
+        Some(n) => n.parse().map_err(|_| format!("invalid --seed `{n}`"))?,
+    };
+    let tests = gam_operational::stress_tests(seed, count);
+    std::fs::create_dir_all(dir).map_err(|err| format!("cannot create {dir}: {err}"))?;
+    // Remove stale corpus files first: regenerating with a smaller --count
+    // must not leave orphaned tests behind that the fresh expectations.txt
+    // no longer covers. Only corpus-owned file types are touched.
+    let entries = std::fs::read_dir(dir).map_err(|err| format!("cannot read {dir}: {err}"))?;
+    for entry in entries {
+        let path = entry.map_err(|err| format!("cannot read {dir}: {err}"))?.path();
+        let is_corpus_file = path.extension().is_some_and(|ext| ext == "litmus")
+            || path.file_name().is_some_and(|name| name == "expectations.txt");
+        if is_corpus_file {
+            std::fs::remove_file(&path)
+                .map_err(|err| format!("cannot remove stale {}: {err}", path.display()))?;
+        }
+    }
+
+    // Compute (and cross-check) every test's verdicts: the axiomatic
+    // backend covers all five models; the operational backend must agree
+    // wherever a machine exists.
+    let mut rows = Vec::new();
+    for test in &tests {
+        let mut allowed = BTreeMap::new();
+        for model in ModelKind::ALL {
+            let axiomatic = Engine::axiomatic(model)
+                .check(test)
+                .map_err(|err| format!("{model}/{}: axiomatic: {err}", test.name()))?;
+            if Backend::Operational.supports(model) {
+                let operational = Engine::operational(model)
+                    .map_err(|err| err.to_string())?
+                    .check(test)
+                    .map_err(|err| format!("{model}/{}: operational: {err}", test.name()))?;
+                if operational != axiomatic {
+                    return Err(format!(
+                        "{model}/{}: backends disagree ({axiomatic} vs {operational})",
+                        test.name()
+                    ));
+                }
+            }
+            allowed.insert(model, axiomatic.is_allowed());
+        }
+        rows.push(OwnedExpectation {
+            test: test.name().to_string(),
+            sc: allowed[&ModelKind::Sc],
+            tso: allowed[&ModelKind::Tso],
+            gam: allowed[&ModelKind::Gam],
+            gam0: allowed[&ModelKind::Gam0],
+            gam_arm: allowed[&ModelKind::GamArm],
+            source: format!("computed by both backends (seed {seed})"),
+        });
+        let path = std::path::Path::new(dir).join(format!("{}.litmus", test.name()));
+        std::fs::write(&path, print_litmus(test))
+            .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+    }
+    let expectations_path = std::path::Path::new(dir).join("expectations.txt");
+    std::fs::write(&expectations_path, render_expectations(&rows))
+        .map_err(|err| format!("cannot write {}: {err}", expectations_path.display()))?;
+    println!(
+        "wrote {count} tests (seed {seed}) + expectations.txt under {dir}; all verdicts \
+         backend-agreed"
+    );
+    Ok(true)
 }
 
 fn cmd_print(args: &[String]) -> Result<bool, String> {

@@ -1,0 +1,421 @@
+//! Structure-sharing state storage: hash-consed component arenas.
+//!
+//! A machine configuration is mostly *unchanged* context: firing one rule
+//! rewrites one processor's private state and occasionally the shared
+//! memory, while every other component survives verbatim. Storing each
+//! visited state as a full clone therefore duplicates the same per-proc
+//! states and memory maps thousands of times, and hashing a candidate
+//! successor re-hashes all of that unchanged context on every expansion.
+//!
+//! [`ComponentArena`] splits a [`ComposedState`] into its components — the
+//! shared memory and one entry per processor — and hash-conses each
+//! component into its own arena. An interned state is then a flat row of
+//! `u32` component ids: state equality and hashing collapse to comparing
+//! `1 + #procs` integers, deduplicating a successor against its parent
+//! skips every component that is pointer-for-pointer identical context
+//! (the common case: one changed proc), and the heap holds each distinct
+//! component exactly once no matter how many states share it.
+//!
+//! The arena reports its sharing through [`ArenaOccupancy`]: how many
+//! distinct components back how many states, and the bytes actually
+//! interned — the numbers `perf_snapshot` publishes per test.
+
+use std::hash::{BuildHasher, Hash};
+
+use rustc_hash::{FxBuildHasher, FxHashMap};
+
+use crate::explore::{Bucket, InternedStates};
+use crate::machine::Action;
+
+/// The components a transition (or a compressed chain of transitions) may
+/// have modified, derived from [`Action`] labels: the acting thread's
+/// private component, plus the shared memory for memory-writing kinds.
+///
+/// Under the `LabeledMachine` contract ("private effects are private") a
+/// rule firing mutates nothing else, so the explorer can reuse the
+/// parent's component ids for everything outside the mask without even an
+/// equality check. Debug builds verify the contract per intern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Touched {
+    /// Bitmask of touched processor indices (`u32::MAX` = assume all).
+    procs: u32,
+    mem: bool,
+}
+
+impl Touched {
+    /// The components one rule firing may touch.
+    pub(crate) fn from_action(action: &Action) -> Self {
+        if action.thread >= 32 {
+            return Touched { procs: u32::MAX, mem: true };
+        }
+        Touched { procs: 1 << action.thread, mem: action.kind.writes_memory() }
+    }
+
+    /// Widens the mask by another rule firing (chain compression).
+    pub(crate) fn add_action(&mut self, action: &Action) {
+        if action.thread >= 32 {
+            self.procs = u32::MAX;
+            self.mem = true;
+            return;
+        }
+        self.procs |= 1 << action.thread;
+        self.mem |= action.kind.writes_memory();
+    }
+
+    fn touches_proc(self, index: usize) -> bool {
+        index >= 32 || self.procs & (1 << index) != 0
+    }
+}
+
+/// A machine state that splits into internable components: the shared
+/// memory plus one private component per processor.
+///
+/// The component count must be constant across every state of one machine
+/// (litmus machines have a fixed processor count), and two states must be
+/// equal exactly when all their components are equal — which holds by
+/// construction for states that are plain structs of their components.
+pub trait ComposedState: Clone + Eq + Hash {
+    /// The shared-memory component.
+    type Mem: Clone + Eq + Hash;
+    /// One processor's private component.
+    type Proc: Clone + Eq + Hash;
+
+    /// The shared-memory component.
+    fn memory(&self) -> &Self::Mem;
+    /// Mutable access for [`ComponentArena::load`]'s `clone_from` reuse.
+    fn memory_mut(&mut self) -> &mut Self::Mem;
+    /// The per-processor components.
+    fn procs(&self) -> &[Self::Proc];
+    /// Mutable access for [`ComponentArena::load`]'s `clone_from` reuse.
+    fn procs_mut(&mut self) -> &mut [Self::Proc];
+
+    /// Approximate bytes a distinct memory component occupies once interned.
+    fn mem_bytes(mem: &Self::Mem) -> usize;
+    /// Approximate bytes a distinct proc component occupies once interned.
+    fn proc_bytes(proc: &Self::Proc) -> usize;
+}
+
+/// Sharing statistics of a [`ComponentArena`] (or, degenerately, of a plain
+/// full-state arena), reported through `Exploration` and `perf_snapshot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaOccupancy {
+    /// Interned states (equals `Exploration::states_visited` at the end).
+    pub states: usize,
+    /// Distinct shared-memory components backing those states.
+    pub distinct_memories: usize,
+    /// Distinct per-processor components backing those states (all
+    /// processor positions share one arena).
+    pub distinct_procs: usize,
+    /// Approximate bytes held by the interned components plus the id table
+    /// — the peak, since arenas only grow.
+    pub interned_bytes: usize,
+}
+
+impl ArenaOccupancy {
+    /// Distinct components of any kind.
+    #[must_use]
+    pub fn distinct_components(&self) -> usize {
+        self.distinct_memories + self.distinct_procs
+    }
+}
+
+/// A hash-consing state arena over [`ComposedState`] components.
+///
+/// Each distinct memory and proc component is stored once; a state is a
+/// row of `1 + num_procs` component ids in a flat table, deduplicated
+/// through a row-hash index. Successor interning takes the parent's row as
+/// the starting point, so components the successor shares with its parent
+/// are recognized by one equality check — no hashing, no cloning.
+#[derive(Debug)]
+pub(crate) struct ComponentArena<S: ComposedState> {
+    mems: InternedStates<S::Mem>,
+    procs: InternedStates<S::Proc>,
+    /// Flat id table: state `slot` owns `ids[slot * stride .. (slot + 1) * stride]`,
+    /// laid out as `[mem_id, proc0_id, proc1_id, ...]`.
+    ids: Vec<u32>,
+    stride: usize,
+    by_hash: FxHashMap<u64, Bucket>,
+    hasher: FxBuildHasher,
+    /// Row under construction (kept to avoid re-allocating per intern).
+    scratch: Vec<u32>,
+    component_bytes: usize,
+}
+
+impl<S: ComposedState> ComponentArena<S> {
+    /// An empty arena for machines with `num_procs` processors.
+    pub(crate) fn new(num_procs: usize) -> Self {
+        ComponentArena {
+            mems: InternedStates::default(),
+            procs: InternedStates::default(),
+            ids: Vec::new(),
+            stride: 1 + num_procs,
+            by_hash: FxHashMap::default(),
+            hasher: FxBuildHasher::default(),
+            scratch: Vec::with_capacity(1 + num_procs),
+            component_bytes: 0,
+        }
+    }
+
+    /// Number of interned states.
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len() / self.stride
+    }
+
+    fn row(&self, slot: u32) -> &[u32] {
+        let start = slot as usize * self.stride;
+        &self.ids[start..start + self.stride]
+    }
+
+    /// Interns every component of `state` unconditionally (the initial
+    /// state, which has no parent to share with) and returns its slot.
+    pub(crate) fn intern_root(&mut self, state: &S) -> u32 {
+        debug_assert_eq!(self.len(), 0, "the root is interned first");
+        self.scratch.clear();
+        let (mem_id, mem_new) = self.mems.intern_ref(state.memory());
+        if mem_new {
+            self.component_bytes += S::mem_bytes(state.memory());
+        }
+        self.scratch.push(mem_id);
+        for proc in state.procs() {
+            let (proc_id, proc_new) = self.procs.intern_ref(proc);
+            if proc_new {
+                self.component_bytes += S::proc_bytes(proc);
+            }
+            self.scratch.push(proc_id);
+        }
+        let (slot, _) = self.intern_scratch_row();
+        slot
+    }
+
+    /// Interns a successor of the state at `parent`, returning its slot and
+    /// whether it is new. Components equal to the parent's are recognized
+    /// by one equality check against the parent's interned component and
+    /// reuse its id without hashing or cloning anything.
+    ///
+    /// The production drivers use the label-directed
+    /// [`ComponentArena::intern_touched`] instead; this comparison-based
+    /// form stays as the test surface for the sharing machinery itself.
+    #[cfg(test)]
+    pub(crate) fn intern(&mut self, state: &S, parent: u32) -> (u32, bool) {
+        debug_assert_eq!(state.procs().len() + 1, self.stride, "constant component count");
+        let parent_start = parent as usize * self.stride;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.ids[parent_start..parent_start + self.stride]);
+
+        if *self.mems.get(self.scratch[0]) != *state.memory() {
+            let (mem_id, mem_new) = self.mems.intern_ref(state.memory());
+            if mem_new {
+                self.component_bytes += S::mem_bytes(state.memory());
+            }
+            self.scratch[0] = mem_id;
+        }
+        for (index, proc) in state.procs().iter().enumerate() {
+            if *self.procs.get(self.scratch[1 + index]) != *proc {
+                let (proc_id, proc_new) = self.procs.intern_ref(proc);
+                if proc_new {
+                    self.component_bytes += S::proc_bytes(proc);
+                }
+                self.scratch[1 + index] = proc_id;
+            }
+        }
+        self.intern_scratch_row()
+    }
+
+    /// Label-directed [`ComponentArena::intern`]: `touched` names the
+    /// components the producing transition(s) may have modified (from the
+    /// [`Action`] labels), so every component outside the mask reuses the
+    /// parent's id without any comparison — the successor re-interns *one*
+    /// proc (plus the memory on writes) instead of touching the world.
+    ///
+    /// Soundness rests on the `LabeledMachine` contract that a rule mutates
+    /// only the acting thread's private state and the declared shared
+    /// memory; debug builds assert it component by component.
+    pub(crate) fn intern_touched(
+        &mut self,
+        state: &S,
+        parent: u32,
+        touched: Touched,
+    ) -> (u32, bool) {
+        self.intern_touched_impl(state, parent, touched, true)
+    }
+
+    /// [`ComponentArena::intern_touched`] for *sparse* successor states
+    /// (see `LabeledMachine::labeled_successors_sparse_into`): components
+    /// outside the mask hold stale buffer content rather than copies of
+    /// the parent's, so the debug verification of the untouched components
+    /// is skipped — they are never read at all.
+    pub(crate) fn intern_touched_sparse(
+        &mut self,
+        state: &S,
+        parent: u32,
+        touched: Touched,
+    ) -> (u32, bool) {
+        self.intern_touched_impl(state, parent, touched, false)
+    }
+
+    fn intern_touched_impl(
+        &mut self,
+        state: &S,
+        parent: u32,
+        touched: Touched,
+        assert_untouched: bool,
+    ) -> (u32, bool) {
+        debug_assert_eq!(state.procs().len() + 1, self.stride, "constant component count");
+        let parent_start = parent as usize * self.stride;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.ids[parent_start..parent_start + self.stride]);
+
+        if touched.mem {
+            if *self.mems.get(self.scratch[0]) != *state.memory() {
+                let (mem_id, mem_new) = self.mems.intern_ref(state.memory());
+                if mem_new {
+                    self.component_bytes += S::mem_bytes(state.memory());
+                }
+                self.scratch[0] = mem_id;
+            }
+        } else {
+            debug_assert!(
+                !assert_untouched || *self.mems.get(self.scratch[0]) == *state.memory(),
+                "a non-writing action must leave the shared memory intact"
+            );
+        }
+        for (index, proc) in state.procs().iter().enumerate() {
+            if touched.touches_proc(index) {
+                if *self.procs.get(self.scratch[1 + index]) != *proc {
+                    let (proc_id, proc_new) = self.procs.intern_ref(proc);
+                    if proc_new {
+                        self.component_bytes += S::proc_bytes(proc);
+                    }
+                    self.scratch[1 + index] = proc_id;
+                }
+            } else {
+                debug_assert!(
+                    !assert_untouched || *self.procs.get(self.scratch[1 + index]) == *proc,
+                    "an action must leave other threads' private state intact"
+                );
+            }
+        }
+        self.intern_scratch_row()
+    }
+
+    /// Deduplicates the row in `scratch` against the state table.
+    fn intern_scratch_row(&mut self) -> (u32, bool) {
+        let hash = self.hasher.hash_one(&self.scratch);
+        let ComponentArena { ids, by_hash, scratch, stride, .. } = self;
+        let stride = *stride;
+        let slot = u32::try_from(ids.len() / stride).expect("state count fits u32");
+        match by_hash.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let bucket = entry.get_mut();
+                if let Some(&found) = bucket.slots().iter().find(|&&slot| {
+                    let start = slot as usize * stride;
+                    ids[start..start + stride] == scratch[..]
+                }) {
+                    return (found, false);
+                }
+                bucket.push(slot);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(Bucket::One(slot));
+            }
+        }
+        ids.extend_from_slice(scratch);
+        (slot, true)
+    }
+
+    /// Reassembles the state at `slot` into `into`, reusing its buffers
+    /// through `clone_from`.
+    pub(crate) fn load(&self, slot: u32, into: &mut S) {
+        let row = self.row(slot);
+        into.memory_mut().clone_from(self.mems.get(row[0]));
+        for (index, proc) in into.procs_mut().iter_mut().enumerate() {
+            proc.clone_from(self.procs.get(row[1 + index]));
+        }
+    }
+
+    /// The arena's sharing statistics.
+    pub(crate) fn occupancy(&self) -> ArenaOccupancy {
+        ArenaOccupancy {
+            states: self.len(),
+            distinct_memories: self.mems.len(),
+            distinct_procs: self.procs.len(),
+            interned_bytes: self.component_bytes + self.ids.len() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// Reassembles every interned state in slot order, cloning `template`
+    /// for the buffers (used when a sequential exploration escalates to the
+    /// sharded-parallel driver).
+    pub(crate) fn export_states(&self, template: &S) -> Vec<S> {
+        (0..self.len())
+            .map(|slot| {
+                let mut state = template.clone();
+                self.load(slot as u32, &mut state);
+                state
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gam::{GamMachine, GamState};
+    use crate::machine::{AbstractMachine, LabeledMachine};
+    use gam_isa::litmus::library;
+
+    #[test]
+    fn successors_share_unchanged_components_with_their_parent() {
+        let machine = GamMachine::new(&library::dekker());
+        let initial = machine.initial_state();
+        let mut arena: ComponentArena<GamState> = ComponentArena::new(initial.procs().len());
+        let root = arena.intern_root(&initial);
+        assert_eq!(root, 0);
+        assert_eq!(arena.len(), 1);
+
+        let successors = machine.labeled_successors(&initial);
+        assert!(!successors.is_empty());
+        for (_, successor) in &successors {
+            let (slot, is_new) = arena.intern(successor, root);
+            assert!(is_new, "distinct successors intern to fresh slots");
+            // Dekker's first steps touch exactly one proc (store-data /
+            // address already resolved at fetch; the commit also writes
+            // memory) — the untouched proc's component is shared.
+            let parent_row: Vec<u32> = arena.row(root).to_vec();
+            let child_row: Vec<u32> = arena.row(slot).to_vec();
+            let shared = parent_row.iter().zip(&child_row).filter(|(a, b)| a == b).count();
+            assert!(shared >= 1, "at least one component is shared with the parent");
+        }
+        // Re-interning an existing successor is a pure lookup.
+        let (slot0, fresh) = arena.intern(&successors[0].1, root);
+        assert!(!fresh);
+        assert_eq!(slot0, 1);
+
+        let occupancy = arena.occupancy();
+        assert_eq!(occupancy.states, 1 + successors.len());
+        assert!(occupancy.distinct_memories >= 1);
+        assert!(occupancy.distinct_procs >= 2, "two procs in the initial state alone");
+        assert!(occupancy.distinct_components() < occupancy.states * 3);
+        assert!(occupancy.interned_bytes > 0);
+    }
+
+    #[test]
+    fn load_round_trips_interned_states() {
+        let machine = GamMachine::new(&library::mp());
+        let initial = machine.initial_state();
+        let mut arena: ComponentArena<GamState> = ComponentArena::new(initial.procs().len());
+        let root = arena.intern_root(&initial);
+
+        let mut expected = vec![initial.clone()];
+        for (_, successor) in machine.labeled_successors(&initial) {
+            arena.intern(&successor, root);
+            expected.push(successor);
+        }
+        let mut scratch = initial.clone();
+        for (slot, state) in expected.iter().enumerate() {
+            arena.load(slot as u32, &mut scratch);
+            assert_eq!(scratch, *state, "slot {slot} reassembles exactly");
+        }
+        assert_eq!(arena.export_states(&initial), expected);
+    }
+}

@@ -94,15 +94,42 @@ impl OperationalChecker {
     /// Returns an error if the model has no operational machine or the
     /// exploration exceeds its limits.
     pub fn explore(&self, test: &LitmusTest) -> Result<Exploration, OperationalError> {
+        // All three machines route through the component-interned drivers
+        // (`explore_composed`): visited states are rows of hash-consed
+        // component ids instead of full clones.
         match self.model {
-            ModelKind::Sc => Ok(self.explorer.explore(&ScMachine::new(test))?),
-            ModelKind::Tso => Ok(self.explorer.explore(&TsoMachine::new(test))?),
-            ModelKind::Gam => {
-                Ok(self.explorer.explore(&GamMachine::with_config(test, GamConfig::gam()))?)
-            }
-            ModelKind::Gam0 => {
-                Ok(self.explorer.explore(&GamMachine::with_config(test, GamConfig::gam0()))?)
-            }
+            ModelKind::Sc => Ok(self.explorer.explore_composed(&ScMachine::new(test))?),
+            ModelKind::Tso => Ok(self.explorer.explore_composed(&TsoMachine::new(test))?),
+            ModelKind::Gam => Ok(self
+                .explorer
+                .explore_composed(&GamMachine::with_config(test, GamConfig::gam()))?),
+            ModelKind::Gam0 => Ok(self
+                .explorer
+                .explore_composed(&GamMachine::with_config(test, GamConfig::gam0()))?),
+            ModelKind::GamArm => Err(OperationalError::UnsupportedModel { model: self.model }),
+        }
+    }
+
+    /// Exhaustively explores the test on the pre-refactor plain-state
+    /// reference path (full-state interning, sequential, honouring the
+    /// configured [`crate::Reduction`]). The differential test-suites
+    /// compare the production component-interned exploration against this
+    /// oracle.
+    ///
+    /// # Errors
+    ///
+    /// See [`OperationalChecker::explore`].
+    #[doc(hidden)]
+    pub fn explore_reference(&self, test: &LitmusTest) -> Result<Exploration, OperationalError> {
+        match self.model {
+            ModelKind::Sc => Ok(self.explorer.explore_reference(&ScMachine::new(test))?),
+            ModelKind::Tso => Ok(self.explorer.explore_reference(&TsoMachine::new(test))?),
+            ModelKind::Gam => Ok(self
+                .explorer
+                .explore_reference(&GamMachine::with_config(test, GamConfig::gam()))?),
+            ModelKind::Gam0 => Ok(self
+                .explorer
+                .explore_reference(&GamMachine::with_config(test, GamConfig::gam0()))?),
             ModelKind::GamArm => Err(OperationalError::UnsupportedModel { model: self.model }),
         }
     }
@@ -132,14 +159,20 @@ impl OperationalChecker {
     pub fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, OperationalError> {
         let matches = |outcome: &Outcome| test.condition().matched_by(outcome);
         match self.model {
-            ModelKind::Sc => Ok(self.explorer.find_outcome(&ScMachine::new(test), matches)?),
-            ModelKind::Tso => Ok(self.explorer.find_outcome(&TsoMachine::new(test), matches)?),
-            ModelKind::Gam => Ok(self
-                .explorer
-                .find_outcome(&GamMachine::with_config(test, GamConfig::gam()), matches)?),
-            ModelKind::Gam0 => Ok(self
-                .explorer
-                .find_outcome(&GamMachine::with_config(test, GamConfig::gam0()), matches)?),
+            ModelKind::Sc => {
+                Ok(self.explorer.find_outcome_composed(&ScMachine::new(test), matches)?)
+            }
+            ModelKind::Tso => {
+                Ok(self.explorer.find_outcome_composed(&TsoMachine::new(test), matches)?)
+            }
+            ModelKind::Gam => Ok(self.explorer.find_outcome_composed(
+                &GamMachine::with_config(test, GamConfig::gam()),
+                matches,
+            )?),
+            ModelKind::Gam0 => Ok(self.explorer.find_outcome_composed(
+                &GamMachine::with_config(test, GamConfig::gam0()),
+                matches,
+            )?),
             ModelKind::GamArm => Err(OperationalError::UnsupportedModel { model: self.model }),
         }
     }

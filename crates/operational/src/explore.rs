@@ -53,7 +53,8 @@ use std::sync::Mutex;
 use gam_isa::litmus::Outcome;
 use rustc_hash::{FxBuildHasher, FxHashMap};
 
-use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
+use crate::arena::{ComponentArena, ComposedState, Touched};
+use crate::machine::{AbstractMachine, Action, ActionKind, Footprint, LabeledMachine};
 
 /// The partial-order/symmetry reduction mode of the exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -113,13 +114,28 @@ pub struct ExplorerConfig {
     /// with any suite-level parallelism (e.g. `Engine::run_suite` workers) —
     /// keep the product near the core count.
     pub parallelism: usize,
+    /// The adaptive-sharding trigger: with `parallelism > 1`, exploration
+    /// still *starts* sequentially and only escalates to the sharded
+    /// parallel driver once this many distinct states have been interned
+    /// with frontier work remaining — the running state count is the one
+    /// state-count estimate that is always right. Litmus-scale spaces
+    /// (hundreds of states, microseconds of work) finish sequentially and
+    /// never pay thread spawn/handoff overhead; big spaces amortize the
+    /// one-time migration of the visited set into the shards. `0` shards
+    /// immediately (the pre-adaptive behaviour, used by the driver tests).
+    pub parallel_threshold: usize,
     /// The partial-order/symmetry reduction mode.
     pub reduction: Reduction,
 }
 
 impl Default for ExplorerConfig {
     fn default() -> Self {
-        ExplorerConfig { max_states: 5_000_000, parallelism: 1, reduction: Reduction::Off }
+        ExplorerConfig {
+            max_states: 5_000_000,
+            parallelism: 1,
+            parallel_threshold: 8_192,
+            reduction: Reduction::Off,
+        }
     }
 }
 
@@ -191,6 +207,11 @@ pub struct Exploration {
     /// Number of enabled transitions the reduction skipped (persistent-set
     /// and sleep-set prunes). Zero under [`Reduction::Off`].
     pub transitions_pruned: usize,
+    /// Structure-sharing statistics of the component arena. `None` when the
+    /// run used plain full-state interning (the generic [`Explorer::explore`]
+    /// path, the reference oracle, and explorations that escalated to the
+    /// sharded parallel driver).
+    pub arena: Option<crate::arena::ArenaOccupancy>,
 }
 
 /// An exhaustive state-space explorer.
@@ -199,24 +220,134 @@ pub struct Explorer {
     config: ExplorerConfig,
 }
 
-/// Sorted-set helpers for sleep sets (small sorted `Vec<Action>`s).
-mod sleep {
-    use super::Action;
+/// A sorted set of [`Action`]s with inline storage for small sets.
+///
+/// Sleep sets are built, intersected and retained once per explored
+/// transition; almost all of them hold a handful of actions. Backing them
+/// with `Vec<Action>` made every one a heap allocation — this small-vec
+/// keeps up to [`ActionSet::INLINE`] actions in place (covering the
+/// overwhelming majority of sets on the litmus library) and only spills
+/// larger sets to the heap.
+#[derive(Debug, Clone)]
+pub(crate) struct ActionSet {
+    repr: ActionSetRepr,
+}
 
-    pub fn contains(set: &[Action], action: &Action) -> bool {
-        set.binary_search(action).is_ok()
+#[derive(Debug, Clone)]
+enum ActionSetRepr {
+    Inline { len: u8, items: [Action; ActionSet::INLINE] },
+    Heap(Vec<Action>),
+}
+
+impl ActionSet {
+    /// Inline capacity before spilling to the heap.
+    const INLINE: usize = 6;
+
+    const DUMMY: Action = Action { thread: 0, id: 0, kind: ActionKind::Local, addr: 0 };
+
+    /// The empty set.
+    pub(crate) const fn new() -> Self {
+        ActionSet {
+            repr: ActionSetRepr::Inline { len: 0, items: [ActionSet::DUMMY; ActionSet::INLINE] },
+        }
     }
 
-    /// Is `a` a subset of `b`? Both sorted and deduplicated.
-    pub fn is_subset(a: &[Action], b: &[Action]) -> bool {
-        a.iter().all(|x| contains(b, x))
+    pub(crate) fn as_slice(&self) -> &[Action] {
+        match &self.repr {
+            ActionSetRepr::Inline { len, items } => &items[..*len as usize],
+            ActionSetRepr::Heap(items) => items,
+        }
+    }
+
+    /// Membership in the sorted set.
+    pub(crate) fn contains(&self, action: &Action) -> bool {
+        self.as_slice().binary_search(action).is_ok()
+    }
+
+    /// Is `self` a subset of `other`? Both sorted and deduplicated.
+    pub(crate) fn is_subset(&self, other: &ActionSet) -> bool {
+        self.as_slice().iter().all(|action| other.contains(action))
     }
 
     /// The intersection of two sorted, deduplicated sets.
-    pub fn intersect(a: &[Action], b: &[Action]) -> Vec<Action> {
-        a.iter().filter(|x| contains(b, x)).copied().collect()
+    pub(crate) fn intersect(&self, other: &ActionSet) -> ActionSet {
+        let mut out = ActionSet::new();
+        for action in self.as_slice() {
+            if other.contains(action) {
+                out.push(*action);
+            }
+        }
+        // Both inputs are sorted, so the filtered copy already is.
+        out
+    }
+
+    /// Appends an action (possibly out of order — call
+    /// [`ActionSet::sort_dedup`] before using set operations).
+    pub(crate) fn push(&mut self, action: Action) {
+        match &mut self.repr {
+            ActionSetRepr::Inline { len, items } => {
+                if (*len as usize) < ActionSet::INLINE {
+                    items[*len as usize] = action;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(ActionSet::INLINE * 2);
+                    spilled.extend_from_slice(items);
+                    spilled.push(action);
+                    self.repr = ActionSetRepr::Heap(spilled);
+                }
+            }
+            ActionSetRepr::Heap(items) => items.push(action),
+        }
+    }
+
+    /// Sorts and deduplicates, restoring the set invariant after pushes.
+    pub(crate) fn sort_dedup(&mut self) {
+        match &mut self.repr {
+            ActionSetRepr::Inline { len, items } => {
+                let slice = &mut items[..*len as usize];
+                slice.sort_unstable();
+                // Slice dedup in place.
+                let mut kept = 0usize;
+                for index in 0..*len as usize {
+                    if kept == 0 || items[kept - 1] != items[index] {
+                        items[kept] = items[index];
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            ActionSetRepr::Heap(items) => {
+                items.sort_unstable();
+                items.dedup();
+            }
+        }
+    }
+
+    /// Keeps only the actions satisfying the predicate (preserves order).
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(&Action) -> bool) {
+        match &mut self.repr {
+            ActionSetRepr::Inline { len, items } => {
+                let mut kept = 0usize;
+                for index in 0..*len as usize {
+                    if keep(&items[index]) {
+                        items[kept] = items[index];
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            ActionSetRepr::Heap(items) => items.retain(|action| keep(action)),
+        }
     }
 }
+
+impl PartialEq for ActionSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ActionSet {}
 
 /// A persistent set chosen for one state expansion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -325,17 +456,19 @@ fn choose_persistent<M: LabeledMachine>(
 /// for machines whose chains are unexpectedly long.
 const MAX_CHAIN: usize = 64;
 
-/// The result of a compressed chain: the state to intern and its inherited
-/// sleep set, or `None` when the chain was sleep-pruned.
-type ChainEnd<S> = Option<(S, Vec<Action>)>;
+/// Frontier items a parallel worker claims and expands per batched handoff
+/// round. Bounds both the handoff amortization (one lock per destination
+/// shard per round instead of one per successor) and the latency before
+/// freshly discovered work becomes visible to other workers.
+const HANDOFF_BATCH: usize = 16;
 
 /// An early-exit predicate over final-state outcomes (`Sync` so the
 /// parallel drivers can consult it from every worker).
 type StopFn<'a> = &'a (dyn Fn(&Outcome) -> bool + Sync);
 
-/// Chain compression: advances a freshly produced successor through states
-/// whose persistent set is a *singleton*, without interning the
-/// intermediates.
+/// Chain compression: advances a freshly produced successor (in place)
+/// through states whose persistent set is a *singleton*, without interning
+/// the intermediates.
 ///
 /// A state with a one-action persistent set has exactly one outgoing
 /// transition in the reduced graph — it is pure bookkeeping on the way to
@@ -344,38 +477,77 @@ type StopFn<'a> = &'a (dyn Fn(&Outcome) -> bool + Sync);
 /// drops the entries it is dependent with), and a chained action found in
 /// the sleep set prunes the whole remaining chain — the standard sleep-set
 /// argument: that continuation is explored from a sibling subtree.
-fn compress_chain<M: LabeledMachine>(
+///
+/// `buf` is the caller's scratch successor buffer (the
+/// [`LabeledMachine::labeled_successors_into`] reuse contract applies);
+/// the chosen successor is *swapped* out of it, so a whole chain advances
+/// without a single state allocation. Returns `Ok(false)` when the chain
+/// was sleep-pruned, `Ok(true)` when `state`/`sleep` hold the chain's end.
+fn compress_chain_into<M: LabeledMachine>(
     machine: &M,
-    mut state: M::State,
-    mut sleep_set: Vec<Action>,
+    state: &mut M::State,
+    sleep: &mut ActionSet,
+    touched: &mut Touched,
     canon: bool,
     pruned: &mut usize,
-) -> Result<ChainEnd<M::State>, ExploreError> {
+    buf: &mut Vec<(Action, M::State)>,
+) -> Result<bool, ExploreError> {
     for _ in 0..MAX_CHAIN {
-        if machine.is_final(&state) {
+        if machine.is_final(state) {
             break;
         }
-        let labeled = machine.labeled_successors(&state);
-        if labeled.is_empty() {
+        machine.labeled_successors_into(state, buf);
+        if buf.is_empty() {
             return Err(ExploreError::Deadlock);
         }
-        let Chosen::Single(action) = choose_persistent(machine, &state, &labeled) else {
+        let Chosen::Single(action) = choose_persistent(machine, state, buf) else {
             break;
         };
-        if sleep::contains(&sleep_set, &action) {
+        if sleep.contains(&action) {
             *pruned += 1;
-            return Ok(None);
+            return Ok(false);
         }
-        *pruned += labeled.len() - 1;
-        let successor = labeled
-            .into_iter()
+        *pruned += buf.len() - 1;
+        let chosen = buf
+            .iter_mut()
             .find(|(candidate, _)| *candidate == action)
-            .expect("the chosen singleton is enabled")
-            .1;
-        state = if canon { machine.canonicalize(successor) } else { successor };
-        sleep_set.retain(|b| machine.independent(&action, b));
+            .expect("the chosen singleton is enabled");
+        std::mem::swap(state, &mut chosen.1);
+        touched.add_action(&action);
+        if canon {
+            machine.canonicalize_in_place(state);
+        }
+        sleep.retain(|b| machine.independent(&action, b));
     }
-    Ok(Some((state, sleep_set)))
+    Ok(true)
+}
+
+/// What a sequential exploration phase produced: a complete answer, or the
+/// accumulated search state handed over to a sharded parallel driver
+/// because the state count passed [`ExplorerConfig::parallel_threshold`].
+enum SeqOutcome<S> {
+    Finished(Exploration, Option<Outcome>),
+    Escalated(Seed<S>),
+}
+
+/// Everything a sequential phase migrates into the parallel drivers on
+/// escalation: the visited set (slot order preserved), the unexpanded
+/// frontier as slots into it, and the partial results.
+struct Seed<S> {
+    states: Vec<S>,
+    pending: Vec<u32>,
+    outcomes: BTreeSet<Outcome>,
+    final_states: usize,
+    pruned: usize,
+    /// Per-slot reduction bookkeeping (reduced explorations only).
+    sleep: Option<SleepSeed>,
+}
+
+/// The per-slot sleep-set bookkeeping of a reduced exploration, parallel to
+/// [`Seed::states`].
+struct SleepSeed {
+    sleep_sets: Vec<ActionSet>,
+    expanded_with: Vec<Option<ActionSet>>,
 }
 
 impl Explorer {
@@ -391,9 +563,25 @@ impl Explorer {
         self.config
     }
 
+    /// The escalation budget of a sequential phase: `None` runs sequential
+    /// to completion, `Some(n)` hands over to the sharded drivers once more
+    /// than `n` states are interned with frontier work remaining.
+    fn escalation(&self) -> Option<usize> {
+        (self.config.parallelism > 1).then_some(self.config.parallel_threshold)
+    }
+
     /// Exhaustively explores the machine and collects every reachable final
-    /// outcome, in parallel when [`ExplorerConfig::parallelism`] is above 1
-    /// and with the configured [`Reduction`].
+    /// outcome, with the configured [`Reduction`], storing full states in
+    /// the visited set.
+    ///
+    /// With [`ExplorerConfig::parallelism`] above 1 the exploration is
+    /// *adaptive*: it starts sequentially and escalates to the sharded
+    /// parallel driver only once the state count passes
+    /// [`ExplorerConfig::parallel_threshold`] — small state spaces never
+    /// pay thread overhead. Machines whose state implements
+    /// [`crate::arena::ComposedState`] should prefer
+    /// [`Explorer::explore_composed`], which additionally shares state
+    /// components across the visited set.
     ///
     /// The `Sync`/`Send` bounds exist for the parallel mode; a machine with a
     /// thread-bound state can still use
@@ -411,18 +599,25 @@ impl Explorer {
     where
         M::State: Send,
     {
-        match (self.config.reduction, self.config.parallelism > 1) {
-            (Reduction::Off, false) => self.explore_sequential(machine),
-            (Reduction::Off, true) => {
-                self.explore_parallel(machine, None).map(|(exploration, _)| exploration)
-            }
-            (mode, false) => self
-                .explore_reduced_sequential(machine, mode.canonicalizes(), None)
-                .map(|(exploration, _)| exploration),
-            (mode, true) => self
-                .explore_reduced_parallel(machine, mode.canonicalizes(), None)
-                .map(|(exploration, _)| exploration),
-        }
+        self.run_plain(machine, None).map(|(exploration, _)| exploration)
+    }
+
+    /// [`Explorer::explore`] over the component arena: visited states are
+    /// stored as rows of hash-consed component ids
+    /// ([`crate::arena::ComponentArena`]), so unchanged per-proc states and
+    /// memory maps are shared across the whole visited set and successor
+    /// deduplication hashes only the components an expansion actually
+    /// changed. This is the production path of `OperationalChecker`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::explore`].
+    pub fn explore_composed<M>(&self, machine: &M) -> Result<Exploration, ExploreError>
+    where
+        M: LabeledMachine + Sync,
+        M::State: ComposedState + Send,
+    {
+        self.run_composed(machine, None).map(|(exploration, _)| exploration)
     }
 
     /// Searches for a final state whose outcome satisfies `matches` and
@@ -431,10 +626,10 @@ impl Explorer {
     ///
     /// This is the early-exit entry point behind `check`/`find_witness`: the
     /// search stops at the *first* matching final state instead of
-    /// enumerating the complete outcome set, and honours both the configured
-    /// [`Reduction`] and [`ExplorerConfig::parallelism`] — a forbidden
-    /// verdict still has to exhaust the state space, so the sharded workers
-    /// matter exactly there.
+    /// enumerating the complete outcome set, and honours the configured
+    /// [`Reduction`] and the adaptive parallelism — a forbidden verdict
+    /// still has to exhaust the state space, so the sharded workers matter
+    /// exactly there.
     ///
     /// # Errors
     ///
@@ -451,17 +646,27 @@ impl Explorer {
         F: Fn(&Outcome) -> bool + Sync,
     {
         let stop: StopFn = &matches;
-        let result = match (self.config.reduction, self.config.parallelism > 1) {
-            (Reduction::Off, false) => self.explore_sequential_impl(machine, Some(stop)),
-            (Reduction::Off, true) => self.explore_parallel(machine, Some(stop)),
-            (mode, false) => {
-                self.explore_reduced_sequential(machine, mode.canonicalizes(), Some(stop))
-            }
-            (mode, true) => {
-                self.explore_reduced_parallel(machine, mode.canonicalizes(), Some(stop))
-            }
-        };
-        result.map(|(_, witness)| witness)
+        self.run_plain(machine, Some(stop)).map(|(_, witness)| witness)
+    }
+
+    /// [`Explorer::find_outcome`] over the component arena (see
+    /// [`Explorer::explore_composed`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::find_outcome`].
+    pub fn find_outcome_composed<M, F>(
+        &self,
+        machine: &M,
+        matches: F,
+    ) -> Result<Option<Outcome>, ExploreError>
+    where
+        M: LabeledMachine + Sync,
+        M::State: ComposedState + Send,
+        F: Fn(&Outcome) -> bool + Sync,
+    {
+        let stop: StopFn = &matches;
+        self.run_composed(machine, Some(stop)).map(|(_, witness)| witness)
     }
 
     /// Single-threaded exploration, available without the thread-safety
@@ -475,16 +680,96 @@ impl Explorer {
         &self,
         machine: &M,
     ) -> Result<Exploration, ExploreError> {
-        self.explore_sequential_impl(machine, None).map(|(exploration, _)| exploration)
+        match self.seq_plain(machine, None, None)? {
+            SeqOutcome::Finished(exploration, _) => Ok(exploration),
+            SeqOutcome::Escalated(_) => unreachable!("no escalation budget was given"),
+        }
     }
 
-    /// The unreduced sequential driver, with an optional early-exit
-    /// predicate over final-state outcomes.
-    fn explore_sequential_impl<M: AbstractMachine>(
+    /// The pre-refactor plain-state sequential path, honouring the
+    /// configured [`Reduction`] but never sharding: full states in the
+    /// visited set, no component interning. Kept as the reference oracle
+    /// the differential test-suites compare the component-interned
+    /// production path against.
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::explore`].
+    #[doc(hidden)]
+    pub fn explore_reference<M: LabeledMachine>(
+        &self,
+        machine: &M,
+    ) -> Result<Exploration, ExploreError> {
+        let result = match self.config.reduction {
+            Reduction::Off => self.seq_plain(machine, None, None)?,
+            mode => self.seq_plain_reduced(machine, mode.canonicalizes(), None, None)?,
+        };
+        match result {
+            SeqOutcome::Finished(exploration, _) => Ok(exploration),
+            SeqOutcome::Escalated(_) => unreachable!("no escalation budget was given"),
+        }
+    }
+
+    /// Dispatch over plain full-state storage.
+    fn run_plain<M: LabeledMachine + Sync>(
         &self,
         machine: &M,
         stop: Option<StopFn>,
-    ) -> Result<(Exploration, Option<Outcome>), ExploreError> {
+    ) -> Result<(Exploration, Option<Outcome>), ExploreError>
+    where
+        M::State: Send,
+    {
+        match self.config.reduction {
+            Reduction::Off => match self.seq_plain(machine, stop, self.escalation())? {
+                SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
+                SeqOutcome::Escalated(seed) => self.parallel_seeded(machine, stop, seed),
+            },
+            mode => {
+                let canon = mode.canonicalizes();
+                match self.seq_plain_reduced(machine, canon, stop, self.escalation())? {
+                    SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
+                    SeqOutcome::Escalated(seed) => {
+                        self.parallel_reduced_seeded(machine, canon, stop, seed)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatch over the component arena.
+    fn run_composed<M>(
+        &self,
+        machine: &M,
+        stop: Option<StopFn>,
+    ) -> Result<(Exploration, Option<Outcome>), ExploreError>
+    where
+        M: LabeledMachine + Sync,
+        M::State: ComposedState + Send,
+    {
+        match self.config.reduction {
+            Reduction::Off => match self.seq_composed(machine, stop, self.escalation())? {
+                SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
+                SeqOutcome::Escalated(seed) => self.parallel_seeded(machine, stop, seed),
+            },
+            mode => {
+                let canon = mode.canonicalizes();
+                match self.seq_composed_reduced(machine, canon, stop, self.escalation())? {
+                    SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
+                    SeqOutcome::Escalated(seed) => {
+                        self.parallel_reduced_seeded(machine, canon, stop, seed)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The unreduced sequential driver over plain full-state interning.
+    fn seq_plain<M: AbstractMachine>(
+        &self,
+        machine: &M,
+        stop: Option<StopFn>,
+        escalate: Option<usize>,
+    ) -> Result<SeqOutcome<M::State>, ExploreError> {
         let mut visited: InternedStates<M::State> = InternedStates::default();
         let mut stack: Vec<u32> = Vec::new();
         let mut outcomes = BTreeSet::new();
@@ -503,17 +788,18 @@ impl Explorer {
                 // either way.
                 final_states += 1;
                 let outcome = machine.outcome(visited.get(index));
-                let matched = stop.is_some_and(|matches| matches(&outcome));
-                outcomes.insert(outcome.clone());
-                if matched {
+                if stop.is_some_and(|matches| matches(&outcome)) {
+                    outcomes.insert(outcome.clone());
                     let exploration = Exploration {
                         outcomes,
                         states_visited: visited.len(),
                         final_states,
                         transitions_pruned: 0,
+                        arena: None,
                     };
-                    return Ok((exploration, Some(outcome)));
+                    return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
                 }
+                outcomes.insert(outcome);
             } else if successors.is_empty() {
                 return Err(ExploreError::Deadlock);
             }
@@ -529,6 +815,18 @@ impl Explorer {
                     stack.push(new_index);
                 }
             }
+            if let Some(threshold) = escalate {
+                if visited.len() > threshold && !stack.is_empty() {
+                    return Ok(SeqOutcome::Escalated(Seed {
+                        states: visited.into_states(),
+                        pending: stack,
+                        outcomes,
+                        final_states,
+                        pruned: 0,
+                        sleep: None,
+                    }));
+                }
+            }
         }
 
         let exploration = Exploration {
@@ -536,12 +834,98 @@ impl Explorer {
             states_visited: visited.len(),
             final_states,
             transitions_pruned: 0,
+            arena: None,
         };
-        Ok((exploration, None))
+        Ok(SeqOutcome::Finished(exploration, None))
     }
 
-    /// The reduced sequential driver: persistent sets + sleep sets, with
-    /// optional canonicalization and an optional early-exit predicate.
+    /// The unreduced sequential driver over the component arena: the
+    /// expansion state is reassembled into one scratch buffer, successors
+    /// are produced through the pooled
+    /// [`LabeledMachine::labeled_successors_into`] buffer, and every
+    /// successor is deduplicated against its parent's component row.
+    fn seq_composed<M>(
+        &self,
+        machine: &M,
+        stop: Option<StopFn>,
+        escalate: Option<usize>,
+    ) -> Result<SeqOutcome<M::State>, ExploreError>
+    where
+        M: LabeledMachine,
+        M::State: ComposedState,
+    {
+        let mut current = machine.initial_state();
+        let mut arena: ComponentArena<M::State> = ComponentArena::new(current.procs().len());
+        let mut stack: Vec<u32> = vec![arena.intern_root(&current)];
+        let mut succ: Vec<(Action, M::State)> = Vec::new();
+        let mut outcomes = BTreeSet::new();
+        let mut final_states = 0usize;
+
+        while let Some(slot) = stack.pop() {
+            arena.load(slot, &mut current);
+            // Sparse successors: each is valid only in the components its
+            // action touched — exactly the components `intern_touched`
+            // consults below. Nothing else ever reads them.
+            machine.labeled_successors_sparse_into(&current, &mut succ);
+            if machine.is_final(&current) {
+                final_states += 1;
+                let outcome = machine.outcome(&current);
+                if stop.is_some_and(|matches| matches(&outcome)) {
+                    outcomes.insert(outcome.clone());
+                    let exploration = Exploration {
+                        outcomes,
+                        states_visited: arena.len(),
+                        final_states,
+                        transitions_pruned: 0,
+                        arena: Some(arena.occupancy()),
+                    };
+                    return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
+                }
+                outcomes.insert(outcome);
+            } else if succ.is_empty() {
+                return Err(ExploreError::Deadlock);
+            }
+            for (action, next) in &succ {
+                let (next_slot, is_new) =
+                    arena.intern_touched_sparse(next, slot, Touched::from_action(action));
+                if is_new {
+                    if arena.len() > self.config.max_states {
+                        return Err(ExploreError::StateLimitExceeded {
+                            limit: self.config.max_states,
+                            states_visited: arena.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
+                    stack.push(next_slot);
+                }
+            }
+            if let Some(threshold) = escalate {
+                if arena.len() > threshold && !stack.is_empty() {
+                    return Ok(SeqOutcome::Escalated(Seed {
+                        states: arena.export_states(&current),
+                        pending: stack,
+                        outcomes,
+                        final_states,
+                        pruned: 0,
+                        sleep: None,
+                    }));
+                }
+            }
+        }
+
+        let exploration = Exploration {
+            outcomes,
+            states_visited: arena.len(),
+            final_states,
+            transitions_pruned: 0,
+            arena: Some(arena.occupancy()),
+        };
+        Ok(SeqOutcome::Finished(exploration, None))
+    }
+
+    /// The reduced sequential driver over plain full-state interning:
+    /// persistent sets + sleep sets, with optional canonicalization and an
+    /// optional early-exit predicate.
     ///
     /// Each interned state stores the smallest sleep set it has been reached
     /// with; reaching it again with a sleep set that is not a superset
@@ -549,40 +933,46 @@ impl Explorer {
     /// so every visit's exploration obligations are eventually met. The
     /// stored set shrinks strictly on every re-queue, so the search
     /// terminates.
-    fn explore_reduced_sequential<M: LabeledMachine>(
+    fn seq_plain_reduced<M: LabeledMachine>(
         &self,
         machine: &M,
         canon: bool,
         stop: Option<StopFn>,
-    ) -> Result<(Exploration, Option<Outcome>), ExploreError> {
+        escalate: Option<usize>,
+    ) -> Result<SeqOutcome<M::State>, ExploreError> {
         let mut visited: InternedStates<M::State> = InternedStates::default();
         // Per-slot reduction book-keeping, parallel to the arena: the
         // smallest sleep set seen, and the sleep set of the last expansion
         // (`None` = never expanded).
-        let mut sleep_sets: Vec<Vec<Action>> = Vec::new();
-        let mut expanded_with: Vec<Option<Vec<Action>>> = Vec::new();
+        let mut sleep_sets: Vec<ActionSet> = Vec::new();
+        let mut expanded_with: Vec<Option<ActionSet>> = Vec::new();
         let mut stack: Vec<u32> = Vec::new();
+        let mut succ: Vec<(Action, M::State)> = Vec::new();
+        let mut chain_buf: Vec<(Action, M::State)> = Vec::new();
+        let mut explored: Vec<Action> = Vec::new();
         let mut outcomes = BTreeSet::new();
         let mut final_states = 0usize;
         let mut pruned = 0usize;
 
         let initial = {
-            let state = machine.initial_state();
+            let mut state = machine.initial_state();
             if canon {
-                machine.canonicalize(state)
-            } else {
-                state
+                machine.canonicalize_in_place(&mut state);
             }
+            state
         };
+        // A scratch state the chain compressor advances through; primed
+        // with arbitrary buffers of the right shape.
+        let mut chain_state = initial.clone();
         let (slot, _) = visited.intern(initial);
-        sleep_sets.push(Vec::new());
+        sleep_sets.push(ActionSet::new());
         expanded_with.push(None);
         stack.push(slot);
 
         while let Some(slot) = stack.pop() {
             let z = sleep_sets[slot as usize].clone();
             if let Some(previous) = &expanded_with[slot as usize] {
-                if sleep::is_subset(previous, &z) {
+                if previous.is_subset(&z) {
                     // Already expanded with an equal or smaller sleep set:
                     // the pending obligations were covered.
                     continue;
@@ -591,59 +981,73 @@ impl Explorer {
             let first_expansion = expanded_with[slot as usize].is_none();
             expanded_with[slot as usize] = Some(z.clone());
 
-            let labeled = machine.labeled_successors(visited.get(slot));
+            machine.labeled_successors_into(visited.get(slot), &mut succ);
             if machine.is_final(visited.get(slot)) {
                 if first_expansion {
                     final_states += 1;
                 }
                 let outcome = machine.outcome(visited.get(slot));
-                let matched = stop.is_some_and(|matches| matches(&outcome));
-                outcomes.insert(outcome.clone());
-                if matched {
+                if stop.is_some_and(|matches| matches(&outcome)) {
+                    outcomes.insert(outcome.clone());
                     let exploration = Exploration {
                         outcomes,
                         states_visited: visited.len(),
                         final_states,
                         transitions_pruned: pruned,
+                        arena: None,
                     };
-                    return Ok((exploration, Some(outcome)));
+                    return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
                 }
-            } else if labeled.is_empty() {
+                outcomes.insert(outcome);
+            } else if succ.is_empty() {
                 return Err(ExploreError::Deadlock);
             }
 
-            let chosen = choose_persistent(machine, visited.get(slot), &labeled);
-            let mut explored: Vec<Action> = Vec::new();
-            for (action, successor) in labeled {
+            let chosen = choose_persistent(machine, visited.get(slot), &succ);
+            explored.clear();
+            #[allow(clippy::needless_range_loop)] // succ[index].1 is swapped out below
+            for index in 0..succ.len() {
+                let action = succ[index].0;
                 if !chosen.keeps(&action) {
                     pruned += 1; // persistent-set prune
                     continue;
                 }
-                if sleep::contains(&z, &action) {
+                if z.contains(&action) {
                     pruned += 1; // sleep-set prune
                     continue;
                 }
-                let successor = if canon { machine.canonicalize(successor) } else { successor };
+                // Steal the successor out of the pooled buffer (its slot is
+                // refilled by the next expansion's `clone_from`).
+                std::mem::swap(&mut chain_state, &mut succ[index].1);
+                if canon {
+                    machine.canonicalize_in_place(&mut chain_state);
+                }
                 // The successor sleeps on every earlier-explored or inherited
                 // action it is independent of: those orderings are covered by
                 // the sibling subtrees.
-                let mut inherited: Vec<Action> = z
-                    .iter()
-                    .chain(explored.iter())
-                    .filter(|b| machine.independent(&action, b))
-                    .copied()
-                    .collect();
-                inherited.sort_unstable();
-                inherited.dedup();
+                let mut inherited = ActionSet::new();
+                for b in z.as_slice().iter().chain(explored.iter()) {
+                    if machine.independent(&action, b) {
+                        inherited.push(*b);
+                    }
+                }
+                inherited.sort_dedup();
 
-                let Some((successor, inherited)) =
-                    compress_chain(machine, successor, inherited, canon, &mut pruned)?
-                else {
+                let mut touched = Touched::from_action(&action);
+                if !compress_chain_into(
+                    machine,
+                    &mut chain_state,
+                    &mut inherited,
+                    &mut touched,
+                    canon,
+                    &mut pruned,
+                    &mut chain_buf,
+                )? {
                     explored.push(action);
                     continue;
-                };
+                }
 
-                let (next_slot, is_new) = visited.intern(successor);
+                let (next_slot, is_new) = visited.intern_ref(&chain_state);
                 if is_new {
                     if visited.len() > self.config.max_states {
                         return Err(ExploreError::StateLimitExceeded {
@@ -657,12 +1061,24 @@ impl Explorer {
                     stack.push(next_slot);
                 } else {
                     let stored = &sleep_sets[next_slot as usize];
-                    if !sleep::is_subset(stored, &inherited) {
-                        sleep_sets[next_slot as usize] = sleep::intersect(stored, &inherited);
+                    if !stored.is_subset(&inherited) {
+                        sleep_sets[next_slot as usize] = stored.intersect(&inherited);
                         stack.push(next_slot);
                     }
                 }
                 explored.push(action);
+            }
+            if let Some(threshold) = escalate {
+                if visited.len() > threshold && !stack.is_empty() {
+                    return Ok(SeqOutcome::Escalated(Seed {
+                        states: visited.into_states(),
+                        pending: stack,
+                        outcomes,
+                        final_states,
+                        pruned,
+                        sleep: Some(SleepSeed { sleep_sets, expanded_with }),
+                    }));
+                }
             }
         }
 
@@ -671,20 +1087,180 @@ impl Explorer {
             states_visited: visited.len(),
             final_states,
             transitions_pruned: pruned,
+            arena: None,
         };
-        Ok((exploration, None))
+        Ok(SeqOutcome::Finished(exploration, None))
     }
 
-    /// Sharded-frontier parallel exploration. Idle workers spin-yield rather
-    /// than parking: litmus-scale explorations finish in micro- to
-    /// milliseconds, so the spin window is short and a condvar handshake per
-    /// frontier item would cost more than it saves. Oversubscription is the
-    /// caller's concern — `parallelism` here multiplies with any suite-level
-    /// fan-out (see [`ExplorerConfig::parallelism`]).
-    fn explore_parallel<M: AbstractMachine + Sync>(
+    /// The reduced sequential driver over the component arena (the
+    /// production reduced path — see [`Explorer::seq_plain_reduced`] for
+    /// the sleep-set discipline it shares).
+    fn seq_composed_reduced<M>(
+        &self,
+        machine: &M,
+        canon: bool,
+        stop: Option<StopFn>,
+        escalate: Option<usize>,
+    ) -> Result<SeqOutcome<M::State>, ExploreError>
+    where
+        M: LabeledMachine,
+        M::State: ComposedState,
+    {
+        let mut current = {
+            let mut state = machine.initial_state();
+            if canon {
+                machine.canonicalize_in_place(&mut state);
+            }
+            state
+        };
+        let mut arena: ComponentArena<M::State> = ComponentArena::new(current.procs().len());
+        let mut sleep_sets: Vec<ActionSet> = vec![ActionSet::new()];
+        let mut expanded_with: Vec<Option<ActionSet>> = vec![None];
+        let mut stack: Vec<u32> = vec![arena.intern_root(&current)];
+        let mut succ: Vec<(Action, M::State)> = Vec::new();
+        let mut chain_buf: Vec<(Action, M::State)> = Vec::new();
+        let mut explored: Vec<Action> = Vec::new();
+        let mut chain_state = current.clone();
+        let mut outcomes = BTreeSet::new();
+        let mut final_states = 0usize;
+        let mut pruned = 0usize;
+
+        while let Some(slot) = stack.pop() {
+            let z = sleep_sets[slot as usize].clone();
+            if let Some(previous) = &expanded_with[slot as usize] {
+                if previous.is_subset(&z) {
+                    continue;
+                }
+            }
+            let first_expansion = expanded_with[slot as usize].is_none();
+            expanded_with[slot as usize] = Some(z.clone());
+
+            arena.load(slot, &mut current);
+            machine.labeled_successors_into(&current, &mut succ);
+            if machine.is_final(&current) {
+                if first_expansion {
+                    final_states += 1;
+                }
+                let outcome = machine.outcome(&current);
+                if stop.is_some_and(|matches| matches(&outcome)) {
+                    outcomes.insert(outcome.clone());
+                    let exploration = Exploration {
+                        outcomes,
+                        states_visited: arena.len(),
+                        final_states,
+                        transitions_pruned: pruned,
+                        arena: Some(arena.occupancy()),
+                    };
+                    return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
+                }
+                outcomes.insert(outcome);
+            } else if succ.is_empty() {
+                return Err(ExploreError::Deadlock);
+            }
+
+            let chosen = choose_persistent(machine, &current, &succ);
+            explored.clear();
+            #[allow(clippy::needless_range_loop)] // succ[index].1 is swapped out below
+            for index in 0..succ.len() {
+                let action = succ[index].0;
+                if !chosen.keeps(&action) {
+                    pruned += 1; // persistent-set prune
+                    continue;
+                }
+                if z.contains(&action) {
+                    pruned += 1; // sleep-set prune
+                    continue;
+                }
+                std::mem::swap(&mut chain_state, &mut succ[index].1);
+                if canon {
+                    machine.canonicalize_in_place(&mut chain_state);
+                }
+                let mut inherited = ActionSet::new();
+                for b in z.as_slice().iter().chain(explored.iter()) {
+                    if machine.independent(&action, b) {
+                        inherited.push(*b);
+                    }
+                }
+                inherited.sort_dedup();
+
+                // The mask starts at the expanding action and widens with
+                // every compressed chain step, so the intern below touches
+                // exactly the components some fired rule could have changed.
+                let mut touched = Touched::from_action(&action);
+                if !compress_chain_into(
+                    machine,
+                    &mut chain_state,
+                    &mut inherited,
+                    &mut touched,
+                    canon,
+                    &mut pruned,
+                    &mut chain_buf,
+                )? {
+                    explored.push(action);
+                    continue;
+                }
+
+                let (next_slot, is_new) = arena.intern_touched(&chain_state, slot, touched);
+                if is_new {
+                    if arena.len() > self.config.max_states {
+                        return Err(ExploreError::StateLimitExceeded {
+                            limit: self.config.max_states,
+                            states_visited: arena.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
+                    sleep_sets.push(inherited);
+                    expanded_with.push(None);
+                    stack.push(next_slot);
+                } else {
+                    let stored = &sleep_sets[next_slot as usize];
+                    if !stored.is_subset(&inherited) {
+                        sleep_sets[next_slot as usize] = stored.intersect(&inherited);
+                        stack.push(next_slot);
+                    }
+                }
+                explored.push(action);
+            }
+            if let Some(threshold) = escalate {
+                if arena.len() > threshold && !stack.is_empty() {
+                    return Ok(SeqOutcome::Escalated(Seed {
+                        states: arena.export_states(&current),
+                        pending: stack,
+                        outcomes,
+                        final_states,
+                        pruned,
+                        sleep: Some(SleepSeed { sleep_sets, expanded_with }),
+                    }));
+                }
+            }
+        }
+
+        let exploration = Exploration {
+            outcomes,
+            states_visited: arena.len(),
+            final_states,
+            transitions_pruned: pruned,
+            arena: Some(arena.occupancy()),
+        };
+        Ok(SeqOutcome::Finished(exploration, None))
+    }
+
+    /// Sharded-frontier parallel exploration, continuing from `seed`.
+    ///
+    /// Dedup stays lock-local (each shard owns the states whose hash lands
+    /// in it); cross-shard successor handoffs are *batched*: a worker
+    /// expands up to [`HANDOFF_BATCH`] frontier items, collects every
+    /// successor into per-destination outboxes, and flushes each outbox
+    /// with a single lock acquisition — one lock per destination shard per
+    /// round instead of one per successor. Idle workers spin-yield rather
+    /// than parking: explorations that reach this driver at all are past
+    /// the adaptive threshold, and a condvar handshake per frontier item
+    /// would cost more than the spin.
+    fn parallel_seeded<M: AbstractMachine + Sync>(
         &self,
         machine: &M,
         stop: Option<StopFn>,
+        seed: Seed<M::State>,
     ) -> Result<(Exploration, Option<Outcome>), ExploreError>
     where
         M::State: Send,
@@ -693,33 +1269,36 @@ impl Explorer {
         let shards: Vec<Mutex<InternedStates<M::State>>> =
             (0..workers).map(|_| Mutex::new(InternedStates::default())).collect();
         let shard_of = |hash: u64| (hash % workers as u64) as usize;
+        let seeding_hasher = FxBuildHasher::default();
 
-        let visited_count = AtomicUsize::new(0);
-        let final_count = AtomicUsize::new(0);
+        // Migrate the sequential phase's visited set into the shards,
+        // remembering each slot's new (shard, index) address so the pending
+        // frontier can be requeued.
+        let mut address: Vec<(u32, u32)> = Vec::with_capacity(seed.states.len());
+        {
+            let mut locked: Vec<_> =
+                shards.iter().map(|shard| shard.lock().expect("shard lock")).collect();
+            for state in seed.states {
+                let hash = seeding_hasher.hash_one(&state);
+                let target = shard_of(hash);
+                let (index, _) = locked[target].intern_hashed(hash, state);
+                address.push((target as u32, index));
+            }
+        }
+
+        let visited_count = AtomicUsize::new(address.len());
+        let final_count = AtomicUsize::new(seed.final_states);
         let witness: Mutex<Option<Outcome>> = Mutex::new(None);
         // Frontier items not yet fully expanded; exploration is complete when
-        // this drains to zero (a worker only decrements *after* pushing every
-        // successor, so the count can never transiently hit zero while work
-        // remains).
-        let in_flight = AtomicUsize::new(0);
+        // this drains to zero (a worker only decrements *after* registering
+        // every successor, so the count can never transiently hit zero while
+        // work remains).
+        let in_flight = AtomicUsize::new(seed.pending.len());
         let abort = AtomicBool::new(false);
-        let injector: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+        let injector: Mutex<Vec<(u32, u32)>> =
+            Mutex::new(seed.pending.iter().map(|&slot| address[slot as usize]).collect());
         let deadlocked = AtomicBool::new(false);
-        let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(BTreeSet::new());
-
-        {
-            let initial = machine.initial_state();
-            let hash = FxBuildHasher::default().hash_one(&initial);
-            let shard = shard_of(hash);
-            let index = shards[shard]
-                .lock()
-                .expect("shard lock")
-                .insert_hashed(hash, initial)
-                .expect("initial state is new");
-            visited_count.store(1, Ordering::Relaxed);
-            in_flight.store(1, Ordering::SeqCst);
-            injector.lock().expect("injector lock").push((shard as u32, index));
-        }
+        let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(seed.outcomes);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -727,60 +1306,80 @@ impl Explorer {
                     let hasher = FxBuildHasher::default();
                     let mut local: Vec<(u32, u32)> = Vec::new();
                     let mut outcomes = BTreeSet::new();
+                    let mut batch: Vec<(u32, u32)> = Vec::new();
+                    let mut outbox: Vec<Vec<(u64, M::State)>> =
+                        (0..workers).map(|_| Vec::new()).collect();
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
-                        let Some((shard, index)) = local.pop().or_else(|| {
-                            let mut queue = injector.lock().expect("injector lock");
-                            let take = (queue.len() / 2).clamp(1, 64);
-                            let from = queue.len().saturating_sub(take);
-                            let drained: Vec<_> = queue.drain(from..).collect();
-                            drop(queue);
-                            local.extend(drained);
-                            local.pop()
-                        }) else {
-                            if in_flight.load(Ordering::SeqCst) == 0 {
-                                break;
+                        while batch.len() < HANDOFF_BATCH {
+                            match local.pop() {
+                                Some(item) => batch.push(item),
+                                None => break,
                             }
-                            std::thread::yield_now();
-                            continue;
-                        };
-
-                        let state =
-                            shards[shard as usize].lock().expect("shard lock").get(index).clone();
-                        let successors = machine.successors(&state);
-                        if machine.is_final(&state) {
-                            final_count.fetch_add(1, Ordering::Relaxed);
-                            let outcome = machine.outcome(&state);
-                            if stop.is_some_and(|matches| matches(&outcome)) {
-                                *witness.lock().expect("witness lock") = Some(outcome.clone());
-                                abort.store(true, Ordering::Relaxed);
-                            }
-                            outcomes.insert(outcome);
-                        } else if successors.is_empty() {
-                            deadlocked.store(true, Ordering::Relaxed);
-                            abort.store(true, Ordering::Relaxed);
                         }
-                        for next in successors {
-                            let hash = hasher.hash_one(&next);
-                            let target = shard_of(hash);
-                            let inserted = shards[target]
-                                .lock()
-                                .expect("shard lock")
-                                .insert_hashed(hash, next);
-                            if let Some(new_index) = inserted {
-                                if visited_count.fetch_add(1, Ordering::Relaxed) + 1
-                                    > self.config.max_states
-                                {
-                                    abort.store(true, Ordering::Relaxed);
+                        if batch.is_empty() {
+                            let mut queue = injector.lock().expect("injector lock");
+                            if queue.is_empty() {
+                                drop(queue);
+                                if in_flight.load(Ordering::SeqCst) == 0 {
                                     break;
                                 }
-                                in_flight.fetch_add(1, Ordering::SeqCst);
-                                local.push((target as u32, new_index));
+                                std::thread::yield_now();
+                                continue;
+                            }
+                            let take = (queue.len() / 2).clamp(1, HANDOFF_BATCH);
+                            let from = queue.len().saturating_sub(take);
+                            batch.extend(queue.drain(from..));
+                        }
+
+                        let expanded = batch.len();
+                        for (shard, index) in batch.drain(..) {
+                            let state = shards[shard as usize]
+                                .lock()
+                                .expect("shard lock")
+                                .get(index)
+                                .clone();
+                            let successors = machine.successors(&state);
+                            if machine.is_final(&state) {
+                                final_count.fetch_add(1, Ordering::Relaxed);
+                                let outcome = machine.outcome(&state);
+                                if stop.is_some_and(|matches| matches(&outcome)) {
+                                    *witness.lock().expect("witness lock") = Some(outcome.clone());
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                                outcomes.insert(outcome);
+                            } else if successors.is_empty() {
+                                deadlocked.store(true, Ordering::Relaxed);
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            for next in successors {
+                                let hash = hasher.hash_one(&next);
+                                outbox[shard_of(hash)].push((hash, next));
                             }
                         }
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        // Batched handoff: one lock per destination shard.
+                        let mut new_work = 0usize;
+                        for (target, pending) in outbox.iter_mut().enumerate() {
+                            if pending.is_empty() {
+                                continue;
+                            }
+                            let mut shard = shards[target].lock().expect("shard lock");
+                            for (hash, state) in pending.drain(..) {
+                                if let Some(new_index) = shard.insert_hashed(hash, state) {
+                                    if visited_count.fetch_add(1, Ordering::Relaxed) + 1
+                                        > self.config.max_states
+                                    {
+                                        abort.store(true, Ordering::Relaxed);
+                                    }
+                                    local.push((target as u32, new_index));
+                                    new_work += 1;
+                                }
+                            }
+                        }
+                        in_flight.fetch_add(new_work, Ordering::SeqCst);
+                        in_flight.fetch_sub(expanded, Ordering::SeqCst);
                         // Keep other workers fed: spill half of a large local
                         // stack into the shared injector.
                         if local.len() > 64 {
@@ -801,6 +1400,7 @@ impl Explorer {
             states_visited,
             final_states: final_count.load(Ordering::Relaxed),
             transitions_pruned: 0,
+            arena: None,
         };
         if let Some(witness) = witness {
             // The early exit aborted the workers on purpose; the partial
@@ -821,8 +1421,8 @@ impl Explorer {
     }
 
     /// The reduced parallel driver: the sharded frontier of
-    /// [`Explorer::explore_parallel`] carrying per-state sleep sets inside
-    /// each shard.
+    /// [`Explorer::parallel_seeded`] carrying per-state sleep sets inside
+    /// each shard, with the same batched successor handoffs.
     ///
     /// The persistent-set choice is a pure function of the state, so it is
     /// arrival-order independent; sleep sets are not (a state reached first
@@ -832,19 +1432,20 @@ impl Explorer {
     /// re-expansion-on-smaller-sleep-set discipline guarantees every
     /// obligation is eventually explored — and the repository pins outcome
     /// equality against [`Reduction::Off`] for the full litmus library.
-    fn explore_reduced_parallel<M: LabeledMachine + Sync>(
+    fn parallel_reduced_seeded<M: LabeledMachine + Sync>(
         &self,
         machine: &M,
         canon: bool,
         stop: Option<StopFn>,
+        seed: Seed<M::State>,
     ) -> Result<(Exploration, Option<Outcome>), ExploreError>
     where
         M::State: Send,
     {
         struct Shard<S> {
             states: InternedStates<S>,
-            sleep_sets: Vec<Vec<Action>>,
-            expanded_with: Vec<Option<Vec<Action>>>,
+            sleep_sets: Vec<ActionSet>,
+            expanded_with: Vec<Option<ActionSet>>,
         }
         impl<S> Default for Shard<S> {
             fn default() -> Self {
@@ -860,31 +1461,36 @@ impl Explorer {
         let shards: Vec<Mutex<Shard<M::State>>> =
             (0..workers).map(|_| Mutex::new(Shard::default())).collect();
         let shard_of = |hash: u64| (hash % workers as u64) as usize;
+        let seeding_hasher = FxBuildHasher::default();
 
-        let visited_count = AtomicUsize::new(0);
-        let final_count = AtomicUsize::new(0);
-        let pruned_count = AtomicUsize::new(0);
-        let witness: Mutex<Option<Outcome>> = Mutex::new(None);
-        let in_flight = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
-        let injector: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
-        let deadlocked = AtomicBool::new(false);
-        let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(BTreeSet::new());
-
+        let sleep_seed = seed.sleep.expect("reduced escalation carries sleep bookkeeping");
+        let mut address: Vec<(u32, u32)> = Vec::with_capacity(seed.states.len());
         {
-            let state = machine.initial_state();
-            let initial = if canon { machine.canonicalize(state) } else { state };
-            let hash = FxBuildHasher::default().hash_one(&initial);
-            let shard_index = shard_of(hash);
-            let mut shard = shards[shard_index].lock().expect("shard lock");
-            let (slot, _) = shard.states.intern_hashed(hash, initial);
-            shard.sleep_sets.push(Vec::new());
-            shard.expanded_with.push(None);
-            drop(shard);
-            visited_count.store(1, Ordering::Relaxed);
-            in_flight.store(1, Ordering::SeqCst);
-            injector.lock().expect("injector lock").push((shard_index as u32, slot));
+            let mut locked: Vec<_> =
+                shards.iter().map(|shard| shard.lock().expect("shard lock")).collect();
+            for ((state, sleep_set), expanded) in
+                seed.states.into_iter().zip(sleep_seed.sleep_sets).zip(sleep_seed.expanded_with)
+            {
+                let hash = seeding_hasher.hash_one(&state);
+                let target = shard_of(hash);
+                let shard = &mut locked[target];
+                let (index, _) = shard.states.intern_hashed(hash, state);
+                shard.sleep_sets.push(sleep_set);
+                shard.expanded_with.push(expanded);
+                address.push((target as u32, index));
+            }
         }
+
+        let visited_count = AtomicUsize::new(address.len());
+        let final_count = AtomicUsize::new(seed.final_states);
+        let pruned_count = AtomicUsize::new(seed.pruned);
+        let witness: Mutex<Option<Outcome>> = Mutex::new(None);
+        let in_flight = AtomicUsize::new(seed.pending.len());
+        let abort = AtomicBool::new(false);
+        let injector: Mutex<Vec<(u32, u32)>> =
+            Mutex::new(seed.pending.iter().map(|&slot| address[slot as usize]).collect());
+        let deadlocked = AtomicBool::new(false);
+        let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(seed.outcomes);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -892,114 +1498,136 @@ impl Explorer {
                     let hasher = FxBuildHasher::default();
                     let mut local: Vec<(u32, u32)> = Vec::new();
                     let mut outcomes = BTreeSet::new();
+                    let mut batch: Vec<(u32, u32)> = Vec::new();
+                    let mut outbox: Vec<Vec<(u64, M::State, ActionSet)>> =
+                        (0..workers).map(|_| Vec::new()).collect();
+                    let mut chain_buf: Vec<(Action, M::State)> = Vec::new();
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
-                        let Some((shard_index, slot)) = local.pop().or_else(|| {
-                            let mut queue = injector.lock().expect("injector lock");
-                            let take = (queue.len() / 2).clamp(1, 64);
-                            let from = queue.len().saturating_sub(take);
-                            let drained: Vec<_> = queue.drain(from..).collect();
-                            drop(queue);
-                            local.extend(drained);
-                            local.pop()
-                        }) else {
-                            if in_flight.load(Ordering::SeqCst) == 0 {
-                                break;
+                        while batch.len() < HANDOFF_BATCH {
+                            match local.pop() {
+                                Some(item) => batch.push(item),
+                                None => break,
                             }
-                            std::thread::yield_now();
-                            continue;
-                        };
-
-                        // Claim the expansion under the shard lock: read the
-                        // current (smallest) sleep set and skip if an equal
-                        // or smaller expansion already happened.
-                        let claimed = {
-                            let mut shard = shards[shard_index as usize].lock().expect("shard");
-                            let z = shard.sleep_sets[slot as usize].clone();
-                            let skip = shard.expanded_with[slot as usize]
-                                .as_ref()
-                                .is_some_and(|previous| sleep::is_subset(previous, &z));
-                            if skip {
-                                None
-                            } else {
-                                let first = shard.expanded_with[slot as usize].is_none();
-                                shard.expanded_with[slot as usize] = Some(z.clone());
-                                Some((shard.states.get(slot).clone(), z, first))
-                            }
-                        };
-                        let Some((state, z, first_expansion)) = claimed else {
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
-                            continue;
-                        };
-
-                        let labeled = machine.labeled_successors(&state);
-                        if machine.is_final(&state) {
-                            if first_expansion {
-                                final_count.fetch_add(1, Ordering::Relaxed);
-                            }
-                            let outcome = machine.outcome(&state);
-                            if stop.is_some_and(|matches| matches(&outcome)) {
-                                *witness.lock().expect("witness lock") = Some(outcome.clone());
-                                abort.store(true, Ordering::Relaxed);
-                            }
-                            outcomes.insert(outcome);
-                        } else if labeled.is_empty() {
-                            deadlocked.store(true, Ordering::Relaxed);
-                            abort.store(true, Ordering::Relaxed);
                         }
-
-                        let chosen = choose_persistent(machine, &state, &labeled);
-                        let mut explored: Vec<Action> = Vec::new();
-                        for (action, successor) in labeled {
-                            if !chosen.keeps(&action) {
-                                pruned_count.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            if sleep::contains(&z, &action) {
-                                pruned_count.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            let successor =
-                                if canon { machine.canonicalize(successor) } else { successor };
-                            let mut inherited: Vec<Action> = z
-                                .iter()
-                                .chain(explored.iter())
-                                .filter(|b| machine.independent(&action, b))
-                                .copied()
-                                .collect();
-                            inherited.sort_unstable();
-                            inherited.dedup();
-
-                            let mut chain_pruned = 0usize;
-                            let compressed = match compress_chain(
-                                machine,
-                                successor,
-                                inherited,
-                                canon,
-                                &mut chain_pruned,
-                            ) {
-                                Ok(compressed) => compressed,
-                                Err(ExploreError::Deadlock) => {
-                                    deadlocked.store(true, Ordering::Relaxed);
-                                    abort.store(true, Ordering::Relaxed);
+                        if batch.is_empty() {
+                            let mut queue = injector.lock().expect("injector lock");
+                            if queue.is_empty() {
+                                drop(queue);
+                                if in_flight.load(Ordering::SeqCst) == 0 {
                                     break;
                                 }
-                                Err(_) => unreachable!("chains only fail by deadlock"),
+                                std::thread::yield_now();
+                                continue;
+                            }
+                            let take = (queue.len() / 2).clamp(1, HANDOFF_BATCH);
+                            let from = queue.len().saturating_sub(take);
+                            batch.extend(queue.drain(from..));
+                        }
+
+                        let expanded = batch.len();
+                        'items: for (shard_index, slot) in batch.drain(..) {
+                            // Claim the expansion under the shard lock: read
+                            // the current (smallest) sleep set and skip if an
+                            // equal or smaller expansion already happened.
+                            let claimed = {
+                                let mut shard = shards[shard_index as usize].lock().expect("shard");
+                                let z = shard.sleep_sets[slot as usize].clone();
+                                let skip = shard.expanded_with[slot as usize]
+                                    .as_ref()
+                                    .is_some_and(|previous| previous.is_subset(&z));
+                                if skip {
+                                    None
+                                } else {
+                                    let first = shard.expanded_with[slot as usize].is_none();
+                                    shard.expanded_with[slot as usize] = Some(z.clone());
+                                    Some((shard.states.get(slot).clone(), z, first))
+                                }
                             };
-                            pruned_count.fetch_add(chain_pruned, Ordering::Relaxed);
-                            let Some((successor, inherited)) = compressed else {
-                                explored.push(action);
+                            let Some((state, z, first_expansion)) = claimed else {
                                 continue;
                             };
 
-                            let hash = hasher.hash_one(&successor);
-                            let target = shard_of(hash);
-                            let queue = {
-                                let mut shard = shards[target].lock().expect("shard lock");
-                                let (next_slot, is_new) =
-                                    shard.states.intern_hashed(hash, successor);
+                            let labeled = machine.labeled_successors(&state);
+                            if machine.is_final(&state) {
+                                if first_expansion {
+                                    final_count.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let outcome = machine.outcome(&state);
+                                if stop.is_some_and(|matches| matches(&outcome)) {
+                                    *witness.lock().expect("witness lock") = Some(outcome.clone());
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                                outcomes.insert(outcome);
+                            } else if labeled.is_empty() {
+                                deadlocked.store(true, Ordering::Relaxed);
+                                abort.store(true, Ordering::Relaxed);
+                            }
+
+                            let chosen = choose_persistent(machine, &state, &labeled);
+                            let mut explored: Vec<Action> = Vec::new();
+                            for (action, successor) in labeled {
+                                if !chosen.keeps(&action) {
+                                    pruned_count.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                if z.contains(&action) {
+                                    pruned_count.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                let mut successor = successor;
+                                if canon {
+                                    machine.canonicalize_in_place(&mut successor);
+                                }
+                                let mut inherited = ActionSet::new();
+                                for b in z.as_slice().iter().chain(explored.iter()) {
+                                    if machine.independent(&action, b) {
+                                        inherited.push(*b);
+                                    }
+                                }
+                                inherited.sort_dedup();
+
+                                let mut chain_pruned = 0usize;
+                                let mut touched = Touched::from_action(&action);
+                                let kept = match compress_chain_into(
+                                    machine,
+                                    &mut successor,
+                                    &mut inherited,
+                                    &mut touched,
+                                    canon,
+                                    &mut chain_pruned,
+                                    &mut chain_buf,
+                                ) {
+                                    Ok(kept) => kept,
+                                    Err(ExploreError::Deadlock) => {
+                                        deadlocked.store(true, Ordering::Relaxed);
+                                        abort.store(true, Ordering::Relaxed);
+                                        break 'items;
+                                    }
+                                    Err(_) => unreachable!("chains only fail by deadlock"),
+                                };
+                                pruned_count.fetch_add(chain_pruned, Ordering::Relaxed);
+                                if !kept {
+                                    explored.push(action);
+                                    continue;
+                                }
+
+                                let hash = hasher.hash_one(&successor);
+                                outbox[shard_of(hash)].push((hash, successor, inherited));
+                                explored.push(action);
+                            }
+                        }
+                        // Batched handoff: one lock per destination shard.
+                        let mut new_work = 0usize;
+                        for (target, pending) in outbox.iter_mut().enumerate() {
+                            if pending.is_empty() {
+                                continue;
+                            }
+                            let mut shard = shards[target].lock().expect("shard lock");
+                            for (hash, state, inherited) in pending.drain(..) {
+                                let (next_slot, is_new) = shard.states.intern_hashed(hash, state);
                                 if is_new {
                                     shard.sleep_sets.push(inherited);
                                     shard.expanded_with.push(None);
@@ -1008,28 +1636,21 @@ impl Explorer {
                                     {
                                         abort.store(true, Ordering::Relaxed);
                                     }
-                                    Some(next_slot)
+                                    local.push((target as u32, next_slot));
+                                    new_work += 1;
                                 } else {
                                     let stored = &shard.sleep_sets[next_slot as usize];
-                                    if sleep::is_subset(stored, &inherited) {
-                                        None
-                                    } else {
+                                    if !stored.is_subset(&inherited) {
                                         shard.sleep_sets[next_slot as usize] =
-                                            sleep::intersect(stored, &inherited);
-                                        Some(next_slot)
+                                            stored.intersect(&inherited);
+                                        local.push((target as u32, next_slot));
+                                        new_work += 1;
                                     }
                                 }
-                            };
-                            if abort.load(Ordering::Relaxed) {
-                                break;
                             }
-                            if let Some(next_slot) = queue {
-                                in_flight.fetch_add(1, Ordering::SeqCst);
-                                local.push((target as u32, next_slot));
-                            }
-                            explored.push(action);
                         }
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        in_flight.fetch_add(new_work, Ordering::SeqCst);
+                        in_flight.fetch_sub(expanded, Ordering::SeqCst);
                         if local.len() > 64 {
                             let spill: Vec<_> = local.drain(..local.len() / 2).collect();
                             injector.lock().expect("injector lock").extend(spill);
@@ -1048,6 +1669,7 @@ impl Explorer {
             states_visited,
             final_states: final_count.load(Ordering::Relaxed),
             transitions_pruned: pruned_count.load(Ordering::Relaxed),
+            arena: None,
         };
         if let Some(witness) = witness {
             return Ok((exploration, Some(witness)));
@@ -1066,13 +1688,40 @@ impl Explorer {
     }
 }
 
+/// A hash bucket of arena slots. Almost every hash maps to exactly one
+/// slot; keeping that case inline avoids a heap allocation per distinct
+/// state (or, in the component arenas, per distinct component).
+#[derive(Debug)]
+pub(crate) enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl Bucket {
+    /// The slots in insertion order.
+    pub(crate) fn slots(&self) -> &[u32] {
+        match self {
+            Bucket::One(slot) => std::slice::from_ref(slot),
+            Bucket::Many(slots) => slots,
+        }
+    }
+
+    /// Appends a slot, spilling to the heap on the first collision.
+    pub(crate) fn push(&mut self, slot: u32) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Many(vec![*first, slot]),
+            Bucket::Many(slots) => slots.push(slot),
+        }
+    }
+}
+
 /// An interning state set: an arena holding each distinct state once, indexed
 /// by a hash → arena-slot map, so frontiers can carry `u32` slots instead of
 /// cloned states and membership tests hash each candidate exactly once.
 #[derive(Debug)]
 pub(crate) struct InternedStates<S> {
     arena: Vec<S>,
-    by_hash: FxHashMap<u64, Vec<u32>>,
+    by_hash: FxHashMap<u64, Bucket>,
     hasher: FxBuildHasher,
 }
 
@@ -1093,16 +1742,52 @@ impl<S: std::hash::Hash + Eq> InternedStates<S> {
         self.intern_hashed(hash, state)
     }
 
+    /// Like `intern`, but clones the state into the arena only when it is
+    /// new (the component arenas intern by reference, so an already-known
+    /// component costs a hash and an equality check, never an allocation).
+    pub(crate) fn intern_ref(&mut self, state: &S) -> (u32, bool)
+    where
+        S: Clone,
+    {
+        let hash = self.hasher.hash_one(state);
+        let slot = u32::try_from(self.arena.len()).expect("state count fits u32");
+        match self.by_hash.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let bucket = entry.get_mut();
+                if let Some(&found) =
+                    bucket.slots().iter().find(|&&slot| self.arena[slot as usize] == *state)
+                {
+                    return (found, false);
+                }
+                bucket.push(slot);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(Bucket::One(slot));
+            }
+        }
+        self.arena.push(state.clone());
+        (slot, true)
+    }
+
     /// Like `intern` with the hash precomputed (parallel shards hash before
     /// picking a shard).
     pub(crate) fn intern_hashed(&mut self, hash: u64, state: S) -> (u32, bool) {
-        let bucket = self.by_hash.entry(hash).or_default();
-        if let Some(&slot) = bucket.iter().find(|&&slot| self.arena[slot as usize] == state) {
-            return (slot, false);
-        }
         let slot = u32::try_from(self.arena.len()).expect("state count fits u32");
+        match self.by_hash.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let bucket = entry.get_mut();
+                if let Some(&found) =
+                    bucket.slots().iter().find(|&&slot| self.arena[slot as usize] == state)
+                {
+                    return (found, false);
+                }
+                bucket.push(slot);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(Bucket::One(slot));
+            }
+        }
         self.arena.push(state);
-        bucket.push(slot);
         (slot, true)
     }
 
@@ -1125,6 +1810,12 @@ impl<S: std::hash::Hash + Eq> InternedStates<S> {
 
     pub(crate) fn len(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Consumes the set, returning the states in slot order (escalation
+    /// hands them to the sharded parallel drivers).
+    pub(crate) fn into_states(self) -> Vec<S> {
+        self.arena
     }
 }
 
@@ -1366,6 +2057,60 @@ mod tests {
         assert_eq!(explorer.explore(&Stuck), Err(ExploreError::Deadlock));
     }
 
+    /// A diamond whose left interior state deadlocks: with an immediate
+    /// escalation the deadlock is discovered by the sharded workers, not by
+    /// the sequential phase.
+    #[derive(Debug)]
+    struct DeepStuck;
+
+    impl AbstractMachine for DeepStuck {
+        type State = u8;
+
+        fn initial_state(&self) -> u8 {
+            0
+        }
+
+        fn successors(&self, state: &u8) -> Vec<u8> {
+            match state {
+                0 => vec![1, 2],
+                1 => vec![3],
+                _ => vec![],
+            }
+        }
+
+        fn is_final(&self, state: &u8) -> bool {
+            *state == 3
+        }
+
+        fn outcome(&self, _state: &u8) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "deep-stuck"
+        }
+    }
+
+    impl LabeledMachine for DeepStuck {
+        fn labeled_successors(&self, state: &u8) -> Vec<(Action, u8)> {
+            self.successors(state)
+                .into_iter()
+                .enumerate()
+                .map(|(ordinal, next)| (Action::local(0, ordinal as u32), next))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn deadlock_after_escalation_is_reported() {
+        let explorer = Explorer::new(ExplorerConfig {
+            parallelism: 4,
+            parallel_threshold: 0,
+            ..Default::default()
+        });
+        assert_eq!(explorer.explore(&DeepStuck), Err(ExploreError::Deadlock));
+    }
+
     #[test]
     fn reduced_deadlock_is_reported() {
         for reduction in [Reduction::Sleep, Reduction::SleepPlusCanon] {
@@ -1471,8 +2216,12 @@ mod tests {
         let machine = Wide { fanout: 40 };
         for reduction in Reduction::ALL {
             for parallelism in [1, 4] {
-                let explorer =
-                    Explorer::new(ExplorerConfig { reduction, parallelism, ..Default::default() });
+                let explorer = Explorer::new(ExplorerConfig {
+                    reduction,
+                    parallelism,
+                    parallel_threshold: 0,
+                    ..Default::default()
+                });
                 let witness = explorer.find_outcome(&machine, |_| true).unwrap();
                 assert_eq!(witness, Some(Outcome::new()), "{reduction}/{parallelism}");
                 let missing = explorer.find_outcome(&machine, |_| false).unwrap();
@@ -1489,14 +2238,48 @@ mod tests {
         let machine = Wide { fanout: 40 };
         let sequential = Explorer::default().explore(&machine).unwrap();
         for workers in [2, 4, 8] {
-            let parallel =
-                Explorer::new(ExplorerConfig { parallelism: workers, ..Default::default() })
-                    .explore(&machine)
-                    .unwrap();
+            let parallel = Explorer::new(ExplorerConfig {
+                parallelism: workers,
+                parallel_threshold: 0,
+                ..Default::default()
+            })
+            .explore(&machine)
+            .unwrap();
             assert_eq!(parallel, sequential, "{workers} workers");
         }
         assert_eq!(sequential.states_visited, 1 + 40 + 40 * 40);
         assert_eq!(sequential.final_states, 40 * 40);
+    }
+
+    #[test]
+    fn escalation_mid_run_matches_sequential() {
+        // A threshold in the middle of the space: the run starts sequential,
+        // migrates the visited set into the shards, and finishes parallel.
+        let machine = Wide { fanout: 40 };
+        let sequential = Explorer::default().explore(&machine).unwrap();
+        for threshold in [1, 5, 100, 1_000] {
+            let adaptive = Explorer::new(ExplorerConfig {
+                parallelism: 4,
+                parallel_threshold: threshold,
+                ..Default::default()
+            })
+            .explore(&machine)
+            .unwrap();
+            assert_eq!(adaptive, sequential, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn small_spaces_never_escalate() {
+        // Under the default threshold the whole space fits in the
+        // sequential phase, so a parallel explorer produces the sequential
+        // result exactly — including per-field equality.
+        let machine = Wide { fanout: 10 };
+        let sequential = Explorer::default().explore(&machine).unwrap();
+        let adaptive = Explorer::new(ExplorerConfig { parallelism: 8, ..Default::default() })
+            .explore(&machine)
+            .unwrap();
+        assert_eq!(adaptive, sequential);
     }
 
     #[test]
@@ -1508,6 +2291,7 @@ mod tests {
                 let reduced = Explorer::new(ExplorerConfig {
                     parallelism: workers,
                     reduction,
+                    parallel_threshold: 0,
                     ..Default::default()
                 })
                 .explore(&machine)
@@ -1524,8 +2308,12 @@ mod tests {
 
     #[test]
     fn parallel_state_limit_aborts() {
-        let explorer =
-            Explorer::new(ExplorerConfig { max_states: 10, parallelism: 4, ..Default::default() });
+        let explorer = Explorer::new(ExplorerConfig {
+            max_states: 10,
+            parallelism: 4,
+            parallel_threshold: 0,
+            ..Default::default()
+        });
         match explorer.explore(&Wide { fanout: 40 }) {
             Err(ExploreError::StateLimitExceeded { limit, states_visited, .. }) => {
                 assert_eq!(limit, 10);
@@ -1558,6 +2346,52 @@ mod tests {
         assert!(Reduction::SleepPlusCanon.canonicalizes());
         assert_eq!(Reduction::default(), Reduction::Off);
         assert_eq!(ExplorerConfig::reduced().reduction, Reduction::SleepPlusCanon);
+    }
+
+    #[test]
+    fn action_sets_stay_sorted_across_inline_and_heap() {
+        let mut set = ActionSet::new();
+        assert!(set.as_slice().is_empty());
+        // Push past the inline capacity in reverse order.
+        let actions: Vec<Action> =
+            (0..10).map(|id| Action::local(id as usize % 3, 100 - id)).collect();
+        for action in &actions {
+            set.push(*action);
+        }
+        set.sort_dedup();
+        assert_eq!(set.as_slice().len(), 10);
+        assert!(set.as_slice().windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        for action in &actions {
+            assert!(set.contains(action));
+        }
+        assert!(!set.contains(&Action::local(7, 7)));
+
+        // Duplicates collapse.
+        let mut dupes = ActionSet::new();
+        for _ in 0..4 {
+            dupes.push(Action::local(0, 1));
+            dupes.push(Action::local(1, 2));
+        }
+        dupes.sort_dedup();
+        assert_eq!(dupes.as_slice().len(), 2);
+
+        // Subset / intersection across representations.
+        assert!(dupes.is_subset(&set) == (dupes.as_slice().iter().all(|a| set.contains(a))));
+        let both = set.intersect(&dupes);
+        assert_eq!(
+            both.as_slice().len(),
+            dupes.as_slice().iter().filter(|a| set.contains(a)).count()
+        );
+        assert_eq!(set.intersect(&set), set);
+
+        // Retain keeps order and works inline and spilled.
+        let mut retained = set.clone();
+        retained.retain(|a| a.thread == 0);
+        assert!(retained.as_slice().iter().all(|a| a.thread == 0));
+        assert!(retained.as_slice().windows(2).all(|w| w[0] < w[1]));
+        let mut small = dupes.clone();
+        small.retain(|a| a.thread == 1);
+        assert_eq!(small.as_slice(), &[Action::local(1, 2)]);
     }
 
     #[test]
@@ -1655,6 +2489,7 @@ mod tests {
                 let explorer = Explorer::new(ExplorerConfig {
                     parallelism: workers,
                     reduction,
+                    parallel_threshold: 0,
                     ..Default::default()
                 });
                 let exploration = explorer.explore(&CollidingMachine).unwrap();

@@ -25,13 +25,12 @@
 //! [`GamConfig::same_address_load_load`] switches the SALdLd enforcement on
 //! (GAM) or off (GAM0), mirroring the two models' operational definitions.
 
-use std::collections::BTreeMap;
-
 use gam_isa::litmus::{LitmusTest, Observation, Outcome};
 use gam_isa::{Instruction, MemAccessType, Operand, Program, Reg, ThreadProgram, Value};
 
 use crate::footprint;
-use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
+use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine, SuccBuf};
+use crate::mem::Memory;
 
 /// Rule tags packed into [`Action::id`] (`tag | rob_index << 3`) so that the
 /// several rules concurrently enabled on one ROB entry get distinct labels.
@@ -88,7 +87,11 @@ impl GamConfig {
 }
 
 /// One reorder-buffer entry (Figure 16).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Deliberately `Copy` (all fields are plain words): a ROB clone is then a
+/// single `memcpy`, and `Vec<RobEntry>::clone_from` reuses the
+/// destination's buffer — the explorer's successor pool depends on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RobEntry {
     /// Index of the instruction in the thread program (its "PC").
     pub instr_index: usize,
@@ -124,7 +127,7 @@ impl RobEntry {
 }
 
 /// Per-processor state: the PC register and the ROB.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, PartialEq, Eq, Hash, Default)]
 pub struct GamProcState {
     /// Address (instruction index) of the next instruction to fetch.
     pub pc: usize,
@@ -132,20 +135,75 @@ pub struct GamProcState {
     pub rob: Vec<RobEntry>,
 }
 
+// Hand-written so `clone_from` reuses the ROB's buffer (successor pooling).
+impl Clone for GamProcState {
+    fn clone(&self) -> Self {
+        GamProcState { pc: self.pc, rob: self.rob.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.pc = source.pc;
+        self.rob.clear();
+        self.rob.extend_from_slice(&source.rob);
+    }
+}
+
 /// A configuration of the GAM abstract machine.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct GamState {
     /// The monolithic memory.
-    pub memory: BTreeMap<u64, Value>,
+    pub memory: Memory,
     /// Per-processor state.
     pub procs: Vec<GamProcState>,
+}
+
+// Hand-written so `clone_from` reuses every nested buffer: the explorer's
+// successor pool turns steady-state expansion allocation-free through this.
+impl Clone for GamState {
+    fn clone(&self) -> Self {
+        GamState { memory: self.memory.clone(), procs: self.procs.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.memory.clone_from(&source.memory);
+        crate::mem::clone_vec_from(&mut self.procs, &source.procs);
+    }
+}
+
+impl crate::arena::ComposedState for GamState {
+    type Mem = Memory;
+    type Proc = GamProcState;
+
+    fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    fn procs(&self) -> &[GamProcState] {
+        &self.procs
+    }
+
+    fn procs_mut(&mut self) -> &mut [GamProcState] {
+        &mut self.procs
+    }
+
+    fn mem_bytes(mem: &Memory) -> usize {
+        std::mem::size_of::<Memory>() + mem.approx_bytes()
+    }
+
+    fn proc_bytes(proc: &GamProcState) -> usize {
+        std::mem::size_of::<GamProcState>() + proc.rob.len() * std::mem::size_of::<RobEntry>()
+    }
 }
 
 /// The GAM abstract machine for one litmus test.
 #[derive(Debug, Clone)]
 pub struct GamMachine {
     program: Program,
-    initial_memory: BTreeMap<u64, Value>,
+    initial_memory: Memory,
     observed: Vec<Observation>,
     config: GamConfig,
     /// When the program has no branches the machine pre-fetches every
@@ -178,7 +236,7 @@ impl GamMachine {
         };
         GamMachine {
             program: test.program().clone(),
-            initial_memory: test.initial_memory().clone(),
+            initial_memory: Memory::from_map(test.initial_memory()),
             observed: test.observed().to_vec(),
             config,
             eager_fetch,
@@ -199,10 +257,6 @@ impl GamMachine {
 
     fn instruction<'a>(&'a self, proc: usize, entry: &RobEntry) -> &'a Instruction {
         &self.thread(proc).instructions()[entry.instr_index]
-    }
-
-    fn read_memory(&self, memory: &BTreeMap<u64, Value>, addr: u64) -> Value {
-        memory.get(&addr).copied().unwrap_or(Value::ZERO)
     }
 
     /// The value of a register as seen by ROB entry `index`: the result of the
@@ -305,7 +359,7 @@ impl GamMachine {
 
     // ----- rule guards and actions -------------------------------------------------
 
-    fn rule_fetch(&self, state: &GamState, proc: usize, out: &mut Vec<(Action, GamState)>) {
+    fn rule_fetch(&self, state: &GamState, proc: usize, out: &mut SuccBuf<'_, GamState>) {
         let thread = self.thread(proc);
         let pc = state.procs[proc].pc;
         if pc >= thread.len() {
@@ -313,12 +367,11 @@ impl GamMachine {
         }
         let (entry, predictions) = self.fetch_entry(proc, pc);
         for predicted in predictions {
-            let mut next = state.clone();
-            let mut fetched = entry.clone();
+            let next = out.push_from(state, Action::local(proc, act_id(tag::FETCH, predicted)));
+            let mut fetched = entry;
             fetched.predicted_target = predicted;
             next.procs[proc].rob.push(fetched);
             next.procs[proc].pc = predicted;
-            out.push((Action::local(proc, act_id(tag::FETCH, predicted)), next));
         }
     }
 
@@ -327,7 +380,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<(Action, GamState)>,
+        out: &mut SuccBuf<'_, GamState>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -339,11 +392,10 @@ impl GamMachine {
         else {
             return;
         };
-        let mut next = state.clone();
+        let next = out.push_from(state, Action::local(proc, act_id(tag::ALU, index)));
         let entry = &mut next.procs[proc].rob[index];
         entry.result = op.apply(a, b);
         entry.done = true;
-        out.push((Action::local(proc, act_id(tag::ALU, index)), next));
     }
 
     fn rule_execute_branch(
@@ -351,7 +403,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<(Action, GamState)>,
+        out: &mut SuccBuf<'_, GamState>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -369,15 +421,14 @@ impl GamMachine {
         } else {
             entry.instr_index + 1
         };
-        let mut next = state.clone();
-        let predicted = next.procs[proc].rob[index].predicted_target;
+        let predicted = entry.predicted_target;
+        let next = out.push_from(state, Action::local(proc, act_id(tag::BRANCH, index)));
         next.procs[proc].rob[index].done = true;
         if actual != predicted {
             next.procs[proc].rob.truncate(index + 1);
             next.procs[proc].pc = actual;
             self.refill(proc, &mut next.procs[proc]);
         }
-        out.push((Action::local(proc, act_id(tag::BRANCH, index)), next));
     }
 
     fn rule_execute_fence(
@@ -385,7 +436,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<(Action, GamState)>,
+        out: &mut SuccBuf<'_, GamState>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -401,9 +452,8 @@ impl GamMachine {
         if !older_done {
             return;
         }
-        let mut next = state.clone();
+        let next = out.push_from(state, Action::fence(proc, act_id(tag::FENCE, index)));
         next.procs[proc].rob[index].done = true;
-        out.push((Action::fence(proc, act_id(tag::FENCE, index)), next));
     }
 
     fn rule_execute_load(
@@ -411,7 +461,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<(Action, GamState)>,
+        out: &mut SuccBuf<'_, GamState>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -460,16 +510,12 @@ impl GamMachine {
                 }
                 _ => unreachable!("blocker is a memory instruction"),
             },
-            None => (
-                self.read_memory(&state.memory, addr),
-                Action::read(proc, act_id(tag::LOAD, index), addr),
-            ),
+            None => (state.memory.read(addr), Action::read(proc, act_id(tag::LOAD, index), addr)),
         };
-        let mut next = state.clone();
+        let next = out.push_from(state, action);
         let entry = &mut next.procs[proc].rob[index];
         entry.result = value;
         entry.done = true;
-        out.push((action, next));
     }
 
     fn rule_compute_store_data(
@@ -477,7 +523,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<(Action, GamState)>,
+        out: &mut SuccBuf<'_, GamState>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -490,11 +536,10 @@ impl GamMachine {
         let Some(value) = self.operand_value(proc, rob, index, data) else {
             return;
         };
-        let mut next = state.clone();
+        let next = out.push_from(state, Action::local(proc, act_id(tag::STORE_DATA, index)));
         let entry = &mut next.procs[proc].rob[index];
         entry.data = value;
         entry.data_avail = true;
-        out.push((Action::local(proc, act_id(tag::STORE_DATA, index)), next));
     }
 
     fn rule_execute_store(
@@ -502,7 +547,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<(Action, GamState)>,
+        out: &mut SuccBuf<'_, GamState>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -534,13 +579,12 @@ impl GamMachine {
         if !guards_hold {
             return;
         }
-        let mut next = state.clone();
-        let data = next.procs[proc].rob[index].data;
-        next.memory.insert(addr, data);
+        let data = entry.data;
+        let next = out.push_from(state, Action::commit(proc, act_id(tag::STORE, index), addr));
+        next.memory.write(addr, data);
         let entry = &mut next.procs[proc].rob[index];
         entry.result = data;
         entry.done = true;
-        out.push((Action::commit(proc, act_id(tag::STORE, index), addr), next));
     }
 
     fn rule_compute_mem_addr(
@@ -548,7 +592,7 @@ impl GamMachine {
         state: &GamState,
         proc: usize,
         index: usize,
-        out: &mut Vec<(Action, GamState)>,
+        out: &mut SuccBuf<'_, GamState>,
     ) {
         let rob = &state.procs[proc].rob;
         let entry = &rob[index];
@@ -565,7 +609,7 @@ impl GamMachine {
         };
         let addr = addr_expr.evaluate(base).raw();
 
-        let mut next = state.clone();
+        let next = out.push_from(state, Action::local(proc, act_id(tag::ADDR, index)));
         {
             let entry = &mut next.procs[proc].rob[index];
             entry.addr_avail = true;
@@ -593,7 +637,6 @@ impl GamMachine {
                 }
             }
         }
-        out.push((Action::local(proc, act_id(tag::ADDR, index)), next));
     }
 }
 
@@ -635,7 +678,7 @@ impl AbstractMachine for GamMachine {
                         .map(|entry| entry.result)
                         .unwrap_or(Value::ZERO)
                 }
-                Observation::Memory(loc) => self.read_memory(&state.memory, loc.address()),
+                Observation::Memory(loc) => state.memory.read(loc.address()),
             };
             outcome.set(*observation, value);
         }
@@ -732,26 +775,16 @@ impl LabeledMachine for GamMachine {
 
     fn labeled_successors(&self, state: &GamState) -> Vec<(Action, GamState)> {
         let mut out = Vec::new();
-        for proc in 0..self.program.num_threads() {
-            if !self.eager_fetch {
-                self.rule_fetch(state, proc, &mut out);
-            }
-            for index in 0..state.procs[proc].rob.len() {
-                if state.procs[proc].rob[index].done {
-                    // Completed entries only participate as context for others,
-                    // except stores whose data rule has already fired.
-                    continue;
-                }
-                self.rule_execute_alu(state, proc, index, &mut out);
-                self.rule_execute_branch(state, proc, index, &mut out);
-                self.rule_execute_fence(state, proc, index, &mut out);
-                self.rule_execute_load(state, proc, index, &mut out);
-                self.rule_compute_store_data(state, proc, index, &mut out);
-                self.rule_execute_store(state, proc, index, &mut out);
-                self.rule_compute_mem_addr(state, proc, index, &mut out);
-            }
-        }
+        self.labeled_successors_into(state, &mut out);
         out
+    }
+
+    fn labeled_successors_into(&self, state: &GamState, out: &mut Vec<(Action, GamState)>) {
+        self.successors_into_buf(state, SuccBuf::new(out));
+    }
+
+    fn labeled_successors_sparse_into(&self, state: &GamState, out: &mut Vec<(Action, GamState)>) {
+        self.successors_into_buf(state, SuccBuf::new_sparse(out));
     }
 
     /// Scrubs semantically dead fields so symmetric states intern to one
@@ -761,6 +794,11 @@ impl LabeledMachine for GamMachine {
     /// state — a correctly predicted branch and a mispredicted, squashed and
     /// refetched one otherwise differ in this one field forever.
     fn canonicalize(&self, mut state: GamState) -> GamState {
+        self.canonicalize_in_place(&mut state);
+        state
+    }
+
+    fn canonicalize_in_place(&self, state: &mut GamState) {
         for proc in &mut state.procs {
             for entry in &mut proc.rob {
                 if entry.done {
@@ -768,7 +806,47 @@ impl LabeledMachine for GamMachine {
                 }
             }
         }
-        state
+    }
+}
+
+impl GamMachine {
+    /// The rule pass shared by the full and sparse successor entry points.
+    fn successors_into_buf(&self, state: &GamState, mut buf: SuccBuf<'_, GamState>) {
+        for proc in 0..self.program.num_threads() {
+            if !self.eager_fetch {
+                self.rule_fetch(state, proc, &mut buf);
+            }
+            for index in 0..state.procs[proc].rob.len() {
+                let entry = &state.procs[proc].rob[index];
+                if entry.done {
+                    // Completed entries only participate as context for others,
+                    // except stores whose data rule has already fired.
+                    continue;
+                }
+                // One dispatch on the instruction kind; each rule keeps its
+                // own guard, so the set of enabled firings (and their order)
+                // is exactly that of running every rule unconditionally.
+                match self.instruction(proc, entry) {
+                    Instruction::Alu { .. } => self.rule_execute_alu(state, proc, index, &mut buf),
+                    Instruction::Branch { .. } => {
+                        self.rule_execute_branch(state, proc, index, &mut buf);
+                    }
+                    Instruction::Fence { .. } => {
+                        self.rule_execute_fence(state, proc, index, &mut buf);
+                    }
+                    Instruction::Load { .. } => {
+                        self.rule_execute_load(state, proc, index, &mut buf);
+                        self.rule_compute_mem_addr(state, proc, index, &mut buf);
+                    }
+                    Instruction::Store { .. } => {
+                        self.rule_compute_store_data(state, proc, index, &mut buf);
+                        self.rule_execute_store(state, proc, index, &mut buf);
+                        self.rule_compute_mem_addr(state, proc, index, &mut buf);
+                    }
+                }
+            }
+        }
+        buf.finish();
     }
 }
 

@@ -36,19 +36,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod checker;
 pub mod explore;
 mod footprint;
 pub mod gam;
 pub mod machine;
+pub mod mem;
 pub mod random;
 pub mod sc;
 pub mod tso;
 
+pub use arena::{ArenaOccupancy, ComposedState};
 pub use checker::{OperationalChecker, OperationalError};
 pub use explore::{Exploration, ExploreError, Explorer, ExplorerConfig, Reduction};
 pub use gam::{GamConfig, GamMachine};
 pub use machine::{AbstractMachine, Action, ActionKind, AddrSet, Footprint, LabeledMachine};
-pub use random::RandomWalker;
+pub use mem::{Memory, RegFile};
+pub use random::{stress_tests, RandomWalker};
 pub use sc::ScMachine;
 pub use tso::TsoMachine;

@@ -269,7 +269,50 @@ pub trait LabeledMachine: AbstractMachine {
     /// [`AbstractMachine::successors`] (same multiset, same order) — the
     /// unlabeled interface is kept as the compatibility surface for callers
     /// that do not care about labels.
+    ///
+    /// Deliberately *not* defaulted in terms of
+    /// [`LabeledMachine::labeled_successors_into`]: mutually-recursive
+    /// defaults would let an impl overriding neither compile and then
+    /// overflow the stack at runtime. Buffer-first machines implement this
+    /// as a one-line delegation into a fresh vector.
     fn labeled_successors(&self, state: &Self::State) -> Vec<(Action, Self::State)>;
+
+    /// Every enabled rule firing, written into `out` — the allocation-free
+    /// twin of [`LabeledMachine::labeled_successors`].
+    ///
+    /// **Buffer-reuse contract.** On entry `out` may still hold the entries
+    /// of a previous expansion; implementations overwrite those entries in
+    /// place (via `Clone::clone_from`, which reuses their heap buffers) and
+    /// truncate or extend to the new successor count. Callers therefore
+    /// must *not* clear `out` between calls — clearing drops the pooled
+    /// states and reintroduces exactly the per-successor allocation churn
+    /// this method removes. On return `out` holds the same pairs, in the
+    /// same order, as [`LabeledMachine::labeled_successors`].
+    ///
+    /// The default delegates to [`LabeledMachine::labeled_successors`]
+    /// (allocating); the shipped machines implement this method directly
+    /// and derive the allocating form from it.
+    fn labeled_successors_into(&self, state: &Self::State, out: &mut Vec<(Action, Self::State)>) {
+        out.clear();
+        out.extend(self.labeled_successors(state));
+    }
+
+    /// Like [`LabeledMachine::labeled_successors_into`], but each produced
+    /// state is only guaranteed valid in the components its action label
+    /// names (the acting thread's private component, plus the shared
+    /// memory for writing kinds); everything else may hold stale buffer
+    /// content. Exclusively for the unreduced component-arena driver,
+    /// which deduplicates successors through exactly that label-derived
+    /// mask and never reads the rest. The default produces full states,
+    /// which is always sound.
+    #[doc(hidden)]
+    fn labeled_successors_sparse_into(
+        &self,
+        state: &Self::State,
+        out: &mut Vec<(Action, Self::State)>,
+    ) {
+        self.labeled_successors_into(state, out);
+    }
 
     /// The labels of every enabled rule firing.
     fn enabled(&self, state: &Self::State) -> Vec<Action> {
@@ -334,8 +377,84 @@ pub trait LabeledMachine: AbstractMachine {
     /// Must be idempotent, preserve [`AbstractMachine::is_final`],
     /// [`AbstractMachine::outcome`] and the labeled successor relation up to
     /// canonicalization. The default is the identity.
+    ///
+    /// Must compute the same function as
+    /// [`LabeledMachine::canonicalize_in_place`] — override both or
+    /// neither.
     fn canonicalize(&self, state: Self::State) -> Self::State {
         state
+    }
+
+    /// In-place form of [`LabeledMachine::canonicalize`], used by the
+    /// explorer's hot paths so canonicalization never moves or reallocates
+    /// the state. The default is the identity; machines overriding
+    /// `canonicalize` must override this consistently (and vice versa).
+    fn canonicalize_in_place(&self, _state: &mut Self::State) {}
+}
+
+/// The writing half of the [`LabeledMachine::labeled_successors_into`]
+/// buffer-reuse contract, shared by the three machines' rule functions.
+///
+/// `push_from` hands the rule a successor slot already holding a clone of
+/// the parent state: slots left over from the caller's previous expansion
+/// are overwritten through `Clone::clone_from` (reusing their memory, ROB,
+/// register-file and store-buffer allocations), and only a buffer that has
+/// never been this full allocates. `finish` truncates the buffer to the
+/// entries actually pushed.
+///
+/// In *sparse* mode ([`SuccBuf::new_sparse`]) a reused slot clones only
+/// the components the [`Action`] label says the rule may touch — the
+/// acting thread's component, plus the memory for writing kinds. The
+/// resulting states are valid *only* in those components; the unreduced
+/// component-arena driver, which deduplicates successors purely through
+/// the same label-derived mask, is the one consumer. Rules may therefore
+/// read or mutate `next` only inside the acting thread's component and
+/// the declared memory — which clause 3 of the [`LabeledMachine`]
+/// contract requires of them anyway.
+pub(crate) struct SuccBuf<'a, S: crate::arena::ComposedState> {
+    out: &'a mut Vec<(Action, S)>,
+    filled: usize,
+    sparse: bool,
+}
+
+impl<'a, S: crate::arena::ComposedState> SuccBuf<'a, S> {
+    pub(crate) fn new(out: &'a mut Vec<(Action, S)>) -> Self {
+        SuccBuf { out, filled: 0, sparse: false }
+    }
+
+    pub(crate) fn new_sparse(out: &'a mut Vec<(Action, S)>) -> Self {
+        SuccBuf { out, filled: 0, sparse: true }
+    }
+
+    /// Appends a successor initialized to a clone of `parent` under `action`
+    /// and returns it for the rule to mutate.
+    pub(crate) fn push_from(&mut self, parent: &S, action: Action) -> &mut S {
+        if self.filled < self.out.len() {
+            let entry = &mut self.out[self.filled];
+            entry.0 = action;
+            let thread = action.thread as usize;
+            if self.sparse && thread < parent.procs().len() {
+                if action.kind.writes_memory() {
+                    entry.1.memory_mut().clone_from(parent.memory());
+                }
+                entry.1.procs_mut()[thread].clone_from(&parent.procs()[thread]);
+            } else {
+                entry.1.clone_from(parent);
+            }
+        } else {
+            // A slot that never existed has no buffers to reuse — a full
+            // clone materializes them (also keeps sparse entries shaped
+            // like states, so later sparse reuse can index every proc).
+            self.out.push((action, parent.clone()));
+        }
+        self.filled += 1;
+        &mut self.out[self.filled - 1].1
+    }
+
+    /// Trims the buffer to the pushed entries. Must be called exactly once,
+    /// after the last rule ran.
+    pub(crate) fn finish(self) {
+        self.out.truncate(self.filled);
     }
 }
 

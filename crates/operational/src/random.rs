@@ -1,4 +1,5 @@
-//! Random-walk execution of an abstract machine.
+//! Random-walk execution of an abstract machine, and the deterministic
+//! random-program generator behind the committed throughput corpus.
 //!
 //! Where the exhaustive explorer computes the *complete* outcome set, the
 //! random walker samples executions: from the initial state it repeatedly
@@ -6,14 +7,132 @@
 //! state. Sampling is useful for quick demonstrations, for differential
 //! fuzzing against the axiomatic checker, and for estimating how often a
 //! relaxed behaviour actually shows up.
+//!
+//! [`stress_tests`] generates whole litmus *programs* instead: seeded,
+//! straight-line, multi-threaded tests with dependent addresses — the
+//! source of `tests/corpus-stress/` (see `gam gen-corpus` and `gam bench`),
+//! which gives throughput measurements a workload an order of magnitude
+//! bigger than the 29-test paper library.
 
 use std::collections::BTreeMap;
 
-use gam_isa::litmus::Outcome;
+use gam_isa::litmus::{LitmusTest, Outcome};
+use gam_isa::prelude::{Addr, AluOp, FenceKind, Loc, Operand, ProcId, Program, Reg, ThreadProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::machine::AbstractMachine;
+
+/// Generates `count` deterministic random litmus tests from `seed`.
+///
+/// The programs are built for cross-backend throughput measurement, so
+/// they stay inside every backend's envelope: straight-line (the axiomatic
+/// checker rejects branches), at most twelve shared-memory events per test
+/// (its event limit is sixteen), two or three threads of two to four
+/// instructions over two locations. The instruction mix mirrors the
+/// differential proptests: immediate stores, stores of a location's
+/// *address* (so dependent loads can chase it), direct loads, address-
+/// dependent load pairs, register-to-register arithmetic and all four
+/// basic fences. Every loaded register and both locations are observed;
+/// each test carries an arbitrary exists-condition over one observed
+/// register so corpus expectations are non-trivial.
+///
+/// The same `(seed, count)` always yields byte-identical tests — the
+/// committed corpus can be regenerated and diffed in CI.
+#[must_use]
+pub fn stress_tests(seed: u64, count: usize) -> Vec<LitmusTest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|index| stress_test(&mut rng, index)).collect()
+}
+
+fn stress_test(rng: &mut StdRng, index: usize) -> LitmusTest {
+    let locations = [Loc::new("x"), Loc::new("y")];
+    let fences = [FenceKind::LL, FenceKind::LS, FenceKind::SL, FenceKind::SS];
+    let threads = 2 + rng.gen_range(0..2usize);
+    // Shared-memory event budget across the whole test (axiomatic limit is
+    // 16; dependent load pairs cost two events each).
+    let mut mem_events = 12usize;
+    let mut programs = Vec::new();
+    let mut observed: Vec<(ProcId, Reg)> = Vec::new();
+    for proc_index in 0..threads {
+        let proc = ProcId::new(proc_index);
+        let mut builder = ThreadProgram::builder(proc);
+        let mut next_reg = 1u32;
+        let steps = 2 + rng.gen_range(0..3usize);
+        for _ in 0..steps {
+            let choice = if mem_events == 0 {
+                4 + rng.gen_range(0..2usize)
+            } else {
+                rng.gen_range(0..6usize)
+            };
+            match choice {
+                0 => {
+                    // Store an immediate.
+                    let loc = locations[rng.gen_range(0..2usize)];
+                    builder.store(Addr::loc(loc), Operand::imm(1 + rng.gen_range(0..3u64)));
+                    mem_events -= 1;
+                }
+                1 => {
+                    // Store a location's address, feeding dependent loads.
+                    let loc = locations[rng.gen_range(0..2usize)];
+                    let target = locations[rng.gen_range(0..2usize)];
+                    builder.store(Addr::loc(loc), Operand::loc(target));
+                    mem_events -= 1;
+                }
+                2 => {
+                    // A direct load.
+                    let reg = Reg::new(next_reg);
+                    next_reg += 1;
+                    builder.load(reg, Addr::loc(locations[rng.gen_range(0..2usize)]));
+                    observed.push((proc, reg));
+                    mem_events -= 1;
+                }
+                3 if mem_events >= 2 => {
+                    // An address-dependent load pair.
+                    let pointer = Reg::new(next_reg);
+                    let value = Reg::new(next_reg + 1);
+                    next_reg += 2;
+                    builder.load(pointer, Addr::loc(locations[rng.gen_range(0..2usize)]));
+                    builder.load(value, Addr::reg(pointer));
+                    observed.push((proc, pointer));
+                    observed.push((proc, value));
+                    mem_events -= 2;
+                }
+                3 | 4 => {
+                    builder.fence(fences[rng.gen_range(0..4usize)]);
+                }
+                _ => {
+                    // Register arithmetic over the previous register (or an
+                    // immediate when none exists yet).
+                    let dst = Reg::new(next_reg);
+                    next_reg += 1;
+                    let src = if next_reg > 2 {
+                        Operand::reg(Reg::new(next_reg - 2))
+                    } else {
+                        Operand::imm(rng.gen_range(0..4u64))
+                    };
+                    builder.alu(dst, AluOp::Add, src, Operand::imm(rng.gen_range(0..3u64)));
+                }
+            }
+        }
+        programs.push(builder.build());
+    }
+    let program = Program::new(programs);
+    let mut builder = LitmusTest::builder(format!("stress-{index:03}"), program)
+        .observe_mem(locations[0])
+        .observe_mem(locations[1]);
+    for &(proc, reg) in &observed {
+        builder = builder.observe_reg(proc, reg);
+    }
+    // A non-trivial exists-condition over one observed register (or a
+    // location when no thread happened to load anything).
+    if let Some(&(proc, reg)) = observed.first() {
+        builder = builder.expect_reg(proc, reg, rng.gen_range(0..3u64));
+    } else {
+        builder = builder.expect_mem(locations[0], rng.gen_range(0..3u64));
+    }
+    builder.build()
+}
 
 /// A seeded random-walk executor.
 #[derive(Debug, Clone)]
@@ -101,6 +220,30 @@ mod tests {
         }
         let total: usize = sampled.values().sum();
         assert_eq!(total, 200, "every walk of a finite litmus test terminates");
+    }
+
+    #[test]
+    fn stress_tests_are_deterministic_and_inside_backend_limits() {
+        let a = super::stress_tests(42, 20);
+        let b = super::stress_tests(42, 20);
+        assert_eq!(a, b, "the same seed regenerates byte-identical tests");
+        let c = super::stress_tests(43, 20);
+        assert_ne!(a, c, "a different seed changes the corpus");
+        for (index, test) in a.iter().enumerate() {
+            assert_eq!(test.name(), format!("stress-{index:03}"));
+            assert!(!test.program().has_branches(), "axiomatic compatibility");
+            let events: usize = test
+                .program()
+                .threads()
+                .iter()
+                .map(gam_isa::ThreadProgram::memory_instruction_count)
+                .sum();
+            assert!(events <= 12, "{}: {events} memory events", test.name());
+            assert!(!test.observed().is_empty());
+            // Every test explores cleanly on the operational machines.
+            let machine = crate::gam::GamMachine::new(test);
+            assert!(Explorer::default().explore(&machine).is_ok(), "{}", test.name());
+        }
     }
 
     #[test]

@@ -6,28 +6,39 @@
 //! memory instantaneously, stores update it instantaneously. Fences are
 //! no-ops under SC.
 
-use std::collections::BTreeMap;
-
 use gam_isa::litmus::{LitmusTest, Observation, Outcome};
 use gam_isa::{Instruction, Operand, Program, Reg, ThreadProgram, Value};
 
 use crate::footprint;
 use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
+use crate::mem::{Memory, RegFile};
 
 /// Sequential per-processor state: a register file and a program counter.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, PartialEq, Eq, Hash, Default)]
 pub struct SeqProcState {
     /// Register file (registers not present hold zero).
-    pub regs: BTreeMap<Reg, Value>,
+    pub regs: RegFile,
     /// Index of the next instruction to execute.
     pub pc: usize,
+}
+
+// Hand-written so `clone_from` reuses the register file's buffer.
+impl Clone for SeqProcState {
+    fn clone(&self) -> Self {
+        SeqProcState { regs: self.regs.clone(), pc: self.pc }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.regs.clone_from(&source.regs);
+        self.pc = source.pc;
+    }
 }
 
 impl SeqProcState {
     /// Reads a register (zero if never written).
     #[must_use]
     pub fn reg(&self, reg: Reg) -> Value {
-        self.regs.get(&reg).copied().unwrap_or(Value::ZERO)
+        self.regs.read(reg)
     }
 
     /// Evaluates an operand against the register file.
@@ -60,7 +71,7 @@ pub(crate) fn next_pc(
 #[derive(Debug, Clone)]
 pub struct ScMachine {
     program: Program,
-    initial_memory: BTreeMap<u64, Value>,
+    initial_memory: Memory,
     observed: Vec<Observation>,
     /// `suffix[proc][pc]`: the memory accesses the thread can still perform
     /// (drives the explorer's footprint-based partial-order reduction).
@@ -68,12 +79,53 @@ pub struct ScMachine {
 }
 
 /// A configuration of the SC machine.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct ScState {
     /// The monolithic memory.
-    pub memory: BTreeMap<u64, Value>,
+    pub memory: Memory,
     /// Per-processor sequential state.
     pub procs: Vec<SeqProcState>,
+}
+
+// Hand-written so `clone_from` reuses every nested buffer (successor pool).
+impl Clone for ScState {
+    fn clone(&self) -> Self {
+        ScState { memory: self.memory.clone(), procs: self.procs.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.memory.clone_from(&source.memory);
+        crate::mem::clone_vec_from(&mut self.procs, &source.procs);
+    }
+}
+
+impl crate::arena::ComposedState for ScState {
+    type Mem = Memory;
+    type Proc = SeqProcState;
+
+    fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    fn procs(&self) -> &[SeqProcState] {
+        &self.procs
+    }
+
+    fn procs_mut(&mut self) -> &mut [SeqProcState] {
+        &mut self.procs
+    }
+
+    fn mem_bytes(mem: &Memory) -> usize {
+        std::mem::size_of::<Memory>() + mem.approx_bytes()
+    }
+
+    fn proc_bytes(proc: &SeqProcState) -> usize {
+        std::mem::size_of::<SeqProcState>() + proc.regs.approx_bytes()
+    }
 }
 
 impl ScMachine {
@@ -84,14 +136,10 @@ impl ScMachine {
         let suffix = footprint::suffix_footprints(test.program(), &sets);
         ScMachine {
             program: test.program().clone(),
-            initial_memory: test.initial_memory().clone(),
+            initial_memory: Memory::from_map(test.initial_memory()),
             observed: test.observed().to_vec(),
             suffix,
         }
-    }
-
-    fn read_memory(memory: &BTreeMap<u64, Value>, addr: u64) -> Value {
-        memory.get(&addr).copied().unwrap_or(Value::ZERO)
     }
 }
 
@@ -118,7 +166,7 @@ impl AbstractMachine for ScMachine {
         for observation in &self.observed {
             let value = match observation {
                 Observation::Register(proc, reg) => state.procs[proc.index()].reg(*reg),
-                Observation::Memory(loc) => Self::read_memory(&state.memory, loc.address()),
+                Observation::Memory(loc) => state.memory.read(loc.address()),
             };
             outcome.set(*observation, value);
         }
@@ -140,6 +188,22 @@ impl LabeledMachine for ScMachine {
 
     fn labeled_successors(&self, state: &ScState) -> Vec<(Action, ScState)> {
         let mut out = Vec::new();
+        self.labeled_successors_into(state, &mut out);
+        out
+    }
+
+    fn labeled_successors_into(&self, state: &ScState, out: &mut Vec<(Action, ScState)>) {
+        self.successors_into_buf(state, crate::machine::SuccBuf::new(out));
+    }
+
+    fn labeled_successors_sparse_into(&self, state: &ScState, out: &mut Vec<(Action, ScState)>) {
+        self.successors_into_buf(state, crate::machine::SuccBuf::new_sparse(out));
+    }
+}
+
+impl ScMachine {
+    /// The rule pass shared by the full and sparse successor entry points.
+    fn successors_into_buf(&self, state: &ScState, mut buf: crate::machine::SuccBuf<'_, ScState>) {
         for (proc_index, proc) in state.procs.iter().enumerate() {
             let thread = &self.program.threads()[proc_index];
             if proc.pc >= thread.len() {
@@ -149,44 +213,45 @@ impl LabeledMachine for ScMachine {
             // The action id is the program counter of the executed
             // instruction: each processor has exactly one enabled step, and
             // another thread's independent action never moves this pc, so
-            // the label is stable.
+            // the label is stable. Every rule input is read from the parent
+            // state *before* the successor slot is taken from the pool.
             let id = proc.pc as u32;
-            let mut next = state.clone();
-            let next_proc = &mut next.procs[proc_index];
-            let action = match instr {
+            match instr {
                 Instruction::Alu { dst, op, lhs, rhs } => {
-                    let value = op.apply(next_proc.operand(lhs), next_proc.operand(rhs));
-                    next_proc.regs.insert(*dst, value);
+                    let value = op.apply(proc.operand(lhs), proc.operand(rhs));
+                    let next = buf.push_from(state, Action::local(proc_index, id));
+                    let next_proc = &mut next.procs[proc_index];
+                    next_proc.regs.write(*dst, value);
                     next_proc.pc += 1;
-                    Action::local(proc_index, id)
                 }
                 Instruction::Load { dst, addr } => {
-                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
-                    let value = Self::read_memory(&next.memory, address);
-                    next.procs[proc_index].regs.insert(*dst, value);
-                    next.procs[proc_index].pc += 1;
-                    Action::read(proc_index, id, address)
+                    let address = addr.evaluate(proc.operand(&addr.base)).raw();
+                    let value = state.memory.read(address);
+                    let next = buf.push_from(state, Action::read(proc_index, id, address));
+                    let next_proc = &mut next.procs[proc_index];
+                    next_proc.regs.write(*dst, value);
+                    next_proc.pc += 1;
                 }
                 Instruction::Store { addr, data } => {
-                    let address = addr.evaluate(next_proc.operand(&addr.base)).raw();
-                    let value = next_proc.operand(data);
-                    next.memory.insert(address, value);
+                    let address = addr.evaluate(proc.operand(&addr.base)).raw();
+                    let value = proc.operand(data);
+                    let next = buf.push_from(state, Action::commit(proc_index, id, address));
+                    next.memory.write(address, value);
                     next.procs[proc_index].pc += 1;
-                    Action::commit(proc_index, id, address)
                 }
                 Instruction::Fence { .. } => {
-                    next_proc.pc += 1;
-                    Action::fence(proc_index, id)
+                    let next = buf.push_from(state, Action::fence(proc_index, id));
+                    next.procs[proc_index].pc += 1;
                 }
                 Instruction::Branch { cond, lhs, rhs, .. } => {
-                    let taken = cond.holds(next_proc.operand(lhs), next_proc.operand(rhs));
-                    next_proc.pc = next_pc(thread, next_proc.pc, taken, instr);
-                    Action::local(proc_index, id)
+                    let taken = cond.holds(proc.operand(lhs), proc.operand(rhs));
+                    let target = next_pc(thread, proc.pc, taken, instr);
+                    let next = buf.push_from(state, Action::local(proc_index, id));
+                    next.procs[proc_index].pc = target;
                 }
-            };
-            out.push((action, next));
+            }
         }
-        out
+        buf.finish();
     }
 }
 

@@ -8,20 +8,19 @@
 //! (`FenceSL`) may only execute when the store buffer is empty; the other
 //! basic fences are no-ops because TSO already preserves those orderings.
 
-use std::collections::BTreeMap;
-
 use gam_isa::litmus::{LitmusTest, Observation, Outcome};
 use gam_isa::{Instruction, MemAccessType, Program, Value};
 
 use crate::footprint;
 use crate::machine::{AbstractMachine, Action, Footprint, LabeledMachine};
+use crate::mem::Memory;
 use crate::sc::{next_pc, SeqProcState};
 
 /// The TSO machine for one litmus test.
 #[derive(Debug, Clone)]
 pub struct TsoMachine {
     program: Program,
-    initial_memory: BTreeMap<u64, Value>,
+    initial_memory: Memory,
     observed: Vec<Observation>,
     /// `suffix[proc][pc]`: the memory accesses the thread's remaining
     /// instructions can perform; pending store-buffer entries are added
@@ -30,7 +29,7 @@ pub struct TsoMachine {
 }
 
 /// Per-processor TSO state: sequential state plus a FIFO store buffer.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, PartialEq, Eq, Hash, Default)]
 pub struct TsoProcState {
     /// Register file and program counter.
     pub seq: SeqProcState,
@@ -38,13 +37,69 @@ pub struct TsoProcState {
     pub store_buffer: Vec<(u64, Value)>,
 }
 
+// Hand-written so `clone_from` reuses the buffers (successor pooling).
+impl Clone for TsoProcState {
+    fn clone(&self) -> Self {
+        TsoProcState { seq: self.seq.clone(), store_buffer: self.store_buffer.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.seq.clone_from(&source.seq);
+        self.store_buffer.clear();
+        self.store_buffer.extend_from_slice(&source.store_buffer);
+    }
+}
+
 /// A configuration of the TSO machine.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct TsoState {
     /// The monolithic memory.
-    pub memory: BTreeMap<u64, Value>,
+    pub memory: Memory,
     /// Per-processor state.
     pub procs: Vec<TsoProcState>,
+}
+
+// Hand-written so `clone_from` reuses every nested buffer (successor pool).
+impl Clone for TsoState {
+    fn clone(&self) -> Self {
+        TsoState { memory: self.memory.clone(), procs: self.procs.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.memory.clone_from(&source.memory);
+        crate::mem::clone_vec_from(&mut self.procs, &source.procs);
+    }
+}
+
+impl crate::arena::ComposedState for TsoState {
+    type Mem = Memory;
+    type Proc = TsoProcState;
+
+    fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    fn procs(&self) -> &[TsoProcState] {
+        &self.procs
+    }
+
+    fn procs_mut(&mut self) -> &mut [TsoProcState] {
+        &mut self.procs
+    }
+
+    fn mem_bytes(mem: &Memory) -> usize {
+        std::mem::size_of::<Memory>() + mem.approx_bytes()
+    }
+
+    fn proc_bytes(proc: &TsoProcState) -> usize {
+        std::mem::size_of::<TsoProcState>()
+            + proc.seq.regs.approx_bytes()
+            + proc.store_buffer.len() * std::mem::size_of::<(u64, Value)>()
+    }
 }
 
 impl TsoMachine {
@@ -55,7 +110,7 @@ impl TsoMachine {
         let suffix = footprint::suffix_footprints(test.program(), &sets);
         TsoMachine {
             program: test.program().clone(),
-            initial_memory: test.initial_memory().clone(),
+            initial_memory: Memory::from_map(test.initial_memory()),
             observed: test.observed().to_vec(),
             suffix,
         }
@@ -69,7 +124,7 @@ impl TsoMachine {
             .rev()
             .find(|(a, _)| *a == addr)
             .map(|(_, v)| *v)
-            .unwrap_or_else(|| state.memory.get(&addr).copied().unwrap_or(Value::ZERO))
+            .unwrap_or_else(|| state.memory.read(addr))
     }
 }
 
@@ -100,9 +155,7 @@ impl AbstractMachine for TsoMachine {
         for observation in &self.observed {
             let value = match observation {
                 Observation::Register(proc, reg) => state.procs[proc.index()].seq.reg(*reg),
-                Observation::Memory(loc) => {
-                    state.memory.get(&loc.address()).copied().unwrap_or(Value::ZERO)
-                }
+                Observation::Memory(loc) => state.memory.read(loc.address()),
             };
             outcome.set(*observation, value);
         }
@@ -162,6 +215,26 @@ impl LabeledMachine for TsoMachine {
 
     fn labeled_successors(&self, state: &TsoState) -> Vec<(Action, TsoState)> {
         let mut out = Vec::new();
+        self.labeled_successors_into(state, &mut out);
+        out
+    }
+
+    fn labeled_successors_into(&self, state: &TsoState, out: &mut Vec<(Action, TsoState)>) {
+        self.successors_into_buf(state, crate::machine::SuccBuf::new(out));
+    }
+
+    fn labeled_successors_sparse_into(&self, state: &TsoState, out: &mut Vec<(Action, TsoState)>) {
+        self.successors_into_buf(state, crate::machine::SuccBuf::new_sparse(out));
+    }
+}
+
+impl TsoMachine {
+    /// The rule pass shared by the full and sparse successor entry points.
+    fn successors_into_buf(
+        &self,
+        state: &TsoState,
+        mut buf: crate::machine::SuccBuf<'_, TsoState>,
+    ) {
         for (proc_index, proc) in state.procs.iter().enumerate() {
             let thread = &self.program.threads()[proc_index];
 
@@ -169,10 +242,9 @@ impl LabeledMachine for TsoMachine {
             // Id 0 is reserved for the drain; instruction executions use
             // pc + 1 so the two never collide.
             if let Some(&(addr, value)) = proc.store_buffer.first() {
-                let mut next = state.clone();
+                let next = buf.push_from(state, Action::drain(proc_index, 0, addr));
                 next.procs[proc_index].store_buffer.remove(0);
-                next.memory.insert(addr, value);
-                out.push((Action::drain(proc_index, 0, addr), next));
+                next.memory.write(addr, value);
             }
 
             if proc.seq.pc >= thread.len() {
@@ -182,20 +254,15 @@ impl LabeledMachine for TsoMachine {
             let instr = &thread.instructions()[proc.seq.pc];
             match instr {
                 Instruction::Alu { dst, op, lhs, rhs } => {
-                    let mut next = state.clone();
+                    let value = op.apply(proc.seq.operand(lhs), proc.seq.operand(rhs));
+                    let next = buf.push_from(state, Action::local(proc_index, id));
                     let p = &mut next.procs[proc_index];
-                    let value = op.apply(p.seq.operand(lhs), p.seq.operand(rhs));
-                    p.seq.regs.insert(*dst, value);
+                    p.seq.regs.write(*dst, value);
                     p.seq.pc += 1;
-                    out.push((Action::local(proc_index, id), next));
                 }
                 Instruction::Load { dst, addr } => {
                     let address = addr.evaluate(proc.seq.operand(&addr.base)).raw();
                     let value = self.read(state, proc_index, address);
-                    let mut next = state.clone();
-                    let p = &mut next.procs[proc_index];
-                    p.seq.regs.insert(*dst, value);
-                    p.seq.pc += 1;
                     // A load satisfied by forwarding from the processor's own
                     // store buffer never touches shared memory, so it is a
                     // thread-private step; only a buffer miss reads memory.
@@ -206,18 +273,20 @@ impl LabeledMachine for TsoMachine {
                     } else {
                         Action::read(proc_index, id, address)
                     };
-                    out.push((action, next));
+                    let next = buf.push_from(state, action);
+                    let p = &mut next.procs[proc_index];
+                    p.seq.regs.write(*dst, value);
+                    p.seq.pc += 1;
                 }
                 Instruction::Store { addr, data } => {
-                    let mut next = state.clone();
-                    let p = &mut next.procs[proc_index];
-                    let address = addr.evaluate(p.seq.operand(&addr.base)).raw();
-                    let value = p.seq.operand(data);
-                    p.store_buffer.push((address, value));
-                    p.seq.pc += 1;
+                    let address = addr.evaluate(proc.seq.operand(&addr.base)).raw();
+                    let value = proc.seq.operand(data);
                     // Enqueueing only touches the private buffer; the shared
                     // write happens later, at drain time.
-                    out.push((Action::local(proc_index, id), next));
+                    let next = buf.push_from(state, Action::local(proc_index, id));
+                    let p = &mut next.procs[proc_index];
+                    p.store_buffer.push((address, value));
+                    p.seq.pc += 1;
                 }
                 Instruction::Fence { kind } => {
                     // Only store->load ordering is not already guaranteed by TSO;
@@ -225,21 +294,19 @@ impl LabeledMachine for TsoMachine {
                     let needs_drain =
                         kind.before == MemAccessType::Store && kind.after == MemAccessType::Load;
                     if !needs_drain || proc.store_buffer.is_empty() {
-                        let mut next = state.clone();
+                        let next = buf.push_from(state, Action::fence(proc_index, id));
                         next.procs[proc_index].seq.pc += 1;
-                        out.push((Action::fence(proc_index, id), next));
                     }
                 }
                 Instruction::Branch { cond, lhs, rhs, .. } => {
                     let taken = cond.holds(proc.seq.operand(lhs), proc.seq.operand(rhs));
-                    let mut next = state.clone();
-                    let p = &mut next.procs[proc_index];
-                    p.seq.pc = next_pc(thread, p.seq.pc, taken, instr);
-                    out.push((Action::local(proc_index, id), next));
+                    let target = next_pc(thread, proc.seq.pc, taken, instr);
+                    let next = buf.push_from(state, Action::local(proc_index, id));
+                    next.procs[proc_index].seq.pc = target;
                 }
             }
         }
-        out
+        buf.finish();
     }
 }
 

@@ -25,9 +25,17 @@ const MACHINE_MODELS: [ModelKind; 4] =
     [ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0];
 
 fn checker(kind: ModelKind, reduction: Reduction, parallelism: usize) -> OperationalChecker {
+    // `parallel_threshold: 0` pins the sharded drivers themselves — under
+    // the adaptive default, litmus-scale spaces would finish in the
+    // sequential phase and the parallel cases here would test nothing new.
     OperationalChecker::with_config(
         kind,
-        ExplorerConfig { reduction, parallelism, ..ExplorerConfig::default() },
+        ExplorerConfig {
+            reduction,
+            parallelism,
+            parallel_threshold: 0,
+            ..ExplorerConfig::default()
+        },
     )
 }
 
