@@ -12,7 +12,7 @@
 //! usage: perf_snapshot [--quick] [--corpus DIR] [--out PATH] [--parallelism N]
 //!                      [--date YYYY-MM-DD]
 //!                      [--compare OLD.json [--against NEW.json]]
-//!                      [--fail-threshold R]
+//!                      [--fail-threshold R] [--list-gates]
 //!
 //!   --quick            run the paper's 11 core tests instead of the full library
 //!   --corpus DIR       measure a `.litmus` corpus directory (see `gam run`)
@@ -25,6 +25,8 @@
 //!   --against NEW      with --compare: diff OLD against NEW instead of running
 //!   --fail-threshold R factor on the deterministic effort counters above which
 //!                      a difference is a regression (default 1.25; 0 = report only)
+//!   --list-gates       print every gated counter and the threshold semantics,
+//!                      then exit (no benchmark run)
 //! ```
 //!
 //! The JSON schema (`gam-perf-snapshot/v3`) is documented in the README's
@@ -378,16 +380,33 @@ fn load_snapshot(path: &str) -> Json {
     }
 }
 
-/// Diffs two snapshots over the metrics they share; returns the number of
-/// regressions beyond `threshold`.
-fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> usize {
+/// Prints every counter `--compare` gates, with the gate semantics — the
+/// reference for debugging a failed comparison.
+fn list_gates() {
+    println!("perf_snapshot gated counters (per (model, test) entry; lower is better):");
+    for (label, _) in GRADED {
+        println!("  {label}");
+    }
+    println!("snapshot-level gate:");
+    println!("  totals.wall_us_operational_parallel <= totals.wall_us_operational_sequential x threshold");
+    println!();
+    println!("semantics: a counter regresses when candidate > baseline x threshold");
+    println!("(default 1.25); improvements beyond 1/threshold are reported but never");
+    println!("fail. --fail-threshold 0 switches to report-only mode: every difference");
+    println!("is printed and the exit status stays 0. Wall times other than the");
+    println!("parallel-vs-sequential gate are informational only (machine-dependent).");
+}
+
+/// Diffs two snapshots over the metrics they share; returns one description
+/// per regression beyond `threshold` (empty = comparison passed).
+fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> Vec<String> {
     let old_schema = old.get("schema").and_then(Json::as_str).unwrap_or("?");
     let new_schema = new.get("schema").and_then(Json::as_str).unwrap_or("?");
     println!("compare: baseline schema {old_schema}, candidate schema {new_schema}");
 
     let new_entries = test_entries(new);
     let mut compared = 0usize;
-    let mut regressions = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
     let mut improvements = 0usize;
     let mut total_old_wall = 0u64;
     let mut total_new_wall = 0u64;
@@ -417,7 +436,10 @@ fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> usize {
                 new_value as f64 / old_value as f64
             };
             if threshold > 0.0 && factor > threshold {
-                regressions += 1;
+                regressions.push(format!(
+                    "{model}/{test} {label}: baseline {old_value}, candidate {new_value} \
+                     (x{factor:.2} > x{threshold:.2})"
+                ));
                 println!(
                     "compare: REGRESSION {model}/{test} {label}: {old_value} -> {new_value} \
                      (x{factor:.2})"
@@ -458,7 +480,10 @@ fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> usize {
         ) {
             #[allow(clippy::cast_precision_loss)]
             if par as f64 > seq as f64 * threshold {
-                regressions += 1;
+                regressions.push(format!(
+                    "totals.wall_us_operational_parallel: sequential {seq}us, parallel {par}us \
+                     (beyond x{threshold:.2})"
+                ));
                 println!(
                     "compare: REGRESSION totals.wall_us_operational_parallel: {par}us exceeds \
                      the sequential {seq}us beyond x{threshold:.2} — adaptive sharding must \
@@ -473,15 +498,29 @@ fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> usize {
         }
     }
     println!(
-        "compare: {compared} (model, test) pairs compared, {regressions} regressions, \
+        "compare: {compared} (model, test) pairs compared, {} regressions, \
          {improvements} improvements (threshold x{threshold:.2}); operational sequential wall \
-         {total_old_wall}us -> {total_new_wall}us (informational)"
+         {total_old_wall}us -> {total_new_wall}us (informational)",
+        regressions.len()
     );
+    // A terminal summary naming every failed gate with both values, so a CI
+    // log's last lines say exactly which counter moved and by how much
+    // (`--list-gates` documents the full gate set).
+    if !regressions.is_empty() {
+        println!("compare: FAILED {} gate(s):", regressions.len());
+        for line in &regressions {
+            println!("  {line}");
+        }
+    }
     regressions
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if arg_flag(&args, "--list-gates") {
+        list_gates();
+        return;
+    }
     let quick = arg_flag(&args, "--quick");
     let date = arg_value(&args, "--date").unwrap_or_else(today);
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
@@ -496,7 +535,7 @@ fn main() {
         let old = load_snapshot(old_path);
         let new = load_snapshot(new_path);
         let regressions = compare_snapshots(&old, &new, threshold);
-        std::process::exit(i32::from(regressions > 0));
+        std::process::exit(i32::from(!regressions.is_empty()));
     }
 
     // At least two workers, so the sharded-frontier code path is always the
@@ -660,7 +699,7 @@ fn main() {
     if let Some(old_path) = compare {
         let old = load_snapshot(&old_path);
         let regressions = compare_snapshots(&old, &snapshot, threshold);
-        if regressions > 0 {
+        if !regressions.is_empty() {
             std::process::exit(1);
         }
     }

@@ -1,0 +1,867 @@
+//! Canonicalization of litmus tests for outcome caching.
+//!
+//! Two litmus tests that differ only in *naming* — thread order, register
+//! indices, label names, symbolic location names — have identical verdicts
+//! under every model, so a long-running check service should answer the
+//! renamed variant from the cache entry of the first. This module computes a
+//! canonical form that collapses those symmetries:
+//!
+//! * **Thread order**: the canonical text is the minimum over all thread
+//!   permutations (exhaustive up to [`MAX_PERMUTED_THREADS`] threads, a
+//!   deterministic skeleton-sort heuristic above that).
+//! * **Registers**: renamed per thread to `r1, r2, …` in first-use order,
+//!   visiting each instruction's operands in a fixed order.
+//! * **Labels**: renamed per thread to `L1, L2, …` ordered by target
+//!   position; branch targets are remapped along.
+//! * **Locations**: renamed to the canonical dictionary `a, b, c, …` in
+//!   first-use order — but only when a conservative dataflow screen proves
+//!   the rename cannot change program behaviour (see below). When the screen
+//!   bails, location names are left untouched; the other three symmetries
+//!   still apply, so byte-identical resubmissions always canonicalize
+//!   identically.
+//!
+//! # Why location renaming needs a screen
+//!
+//! Location "names" are concrete addresses ([`gam_isa::Loc::new`] hashes the
+//! name), and addresses are first-class values: programs store them, load
+//! them and dereference them. Renaming is only sound if every address flows
+//! through the program *exactly* (moves, loads of address-valued memory, and
+//! the paper's `+dep −dep` artificial-dependency idiom) and is never
+//! combined arithmetically with data. The screen verifies:
+//!
+//! * no `[base + offset]` address expressions (an offset shifts an address
+//!   off its renamed counterpart);
+//! * every constant is either an address (≥ [`gam_isa::Loc::REGION_BASE`])
+//!   or small data (< [`gam_isa::Loc::REGION_STRIDE`]) — nothing in between;
+//! * at most [`MAX_DATA_ALU`] data ALU instructions, so data values can
+//!   never drift up into (or wrap down into) the address window: each ALU
+//!   op at most doubles the magnitude bound, and
+//!   `0x1000 << 12 = 0x100_0000` stays three orders below the window floor,
+//!   while wrapped negatives stay above `2^63`, three orders above its
+//!   ceiling;
+//! * a per-thread taint fixpoint (taint = "may hold an exact address"):
+//!   `mov` propagates, loads taint their destination whenever any reachable
+//!   memory content is an address, the two-instruction artificial-dependency
+//!   idiom is recognized and allowed — and any *other* ALU instruction that
+//!   reads a tainted register or an address immediate bails the screen.
+//!
+//! Tainted registers may still be dereferenced, stored, compared by
+//! branches (only `Eq`/`Ne` exist, both preserved by injective renaming) and
+//! observed: all of those see the renamed address consistently.
+//!
+//! The canonical text is rendered by the round-trip-pinned pretty-printer
+//! ([`crate::printer::print_litmus_with`]), so `parse(canonical_text(t))`
+//! reproduces the canonical test exactly and the hash is a hash of real,
+//! valid `.litmus` syntax — inspectable with `gam print`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use gam_isa::litmus::{LitmusTest, Observation};
+use gam_isa::{Addr, AluOp, Instruction, Loc, Operand, ProcId, Program, Reg, ThreadProgram, Value};
+
+use crate::names::NameTable;
+use crate::printer::print_litmus_with;
+
+/// Threads up to this count are canonicalized by exhaustive permutation
+/// (5! = 120 renderings); larger programs fall back to a deterministic
+/// skeleton sort that is invariant under register/location renaming but not
+/// under permutations of *identical* thread skeletons.
+pub const MAX_PERMUTED_THREADS: usize = 5;
+
+/// Maximum number of data ALU instructions (non-`mov`, non-idiom) before the
+/// location-renaming screen bails. See the module docs for the drift bound.
+pub const MAX_DATA_ALU: usize = 12;
+
+/// A 128-bit canonical test hash (two independent FNV-1a passes over the
+/// canonical text), rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalHash {
+    hi: u64,
+    lo: u64,
+}
+
+impl fmt::Display for CanonicalHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// A canonicalized litmus test together with its rendered text.
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The rebuilt test: threads permuted, registers/labels renamed, and —
+    /// when sound — locations renamed onto the canonical dictionary.
+    pub test: LitmusTest,
+    /// The canonical `.litmus` rendering of `test`; [`canonical_hash`]
+    /// hashes exactly these bytes.
+    pub text: String,
+}
+
+/// Computes the canonical form of a litmus test.
+#[must_use]
+pub fn canonical_form(test: &LitmusTest) -> CanonicalForm {
+    let renamable = renamable_addresses(test);
+    let n = test.program().num_threads();
+    let orders: Vec<Vec<usize>> = if n <= MAX_PERMUTED_THREADS {
+        permutations(n)
+    } else {
+        vec![skeleton_order(test, renamable.as_ref())]
+    };
+    orders
+        .into_iter()
+        .map(|order| normal_form(test, &order, renamable.as_ref()))
+        .min_by(|a, b| a.text.cmp(&b.text))
+        .expect("at least one thread order")
+}
+
+/// The canonical `.litmus` text of a test (see [`canonical_form`]).
+#[must_use]
+pub fn canonical_text(test: &LitmusTest) -> String {
+    canonical_form(test).text
+}
+
+/// The canonical test itself (see [`canonical_form`]).
+#[must_use]
+pub fn canonical_test(test: &LitmusTest) -> LitmusTest {
+    canonical_form(test).test
+}
+
+/// The canonical hash of a test: 128 bits of FNV-1a over the canonical text.
+#[must_use]
+pub fn canonical_hash(test: &LitmusTest) -> CanonicalHash {
+    let text = canonical_text(test);
+    CanonicalHash {
+        hi: fnv1a(text.as_bytes(), 0xcbf2_9ce4_8422_2325),
+        lo: fnv1a(text.as_bytes(), 0x6c62_272e_07bb_0142),
+    }
+}
+
+fn fnv1a(bytes: &[u8], offset_basis: u64) -> u64 {
+    let mut hash = offset_basis;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Location-renaming soundness screen
+// ---------------------------------------------------------------------------
+
+/// Classifies every constant in the test and runs the taint dataflow; returns
+/// the set of renamable addresses, or `None` when renaming cannot be proven
+/// sound (location names are then left as-is).
+fn renamable_addresses(test: &LitmusTest) -> Option<BTreeSet<u64>> {
+    let mut addrs = BTreeSet::new();
+    // Pass 1: collect and classify every constant.
+    let mut classify = |v: u64| -> Option<()> {
+        if v >= Loc::REGION_BASE {
+            addrs.insert(v);
+            Some(())
+        } else if v >= Loc::REGION_STRIDE {
+            None // mid-range constant: neither clearly data nor an address
+        } else {
+            Some(()) // small data, maps to itself
+        }
+    };
+    let mut classify_operand = |operand: &Operand| -> Option<()> {
+        match operand {
+            Operand::Imm(v) => classify(v.raw()),
+            Operand::Reg(_) => Some(()),
+        }
+    };
+    for thread in test.program().threads() {
+        for instr in thread.instructions() {
+            match instr {
+                Instruction::Alu { lhs, rhs, .. } | Instruction::Branch { lhs, rhs, .. } => {
+                    classify_operand(lhs)?;
+                    classify_operand(rhs)?;
+                }
+                Instruction::Load { addr, .. } => {
+                    if addr.offset != 0 {
+                        return None;
+                    }
+                    classify_operand(&addr.base)?;
+                }
+                Instruction::Store { addr, data } => {
+                    if addr.offset != 0 {
+                        return None;
+                    }
+                    classify_operand(&addr.base)?;
+                    classify_operand(data)?;
+                }
+                Instruction::Fence { .. } => {}
+            }
+        }
+    }
+    for (&key, &value) in test.initial_memory() {
+        classify(key)?;
+        classify(value.raw())?;
+    }
+    for obs in test.observed() {
+        if let Observation::Memory(loc) = obs {
+            classify(loc.address())?;
+        }
+    }
+    for (obs, value) in test.condition().iter() {
+        if let Observation::Memory(loc) = obs {
+            classify(loc.address())?;
+        }
+        classify(value.raw())?;
+    }
+
+    // Pass 2: recognize the artificial-dependency idiom
+    // (`d1 = add addr, rd; d2 = sub d1, rd`) so its two ALU instructions are
+    // exempt from the data-ALU rules below.
+    let threads = test.program().threads();
+    let mut idiom: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); threads.len()];
+    for (t, thread) in threads.iter().enumerate() {
+        let ins = thread.instructions();
+        for i in 0..ins.len().saturating_sub(1) {
+            let Instruction::Alu { dst: d1, op: AluOp::Add, lhs, rhs } = &ins[i] else {
+                continue;
+            };
+            let dep = match (lhs, rhs) {
+                (Operand::Imm(v), Operand::Reg(r)) | (Operand::Reg(r), Operand::Imm(v))
+                    if addrs.contains(&v.raw()) =>
+                {
+                    *r
+                }
+                _ => continue,
+            };
+            let Instruction::Alu {
+                dst: d2,
+                op: AluOp::Sub,
+                lhs: Operand::Reg(l),
+                rhs: Operand::Reg(r),
+            } = &ins[i + 1]
+            else {
+                continue;
+            };
+            if *l != *d1 || *r != dep || dep == *d1 {
+                continue;
+            }
+            if *d1 != *d2 {
+                // The intermediate register survives the idiom; it holds
+                // address + data, which must not escape. Require that nothing
+                // else reads it and that it is not observed.
+                let escapes = ins
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| j != i + 1 && other.read_set().contains(d1))
+                    || test.observed().iter().any(|obs| {
+                        matches!(obs, Observation::Register(p, r)
+                            if *p == thread.proc() && *r == *d1)
+                    });
+                if escapes {
+                    continue;
+                }
+            }
+            idiom[t].insert(i);
+            idiom[t].insert(i + 1);
+        }
+    }
+
+    // Pass 3: bound the number of data ALU instructions (the drift bound).
+    let data_alus: usize = threads
+        .iter()
+        .enumerate()
+        .map(|(t, thread)| {
+            thread
+                .instructions()
+                .iter()
+                .enumerate()
+                .filter(|(i, instr)| {
+                    matches!(instr, Instruction::Alu { op, .. } if *op != AluOp::Mov)
+                        && !idiom[t].contains(i)
+                })
+                .count()
+        })
+        .sum();
+    if data_alus > MAX_DATA_ALU {
+        return None;
+    }
+
+    // Pass 4: taint fixpoint. Taint = "may hold an exact address".
+    let mut tainted: BTreeSet<(usize, Reg)> = BTreeSet::new();
+    loop {
+        let mem_has_addr = test.initial_memory().values().any(|v| addrs.contains(&v.raw()))
+            || threads.iter().enumerate().any(|(t, thread)| {
+                thread.instructions().iter().any(|instr| match instr {
+                    Instruction::Store { data: Operand::Imm(v), .. } => addrs.contains(&v.raw()),
+                    Instruction::Store { data: Operand::Reg(r), .. } => tainted.contains(&(t, *r)),
+                    _ => false,
+                })
+            });
+        let mut changed = false;
+        for (t, thread) in threads.iter().enumerate() {
+            for (i, instr) in thread.instructions().iter().enumerate() {
+                let taint = match instr {
+                    Instruction::Load { dst, .. } if mem_has_addr => Some(*dst),
+                    Instruction::Alu { dst, op: AluOp::Mov, lhs, .. } => {
+                        let source_tainted = match lhs {
+                            Operand::Imm(v) => addrs.contains(&v.raw()),
+                            Operand::Reg(r) => tainted.contains(&(t, *r)),
+                        };
+                        source_tainted.then_some(*dst)
+                    }
+                    Instruction::Alu { dst, .. } if idiom[t].contains(&i) => Some(*dst),
+                    _ => None,
+                };
+                if let Some(dst) = taint {
+                    changed |= tainted.insert((t, dst));
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 5: any remaining ALU instruction mixing taint or address
+    // immediates into arithmetic defeats the rename.
+    for (t, thread) in threads.iter().enumerate() {
+        for (i, instr) in thread.instructions().iter().enumerate() {
+            let Instruction::Alu { op, lhs, rhs, .. } = instr else { continue };
+            if *op == AluOp::Mov || idiom[t].contains(&i) {
+                continue;
+            }
+            for operand in [lhs, rhs] {
+                match operand {
+                    Operand::Imm(v) if addrs.contains(&v.raw()) => return None,
+                    Operand::Reg(r) if tainted.contains(&(t, *r)) => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(addrs)
+}
+
+// ---------------------------------------------------------------------------
+// Normal form under one thread order
+// ---------------------------------------------------------------------------
+
+/// Renaming state threaded through one normal-form construction.
+struct Renamer {
+    /// Old address → canonical address; only addresses in `renamable` are
+    /// mapped, everything else is identity.
+    addr_map: BTreeMap<u64, u64>,
+    /// Canonical `(name, address)` pool, assigned in first-use order.
+    pool: Vec<(String, u64)>,
+    next_addr: usize,
+    renamable: BTreeSet<u64>,
+}
+
+impl Renamer {
+    fn new(renamable: Option<&BTreeSet<u64>>) -> Self {
+        let renamable = renamable.cloned().unwrap_or_default();
+        Renamer {
+            addr_map: BTreeMap::new(),
+            pool: canonical_pool(renamable.len()),
+            next_addr: 0,
+            renamable,
+        }
+    }
+
+    fn map_addr(&mut self, v: u64) -> u64 {
+        if !self.renamable.contains(&v) {
+            return v;
+        }
+        if let Some(&mapped) = self.addr_map.get(&v) {
+            return mapped;
+        }
+        let mapped = self.pool[self.next_addr].1;
+        self.next_addr += 1;
+        self.addr_map.insert(v, mapped);
+        mapped
+    }
+
+    fn map_value(&mut self, v: Value) -> Value {
+        Value::new(self.map_addr(v.raw()))
+    }
+
+    fn map_operand(&mut self, operand: &Operand, regs: &mut RegRenamer) -> Operand {
+        match operand {
+            Operand::Imm(v) => Operand::Imm(self.map_value(*v)),
+            Operand::Reg(r) => Operand::Reg(regs.map(*r)),
+        }
+    }
+
+    fn name_table(&self) -> NameTable {
+        let mut table = NameTable::empty();
+        for (name, _) in &self.pool {
+            table.add(name);
+        }
+        table
+    }
+}
+
+/// Per-thread register renaming in first-use order.
+struct RegRenamer {
+    map: BTreeMap<Reg, Reg>,
+    next: u32,
+}
+
+impl RegRenamer {
+    fn new() -> Self {
+        RegRenamer { map: BTreeMap::new(), next: 1 }
+    }
+
+    fn map(&mut self, r: Reg) -> Reg {
+        if let Some(&mapped) = self.map.get(&r) {
+            return mapped;
+        }
+        let mapped = Reg::new(self.next);
+        self.next += 1;
+        self.map.insert(r, mapped);
+        mapped
+    }
+}
+
+fn normal_form(
+    test: &LitmusTest,
+    order: &[usize],
+    renamable: Option<&BTreeSet<u64>>,
+) -> CanonicalForm {
+    let threads = test.program().threads();
+    let mut renamer = Renamer::new(renamable);
+    let mut reg_renamers: Vec<RegRenamer> = (0..threads.len()).map(|_| RegRenamer::new()).collect();
+    // new_pos[old thread index] = position in the canonical order.
+    let mut new_pos = vec![0usize; threads.len()];
+    for (pos, &old) in order.iter().enumerate() {
+        new_pos[old] = pos;
+    }
+
+    let mut new_threads = Vec::with_capacity(threads.len());
+    for (pos, &old) in order.iter().enumerate() {
+        let thread = &threads[old];
+        let regs = &mut reg_renamers[old];
+        // Labels renamed to L1, L2, … ordered by target position.
+        let mut labels: Vec<(&String, usize)> =
+            thread.labels().iter().map(|(name, &target)| (name, target)).collect();
+        labels.sort_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+        let label_map: BTreeMap<&str, String> = labels
+            .iter()
+            .enumerate()
+            .map(|(k, (name, _))| (name.as_str(), format!("L{}", k + 1)))
+            .collect();
+        let labels_at = |index: usize| {
+            labels
+                .iter()
+                .filter(move |(_, target)| *target == index)
+                .map(|(name, _)| label_map[name.as_str()].clone())
+        };
+
+        let mut builder = ThreadProgram::builder(ProcId::new(pos));
+        for (i, instr) in thread.instructions().iter().enumerate() {
+            for label in labels_at(i) {
+                builder.label(label);
+            }
+            // Operand visit order is fixed per instruction shape so that
+            // register first-use assignment is naming-independent:
+            // sources before destinations, address bases before data.
+            let rebuilt = match instr {
+                Instruction::Alu { dst, op, lhs, rhs } => {
+                    let lhs = renamer.map_operand(lhs, regs);
+                    let rhs = renamer.map_operand(rhs, regs);
+                    Instruction::Alu { dst: regs.map(*dst), op: *op, lhs, rhs }
+                }
+                Instruction::Load { dst, addr } => {
+                    let base = renamer.map_operand(&addr.base, regs);
+                    Instruction::Load {
+                        dst: regs.map(*dst),
+                        addr: Addr { base, offset: addr.offset },
+                    }
+                }
+                Instruction::Store { addr, data } => {
+                    let base = renamer.map_operand(&addr.base, regs);
+                    let data = renamer.map_operand(data, regs);
+                    Instruction::Store { addr: Addr { base, offset: addr.offset }, data }
+                }
+                Instruction::Fence { kind } => Instruction::Fence { kind: *kind },
+                Instruction::Branch { cond, lhs, rhs, target } => {
+                    let lhs = renamer.map_operand(lhs, regs);
+                    let rhs = renamer.map_operand(rhs, regs);
+                    let target = match label_map.get(target.name()) {
+                        Some(name) => gam_isa::Label::new(name.clone()),
+                        None => target.clone(),
+                    };
+                    Instruction::Branch { cond: *cond, lhs, rhs, target }
+                }
+            };
+            builder.push(rebuilt);
+        }
+        for label in labels_at(thread.len()) {
+            builder.label(label);
+        }
+        new_threads.push(builder.build());
+    }
+
+    // Assign canonical names to renamable addresses that never appear in an
+    // instruction (initial-memory-only or observation-only locations), in an
+    // order derived from renaming-invariant signatures; ties fall back to the
+    // old address, which is only reachable for fully symmetric locations
+    // where either assignment yields identical text.
+    let leftovers: Vec<u64> = {
+        let mut left: Vec<u64> = renamer
+            .renamable
+            .iter()
+            .copied()
+            .filter(|a| !renamer.addr_map.contains_key(a))
+            .collect();
+        left.sort_by_key(|&a| leftover_signature(test, &renamer.renamable, a));
+        left
+    };
+    for addr in leftovers {
+        renamer.map_addr(addr);
+    }
+
+    let mut initial: Vec<(u64, Value)> = test
+        .initial_memory()
+        .iter()
+        .map(|(&key, &value)| (renamer.map_addr(key), renamer.map_value(value)))
+        .collect();
+    initial.sort_by_key(|&(key, _)| key);
+
+    let mut map_observation = |renamer: &mut Renamer, obs: &Observation| match obs {
+        Observation::Register(proc, reg) => {
+            let t = proc.index();
+            Observation::Register(ProcId::new(new_pos[t]), reg_renamers[t].map(*reg))
+        }
+        Observation::Memory(loc) => {
+            Observation::Memory(Loc::from_address(renamer.map_addr(loc.address())))
+        }
+    };
+    let mut observed: Vec<Observation> = Vec::new();
+    for obs in test.observed() {
+        let mapped = map_observation(&mut renamer, obs);
+        if !observed.contains(&mapped) {
+            observed.push(mapped);
+        }
+    }
+    observed.sort();
+    let mut condition: Vec<(Observation, Value)> = test
+        .condition()
+        .iter()
+        .map(|(obs, &value)| (map_observation(&mut renamer, obs), renamer.map_value(value)))
+        .collect();
+    condition.sort();
+
+    let mut builder = LitmusTest::builder("canon", Program::new(new_threads));
+    for (key, value) in initial {
+        builder = builder.init(Loc::from_address(key), value);
+    }
+    for obs in observed {
+        builder = builder.observe(obs);
+    }
+    for (obs, value) in condition {
+        builder = builder.expect(obs, value);
+    }
+    let canonical = builder.build();
+    let text = print_litmus_with(&canonical, &renamer.name_table());
+    CanonicalForm { test: canonical, text }
+}
+
+/// A renaming-invariant sort key for a renamable address that never appears
+/// in an instruction: what it is initialized to, whether it is observed, and
+/// which condition values mention it. Address-valued components collapse to
+/// a marker (their concrete value is itself subject to renaming).
+fn leftover_signature(
+    test: &LitmusTest,
+    renamable: &BTreeSet<u64>,
+    addr: u64,
+) -> (u8, u64, bool, Vec<u64>, usize, usize) {
+    let value_class = |v: Value| -> (u8, u64) {
+        if renamable.contains(&v.raw()) {
+            (1, 0)
+        } else {
+            (0, v.raw())
+        }
+    };
+    let init = test.initial_memory().get(&addr).map_or((2u8, 0u64), |&v| value_class(v));
+    let observed = test
+        .observed()
+        .iter()
+        .any(|obs| matches!(obs, Observation::Memory(loc) if loc.address() == addr));
+    let mut cond_values: Vec<u64> = test
+        .condition()
+        .iter()
+        .filter(|(obs, _)| matches!(obs, Observation::Memory(loc) if loc.address() == addr))
+        .map(|(_, &v)| {
+            let (class, raw) = value_class(v);
+            (u64::from(class) << 32) | raw.min(u64::from(u32::MAX))
+        })
+        .collect();
+    cond_values.sort_unstable();
+    let value_mentions = test.condition().iter().filter(|(_, &v)| v.raw() == addr).count();
+    let init_value_mentions = test.initial_memory().values().filter(|v| v.raw() == addr).count();
+    (init.0, init.1, observed, cond_values, value_mentions, init_value_mentions)
+}
+
+/// The canonical location pool: `a`–`z`, then `aa`, `ab`, …, skipping any
+/// name whose hashed address collides with an earlier pool entry.
+fn canonical_pool(count: usize) -> Vec<(String, u64)> {
+    let mut pool = Vec::with_capacity(count);
+    let mut used = BTreeSet::new();
+    let mut index = 0usize;
+    while pool.len() < count {
+        let name = alpha_name(index);
+        index += 1;
+        let addr = Loc::new(&name).address();
+        if used.insert(addr) {
+            pool.push((name, addr));
+        }
+    }
+    pool
+}
+
+/// `0 → "a"`, `25 → "z"`, `26 → "aa"`, `27 → "ab"`, … (bijective base 26).
+fn alpha_name(mut index: usize) -> String {
+    let mut bytes = Vec::new();
+    loop {
+        bytes.push(b'a' + (index % 26) as u8);
+        index /= 26;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    bytes.reverse();
+    String::from_utf8(bytes).expect("ascii")
+}
+
+/// All permutations of `0..n` in lexicographic order.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    permute_into(&mut current, &mut remaining, &mut out);
+    out
+}
+
+fn permute_into(current: &mut Vec<usize>, remaining: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if remaining.is_empty() {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..remaining.len() {
+        let picked = remaining.remove(i);
+        current.push(picked);
+        permute_into(current, remaining, out);
+        current.pop();
+        remaining.insert(i, picked);
+    }
+}
+
+/// Deterministic thread order for programs too large to permute: sort by a
+/// per-thread skeleton rendered with thread-local register numbering and
+/// renamable addresses replaced by their thread-local first-use index.
+fn skeleton_order(test: &LitmusTest, renamable: Option<&BTreeSet<u64>>) -> Vec<usize> {
+    let empty = BTreeSet::new();
+    let renamable = renamable.unwrap_or(&empty);
+    let mut keyed: Vec<(String, usize)> = test
+        .program()
+        .threads()
+        .iter()
+        .enumerate()
+        .map(|(t, thread)| (thread_skeleton(thread, renamable), t))
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, t)| t).collect()
+}
+
+fn thread_skeleton(thread: &ThreadProgram, renamable: &BTreeSet<u64>) -> String {
+    use std::fmt::Write as _;
+    let mut regs = RegRenamer::new();
+    let mut addrs: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut out = String::new();
+    let operand = |operand: &Operand, regs: &mut RegRenamer, addrs: &mut BTreeMap<u64, usize>| {
+        match operand {
+            Operand::Reg(r) => regs.map(*r).to_string(),
+            Operand::Imm(v) if renamable.contains(&v.raw()) => {
+                let next = addrs.len();
+                format!("A{}", *addrs.entry(v.raw()).or_insert(next))
+            }
+            Operand::Imm(v) => v.raw().to_string(),
+        }
+    };
+    for instr in thread.instructions() {
+        match instr {
+            Instruction::Alu { dst, op, lhs, rhs } => {
+                let lhs = operand(lhs, &mut regs, &mut addrs);
+                let rhs = operand(rhs, &mut regs, &mut addrs);
+                let _ = writeln!(out, "{} {lhs} {rhs} {}", op, regs.map(*dst));
+            }
+            Instruction::Load { dst, addr } => {
+                let base = operand(&addr.base, &mut regs, &mut addrs);
+                let _ = writeln!(out, "ld {base}+{} {}", addr.offset, regs.map(*dst));
+            }
+            Instruction::Store { addr, data } => {
+                let base = operand(&addr.base, &mut regs, &mut addrs);
+                let data = operand(data, &mut regs, &mut addrs);
+                let _ = writeln!(out, "st {base}+{} {data}", addr.offset);
+            }
+            Instruction::Fence { kind } => {
+                let _ = writeln!(out, "{kind}");
+            }
+            Instruction::Branch { cond, lhs, rhs, .. } => {
+                let lhs = operand(lhs, &mut regs, &mut addrs);
+                let rhs = operand(rhs, &mut regs, &mut addrs);
+                let _ = writeln!(out, "{cond} {lhs} {rhs}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gam_isa::litmus::library;
+
+    #[test]
+    fn library_tests_have_stable_distinct_hashes() {
+        let tests = library::all_tests();
+        let mut by_hash: BTreeMap<String, String> = BTreeMap::new();
+        for test in &tests {
+            let h = canonical_hash(test);
+            assert_eq!(h, canonical_hash(test), "{}: hash is deterministic", test.name());
+            // Equal hashes are only acceptable for byte-equal canonical
+            // texts (a genuine dedup), never as a spurious collision.
+            let text = canonical_text(test);
+            if let Some(previous) = by_hash.insert(h.to_string(), text.clone()) {
+                assert_eq!(previous, text, "{}: hash collision across distinct forms", test.name());
+            }
+        }
+        assert!(by_hash.len() >= 25, "library collapses too far: {} forms", by_hash.len());
+    }
+
+    #[test]
+    fn thread_permutation_is_collapsed() {
+        // Dekker with its two (symmetric-but-for-names) threads swapped.
+        let a = Loc::new("a");
+        let b = Loc::new("b");
+        let build = |swap: bool| {
+            let mut t0 = ThreadProgram::builder(ProcId::new(0));
+            let mut t1 = ThreadProgram::builder(ProcId::new(1));
+            if swap {
+                t0.store(Addr::loc(b), Operand::imm(1));
+                t0.load(Reg::new(7), Addr::loc(a));
+                t1.store(Addr::loc(a), Operand::imm(1));
+                t1.load(Reg::new(3), Addr::loc(b));
+            } else {
+                t0.store(Addr::loc(a), Operand::imm(1));
+                t0.load(Reg::new(3), Addr::loc(b));
+                t1.store(Addr::loc(b), Operand::imm(1));
+                t1.load(Reg::new(7), Addr::loc(a));
+            }
+            let (obs0, obs1) = if swap { (1, 0) } else { (0, 1) };
+            let (r0, r1) = (Reg::new(3), Reg::new(7));
+            LitmusTest::builder("dekker-variant", Program::new(vec![t0.build(), t1.build()]))
+                .observe_reg(ProcId::new(obs0), r0)
+                .observe_reg(ProcId::new(obs1), r1)
+                .expect_reg(ProcId::new(obs0), r0, 0)
+                .expect_reg(ProcId::new(obs1), r1, 0)
+                .build()
+        };
+        assert_eq!(canonical_hash(&build(false)), canonical_hash(&build(true)));
+    }
+
+    #[test]
+    fn register_and_location_renaming_is_collapsed() {
+        let build = |x: &str, y: &str, r: u32| {
+            let xl = Loc::new(x);
+            let yl = Loc::new(y);
+            let mut t0 = ThreadProgram::builder(ProcId::new(0));
+            t0.store(Addr::loc(xl), Operand::imm(1));
+            t0.store(Addr::loc(yl), Operand::imm(1));
+            let mut t1 = ThreadProgram::builder(ProcId::new(1));
+            t1.load(Reg::new(r), Addr::loc(yl));
+            t1.load(Reg::new(r + 5), Addr::loc(xl));
+            LitmusTest::builder("mp-variant", Program::new(vec![t0.build(), t1.build()]))
+                .observe_reg(ProcId::new(1), Reg::new(r))
+                .observe_reg(ProcId::new(1), Reg::new(r + 5))
+                .expect_reg(ProcId::new(1), Reg::new(r), 1)
+                .expect_reg(ProcId::new(1), Reg::new(r + 5), 0)
+                .build()
+        };
+        let base = canonical_hash(&build("a", "b", 1));
+        assert_eq!(base, canonical_hash(&build("flag", "data", 1)));
+        assert_eq!(base, canonical_hash(&build("p", "q", 11)));
+        // A different condition must hash apart.
+        let other = {
+            let t = build("a", "b", 1);
+            let mut flipped = LitmusTest::builder("mp-other", t.program().clone());
+            for &obs in t.observed() {
+                flipped = flipped.observe(obs);
+            }
+            flipped = flipped.expect(t.observed()[0], 0).expect(t.observed()[1], 1);
+            flipped.build()
+        };
+        assert_ne!(base, canonical_hash(&other));
+    }
+
+    #[test]
+    fn canonical_text_parses_back_to_the_canonical_test() {
+        for test in library::all_tests() {
+            let form = canonical_form(&test);
+            let reparsed = crate::parser::parse_litmus(&form.text)
+                .unwrap_or_else(|e| panic!("{}: canonical text must parse: {e}", test.name()));
+            assert_eq!(reparsed, form.test, "{}", test.name());
+            // Canonicalization is idempotent.
+            assert_eq!(canonical_text(&form.test), form.text, "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn screen_bails_on_address_arithmetic() {
+        // r2 = a + 1 dereferenced: renaming `a` would change which address
+        // the +1 lands on, so the screen must refuse to rename.
+        let a = Loc::new("a");
+        let mut t0 = ThreadProgram::builder(ProcId::new(0));
+        t0.alu(Reg::new(1), AluOp::Add, Operand::loc(a), Operand::imm(1));
+        t0.store(Addr::loc(a), Operand::imm(1));
+        let test = LitmusTest::builder("addr-arith", Program::new(vec![t0.build()]))
+            .observe_mem(a)
+            .build();
+        assert_eq!(renamable_addresses(&test), None);
+        // The canonical text then keeps the raw address.
+        assert!(canonical_text(&test).contains(&a.address().to_string()));
+    }
+
+    #[test]
+    fn artificial_dependency_idiom_is_renamed() {
+        let build = |name: &str| {
+            let loc = Loc::new(name);
+            let mut t0 = ThreadProgram::builder(ProcId::new(0));
+            t0.load(Reg::new(1), Addr::loc(loc));
+            t0.artificial_addr_dep(Reg::new(2), loc, Reg::new(1));
+            t0.load(Reg::new(3), Addr::reg(Reg::new(2)));
+            LitmusTest::builder("dep", Program::new(vec![t0.build()]))
+                .observe_reg(ProcId::new(0), Reg::new(3))
+                .expect_reg(ProcId::new(0), Reg::new(3), 0)
+                .build()
+        };
+        let form = canonical_form(&build("x"));
+        assert_eq!(form.text, canonical_form(&build("lock")).text);
+        // The renamed location prints as a dictionary name, not an integer.
+        assert!(form.text.contains("[a]"), "renamed to `a`:\n{}", form.text);
+    }
+
+    #[test]
+    fn alpha_names_are_bijective() {
+        assert_eq!(alpha_name(0), "a");
+        assert_eq!(alpha_name(25), "z");
+        assert_eq!(alpha_name(26), "aa");
+        assert_eq!(alpha_name(27), "ab");
+        assert_eq!(alpha_name(26 + 26 * 26), "aaa");
+        let names: BTreeSet<String> = (0..1000).map(alpha_name).collect();
+        assert_eq!(names.len(), 1000);
+    }
+}

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod canon;
 pub mod corpus;
 pub mod diag;
 mod lexer;
@@ -66,6 +67,9 @@ pub mod names;
 pub mod parser;
 pub mod printer;
 
+pub use canon::{
+    canonical_form, canonical_hash, canonical_test, canonical_text, CanonicalForm, CanonicalHash,
+};
 pub use corpus::{export_library, Corpus, CorpusError, CorpusTest, EXPECTATIONS_FILE};
 pub use diag::{ParseError, Span};
 pub use names::NameTable;

@@ -105,6 +105,17 @@ const LOC_BASE: u64 = 0x1000_0000;
 const LOC_STRIDE: u64 = 0x1000;
 
 impl Loc {
+    /// Base address of the symbolic location region: every [`Loc`] produced
+    /// by [`Loc::new`] lives at or above this address, and litmus-test *data*
+    /// values are expected to stay below it. Tools that need to distinguish
+    /// "looks like an address" from "looks like data" (e.g. the frontend's
+    /// canonicalizer) key off this constant.
+    pub const REGION_BASE: u64 = LOC_BASE;
+
+    /// Spacing between consecutive symbolic locations ([`Loc::new`] addresses
+    /// are multiples of this stride above [`Loc::REGION_BASE`]).
+    pub const REGION_STRIDE: u64 = LOC_STRIDE;
+
     /// Creates a location from a symbolic name.
     ///
     /// The same name always maps to the same address. Distinct names map to

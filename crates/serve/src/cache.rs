@@ -1,0 +1,257 @@
+//! The persistent, canonicalizing outcome cache.
+//!
+//! Entries are keyed by `"{canonical_hash}/{model}/{backend}"` — the hash
+//! comes from [`gam_frontend::canonical_hash`], so every naming variant of a
+//! test (thread order, registers, labels and, when provably sound,
+//! locations) shares one entry per (model, backend) pair. An entry records
+//! the verdict plus the *cost of recomputing it* (wall µs × states visited):
+//! when the cache exceeds capacity, the cheapest-to-recompute entries are
+//! evicted first, which is the right bias for a service whose misses are
+//! paid in explorer time.
+//!
+//! The on-disk format is a versioned JSON document (the engine's in-tree
+//! [`Json`], no external dependencies) written atomically: serialize to
+//! `<path>.tmp`, then rename over `<path>`. Loading is corruption-tolerant —
+//! a truncated or syntactically invalid file, or one with an unknown schema
+//! version, yields an *empty* cache and a warning string rather than a
+//! panic or an error, so a damaged cache file can never keep the service
+//! from starting.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use gam_engine::Json;
+
+/// Schema identifier of the cache file; bump on incompatible changes.
+pub const CACHE_SCHEMA: &str = "gam-serve-cache/v1";
+
+/// One cached check result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Whether the test's condition of interest is allowed.
+    pub allowed: bool,
+    /// Wall time of the original (miss) check, in microseconds.
+    pub wall_us: u64,
+    /// States visited by the original check (0 for the axiomatic backend).
+    pub states: u64,
+    /// How many times this entry has been served.
+    pub hits: u64,
+}
+
+impl CacheEntry {
+    /// The recorded cost of recomputing this entry: wall µs × states
+    /// (states clamped to ≥ 1 so axiomatic entries still rank by time).
+    #[must_use]
+    pub fn cost(&self) -> u128 {
+        u128::from(self.wall_us) * u128::from(self.states.max(1))
+    }
+}
+
+/// An in-memory outcome cache with cost-based eviction and JSON persistence.
+#[derive(Debug)]
+pub struct OutcomeCache {
+    entries: BTreeMap<String, CacheEntry>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl OutcomeCache {
+    /// An empty cache holding at most `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        OutcomeCache { entries: BTreeMap::new(), capacity: capacity.max(1), evictions: 0 }
+    }
+
+    /// The composite key of one (canonical test, model, backend) result.
+    #[must_use]
+    pub fn key(hash: &str, model: &str, backend: &str) -> String {
+        format!("{hash}/{model}/{backend}")
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true when the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total evictions since this cache was created (or loaded).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks an entry up, bumping its hit counter.
+    pub fn lookup(&mut self, key: &str) -> Option<CacheEntry> {
+        let entry = self.entries.get_mut(key)?;
+        entry.hits += 1;
+        Some(entry.clone())
+    }
+
+    /// Inserts (or replaces) an entry, then evicts the cheapest-to-recompute
+    /// entries until the cache fits its capacity. The entry just inserted is
+    /// itself eligible — inserting a trivially cheap result into a full
+    /// cache of expensive ones evicts the newcomer.
+    pub fn insert(&mut self, key: String, entry: CacheEntry) {
+        self.entries.insert(key, entry);
+        while self.entries.len() > self.capacity {
+            let cheapest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.cost())
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity is non-empty");
+            self.entries.remove(&cheapest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Serializes the cache to the versioned JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let entries = Json::array(self.entries.iter().map(|(key, e)| {
+            Json::object([
+                ("key", Json::Str(key.clone())),
+                ("allowed", Json::Bool(e.allowed)),
+                ("wall_us", Json::UInt(e.wall_us)),
+                ("states", Json::UInt(e.states)),
+                ("hits", Json::UInt(e.hits)),
+            ])
+        }));
+        Json::object([
+            ("schema", Json::Str(CACHE_SCHEMA.to_string())),
+            ("capacity", Json::UInt(self.capacity as u64)),
+            ("entries", entries),
+        ])
+    }
+
+    /// Writes the cache atomically: serialize to `<path>.tmp`, then rename
+    /// over `path`, so a crash mid-write can never leave a half-written
+    /// cache behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the temporary write or the rename.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut tmp: PathBuf = path.to_path_buf();
+        let mut name = path
+            .file_name()
+            .map_or_else(|| "cache".to_string(), |n| n.to_string_lossy().into_owned());
+        name.push_str(".tmp");
+        tmp.set_file_name(name);
+        fs::write(&tmp, format!("{}\n", self.to_json()))?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads a cache from `path`, tolerating damage: a missing file is a
+    /// normal cold start; a truncated/corrupt/mis-versioned file yields an
+    /// empty cache plus a warning describing what was ignored.
+    #[must_use]
+    pub fn load(path: &Path, capacity: usize) -> (Self, Option<String>) {
+        let empty = OutcomeCache::new(capacity);
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return (empty, None),
+            Err(err) => {
+                return (
+                    empty,
+                    Some(format!("cache {}: unreadable ({err}); starting empty", path.display())),
+                );
+            }
+        };
+        let json = match Json::parse(&text) {
+            Ok(json) => json,
+            Err(err) => {
+                return (
+                    empty,
+                    Some(format!("cache {}: corrupt ({err}); starting empty", path.display())),
+                );
+            }
+        };
+        let schema = json.get("schema").and_then(Json::as_str).unwrap_or("<missing>");
+        if schema != CACHE_SCHEMA {
+            return (
+                empty,
+                Some(format!(
+                    "cache {}: schema `{schema}` (want `{CACHE_SCHEMA}`); starting empty",
+                    path.display()
+                )),
+            );
+        }
+        let mut cache = OutcomeCache::new(capacity);
+        let mut skipped = 0usize;
+        for item in json.get("entries").and_then(Json::as_array).unwrap_or(&[]) {
+            let entry = (|| {
+                Some((
+                    item.get("key")?.as_str()?.to_string(),
+                    CacheEntry {
+                        allowed: match item.get("allowed")? {
+                            Json::Bool(b) => *b,
+                            _ => return None,
+                        },
+                        wall_us: item.get("wall_us")?.as_u64()?,
+                        states: item.get("states")?.as_u64()?,
+                        hits: item.get("hits")?.as_u64()?,
+                    },
+                ))
+            })();
+            match entry {
+                Some((key, entry)) => cache.insert(key, entry),
+                None => skipped += 1,
+            }
+        }
+        let warning = (skipped > 0)
+            .then(|| format!("cache {}: skipped {skipped} malformed entries", path.display()));
+        (cache, warning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(wall_us: u64, states: u64) -> CacheEntry {
+        CacheEntry { allowed: true, wall_us, states, hits: 0 }
+    }
+
+    #[test]
+    fn lookup_bumps_hits() {
+        let mut cache = OutcomeCache::new(4);
+        cache.insert("k".into(), entry(10, 10));
+        assert_eq!(cache.lookup("k").unwrap().hits, 1);
+        assert_eq!(cache.lookup("k").unwrap().hits, 2);
+        assert!(cache.lookup("missing").is_none());
+    }
+
+    #[test]
+    fn eviction_removes_cheapest_first() {
+        let mut cache = OutcomeCache::new(2);
+        cache.insert("expensive".into(), entry(1000, 1000));
+        cache.insert("medium".into(), entry(100, 100));
+        cache.insert("cheap".into(), entry(1, 1));
+        // The cheap newcomer itself is the first casualty.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup("expensive").is_some());
+        assert!(cache.lookup("medium").is_some());
+        assert!(cache.lookup("cheap").is_none());
+        // Now push something pricier: `medium` goes.
+        cache.insert("pricier".into(), entry(500, 500));
+        assert!(cache.lookup("medium").is_none());
+        assert!(cache.lookup("pricier").is_some());
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn axiomatic_entries_rank_by_wall_time() {
+        assert!(entry(100, 0).cost() < entry(200, 0).cost());
+        assert_eq!(entry(100, 0).cost(), entry(100, 1).cost());
+    }
+}

@@ -1,0 +1,198 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for the
+//! check service and its bench client: one request per connection
+//! (`Connection: close`), `Content-Length` bodies, no chunked encoding, no
+//! TLS. The sandbox has no network stack beyond loopback and no external
+//! dependencies, which is exactly the niche a hand-rolled server fills.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Maximum accepted request body (guards the worker pool against a single
+/// giant upload); 4 MiB comfortably holds any litmus corpus batch.
+pub const MAX_BODY: usize = 4 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased by the client.
+    pub method: String,
+    /// Request path including any query string, e.g. `/check`.
+    pub path: String,
+    /// Lowercased header name → value, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    #[must_use]
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one HTTP request from a stream.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed request lines/headers or an
+/// oversized body, and propagates socket errors.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(method), Some(path)) => (method.to_ascii_uppercase(), path.to_string()),
+        _ => return Err(bad_data("malformed request line")),
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad_data("malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad_data("bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > MAX_BODY {
+        return Err(bad_data("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, headers, body })
+}
+
+/// Writes an HTTP response with a JSON (or plain-text) body and closes the
+/// connection semantics via `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let mut response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn bad_data(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// A response as seen by the in-tree client.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lowercased header name → value.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// The first value of a header, by lowercase name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one HTTP request against `addr` (e.g. `127.0.0.1:7117`) and
+/// returns the parsed response. This is the client half used by
+/// `gam bench --serve` and the end-to-end tests.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "address resolves to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad_data("malformed status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let body = match content_length {
+        Some(length) => {
+            let mut buffer = vec![0u8; length];
+            reader.read_exact(&mut buffer)?;
+            String::from_utf8_lossy(&buffer).into_owned()
+        }
+        None => {
+            let mut buffer = String::new();
+            reader.read_to_string(&mut buffer)?;
+            buffer
+        }
+    };
+    Ok(Response { status, headers, body })
+}

@@ -1,0 +1,35 @@
+//! `gam-serve` — a long-running litmus-check service.
+//!
+//! Checking a litmus test is expensive (the operational explorer can visit
+//! millions of states) but perfectly cacheable: the verdict depends only on
+//! the test's semantics, the model and the backend. This crate turns the
+//! checker stack into a small HTTP service whose front line is a
+//! *canonicalizing* outcome cache — requests are hashed through
+//! [`gam_frontend::canonical_hash`], so any renaming of threads, registers,
+//! labels or (when provably sound) memory locations of a previously checked
+//! test is a cache hit.
+//!
+//! Three layers, bottom-up:
+//!
+//! * [`cache`] — the persistent outcome cache: cost-based eviction
+//!   (wall µs × states), versioned JSON on disk, atomic writes,
+//!   corruption-tolerant loads.
+//! * [`http`] — a minimal HTTP/1.1 server+client layer over `std::net`
+//!   (the build environment is offline; no external dependencies).
+//! * [`server`] — the service itself: a fixed worker pool draining a
+//!   bounded queue, `/check`, `/batch` (via the engine's adaptive suite
+//!   scheduler), `/metrics` and `/healthz`, with load shedding (`503` +
+//!   `Retry-After`) when the queue is full.
+//!
+//! The `gam serve` and `gam bench --serve` subcommands are thin CLI
+//! wrappers over [`server::Server`] and [`http::request`].
+
+pub mod cache;
+pub mod http;
+pub mod server;
+
+pub use cache::{CacheEntry, OutcomeCache, CACHE_SCHEMA};
+pub use server::{
+    backend_name, model_name, parse_backend, parse_model, ServeConfig, ServeError, Server,
+    METRICS_SCHEMA,
+};

@@ -1,0 +1,757 @@
+//! The `gam serve` HTTP service: a fixed worker pool draining a bounded
+//! queue of connections, four endpoints, and the canonicalizing outcome
+//! cache in front of the checker stack.
+//!
+//! * `GET  /healthz` — liveness probe.
+//! * `GET  /metrics` — counters: requests, checks, hit rate, states/sec,
+//!   queue depth, evictions, per-model counts.
+//! * `POST /check`   — one test (raw `.litmus` text, or a JSON envelope
+//!   with per-request models/backends/budget); answered from the cache
+//!   keyed by the canonical hash whenever possible.
+//! * `POST /batch`   — many tests; cache misses are fanned out through the
+//!   engine's adaptive suite scheduler ([`Engine::run_suite_verdicts`]).
+//!
+//! Overflow is shed gracefully: when the queue is full the acceptor answers
+//! `503` with `Retry-After` instead of queueing, so latency stays bounded
+//! until a streaming API lands (ROADMAP item 5).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use gam_core::ModelKind;
+use gam_engine::{Backend, Engine, Json};
+use gam_frontend::{canonical_hash, parse_litmus};
+use gam_isa::litmus::LitmusTest;
+use gam_operational::{ExplorerConfig, OperationalChecker};
+
+use crate::cache::{CacheEntry, OutcomeCache};
+use crate::http::{read_request, write_response, Request};
+
+/// Schema identifier of the `/metrics` document.
+pub const METRICS_SCHEMA: &str = "gam-serve-metrics/v1";
+
+/// Configuration of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7117` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Bound of the pending-connection queue; beyond it requests are shed
+    /// with `503 Service Unavailable` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Path of the persistent cache file.
+    pub cache_path: PathBuf,
+    /// Maximum number of cache entries before cost-based eviction.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            workers: thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
+            queue_depth: 64,
+            cache_path: PathBuf::from("gam-serve-cache.json"),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Startup failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind the requested address.
+    Bind {
+        /// The address that failed to bind.
+        addr: String,
+        /// The underlying socket error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => {
+                write!(f, "cannot bind {addr}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Service counters, shared across workers. Everything is monotonic except
+/// `queue_depth`, which is sampled from the live queue at render time.
+#[derive(Debug, Default)]
+struct Metrics {
+    requests_total: AtomicU64,
+    checks_total: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    shed_total: AtomicU64,
+    states_total: AtomicU64,
+    wall_us_total: AtomicU64,
+    per_model: [AtomicU64; ModelKind::ALL.len()],
+}
+
+impl Metrics {
+    fn record_hit(&self, model: ModelKind) {
+        self.checks_total.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.bump_model(model);
+    }
+
+    fn record_miss(&self, model: ModelKind, states: u64, wall_us: u64) {
+        self.checks_total.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.states_total.fetch_add(states, Ordering::Relaxed);
+        self.wall_us_total.fetch_add(wall_us, Ordering::Relaxed);
+        self.bump_model(model);
+    }
+
+    fn bump_model(&self, model: ModelKind) {
+        let index = ModelKind::ALL.iter().position(|m| *m == model).unwrap_or(0);
+        self.per_model[index].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    stop: AtomicUsize,
+    queue_depth: usize,
+    metrics: Metrics,
+    cache: Mutex<OutcomeCache>,
+    cache_path: PathBuf,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) != 0
+    }
+
+    /// Persists the cache, warning on (but not propagating) I/O failure: a
+    /// read-only filesystem degrades the service to memory-only caching.
+    fn persist_cache(&self) {
+        let cache = self.cache.lock().expect("cache lock");
+        if let Err(err) = cache.save(&self.cache_path) {
+            eprintln!("gam-serve: cannot persist cache to {}: {err}", self.cache_path.display());
+        }
+    }
+}
+
+/// A running check service; dropping it without [`Server::shutdown`] leaves
+/// detached threads behind, so tests and the CLI both call `shutdown`.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the address and starts the acceptor + worker pool. Returns the
+    /// server and an optional warning from loading the cache file (corrupt
+    /// or mis-versioned caches start empty instead of failing).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound.
+    pub fn start(config: &ServeConfig) -> Result<(Server, Option<String>), ServeError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|source| ServeError::Bind { addr: config.addr.clone(), source })?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|source| ServeError::Bind { addr: config.addr.clone(), source })?;
+        let (cache, warning) = OutcomeCache::load(&config.cache_path, config.cache_capacity);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicUsize::new(0),
+            queue_depth: config.queue_depth.max(1),
+            metrics: Metrics::default(),
+            cache: Mutex::new(cache),
+            cache_path: config.cache_path.clone(),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok((Server { local_addr, shared, acceptor: Some(acceptor), workers }, warning))
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains the workers, and persists the cache.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(1, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a dummy connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.persist_cache();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.queue_depth {
+            drop(queue);
+            shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            shed(stream);
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.ready.notify_one();
+        }
+    }
+}
+
+/// Graceful shedding: an immediate `503` with a retry hint.
+fn shed(mut stream: TcpStream) {
+    let body = Json::object([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("request queue full; retry".to_string())),
+    ])
+    .to_string();
+    let _ = write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        &[("Retry-After", "1")],
+        "application/json",
+        &body,
+    );
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                queue = shared.ready.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let response = match read_request(&mut stream) {
+            Ok(request) => route(shared, &request),
+            Err(err) => error_response(400, format!("bad request: {err}")),
+        };
+        let _ = write_response(
+            &mut stream,
+            response.status,
+            response.reason,
+            &[],
+            "application/json",
+            &response.body,
+        );
+    }
+}
+
+struct RouteResponse {
+    status: u16,
+    reason: &'static str,
+    body: String,
+}
+
+fn ok_response(body: &Json) -> RouteResponse {
+    RouteResponse { status: 200, reason: "OK", body: body.to_string() }
+}
+
+fn error_response(status: u16, message: String) -> RouteResponse {
+    let reason = match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let body = Json::object([("ok", Json::Bool(false)), ("error", Json::Str(message))]);
+    RouteResponse { status, reason, body: body.to_string() }
+}
+
+fn route(shared: &Shared, request: &Request) -> RouteResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            ok_response(&Json::object([("status", Json::Str("ok".to_string()))]))
+        }
+        ("GET", "/metrics") => ok_response(&render_metrics(shared)),
+        ("POST", "/check") => handle_check(shared, request),
+        ("POST", "/batch") => handle_batch(shared, request),
+        ("GET" | "POST", _) => error_response(404, format!("no such endpoint: {}", request.path)),
+        (method, _) => error_response(405, format!("unsupported method: {method}")),
+    }
+}
+
+fn render_metrics(shared: &Shared) -> Json {
+    let metrics = &shared.metrics;
+    let hits = metrics.cache_hits.load(Ordering::Relaxed);
+    let misses = metrics.cache_misses.load(Ordering::Relaxed);
+    let states = metrics.states_total.load(Ordering::Relaxed);
+    let wall_us = metrics.wall_us_total.load(Ordering::Relaxed);
+    let (cache_entries, evictions) = {
+        let cache = shared.cache.lock().expect("cache lock");
+        (cache.len() as u64, cache.evictions())
+    };
+    let per_model = Json::Object(
+        ModelKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, model)| {
+                (
+                    model_name(*model).to_string(),
+                    Json::UInt(metrics.per_model[i].load(Ordering::Relaxed)),
+                )
+            })
+            .collect(),
+    );
+    Json::object([
+        ("schema", Json::Str(METRICS_SCHEMA.to_string())),
+        ("requests_total", Json::UInt(metrics.requests_total.load(Ordering::Relaxed))),
+        ("checks_total", Json::UInt(metrics.checks_total.load(Ordering::Relaxed))),
+        ("cache_hits", Json::UInt(hits)),
+        ("cache_misses", Json::UInt(misses)),
+        // Integer per-mille rate; the JSON layer is deliberately float-free.
+        ("hit_rate_permille", Json::UInt((hits * 1000).checked_div(hits + misses).unwrap_or(0))),
+        ("states_total", Json::UInt(states)),
+        ("wall_us_total", Json::UInt(wall_us)),
+        (
+            "states_per_sec",
+            Json::UInt(states.saturating_mul(1_000_000).checked_div(wall_us).unwrap_or(0)),
+        ),
+        ("queue_depth", Json::UInt(shared.queue.lock().expect("queue lock").len() as u64)),
+        ("shed_total", Json::UInt(metrics.shed_total.load(Ordering::Relaxed))),
+        ("cache_entries", Json::UInt(cache_entries)),
+        ("cache_evictions", Json::UInt(evictions)),
+        ("per_model_checks", per_model),
+    ])
+}
+
+/// The wire name of a model (also the cache-key component).
+#[must_use]
+pub fn model_name(model: ModelKind) -> &'static str {
+    match model {
+        ModelKind::Sc => "sc",
+        ModelKind::Tso => "tso",
+        ModelKind::Gam => "gam",
+        ModelKind::Gam0 => "gam0",
+        ModelKind::GamArm => "gam-arm",
+    }
+}
+
+/// Parses a wire model name (the CLI's `--models` vocabulary).
+#[must_use]
+pub fn parse_model(name: &str) -> Option<ModelKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "sc" => ModelKind::Sc,
+        "tso" => ModelKind::Tso,
+        "gam" => ModelKind::Gam,
+        "gam0" => ModelKind::Gam0,
+        "gam-arm" | "gamarm" | "gam_arm" => ModelKind::GamArm,
+        _ => return None,
+    })
+}
+
+/// The wire name of a backend (also the cache-key component).
+#[must_use]
+pub fn backend_name(backend: Backend) -> &'static str {
+    match backend {
+        Backend::Axiomatic => "axiomatic",
+        Backend::Operational => "operational",
+    }
+}
+
+/// Parses a wire backend name.
+#[must_use]
+pub fn parse_backend(name: &str) -> Option<Backend> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "axiomatic" | "ax" => Backend::Axiomatic,
+        "operational" | "op" => Backend::Operational,
+        _ => return None,
+    })
+}
+
+/// Per-request options shared by `/check` and `/batch`.
+struct CheckOptions {
+    models: Vec<ModelKind>,
+    backends: Vec<Backend>,
+    /// Operational state budget (`max_states`), if the request set one.
+    budget_states: Option<usize>,
+}
+
+impl CheckOptions {
+    fn from_json(json: &Json) -> Result<CheckOptions, String> {
+        let mut options = CheckOptions {
+            models: vec![ModelKind::Gam],
+            backends: vec![Backend::Operational],
+            budget_states: None,
+        };
+        if let Some(models) = json.get("models") {
+            let list = models.as_array().ok_or("`models` must be an array")?;
+            options.models = list
+                .iter()
+                .map(|m| {
+                    let name = m.as_str().ok_or("`models` entries must be strings")?;
+                    parse_model(name).ok_or_else(|| format!("unknown model `{name}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            if options.models.is_empty() {
+                return Err("`models` must not be empty".to_string());
+            }
+        }
+        if let Some(backends) = json.get("backends") {
+            let list = backends.as_array().ok_or("`backends` must be an array")?;
+            options.backends = list
+                .iter()
+                .map(|b| {
+                    let name = b.as_str().ok_or("`backends` entries must be strings")?;
+                    parse_backend(name).ok_or_else(|| format!("unknown backend `{name}`"))
+                })
+                .collect::<Result<_, _>>()?;
+            if options.backends.is_empty() {
+                return Err("`backends` must not be empty".to_string());
+            }
+        }
+        if let Some(budget) = json.get("budget_states") {
+            let value = budget.as_u64().ok_or("`budget_states` must be an integer")?;
+            options.budget_states =
+                Some(usize::try_from(value).map_err(|_| "`budget_states` too large")?);
+        }
+        Ok(options)
+    }
+}
+
+fn handle_check(shared: &Shared, request: &Request) -> RouteResponse {
+    let body = request.body_text();
+    let trimmed = body.trim_start();
+    let (litmus_text, options) = if trimmed.starts_with('{') {
+        let json = match Json::parse(&body) {
+            Ok(json) => json,
+            Err(err) => return error_response(400, format!("bad JSON: {err}")),
+        };
+        let Some(litmus) = json.get("litmus").and_then(Json::as_str) else {
+            return error_response(400, "missing `litmus` field".to_string());
+        };
+        match CheckOptions::from_json(&json) {
+            Ok(options) => (litmus.to_string(), options),
+            Err(err) => return error_response(400, err),
+        }
+    } else {
+        (
+            body,
+            CheckOptions {
+                models: vec![ModelKind::Gam],
+                backends: vec![Backend::Operational],
+                budget_states: None,
+            },
+        )
+    };
+    let test = match parse_litmus(&litmus_text) {
+        Ok(test) => test,
+        Err(err) => return error_response(400, format!("litmus parse error: {err}")),
+    };
+    let (result, mutated) = check_one(shared, &test, &options);
+    if mutated {
+        shared.persist_cache();
+    }
+    ok_response(&Json::object([("ok", Json::Bool(true)), ("result", result)]))
+}
+
+/// Checks one test against every requested (model, backend) pair, answering
+/// from the cache when possible. Returns the per-test JSON and whether the
+/// cache was mutated.
+fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> (Json, bool) {
+    let hash = canonical_hash(test).to_string();
+    let mut results = Vec::new();
+    let mut mutated = false;
+    for &model in &options.models {
+        for &backend in &options.backends {
+            let base = [
+                ("model", Json::Str(model_name(model).to_string())),
+                ("backend", Json::Str(backend_name(backend).to_string())),
+            ];
+            if !backend.supports(model) {
+                results.push(Json::object(base.into_iter().chain([(
+                    "error",
+                    Json::Str(format!(
+                        "backend {} does not support {}",
+                        backend_name(backend),
+                        model
+                    )),
+                )])));
+                continue;
+            }
+            let key = OutcomeCache::key(&hash, model_name(model), backend_name(backend));
+            let cached = shared.cache.lock().expect("cache lock").lookup(&key);
+            if let Some(entry) = cached {
+                shared.metrics.record_hit(model);
+                results.push(Json::object(base.into_iter().chain([
+                    ("verdict", verdict_json(entry.allowed)),
+                    ("cached", Json::Bool(true)),
+                    ("wall_us", Json::UInt(entry.wall_us)),
+                    ("states", Json::UInt(entry.states)),
+                ])));
+                continue;
+            }
+            match compute_miss(test, model, backend, options.budget_states) {
+                Ok(entry) => {
+                    shared.metrics.record_miss(model, entry.states, entry.wall_us);
+                    shared.cache.lock().expect("cache lock").insert(key, entry.clone());
+                    mutated = true;
+                    results.push(Json::object(base.into_iter().chain([
+                        ("verdict", verdict_json(entry.allowed)),
+                        ("cached", Json::Bool(false)),
+                        ("wall_us", Json::UInt(entry.wall_us)),
+                        ("states", Json::UInt(entry.states)),
+                    ])));
+                }
+                Err(err) => {
+                    results.push(Json::object(base.into_iter().chain([("error", Json::Str(err))])));
+                }
+            }
+        }
+    }
+    let json = Json::object([
+        ("test", Json::Str(test.name().to_string())),
+        ("canonical_hash", Json::Str(hash)),
+        ("results", Json::Array(results)),
+    ]);
+    (json, mutated)
+}
+
+fn verdict_json(allowed: bool) -> Json {
+    Json::Str(if allowed { "allowed" } else { "forbidden" }.to_string())
+}
+
+/// Computes a cache miss. The operational backend goes through the explorer
+/// directly so the entry records real `states_visited` (the engine's
+/// `Checker` trait deliberately hides them); the axiomatic backend goes
+/// through the engine.
+fn compute_miss(
+    test: &LitmusTest,
+    model: ModelKind,
+    backend: Backend,
+    budget_states: Option<usize>,
+) -> Result<CacheEntry, String> {
+    let start = Instant::now();
+    let (allowed, states) = match backend {
+        Backend::Operational => {
+            let config = ExplorerConfig {
+                max_states: budget_states.unwrap_or(ExplorerConfig::default().max_states),
+                ..ExplorerConfig::default()
+            };
+            let checker = OperationalChecker::with_config(model, config);
+            let exploration = checker.explore(test).map_err(|err| err.to_string())?;
+            let allowed =
+                exploration.outcomes.iter().any(|outcome| test.condition().matched_by(outcome));
+            (allowed, exploration.states_visited as u64)
+        }
+        Backend::Axiomatic => {
+            let verdict = Engine::axiomatic(model).check(test).map_err(|err| err.to_string())?;
+            (verdict.is_allowed(), 0)
+        }
+    };
+    let wall_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    Ok(CacheEntry { allowed, wall_us, states, hits: 0 })
+}
+
+fn handle_batch(shared: &Shared, request: &Request) -> RouteResponse {
+    let json = match Json::parse(&request.body_text()) {
+        Ok(json) => json,
+        Err(err) => return error_response(400, format!("bad JSON: {err}")),
+    };
+    let Some(entries) = json.get("tests").and_then(Json::as_array) else {
+        return error_response(400, "missing `tests` array".to_string());
+    };
+    let options = match CheckOptions::from_json(&json) {
+        Ok(options) => options,
+        Err(err) => return error_response(400, err),
+    };
+    let mut tests = Vec::with_capacity(entries.len());
+    for (index, entry) in entries.iter().enumerate() {
+        let Some(text) = entry.as_str() else {
+            return error_response(400, format!("`tests[{index}]` must be a litmus string"));
+        };
+        match parse_litmus(text) {
+            Ok(test) => tests.push(test),
+            Err(err) => {
+                return error_response(400, format!("`tests[{index}]` parse error: {err}"));
+            }
+        }
+    }
+    let (results, mutated) = batch_check(shared, &tests, &options);
+    if mutated {
+        shared.persist_cache();
+    }
+    ok_response(&Json::object([("ok", Json::Bool(true)), ("results", Json::Array(results))]))
+}
+
+/// The `/batch` core: per (model, backend) pair, split the tests into cache
+/// hits and misses, fan the misses out through the engine's adaptive suite
+/// scheduler (verdict-only mode stops each test at its first witness), then
+/// assemble per-test results in input order.
+fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) -> (Vec<Json>, bool) {
+    let hashes: Vec<String> = tests.iter().map(|t| canonical_hash(t).to_string()).collect();
+    let mut mutated = false;
+    // results[test][pair] assembled as JSON rows at the end.
+    let mut rows: Vec<Vec<Json>> = vec![Vec::new(); tests.len()];
+    for &model in &options.models {
+        for &backend in &options.backends {
+            let base = |extra: Vec<(&str, Json)>| {
+                Json::object(
+                    [
+                        ("model", Json::Str(model_name(model).to_string())),
+                        ("backend", Json::Str(backend_name(backend).to_string())),
+                    ]
+                    .into_iter()
+                    .chain(extra),
+                )
+            };
+            if !backend.supports(model) {
+                let message =
+                    format!("backend {} does not support {}", backend_name(backend), model);
+                for row in &mut rows {
+                    row.push(base(vec![("error", Json::Str(message.clone()))]));
+                }
+                continue;
+            }
+            // Split hits from misses under one lock acquisition.
+            let mut miss_indices = Vec::new();
+            let mut hit_entries: Vec<Option<CacheEntry>> = Vec::with_capacity(tests.len());
+            {
+                let mut cache = shared.cache.lock().expect("cache lock");
+                for hash in &hashes {
+                    let key = OutcomeCache::key(hash, model_name(model), backend_name(backend));
+                    let entry = cache.lookup(&key);
+                    if entry.is_none() {
+                        miss_indices.push(hit_entries.len());
+                    }
+                    hit_entries.push(entry);
+                }
+            }
+            // Fan the misses out through the adaptive suite scheduler.
+            let mut miss_results: Vec<Option<Result<CacheEntry, String>>> = vec![None; tests.len()];
+            if !miss_indices.is_empty() {
+                let miss_tests: Vec<LitmusTest> =
+                    miss_indices.iter().map(|&i| tests[i].clone()).collect();
+                match Engine::builder().model(model).backend(backend).build() {
+                    Ok(engine) => {
+                        let report = engine.run_suite_verdicts(&miss_tests);
+                        for (&index, test_report) in miss_indices.iter().zip(&report.reports) {
+                            let wall_us =
+                                u64::try_from(test_report.wall.as_micros()).unwrap_or(u64::MAX);
+                            miss_results[index] =
+                                Some(match (test_report.verdict, &test_report.error) {
+                                    (Some(verdict), _) => Ok(CacheEntry {
+                                        allowed: verdict.is_allowed(),
+                                        wall_us,
+                                        // The scheduler's early-exit mode does not
+                                        // report states; cost falls back to wall time.
+                                        states: 0,
+                                        hits: 0,
+                                    }),
+                                    (None, Some(error)) => Err(error.clone()),
+                                    (None, None) => Err("backend produced no verdict".to_string()),
+                                });
+                        }
+                    }
+                    Err(err) => {
+                        let message = err.to_string();
+                        for &index in &miss_indices {
+                            miss_results[index] = Some(Err(message.clone()));
+                        }
+                    }
+                }
+            }
+            // Assemble this pair's column.
+            for (index, row) in rows.iter_mut().enumerate() {
+                if let Some(entry) = &hit_entries[index] {
+                    shared.metrics.record_hit(model);
+                    row.push(base(vec![
+                        ("verdict", verdict_json(entry.allowed)),
+                        ("cached", Json::Bool(true)),
+                        ("wall_us", Json::UInt(entry.wall_us)),
+                        ("states", Json::UInt(entry.states)),
+                    ]));
+                    continue;
+                }
+                match miss_results[index].take() {
+                    Some(Ok(entry)) => {
+                        shared.metrics.record_miss(model, entry.states, entry.wall_us);
+                        let key = OutcomeCache::key(
+                            &hashes[index],
+                            model_name(model),
+                            backend_name(backend),
+                        );
+                        shared.cache.lock().expect("cache lock").insert(key, entry.clone());
+                        mutated = true;
+                        row.push(base(vec![
+                            ("verdict", verdict_json(entry.allowed)),
+                            ("cached", Json::Bool(false)),
+                            ("wall_us", Json::UInt(entry.wall_us)),
+                            ("states", Json::UInt(entry.states)),
+                        ]));
+                    }
+                    Some(Err(message)) => {
+                        row.push(base(vec![("error", Json::Str(message))]));
+                    }
+                    None => {
+                        row.push(base(vec![(
+                            "error",
+                            Json::Str("internal: miss result missing".to_string()),
+                        )]));
+                    }
+                }
+            }
+        }
+    }
+    let results = tests
+        .iter()
+        .zip(hashes)
+        .zip(rows)
+        .map(|((test, hash), row)| {
+            Json::object([
+                ("test", Json::Str(test.name().to_string())),
+                ("canonical_hash", Json::Str(hash)),
+                ("results", Json::Array(row)),
+            ])
+        })
+        .collect();
+    (results, mutated)
+}

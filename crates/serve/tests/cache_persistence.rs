@@ -1,0 +1,151 @@
+//! Persistence tests for the outcome cache: round trips preserve entries
+//! (including hit counters), damaged files degrade to an empty cache with a
+//! warning instead of a panic, and eviction on reload respects recorded
+//! cost.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gam_serve::{CacheEntry, OutcomeCache, CACHE_SCHEMA};
+
+/// A scratch path unique to this test process; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gam-serve-test-{}-{tag}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.0);
+        let mut tmp = self.0.clone();
+        if let Some(name) = tmp.file_name().map(|n| n.to_string_lossy().into_owned()) {
+            tmp.set_file_name(format!("{name}.tmp"));
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn entry(allowed: bool, wall_us: u64, states: u64, hits: u64) -> CacheEntry {
+    CacheEntry { allowed, wall_us, states, hits }
+}
+
+#[test]
+fn save_then_load_round_trips_every_entry() {
+    let scratch = Scratch::new("roundtrip");
+    let mut cache = OutcomeCache::new(16);
+    cache.insert(OutcomeCache::key("aaaa", "gam", "operational"), entry(true, 1234, 567, 0));
+    cache.insert(OutcomeCache::key("bbbb", "sc", "axiomatic"), entry(false, 89, 0, 3));
+    // Serve one entry so its hit counter is non-zero on disk.
+    let served = cache.lookup(&OutcomeCache::key("aaaa", "gam", "operational")).unwrap();
+    assert_eq!(served.hits, 1);
+    cache.save(&scratch.0).unwrap();
+
+    let (mut reloaded, warning) = OutcomeCache::load(&scratch.0, 16);
+    assert!(warning.is_none(), "clean reload must not warn: {warning:?}");
+    assert_eq!(reloaded.len(), 2);
+    let a = reloaded.lookup(&OutcomeCache::key("aaaa", "gam", "operational")).unwrap();
+    // `lookup` bumps, so the persisted counter was 1.
+    assert_eq!((a.allowed, a.wall_us, a.states, a.hits), (true, 1234, 567, 2));
+    let b = reloaded.lookup(&OutcomeCache::key("bbbb", "sc", "axiomatic")).unwrap();
+    assert_eq!((b.allowed, b.wall_us, b.states, b.hits), (false, 89, 0, 4));
+}
+
+#[test]
+fn missing_file_is_a_silent_cold_start() {
+    let scratch = Scratch::new("missing");
+    let (cache, warning) = OutcomeCache::load(&scratch.0, 8);
+    assert!(cache.is_empty());
+    assert!(warning.is_none());
+}
+
+#[test]
+fn truncated_file_loads_empty_with_warning() {
+    let scratch = Scratch::new("truncated");
+    let mut cache = OutcomeCache::new(8);
+    cache.insert("k".into(), entry(true, 10, 10, 0));
+    cache.save(&scratch.0).unwrap();
+    let full = fs::read_to_string(&scratch.0).unwrap();
+    fs::write(&scratch.0, &full[..full.len() / 2]).unwrap();
+
+    let (reloaded, warning) = OutcomeCache::load(&scratch.0, 8);
+    assert!(reloaded.is_empty());
+    let warning = warning.expect("truncated cache must warn");
+    assert!(warning.contains("corrupt"), "unexpected warning: {warning}");
+}
+
+#[test]
+fn garbage_file_loads_empty_with_warning() {
+    let scratch = Scratch::new("garbage");
+    fs::write(&scratch.0, "this is not json {{{{").unwrap();
+    let (reloaded, warning) = OutcomeCache::load(&scratch.0, 8);
+    assert!(reloaded.is_empty());
+    assert!(warning.is_some());
+}
+
+#[test]
+fn unknown_schema_loads_empty_with_warning() {
+    let scratch = Scratch::new("schema");
+    fs::write(&scratch.0, r#"{"schema":"gam-serve-cache/v999","entries":[]}"#).unwrap();
+    let (reloaded, warning) = OutcomeCache::load(&scratch.0, 8);
+    assert!(reloaded.is_empty());
+    let warning = warning.expect("wrong schema must warn");
+    assert!(warning.contains(CACHE_SCHEMA), "warning should name the wanted schema: {warning}");
+}
+
+#[test]
+fn malformed_entries_are_skipped_not_fatal() {
+    let scratch = Scratch::new("malformed");
+    fs::write(
+        &scratch.0,
+        format!(
+            r#"{{"schema":"{CACHE_SCHEMA}","entries":[
+                {{"key":"good/gam/operational","allowed":true,"wall_us":5,"states":7,"hits":0}},
+                {{"key":"bad-no-verdict","wall_us":5}},
+                42
+            ]}}"#
+        ),
+    )
+    .unwrap();
+    let (mut reloaded, warning) = OutcomeCache::load(&scratch.0, 8);
+    assert_eq!(reloaded.len(), 1);
+    assert!(reloaded.lookup("good/gam/operational").is_some());
+    let warning = warning.expect("skipped entries must warn");
+    assert!(warning.contains("2"), "warning should count the skips: {warning}");
+}
+
+#[test]
+fn reload_into_smaller_capacity_evicts_cheapest_first() {
+    let scratch = Scratch::new("shrink");
+    let mut cache = OutcomeCache::new(8);
+    cache.insert("cheap".into(), entry(true, 2, 2, 0));
+    cache.insert("medium".into(), entry(true, 100, 100, 0));
+    cache.insert("expensive".into(), entry(true, 10_000, 10_000, 0));
+    cache.save(&scratch.0).unwrap();
+
+    // Reloading into a capacity of 1 must keep only the costliest entry.
+    let (mut reloaded, _) = OutcomeCache::load(&scratch.0, 1);
+    assert_eq!(reloaded.len(), 1);
+    assert!(reloaded.lookup("expensive").is_some());
+    assert!(reloaded.lookup("cheap").is_none());
+    assert!(reloaded.lookup("medium").is_none());
+    assert!(reloaded.evictions() >= 2);
+}
+
+#[test]
+fn atomic_save_leaves_no_temp_file_behind() {
+    let scratch = Scratch::new("atomic");
+    let mut cache = OutcomeCache::new(4);
+    cache.insert("k".into(), entry(true, 1, 1, 0));
+    cache.save(&scratch.0).unwrap();
+    let mut tmp = scratch.0.clone();
+    let name = tmp.file_name().unwrap().to_string_lossy().into_owned();
+    tmp.set_file_name(format!("{name}.tmp"));
+    assert!(!tmp.exists(), "temporary file must be renamed away");
+    assert!(scratch.0.exists());
+}

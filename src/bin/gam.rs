@@ -1,4 +1,4 @@
-//! `gam` — the litmus text-frontend CLI.
+//! `gam` — the litmus-test CLI.
 //!
 //! ```text
 //! usage:
@@ -7,9 +7,14 @@
 //!   gam run DIR   [--models LIST] [--backends LIST] [--jobs N]
 //!                 [--explorer-threads N] [--json] [--no-expectations]
 //!   gam bench DIR [--models LIST] [--explorer-threads N] [--json]
+//!   gam bench DIR --serve ADDR [--models LIST] [--jobs N]
+//!                 [--min-hit-rate R] [--json] [--out PATH]
+//!   gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N]
+//!             [--workers N] [--queue-depth N]
 //!   gam gen-corpus DIR [--count N] [--seed S]
 //!   gam print FILE
 //!   gam export-library DIR
+//!   gam --version
 //!
 //!   --models LIST        comma-separated: sc,tso,gam,gam0,gam-arm
 //!                        (default: sc,tso,gam,gam0 for `run`/`bench`; all
@@ -45,8 +50,18 @@
 //! random corpus (`gam_operational::stress_tests`) plus an
 //! `expectations.txt` computed — and backend-cross-checked — by the
 //! engine. `print` normalizes a file to canonical text. `export-library`
-//! writes the in-code library as a corpus. Exit status: 0 = clean, 1 = any
-//! mismatch, disagreement, coverage gap or error, 2 = usage error.
+//! writes the in-code library as a corpus.
+//!
+//! `serve` starts the long-running check service (`gam-serve`): an HTTP
+//! API over a persistent, canonicalizing outcome cache. `bench --serve`
+//! is its load-generating client: it replays a corpus concurrently against
+//! a live server, asserts every verdict against an in-process engine run,
+//! cross-checks the server's `/metrics` deltas against what the client
+//! observed, and reports throughput and cache hit rate.
+//!
+//! Exit status (all subcommands): 0 = clean, 1 = the command ran but found
+//! mismatches, disagreements, coverage gaps or check errors, 2 = usage or
+//! startup error (bad flags, unreadable input, `serve` bind failure).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -86,9 +101,14 @@ fn run(args: &[String]) -> Result<bool, String> {
         "check" => cmd_check(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "gen-corpus" => cmd_gen_corpus(&args[1..]),
         "print" => cmd_print(&args[1..]),
         "export-library" => cmd_export(&args[1..]),
+        "--version" | "-V" | "version" => {
+            println!("gam {}", env!("CARGO_PKG_VERSION"));
+            Ok(true)
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(true)
@@ -103,9 +123,14 @@ const USAGE: &str = "usage:
   gam run DIR   [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
                 [--json] [--no-expectations]
   gam bench DIR [--models LIST] [--explorer-threads N] [--json]
+  gam bench DIR --serve ADDR [--models LIST] [--jobs N] [--min-hit-rate R]
+                [--json] [--out PATH]
+  gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N] [--workers N]
+            [--queue-depth N]
   gam gen-corpus DIR [--count N] [--seed S]
   gam print FILE
   gam export-library DIR
+  gam --version
 
   --models LIST        comma-separated: sc,tso,gam,gam0,gam-arm
   --backends LIST      comma-separated: axiomatic,operational
@@ -116,7 +141,22 @@ const USAGE: &str = "usage:
   --count N, --seed S  gen-corpus: corpus size (default 200), seed (default 2026)
   --json               machine-readable report on stdout
   --no-expectations    skip expectation diffing (run: corpus expectations.txt;
-                       check: built-in paper table)";
+                       check: built-in paper table)
+  --serve ADDR         bench: replay the corpus against a live `gam serve`
+                       at ADDR instead of checking in-process
+  --min-hit-rate R     bench --serve: fail unless the observed cache hit
+                       rate is at least R (0.0-1.0, default 0)
+  --out PATH           bench --serve: also write the JSON report to PATH
+  --addr ADDR          serve: bind address (default 127.0.0.1:7117)
+  --cache PATH         serve: cache file (default gam-serve-cache.json)
+  --cache-capacity N   serve: max cache entries (default 4096)
+  --workers N          serve: worker threads (default: all cores)
+  --queue-depth N      serve: request queue bound; beyond it requests are
+                       shed with 503 + Retry-After (default 64)
+
+exit status: 0 = clean; 1 = ran but found mismatches, disagreements,
+coverage gaps or check errors; 2 = usage/startup error (bad flags,
+unreadable input, serve bind failure)";
 
 // ---------------------------------------------------------------------------
 // argument helpers
@@ -148,6 +188,14 @@ fn positional(args: &[String]) -> Option<&String> {
                     | "--explorer-threads"
                     | "--count"
                     | "--seed"
+                    | "--serve"
+                    | "--min-hit-rate"
+                    | "--out"
+                    | "--addr"
+                    | "--cache"
+                    | "--cache-capacity"
+                    | "--workers"
+                    | "--queue-depth"
             );
             continue;
         }
@@ -570,6 +618,9 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
     let Some(dir) = positional(args) else {
         return Err("`gam bench` needs a corpus DIR argument".to_string());
     };
+    if let Some(server) = arg_value(args, "--serve") {
+        return cmd_bench_serve(args, dir, &server);
+    }
     let corpus = match Corpus::load(dir) {
         Ok(corpus) => corpus,
         Err(err) => {
@@ -842,4 +893,292 @@ fn cmd_export(args: &[String]) -> Result<bool, String> {
     let written = export_library(dir).map_err(|err| format!("cannot export to {dir}: {err}"))?;
     println!("wrote {} files under {dir}", written.len());
     Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// the check service and its bench client
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> Result<bool, String> {
+    let mut config = gam_serve::ServeConfig {
+        cache_path: arg_value(args, "--cache")
+            .map_or_else(|| "gam-serve-cache.json".into(), std::path::PathBuf::from),
+        ..gam_serve::ServeConfig::default()
+    };
+    if let Some(addr) = arg_value(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(n) = arg_value(args, "--cache-capacity") {
+        config.cache_capacity = n.parse().map_err(|_| format!("invalid --cache-capacity `{n}`"))?;
+    }
+    if let Some(n) = arg_value(args, "--workers") {
+        config.workers = n.parse().map_err(|_| format!("invalid --workers `{n}`"))?;
+    }
+    if let Some(n) = arg_value(args, "--queue-depth") {
+        config.queue_depth = n.parse().map_err(|_| format!("invalid --queue-depth `{n}`"))?;
+    }
+    // A bind failure is a startup error: `Err` exits 2 with the message.
+    let (server, warning) = gam_serve::Server::start(&config).map_err(|err| err.to_string())?;
+    if let Some(warning) = warning {
+        eprintln!("gam serve: {warning}");
+    }
+    println!(
+        "gam serve: listening on {} ({} workers, queue {}, cache {} [capacity {}])",
+        server.local_addr(),
+        config.workers.max(1),
+        config.queue_depth.max(1),
+        config.cache_path.display(),
+        config.cache_capacity.max(1),
+    );
+    // Serve until killed. The cache is persisted after every mutating
+    // request, so an external kill loses nothing.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Strips an optional `http://` scheme and trailing slashes from a server
+/// address given on the command line.
+fn server_addr(raw: &str) -> &str {
+    raw.trim_start_matches("http://").trim_end_matches('/')
+}
+
+fn fetch_metrics(addr: &str) -> Result<Json, String> {
+    let response = gam_serve::http::request(addr, "GET", "/metrics", None)
+        .map_err(|err| format!("cannot reach {addr}: {err}"))?;
+    if response.status != 200 {
+        return Err(format!("{addr}/metrics answered {}", response.status));
+    }
+    Json::parse(&response.body).map_err(|err| format!("{addr}/metrics: bad JSON: {err}"))
+}
+
+/// One replayed request's observation, as seen by the bench client.
+struct ReplayRow {
+    test: String,
+    model: ModelKind,
+    outcome: Result<(bool, bool), String>, // (allowed, cached)
+}
+
+fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, String> {
+    let addr = server_addr(server).to_string();
+    let corpus = match Corpus::load(dir) {
+        Ok(corpus) => corpus,
+        Err(err) => {
+            eprintln!("{err}");
+            return Ok(false);
+        }
+    };
+    let models = match arg_value(args, "--models") {
+        Some(list) => parse_models(&list)?,
+        None => vec![ModelKind::Gam],
+    };
+    for &model in &models {
+        if !Backend::Operational.supports(model) {
+            return Err(format!("--serve replays operationally; {model} has no machine"));
+        }
+    }
+    let jobs = parallelism(args)?.max(1);
+    let min_hit_rate = match arg_value(args, "--min-hit-rate") {
+        None => 0.0f64,
+        Some(r) => {
+            let rate: f64 = r.parse().map_err(|_| format!("invalid --min-hit-rate `{r}`"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("--min-hit-rate `{r}` outside 0.0..=1.0"));
+            }
+            rate
+        }
+    };
+    let as_json = arg_flag(args, "--json");
+    let out_path = arg_value(args, "--out");
+    let tests = corpus.tests();
+    let name = corpus.name();
+
+    // Ground truth: the same verdicts computed in-process.
+    let mut expected: BTreeMap<(String, ModelKind), bool> = BTreeMap::new();
+    for &model in &models {
+        let engine = Engine::operational(model).map_err(|err| err.to_string())?;
+        let suite = engine.run_suite_verdicts(&tests);
+        for report in &suite.reports {
+            let verdict = report.verdict.ok_or_else(|| {
+                format!(
+                    "in-process {model}/{}: {}",
+                    report.test,
+                    report.error.as_deref().unwrap_or("no verdict")
+                )
+            })?;
+            expected.insert((report.test.clone(), model), verdict.is_allowed());
+        }
+    }
+
+    let before = fetch_metrics(&addr)?;
+
+    // Replay: every (test, model) request, drained concurrently by `jobs`
+    // client threads off a shared cursor.
+    let work: Vec<(String, ModelKind, String)> = models
+        .iter()
+        .flat_map(|&model| {
+            tests.iter().map(move |test| {
+                let body = Json::object([
+                    ("litmus", Json::from(print_litmus(test))),
+                    ("models", Json::array([Json::from(model_word(model))])),
+                    ("backends", Json::array([Json::from("operational")])),
+                ]);
+                (test.name().to_string(), model, body.to_string())
+            })
+        })
+        .collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let rows = std::sync::Mutex::new(Vec::<ReplayRow>::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(work.len().max(1)) {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((test, model, body)) = work.get(index) else { break };
+                let outcome = replay_one(&addr, body);
+                rows.lock().expect("rows lock").push(ReplayRow {
+                    test: test.clone(),
+                    model: *model,
+                    outcome,
+                });
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let rows = rows.into_inner().expect("rows lock");
+
+    let after = fetch_metrics(&addr)?;
+
+    // Score the replay against the in-process verdicts.
+    let mut disagreements = Vec::new();
+    let mut errors = Vec::new();
+    let mut hits = 0u64;
+    for row in &rows {
+        match &row.outcome {
+            Ok((allowed, cached)) => {
+                if *cached {
+                    hits += 1;
+                }
+                let want = expected[&(row.test.clone(), row.model)];
+                if *allowed != want {
+                    disagreements.push(format!(
+                        "{}/{}: server says {}, in-process says {}",
+                        row.model,
+                        row.test,
+                        verdict_word(*allowed),
+                        verdict_word(want)
+                    ));
+                }
+            }
+            Err(err) => errors.push(format!("{}/{}: {err}", row.model, row.test)),
+        }
+    }
+    let requests = rows.len() as u64;
+    let hit_permille = (hits * 1000).checked_div(requests).unwrap_or(0);
+    let wall_us = micros(wall);
+    let requests_per_sec =
+        requests.saturating_mul(1_000_000).checked_div(wall_us.max(1)).unwrap_or(0);
+
+    // The server's own accounting must match what this client observed.
+    let delta = |key: &str| -> u64 {
+        let read = |doc: &Json| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+        read(&after).saturating_sub(read(&before))
+    };
+    let mut metric_faults = Vec::new();
+    if delta("checks_total") != requests - errors.len() as u64 {
+        metric_faults.push(format!(
+            "checks_total moved by {} for {} successful requests",
+            delta("checks_total"),
+            requests - errors.len() as u64
+        ));
+    }
+    if delta("cache_hits") != hits {
+        metric_faults
+            .push(format!("cache_hits moved by {} but client saw {hits}", delta("cache_hits")));
+    }
+
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let min_hit_permille = (min_hit_rate * 1000.0).round() as u64;
+    let hit_rate_ok = hit_permille >= min_hit_permille;
+    let clean =
+        disagreements.is_empty() && errors.is_empty() && metric_faults.is_empty() && hit_rate_ok;
+
+    let report = Json::object([
+        ("schema", Json::from("gam-serve-bench/v1")),
+        ("suite", Json::from(name.as_str())),
+        ("server", Json::from(addr.as_str())),
+        ("tests", Json::UInt(tests.len() as u64)),
+        ("models", Json::array(models.iter().map(|m| Json::from(m.to_string())))),
+        ("jobs", Json::UInt(jobs as u64)),
+        ("requests", Json::UInt(requests)),
+        ("errors", Json::UInt(errors.len() as u64)),
+        ("disagreements", Json::UInt(disagreements.len() as u64)),
+        ("cache_hits", Json::UInt(hits)),
+        ("hit_rate_permille", Json::UInt(hit_permille)),
+        ("min_hit_rate_permille", Json::UInt(min_hit_permille)),
+        ("wall_us", Json::UInt(wall_us)),
+        ("requests_per_sec", Json::UInt(requests_per_sec)),
+        ("metrics_delta_ok", Json::from(metric_faults.is_empty())),
+        ("ok", Json::from(clean)),
+    ]);
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{report}\n"))
+            .map_err(|err| format!("cannot write {path}: {err}"))?;
+    }
+    if as_json {
+        println!("{report}");
+    } else {
+        println!(
+            "serve bench {name} @ {addr}: {requests} requests ({} tests x {} models, {jobs} \
+             jobs) in {wall_us}us ({requests_per_sec} req/s)",
+            tests.len(),
+            models.len()
+        );
+        println!(
+            "  verdicts: {} agree, {} disagree, {} errors; cache hits {hits} \
+             ({hit_permille}%o, floor {min_hit_permille}%o)",
+            requests - disagreements.len() as u64 - errors.len() as u64,
+            disagreements.len(),
+            errors.len()
+        );
+        for line in disagreements.iter().chain(&errors).chain(&metric_faults) {
+            println!("  FAIL {line}");
+        }
+        if !hit_rate_ok {
+            println!("  FAIL hit rate {hit_permille}%o below floor {min_hit_permille}%o");
+        }
+    }
+    Ok(clean)
+}
+
+/// The lowercase wire name of a model, as `gam serve` parses it.
+fn model_word(model: ModelKind) -> &'static str {
+    gam_serve::model_name(model)
+}
+
+/// Sends one `/check` request and extracts `(allowed, cached)` from the
+/// single result row.
+fn replay_one(addr: &str, body: &str) -> Result<(bool, bool), String> {
+    let response = gam_serve::http::request(addr, "POST", "/check", Some(body))
+        .map_err(|err| err.to_string())?;
+    if response.status != 200 {
+        return Err(format!("HTTP {}: {}", response.status, response.body.trim()));
+    }
+    let json = Json::parse(&response.body).map_err(|err| format!("bad JSON: {err}"))?;
+    let results = json
+        .get("result")
+        .and_then(|r| r.get("results"))
+        .and_then(Json::as_array)
+        .ok_or("response missing results")?;
+    let row = results.first().ok_or("empty results")?;
+    if let Some(err) = row.get("error").and_then(Json::as_str) {
+        return Err(err.to_string());
+    }
+    let allowed = match row.get("verdict").and_then(Json::as_str) {
+        Some("allowed") => true,
+        Some("forbidden") => false,
+        other => return Err(format!("bad verdict {other:?}")),
+    };
+    let cached = matches!(row.get("cached"), Some(Json::Bool(true)));
+    Ok((allowed, cached))
 }
