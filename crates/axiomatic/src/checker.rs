@@ -99,25 +99,47 @@ impl Default for CheckerConfig {
 pub struct AxiomaticChecker {
     model: ModelSpec,
     config: CheckerConfig,
+    interrupt: gam_core::Interrupt,
 }
+
+/// Memory-order polling cadence: the checker's [`gam_core::Interrupt`] is
+/// additionally checked once per read-from assignment, so this only bounds
+/// the latency inside a single assignment's order search.
+const ORDER_POLL_MASK: u64 = 0x3FF;
 
 impl AxiomaticChecker {
     /// Creates a checker for the given model with default limits.
     #[must_use]
     pub fn new(model: ModelSpec) -> Self {
-        AxiomaticChecker { model, config: CheckerConfig::default() }
+        AxiomaticChecker::with_config(model, CheckerConfig::default())
     }
 
     /// Creates a checker with explicit limits.
     #[must_use]
     pub fn with_config(model: ModelSpec, config: CheckerConfig) -> Self {
-        AxiomaticChecker { model, config }
+        AxiomaticChecker { model, config, interrupt: gam_core::Interrupt::none() }
+    }
+
+    /// Attaches a cooperative [`gam_core::Interrupt`]: the rf/mo enumeration
+    /// polls it (once per read-from assignment and every 1024 memory orders)
+    /// and stops with [`CheckError::Interrupted`], carrying the partial
+    /// outcomes collected so far.
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: gam_core::Interrupt) -> Self {
+        self.interrupt = interrupt;
+        self
     }
 
     /// The model this checker implements.
     #[must_use]
     pub fn model(&self) -> &ModelSpec {
         &self.model
+    }
+
+    /// The limits this checker runs with.
+    #[must_use]
+    pub fn config(&self) -> CheckerConfig {
+        self.config
     }
 
     /// Computes the full set of outcomes (projected onto the test's observed
@@ -143,11 +165,19 @@ impl AxiomaticChecker {
         test: &LitmusTest,
     ) -> Result<(BTreeSet<Outcome>, CheckStats), CheckError> {
         let mut outcomes = BTreeSet::new();
-        let stats = self.enumerate(test, |_, _, outcome| {
+        let result = self.enumerate(test, |_, _, outcome| {
             outcomes.insert(outcome.clone());
             true
-        })?;
-        Ok((outcomes, stats))
+        });
+        match result {
+            Ok(stats) => Ok((outcomes, stats)),
+            // An interrupted enumeration keeps what it saw: the outcomes
+            // visited so far are the partial answer.
+            Err(CheckError::Interrupted { test, reason, .. }) => {
+                Err(CheckError::Interrupted { test, reason, partial_outcomes: outcomes })
+            }
+            Err(err) => Err(err),
+        }
     }
 
     /// The complete outcome set computed by the *unoptimised* reference
@@ -227,6 +257,7 @@ impl AxiomaticChecker {
         strategy: SearchStrategy,
         mut visit: impl FnMut(&ConcreteExecution, &[usize], &Outcome) -> bool,
     ) -> Result<CheckStats, CheckError> {
+        gam_core::fault::hit("axiomatic");
         if test.program().has_branches() {
             return Err(CheckError::BranchesUnsupported { test: test.name().to_string() });
         }
@@ -255,8 +286,16 @@ impl AxiomaticChecker {
         // One edge-relation allocation recycled across every assignment.
         let mut scratch = Relation::new(events);
         let mut stop = false;
+        let interrupt_armed = self.interrupt.is_armed();
+        let mut interrupted: Option<gam_core::StopReason> = None;
 
         for assignment in assignments {
+            if interrupt_armed {
+                if let Some(reason) = self.interrupt.triggered() {
+                    interrupted = Some(reason);
+                    break;
+                }
+            }
             stats.assignments_enumerated += 1;
             if let Some(exec) = concretize(test, &index, &assignment) {
                 stats.assignments_concretized += 1;
@@ -264,6 +303,13 @@ impl AxiomaticChecker {
                 let problem = self.build_problem(test, &index, &exec, scratch);
                 let mut on_order = |order: &[usize]| {
                     stats.orders_visited += 1;
+                    if interrupt_armed && stats.orders_visited & ORDER_POLL_MASK == 0 {
+                        if let Some(reason) = self.interrupt.triggered() {
+                            interrupted = Some(reason);
+                            stop = true;
+                            return false;
+                        }
+                    }
                     let outcome = self.project_outcome(test, &index, &exec, order);
                     if !visit(&exec, order, &outcome) {
                         stop = true;
@@ -282,6 +328,16 @@ impl AxiomaticChecker {
             if stop {
                 break;
             }
+        }
+        if let Some(reason) = interrupted {
+            // Callers that accumulate outcomes (e.g. `allowed_outcomes`)
+            // re-attach their partial set; the enumeration core itself has
+            // already handed every visited outcome to `visit`.
+            return Err(CheckError::Interrupted {
+                test: test.name().to_string(),
+                reason,
+                partial_outcomes: BTreeSet::new(),
+            });
         }
         Ok(stats)
     }
@@ -430,6 +486,49 @@ mod tests {
 
     fn verdict(model: ModelSpec, test: &LitmusTest) -> Verdict {
         AxiomaticChecker::new(model).check(test).expect("checkable")
+    }
+
+    #[test]
+    fn pre_cancelled_check_reports_interruption() {
+        let token = gam_core::CancelToken::new();
+        token.cancel();
+        let checker = AxiomaticChecker::new(model::gam())
+            .with_interrupt(gam_core::Interrupt::none().with_cancel(token));
+        match checker.check(&library::dekker()) {
+            Err(CheckError::Interrupted { reason, .. }) => {
+                assert_eq!(reason, gam_core::StopReason::Cancelled);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_wall_budget_interrupts_outcome_enumeration() {
+        let checker = AxiomaticChecker::new(model::gam()).with_interrupt(
+            gam_core::Interrupt::none().with_wall_budget(std::time::Duration::ZERO),
+        );
+        match checker.allowed_outcomes(&library::iriw()) {
+            Err(CheckError::Interrupted { reason, partial_outcomes, .. }) => {
+                assert!(matches!(reason, gam_core::StopReason::WallBudget { .. }));
+                // The deadline was already expired at the first poll, so
+                // nothing was enumerated yet.
+                assert!(partial_outcomes.is_empty());
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unarmed_interrupt_leaves_outcomes_identical() {
+        let test = library::mp();
+        let baseline = AxiomaticChecker::new(model::gam()).allowed_outcomes(&test).unwrap();
+        let armed = AxiomaticChecker::new(model::gam())
+            .with_interrupt(
+                gam_core::Interrupt::none().with_wall_budget(std::time::Duration::from_secs(600)),
+            )
+            .allowed_outcomes(&test)
+            .unwrap();
+        assert_eq!(baseline, armed);
     }
 
     #[test]

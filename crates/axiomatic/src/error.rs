@@ -1,6 +1,10 @@
 //! Errors produced by the axiomatic checker.
 
+use std::collections::BTreeSet;
 use std::fmt;
+
+use gam_core::StopReason;
+use gam_isa::litmus::Outcome;
 
 /// Errors that prevent a litmus test from being checked axiomatically.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +25,19 @@ pub enum CheckError {
         /// The configured maximum.
         limit: usize,
     },
+    /// The enumeration stopped early because the checker's
+    /// [`gam_core::Interrupt`] triggered — the shared cancel token was
+    /// cancelled or the wall-clock budget ran out. The partial outcome set
+    /// is a sound under-approximation of the allowed set.
+    Interrupted {
+        /// The litmus test in question.
+        test: String,
+        /// Why the enumeration stopped.
+        reason: StopReason,
+        /// The outcomes of the consistent executions visited before the
+        /// stop.
+        partial_outcomes: BTreeSet<Outcome>,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -32,6 +49,12 @@ impl fmt::Display for CheckError {
             CheckError::TooManyEvents { test, events, limit } => write!(
                 f,
                 "litmus test `{test}` has {events} memory events, more than the configured limit of {limit}"
+            ),
+            CheckError::Interrupted { test, reason, partial_outcomes } => write!(
+                f,
+                "litmus test `{test}` interrupted: {reason} \
+                 ({} partial outcomes collected)",
+                partial_outcomes.len()
             ),
         }
     }
@@ -50,6 +73,13 @@ mod tests {
         let err = CheckError::TooManyEvents { test: "x".into(), events: 20, limit: 14 };
         assert!(err.to_string().contains("20"));
         assert!(err.to_string().contains("14"));
+        let err = CheckError::Interrupted {
+            test: "x".into(),
+            reason: StopReason::Cancelled,
+            partial_outcomes: BTreeSet::new(),
+        };
+        assert!(err.to_string().contains("cancelled"));
+        assert!(err.to_string().contains("0 partial outcomes"));
     }
 
     #[test]

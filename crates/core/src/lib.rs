@@ -40,12 +40,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod dependency;
+pub mod fault;
+pub mod interrupt;
 pub mod model;
 pub mod ppo;
 pub mod relation;
 pub mod resolved;
 
 pub use dependency::{address_dependencies, data_dependencies};
+pub use interrupt::{CancelToken, Interrupt, StopReason};
 pub use model::{BaseOrdering, ModelKind, ModelSpec, SameAddrLoadLoad};
 pub use ppo::preserved_program_order;
 pub use relation::Relation;

@@ -9,13 +9,14 @@
 
 use std::collections::BTreeSet;
 
-use gam_axiomatic::{AxiomaticChecker, Verdict};
-use gam_core::ModelKind;
+use gam_axiomatic::{AxiomaticChecker, CheckError, Verdict};
+use gam_core::{CancelToken, ModelKind, StopReason};
 use gam_isa::litmus::{LitmusTest, Outcome};
-use gam_operational::OperationalChecker;
+use gam_operational::{ExploreError, OperationalChecker, OperationalError};
 
 use crate::engine::Backend;
 use crate::error::EngineError;
+use crate::session::{CheckBudget, SessionVerdict};
 
 /// A memory-model checker for one model, behind one of the two backends.
 ///
@@ -48,6 +49,29 @@ pub trait Checker: Send + Sync {
     /// Searches for an outcome matching the test's condition of interest and
     /// returns it as a witness, or `None` when the condition is forbidden.
     fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, EngineError>;
+
+    /// Decides the test's condition of interest under a [`CheckBudget`] and
+    /// a [`CancelToken`], answering with a three-valued [`SessionVerdict`]:
+    /// budget exhaustion and cancellation surface as
+    /// [`SessionVerdict::Inconclusive`] carrying the partial outcome set,
+    /// not as errors.
+    ///
+    /// Budgeted checks enumerate the full outcome set (no first-witness
+    /// early exit) so that an interrupted run has meaningful partial
+    /// outcomes to report; if the partial set already contains a witness
+    /// the verdict is promoted to `Allowed`, which is sound because both
+    /// backends only ever emit outcomes of consistent executions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors other than interruption and state-limit
+    /// exhaustion (e.g. unsupported models, over-limit event counts).
+    fn check_budgeted(
+        &self,
+        test: &LitmusTest,
+        budget: &CheckBudget,
+        cancel: CancelToken,
+    ) -> Result<SessionVerdict, EngineError>;
 }
 
 impl Checker for AxiomaticChecker {
@@ -78,6 +102,27 @@ impl Checker for AxiomaticChecker {
 
     fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, EngineError> {
         Ok(AxiomaticChecker::find_witness(self, test)?.map(|witness| witness.outcome))
+    }
+
+    fn check_budgeted(
+        &self,
+        test: &LitmusTest,
+        budget: &CheckBudget,
+        cancel: CancelToken,
+    ) -> Result<SessionVerdict, EngineError> {
+        // Rebuild the checker with the budget's interrupt attached; the
+        // axiomatic enumerator has no state count, so `max_states` is
+        // ignored here (see [`CheckBudget::max_states`]).
+        let checker =
+            AxiomaticChecker::with_config(AxiomaticChecker::model(self).clone(), self.config())
+                .with_interrupt(budget.interrupt(cancel));
+        match checker.allowed_outcomes(test) {
+            Ok(outcomes) => Ok(SessionVerdict::conclusive(test, &outcomes)),
+            Err(CheckError::Interrupted { reason, partial_outcomes, .. }) => {
+                Ok(SessionVerdict::from_partial(test, partial_outcomes, 0, reason))
+            }
+            Err(err) => Err(err.into()),
+        }
     }
 }
 
@@ -114,6 +159,40 @@ impl Checker for OperationalChecker {
 
     fn find_witness(&self, test: &LitmusTest) -> Result<Option<Outcome>, EngineError> {
         Ok(OperationalChecker::find_witness(self, test)?)
+    }
+
+    fn check_budgeted(
+        &self,
+        test: &LitmusTest,
+        budget: &CheckBudget,
+        cancel: CancelToken,
+    ) -> Result<SessionVerdict, EngineError> {
+        // Rebuild the explorer with the budget's state cap and interrupt.
+        let mut config = self.config();
+        if let Some(max_states) = budget.max_states {
+            config.max_states = max_states;
+        }
+        let checker = OperationalChecker::with_config(OperationalChecker::model(self), config)
+            .with_interrupt(budget.interrupt(cancel));
+        match checker.allowed_outcomes(test) {
+            Ok(outcomes) => Ok(SessionVerdict::conclusive(test, &outcomes)),
+            Err(OperationalError::Explore(ExploreError::Interrupted {
+                reason,
+                states_visited,
+                partial_outcomes,
+            })) => Ok(SessionVerdict::from_partial(test, partial_outcomes, states_visited, reason)),
+            Err(OperationalError::Explore(ExploreError::StateLimitExceeded {
+                limit,
+                states_visited,
+                partial_outcomes,
+            })) => Ok(SessionVerdict::from_partial(
+                test,
+                partial_outcomes,
+                states_visited,
+                StopReason::StateBudget { limit },
+            )),
+            Err(err) => Err(err.into()),
+        }
     }
 }
 

@@ -3,17 +3,18 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use gam_axiomatic::{AxiomaticChecker, CheckerConfig, Verdict};
-use gam_core::{model, ModelKind};
+use gam_core::{model, CancelToken, ModelKind};
 use gam_isa::litmus::LitmusTest;
 use gam_operational::{ExplorerConfig, OperationalChecker, Reduction};
 
 use crate::checker::Checker;
 use crate::error::EngineError;
 use crate::report::{SuiteReport, TestReport};
+use crate::session::{check_job, CheckBudget, CheckHandle, SessionOutcome, SessionPool};
 
 /// The two formal backends of the reproduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -183,7 +184,7 @@ impl EngineBuilder {
                 Arc::new(OperationalChecker::with_config(self.model, self.explorer_config))
             }
         };
-        Ok(Engine { checker, parallelism: self.parallelism })
+        Ok(Engine { checker, parallelism: self.parallelism, sessions: OnceLock::new() })
     }
 }
 
@@ -212,6 +213,10 @@ impl EngineBuilder {
 pub struct Engine {
     checker: Arc<dyn Checker>,
     parallelism: usize,
+    /// The session worker pool behind [`Engine::submit`], started lazily on
+    /// first submission so blocking-only engines never spawn threads.
+    /// Dropping the engine drains the queue and joins the workers.
+    sessions: OnceLock<SessionPool>,
 }
 
 impl fmt::Debug for Engine {
@@ -309,6 +314,54 @@ impl Engine {
         self.checker.find_witness(test)
     }
 
+    /// Decides the test under a [`CheckBudget`], blocking until the check
+    /// finishes, is cancelled from another thread, or exhausts the budget —
+    /// whichever comes first. Budget exhaustion answers with
+    /// [`crate::SessionVerdict::Inconclusive`] carrying the partial
+    /// outcomes; a panicking checker answers with
+    /// [`EngineError::Panicked`] instead of unwinding into the caller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors other than interruption and state-limit
+    /// exhaustion, plus [`EngineError::Panicked`].
+    pub fn check_budgeted(
+        &self,
+        test: &LitmusTest,
+        budget: &CheckBudget,
+    ) -> Result<SessionOutcome, EngineError> {
+        let start = Instant::now();
+        let cancel = CancelToken::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.checker.check_budgeted(test, budget, cancel)
+        }));
+        match result {
+            Ok(Ok(verdict)) => Ok(SessionOutcome { verdict, wall: start.elapsed() }),
+            Ok(Err(err)) => Err(err),
+            Err(payload) => Err(EngineError::panicked(&*payload)),
+        }
+    }
+
+    /// Submits an unbudgeted (but cancellable, panic-isolated) check to the
+    /// engine's session worker pool and returns immediately with a
+    /// [`CheckHandle`].
+    #[must_use]
+    pub fn submit(&self, test: &LitmusTest) -> CheckHandle {
+        self.submit_budgeted(test, CheckBudget::none())
+    }
+
+    /// Submits a budgeted check to the engine's session worker pool and
+    /// returns immediately with a [`CheckHandle`]. The pool has
+    /// [`Engine::parallelism`] workers and is started on first use; checks
+    /// queue FIFO behind busy workers. The budget's wall clock starts when
+    /// the check starts executing, not when it is submitted.
+    #[must_use]
+    pub fn submit_budgeted(&self, test: &LitmusTest, budget: CheckBudget) -> CheckHandle {
+        let (job, handle) = check_job(Arc::clone(&self.checker), test, budget);
+        self.sessions.get_or_init(|| SessionPool::new(self.parallelism)).submit(job);
+        handle
+    }
+
     /// Runs a whole litmus suite, fanning tests out over the configured
     /// worker threads, and returns a structured per-test report with the
     /// complete allowed-outcome set of every test.
@@ -381,10 +434,13 @@ enum SuiteMode {
     VerdictsOnly,
 }
 
-/// Checks one test, capturing errors and wall time.
+/// Checks one test, capturing errors (including caught panics) and wall
+/// time. The `catch_unwind` fence is what lets a suite run survive a
+/// panicking checker: the panic becomes the report's `error` field and the
+/// suite worker moves on to the next test.
 fn run_one(checker: &dyn Checker, test: &LitmusTest, mode: SuiteMode) -> TestReport {
     let start = Instant::now();
-    let result = match mode {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match mode {
         SuiteMode::Full => checker.allowed_outcomes(test).map(|outcomes| {
             let allowed = outcomes.iter().any(|outcome| test.condition().matched_by(outcome));
             (if allowed { Verdict::Allowed } else { Verdict::Forbidden }, outcomes)
@@ -392,6 +448,10 @@ fn run_one(checker: &dyn Checker, test: &LitmusTest, mode: SuiteMode) -> TestRep
         SuiteMode::VerdictsOnly => {
             checker.check(test).map(|verdict| (verdict, std::collections::BTreeSet::new()))
         }
+    }));
+    let result = match result {
+        Ok(result) => result,
+        Err(payload) => Err(EngineError::panicked(&*payload)),
     };
     match result {
         Ok((verdict, outcomes)) => TestReport {

@@ -27,6 +27,31 @@ pub enum EngineError {
         /// The model it cannot run.
         model: ModelKind,
     },
+    /// The checker panicked while running a test. The panic was caught at
+    /// the engine boundary — the worker that ran the check is still alive —
+    /// and the payload is preserved for diagnosis.
+    Panicked {
+        /// The panic payload, rendered as a string (`"opaque panic payload"`
+        /// when the payload was neither `&str` nor `String`).
+        payload: String,
+    },
+}
+
+impl EngineError {
+    /// Builds [`EngineError::Panicked`] from a payload caught by
+    /// [`std::panic::catch_unwind`], rendering `&str` and `String` payloads
+    /// verbatim.
+    #[must_use]
+    pub fn panicked(payload: &(dyn std::any::Any + Send)) -> EngineError {
+        let payload = if let Some(message) = payload.downcast_ref::<&'static str>() {
+            (*message).to_string()
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            message.clone()
+        } else {
+            "opaque panic payload".to_string()
+        };
+        EngineError::Panicked { payload }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +62,9 @@ impl fmt::Display for EngineError {
             EngineError::UnsupportedModel { backend, model } => {
                 write!(f, "the {backend} backend does not support {model} (no semantics defined)")
             }
+            EngineError::Panicked { payload } => {
+                write!(f, "the checker panicked: {payload}")
+            }
         }
     }
 }
@@ -46,7 +74,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Axiomatic(err) => Some(err),
             EngineError::Operational(err) => Some(err),
-            EngineError::UnsupportedModel { .. } => None,
+            EngineError::UnsupportedModel { .. } | EngineError::Panicked { .. } => None,
         }
     }
 }
@@ -80,6 +108,27 @@ mod tests {
         };
         assert!(err.to_string().contains("GAM-ARM"));
         assert!(err.to_string().contains("operational"));
+        let err = EngineError::Panicked { payload: "boom".into() };
+        assert_eq!(err.to_string(), "the checker panicked: boom");
+    }
+
+    #[test]
+    fn panic_payloads_are_rendered() {
+        let caught = std::panic::catch_unwind(|| panic!("static payload")).expect_err("must panic");
+        assert_eq!(
+            EngineError::panicked(&*caught),
+            EngineError::Panicked { payload: "static payload".into() }
+        );
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 42)).expect_err("panics");
+        assert_eq!(
+            EngineError::panicked(&*caught),
+            EngineError::Panicked { payload: "formatted 42".into() }
+        );
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).expect_err("panics");
+        assert_eq!(
+            EngineError::panicked(&*caught),
+            EngineError::Panicked { payload: "opaque panic payload".into() }
+        );
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!   parallel suite runner that fans litmus tests out over a thread pool and
 //!   returns a structured, JSON-serializable [`SuiteReport`];
 //! * [`json`] — a dependency-free JSON tree ([`Json`], [`ToJson`]) used for
-//!   machine-readable result export.
+//!   machine-readable result export;
+//! * [`session`] — budgeted, cancellable, panic-isolated check sessions:
+//!   [`Engine::submit`] returns a [`CheckHandle`] whose check runs on a
+//!   worker pool under a [`CheckBudget`], answers with a three-valued
+//!   [`SessionVerdict`] (budget exhaustion is an *inconclusive verdict with
+//!   partial outcomes*, not an error) and survives panicking checkers via
+//!   [`EngineError::Panicked`].
 //!
 //! # Quick start
 //!
@@ -52,14 +58,17 @@ pub mod engine;
 pub mod error;
 pub mod json;
 pub mod report;
+pub mod session;
 
 pub use checker::Checker;
 pub use engine::{Backend, Engine, EngineBuilder};
 pub use error::EngineError;
 pub use json::{Json, JsonParseError, ToJson};
 pub use report::{SuiteReport, TestReport};
+pub use session::{CheckBudget, CheckHandle, SessionOutcome, SessionVerdict};
 
 // Re-exported so facade users can name verdicts and configs without
 // depending on the backend crates directly.
 pub use gam_axiomatic::{CheckerConfig, Verdict};
+pub use gam_core::{CancelToken, Interrupt, StopReason};
 pub use gam_operational::{ArenaOccupancy, ExplorerConfig, Reduction};

@@ -1,0 +1,67 @@
+//! Property: cancellation is sound at any point in a check's life.
+//!
+//! Each case submits a check to the session pool, cancels it after a
+//! randomized delay (from "before the worker even picks it up" to "long
+//! after it finished"), and asserts the robustness contract:
+//!
+//! * the handle always resolves — no deadlock, whatever the timing race;
+//! * the result is either the true conclusive verdict (cancel arrived too
+//!   late) or `Inconclusive` with the `cancelled` stop reason — never an
+//!   error, never a partial value masquerading as conclusive;
+//! * a re-submission on the same (single-worker) engine yields the exact
+//!   blocking-API verdict — cancellation poisons nothing.
+
+use std::time::Duration;
+
+use gam_core::{ModelKind, StopReason};
+use gam_engine::{Backend, Engine, SessionVerdict};
+use gam_isa::litmus::{library, LitmusTest};
+use proptest::prelude::*;
+
+fn test_by_index(index: usize) -> LitmusTest {
+    match index % 4 {
+        0 => library::corr(),
+        1 => library::mp(),
+        2 => library::dekker(),
+        _ => library::iriw(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn cancellation_at_random_times_is_sound(test_index in 0usize..4, delay_us in 0u64..1500) {
+        let test = test_by_index(test_index);
+        let engine = Engine::builder()
+            .model(ModelKind::Gam)
+            .backend(Backend::Operational)
+            .parallelism(1)
+            .build()
+            .expect("single-worker operational engine");
+        let expected = engine.check(&test).expect("blocking verdict");
+
+        let handle = engine.submit(&test);
+        std::thread::sleep(Duration::from_micros(delay_us));
+        handle.cancel();
+
+        // The handle must resolve promptly — a cancelled check cannot hang.
+        let resolved = handle.wait_timeout(Duration::from_secs(60));
+        prop_assert!(resolved.is_some(), "cancelled handle deadlocked");
+        match resolved.unwrap() {
+            Ok(outcome) => match outcome.verdict {
+                SessionVerdict::Inconclusive { reason, .. } => {
+                    prop_assert_eq!(reason, StopReason::Cancelled);
+                }
+                conclusive => {
+                    // The cancel lost the race: the verdict must be the truth.
+                    prop_assert_eq!(conclusive.as_verdict(), Some(expected));
+                }
+            },
+            Err(err) => prop_assert!(false, "cancellation must not error: {}", err),
+        }
+
+        // Same worker, same test, no cancel: the exact blocking verdict.
+        let retry = engine.submit(&test).wait().expect("post-cancel resubmission");
+        prop_assert_eq!(retry.verdict.as_verdict(), Some(expected));
+    }
+}

@@ -69,10 +69,25 @@ impl OperationalChecker {
         OperationalChecker { model, explorer: Explorer::new(config) }
     }
 
+    /// Attaches a cooperative [`gam_core::Interrupt`] to the underlying
+    /// explorer: cancellation or an expired wall budget stops the search
+    /// with [`ExploreError::Interrupted`], carrying partial outcomes.
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: gam_core::Interrupt) -> Self {
+        self.explorer = self.explorer.with_interrupt(interrupt);
+        self
+    }
+
     /// The model this checker runs.
     #[must_use]
     pub fn model(&self) -> ModelKind {
         self.model
+    }
+
+    /// The exploration limits this checker runs with.
+    #[must_use]
+    pub fn config(&self) -> ExplorerConfig {
+        self.explorer.config()
     }
 
     /// Returns true if an operational machine exists for the model.

@@ -50,6 +50,7 @@ use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use gam_core::{fault, Interrupt, StopReason};
 use gam_isa::litmus::Outcome;
 use rustc_hash::{FxBuildHasher, FxHashMap};
 
@@ -174,6 +175,18 @@ pub enum ExploreError {
     /// A non-final state had no enabled rule (the machine deadlocked), which
     /// indicates a modelling bug.
     Deadlock,
+    /// The exploration stopped early because its [`Interrupt`] triggered —
+    /// the shared cancel token was cancelled or the wall-clock budget ran
+    /// out. Like [`ExploreError::StateLimitExceeded`], the partial outcome
+    /// set is a sound under-approximation of the true one.
+    Interrupted {
+        /// Why the exploration stopped.
+        reason: StopReason,
+        /// Number of distinct states visited when the poll tripped.
+        states_visited: usize,
+        /// The outcomes of the final states reached before the stop.
+        partial_outcomes: BTreeSet<Outcome>,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -188,6 +201,14 @@ impl fmt::Display for ExploreError {
                 )
             }
             ExploreError::Deadlock => write!(f, "a non-final state has no enabled rule"),
+            ExploreError::Interrupted { reason, states_visited, partial_outcomes } => {
+                write!(
+                    f,
+                    "exploration interrupted: {reason} \
+                     ({states_visited} states visited, {} partial outcomes collected)",
+                    partial_outcomes.len()
+                )
+            }
         }
     }
 }
@@ -215,10 +236,18 @@ pub struct Exploration {
 }
 
 /// An exhaustive state-space explorer.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Explorer {
     config: ExplorerConfig,
+    /// Cooperative interruption source, polled in every expansion loop at
+    /// [`INTERRUPT_POLL_MASK`] cadence. Defaults to never triggering.
+    interrupt: Interrupt,
 }
+
+/// Expansion-loop polling cadence: the interrupt is checked on the first
+/// expansion and every 256 thereafter, so even litmus-scale explorations see
+/// at least one poll and big ones pay one `Instant::now()` per ~256 states.
+const INTERRUPT_POLL_MASK: usize = 0xFF;
 
 /// A sorted set of [`Action`]s with inline storage for small sets.
 ///
@@ -554,7 +583,17 @@ impl Explorer {
     /// Creates an explorer with the given limits.
     #[must_use]
     pub fn new(config: ExplorerConfig) -> Self {
-        Explorer { config }
+        Explorer { config, interrupt: Interrupt::none() }
+    }
+
+    /// Attaches a cooperative [`Interrupt`] (cancel token and/or wall-clock
+    /// deadline). Every expansion loop — sequential and sharded — polls it
+    /// and stops with [`ExploreError::Interrupted`], carrying the partial
+    /// outcomes collected so far.
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> Self {
+        self.interrupt = interrupt;
+        self
     }
 
     /// The explorer's configuration.
@@ -719,6 +758,7 @@ impl Explorer {
     where
         M::State: Send,
     {
+        fault::hit("explore");
         match self.config.reduction {
             Reduction::Off => match self.seq_plain(machine, stop, self.escalation())? {
                 SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
@@ -746,6 +786,7 @@ impl Explorer {
         M: LabeledMachine + Sync,
         M::State: ComposedState + Send,
     {
+        fault::hit("explore");
         match self.config.reduction {
             Reduction::Off => match self.seq_composed(machine, stop, self.escalation())? {
                 SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
@@ -778,7 +819,19 @@ impl Explorer {
         let initial = machine.initial_state();
         stack.push(visited.insert(initial).expect("initial state is new"));
 
+        let interrupt_armed = self.interrupt.is_armed();
+        let mut expansions = 0usize;
         while let Some(index) = stack.pop() {
+            if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
+                if let Some(reason) = self.interrupt.triggered() {
+                    return Err(ExploreError::Interrupted {
+                        reason,
+                        states_visited: visited.len(),
+                        partial_outcomes: outcomes,
+                    });
+                }
+            }
+            expansions += 1;
             // The borrow of the interned state ends with each call, so the
             // arena can keep growing while the successors are inserted.
             let successors = machine.successors(visited.get(index));
@@ -861,7 +914,19 @@ impl Explorer {
         let mut outcomes = BTreeSet::new();
         let mut final_states = 0usize;
 
+        let interrupt_armed = self.interrupt.is_armed();
+        let mut expansions = 0usize;
         while let Some(slot) = stack.pop() {
+            if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
+                if let Some(reason) = self.interrupt.triggered() {
+                    return Err(ExploreError::Interrupted {
+                        reason,
+                        states_visited: arena.len(),
+                        partial_outcomes: outcomes,
+                    });
+                }
+            }
+            expansions += 1;
             arena.load(slot, &mut current);
             // Sparse successors: each is valid only in the components its
             // action touched — exactly the components `intern_touched`
@@ -969,7 +1034,19 @@ impl Explorer {
         expanded_with.push(None);
         stack.push(slot);
 
+        let interrupt_armed = self.interrupt.is_armed();
+        let mut expansions = 0usize;
         while let Some(slot) = stack.pop() {
+            if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
+                if let Some(reason) = self.interrupt.triggered() {
+                    return Err(ExploreError::Interrupted {
+                        reason,
+                        states_visited: visited.len(),
+                        partial_outcomes: outcomes,
+                    });
+                }
+            }
+            expansions += 1;
             let z = sleep_sets[slot as usize].clone();
             if let Some(previous) = &expanded_with[slot as usize] {
                 if previous.is_subset(&z) {
@@ -1125,7 +1202,19 @@ impl Explorer {
         let mut final_states = 0usize;
         let mut pruned = 0usize;
 
+        let interrupt_armed = self.interrupt.is_armed();
+        let mut expansions = 0usize;
         while let Some(slot) = stack.pop() {
+            if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
+                if let Some(reason) = self.interrupt.triggered() {
+                    return Err(ExploreError::Interrupted {
+                        reason,
+                        states_visited: arena.len(),
+                        partial_outcomes: outcomes,
+                    });
+                }
+            }
+            expansions += 1;
             let z = sleep_sets[slot as usize].clone();
             if let Some(previous) = &expanded_with[slot as usize] {
                 if previous.is_subset(&z) {
@@ -1298,6 +1387,8 @@ impl Explorer {
         let injector: Mutex<Vec<(u32, u32)>> =
             Mutex::new(seed.pending.iter().map(|&slot| address[slot as usize]).collect());
         let deadlocked = AtomicBool::new(false);
+        let interrupt_armed = self.interrupt.is_armed();
+        let interrupted: Mutex<Option<StopReason>> = Mutex::new(None);
         let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(seed.outcomes);
 
         std::thread::scope(|scope| {
@@ -1312,6 +1403,13 @@ impl Explorer {
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
+                        }
+                        if interrupt_armed {
+                            if let Some(reason) = self.interrupt.triggered() {
+                                *interrupted.lock().expect("interrupt lock") = Some(reason);
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
                         }
                         while batch.len() < HANDOFF_BATCH {
                             match local.pop() {
@@ -1410,6 +1508,13 @@ impl Explorer {
         if deadlocked.load(Ordering::Relaxed) {
             return Err(ExploreError::Deadlock);
         }
+        if let Some(reason) = interrupted.into_inner().expect("interrupt lock") {
+            return Err(ExploreError::Interrupted {
+                reason,
+                states_visited,
+                partial_outcomes: exploration.outcomes,
+            });
+        }
         if abort.load(Ordering::Relaxed) {
             return Err(ExploreError::StateLimitExceeded {
                 limit: self.config.max_states,
@@ -1490,6 +1595,8 @@ impl Explorer {
         let injector: Mutex<Vec<(u32, u32)>> =
             Mutex::new(seed.pending.iter().map(|&slot| address[slot as usize]).collect());
         let deadlocked = AtomicBool::new(false);
+        let interrupt_armed = self.interrupt.is_armed();
+        let interrupted: Mutex<Option<StopReason>> = Mutex::new(None);
         let merged: Mutex<BTreeSet<Outcome>> = Mutex::new(seed.outcomes);
 
         std::thread::scope(|scope| {
@@ -1505,6 +1612,13 @@ impl Explorer {
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
+                        }
+                        if interrupt_armed {
+                            if let Some(reason) = self.interrupt.triggered() {
+                                *interrupted.lock().expect("interrupt lock") = Some(reason);
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
                         }
                         while batch.len() < HANDOFF_BATCH {
                             match local.pop() {
@@ -1676,6 +1790,13 @@ impl Explorer {
         }
         if deadlocked.load(Ordering::Relaxed) {
             return Err(ExploreError::Deadlock);
+        }
+        if let Some(reason) = interrupted.into_inner().expect("interrupt lock") {
+            return Err(ExploreError::Interrupted {
+                reason,
+                states_visited,
+                partial_outcomes: exploration.outcomes,
+            });
         }
         if abort.load(Ordering::Relaxed) {
             return Err(ExploreError::StateLimitExceeded {
@@ -2055,6 +2176,175 @@ mod tests {
     fn parallel_deadlock_is_reported() {
         let explorer = Explorer::new(ExplorerConfig { parallelism: 4, ..Default::default() });
         assert_eq!(explorer.explore(&Stuck), Err(ExploreError::Deadlock));
+    }
+
+    #[test]
+    fn pre_cancelled_exploration_stops_at_the_first_poll() {
+        let token = gam_core::CancelToken::new();
+        token.cancel();
+        let explorer = Explorer::default().with_interrupt(Interrupt::none().with_cancel(token));
+        match explorer.explore(&Diamond) {
+            Err(ExploreError::Interrupted { reason, states_visited, partial_outcomes }) => {
+                assert_eq!(reason, StopReason::Cancelled);
+                assert!(partial_outcomes.is_empty(), "nothing explored before the poll");
+                assert!(states_visited <= 1);
+            }
+            other => panic!("expected an interrupted exploration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_wall_budget_interrupts_every_driver() {
+        for reduction in [Reduction::Off, Reduction::Sleep, Reduction::SleepPlusCanon] {
+            let explorer = Explorer::new(ExplorerConfig { reduction, ..Default::default() })
+                .with_interrupt(Interrupt::none().with_wall_budget(std::time::Duration::ZERO));
+            match explorer.explore(&TwoLocalCounters { len: 16 }) {
+                Err(ExploreError::Interrupted { reason, .. }) => {
+                    assert!(
+                        matches!(reason, StopReason::WallBudget { .. }),
+                        "{reduction}: wrong reason {reason:?}"
+                    );
+                }
+                other => panic!("{reduction}: expected interruption, got {other:?}"),
+            }
+        }
+    }
+
+    /// The [`TwoLocalCounters`] grid with *shared-memory commit* labels to
+    /// distinct addresses: persistent sets cannot collapse it (no action is
+    /// thread-private), so every driver — reduced or not — visits all
+    /// `(len+1)^2` states and performs that many expansions.
+    #[derive(Debug)]
+    struct TwoSharedCounters {
+        len: u8,
+    }
+
+    impl AbstractMachine for TwoSharedCounters {
+        type State = (u8, u8);
+
+        fn initial_state(&self) -> (u8, u8) {
+            (0, 0)
+        }
+
+        fn successors(&self, state: &(u8, u8)) -> Vec<(u8, u8)> {
+            self.labeled_successors(state).into_iter().map(|(_, next)| next).collect()
+        }
+
+        fn is_final(&self, state: &(u8, u8)) -> bool {
+            state.0 == self.len && state.1 == self.len
+        }
+
+        fn outcome(&self, _state: &(u8, u8)) -> Outcome {
+            Outcome::new()
+        }
+
+        fn name(&self) -> &str {
+            "two-shared-counters"
+        }
+    }
+
+    impl LabeledMachine for TwoSharedCounters {
+        fn labeled_successors(&self, state: &(u8, u8)) -> Vec<(Action, (u8, u8))> {
+            let mut out = Vec::new();
+            if state.0 < self.len {
+                out.push((Action::commit(0, u32::from(state.0), 100), (state.0 + 1, state.1)));
+            }
+            if state.1 < self.len {
+                out.push((Action::commit(1, u32::from(state.1), 200), (state.0, state.1 + 1)));
+            }
+            out
+        }
+    }
+
+    /// Delegates to [`TwoSharedCounters`] but cancels the shared token after
+    /// a fixed number of successor expansions, so mid-run cancellation is
+    /// reproducible without timing assumptions.
+    #[derive(Debug)]
+    struct CancelAfter {
+        inner: TwoSharedCounters,
+        token: gam_core::CancelToken,
+        after: usize,
+        expansions: AtomicUsize,
+    }
+
+    impl CancelAfter {
+        fn bump(&self) {
+            if self.expansions.fetch_add(1, Ordering::Relaxed) + 1 == self.after {
+                self.token.cancel();
+            }
+        }
+    }
+
+    impl AbstractMachine for CancelAfter {
+        type State = (u8, u8);
+
+        fn initial_state(&self) -> (u8, u8) {
+            self.inner.initial_state()
+        }
+
+        fn successors(&self, state: &(u8, u8)) -> Vec<(u8, u8)> {
+            self.bump();
+            self.inner.successors(state)
+        }
+
+        fn is_final(&self, state: &(u8, u8)) -> bool {
+            self.inner.is_final(state)
+        }
+
+        fn outcome(&self, state: &(u8, u8)) -> Outcome {
+            self.inner.outcome(state)
+        }
+
+        fn name(&self) -> &str {
+            "cancel-after"
+        }
+    }
+
+    impl LabeledMachine for CancelAfter {
+        fn labeled_successors(&self, state: &(u8, u8)) -> Vec<(Action, (u8, u8))> {
+            self.bump();
+            self.inner.labeled_successors(state)
+        }
+    }
+
+    #[test]
+    fn cancellation_reaches_the_sharded_parallel_drivers() {
+        // Threshold 0 escalates to the sharded driver after the first
+        // sequential expansion; the cancel fires from inside the machine at
+        // expansion 600 — long past the escalation, long before the ~1681
+        // expansions the 41x41 grid needs — so only a parallel worker's
+        // poll can observe it.
+        for reduction in [Reduction::Off, Reduction::SleepPlusCanon] {
+            let token = gam_core::CancelToken::new();
+            let machine = CancelAfter {
+                inner: TwoSharedCounters { len: 40 },
+                token: token.clone(),
+                after: 600,
+                expansions: AtomicUsize::new(0),
+            };
+            let config = ExplorerConfig {
+                parallelism: 2,
+                parallel_threshold: 0,
+                reduction,
+                ..Default::default()
+            };
+            let explorer =
+                Explorer::new(config).with_interrupt(Interrupt::none().with_cancel(token));
+            match explorer.explore(&machine) {
+                Err(ExploreError::Interrupted { reason: StopReason::Cancelled, .. }) => {}
+                other => panic!("{reduction}: expected cancellation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unarmed_interrupt_leaves_results_identical() {
+        let baseline = Explorer::default().explore(&TwoLocalCounters { len: 8 }).unwrap();
+        let armed = Explorer::default()
+            .with_interrupt(Interrupt::none().with_wall_budget(std::time::Duration::from_secs(600)))
+            .explore(&TwoLocalCounters { len: 8 })
+            .unwrap();
+        assert_eq!(baseline, armed);
     }
 
     /// A diamond whose left interior state deadlocks: with an immediate

@@ -147,6 +147,15 @@ impl OutcomeCache {
         name.push_str(".tmp");
         tmp.set_file_name(name);
         fs::write(&tmp, format!("{}\n", self.to_json()))?;
+        // Fault-injection point: `cache.persist` kills the save between the
+        // temporary write and the rename — the crash window the atomic
+        // protocol must survive (the crash-atomicity test drives this).
+        if gam_core::fault::hit("cache.persist") {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected fault: cache.persist killed between write and rename",
+            ));
+        }
         fs::rename(&tmp, path)
     }
 

@@ -8,6 +8,8 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use gam_core::fault;
+
 /// Maximum accepted request body (guards the worker pool against a single
 /// giant upload); 4 MiB comfortably holds any litmus corpus batch.
 pub const MAX_BODY: usize = 4 << 20;
@@ -46,6 +48,11 @@ impl Request {
 /// Returns `InvalidData` on malformed request lines/headers or an
 /// oversized body, and propagates socket errors.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    // Fault-injection point: `http.read` (delay simulates a slow client on
+    // the wire; kill simulates a connection torn mid-request).
+    if fault::hit("http.read") {
+        return Err(io::Error::new(io::ErrorKind::ConnectionAborted, "injected fault: http.read"));
+    }
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -95,6 +102,13 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    // Fault-injection point: `http.write` (delay simulates a congested
+    // response path; kill drops the response on the floor — the client sees
+    // a clean connection close, never a hang, because it reads with a
+    // timeout).
+    if fault::hit("http.write") {
+        return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected fault: http.write"));
+    }
     let mut response = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
@@ -134,20 +148,66 @@ impl Response {
     }
 }
 
-/// Performs one HTTP request against `addr` (e.g. `127.0.0.1:7117`) and
-/// returns the parsed response. This is the client half used by
-/// `gam bench --serve` and the end-to-end tests.
+/// Timeouts of the in-tree HTTP client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout: the longest the client waits for response bytes
+    /// (a slow or wedged server surfaces as a typed `TimedOut`/`WouldBlock`
+    /// error, never a hang).
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config with both timeouts set to `timeout` — what
+    /// `gam bench --serve --timeout-ms` plumbs through.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        ClientConfig { connect_timeout: timeout, read_timeout: timeout }
+    }
+}
+
+/// Performs one HTTP request against `addr` (e.g. `127.0.0.1:7117`) with the
+/// default [`ClientConfig`] and returns the parsed response. This is the
+/// client half used by `gam bench --serve` and the end-to-end tests.
 ///
 /// # Errors
 ///
 /// Propagates connection and protocol errors.
 pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+    request_with(addr, method, path, body, &ClientConfig::default())
+}
+
+/// [`request`] with explicit client timeouts.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors; a read past
+/// [`ClientConfig::read_timeout`] fails with a timeout error instead of
+/// blocking forever.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    config: &ClientConfig,
+) -> io::Result<Response> {
     let target = addr
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "address resolves to nothing"))?;
-    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(10))?;
-    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    let mut stream = TcpStream::connect_timeout(&target, config.connect_timeout)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
     let body = body.unwrap_or("");
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",

@@ -18,8 +18,12 @@
 //!   (the build environment is offline; no external dependencies).
 //! * [`server`] — the service itself: a fixed worker pool draining a
 //!   bounded queue, `/check`, `/batch` (via the engine's adaptive suite
-//!   scheduler), `/metrics` and `/healthz`, with load shedding (`503` +
-//!   `Retry-After`) when the queue is full.
+//!   scheduler), `/metrics`, `/healthz` and `/shutdown` (graceful drain),
+//!   with load shedding (`503` + `Retry-After`) when the queue is full,
+//!   server-side socket timeouts, per-request budgets
+//!   (`budget_states`/`budget_wall_ms` → `inconclusive` rows) and
+//!   panic-isolated checking (a panicking checker is a typed error row and
+//!   a metrics tick, never a dead worker).
 //!
 //! The `gam serve` and `gam bench --serve` subcommands are thin CLI
 //! wrappers over [`server::Server`] and [`http::request`].
@@ -29,6 +33,7 @@ pub mod http;
 pub mod server;
 
 pub use cache::{CacheEntry, OutcomeCache, CACHE_SCHEMA};
+pub use http::ClientConfig;
 pub use server::{
     backend_name, model_name, parse_backend, parse_model, ServeConfig, ServeError, Server,
     METRICS_SCHEMA,

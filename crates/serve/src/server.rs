@@ -10,23 +10,33 @@
 //!   keyed by the canonical hash whenever possible.
 //! * `POST /batch`   — many tests; cache misses are fanned out through the
 //!   engine's adaptive suite scheduler ([`Engine::run_suite_verdicts`]).
+//! * `POST /shutdown` — graceful drain: the CLI observes the request, stops
+//!   accepting, drains in-flight work and persists the cache.
 //!
 //! Overflow is shed gracefully: when the queue is full the acceptor answers
 //! `503` with `Retry-After` instead of queueing, so latency stays bounded
 //! until a streaming API lands (ROADMAP item 5).
+//!
+//! Robustness contract: every check runs panic-isolated (a panicking checker
+//! becomes a typed error row and a `panics_total` tick, never a dead
+//! worker); requests carrying `budget_states`/`budget_wall_ms` that exhaust
+//! their budget get an `inconclusive` row with partial outcomes; slow
+//! clients hit server-side socket timeouts (`408`) instead of wedging the
+//! pool.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use gam_core::ModelKind;
-use gam_engine::{Backend, Engine, Json};
+use gam_core::{ModelKind, StopReason};
+use gam_engine::{Backend, CheckBudget, Engine, EngineError, Json, SessionVerdict};
 use gam_frontend::{canonical_hash, parse_litmus};
 use gam_isa::litmus::LitmusTest;
 use gam_operational::{ExplorerConfig, OperationalChecker};
@@ -51,6 +61,13 @@ pub struct ServeConfig {
     pub cache_path: PathBuf,
     /// Maximum number of cache entries before cost-based eviction.
     pub cache_capacity: usize,
+    /// Server-side socket read timeout: the longest a worker waits for a
+    /// slow (or half-open) client to deliver its request before answering
+    /// `408 Request Timeout` and moving on.
+    pub read_timeout: Duration,
+    /// Server-side socket write timeout: the longest a worker blocks
+    /// writing a response to a client that stopped reading.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +78,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_path: PathBuf::from("gam-serve-cache.json"),
             cache_capacity: 4096,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -100,6 +119,20 @@ struct Metrics {
     shed_total: AtomicU64,
     states_total: AtomicU64,
     wall_us_total: AtomicU64,
+    /// Checks that ended inconclusive (budget exhausted or cancelled).
+    /// Invariant: `checks_total == cache_hits + cache_misses +
+    /// inconclusive_total + panics_total` — inconclusive and panicked
+    /// checks count as checks but never as hits or misses (and are never
+    /// cached).
+    inconclusive_total: AtomicU64,
+    /// Checks whose checker panicked; the panic was caught, the worker
+    /// survived, and the client got a typed error row.
+    panics_total: AtomicU64,
+    /// Wall-budget-exhausted checks plus request reads that hit the
+    /// server-side socket timeout.
+    timeouts_total: AtomicU64,
+    /// Checks stopped by cancellation.
+    cancelled_total: AtomicU64,
     per_model: [AtomicU64; ModelKind::ALL.len()],
 }
 
@@ -118,6 +151,27 @@ impl Metrics {
         self.bump_model(model);
     }
 
+    fn record_inconclusive(&self, model: ModelKind, reason: StopReason) {
+        self.checks_total.fetch_add(1, Ordering::Relaxed);
+        self.inconclusive_total.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            StopReason::WallBudget { .. } => {
+                self.timeouts_total.fetch_add(1, Ordering::Relaxed);
+            }
+            StopReason::Cancelled => {
+                self.cancelled_total.fetch_add(1, Ordering::Relaxed);
+            }
+            StopReason::StateBudget { .. } => {}
+        }
+        self.bump_model(model);
+    }
+
+    fn record_panicked(&self, model: ModelKind) {
+        self.checks_total.fetch_add(1, Ordering::Relaxed);
+        self.panics_total.fetch_add(1, Ordering::Relaxed);
+        self.bump_model(model);
+    }
+
     fn bump_model(&self, model: ModelKind) {
         let index = ModelKind::ALL.iter().position(|m| *m == model).unwrap_or(0);
         self.per_model[index].fetch_add(1, Ordering::Relaxed);
@@ -129,14 +183,24 @@ struct Shared {
     ready: Condvar,
     stop: AtomicUsize,
     queue_depth: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
     metrics: Metrics,
     cache: Mutex<OutcomeCache>,
     cache_path: PathBuf,
+    /// Set by `POST /shutdown`; observed by [`Server::wait_for_shutdown_request`].
+    shutdown_request: Mutex<bool>,
+    shutdown_cond: Condvar,
 }
 
 impl Shared {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst) != 0
+    }
+
+    fn request_shutdown(&self) {
+        *self.shutdown_request.lock().expect("shutdown lock") = true;
+        self.shutdown_cond.notify_all();
     }
 
     /// Persists the cache, warning on (but not propagating) I/O failure: a
@@ -178,9 +242,13 @@ impl Server {
             ready: Condvar::new(),
             stop: AtomicUsize::new(0),
             queue_depth: config.queue_depth.max(1),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
             metrics: Metrics::default(),
             cache: Mutex::new(cache),
             cache_path: config.cache_path.clone(),
+            shutdown_request: Mutex::new(false),
+            shutdown_cond: Condvar::new(),
         });
 
         let acceptor = {
@@ -200,6 +268,22 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Whether a client has asked the service to stop via `POST /shutdown`.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        *self.shared.shutdown_request.lock().expect("shutdown lock")
+    }
+
+    /// Blocks until a client requests shutdown via `POST /shutdown`. The CLI
+    /// parks here, then performs the graceful [`Server::shutdown`] (drain
+    /// workers, persist cache) itself.
+    pub fn wait_for_shutdown_request(&self) {
+        let mut requested = self.shared.shutdown_request.lock().expect("shutdown lock");
+        while !*requested {
+            requested = self.shared.shutdown_cond.wait(requested).expect("shutdown lock");
+        }
     }
 
     /// Stops accepting, drains the workers, and persists the cache.
@@ -268,21 +352,38 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.ready.wait(queue).expect("queue lock");
             }
         };
-        let Some(mut stream) = stream else { return };
-        shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-        let response = match read_request(&mut stream) {
-            Ok(request) => route(shared, &request),
-            Err(err) => error_response(400, format!("bad request: {err}")),
-        };
-        let _ = write_response(
-            &mut stream,
-            response.status,
-            response.reason,
-            &[],
-            "application/json",
-            &response.body,
-        );
+        let Some(stream) = stream else { return };
+        // A panic anywhere in request handling (including injected faults
+        // firing outside the per-check isolation) must never take the worker
+        // down — the connection is abandoned, the loop continues.
+        let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
     }
+}
+
+/// Handles one connection end to end: arm socket timeouts, read the request,
+/// route it, write the response. A read that exceeds the server-side timeout
+/// is answered with `408 Request Timeout` (and counted) rather than holding
+/// the worker hostage to a slow or half-open client.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(shared, &request),
+        Err(err) if matches!(err.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) => {
+            shared.metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
+            error_response(408, format!("request read timed out: {err}"))
+        }
+        Err(err) => error_response(400, format!("bad request: {err}")),
+    };
+    let _ = write_response(
+        &mut stream,
+        response.status,
+        response.reason,
+        &[],
+        "application/json",
+        &response.body,
+    );
 }
 
 struct RouteResponse {
@@ -300,6 +401,7 @@ fn error_response(status: u16, message: String) -> RouteResponse {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         _ => "Internal Server Error",
     };
     let body = Json::object([("ok", Json::Bool(false)), ("error", Json::Str(message))]);
@@ -314,6 +416,13 @@ fn route(shared: &Shared, request: &Request) -> RouteResponse {
         ("GET", "/metrics") => ok_response(&render_metrics(shared)),
         ("POST", "/check") => handle_check(shared, request),
         ("POST", "/batch") => handle_batch(shared, request),
+        ("POST", "/shutdown") => {
+            shared.request_shutdown();
+            ok_response(&Json::object([
+                ("ok", Json::Bool(true)),
+                ("status", Json::Str("draining".to_string())),
+            ]))
+        }
         ("GET" | "POST", _) => error_response(404, format!("no such endpoint: {}", request.path)),
         (method, _) => error_response(405, format!("unsupported method: {method}")),
     }
@@ -357,6 +466,10 @@ fn render_metrics(shared: &Shared) -> Json {
         ),
         ("queue_depth", Json::UInt(shared.queue.lock().expect("queue lock").len() as u64)),
         ("shed_total", Json::UInt(metrics.shed_total.load(Ordering::Relaxed))),
+        ("inconclusive_total", Json::UInt(metrics.inconclusive_total.load(Ordering::Relaxed))),
+        ("panics_total", Json::UInt(metrics.panics_total.load(Ordering::Relaxed))),
+        ("timeouts_total", Json::UInt(metrics.timeouts_total.load(Ordering::Relaxed))),
+        ("cancelled_total", Json::UInt(metrics.cancelled_total.load(Ordering::Relaxed))),
         ("cache_entries", Json::UInt(cache_entries)),
         ("cache_evictions", Json::UInt(evictions)),
         ("per_model_checks", per_model),
@@ -413,14 +526,34 @@ struct CheckOptions {
     backends: Vec<Backend>,
     /// Operational state budget (`max_states`), if the request set one.
     budget_states: Option<usize>,
+    /// Per-check wall-clock budget in milliseconds, if the request set one.
+    budget_wall_ms: Option<u64>,
 }
 
 impl CheckOptions {
+    /// Whether any budget is armed — budgeted requests take the session path
+    /// (budget exhaustion is an inconclusive row, not an error row).
+    fn budgeted(&self) -> bool {
+        self.budget_states.is_some() || self.budget_wall_ms.is_some()
+    }
+
+    fn budget(&self) -> CheckBudget {
+        let mut budget = CheckBudget::none();
+        if let Some(states) = self.budget_states {
+            budget = budget.with_max_states(states);
+        }
+        if let Some(wall_ms) = self.budget_wall_ms {
+            budget = budget.with_max_wall(Duration::from_millis(wall_ms));
+        }
+        budget
+    }
+
     fn from_json(json: &Json) -> Result<CheckOptions, String> {
         let mut options = CheckOptions {
             models: vec![ModelKind::Gam],
             backends: vec![Backend::Operational],
             budget_states: None,
+            budget_wall_ms: None,
         };
         if let Some(models) = json.get("models") {
             let list = models.as_array().ok_or("`models` must be an array")?;
@@ -453,6 +586,10 @@ impl CheckOptions {
             options.budget_states =
                 Some(usize::try_from(value).map_err(|_| "`budget_states` too large")?);
         }
+        if let Some(budget) = json.get("budget_wall_ms") {
+            options.budget_wall_ms =
+                Some(budget.as_u64().ok_or("`budget_wall_ms` must be an integer")?);
+        }
         Ok(options)
     }
 }
@@ -479,6 +616,7 @@ fn handle_check(shared: &Shared, request: &Request) -> RouteResponse {
                 models: vec![ModelKind::Gam],
                 backends: vec![Backend::Operational],
                 budget_states: None,
+                budget_wall_ms: None,
             },
         )
     };
@@ -529,8 +667,8 @@ fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> (Jso
                 ])));
                 continue;
             }
-            match compute_miss(test, model, backend, options.budget_states) {
-                Ok(entry) => {
+            match compute_miss(test, model, backend, options) {
+                MissOutcome::Conclusive(entry) => {
                     shared.metrics.record_miss(model, entry.states, entry.wall_us);
                     shared.cache.lock().expect("cache lock").insert(key, entry.clone());
                     mutated = true;
@@ -541,8 +679,25 @@ fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> (Jso
                         ("states", Json::UInt(entry.states)),
                     ])));
                 }
-                Err(err) => {
-                    results.push(Json::object(base.into_iter().chain([("error", Json::Str(err))])));
+                MissOutcome::Inconclusive { reason, states_visited, partial_outcomes, wall_us } => {
+                    shared.metrics.record_inconclusive(model, reason);
+                    results.push(Json::object(base.into_iter().chain(inconclusive_fields(
+                        reason,
+                        states_visited,
+                        partial_outcomes,
+                        wall_us,
+                    ))));
+                }
+                MissOutcome::Panicked(message) => {
+                    shared.metrics.record_panicked(model);
+                    results.push(Json::object(
+                        base.into_iter().chain([("error", Json::Str(message))]),
+                    ));
+                }
+                MissOutcome::Error(message) => {
+                    results.push(Json::object(
+                        base.into_iter().chain([("error", Json::Str(message))]),
+                    ));
                 }
             }
         }
@@ -559,36 +714,112 @@ fn verdict_json(allowed: bool) -> Json {
     Json::Str(if allowed { "allowed" } else { "forbidden" }.to_string())
 }
 
-/// Computes a cache miss. The operational backend goes through the explorer
-/// directly so the entry records real `states_visited` (the engine's
-/// `Checker` trait deliberately hides them); the axiomatic backend goes
-/// through the engine.
+/// How one cache miss resolved.
+enum MissOutcome {
+    /// The check finished; the entry is cacheable.
+    Conclusive(CacheEntry),
+    /// A budget ran out or the check was cancelled before the verdict was
+    /// known — reported to the client, counted, never cached.
+    Inconclusive { reason: StopReason, states_visited: u64, partial_outcomes: u64, wall_us: u64 },
+    /// The checker panicked; the panic was caught and rendered.
+    Panicked(String),
+    /// An ordinary checker error (unsupported feature, too many events, …).
+    Error(String),
+}
+
+/// The JSON fields of an inconclusive result row.
+fn inconclusive_fields(
+    reason: StopReason,
+    states_visited: u64,
+    partial_outcomes: u64,
+    wall_us: u64,
+) -> [(&'static str, Json); 6] {
+    [
+        ("verdict", Json::Str("inconclusive".to_string())),
+        ("reason", Json::Str(reason.to_string())),
+        ("cached", Json::Bool(false)),
+        ("wall_us", Json::UInt(wall_us)),
+        ("states", Json::UInt(states_visited)),
+        ("partial_outcomes", Json::UInt(partial_outcomes)),
+    ]
+}
+
+/// Computes a cache miss.
+///
+/// Budgeted requests (`budget_states`/`budget_wall_ms`) take the engine's
+/// session path ([`Engine::check_budgeted`]): budget exhaustion becomes an
+/// [`MissOutcome::Inconclusive`] carrying partial outcomes instead of an
+/// error. Unbudgeted requests keep the original path — the operational
+/// backend goes through the explorer directly so the entry records real
+/// `states_visited` (the engine's `Checker` trait deliberately hides them);
+/// the axiomatic backend goes through the engine. Both paths are
+/// panic-isolated: a panicking checker yields [`MissOutcome::Panicked`], not
+/// a dead worker.
 fn compute_miss(
     test: &LitmusTest,
     model: ModelKind,
     backend: Backend,
-    budget_states: Option<usize>,
-) -> Result<CacheEntry, String> {
+    options: &CheckOptions,
+) -> MissOutcome {
+    if options.budgeted() {
+        let engine = match Engine::builder().model(model).backend(backend).build() {
+            Ok(engine) => engine,
+            Err(err) => return MissOutcome::Error(err.to_string()),
+        };
+        return match engine.check_budgeted(test, &options.budget()) {
+            Ok(outcome) => {
+                let wall_us = u64::try_from(outcome.wall.as_micros()).unwrap_or(u64::MAX);
+                match outcome.verdict {
+                    SessionVerdict::Inconclusive { partial_outcomes, states_visited, reason } => {
+                        MissOutcome::Inconclusive {
+                            reason,
+                            states_visited: states_visited as u64,
+                            partial_outcomes: partial_outcomes.len() as u64,
+                            wall_us,
+                        }
+                    }
+                    verdict => {
+                        let allowed = verdict
+                            .as_verdict()
+                            .map(|v| v.is_allowed())
+                            .expect("non-inconclusive session verdict is conclusive");
+                        // The session path enumerates outcomes without
+                        // reporting state counts; cost ranks by wall time.
+                        MissOutcome::Conclusive(CacheEntry { allowed, wall_us, states: 0, hits: 0 })
+                    }
+                }
+            }
+            Err(EngineError::Panicked { payload }) => {
+                MissOutcome::Panicked(EngineError::Panicked { payload }.to_string())
+            }
+            Err(err) => MissOutcome::Error(err.to_string()),
+        };
+    }
     let start = Instant::now();
-    let (allowed, states) = match backend {
-        Backend::Operational => {
-            let config = ExplorerConfig {
-                max_states: budget_states.unwrap_or(ExplorerConfig::default().max_states),
-                ..ExplorerConfig::default()
-            };
-            let checker = OperationalChecker::with_config(model, config);
-            let exploration = checker.explore(test).map_err(|err| err.to_string())?;
-            let allowed =
-                exploration.outcomes.iter().any(|outcome| test.condition().matched_by(outcome));
-            (allowed, exploration.states_visited as u64)
+    let computed = catch_unwind(AssertUnwindSafe(|| -> Result<(bool, u64), String> {
+        match backend {
+            Backend::Operational => {
+                let checker = OperationalChecker::with_config(model, ExplorerConfig::default());
+                let exploration = checker.explore(test).map_err(|err| err.to_string())?;
+                let allowed =
+                    exploration.outcomes.iter().any(|outcome| test.condition().matched_by(outcome));
+                Ok((allowed, exploration.states_visited as u64))
+            }
+            Backend::Axiomatic => {
+                let verdict =
+                    Engine::axiomatic(model).check(test).map_err(|err| err.to_string())?;
+                Ok((verdict.is_allowed(), 0))
+            }
         }
-        Backend::Axiomatic => {
-            let verdict = Engine::axiomatic(model).check(test).map_err(|err| err.to_string())?;
-            (verdict.is_allowed(), 0)
-        }
-    };
+    }));
     let wall_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    Ok(CacheEntry { allowed, wall_us, states, hits: 0 })
+    match computed {
+        Ok(Ok((allowed, states))) => {
+            MissOutcome::Conclusive(CacheEntry { allowed, wall_us, states, hits: 0 })
+        }
+        Ok(Err(message)) => MissOutcome::Error(message),
+        Err(payload) => MissOutcome::Panicked(EngineError::panicked(&*payload).to_string()),
+    }
 }
 
 fn handle_batch(shared: &Shared, request: &Request) -> RouteResponse {
@@ -665,9 +896,18 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                     hit_entries.push(entry);
                 }
             }
-            // Fan the misses out through the adaptive suite scheduler.
-            let mut miss_results: Vec<Option<Result<CacheEntry, String>>> = vec![None; tests.len()];
-            if !miss_indices.is_empty() {
+            // Fan the misses out. Budgeted batches go test-by-test through
+            // the session path (each test gets its own budget and its own
+            // inconclusive/panicked accounting); unbudgeted batches keep the
+            // adaptive suite scheduler.
+            let mut miss_results: Vec<Option<MissOutcome>> =
+                std::iter::repeat_with(|| None).take(tests.len()).collect();
+            if options.budgeted() {
+                for &index in &miss_indices {
+                    miss_results[index] =
+                        Some(compute_miss(&tests[index], model, backend, options));
+                }
+            } else if !miss_indices.is_empty() {
                 let miss_tests: Vec<LitmusTest> =
                     miss_indices.iter().map(|&i| tests[i].clone()).collect();
                 match Engine::builder().model(model).backend(backend).build() {
@@ -678,7 +918,7 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                                 u64::try_from(test_report.wall.as_micros()).unwrap_or(u64::MAX);
                             miss_results[index] =
                                 Some(match (test_report.verdict, &test_report.error) {
-                                    (Some(verdict), _) => Ok(CacheEntry {
+                                    (Some(verdict), _) => MissOutcome::Conclusive(CacheEntry {
                                         allowed: verdict.is_allowed(),
                                         wall_us,
                                         // The scheduler's early-exit mode does not
@@ -686,15 +926,26 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                                         states: 0,
                                         hits: 0,
                                     }),
-                                    (None, Some(error)) => Err(error.clone()),
-                                    (None, None) => Err("backend produced no verdict".to_string()),
+                                    // The suite runner renders caught panics
+                                    // through `EngineError::Panicked` — detect
+                                    // them by their stable prefix so the batch
+                                    // path counts panics exactly like `/check`.
+                                    (None, Some(error))
+                                        if error.starts_with("the checker panicked") =>
+                                    {
+                                        MissOutcome::Panicked(error.clone())
+                                    }
+                                    (None, Some(error)) => MissOutcome::Error(error.clone()),
+                                    (None, None) => MissOutcome::Error(
+                                        "backend produced no verdict".to_string(),
+                                    ),
                                 });
                         }
                     }
                     Err(err) => {
                         let message = err.to_string();
                         for &index in &miss_indices {
-                            miss_results[index] = Some(Err(message.clone()));
+                            miss_results[index] = Some(MissOutcome::Error(message.clone()));
                         }
                     }
                 }
@@ -712,7 +963,7 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                     continue;
                 }
                 match miss_results[index].take() {
-                    Some(Ok(entry)) => {
+                    Some(MissOutcome::Conclusive(entry)) => {
                         shared.metrics.record_miss(model, entry.states, entry.wall_us);
                         let key = OutcomeCache::key(
                             &hashes[index],
@@ -728,7 +979,24 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                             ("states", Json::UInt(entry.states)),
                         ]));
                     }
-                    Some(Err(message)) => {
+                    Some(MissOutcome::Inconclusive {
+                        reason,
+                        states_visited,
+                        partial_outcomes,
+                        wall_us,
+                    }) => {
+                        shared.metrics.record_inconclusive(model, reason);
+                        row.push(base(
+                            inconclusive_fields(reason, states_visited, partial_outcomes, wall_us)
+                                .into_iter()
+                                .collect(),
+                        ));
+                    }
+                    Some(MissOutcome::Panicked(message)) => {
+                        shared.metrics.record_panicked(model);
+                        row.push(base(vec![("error", Json::Str(message))]));
+                    }
+                    Some(MissOutcome::Error(message)) => {
                         row.push(base(vec![("error", Json::Str(message))]));
                     }
                     None => {

@@ -37,6 +37,7 @@ fn start(cache_path: &Scratch) -> Server {
         queue_depth: 16,
         cache_path: cache_path.0.clone(),
         cache_capacity: 256,
+        ..ServeConfig::default()
     };
     let (server, warning) = Server::start(&config).expect("server starts");
     assert!(warning.is_none(), "scratch cache must load silently: {warning:?}");
@@ -203,18 +204,84 @@ fn batch_agrees_with_in_process_suite_and_metrics_add_up() {
         assert_eq!(pair.get("cached"), Some(&Json::Bool(true)));
     }
 
-    // Metrics must account for exactly these checks.
+    // Metrics must account for exactly these checks — including the
+    // robustness counters, all zero on this fault-free run.
     let (_, metrics) = json_body(&addr, "GET", "/metrics", None);
     let get = |key: &str| metrics.get(key).and_then(Json::as_u64).unwrap();
     assert_eq!(get("cache_misses"), tests.len() as u64);
     assert_eq!(get("cache_hits"), tests.len() as u64);
-    assert_eq!(get("checks_total"), get("cache_hits") + get("cache_misses"));
+    assert_eq!(
+        get("checks_total"),
+        get("cache_hits") + get("cache_misses") + get("inconclusive_total") + get("panics_total")
+    );
+    assert_eq!(get("inconclusive_total"), 0);
+    assert_eq!(get("panics_total"), 0);
+    assert_eq!(get("timeouts_total"), 0);
+    assert_eq!(get("cancelled_total"), 0);
     assert_eq!(get("hit_rate_permille"), 500);
     assert_eq!(get("cache_entries"), tests.len() as u64);
     assert_eq!(
         metrics.get("per_model_checks").and_then(|m| m.get("gam")).and_then(Json::as_u64),
         Some(2 * tests.len() as u64)
     );
+
+    server.shutdown();
+}
+
+#[test]
+fn budgeted_check_reports_inconclusive_and_is_not_cached() {
+    let scratch = Scratch::new("budget");
+    let server = start(&scratch);
+    let addr = server.local_addr().to_string();
+
+    // A zero wall budget trips on the explorer's first interrupt poll.
+    let iriw = library::iriw();
+    let envelope = Json::object([
+        ("litmus", Json::Str(print_litmus(&iriw))),
+        ("budget_wall_ms", Json::UInt(0)),
+    ]);
+    let (status, json) = json_body(&addr, "POST", "/check", Some(&envelope.to_string()));
+    assert_eq!(status, 200);
+    let row = only_result(&json);
+    assert_eq!(row.get("verdict").and_then(Json::as_str), Some("inconclusive"));
+    assert_eq!(row.get("cached"), Some(&Json::Bool(false)));
+    let reason = row.get("reason").and_then(Json::as_str).expect("inconclusive rows carry reasons");
+    assert!(reason.contains("wall budget"), "unexpected reason: {reason}");
+
+    // Inconclusive results are counted but never cached: the unbudgeted
+    // resubmission is a miss that produces the real verdict.
+    let (_, json) = json_body(&addr, "POST", "/check", Some(&print_litmus(&iriw)));
+    let row = only_result(&json);
+    assert_eq!(row.get("verdict").and_then(Json::as_str), Some("allowed"));
+    assert_eq!(row.get("cached"), Some(&Json::Bool(false)));
+
+    let (_, metrics) = json_body(&addr, "GET", "/metrics", None);
+    let get = |key: &str| metrics.get(key).and_then(Json::as_u64).unwrap();
+    assert_eq!(get("inconclusive_total"), 1);
+    assert_eq!(get("timeouts_total"), 1, "wall-budget exhaustion counts as a timeout");
+    assert_eq!(get("cancelled_total"), 0);
+    assert_eq!(get("cache_misses"), 1);
+    assert_eq!(
+        get("checks_total"),
+        get("cache_hits") + get("cache_misses") + get("inconclusive_total") + get("panics_total")
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_requests_a_graceful_drain() {
+    let scratch = Scratch::new("shutdown");
+    let server = start(&scratch);
+    let addr = server.local_addr().to_string();
+
+    assert!(!server.shutdown_requested());
+    let (status, json) = json_body(&addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    assert_eq!(json.get("status").and_then(Json::as_str), Some("draining"));
+    assert!(server.shutdown_requested());
+    // The flag is observable without blocking once set.
+    server.wait_for_shutdown_request();
 
     server.shutdown();
 }

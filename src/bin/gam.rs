@@ -3,14 +3,16 @@
 //! ```text
 //! usage:
 //!   gam check FILE [--models LIST] [--backends LIST] [--jobs N]
-//!                 [--explorer-threads N] [--json] [--no-expectations]
+//!                 [--explorer-threads N] [--time-budget MS] [--json]
+//!                 [--no-expectations]
 //!   gam run DIR   [--models LIST] [--backends LIST] [--jobs N]
 //!                 [--explorer-threads N] [--json] [--no-expectations]
 //!   gam bench DIR [--models LIST] [--explorer-threads N] [--json]
 //!   gam bench DIR --serve ADDR [--models LIST] [--jobs N]
-//!                 [--min-hit-rate R] [--json] [--out PATH]
+//!                 [--min-hit-rate R] [--timeout-ms MS] [--json] [--out PATH]
 //!   gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N]
-//!             [--workers N] [--queue-depth N]
+//!             [--workers N] [--queue-depth N] [--read-timeout-ms MS]
+//!             [--write-timeout-ms MS]
 //!   gam gen-corpus DIR [--count N] [--seed S]
 //!   gam print FILE
 //!   gam export-library DIR
@@ -53,15 +55,25 @@
 //! writes the in-code library as a corpus.
 //!
 //! `serve` starts the long-running check service (`gam-serve`): an HTTP
-//! API over a persistent, canonicalizing outcome cache. `bench --serve`
-//! is its load-generating client: it replays a corpus concurrently against
-//! a live server, asserts every verdict against an in-process engine run,
-//! cross-checks the server's `/metrics` deltas against what the client
-//! observed, and reports throughput and cache hit rate.
+//! API over a persistent, canonicalizing outcome cache; it runs until a
+//! client POSTs `/shutdown`, then drains gracefully and persists the
+//! cache. `bench --serve` is its load-generating client: it replays a
+//! corpus concurrently against a live server (with per-request
+//! `--timeout-ms` client timeouts), asserts every verdict against an
+//! in-process engine run, cross-checks the server's `/metrics` deltas
+//! against what the client observed, and reports throughput and cache hit
+//! rate.
+//!
+//! `check --time-budget MS` runs each (model, backend) pair through the
+//! engine's budgeted session API: a check that exhausts its wall budget
+//! reports INCONCLUSIVE with its partial outcomes instead of running
+//! open-ended.
 //!
 //! Exit status (all subcommands): 0 = clean, 1 = the command ran but found
 //! mismatches, disagreements, coverage gaps or check errors, 2 = usage or
-//! startup error (bad flags, unreadable input, `serve` bind failure).
+//! startup error (bad flags, unreadable input, `serve` bind failure),
+//! 3 = `check --time-budget` ran error-free but left at least one verdict
+//! inconclusive.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -74,16 +86,34 @@ use gam_isa::litmus::LitmusTest;
 use gam_operational::{ExplorerConfig, OperationalChecker};
 use gam_verify::expectations::{render_expectations, OwnedExpectation};
 
+/// Terminal status of a subcommand.
+enum Status {
+    /// Everything checked out — exit 0.
+    Clean,
+    /// The command ran but found mismatches, disagreements or errors — exit 1.
+    Findings,
+    /// Every check ran error-free but at least one verdict is inconclusive
+    /// (a `--time-budget` ran out) — exit 3, distinct from both a mismatch
+    /// (1) and a usage error (2) so scripts can retry with a bigger budget.
+    Inconclusive,
+}
+
+impl Status {
+    fn from_clean(clean: bool) -> Status {
+        if clean {
+            Status::Clean
+        } else {
+            Status::Findings
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(clean) => {
-            if clean {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+        Ok(Status::Clean) => ExitCode::SUCCESS,
+        Ok(Status::Findings) => ExitCode::FAILURE,
+        Ok(Status::Inconclusive) => ExitCode::from(3),
         Err(message) => {
             eprintln!("gam: {message}");
             ExitCode::from(2)
@@ -91,27 +121,28 @@ fn main() -> ExitCode {
     }
 }
 
-/// Dispatches a subcommand. `Ok(false)` means the command ran but found
-/// mismatches/errors (exit 1); `Err` is a usage or I/O problem (exit 2).
-fn run(args: &[String]) -> Result<bool, String> {
+/// Dispatches a subcommand. `Ok(Status::Findings)` means the command ran
+/// but found mismatches/errors (exit 1); `Err` is a usage or I/O problem
+/// (exit 2).
+fn run(args: &[String]) -> Result<Status, String> {
     let Some(command) = args.first() else {
         return Err(format!("missing subcommand\n\n{USAGE}"));
     };
     match command.as_str() {
         "check" => cmd_check(&args[1..]),
-        "run" => cmd_run(&args[1..]),
-        "bench" => cmd_bench(&args[1..]),
-        "serve" => cmd_serve(&args[1..]),
-        "gen-corpus" => cmd_gen_corpus(&args[1..]),
-        "print" => cmd_print(&args[1..]),
-        "export-library" => cmd_export(&args[1..]),
+        "run" => cmd_run(&args[1..]).map(Status::from_clean),
+        "bench" => cmd_bench(&args[1..]).map(Status::from_clean),
+        "serve" => cmd_serve(&args[1..]).map(Status::from_clean),
+        "gen-corpus" => cmd_gen_corpus(&args[1..]).map(Status::from_clean),
+        "print" => cmd_print(&args[1..]).map(Status::from_clean),
+        "export-library" => cmd_export(&args[1..]).map(Status::from_clean),
         "--version" | "-V" | "version" => {
             println!("gam {}", env!("CARGO_PKG_VERSION"));
-            Ok(true)
+            Ok(Status::Clean)
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(true)
+            Ok(Status::Clean)
         }
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
     }
@@ -119,14 +150,14 @@ fn run(args: &[String]) -> Result<bool, String> {
 
 const USAGE: &str = "usage:
   gam check FILE [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
-                [--json] [--no-expectations]
+                [--time-budget MS] [--json] [--no-expectations]
   gam run DIR   [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
                 [--json] [--no-expectations]
   gam bench DIR [--models LIST] [--explorer-threads N] [--json]
   gam bench DIR --serve ADDR [--models LIST] [--jobs N] [--min-hit-rate R]
-                [--json] [--out PATH]
+                [--timeout-ms MS] [--json] [--out PATH]
   gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N] [--workers N]
-            [--queue-depth N]
+            [--queue-depth N] [--read-timeout-ms MS] [--write-timeout-ms MS]
   gam gen-corpus DIR [--count N] [--seed S]
   gam print FILE
   gam export-library DIR
@@ -142,10 +173,15 @@ const USAGE: &str = "usage:
   --json               machine-readable report on stdout
   --no-expectations    skip expectation diffing (run: corpus expectations.txt;
                        check: built-in paper table)
+  --time-budget MS     check: wall-clock budget per (model, backend) pair;
+                       a check that exhausts it reports INCONCLUSIVE with
+                       its partial outcomes and the command exits 3
   --serve ADDR         bench: replay the corpus against a live `gam serve`
                        at ADDR instead of checking in-process
   --min-hit-rate R     bench --serve: fail unless the observed cache hit
                        rate is at least R (0.0-1.0, default 0)
+  --timeout-ms MS      bench --serve: client connect/read timeout per
+                       request (default: 10s connect, 600s read)
   --out PATH           bench --serve: also write the JSON report to PATH
   --addr ADDR          serve: bind address (default 127.0.0.1:7117)
   --cache PATH         serve: cache file (default gam-serve-cache.json)
@@ -153,10 +189,14 @@ const USAGE: &str = "usage:
   --workers N          serve: worker threads (default: all cores)
   --queue-depth N      serve: request queue bound; beyond it requests are
                        shed with 503 + Retry-After (default 64)
+  --read-timeout-ms MS serve: per-socket read timeout; a stalled client
+                       gets 408 instead of wedging a worker (default 10s)
+  --write-timeout-ms MS serve: per-socket write timeout (default 10s)
 
 exit status: 0 = clean; 1 = ran but found mismatches, disagreements,
 coverage gaps or check errors; 2 = usage/startup error (bad flags,
-unreadable input, serve bind failure)";
+unreadable input, serve bind failure); 3 = check ran error-free but a
+--time-budget ran out, leaving at least one verdict inconclusive";
 
 // ---------------------------------------------------------------------------
 // argument helpers
@@ -196,6 +236,10 @@ fn positional(args: &[String]) -> Option<&String> {
                     | "--cache-capacity"
                     | "--workers"
                     | "--queue-depth"
+                    | "--read-timeout-ms"
+                    | "--write-timeout-ms"
+                    | "--time-budget"
+                    | "--timeout-ms"
             );
             continue;
         }
@@ -444,7 +488,7 @@ fn json_report(
 // subcommands
 // ---------------------------------------------------------------------------
 
-fn cmd_check(args: &[String]) -> Result<bool, String> {
+fn cmd_check(args: &[String]) -> Result<Status, String> {
     let Some(path) = positional(args) else {
         return Err("`gam check` needs a FILE argument".to_string());
     };
@@ -453,7 +497,7 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
         Ok(test) => test,
         Err(err) => {
             eprintln!("{path}: {err}");
-            return Ok(false);
+            return Ok(Status::Findings);
         }
     };
     let models = match arg_value(args, "--models") {
@@ -466,6 +510,10 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
     };
     let workers = parallelism(args)?;
     let explorer_workers = explorer_threads(args)?;
+    if let Some(ms) = arg_value(args, "--time-budget") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid --time-budget `{ms}`"))?;
+        return cmd_check_budgeted(args, path, &test, &models, &backends, explorer_workers, ms);
+    }
     let use_expectations = !arg_flag(args, "--no-expectations");
     let tests = [test];
     let reports = run_matrix(&tests, path, &models, &backends, workers, explorer_workers)?;
@@ -506,7 +554,126 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
             println!("MISMATCH {} under {}: {}", m.test, m.model, m.detail);
         }
     }
-    Ok(mismatches.is_empty())
+    Ok(Status::from_clean(mismatches.is_empty()))
+}
+
+/// The `--time-budget` path of `gam check`: each supported (model, backend)
+/// pair runs through the engine's budgeted session API, so a blow-up in the
+/// state space surfaces as an INCONCLUSIVE row carrying partial outcomes
+/// (exit 3) instead of an open-ended run. Expectation diffing is skipped —
+/// a budgeted verdict may be partial by design.
+fn cmd_check_budgeted(
+    args: &[String],
+    path: &str,
+    test: &LitmusTest,
+    models: &[ModelKind],
+    backends: &[Backend],
+    explorer_workers: usize,
+    budget_ms: u64,
+) -> Result<Status, String> {
+    let budget =
+        gam_engine::CheckBudget::none().with_max_wall(std::time::Duration::from_millis(budget_ms));
+    let mut rows = Vec::new();
+    let mut any_inconclusive = false;
+    let mut any_error = false;
+    for &model in models {
+        for &backend in backends {
+            if !backend.supports(model) {
+                continue;
+            }
+            let engine = Engine::builder()
+                .model(model)
+                .backend(backend)
+                .explorer_parallelism(explorer_workers)
+                .build()
+                .map_err(|err| err.to_string())?;
+            let row = match engine.check_budgeted(test, &budget) {
+                Ok(outcome) => (model, backend, Ok(outcome)),
+                Err(err) => {
+                    any_error = true;
+                    (model, backend, Err(err.to_string()))
+                }
+            };
+            if matches!(&row.2, Ok(outcome) if !outcome.verdict.is_conclusive()) {
+                any_inconclusive = true;
+            }
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() {
+        return Err("no supported (model, backend) combination selected".to_string());
+    }
+    if arg_flag(args, "--json") {
+        let json_rows = rows.iter().map(|(model, backend, result)| {
+            let base =
+                [("model", Json::from(model.to_string())), ("backend", Json::from(backend.name()))];
+            match result {
+                Ok(outcome) => match &outcome.verdict {
+                    gam_engine::SessionVerdict::Inconclusive {
+                        partial_outcomes,
+                        states_visited,
+                        reason,
+                    } => Json::object(base.into_iter().chain([
+                        ("verdict", Json::from("inconclusive")),
+                        ("reason", Json::from(reason.to_string())),
+                        ("states_visited", Json::UInt(*states_visited as u64)),
+                        ("partial_outcomes", Json::UInt(partial_outcomes.len() as u64)),
+                        ("wall_us", Json::UInt(micros(outcome.wall))),
+                    ])),
+                    verdict => Json::object(base.into_iter().chain([
+                        ("verdict", Json::from(verdict.to_string())),
+                        ("wall_us", Json::UInt(micros(outcome.wall))),
+                    ])),
+                },
+                Err(error) => {
+                    Json::object(base.into_iter().chain([("error", Json::from(error.as_str()))]))
+                }
+            }
+        });
+        println!(
+            "{}",
+            Json::object([
+                ("suite", Json::from(path)),
+                ("time_budget_ms", Json::UInt(budget_ms)),
+                ("results", Json::array(json_rows)),
+                ("ok", Json::from(!any_error)),
+                ("inconclusive", Json::from(any_inconclusive)),
+            ])
+        );
+    } else {
+        print!("{}", print_litmus(test));
+        println!();
+        for (model, backend, result) in &rows {
+            match result {
+                Ok(outcome) => match &outcome.verdict {
+                    gam_engine::SessionVerdict::Inconclusive {
+                        partial_outcomes,
+                        states_visited,
+                        reason,
+                    } => println!(
+                        "{:<8} {:<12} INCONCLUSIVE: {reason} ({states_visited} states, {} \
+                         partial outcomes)",
+                        model.to_string(),
+                        backend.name(),
+                        partial_outcomes.len()
+                    ),
+                    verdict => {
+                        println!("{:<8} {:<12} {verdict}", model.to_string(), backend.name());
+                    }
+                },
+                Err(error) => {
+                    println!("{:<8} {:<12} ERROR: {error}", model.to_string(), backend.name());
+                }
+            }
+        }
+    }
+    Ok(if any_error {
+        Status::Findings
+    } else if any_inconclusive {
+        Status::Inconclusive
+    } else {
+        Status::Clean
+    })
 }
 
 fn cmd_run(args: &[String]) -> Result<bool, String> {
@@ -917,6 +1084,20 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
     if let Some(n) = arg_value(args, "--queue-depth") {
         config.queue_depth = n.parse().map_err(|_| format!("invalid --queue-depth `{n}`"))?;
     }
+    if let Some(ms) = arg_value(args, "--read-timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid --read-timeout-ms `{ms}`"))?;
+        if ms == 0 {
+            return Err("--read-timeout-ms must be positive".to_string());
+        }
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = arg_value(args, "--write-timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid --write-timeout-ms `{ms}`"))?;
+        if ms == 0 {
+            return Err("--write-timeout-ms must be positive".to_string());
+        }
+        config.write_timeout = std::time::Duration::from_millis(ms);
+    }
     // A bind failure is a startup error: `Err` exits 2 with the message.
     let (server, warning) = gam_serve::Server::start(&config).map_err(|err| err.to_string())?;
     if let Some(warning) = warning {
@@ -930,11 +1111,14 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
         config.cache_path.display(),
         config.cache_capacity.max(1),
     );
-    // Serve until killed. The cache is persisted after every mutating
-    // request, so an external kill loses nothing.
-    loop {
-        std::thread::park();
-    }
+    // Serve until a client POSTs /shutdown, then drain gracefully: stop
+    // accepting, join the workers and persist the cache. The cache is also
+    // persisted after every mutating request, so an external kill loses
+    // nothing either.
+    server.wait_for_shutdown_request();
+    println!("gam serve: shutdown requested; draining");
+    server.shutdown();
+    Ok(true)
 }
 
 /// Strips an optional `http://` scheme and trailing slashes from a server
@@ -943,8 +1127,8 @@ fn server_addr(raw: &str) -> &str {
     raw.trim_start_matches("http://").trim_end_matches('/')
 }
 
-fn fetch_metrics(addr: &str) -> Result<Json, String> {
-    let response = gam_serve::http::request(addr, "GET", "/metrics", None)
+fn fetch_metrics(addr: &str, client: &gam_serve::ClientConfig) -> Result<Json, String> {
+    let response = gam_serve::http::request_with(addr, "GET", "/metrics", None, client)
         .map_err(|err| format!("cannot reach {addr}: {err}"))?;
     if response.status != 200 {
         return Err(format!("{addr}/metrics answered {}", response.status));
@@ -988,6 +1172,16 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
             rate
         }
     };
+    let client = match arg_value(args, "--timeout-ms") {
+        None => gam_serve::ClientConfig::default(),
+        Some(ms) => {
+            let ms: u64 = ms.parse().map_err(|_| format!("invalid --timeout-ms `{ms}`"))?;
+            if ms == 0 {
+                return Err("--timeout-ms must be positive".to_string());
+            }
+            gam_serve::ClientConfig::with_timeout(std::time::Duration::from_millis(ms))
+        }
+    };
     let as_json = arg_flag(args, "--json");
     let out_path = arg_value(args, "--out");
     let tests = corpus.tests();
@@ -1010,7 +1204,7 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
         }
     }
 
-    let before = fetch_metrics(&addr)?;
+    let before = fetch_metrics(&addr, &client)?;
 
     // Replay: every (test, model) request, drained concurrently by `jobs`
     // client threads off a shared cursor.
@@ -1035,7 +1229,7 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
             scope.spawn(|| loop {
                 let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some((test, model, body)) = work.get(index) else { break };
-                let outcome = replay_one(&addr, body);
+                let outcome = replay_one(&addr, body, &client);
                 rows.lock().expect("rows lock").push(ReplayRow {
                     test: test.clone(),
                     model: *model,
@@ -1047,7 +1241,7 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
     let wall = started.elapsed();
     let rows = rows.into_inner().expect("rows lock");
 
-    let after = fetch_metrics(&addr)?;
+    let after = fetch_metrics(&addr, &client)?;
 
     // Score the replay against the in-process verdicts.
     let mut disagreements = Vec::new();
@@ -1095,6 +1289,18 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
     if delta("cache_hits") != hits {
         metric_faults
             .push(format!("cache_hits moved by {} but client saw {hits}", delta("cache_hits")));
+    }
+    // The server's counters must reconcile among themselves too: every
+    // check is exactly one of hit, miss, inconclusive or panicked.
+    let accounted = delta("cache_hits")
+        + delta("cache_misses")
+        + delta("inconclusive_total")
+        + delta("panics_total");
+    if delta("checks_total") != accounted {
+        metric_faults.push(format!(
+            "checks_total moved by {} but hits+misses+inconclusive+panics moved by {accounted}",
+            delta("checks_total")
+        ));
     }
 
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -1158,8 +1364,12 @@ fn model_word(model: ModelKind) -> &'static str {
 
 /// Sends one `/check` request and extracts `(allowed, cached)` from the
 /// single result row.
-fn replay_one(addr: &str, body: &str) -> Result<(bool, bool), String> {
-    let response = gam_serve::http::request(addr, "POST", "/check", Some(body))
+fn replay_one(
+    addr: &str,
+    body: &str,
+    client: &gam_serve::ClientConfig,
+) -> Result<(bool, bool), String> {
+    let response = gam_serve::http::request_with(addr, "POST", "/check", Some(body), client)
         .map_err(|err| err.to_string())?;
     if response.status != 200 {
         return Err(format!("HTTP {}: {}", response.status, response.body.trim()));
