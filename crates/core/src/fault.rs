@@ -1,10 +1,14 @@
 //! Deterministic fault injection for robustness testing.
 //!
 //! Production code is instrumented with named *injection points* — the
-//! operational explorer, the axiomatic enumeration, cache persistence and the
-//! HTTP I/O paths each call [`hit`] with a stable point name. With no plan
-//! installed a hit is a single relaxed atomic load, so the instrumentation is
-//! free in normal operation.
+//! operational explorer (`explore`), the axiomatic enumeration (`axiomatic`),
+//! cache persistence (`cache.persist` for the snapshot rename,
+//! `cache.journal.append` for write-ahead-journal appends, `cache.compact`
+//! for the journal truncation after a compaction snapshot), run checkpoints
+//! (`checkpoint.write`) and the HTTP I/O paths (`http.read`, `http.write`)
+//! each call [`hit`] with a stable point name. With no plan installed a hit
+//! is a single relaxed atomic load, so the instrumentation is free in normal
+//! operation.
 //!
 //! A plan arms points with one of three actions:
 //!

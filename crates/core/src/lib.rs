@@ -46,6 +46,7 @@ pub mod model;
 pub mod ppo;
 pub mod relation;
 pub mod resolved;
+pub mod wal;
 
 pub use dependency::{address_dependencies, data_dependencies};
 pub use interrupt::{CancelToken, Interrupt, StopReason};

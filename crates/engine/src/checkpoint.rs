@@ -1,0 +1,149 @@
+//! Crash-durable run checkpoints: resume a killed `gam check`/`gam bench`.
+//!
+//! A corpus run is a sequence of independent *work units* — one
+//! (test, model) exploration for `gam bench`, one (model, backend) pair for
+//! `gam check`. Each unit is deterministic: the sequential explorer visits
+//! the same states and produces the same outcome set every time. That makes
+//! the right checkpoint granularity the *unit*, not the explorer frontier:
+//! a resumed run skips every completed unit and recomputes only the one the
+//! crash interrupted, which by determinism yields outcome sets and
+//! visited-state counts identical to an uninterrupted run.
+//!
+//! The file is an append-only log built on [`gam_core::wal`] (magic line
+//! [`CHECKPOINT_SCHEMA`], one CRC-framed JSON record per completed unit), so
+//! it inherits the journal's crash contract: a `kill -9` mid-append loses at
+//! most the record being written, and [`RunCheckpoint::open`] recovers the
+//! longest valid prefix of whatever survived, warning instead of failing.
+//!
+//! Records are keyed by caller-chosen strings that embed the unit's
+//! identity *and* its content fingerprint (the CLI uses the canonical test
+//! hash), so a checkpoint accidentally pointed at a different corpus simply
+//! matches nothing rather than poisoning the run. Duplicate keys are
+//! last-writer-wins, which makes re-recording after a resume harmless.
+//!
+//! The fault-injection point `checkpoint.write` arms record appends:
+//! `kill` leaves a genuinely torn half-record (what a real mid-`write(2)`
+//! death leaves) and surfaces as an `Err` the CLI warns about — checkpoint
+//! loss must never fail the run it exists to protect.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use gam_core::{fault, wal::Wal};
+
+use crate::json::Json;
+
+/// Magic line of the checkpoint file; bump on incompatible record changes.
+pub const CHECKPOINT_SCHEMA: &str = "gam-checkpoint/v1";
+
+/// An open checkpoint: the completed-unit map recovered from disk plus the
+/// log handle for appending new completions.
+#[derive(Debug)]
+pub struct RunCheckpoint {
+    wal: Wal,
+    completed: BTreeMap<String, Json>,
+    resumed: usize,
+}
+
+impl RunCheckpoint {
+    /// Opens (or creates) the checkpoint at `path`, recovering the longest
+    /// valid record prefix. Returns the checkpoint and an optional warning
+    /// describing tolerated damage (torn tail, wrong magic, unparseable
+    /// record).
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures; damaged content is recovered, not fatal.
+    pub fn open(path: &Path) -> io::Result<(RunCheckpoint, Option<String>)> {
+        let (wal, frames, mut warning) = Wal::open(path, CHECKPOINT_SCHEMA)?;
+        let mut completed = BTreeMap::new();
+        for (index, frame) in frames.iter().enumerate() {
+            let record = std::str::from_utf8(frame)
+                .ok()
+                .and_then(|text| Json::parse(text).ok())
+                .and_then(|json| {
+                    let key = json.get("key")?.as_str()?.to_string();
+                    let result = json.get("result")?.clone();
+                    Some((key, result))
+                });
+            match record {
+                Some((key, result)) => {
+                    completed.insert(key, result);
+                }
+                None => {
+                    // CRC-valid but unparseable: writer bug or version skew.
+                    // Keep the prefix before it, ignore the rest.
+                    warning.get_or_insert_with(|| {
+                        format!(
+                            "checkpoint {}: record {index} unparseable; \
+                             ignoring it and {} later records",
+                            path.display(),
+                            frames.len() - index - 1,
+                        )
+                    });
+                    break;
+                }
+            }
+        }
+        let resumed = completed.len();
+        Ok((RunCheckpoint { wal, completed, resumed }, warning))
+    }
+
+    /// Number of completed units currently recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// True when no units are recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// How many completed units were recovered from disk at open — the
+    /// units a resumed run gets to skip.
+    #[must_use]
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// The recorded result of a completed unit, if any.
+    #[must_use]
+    pub fn completed(&self, key: &str) -> Option<&Json> {
+        self.completed.get(key)
+    }
+
+    /// Records a completed unit: one appended CRC frame, durable against
+    /// `kill -9` the moment this returns. Duplicate keys overwrite (last
+    /// writer wins on replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O errors, including the injected
+    /// `checkpoint.write` kill (which first leaves a genuinely torn record
+    /// on disk, as a real crash would). The in-memory map is updated either
+    /// way, so the running process keeps its own progress.
+    pub fn record(&mut self, key: &str, result: Json) -> io::Result<()> {
+        let payload =
+            Json::object([("key", Json::Str(key.to_string())), ("result", result.clone())])
+                .to_string();
+        self.completed.insert(key.to_string(), result);
+        // Fault-injection point: `checkpoint.write` — a kill dies mid-append.
+        if fault::hit("checkpoint.write") {
+            self.wal.append_torn(payload.as_bytes())?;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected fault: checkpoint.write killed mid-append",
+            ));
+        }
+        self.wal.append(payload.as_bytes())
+    }
+
+    /// The path of the underlying log file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        self.wal.path()
+    }
+}

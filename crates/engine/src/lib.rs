@@ -22,7 +22,11 @@
 //!   worker pool under a [`CheckBudget`], answers with a three-valued
 //!   [`SessionVerdict`] (budget exhaustion is an *inconclusive verdict with
 //!   partial outcomes*, not an error) and survives panicking checkers via
-//!   [`EngineError::Panicked`].
+//!   [`EngineError::Panicked`];
+//! * [`checkpoint`] — crash-durable run checkpoints ([`RunCheckpoint`]): an
+//!   append-only CRC-framed log of completed work units that lets
+//!   `gam check --checkpoint` / `gam bench --resume` continue a killed run,
+//!   skipping every unit that already finished.
 //!
 //! # Quick start
 //!
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod json;
@@ -61,6 +66,7 @@ pub mod report;
 pub mod session;
 
 pub use checker::Checker;
+pub use checkpoint::{RunCheckpoint, CHECKPOINT_SCHEMA};
 pub use engine::{Backend, Engine, EngineBuilder};
 pub use error::EngineError;
 pub use json::{Json, JsonParseError, ToJson};

@@ -1,0 +1,122 @@
+//! The run checkpoint's crash contract: everything `record` returned `Ok`
+//! for is visible after reopening, damage only ever costs the torn tail,
+//! and duplicate keys resolve last-writer-wins.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gam_core::fault;
+use gam_engine::{Json, RunCheckpoint};
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gam-checkpoint-{}-{tag}.log", std::process::id()));
+        let _ = fs::remove_file(&path);
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.0);
+    }
+}
+
+fn unit(value: u64) -> Json {
+    Json::object([("states_visited", Json::UInt(value)), ("agree", Json::Bool(true))])
+}
+
+#[test]
+fn recorded_units_survive_reopen_and_duplicates_take_the_last_writer() {
+    let scratch = Scratch::new("roundtrip");
+    let (mut checkpoint, warning) = RunCheckpoint::open(&scratch.0).expect("open fresh");
+    assert!(warning.is_none());
+    assert!(checkpoint.is_empty());
+    assert_eq!(checkpoint.resumed(), 0);
+
+    checkpoint.record("bench/GAM/mp/abc", unit(10)).expect("record");
+    checkpoint.record("bench/GAM/sb/abc", unit(20)).expect("record");
+    // Re-recording a key (a resumed run finishing the interrupted unit
+    // again) overwrites: last writer wins on replay.
+    checkpoint.record("bench/GAM/mp/abc", unit(11)).expect("record");
+    assert_eq!(checkpoint.len(), 2);
+    drop(checkpoint);
+
+    let (reopened, warning) = RunCheckpoint::open(&scratch.0).expect("reopen");
+    assert!(warning.is_none());
+    assert_eq!(reopened.resumed(), 2);
+    assert_eq!(
+        reopened
+            .completed("bench/GAM/mp/abc")
+            .and_then(|r| r.get("states_visited"))
+            .and_then(Json::as_u64),
+        Some(11),
+        "duplicate key must resolve to the later record"
+    );
+    assert_eq!(
+        reopened
+            .completed("bench/GAM/sb/abc")
+            .and_then(|r| r.get("states_visited"))
+            .and_then(Json::as_u64),
+        Some(20)
+    );
+    assert!(reopened.completed("bench/GAM/mp/DIFFERENT-HASH").is_none());
+}
+
+#[test]
+fn a_torn_tail_costs_only_the_record_being_written() {
+    let scratch = Scratch::new("torn");
+    let (mut checkpoint, _) = RunCheckpoint::open(&scratch.0).expect("open");
+    checkpoint.record("unit/1", unit(1)).expect("record");
+    checkpoint.record("unit/2", unit(2)).expect("record");
+    drop(checkpoint);
+
+    // Simulate a crash mid-append: garbage where the third record's frame
+    // would start.
+    let mut bytes = fs::read(&scratch.0).expect("checkpoint bytes");
+    bytes.extend_from_slice(&[0x2A, 0x00, 0x00]);
+    fs::write(&scratch.0, &bytes).expect("write damaged");
+
+    let (recovered, warning) = RunCheckpoint::open(&scratch.0).expect("damage is not an error");
+    assert_eq!(recovered.resumed(), 2, "the committed prefix survives");
+    assert!(recovered.completed("unit/1").is_some());
+    assert!(recovered.completed("unit/2").is_some());
+    assert!(warning.expect("damage is reported").contains("torn"));
+}
+
+#[test]
+fn checkpoint_write_kill_errs_but_keeps_in_memory_progress() {
+    let _guard = fault::exclusive();
+    let scratch = Scratch::new("fault");
+    let (mut checkpoint, _) = RunCheckpoint::open(&scratch.0).expect("open");
+    checkpoint.record("unit/1", unit(1)).expect("record");
+
+    fault::install("checkpoint.write=kill").expect("valid plan");
+    let err = checkpoint.record("unit/2", unit(2)).expect_err("injected kill surfaces");
+    assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+    fault::reset();
+    // The running process keeps its own progress even though durability for
+    // that unit was lost...
+    assert_eq!(checkpoint.len(), 2);
+    drop(checkpoint);
+
+    // ...and a restart sees the committed record plus a genuinely torn tail
+    // where the killed append stopped.
+    let (recovered, warning) = RunCheckpoint::open(&scratch.0).expect("reopen");
+    assert_eq!(recovered.resumed(), 1);
+    assert!(recovered.completed("unit/1").is_some());
+    assert!(recovered.completed("unit/2").is_none());
+    assert!(warning.expect("torn tail is reported").contains("torn"));
+}
+
+#[test]
+fn a_foreign_file_is_abandoned_not_trusted() {
+    let scratch = Scratch::new("magic");
+    fs::write(&scratch.0, "some-other-format/v9\npayload\n").expect("write foreign file");
+    let (checkpoint, warning) = RunCheckpoint::open(&scratch.0).expect("open");
+    assert!(checkpoint.is_empty(), "foreign content must not masquerade as completed units");
+    assert!(warning.expect("abandonment is reported").contains("magic"));
+}

@@ -16,6 +16,11 @@
 //! version, yields an *empty* cache and a warning string rather than a
 //! panic or an error, so a damaged cache file can never keep the service
 //! from starting.
+//!
+//! Since the write-ahead journal landed, [`OutcomeCache::save`] is no longer
+//! the per-mutation persistence path — it is the *compaction snapshot* that
+//! [`crate::journal::JournaledCache`] folds its journal into. Per-mutation
+//! durability is one appended journal record.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -98,9 +103,36 @@ impl OutcomeCache {
     /// Inserts (or replaces) an entry, then evicts the cheapest-to-recompute
     /// entries until the cache fits its capacity. The entry just inserted is
     /// itself eligible — inserting a trivially cheap result into a full
-    /// cache of expensive ones evicts the newcomer.
-    pub fn insert(&mut self, key: String, entry: CacheEntry) {
+    /// cache of expensive ones evicts the newcomer. Returns the evicted keys
+    /// so a write-ahead journal can record them.
+    pub fn insert(&mut self, key: String, entry: CacheEntry) -> Vec<String> {
         self.entries.insert(key, entry);
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            let cheapest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.cost())
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity is non-empty");
+            self.entries.remove(&cheapest);
+            self.evictions += 1;
+            evicted.push(cheapest);
+        }
+        evicted
+    }
+
+    /// Inserts without enforcing capacity — journal replay applies the
+    /// journal's explicit `evict` records instead of re-deriving evictions
+    /// mid-stream. Pair with [`Self::enforce_capacity`] after the replay.
+    pub(crate) fn insert_unbounded(&mut self, key: String, entry: CacheEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Evicts cheapest-first down to capacity — the post-replay cleanup
+    /// (only does anything when the configured capacity shrank between
+    /// process lives).
+    pub(crate) fn enforce_capacity(&mut self) {
         while self.entries.len() > self.capacity {
             let cheapest = self
                 .entries
@@ -111,6 +143,33 @@ impl OutcomeCache {
             self.entries.remove(&cheapest);
             self.evictions += 1;
         }
+    }
+
+    /// Removes an entry outright (journal replay of an `evict` record).
+    /// A missing key is a no-op — replay must converge regardless of which
+    /// snapshot it starts from. Does not count towards [`Self::evictions`]:
+    /// the eviction happened in a previous process life.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Sets an entry's absolute hit count (journal replay of a `hit`
+    /// record). A missing key is a no-op.
+    pub fn set_hits(&mut self, key: &str, hits: u64) {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.hits = hits;
+        }
+    }
+
+    /// Peeks at an entry without bumping its hit counter.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&CacheEntry> {
+        self.entries.get(key)
+    }
+
+    /// Iterates entries in key order — equality checks and serialization.
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &CacheEntry)> {
+        self.entries.iter()
     }
 
     /// Serializes the cache to the versioned JSON document.
@@ -212,7 +271,9 @@ impl OutcomeCache {
                 ))
             })();
             match entry {
-                Some((key, entry)) => cache.insert(key, entry),
+                Some((key, entry)) => {
+                    cache.insert(key, entry);
+                }
                 None => skipped += 1,
             }
         }

@@ -177,6 +177,119 @@ impl ClientConfig {
     }
 }
 
+/// Bounded-retry policy of the client: exponential backoff with
+/// deterministic jitter, honoring `Retry-After`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before retry *n* is `base_delay << n` plus jitter, unless the
+    /// server's `Retry-After` asks for more.
+    pub base_delay: Duration,
+    /// Hard cap on any single backoff wait, `Retry-After` included.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What a retried request cost: surfaced in the `gam-serve-bench/v1`
+/// report so overload behavior is visible, not silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retries performed (0 = first attempt succeeded).
+    pub retries: u32,
+    /// Total time spent sleeping between attempts.
+    pub backoff: Duration,
+}
+
+/// Whether a failed attempt is worth retrying: connection-level errors
+/// (server restarting, listener backlog overflow, connection torn before
+/// the response) are; protocol errors and client-side read timeouts are
+/// not — a timeout may mean the server is still computing, and retrying
+/// would double-spend explorer time.
+fn retryable_error(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Deterministic jitter for retry `attempt` of a request to `addr`:
+/// xorshift over a seed from the address, the attempt and the process id,
+/// scaled into `[0, half)`. No system randomness — the sandbox has none to
+/// offer and reproducibility is a feature.
+fn jitter(addr: &str, attempt: u32, half: Duration) -> Duration {
+    let mut seed: u64 = 0x9E37_79B9_7F4A_7C15 ^ u64::from(std::process::id());
+    for byte in addr.bytes() {
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3) ^ u64::from(byte);
+    }
+    seed ^= u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    if half.is_zero() {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(seed % u64::try_from(half.as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// [`request_with`] wrapped in the bounded-retry loop: retries shed
+/// responses (`503`, honoring `Retry-After`) and connection-level errors
+/// with exponential backoff + jitter, up to [`RetryPolicy::max_retries`].
+/// Any response other than `503` — success or failure — is returned as-is;
+/// check requests are pure, so re-sending one is always safe.
+///
+/// # Errors
+///
+/// The last connection error once retries are exhausted. A still-shedding
+/// server after the final retry yields `Ok` with the `503` response — the
+/// caller decides whether that is fatal.
+pub fn request_retrying(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    config: &ClientConfig,
+    policy: &RetryPolicy,
+) -> io::Result<(Response, RetryStats)> {
+    let mut stats = RetryStats::default();
+    loop {
+        let shed = match request_with(addr, method, path, body, config) {
+            Ok(response) if response.status == 503 => {
+                if stats.retries >= policy.max_retries {
+                    return Ok((response, stats));
+                }
+                response.header("retry-after").and_then(|v| v.trim().parse::<u64>().ok())
+            }
+            Ok(response) => return Ok((response, stats)),
+            Err(err) => {
+                if !retryable_error(&err) || stats.retries >= policy.max_retries {
+                    return Err(err);
+                }
+                None
+            }
+        };
+        let exp = policy.base_delay.saturating_mul(1u32 << stats.retries.min(16));
+        let wait = shed.map_or(exp, |secs| exp.max(Duration::from_secs(secs)));
+        let wait = wait.min(policy.max_delay) + jitter(addr, stats.retries, policy.base_delay / 2);
+        std::thread::sleep(wait);
+        stats.retries += 1;
+        stats.backoff += wait;
+    }
+}
+
 /// Performs one HTTP request against `addr` (e.g. `127.0.0.1:7117`) with the
 /// default [`ClientConfig`] and returns the parsed response. This is the
 /// client half used by `gam bench --serve` and the end-to-end tests.

@@ -1,0 +1,371 @@
+//! The write-ahead-journaled outcome cache.
+//!
+//! PR 6 persisted the cache by rewriting the whole JSON document after every
+//! mutation — O(cache) I/O per miss, and everything since the last completed
+//! rename was the crash-loss window. [`JournaledCache`] replaces that with
+//! the classic snapshot-plus-journal arrangement:
+//!
+//! * every mutation appends one CRC-framed record
+//!   (schema [`JOURNAL_SCHEMA`], framing from [`gam_core::wal`]) to
+//!   `<cache>.journal` — a `kill -9` at any instruction loses at most the
+//!   record being written;
+//! * startup loads the snapshot (the PR 6 `gam-serve-cache/v1` document,
+//!   unchanged) and replays the journal over it, tolerating a torn or
+//!   corrupted tail by recovering the longest valid prefix and warning;
+//! * every [`JournaledCache::compact_every`] records, the journal is folded
+//!   into a fresh snapshot through the existing atomic tmp+rename path and
+//!   truncated.
+//!
+//! ## Records are absolute, so replay converges
+//!
+//! Each record carries the *full resulting state* of the key it touches —
+//! `insert` carries the whole entry, `hit` carries the new absolute hit
+//! count (not "+1"), `evict` is naturally absolute. That makes replay
+//! idempotent over any snapshot at least as old as the journal: if the
+//! process dies *between* the compaction snapshot rename and the journal
+//! truncation, the next startup replays a stale journal over a fresh
+//! snapshot and lands on exactly the snapshot state. No generation counters
+//! needed.
+//!
+//! ## Fault points
+//!
+//! * `cache.journal.append` — `kill` leaves a genuinely torn half-record on
+//!   disk (via [`gam_core::wal::Wal::append_torn`]) and degrades the cache
+//!   to memory-only, simulating death mid-`write(2)`;
+//! * `cache.compact` — `kill` dies after the snapshot rename but before the
+//!   journal truncation, the window the absolute-record design exists for;
+//! * `cache.persist` (pre-existing, inside [`OutcomeCache::save`]) — dies
+//!   between the snapshot tmp write and its rename.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use gam_core::{fault, wal::Wal};
+use gam_engine::Json;
+
+use crate::cache::{CacheEntry, OutcomeCache};
+
+/// Magic line of the journal file; bump on incompatible record changes.
+pub const JOURNAL_SCHEMA: &str = "gam-serve-journal/v1";
+
+/// How many journal records accumulate before a compaction folds them into
+/// the snapshot, by default.
+pub const DEFAULT_COMPACT_EVERY: u64 = 4096;
+
+/// One journal record. Public so recovery tests can build reference
+/// replays; serve code only goes through [`JournaledCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A key now holds exactly this entry.
+    Insert {
+        /// Composite cache key (`hash/model/backend`).
+        key: String,
+        /// The full entry value.
+        entry: CacheEntry,
+    },
+    /// A key was evicted.
+    Evict {
+        /// Composite cache key.
+        key: String,
+    },
+    /// A key's hit counter is now exactly `hits`.
+    Hit {
+        /// Composite cache key.
+        key: String,
+        /// Absolute hit count after the lookup.
+        hits: u64,
+    },
+}
+
+impl Record {
+    /// Serializes the record to its one-frame JSON payload.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Record::Insert { key, entry } => Json::object([
+                ("op", Json::Str("insert".to_string())),
+                ("key", Json::Str(key.clone())),
+                ("allowed", Json::Bool(entry.allowed)),
+                ("wall_us", Json::UInt(entry.wall_us)),
+                ("states", Json::UInt(entry.states)),
+                ("hits", Json::UInt(entry.hits)),
+            ]),
+            Record::Evict { key } => Json::object([
+                ("op", Json::Str("evict".to_string())),
+                ("key", Json::Str(key.clone())),
+            ]),
+            Record::Hit { key, hits } => Json::object([
+                ("op", Json::Str("hit".to_string())),
+                ("key", Json::Str(key.clone())),
+                ("hits", Json::UInt(*hits)),
+            ]),
+        }
+    }
+
+    /// Parses a record from a frame payload. `None` on any malformed
+    /// content — recovery treats it like a corrupt frame (stop there).
+    #[must_use]
+    pub fn parse(payload: &[u8]) -> Option<Record> {
+        let json = Json::parse(std::str::from_utf8(payload).ok()?).ok()?;
+        let key = json.get("key")?.as_str()?.to_string();
+        match json.get("op")?.as_str()? {
+            "insert" => Some(Record::Insert {
+                key,
+                entry: CacheEntry {
+                    allowed: match json.get("allowed")? {
+                        Json::Bool(b) => *b,
+                        _ => return None,
+                    },
+                    wall_us: json.get("wall_us")?.as_u64()?,
+                    states: json.get("states")?.as_u64()?,
+                    hits: json.get("hits")?.as_u64()?,
+                },
+            }),
+            "evict" => Some(Record::Evict { key }),
+            "hit" => Some(Record::Hit { key, hits: json.get("hits")?.as_u64()? }),
+            _ => None,
+        }
+    }
+
+    /// Applies the record to a cache, without journaling or eviction — the
+    /// replay primitive. Absolute semantics: missing keys no-op for
+    /// `evict`/`hit`, `insert` overwrites.
+    pub fn apply(&self, cache: &mut OutcomeCache) {
+        match self {
+            Record::Insert { key, entry } => {
+                // Replay must not trigger fresh evictions mid-stream: the
+                // journal carries explicit evict records for those. Capacity
+                // is re-enforced once, after the full replay.
+                cache.insert_unbounded(key.clone(), entry.clone());
+            }
+            Record::Evict { key } => {
+                cache.remove(key);
+            }
+            Record::Hit { key, hits } => cache.set_hits(key, *hits),
+        }
+    }
+}
+
+/// Counters the journal layer exports into `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended since this process opened the journal.
+    pub appends: u64,
+    /// Compactions (journal folded into snapshot) since open.
+    pub compactions: u64,
+    /// Records replayed from the journal at open.
+    pub replayed: u64,
+}
+
+/// An [`OutcomeCache`] whose every mutation is write-ahead journaled.
+#[derive(Debug)]
+pub struct JournaledCache {
+    cache: OutcomeCache,
+    /// `None` after an append failure: the cache degrades to memory-only
+    /// rather than failing checks (durability is best-effort, serving is
+    /// not).
+    wal: Option<Wal>,
+    snapshot_path: PathBuf,
+    journal_path: PathBuf,
+    compact_every: u64,
+    records_since_compact: u64,
+    stats: JournalStats,
+}
+
+/// The journal path for a given snapshot path: `<snapshot>.journal`.
+#[must_use]
+pub fn journal_path_for(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot
+        .file_name()
+        .map_or_else(|| "cache".to_string(), |n| n.to_string_lossy().into_owned());
+    name.push_str(".journal");
+    let mut path = snapshot.to_path_buf();
+    path.set_file_name(name);
+    path
+}
+
+impl JournaledCache {
+    /// Opens the cache at `snapshot_path`: loads the snapshot, replays the
+    /// journal's longest valid prefix over it, re-enforces capacity and
+    /// positions the journal for appending. Damage of any kind — missing
+    /// files, corrupt snapshot, torn journal tail — is tolerated and
+    /// reported as warnings; an unopenable journal *file* degrades to a
+    /// memory-only cache instead of failing.
+    #[must_use]
+    pub fn open(snapshot_path: &Path, capacity: usize, compact_every: u64) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        let (mut cache, snapshot_warning) = OutcomeCache::load(snapshot_path, capacity);
+        warnings.extend(snapshot_warning);
+
+        let journal_path = journal_path_for(snapshot_path);
+        let mut replayed = 0u64;
+        let wal = match Wal::open(&journal_path, JOURNAL_SCHEMA) {
+            Ok((wal, frames, warning)) => {
+                warnings.extend(warning);
+                for (index, frame) in frames.iter().enumerate() {
+                    match Record::parse(frame) {
+                        Some(record) => {
+                            record.apply(&mut cache);
+                            replayed += 1;
+                        }
+                        None => {
+                            // A frame that passed CRC but fails to parse is
+                            // a writer bug or version skew, not tail damage;
+                            // stop replaying (prefix semantics) but keep
+                            // everything before it.
+                            warnings.push(format!(
+                                "journal {}: record {index} unparseable; \
+                                 ignoring it and {} later records",
+                                journal_path.display(),
+                                frames.len() - index - 1,
+                            ));
+                            break;
+                        }
+                    }
+                }
+                cache.enforce_capacity();
+                Some(wal)
+            }
+            Err(err) => {
+                warnings.push(format!(
+                    "journal {}: unopenable ({err}); cache is memory-only",
+                    journal_path.display()
+                ));
+                None
+            }
+        };
+
+        let mut journaled = JournaledCache {
+            cache,
+            wal,
+            snapshot_path: snapshot_path.to_path_buf(),
+            journal_path,
+            compact_every: compact_every.max(1),
+            records_since_compact: replayed,
+            stats: JournalStats { appends: 0, compactions: 0, replayed },
+        };
+        // A recovered journal may already be due for folding.
+        if journaled.records_since_compact >= journaled.compact_every {
+            if let Err(err) = journaled.compact() {
+                warnings.push(format!(
+                    "cache {}: startup compaction failed: {err}",
+                    snapshot_path.display()
+                ));
+            }
+        }
+        (journaled, warnings)
+    }
+
+    /// The underlying cache, read-only.
+    #[must_use]
+    pub fn cache(&self) -> &OutcomeCache {
+        &self.cache
+    }
+
+    /// Journal counters for `/metrics`.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Whether the journal is still attached (false after an append error
+    /// degraded the cache to memory-only).
+    #[must_use]
+    pub fn journaling(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Looks an entry up, bumping its hit counter and journaling the new
+    /// absolute count. Returns the entry and an optional warning (journal
+    /// degradation).
+    pub fn lookup(&mut self, key: &str) -> (Option<CacheEntry>, Option<String>) {
+        let Some(entry) = self.cache.lookup(key) else { return (None, None) };
+        let warning = self.append(&Record::Hit { key: key.to_string(), hits: entry.hits });
+        (Some(entry), warning)
+    }
+
+    /// Inserts an entry, journaling the insert and any evictions it caused,
+    /// compacting when due. Returns warnings (journal degradation or a
+    /// failed compaction).
+    pub fn insert(&mut self, key: String, entry: CacheEntry) -> Vec<String> {
+        let mut warnings = Vec::new();
+        let evicted = self.cache.insert(key.clone(), entry.clone());
+        warnings.extend(self.append(&Record::Insert { key, entry }));
+        for key in evicted {
+            warnings.extend(self.append(&Record::Evict { key }));
+        }
+        if self.wal.is_some() && self.records_since_compact >= self.compact_every {
+            if let Err(err) = self.compact() {
+                warnings.push(format!(
+                    "cache {}: compaction failed: {err}",
+                    self.snapshot_path.display()
+                ));
+            }
+        }
+        warnings
+    }
+
+    /// Folds the journal into the snapshot: atomic snapshot save
+    /// (tmp+rename, fault point `cache.persist`), then journal truncation
+    /// (fault point `cache.compact` in between — the crash window the
+    /// absolute-record replay covers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-write and truncation I/O errors (including the
+    /// injected `cache.persist`/`cache.compact` kills).
+    pub fn compact(&mut self) -> io::Result<()> {
+        self.cache.save(&self.snapshot_path)?;
+        // Fault-injection point: `cache.compact` dies after the snapshot
+        // rename, before the journal truncation. Startup then replays a
+        // stale journal over the fresh snapshot — absolute records make
+        // that a no-op rather than double-application.
+        if fault::hit("cache.compact") {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected fault: cache.compact killed between snapshot rename and journal reset",
+            ));
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.reset()?;
+        }
+        self.records_since_compact = 0;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Appends one record, handling the `cache.journal.append` fault point
+    /// and degrading to memory-only on failure. Returns a warning when the
+    /// journal detaches.
+    fn append(&mut self, record: &Record) -> Option<String> {
+        let wal = self.wal.as_mut()?;
+        let payload = record.to_json().to_string();
+        // Fault-injection point: `cache.journal.append` — a kill leaves a
+        // genuinely torn half-frame on disk, exactly what death inside
+        // `write(2)` leaves behind, and detaches the journal.
+        let result = if fault::hit("cache.journal.append") {
+            wal.append_torn(payload.as_bytes()).and_then(|()| {
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected fault: cache.journal.append killed mid-write",
+                ))
+            })
+        } else {
+            wal.append(payload.as_bytes())
+        };
+        match result {
+            Ok(()) => {
+                self.stats.appends += 1;
+                self.records_since_compact += 1;
+                None
+            }
+            Err(err) => {
+                self.wal = None;
+                Some(format!(
+                    "journal {}: append failed ({err}); cache is memory-only until restart",
+                    self.journal_path.display()
+                ))
+            }
+        }
+    }
+}

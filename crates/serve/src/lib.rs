@@ -11,11 +11,17 @@
 //!
 //! Three layers, bottom-up:
 //!
-//! * [`cache`] — the persistent outcome cache: cost-based eviction
-//!   (wall µs × states), versioned JSON on disk, atomic writes,
+//! * [`cache`] — the outcome cache proper: cost-based eviction
+//!   (wall µs × states), versioned JSON snapshots, atomic writes,
 //!   corruption-tolerant loads.
+//! * [`journal`] — crash durability for the cache: every mutation is one
+//!   appended CRC-framed record in a write-ahead journal, replayed over the
+//!   snapshot at startup (tolerating a torn tail) and periodically folded
+//!   back into it — `kill -9` loses at most the in-flight record.
 //! * [`http`] — a minimal HTTP/1.1 server+client layer over `std::net`
-//!   (the build environment is offline; no external dependencies).
+//!   (the build environment is offline; no external dependencies), plus a
+//!   retrying client (bounded exponential backoff + jitter, honoring
+//!   `Retry-After`) for `gam bench --serve`.
 //! * [`server`] — the service itself: a fixed worker pool draining a
 //!   bounded queue, `/check`, `/batch` (via the engine's adaptive suite
 //!   scheduler), `/metrics`, `/healthz` and `/shutdown` (graceful drain),
@@ -30,10 +36,12 @@
 
 pub mod cache;
 pub mod http;
+pub mod journal;
 pub mod server;
 
 pub use cache::{CacheEntry, OutcomeCache, CACHE_SCHEMA};
-pub use http::ClientConfig;
+pub use http::{ClientConfig, RetryPolicy, RetryStats};
+pub use journal::{JournalStats, JournaledCache, JOURNAL_SCHEMA};
 pub use server::{
     backend_name, model_name, parse_backend, parse_model, ServeConfig, ServeError, Server,
     METRICS_SCHEMA,

@@ -13,9 +13,18 @@
 //! * `POST /shutdown` — graceful drain: the CLI observes the request, stops
 //!   accepting, drains in-flight work and persists the cache.
 //!
-//! Overflow is shed gracefully: when the queue is full the acceptor answers
-//! `503` with `Retry-After` instead of queueing, so latency stays bounded
-//! until a streaming API lands (ROADMAP item 5).
+//! Overload is handled in two stages. Under sustained pressure (standing
+//! queue at least half the configured depth) the service first *degrades*:
+//! per-request wall budgets are tightened to [`ServeConfig::overload_wall_ms`]
+//! so expensive checks come back `inconclusive` quickly instead of growing
+//! the queue. Only when the queue is actually full does the acceptor *shed*
+//! with `503` + `Retry-After` (which the in-tree client retries with
+//! backoff), so latency stays bounded until a streaming API lands (ROADMAP
+//! item 5).
+//!
+//! Persistence is write-ahead journaled ([`crate::journal`]): every cache
+//! mutation appends one CRC-framed record, periodically folded into the
+//! JSON snapshot — `kill -9` loses at most the in-flight record.
 //!
 //! Robustness contract: every check runs panic-isolated (a panicking checker
 //! becomes a typed error row and a `panics_total` tick, never a dead
@@ -43,6 +52,7 @@ use gam_operational::{ExplorerConfig, OperationalChecker};
 
 use crate::cache::{CacheEntry, OutcomeCache};
 use crate::http::{read_request, write_response, Request};
+use crate::journal::JournaledCache;
 
 /// Schema identifier of the `/metrics` document.
 pub const METRICS_SCHEMA: &str = "gam-serve-metrics/v1";
@@ -68,6 +78,14 @@ pub struct ServeConfig {
     /// Server-side socket write timeout: the longest a worker blocks
     /// writing a response to a client that stopped reading.
     pub write_timeout: Duration,
+    /// Journal records between compactions (folding the write-ahead journal
+    /// into the snapshot).
+    pub compact_every: u64,
+    /// Wall budget (ms) imposed on checks while the service is overloaded
+    /// (standing queue ≥ half [`ServeConfig::queue_depth`]) — the degrade
+    /// stage before shedding. Generous enough that ordinary litmus checks
+    /// still conclude; only state-explosion outliers are cut short.
+    pub overload_wall_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +98,8 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(30),
+            compact_every: crate::journal::DEFAULT_COMPACT_EVERY,
+            overload_wall_ms: 2_000,
         }
     }
 }
@@ -133,6 +153,9 @@ struct Metrics {
     timeouts_total: AtomicU64,
     /// Checks stopped by cancellation.
     cancelled_total: AtomicU64,
+    /// Requests whose budgets were tightened because the service was
+    /// overloaded (the degrade stage before shedding).
+    overload_tightened_total: AtomicU64,
     per_model: [AtomicU64; ModelKind::ALL.len()],
 }
 
@@ -186,8 +209,8 @@ struct Shared {
     read_timeout: Duration,
     write_timeout: Duration,
     metrics: Metrics,
-    cache: Mutex<OutcomeCache>,
-    cache_path: PathBuf,
+    cache: Mutex<JournaledCache>,
+    overload_wall_ms: u64,
     /// Set by `POST /shutdown`; observed by [`Server::wait_for_shutdown_request`].
     shutdown_request: Mutex<bool>,
     shutdown_cond: Condvar,
@@ -203,13 +226,41 @@ impl Shared {
         self.shutdown_cond.notify_all();
     }
 
-    /// Persists the cache, warning on (but not propagating) I/O failure: a
-    /// read-only filesystem degrades the service to memory-only caching.
-    fn persist_cache(&self) {
-        let cache = self.cache.lock().expect("cache lock");
-        if let Err(err) = cache.save(&self.cache_path) {
-            eprintln!("gam-serve: cannot persist cache to {}: {err}", self.cache_path.display());
+    /// Folds the journal into a fresh snapshot, warning on (but not
+    /// propagating) I/O failure: a read-only filesystem degrades the
+    /// service to memory-only caching. Called on graceful shutdown; steady
+    /// state compacts automatically inside the journal layer.
+    fn compact_cache(&self) {
+        let mut cache = self.cache.lock().expect("cache lock");
+        if let Err(err) = cache.compact() {
+            eprintln!("gam-serve: cannot compact cache: {err}");
         }
+    }
+
+    /// The degrade stage: under sustained pressure (standing queue at least
+    /// half the configured depth), clamp the request's wall budget so
+    /// expensive checks come back `inconclusive` instead of growing the
+    /// queue until the acceptor has to shed.
+    fn tighten_for_overload(&self, options: &mut CheckOptions) {
+        let standing = self.queue.lock().expect("queue lock").len();
+        if standing.saturating_mul(2) < self.queue_depth {
+            return;
+        }
+        let clamped = options
+            .budget_wall_ms
+            .map_or(self.overload_wall_ms, |requested| requested.min(self.overload_wall_ms));
+        if options.budget_wall_ms != Some(clamped) {
+            options.budget_wall_ms = Some(clamped);
+            self.metrics.overload_tightened_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Prints journal-layer warnings (degradation to memory-only, failed
+/// compactions) without failing the request that surfaced them.
+fn warn_cache(warnings: impl IntoIterator<Item = String>) {
+    for warning in warnings {
+        eprintln!("gam-serve: {warning}");
     }
 }
 
@@ -224,8 +275,10 @@ pub struct Server {
 
 impl Server {
     /// Binds the address and starts the acceptor + worker pool. Returns the
-    /// server and an optional warning from loading the cache file (corrupt
-    /// or mis-versioned caches start empty instead of failing).
+    /// server and an optional warning from recovering the cache (corrupt or
+    /// mis-versioned snapshots start empty; torn journal tails are truncated
+    /// to the longest valid prefix — neither keeps the service from
+    /// starting).
     ///
     /// # Errors
     ///
@@ -236,7 +289,9 @@ impl Server {
         let local_addr = listener
             .local_addr()
             .map_err(|source| ServeError::Bind { addr: config.addr.clone(), source })?;
-        let (cache, warning) = OutcomeCache::load(&config.cache_path, config.cache_capacity);
+        let (cache, warnings) =
+            JournaledCache::open(&config.cache_path, config.cache_capacity, config.compact_every);
+        let warning = (!warnings.is_empty()).then(|| warnings.join("; "));
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
@@ -246,7 +301,7 @@ impl Server {
             write_timeout: config.write_timeout,
             metrics: Metrics::default(),
             cache: Mutex::new(cache),
-            cache_path: config.cache_path.clone(),
+            overload_wall_ms: config.overload_wall_ms.max(1),
             shutdown_request: Mutex::new(false),
             shutdown_cond: Condvar::new(),
         });
@@ -298,7 +353,7 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        self.shared.persist_cache();
+        self.shared.compact_cache();
     }
 }
 
@@ -434,9 +489,9 @@ fn render_metrics(shared: &Shared) -> Json {
     let misses = metrics.cache_misses.load(Ordering::Relaxed);
     let states = metrics.states_total.load(Ordering::Relaxed);
     let wall_us = metrics.wall_us_total.load(Ordering::Relaxed);
-    let (cache_entries, evictions) = {
+    let (cache_entries, evictions, journal) = {
         let cache = shared.cache.lock().expect("cache lock");
-        (cache.len() as u64, cache.evictions())
+        (cache.cache().len() as u64, cache.cache().evictions(), cache.stats())
     };
     let per_model = Json::Object(
         ModelKind::ALL
@@ -470,8 +525,15 @@ fn render_metrics(shared: &Shared) -> Json {
         ("panics_total", Json::UInt(metrics.panics_total.load(Ordering::Relaxed))),
         ("timeouts_total", Json::UInt(metrics.timeouts_total.load(Ordering::Relaxed))),
         ("cancelled_total", Json::UInt(metrics.cancelled_total.load(Ordering::Relaxed))),
+        (
+            "overload_tightened_total",
+            Json::UInt(metrics.overload_tightened_total.load(Ordering::Relaxed)),
+        ),
         ("cache_entries", Json::UInt(cache_entries)),
         ("cache_evictions", Json::UInt(evictions)),
+        ("journal_appends_total", Json::UInt(journal.appends)),
+        ("journal_compactions_total", Json::UInt(journal.compactions)),
+        ("journal_replayed_records", Json::UInt(journal.replayed)),
         ("per_model_checks", per_model),
     ])
 }
@@ -620,24 +682,22 @@ fn handle_check(shared: &Shared, request: &Request) -> RouteResponse {
             },
         )
     };
+    let mut options = options;
     let test = match parse_litmus(&litmus_text) {
         Ok(test) => test,
         Err(err) => return error_response(400, format!("litmus parse error: {err}")),
     };
-    let (result, mutated) = check_one(shared, &test, &options);
-    if mutated {
-        shared.persist_cache();
-    }
+    shared.tighten_for_overload(&mut options);
+    let result = check_one(shared, &test, &options);
     ok_response(&Json::object([("ok", Json::Bool(true)), ("result", result)]))
 }
 
 /// Checks one test against every requested (model, backend) pair, answering
-/// from the cache when possible. Returns the per-test JSON and whether the
-/// cache was mutated.
-fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> (Json, bool) {
+/// from the cache when possible. Mutations are durable the moment the
+/// journal append returns — no whole-cache rewrite on this path anymore.
+fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> Json {
     let hash = canonical_hash(test).to_string();
     let mut results = Vec::new();
-    let mut mutated = false;
     for &model in &options.models {
         for &backend in &options.backends {
             let base = [
@@ -656,7 +716,11 @@ fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> (Jso
                 continue;
             }
             let key = OutcomeCache::key(&hash, model_name(model), backend_name(backend));
-            let cached = shared.cache.lock().expect("cache lock").lookup(&key);
+            let cached = {
+                let (entry, warning) = shared.cache.lock().expect("cache lock").lookup(&key);
+                warn_cache(warning);
+                entry
+            };
             if let Some(entry) = cached {
                 shared.metrics.record_hit(model);
                 results.push(Json::object(base.into_iter().chain([
@@ -670,8 +734,7 @@ fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> (Jso
             match compute_miss(test, model, backend, options) {
                 MissOutcome::Conclusive(entry) => {
                     shared.metrics.record_miss(model, entry.states, entry.wall_us);
-                    shared.cache.lock().expect("cache lock").insert(key, entry.clone());
-                    mutated = true;
+                    warn_cache(shared.cache.lock().expect("cache lock").insert(key, entry.clone()));
                     results.push(Json::object(base.into_iter().chain([
                         ("verdict", verdict_json(entry.allowed)),
                         ("cached", Json::Bool(false)),
@@ -702,12 +765,11 @@ fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> (Jso
             }
         }
     }
-    let json = Json::object([
+    Json::object([
         ("test", Json::Str(test.name().to_string())),
         ("canonical_hash", Json::Str(hash)),
         ("results", Json::Array(results)),
-    ]);
-    (json, mutated)
+    ])
 }
 
 fn verdict_json(allowed: bool) -> Json {
@@ -830,10 +892,11 @@ fn handle_batch(shared: &Shared, request: &Request) -> RouteResponse {
     let Some(entries) = json.get("tests").and_then(Json::as_array) else {
         return error_response(400, "missing `tests` array".to_string());
     };
-    let options = match CheckOptions::from_json(&json) {
+    let mut options = match CheckOptions::from_json(&json) {
         Ok(options) => options,
         Err(err) => return error_response(400, err),
     };
+    shared.tighten_for_overload(&mut options);
     let mut tests = Vec::with_capacity(entries.len());
     for (index, entry) in entries.iter().enumerate() {
         let Some(text) = entry.as_str() else {
@@ -846,10 +909,7 @@ fn handle_batch(shared: &Shared, request: &Request) -> RouteResponse {
             }
         }
     }
-    let (results, mutated) = batch_check(shared, &tests, &options);
-    if mutated {
-        shared.persist_cache();
-    }
+    let results = batch_check(shared, &tests, &options);
     ok_response(&Json::object([("ok", Json::Bool(true)), ("results", Json::Array(results))]))
 }
 
@@ -857,9 +917,8 @@ fn handle_batch(shared: &Shared, request: &Request) -> RouteResponse {
 /// hits and misses, fan the misses out through the engine's adaptive suite
 /// scheduler (verdict-only mode stops each test at its first witness), then
 /// assemble per-test results in input order.
-fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) -> (Vec<Json>, bool) {
+fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) -> Vec<Json> {
     let hashes: Vec<String> = tests.iter().map(|t| canonical_hash(t).to_string()).collect();
-    let mut mutated = false;
     // results[test][pair] assembled as JSON rows at the end.
     let mut rows: Vec<Vec<Json>> = vec![Vec::new(); tests.len()];
     for &model in &options.models {
@@ -889,7 +948,8 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                 let mut cache = shared.cache.lock().expect("cache lock");
                 for hash in &hashes {
                     let key = OutcomeCache::key(hash, model_name(model), backend_name(backend));
-                    let entry = cache.lookup(&key);
+                    let (entry, warning) = cache.lookup(&key);
+                    warn_cache(warning);
                     if entry.is_none() {
                         miss_indices.push(hit_entries.len());
                     }
@@ -970,8 +1030,9 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                             model_name(model),
                             backend_name(backend),
                         );
-                        shared.cache.lock().expect("cache lock").insert(key, entry.clone());
-                        mutated = true;
+                        warn_cache(
+                            shared.cache.lock().expect("cache lock").insert(key, entry.clone()),
+                        );
                         row.push(base(vec![
                             ("verdict", verdict_json(entry.allowed)),
                             ("cached", Json::Bool(false)),
@@ -1009,7 +1070,7 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
             }
         }
     }
-    let results = tests
+    tests
         .iter()
         .zip(hashes)
         .zip(rows)
@@ -1020,6 +1081,5 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                 ("results", Json::Array(row)),
             ])
         })
-        .collect();
-    (results, mutated)
+        .collect()
 }

@@ -22,7 +22,7 @@ use gam_engine::{Engine, Json};
 use gam_frontend::print_litmus;
 use gam_isa::litmus::library;
 use gam_serve::http::{request, request_with, ClientConfig};
-use gam_serve::{OutcomeCache, ServeConfig, Server};
+use gam_serve::{JournaledCache, OutcomeCache, ServeConfig, Server};
 
 struct Scratch(PathBuf);
 
@@ -30,16 +30,21 @@ impl Scratch {
     fn new(tag: &str) -> Self {
         let mut path = std::env::temp_dir();
         path.push(format!("gam-serve-fault-{}-{tag}.json", std::process::id()));
-        let _ = fs::remove_file(&path);
-        let _ = fs::remove_file(
-            path.with_file_name(format!("gam-serve-fault-{}-{tag}.json.tmp", std::process::id())),
-        );
-        Scratch(path)
+        let scratch = Scratch(path);
+        let _ = fs::remove_file(&scratch.0);
+        let _ = fs::remove_file(scratch.tmp_sibling());
+        let _ = fs::remove_file(scratch.journal_sibling());
+        scratch
     }
 
     fn tmp_sibling(&self) -> PathBuf {
         let name = self.0.file_name().expect("scratch has a name").to_string_lossy();
         self.0.with_file_name(format!("{name}.tmp"))
+    }
+
+    fn journal_sibling(&self) -> PathBuf {
+        let name = self.0.file_name().expect("scratch has a name").to_string_lossy();
+        self.0.with_file_name(format!("{name}.journal"))
     }
 }
 
@@ -47,6 +52,7 @@ impl Drop for Scratch {
     fn drop(&mut self) {
         let _ = fs::remove_file(&self.0);
         let _ = fs::remove_file(self.tmp_sibling());
+        let _ = fs::remove_file(self.journal_sibling());
     }
 }
 
@@ -309,7 +315,8 @@ fn cache_persist_crash_is_atomic_and_loses_no_committed_entries() {
     fault::reset();
     let scratch = Scratch::new("persist");
 
-    // Round 1, no faults: commit one entry to disk.
+    // Round 1, no faults: commit one entry to disk (shutdown compacts the
+    // journal into the snapshot).
     let server = start(&scratch);
     let addr = server.local_addr().to_string();
     let (_, json) = post_check(&addr, &print_litmus(&library::corr()));
@@ -317,36 +324,43 @@ fn cache_persist_crash_is_atomic_and_loses_no_committed_entries() {
     server.shutdown();
     let committed = fs::read_to_string(&scratch.0).expect("cache persisted");
 
-    // Round 2: every save dies between the tmp write and the rename.
+    // Round 2: every snapshot save dies between the tmp write and the
+    // rename. Mutations still reach the write-ahead journal.
     fault::install("cache.persist=kill").expect("valid fault spec");
     let server = start(&scratch);
     let addr = server.local_addr().to_string();
     // The committed entry is still served warm.
     let (_, json) = post_check(&addr, &print_litmus(&library::corr()));
     assert_eq!(only_row(&json).get("cached"), Some(&Json::Bool(true)));
-    // A new entry mutates the cache; its save is killed mid-write.
+    // A new entry mutates the cache; the shutdown compaction is killed
+    // mid-save, but the insert record is already journaled.
     let (_, json) = post_check(&addr, &print_litmus(&library::mp()));
     assert_eq!(only_row(&json).get("cached"), Some(&Json::Bool(false)));
     server.shutdown();
     fault::reset();
 
-    // Atomicity: the real file is byte-identical to the committed version
-    // (the kill hit after the tmp write, before the rename).
+    // Snapshot atomicity: the real file is byte-identical to the committed
+    // version (the kill hit after the tmp write, before the rename).
     let after_crash = fs::read_to_string(&scratch.0).expect("cache file still present");
     assert_eq!(after_crash, committed, "a killed save must never tear the committed file");
     assert!(scratch.tmp_sibling().exists(), "the orphaned tmp file marks the crash point");
 
-    // Reload: no warning, exactly the committed entry — nothing torn,
-    // nothing lost that had been committed.
+    // The snapshot alone holds only the committed entry...
     let (cache, warning) = OutcomeCache::load(&scratch.0, 256);
     assert!(warning.is_none(), "reload must be clean: {warning:?}");
     assert_eq!(cache.len(), 1);
+    // ...but snapshot + journal recovers both: the failed compaction cost
+    // nothing that had been acknowledged.
+    let (journaled, warnings) = JournaledCache::open(&scratch.0, 256, 4096);
+    assert!(warnings.is_empty(), "journal recovery must be clean: {warnings:?}");
+    assert_eq!(journaled.cache().len(), 2, "the journaled mp insert survives the killed save");
 
-    // Round 3, faults off: the service recovers and re-persists normally.
+    // Round 3, faults off: the recovered service serves mp warm and the
+    // shutdown compaction folds everything into the snapshot.
     let server = start(&scratch);
     let addr = server.local_addr().to_string();
     let (_, json) = post_check(&addr, &print_litmus(&library::mp()));
-    assert_eq!(only_row(&json).get("cached"), Some(&Json::Bool(false)), "mp was never committed");
+    assert_eq!(only_row(&json).get("cached"), Some(&Json::Bool(true)), "mp was journaled");
     server.shutdown();
     let (cache, warning) = OutcomeCache::load(&scratch.0, 256);
     assert!(warning.is_none());

@@ -1,0 +1,237 @@
+//! Recovery properties of the write-ahead-journaled cache.
+//!
+//! The central property: damage the journal *anywhere* — truncate it at a
+//! random byte, flip a random bit — and reopening recovers exactly the
+//! cache described by the longest valid prefix of the records that were
+//! written. Never a panic, never an entry that was not genuinely inserted
+//! (a corrupted record cannot be served because it cannot pass its CRC).
+//!
+//! Alongside the property, two directed tests pin the fault-injection
+//! crash windows: a kill mid-append (torn record, memory-only degradation)
+//! and a kill between the compaction snapshot rename and the journal
+//! truncation (stale journal replayed over a fresh snapshot — the window
+//! the absolute-record design exists for).
+
+use std::fs;
+use std::path::PathBuf;
+
+use gam_core::{fault, wal};
+use gam_serve::journal::{journal_path_for, Record, JOURNAL_SCHEMA};
+use gam_serve::{CacheEntry, JournaledCache, OutcomeCache};
+use proptest::prelude::*;
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gam-journal-recovery-{}-{tag}.json", std::process::id()));
+        let scratch = Scratch(path);
+        scratch.clean();
+        scratch
+    }
+
+    fn journal(&self) -> PathBuf {
+        journal_path_for(&self.0)
+    }
+
+    fn clean(&self) {
+        let _ = fs::remove_file(&self.0);
+        let _ = fs::remove_file(self.journal());
+        let name = self.0.file_name().expect("scratch has a name").to_string_lossy();
+        let _ = fs::remove_file(self.0.with_file_name(format!("{name}.tmp")));
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        self.clean();
+    }
+}
+
+/// A deterministic xorshift-style stream so each proptest case journals a
+/// different operation mix without any system randomness.
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+    *x
+}
+
+fn entry_from(x: u64) -> CacheEntry {
+    CacheEntry {
+        allowed: x & 1 == 0,
+        wall_us: 10 + (x >> 8) % 1_000,
+        states: 1 + (x >> 24) % 500,
+        hits: 0,
+    }
+}
+
+/// Journals a seeded mix of inserts (with evictions — capacity 4) and
+/// lookups (hit records), then returns the journal's bytes.
+fn build_journal(scratch: &Scratch, seed: u64) -> Vec<u8> {
+    let (mut cache, warnings) = JournaledCache::open(&scratch.0, 4, 100_000);
+    assert!(warnings.is_empty(), "fresh scratch must open silently: {warnings:?}");
+    let mut x = seed.wrapping_mul(2_654_435_761).wrapping_add(99);
+    let mut keys = Vec::new();
+    for step in 0..12u64 {
+        let draw = mix(&mut x);
+        let key = format!("{draw:016x}/gam/operational");
+        keys.push(key.clone());
+        let warnings = cache.insert(key, entry_from(draw));
+        assert!(warnings.is_empty(), "journal must stay attached: {warnings:?}");
+        if step % 3 == 0 {
+            let target = &keys[(mix(&mut x) as usize) % keys.len()];
+            let (_, warning) = cache.lookup(target);
+            assert!(warning.is_none(), "journal must stay attached: {warning:?}");
+        }
+    }
+    assert!(cache.journaling());
+    fs::read(scratch.journal()).expect("journal exists")
+}
+
+/// The reference replay: apply `frames` (which must all parse — they are a
+/// prefix of genuinely written records) over an empty capacity-4 cache,
+/// then re-enforce capacity cheapest-first, exactly as recovery does. The
+/// enforcement matters: damage can land *between* an insert record and the
+/// evict records that insert caused, so a valid prefix may describe a
+/// momentarily over-capacity cache.
+fn replay_reference(frames: &[Vec<u8>]) -> OutcomeCache {
+    let mut cache = OutcomeCache::new(4);
+    for frame in frames {
+        Record::parse(frame)
+            .expect("a CRC-valid prefix frame parses — it was written by us")
+            .apply(&mut cache);
+    }
+    while cache.len() > 4 {
+        let cheapest = cache
+            .entries()
+            .min_by_key(|(_, e)| e.cost())
+            .map(|(k, _)| k.clone())
+            .expect("over-capacity cache is non-empty");
+        cache.remove(&cheapest);
+    }
+    cache
+}
+
+fn entries_of(cache: &OutcomeCache) -> Vec<(String, CacheEntry)> {
+    cache.entries().map(|(k, e)| (k.clone(), e.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn damaged_journal_recovers_longest_valid_prefix(
+        seed in 0u64..1_000_000,
+        pos_permille in 0usize..1000,
+        flip_bit in 0u8..9, // 0..8 = flip that bit; 8 = truncate instead
+    ) {
+        // The fault plan is process-global; serialize against the directed
+        // fault tests in this binary.
+        let _guard = fault::exclusive();
+        let scratch = Scratch::new("prop");
+        let pristine = build_journal(&scratch, seed);
+        let header = format!("{JOURNAL_SCHEMA}\n");
+        let original = wal::scan(&pristine[header.len()..]).frames;
+        prop_assert!(original.len() >= 12, "build journaled at least the inserts");
+
+        // Damage the journal at a position scaled into its actual length.
+        let pos = pos_permille * pristine.len() / 1000;
+        let damaged = if flip_bit == 8 {
+            pristine[..pos].to_vec()
+        } else {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 1 << flip_bit;
+            bytes
+        };
+        fs::write(scratch.journal(), &damaged).expect("write damaged journal");
+
+        // Reopening must not panic, must not error, and must land on the
+        // replay of exactly the longest valid record prefix.
+        let (recovered, _warnings) = JournaledCache::open(&scratch.0, 4, 100_000);
+        let expected_frames = if damaged.starts_with(header.as_bytes()) {
+            wal::scan(&damaged[header.len()..]).frames
+        } else {
+            Vec::new() // damaged magic: the file is abandoned entirely
+        };
+        // Damage can only ever shorten the record sequence, never invent or
+        // reorder records.
+        prop_assert!(expected_frames.len() <= original.len());
+        prop_assert_eq!(&original[..expected_frames.len()], &expected_frames[..]);
+
+        let reference = replay_reference(&expected_frames);
+        prop_assert_eq!(entries_of(recovered.cache()), entries_of(&reference));
+        prop_assert_eq!(recovered.stats().replayed, expected_frames.len() as u64);
+    }
+}
+
+#[test]
+fn append_kill_leaves_torn_record_and_degrades_to_memory_only() {
+    let _guard = fault::exclusive();
+    let scratch = Scratch::new("append-kill");
+    let (mut cache, warnings) = JournaledCache::open(&scratch.0, 64, 100_000);
+    assert!(warnings.is_empty());
+
+    fault::install("cache.journal.append=kill@3").expect("valid plan");
+    // Appends 1 and 2 land; append 3 dies mid-write(2) and detaches the
+    // journal; appends 4 and 5 are memory-only.
+    let mut degradations = Vec::new();
+    for i in 0..5u64 {
+        let warnings = cache.insert(
+            format!("{i:016x}/gam/operational"),
+            CacheEntry { allowed: true, wall_us: 100 + i, states: 10, hits: 0 },
+        );
+        degradations.extend(warnings);
+    }
+    fault::reset();
+
+    assert!(!cache.journaling(), "a failed append must detach the journal");
+    assert_eq!(degradations.len(), 1, "exactly one degradation warning: {degradations:?}");
+    assert!(degradations[0].contains("memory-only"), "warning names the mode: {degradations:?}");
+    // The running process keeps serving from memory regardless.
+    assert_eq!(cache.cache().len(), 5);
+
+    // A restart recovers the two committed records; the torn third is
+    // dropped as a torn tail, with a warning saying so.
+    let (recovered, warnings) = JournaledCache::open(&scratch.0, 64, 100_000);
+    assert_eq!(recovered.cache().len(), 2, "committed prefix only");
+    assert!(recovered.cache().get("0000000000000000/gam/operational").is_some());
+    assert!(recovered.cache().get("0000000000000001/gam/operational").is_some());
+    assert!(
+        warnings.iter().any(|w| w.contains("torn")),
+        "recovery must report the torn tail: {warnings:?}"
+    );
+}
+
+#[test]
+fn compaction_kill_between_rename_and_truncate_converges_on_restart() {
+    let _guard = fault::exclusive();
+    let scratch = Scratch::new("compact-kill");
+    let (mut cache, warnings) = JournaledCache::open(&scratch.0, 64, 100_000);
+    assert!(warnings.is_empty());
+    for i in 0..6u64 {
+        let warnings = cache.insert(
+            format!("{i:016x}/gam/operational"),
+            CacheEntry { allowed: i % 2 == 0, wall_us: 50 + i, states: 5 + i, hits: 0 },
+        );
+        assert!(warnings.is_empty());
+    }
+    let before = entries_of(cache.cache());
+
+    // Die in the crash window: snapshot renamed, journal not yet truncated.
+    fault::install("cache.compact=kill").expect("valid plan");
+    let err = cache.compact().expect_err("injected kill surfaces");
+    assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+    fault::reset();
+    drop(cache);
+
+    // The snapshot is fresh AND the journal still holds every record: the
+    // restart replays a stale journal over an up-to-date snapshot. Absolute
+    // records make that convergent — the result is exactly the
+    // pre-compaction cache, with nothing doubled and nothing lost.
+    let (snapshot_only, warning) = OutcomeCache::load(&scratch.0, 64);
+    assert!(warning.is_none());
+    assert_eq!(entries_of(&snapshot_only), before, "snapshot landed before the kill");
+    let (recovered, warnings) = JournaledCache::open(&scratch.0, 64, 100_000);
+    assert!(warnings.is_empty(), "nothing was torn: {warnings:?}");
+    assert_eq!(recovered.stats().replayed, 6, "stale journal replays in full");
+    assert_eq!(entries_of(recovered.cache()), before);
+}

@@ -1,0 +1,125 @@
+//! The bounded-retry HTTP client against a hand-rolled server: retries
+//! exactly as many times as the server sheds, honors `Retry-After` (capped
+//! by the policy), and gives up gracefully — a still-shedding server after
+//! the final retry is an `Ok(503)`, the caller's call, not an error.
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use gam_serve::http::request_retrying;
+use gam_serve::{ClientConfig, RetryPolicy};
+
+/// Reads the request head (through the blank line; the test client sends
+/// no body for GET) and writes one canned response.
+fn answer(mut stream: TcpStream, status_line: &str, extra_headers: &str, body: &str) {
+    let mut buffer = [0u8; 1024];
+    let mut head = Vec::new();
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        let n = stream.read(&mut buffer).expect("read request");
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buffer[..n]);
+    }
+    let response = format!(
+        "HTTP/1.1 {status_line}\r\n{extra_headers}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes()).expect("write response");
+}
+
+/// Serves `scripted` responses, one connection each, on an ephemeral port.
+/// Returns the address and the join handle.
+fn scripted_server(
+    scripted: Vec<(&'static str, &'static str, &'static str)>,
+) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || {
+        for (status_line, extra_headers, body) in scripted {
+            let (stream, _) = listener.accept().expect("accept");
+            answer(stream, status_line, extra_headers, body);
+        }
+    });
+    (addr, handle)
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 4,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(100),
+    }
+}
+
+#[test]
+fn retries_through_shedding_until_the_server_answers() {
+    let (addr, server) = scripted_server(vec![
+        ("503 Service Unavailable", "Retry-After: 0\r\n", ""),
+        ("503 Service Unavailable", "Retry-After: 0\r\n", ""),
+        ("200 OK", "", "{\"ok\":true}"),
+    ]);
+    let (response, stats) =
+        request_retrying(&addr, "GET", "/check", None, &ClientConfig::default(), &fast_policy())
+            .expect("retrying request succeeds");
+    server.join().expect("server thread");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body, "{\"ok\":true}");
+    assert_eq!(stats.retries, 2, "one retry per 503");
+    assert!(stats.backoff > Duration::ZERO, "retries waited between attempts");
+}
+
+#[test]
+fn a_still_shedding_server_yields_ok_503_after_the_budget() {
+    let policy = RetryPolicy { max_retries: 2, ..fast_policy() };
+    let (addr, server) = scripted_server(vec![
+        ("503 Service Unavailable", "Retry-After: 0\r\n", "shed"),
+        ("503 Service Unavailable", "Retry-After: 0\r\n", "shed"),
+        ("503 Service Unavailable", "Retry-After: 0\r\n", "shed"),
+    ]);
+    let (response, stats) =
+        request_retrying(&addr, "GET", "/check", None, &ClientConfig::default(), &policy)
+            .expect("an exhausted budget is not a transport error");
+    server.join().expect("server thread");
+    assert_eq!(response.status, 503, "the final shed response is handed to the caller");
+    assert_eq!(stats.retries, policy.max_retries, "the full budget was spent");
+}
+
+#[test]
+fn retry_after_pushes_the_wait_beyond_exponential_backoff() {
+    // base_delay 1ms means exponential backoff alone would wait ~1ms; a
+    // Retry-After of 10s must stretch that wait — capped by max_delay at
+    // 100ms so the test stays fast. Observing >= 90ms elapsed proves the
+    // header (not the exponent) set the wait.
+    let (addr, server) = scripted_server(vec![
+        ("503 Service Unavailable", "Retry-After: 10\r\n", ""),
+        ("200 OK", "", "ok"),
+    ]);
+    let started = Instant::now();
+    let (response, stats) =
+        request_retrying(&addr, "GET", "/check", None, &ClientConfig::default(), &fast_policy())
+            .expect("request succeeds");
+    server.join().expect("server thread");
+    assert_eq!(response.status, 200);
+    assert_eq!(stats.retries, 1);
+    assert!(
+        started.elapsed() >= Duration::from_millis(90),
+        "Retry-After was ignored: only {:?} elapsed",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn zero_retries_disables_the_loop() {
+    let policy = RetryPolicy { max_retries: 0, ..fast_policy() };
+    let (addr, server) =
+        scripted_server(vec![("503 Service Unavailable", "Retry-After: 0\r\n", "shed")]);
+    let (response, stats) =
+        request_retrying(&addr, "GET", "/check", None, &ClientConfig::default(), &policy)
+            .expect("single attempt");
+    server.join().expect("server thread");
+    assert_eq!(response.status, 503);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.backoff, Duration::ZERO);
+}

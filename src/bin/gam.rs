@@ -3,16 +3,19 @@
 //! ```text
 //! usage:
 //!   gam check FILE [--models LIST] [--backends LIST] [--jobs N]
-//!                 [--explorer-threads N] [--time-budget MS] [--json]
-//!                 [--no-expectations]
+//!                 [--explorer-threads N] [--time-budget MS]
+//!                 [--checkpoint FILE] [--json] [--no-expectations]
 //!   gam run DIR   [--models LIST] [--backends LIST] [--jobs N]
 //!                 [--explorer-threads N] [--json] [--no-expectations]
-//!   gam bench DIR [--models LIST] [--explorer-threads N] [--json]
+//!   gam bench DIR [--models LIST] [--explorer-threads N]
+//!                 [--checkpoint FILE] [--json]
 //!   gam bench DIR --serve ADDR [--models LIST] [--jobs N]
-//!                 [--min-hit-rate R] [--timeout-ms MS] [--json] [--out PATH]
+//!                 [--min-hit-rate R] [--timeout-ms MS] [--retries N]
+//!                 [--json] [--out PATH]
 //!   gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N]
 //!             [--workers N] [--queue-depth N] [--read-timeout-ms MS]
-//!             [--write-timeout-ms MS]
+//!             [--write-timeout-ms MS] [--compact-every N]
+//!             [--overload-wall-ms MS]
 //!   gam gen-corpus DIR [--count N] [--seed S]
 //!   gam print FILE
 //!   gam export-library DIR
@@ -55,19 +58,34 @@
 //! writes the in-code library as a corpus.
 //!
 //! `serve` starts the long-running check service (`gam-serve`): an HTTP
-//! API over a persistent, canonicalizing outcome cache; it runs until a
-//! client POSTs `/shutdown`, then drains gracefully and persists the
-//! cache. `bench --serve` is its load-generating client: it replays a
-//! corpus concurrently against a live server (with per-request
-//! `--timeout-ms` client timeouts), asserts every verdict against an
-//! in-process engine run, cross-checks the server's `/metrics` deltas
-//! against what the client observed, and reports throughput and cache hit
-//! rate.
+//! API over a persistent, canonicalizing outcome cache whose every
+//! mutation is write-ahead journaled (a `kill -9` loses at most the one
+//! in-flight record; the journal folds into the snapshot every
+//! `--compact-every` records and at graceful shutdown). It runs until a
+//! client POSTs `/shutdown`, then drains and compacts. `bench --serve` is
+//! its load-generating client: it replays a corpus concurrently against a
+//! live server (with per-request `--timeout-ms` client timeouts and
+//! bounded `--retries` with exponential backoff honoring `Retry-After`),
+//! asserts every verdict against an in-process engine run, cross-checks
+//! the server's `/metrics` deltas against what the client observed, and
+//! reports throughput, cache hit rate, retry totals and shed counts — a
+//! request the server sheds even after the retry budget is *counted*, not
+//! an error.
 //!
 //! `check --time-budget MS` runs each (model, backend) pair through the
 //! engine's budgeted session API: a check that exhausts its wall budget
 //! reports INCONCLUSIVE with its partial outcomes instead of running
 //! open-ended.
+//!
+//! `check --checkpoint FILE` and `bench --checkpoint FILE` (alias
+//! `--resume FILE`) append every completed work unit — one
+//! (model, backend) verdict for `check`, one (model, test) exploration
+//! for `bench` — to a crash-durable log, and skip units already recorded
+//! there. A killed run relaunched with the same flag recomputes only the
+//! unit the crash interrupted; because exploration is deterministic, the
+//! resumed report carries outcome sets and visited-state counts identical
+//! to an uninterrupted run's. Checkpoint keys embed the canonical test
+//! hash, so a checkpoint pointed at a different corpus matches nothing.
 //!
 //! Exit status (all subcommands): 0 = clean, 1 = the command ran but found
 //! mismatches, disagreements, coverage gaps or check errors, 2 = usage or
@@ -150,14 +168,15 @@ fn run(args: &[String]) -> Result<Status, String> {
 
 const USAGE: &str = "usage:
   gam check FILE [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
-                [--time-budget MS] [--json] [--no-expectations]
+                [--time-budget MS] [--checkpoint FILE] [--json] [--no-expectations]
   gam run DIR   [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
                 [--json] [--no-expectations]
-  gam bench DIR [--models LIST] [--explorer-threads N] [--json]
+  gam bench DIR [--models LIST] [--explorer-threads N] [--checkpoint FILE] [--json]
   gam bench DIR --serve ADDR [--models LIST] [--jobs N] [--min-hit-rate R]
-                [--timeout-ms MS] [--json] [--out PATH]
+                [--timeout-ms MS] [--retries N] [--json] [--out PATH]
   gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N] [--workers N]
             [--queue-depth N] [--read-timeout-ms MS] [--write-timeout-ms MS]
+            [--compact-every N] [--overload-wall-ms MS]
   gam gen-corpus DIR [--count N] [--seed S]
   gam print FILE
   gam export-library DIR
@@ -176,12 +195,19 @@ const USAGE: &str = "usage:
   --time-budget MS     check: wall-clock budget per (model, backend) pair;
                        a check that exhausts it reports INCONCLUSIVE with
                        its partial outcomes and the command exits 3
+  --checkpoint FILE    check/bench: log each completed work unit to FILE and
+                       skip units already recorded there — a killed run
+                       relaunched with the same FILE recomputes only the
+                       unit the crash interrupted (--resume is an alias)
   --serve ADDR         bench: replay the corpus against a live `gam serve`
                        at ADDR instead of checking in-process
   --min-hit-rate R     bench --serve: fail unless the observed cache hit
                        rate is at least R (0.0-1.0, default 0)
   --timeout-ms MS      bench --serve: client connect/read timeout per
                        request (default: 10s connect, 600s read)
+  --retries N          bench --serve: retries per request on 503 or
+                       connection errors, exponential backoff + jitter
+                       honoring Retry-After (default 4; 0 disables)
   --out PATH           bench --serve: also write the JSON report to PATH
   --addr ADDR          serve: bind address (default 127.0.0.1:7117)
   --cache PATH         serve: cache file (default gam-serve-cache.json)
@@ -192,6 +218,11 @@ const USAGE: &str = "usage:
   --read-timeout-ms MS serve: per-socket read timeout; a stalled client
                        gets 408 instead of wedging a worker (default 10s)
   --write-timeout-ms MS serve: per-socket write timeout (default 10s)
+  --compact-every N    serve: fold the cache journal into the snapshot
+                       after N appended records (default 4096)
+  --overload-wall-ms MS serve: while the queue is half full, clamp each
+                       request's wall budget to MS so the server degrades
+                       before it sheds (default 2000)
 
 exit status: 0 = clean; 1 = ran but found mismatches, disagreements,
 coverage gaps or check errors; 2 = usage/startup error (bad flags,
@@ -240,6 +271,11 @@ fn positional(args: &[String]) -> Option<&String> {
                     | "--write-timeout-ms"
                     | "--time-budget"
                     | "--timeout-ms"
+                    | "--checkpoint"
+                    | "--resume"
+                    | "--retries"
+                    | "--compact-every"
+                    | "--overload-wall-ms"
             );
             continue;
         }
@@ -300,6 +336,42 @@ fn explorer_threads(args: &[String]) -> Result<usize, String> {
     match arg_value(args, "--explorer-threads") {
         None => Ok(1),
         Some(n) => n.parse::<usize>().map_err(|_| format!("invalid --explorer-threads `{n}`")),
+    }
+}
+
+/// Opens the `--checkpoint FILE` (alias `--resume FILE`) work-unit log when
+/// either flag is given. Recovered damage and a non-empty resume are
+/// announced on stderr; only a genuine I/O failure to open the file is a
+/// startup error.
+fn open_checkpoint(
+    args: &[String],
+    command: &str,
+) -> Result<Option<gam_engine::RunCheckpoint>, String> {
+    let Some(path) = arg_value(args, "--checkpoint").or_else(|| arg_value(args, "--resume")) else {
+        return Ok(None);
+    };
+    let (checkpoint, warning) = gam_engine::RunCheckpoint::open(std::path::Path::new(&path))
+        .map_err(|err| format!("cannot open checkpoint {path}: {err}"))?;
+    if let Some(warning) = warning {
+        eprintln!("{command}: {warning}");
+    }
+    if checkpoint.resumed() > 0 {
+        eprintln!("{command}: resuming {} completed units from {path}", checkpoint.resumed());
+    }
+    Ok(Some(checkpoint))
+}
+
+/// Records one completed work unit, warning instead of failing: the
+/// checkpoint exists to protect the run, so losing it must never sink the
+/// run it protects.
+fn record_unit(checkpoint: &mut Option<gam_engine::RunCheckpoint>, key: &str, result: &Json) {
+    if let Some(checkpoint) = checkpoint.as_mut() {
+        if let Err(err) = checkpoint.record(key, result.clone()) {
+            eprintln!(
+                "gam: checkpoint {}: {err}; continuing without durability for this unit",
+                checkpoint.path().display()
+            );
+        }
     }
 }
 
@@ -510,9 +582,26 @@ fn cmd_check(args: &[String]) -> Result<Status, String> {
     };
     let workers = parallelism(args)?;
     let explorer_workers = explorer_threads(args)?;
-    if let Some(ms) = arg_value(args, "--time-budget") {
-        let ms: u64 = ms.parse().map_err(|_| format!("invalid --time-budget `{ms}`"))?;
-        return cmd_check_budgeted(args, path, &test, &models, &backends, explorer_workers, ms);
+    let budget_ms = match arg_value(args, "--time-budget") {
+        Some(ms) => Some(ms.parse().map_err(|_| format!("invalid --time-budget `{ms}`"))?),
+        None => None,
+    };
+    let wants_checkpoint =
+        arg_value(args, "--checkpoint").is_some() || arg_value(args, "--resume").is_some();
+    if budget_ms.is_some() || wants_checkpoint {
+        // Both the budgeted and the checkpointed paths run the pairs
+        // sequentially through the session API — checkpointing needs the
+        // unit-at-a-time loop so each completed pair lands on disk before
+        // the next one starts.
+        return cmd_check_sequential(
+            args,
+            path,
+            &test,
+            &models,
+            &backends,
+            explorer_workers,
+            budget_ms,
+        );
     }
     let use_expectations = !arg_flag(args, "--no-expectations");
     let tests = [test];
@@ -557,28 +646,41 @@ fn cmd_check(args: &[String]) -> Result<Status, String> {
     Ok(Status::from_clean(mismatches.is_empty()))
 }
 
-/// The `--time-budget` path of `gam check`: each supported (model, backend)
-/// pair runs through the engine's budgeted session API, so a blow-up in the
-/// state space surfaces as an INCONCLUSIVE row carrying partial outcomes
-/// (exit 3) instead of an open-ended run. Expectation diffing is skipped —
+/// The sequential path of `gam check`, taken for `--time-budget` and/or
+/// `--checkpoint`: each supported (model, backend) pair runs one at a time
+/// through the engine's session API. With a budget, a blow-up in the state
+/// space surfaces as an INCONCLUSIVE row carrying partial outcomes (exit 3)
+/// instead of an open-ended run. With a checkpoint, every finished pair is
+/// logged before the next one starts, and pairs already on the log are
+/// replayed from it — verdicts are deterministic, so a resumed run's rows
+/// are identical to an uninterrupted run's. Expectation diffing is skipped —
 /// a budgeted verdict may be partial by design.
-fn cmd_check_budgeted(
+fn cmd_check_sequential(
     args: &[String],
     path: &str,
     test: &LitmusTest,
     models: &[ModelKind],
     backends: &[Backend],
     explorer_workers: usize,
-    budget_ms: u64,
+    budget_ms: Option<u64>,
 ) -> Result<Status, String> {
-    let budget =
-        gam_engine::CheckBudget::none().with_max_wall(std::time::Duration::from_millis(budget_ms));
-    let mut rows = Vec::new();
-    let mut any_inconclusive = false;
-    let mut any_error = false;
+    let mut budget = gam_engine::CheckBudget::none();
+    if let Some(ms) = budget_ms {
+        budget = budget.with_max_wall(std::time::Duration::from_millis(ms));
+    }
+    let mut checkpoint = open_checkpoint(args, "gam check")?;
+    let hash = gam_frontend::canonical_hash(test).to_string();
+    let mut rows: Vec<Json> = Vec::new();
     for &model in models {
         for &backend in backends {
             if !backend.supports(model) {
+                continue;
+            }
+            // The key pins the unit *and* the test's content: a checkpoint
+            // accidentally pointed at a different test matches nothing.
+            let key = format!("check/{model}/{}/{hash}", backend.name());
+            if let Some(recorded) = checkpoint.as_ref().and_then(|c| c.completed(&key)) {
+                rows.push(recorded.clone());
                 continue;
             }
             let engine = Engine::builder()
@@ -587,27 +689,9 @@ fn cmd_check_budgeted(
                 .explorer_parallelism(explorer_workers)
                 .build()
                 .map_err(|err| err.to_string())?;
-            let row = match engine.check_budgeted(test, &budget) {
-                Ok(outcome) => (model, backend, Ok(outcome)),
-                Err(err) => {
-                    any_error = true;
-                    (model, backend, Err(err.to_string()))
-                }
-            };
-            if matches!(&row.2, Ok(outcome) if !outcome.verdict.is_conclusive()) {
-                any_inconclusive = true;
-            }
-            rows.push(row);
-        }
-    }
-    if rows.is_empty() {
-        return Err("no supported (model, backend) combination selected".to_string());
-    }
-    if arg_flag(args, "--json") {
-        let json_rows = rows.iter().map(|(model, backend, result)| {
             let base =
                 [("model", Json::from(model.to_string())), ("backend", Json::from(backend.name()))];
-            match result {
+            let row = match engine.check_budgeted(test, &budget) {
                 Ok(outcome) => match &outcome.verdict {
                     gam_engine::SessionVerdict::Inconclusive {
                         partial_outcomes,
@@ -626,44 +710,58 @@ fn cmd_check_budgeted(
                     ])),
                 },
                 Err(error) => {
-                    Json::object(base.into_iter().chain([("error", Json::from(error.as_str()))]))
+                    Json::object(base.into_iter().chain([("error", Json::from(error.to_string()))]))
                 }
+            };
+            // Errored pairs stay off the log so a resume retries them;
+            // inconclusive ones are recorded — rerunning with the same
+            // budget would only reproduce the same partial answer.
+            if row.get("error").is_none() {
+                record_unit(&mut checkpoint, &key, &row);
             }
-        });
-        println!(
-            "{}",
-            Json::object([
-                ("suite", Json::from(path)),
-                ("time_budget_ms", Json::UInt(budget_ms)),
-                ("results", Json::array(json_rows)),
-                ("ok", Json::from(!any_error)),
-                ("inconclusive", Json::from(any_inconclusive)),
-            ])
-        );
+            rows.push(row);
+        }
+    }
+    if rows.is_empty() {
+        return Err("no supported (model, backend) combination selected".to_string());
+    }
+    let any_error = rows.iter().any(|row| row.get("error").is_some());
+    let any_inconclusive =
+        rows.iter().any(|row| row.get("verdict").and_then(Json::as_str) == Some("inconclusive"));
+    if arg_flag(args, "--json") {
+        let mut fields = vec![("suite", Json::from(path))];
+        if let Some(ms) = budget_ms {
+            fields.push(("time_budget_ms", Json::UInt(ms)));
+        }
+        if let Some(ckpt) = &checkpoint {
+            fields.push(("resumed_units", Json::UInt(ckpt.resumed() as u64)));
+        }
+        fields.extend([
+            ("results", Json::array(rows.iter().cloned())),
+            ("ok", Json::from(!any_error)),
+            ("inconclusive", Json::from(any_inconclusive)),
+        ]);
+        println!("{}", Json::object(fields));
     } else {
         print!("{}", print_litmus(test));
         println!();
-        for (model, backend, result) in &rows {
-            match result {
-                Ok(outcome) => match &outcome.verdict {
-                    gam_engine::SessionVerdict::Inconclusive {
-                        partial_outcomes,
-                        states_visited,
-                        reason,
-                    } => println!(
-                        "{:<8} {:<12} INCONCLUSIVE: {reason} ({states_visited} states, {} \
-                         partial outcomes)",
-                        model.to_string(),
-                        backend.name(),
-                        partial_outcomes.len()
-                    ),
-                    verdict => {
-                        println!("{:<8} {:<12} {verdict}", model.to_string(), backend.name());
-                    }
-                },
-                Err(error) => {
-                    println!("{:<8} {:<12} ERROR: {error}", model.to_string(), backend.name());
-                }
+        for row in &rows {
+            let model = row.get("model").and_then(Json::as_str).unwrap_or("?");
+            let backend = row.get("backend").and_then(Json::as_str).unwrap_or("?");
+            if let Some(error) = row.get("error").and_then(Json::as_str) {
+                println!("{model:<8} {backend:<12} ERROR: {error}");
+            } else if row.get("verdict").and_then(Json::as_str) == Some("inconclusive") {
+                println!(
+                    "{model:<8} {backend:<12} INCONCLUSIVE: {} ({} states, {} partial outcomes)",
+                    row.get("reason").and_then(Json::as_str).unwrap_or("?"),
+                    row.get("states_visited").and_then(Json::as_u64).unwrap_or(0),
+                    row.get("partial_outcomes").and_then(Json::as_u64).unwrap_or(0),
+                );
+            } else {
+                println!(
+                    "{model:<8} {backend:<12} {}",
+                    row.get("verdict").and_then(Json::as_str).unwrap_or("?")
+                );
             }
         }
     }
@@ -763,18 +861,47 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     Ok(clean)
 }
 
-/// One `(model, test)` throughput measurement of `gam bench`.
-struct BenchRow {
-    test: String,
+/// One `(model, test)` throughput measurement of `gam bench`, as the JSON
+/// row the report carries — which is also exactly what the `--checkpoint`
+/// log records, so a resumed run replays completed rows verbatim.
+#[allow(clippy::too_many_arguments)]
+fn bench_row_json(
+    test: &str,
     operational_wall_us: u64,
-    states_visited: usize,
+    states_visited: u64,
     states_per_sec: u64,
-    /// Component-arena occupancy — `None` when the exploration escalated to
-    /// the sharded parallel driver, which stores full states.
-    occupancy: Option<gam_engine::ArenaOccupancy>,
+    occupancy: Option<&gam_engine::ArenaOccupancy>,
     axiomatic_wall_us: u64,
-    outcomes: usize,
+    outcomes: &std::collections::BTreeSet<gam_isa::litmus::Outcome>,
     agree: bool,
+) -> Json {
+    let mut pairs = vec![
+        ("test", Json::from(test)),
+        ("wall_us_operational", Json::UInt(operational_wall_us)),
+        ("states_visited", Json::UInt(states_visited)),
+        ("states_per_sec", Json::UInt(states_per_sec)),
+    ];
+    // Omitted (rather than zeroed) when the exploration escalated to the
+    // parallel driver, which does no component interning.
+    if let Some(occupancy) = occupancy {
+        pairs.push(("distinct_components", Json::UInt(occupancy.distinct_components() as u64)));
+        pairs.push(("interned_bytes", Json::UInt(occupancy.interned_bytes as u64)));
+    }
+    // A content fingerprint of the complete outcome set, so the
+    // checkpoint round-trip test can assert a resumed run reproduced the
+    // *same set*, not merely the same cardinality.
+    let mut rendered = String::new();
+    for outcome in outcomes {
+        rendered.push_str(&outcome.to_string());
+        rendered.push('\n');
+    }
+    pairs.extend([
+        ("wall_us_axiomatic", Json::UInt(axiomatic_wall_us)),
+        ("outcomes", Json::UInt(outcomes.len() as u64)),
+        ("outcome_hash", Json::from(format!("{:08x}", gam_core::wal::crc32(rendered.as_bytes())))),
+        ("agree", Json::from(agree)),
+    ]);
+    Json::object(pairs)
 }
 
 fn micros(duration: std::time::Duration) -> u64 {
@@ -801,9 +928,15 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
     };
     let explorer_workers = explorer_threads(args)?;
     let as_json = arg_flag(args, "--json");
+    let mut checkpoint = open_checkpoint(args, "gam bench")?;
     let tests = corpus.tests();
     let name = corpus.name();
     let started = Instant::now();
+
+    // Checkpoint keys embed each test's canonical hash: a log pointed at a
+    // different corpus matches nothing instead of poisoning the run.
+    let hashes: Vec<String> =
+        tests.iter().map(|test| gam_frontend::canonical_hash(test).to_string()).collect();
 
     let mut sections = Vec::new();
     let mut disagreements = 0usize;
@@ -821,69 +954,88 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
             ExplorerConfig { parallelism: explorer_workers, ..ExplorerConfig::default() },
         );
         let axiomatic = Engine::axiomatic(model);
-        let mut rows = Vec::new();
-        for test in &tests {
-            let start = Instant::now();
-            let exploration = match checker.explore(test) {
-                Ok(exploration) => exploration,
-                Err(err) => {
-                    eprintln!("gam bench: {model}/{}: operational: {err}", test.name());
-                    errors += 1;
-                    continue;
-                }
-            };
-            let operational_wall = start.elapsed();
-            let start = Instant::now();
-            let ax_outcomes = match axiomatic.allowed_outcomes(test) {
-                Ok(outcomes) => outcomes,
-                Err(err) => {
-                    eprintln!("gam bench: {model}/{}: axiomatic: {err}", test.name());
-                    errors += 1;
-                    continue;
-                }
-            };
-            let axiomatic_wall = start.elapsed();
-            let agree = ax_outcomes == exploration.outcomes;
-            if !agree {
-                disagreements += 1;
-                eprintln!(
-                    "gam bench: DISAGREEMENT {model}/{}: axiomatic {} outcomes vs operational {}",
-                    test.name(),
-                    ax_outcomes.len(),
-                    exploration.outcomes.len()
-                );
-            }
-            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
-            #[allow(clippy::cast_sign_loss)]
-            let states_per_sec = if operational_wall.as_secs_f64() > 0.0 {
-                (exploration.states_visited as f64 / operational_wall.as_secs_f64()) as u64
+        let mut rows: Vec<Json> = Vec::new();
+        for (test, hash) in tests.iter().zip(&hashes) {
+            let key = format!("bench/{model}/{}/{hash}", test.name());
+            let row = if let Some(recorded) = checkpoint.as_ref().and_then(|c| c.completed(&key)) {
+                // A completed unit replays verbatim: exploration is
+                // deterministic, so the recorded outcome set and state
+                // count are exactly what recomputing would produce.
+                recorded.clone()
             } else {
-                0
+                let start = Instant::now();
+                let exploration = match checker.explore(test) {
+                    Ok(exploration) => exploration,
+                    Err(err) => {
+                        eprintln!("gam bench: {model}/{}: operational: {err}", test.name());
+                        errors += 1;
+                        continue;
+                    }
+                };
+                let operational_wall = start.elapsed();
+                let start = Instant::now();
+                let ax_outcomes = match axiomatic.allowed_outcomes(test) {
+                    Ok(outcomes) => outcomes,
+                    Err(err) => {
+                        eprintln!("gam bench: {model}/{}: axiomatic: {err}", test.name());
+                        errors += 1;
+                        continue;
+                    }
+                };
+                let axiomatic_wall = start.elapsed();
+                let agree = ax_outcomes == exploration.outcomes;
+                if !agree {
+                    eprintln!(
+                        "gam bench: DISAGREEMENT {model}/{}: axiomatic {} outcomes vs \
+                         operational {}",
+                        test.name(),
+                        ax_outcomes.len(),
+                        exploration.outcomes.len()
+                    );
+                }
+                #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+                #[allow(clippy::cast_sign_loss)]
+                let states_per_sec = if operational_wall.as_secs_f64() > 0.0 {
+                    (exploration.states_visited as f64 / operational_wall.as_secs_f64()) as u64
+                } else {
+                    0
+                };
+                let row = bench_row_json(
+                    test.name(),
+                    micros(operational_wall),
+                    exploration.states_visited as u64,
+                    states_per_sec,
+                    exploration.arena.as_ref(),
+                    micros(axiomatic_wall),
+                    &exploration.outcomes,
+                    agree,
+                );
+                record_unit(&mut checkpoint, &key, &row);
+                row
             };
-            total_states += exploration.states_visited as u64;
-            total_op_wall += micros(operational_wall);
-            total_ax_wall += micros(axiomatic_wall);
-            rows.push(BenchRow {
-                test: test.name().to_string(),
-                operational_wall_us: micros(operational_wall),
-                states_visited: exploration.states_visited,
-                states_per_sec,
-                occupancy: exploration.arena,
-                axiomatic_wall_us: micros(axiomatic_wall),
-                outcomes: exploration.outcomes.len(),
-                agree,
-            });
+            if !matches!(row.get("agree"), Some(Json::Bool(true))) {
+                disagreements += 1;
+            }
+            total_states += row.get("states_visited").and_then(Json::as_u64).unwrap_or(0);
+            total_op_wall += row.get("wall_us_operational").and_then(Json::as_u64).unwrap_or(0);
+            total_ax_wall += row.get("wall_us_axiomatic").and_then(Json::as_u64).unwrap_or(0);
+            rows.push(row);
         }
         sections.push((model, rows));
     }
     let clean = disagreements == 0 && errors == 0;
 
     if as_json {
-        let report = Json::object([
+        let mut fields = vec![
             ("schema", Json::from("gam-bench/v1")),
             ("suite", Json::from(name.as_str())),
             ("tests", Json::UInt(tests.len() as u64)),
             ("explorer_threads", Json::UInt(explorer_workers as u64)),
+        ];
+        if let Some(ckpt) = &checkpoint {
+            fields.push(("resumed_units", Json::UInt(ckpt.resumed() as u64)));
+        }
+        fields.extend([
             (
                 "totals",
                 Json::object([
@@ -899,57 +1051,34 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
                 Json::array(sections.iter().map(|(model, rows)| {
                     Json::object([
                         ("model", Json::from(model.to_string())),
-                        (
-                            "tests",
-                            Json::array(rows.iter().map(|row| {
-                                let mut pairs = vec![
-                                    ("test", Json::from(row.test.as_str())),
-                                    ("wall_us_operational", Json::UInt(row.operational_wall_us)),
-                                    ("states_visited", Json::UInt(row.states_visited as u64)),
-                                    ("states_per_sec", Json::UInt(row.states_per_sec)),
-                                ];
-                                // Omitted (rather than zeroed) when the
-                                // exploration escalated to the parallel
-                                // driver, which does no component interning.
-                                if let Some(occupancy) = &row.occupancy {
-                                    pairs.push((
-                                        "distinct_components",
-                                        Json::UInt(occupancy.distinct_components() as u64),
-                                    ));
-                                    pairs.push((
-                                        "interned_bytes",
-                                        Json::UInt(occupancy.interned_bytes as u64),
-                                    ));
-                                }
-                                pairs.extend([
-                                    ("wall_us_axiomatic", Json::UInt(row.axiomatic_wall_us)),
-                                    ("outcomes", Json::UInt(row.outcomes as u64)),
-                                    ("agree", Json::from(row.agree)),
-                                ]);
-                                Json::object(pairs)
-                            })),
-                        ),
+                        ("tests", Json::array(rows.iter().cloned())),
                     ])
                 })),
             ),
             ("ok", Json::from(clean)),
         ]);
-        println!("{report}");
+        println!("{}", Json::object(fields));
     } else {
         println!(
             "bench {name}: {} tests x {} models, explorer threads {explorer_workers}",
             tests.len(),
             sections.len()
         );
+        if let Some(ckpt) = &checkpoint {
+            if ckpt.resumed() > 0 {
+                println!("  resumed {} completed units from checkpoint", ckpt.resumed());
+            }
+        }
+        let field = |row: &Json, key: &str| row.get(key).and_then(Json::as_u64).unwrap_or(0);
         for (model, rows) in &sections {
-            let model_states: u64 = rows.iter().map(|r| r.states_visited as u64).sum();
-            let model_wall: u64 = rows.iter().map(|r| r.operational_wall_us).sum();
+            let model_states: u64 = rows.iter().map(|r| field(r, "states_visited")).sum();
+            let model_wall: u64 = rows.iter().map(|r| field(r, "wall_us_operational")).sum();
             let rate = (model_states * 1_000_000).checked_div(model_wall).unwrap_or(0);
             println!(
                 "  {:<8} operational {model_wall:>8}us  {model_states:>8} states \
                  ({rate:>9} states/s)  axiomatic {:>8}us",
                 model.to_string(),
-                rows.iter().map(|r| r.axiomatic_wall_us).sum::<u64>()
+                rows.iter().map(|r| field(r, "wall_us_axiomatic")).sum::<u64>()
             );
         }
         println!(
@@ -1098,6 +1227,19 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
         }
         config.write_timeout = std::time::Duration::from_millis(ms);
     }
+    if let Some(n) = arg_value(args, "--compact-every") {
+        config.compact_every = n.parse().map_err(|_| format!("invalid --compact-every `{n}`"))?;
+        if config.compact_every == 0 {
+            return Err("--compact-every must be positive".to_string());
+        }
+    }
+    if let Some(ms) = arg_value(args, "--overload-wall-ms") {
+        config.overload_wall_ms =
+            ms.parse().map_err(|_| format!("invalid --overload-wall-ms `{ms}`"))?;
+        if config.overload_wall_ms == 0 {
+            return Err("--overload-wall-ms must be positive".to_string());
+        }
+    }
     // A bind failure is a startup error: `Err` exits 2 with the message.
     let (server, warning) = gam_serve::Server::start(&config).map_err(|err| err.to_string())?;
     if let Some(warning) = warning {
@@ -1112,9 +1254,10 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
         config.cache_capacity.max(1),
     );
     // Serve until a client POSTs /shutdown, then drain gracefully: stop
-    // accepting, join the workers and persist the cache. The cache is also
-    // persisted after every mutating request, so an external kill loses
-    // nothing either.
+    // accepting, join the workers and compact the journal into the
+    // snapshot. Every cache mutation was already journaled when it
+    // happened, so an external `kill -9` loses at most the one record
+    // that was mid-write.
     server.wait_for_shutdown_request();
     println!("gam serve: shutdown requested; draining");
     server.shutdown();
@@ -1136,11 +1279,23 @@ fn fetch_metrics(addr: &str, client: &gam_serve::ClientConfig) -> Result<Json, S
     Json::parse(&response.body).map_err(|err| format!("{addr}/metrics: bad JSON: {err}"))
 }
 
+/// What one replayed request came back with, verdicts aside.
+enum ReplayOutcome {
+    /// A checked result: `(allowed, cached)`.
+    Verdict(bool, bool),
+    /// The server was still shedding when the retry budget ran out. Not an
+    /// error: under deliberate overload, bounded shedding is the server
+    /// *working as designed*, and one unanswered request must not fail the
+    /// whole replay.
+    Shed,
+}
+
 /// One replayed request's observation, as seen by the bench client.
 struct ReplayRow {
     test: String,
     model: ModelKind,
-    outcome: Result<(bool, bool), String>, // (allowed, cached)
+    outcome: Result<ReplayOutcome, String>,
+    retry: gam_serve::RetryStats,
 }
 
 fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, String> {
@@ -1181,6 +1336,13 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
             }
             gam_serve::ClientConfig::with_timeout(std::time::Duration::from_millis(ms))
         }
+    };
+    let policy = match arg_value(args, "--retries") {
+        None => gam_serve::RetryPolicy::default(),
+        Some(n) => gam_serve::RetryPolicy {
+            max_retries: n.parse().map_err(|_| format!("invalid --retries `{n}`"))?,
+            ..gam_serve::RetryPolicy::default()
+        },
     };
     let as_json = arg_flag(args, "--json");
     let out_path = arg_value(args, "--out");
@@ -1229,11 +1391,12 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
             scope.spawn(|| loop {
                 let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some((test, model, body)) = work.get(index) else { break };
-                let outcome = replay_one(&addr, body, &client);
+                let (outcome, retry) = replay_one(&addr, body, &client, &policy);
                 rows.lock().expect("rows lock").push(ReplayRow {
                     test: test.clone(),
                     model: *model,
                     outcome,
+                    retry,
                 });
             });
         }
@@ -1247,9 +1410,18 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
     let mut disagreements = Vec::new();
     let mut errors = Vec::new();
     let mut hits = 0u64;
+    let mut sheds = 0u64;
+    let mut retried_requests = 0u64;
+    let mut retries_total = 0u64;
+    let mut backoff_us_total = 0u64;
     for row in &rows {
+        if row.retry.retries > 0 {
+            retried_requests += 1;
+            retries_total += u64::from(row.retry.retries);
+            backoff_us_total += micros(row.retry.backoff);
+        }
         match &row.outcome {
-            Ok((allowed, cached)) => {
+            Ok(ReplayOutcome::Verdict(allowed, cached)) => {
                 if *cached {
                     hits += 1;
                 }
@@ -1264,11 +1436,15 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
                     ));
                 }
             }
+            Ok(ReplayOutcome::Shed) => sheds += 1,
             Err(err) => errors.push(format!("{}/{}: {err}", row.model, row.test)),
         }
     }
     let requests = rows.len() as u64;
-    let hit_permille = (hits * 1000).checked_div(requests).unwrap_or(0);
+    // Shed requests never reached a checker, so they can't hit the cache —
+    // they drop out of the hit-rate denominator as well as the numerator.
+    let answered = requests - sheds;
+    let hit_permille = (hits * 1000).checked_div(answered).unwrap_or(0);
     let wall_us = micros(wall);
     let requests_per_sec =
         requests.saturating_mul(1_000_000).checked_div(wall_us.max(1)).unwrap_or(0);
@@ -1279,11 +1455,11 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
         read(&after).saturating_sub(read(&before))
     };
     let mut metric_faults = Vec::new();
-    if delta("checks_total") != requests - errors.len() as u64 {
+    let checked = requests - errors.len() as u64 - sheds;
+    if delta("checks_total") != checked {
         metric_faults.push(format!(
-            "checks_total moved by {} for {} successful requests",
+            "checks_total moved by {} for {checked} checked requests",
             delta("checks_total"),
-            requests - errors.len() as u64
         ));
     }
     if delta("cache_hits") != hits {
@@ -1319,6 +1495,11 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
         ("requests", Json::UInt(requests)),
         ("errors", Json::UInt(errors.len() as u64)),
         ("disagreements", Json::UInt(disagreements.len() as u64)),
+        ("shed_requests", Json::UInt(sheds)),
+        ("retried_requests", Json::UInt(retried_requests)),
+        ("retries_total", Json::UInt(retries_total)),
+        ("backoff_us_total", Json::UInt(backoff_us_total)),
+        ("max_retries", Json::UInt(u64::from(policy.max_retries))),
         ("cache_hits", Json::UInt(hits)),
         ("hit_rate_permille", Json::UInt(hit_permille)),
         ("min_hit_rate_permille", Json::UInt(min_hit_permille)),
@@ -1343,9 +1524,14 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
         println!(
             "  verdicts: {} agree, {} disagree, {} errors; cache hits {hits} \
              ({hit_permille}%o, floor {min_hit_permille}%o)",
-            requests - disagreements.len() as u64 - errors.len() as u64,
+            answered - disagreements.len() as u64 - errors.len() as u64,
             disagreements.len(),
             errors.len()
+        );
+        println!(
+            "  overload: {sheds} shed after retries; {retried_requests} requests retried \
+             ({retries_total} retries, {backoff_us_total}us backing off, budget {} per request)",
+            policy.max_retries
         );
         for line in disagreements.iter().chain(&errors).chain(&metric_faults) {
             println!("  FAIL {line}");
@@ -1362,15 +1548,29 @@ fn model_word(model: ModelKind) -> &'static str {
     gam_serve::model_name(model)
 }
 
-/// Sends one `/check` request and extracts `(allowed, cached)` from the
-/// single result row.
+/// Sends one `/check` request through the bounded-retry client and extracts
+/// `(allowed, cached)` from the single result row. A `503` that outlives the
+/// retry budget is a counted [`ReplayOutcome::Shed`], not an error.
 fn replay_one(
     addr: &str,
     body: &str,
     client: &gam_serve::ClientConfig,
-) -> Result<(bool, bool), String> {
-    let response = gam_serve::http::request_with(addr, "POST", "/check", Some(body), client)
-        .map_err(|err| err.to_string())?;
+    policy: &gam_serve::RetryPolicy,
+) -> (Result<ReplayOutcome, String>, gam_serve::RetryStats) {
+    let (response, stats) =
+        match gam_serve::http::request_retrying(addr, "POST", "/check", Some(body), client, policy)
+        {
+            Ok(pair) => pair,
+            Err(err) => return (Err(err.to_string()), gam_serve::RetryStats::default()),
+        };
+    (replay_verdict(&response), stats)
+}
+
+/// The verdict-extraction half of [`replay_one`].
+fn replay_verdict(response: &gam_serve::http::Response) -> Result<ReplayOutcome, String> {
+    if response.status == 503 {
+        return Ok(ReplayOutcome::Shed);
+    }
     if response.status != 200 {
         return Err(format!("HTTP {}: {}", response.status, response.body.trim()));
     }
@@ -1390,5 +1590,5 @@ fn replay_one(
         other => return Err(format!("bad verdict {other:?}")),
     };
     let cached = matches!(row.get("cached"), Some(Json::Bool(true)));
-    Ok((allowed, cached))
+    Ok(ReplayOutcome::Verdict(allowed, cached))
 }

@@ -1,0 +1,135 @@
+//! End-to-end checkpoint/resume through the real binary: a `gam bench` run
+//! killed (SIGKILL — no cleanup, no flush) partway through and resumed from
+//! its checkpoint must report outcome sets, outcome fingerprints and
+//! visited-state counts identical to an uninterrupted run.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gam_engine::Json;
+
+fn gam() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gam"))
+}
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus")
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gam-checkpoint-cli-{}-{tag}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// The verdict-relevant projection of a `gam-bench/v1` report: everything
+/// that must be identical between an interrupted-and-resumed run and an
+/// uninterrupted one. Wall times and rates are measurements, not verdicts,
+/// and legitimately differ run to run.
+fn verdict_fields(report: &Json) -> BTreeMap<(String, String), (u64, u64, String, bool)> {
+    let mut fields = BTreeMap::new();
+    for section in report.get("per_model").and_then(Json::as_array).expect("per_model") {
+        let model = section.get("model").and_then(Json::as_str).expect("model").to_string();
+        for row in section.get("tests").and_then(Json::as_array).expect("tests") {
+            let test = row.get("test").and_then(Json::as_str).expect("test").to_string();
+            fields.insert(
+                (model.clone(), test),
+                (
+                    row.get("states_visited").and_then(Json::as_u64).expect("states_visited"),
+                    row.get("outcomes").and_then(Json::as_u64).expect("outcomes"),
+                    row.get("outcome_hash")
+                        .and_then(Json::as_str)
+                        .expect("outcome_hash")
+                        .to_string(),
+                    matches!(row.get("agree"), Some(Json::Bool(true))),
+                ),
+            );
+        }
+    }
+    fields
+}
+
+fn run_bench(checkpoint: &Path) -> Json {
+    let output = gam()
+        .args(["bench"])
+        .arg(corpus_dir())
+        .args(["--json", "--checkpoint"])
+        .arg(checkpoint)
+        .output()
+        .expect("gam bench runs");
+    assert!(
+        output.status.success(),
+        "bench failed: {}\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    Json::parse(&String::from_utf8_lossy(&output.stdout)).expect("bench report parses")
+}
+
+#[test]
+fn a_sigkilled_bench_resumed_from_its_checkpoint_matches_an_uninterrupted_run() {
+    // Ground truth: one uninterrupted checkpointed run.
+    let uninterrupted = Scratch::new("uninterrupted");
+    let baseline = run_bench(&uninterrupted.0);
+    assert!(matches!(baseline.get("ok"), Some(Json::Bool(true))));
+
+    // The victim: same bench, SIGKILLed once its checkpoint shows progress.
+    // SIGKILL gives the process no chance to flush or clean up — whatever
+    // the checkpoint holds is exactly what completed appends left behind.
+    let killed = Scratch::new("killed");
+    let mut child = gam()
+        .args(["bench"])
+        .arg(corpus_dir())
+        .args(["--json", "--checkpoint"])
+        .arg(&killed.0)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("gam bench spawns");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let progressed = std::fs::metadata(&killed.0).map(|m| m.len() > 1_000).unwrap_or(false);
+        let exited = child.try_wait().expect("try_wait").is_some();
+        if progressed || exited {
+            break;
+        }
+        assert!(Instant::now() < deadline, "bench never made checkpoint progress");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Racing the kill against completion is fine: if the child already
+    // finished, the resume below is a pure replay — still required to
+    // match the baseline exactly.
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Resume. Completed units replay from the log; whatever the kill
+    // interrupted is recomputed — determinism makes the union identical.
+    let resumed = run_bench(&killed.0);
+    assert!(matches!(resumed.get("ok"), Some(Json::Bool(true))));
+    assert_eq!(
+        verdict_fields(&baseline),
+        verdict_fields(&resumed),
+        "resumed run must reproduce outcome sets and state counts exactly"
+    );
+    let totals = |report: &Json| {
+        report
+            .get("totals")
+            .and_then(|t| t.get("states_visited"))
+            .and_then(Json::as_u64)
+            .expect("totals")
+    };
+    assert_eq!(totals(&baseline), totals(&resumed));
+}
