@@ -277,6 +277,9 @@ impl AxiomaticChecker {
         let needs_all_orders =
             test.observed().iter().any(|obs| matches!(obs, Observation::Memory(_)));
 
+        let mut rf_phase = gam_obs::phase("rf_enum");
+        rf_phase.arg("test", test.name());
+        let search_start = std::time::Instant::now();
         let assignments = match strategy {
             SearchStrategy::Optimized => RfAssignments::address_pruned(test, &index),
             SearchStrategy::Reference => RfAssignments::new(&index),
@@ -303,11 +306,26 @@ impl AxiomaticChecker {
                 let problem = self.build_problem(test, &index, &exec, scratch);
                 let mut on_order = |order: &[usize]| {
                     stats.orders_visited += 1;
-                    if interrupt_armed && stats.orders_visited & ORDER_POLL_MASK == 0 {
-                        if let Some(reason) = self.interrupt.triggered() {
-                            interrupted = Some(reason);
-                            stop = true;
-                            return false;
+                    if stats.orders_visited & ORDER_POLL_MASK == 0 {
+                        if interrupt_armed {
+                            if let Some(reason) = self.interrupt.triggered() {
+                                interrupted = Some(reason);
+                                stop = true;
+                                return false;
+                            }
+                        }
+                        if gam_obs::progress::armed() {
+                            let us = u64::try_from(search_start.elapsed().as_micros())
+                                .unwrap_or(u64::MAX)
+                                .max(1);
+                            gam_obs::progress!(
+                                "axiomatic",
+                                "{}: {} orders, {} assignments, {} orders/sec",
+                                test.name(),
+                                stats.orders_visited,
+                                stats.assignments_enumerated,
+                                stats.orders_visited.saturating_mul(1_000_000) / us
+                            );
                         }
                     }
                     let outcome = self.project_outcome(test, &index, &exec, order);
@@ -317,12 +335,15 @@ impl AxiomaticChecker {
                     }
                     needs_all_orders
                 };
-                match strategy {
-                    SearchStrategy::Optimized => problem.for_each_valid_order(&mut on_order),
-                    SearchStrategy::Reference => {
-                        problem.for_each_valid_order_reference(&mut on_order)
-                    }
-                };
+                {
+                    let _mo_phase = gam_obs::phase("mo_search");
+                    match strategy {
+                        SearchStrategy::Optimized => problem.for_each_valid_order(&mut on_order),
+                        SearchStrategy::Reference => {
+                            problem.for_each_valid_order_reference(&mut on_order)
+                        }
+                    };
+                }
                 scratch = problem.into_precede();
             }
             if stop {

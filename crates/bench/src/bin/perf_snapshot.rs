@@ -29,16 +29,21 @@
 //!                      then exit (no benchmark run)
 //! ```
 //!
-//! The JSON schema (`gam-perf-snapshot/v3`) is documented in the README's
-//! "Performance" section: v2 plus per-test `states_per_sec` and the
-//! component-arena occupancy (distinct memory/proc components backing the
-//! visited states, and the peak interned bytes). `--compare` reads v1, v2
-//! and v3 files and diffs whatever metrics the two snapshots share, so the
-//! committed baselines stay usable across schema bumps — and it *gates* the
-//! adaptive parallelism: a candidate whose total parallel operational wall
+//! The JSON schema (`gam-perf-snapshot/v4`) is documented in the README's
+//! "Performance" section: v3 (per-test `states_per_sec` and the
+//! component-arena occupancy) plus a top-level `obs` section measuring the
+//! cost of the `gam-obs` instrumentation — the suite's wall time with
+//! tracing disarmed and armed (best of three passes each) and the armed
+//! overhead in permille. `--compare` reads v1 through v4 files and diffs
+//! whatever metrics the two snapshots share, so the committed baselines
+//! stay usable across schema bumps — and it *gates* two walls: the
+//! adaptive parallelism (a candidate whose total parallel operational wall
 //! time exceeds the sequential wall time beyond the threshold factor fails
 //! the comparison, so the sharding regression this schema generation fixed
-//! cannot silently return.
+//! cannot silently return) and the disarmed instrumentation overhead (a
+//! candidate whose disarmed suite wall exceeds a same-workload baseline's
+//! by more than 2% fails — phase timers must stay one relaxed load when
+//! off).
 
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -215,6 +220,67 @@ fn expect_identical(
     }
 }
 
+/// Wall time of the suite with `gam-obs` instrumentation disarmed and armed.
+struct ObsOverhead {
+    disarmed: Duration,
+    armed: Duration,
+}
+
+impl ObsOverhead {
+    /// Armed-over-disarmed overhead in permille (0 when armed is not slower).
+    fn armed_overhead_permille(&self) -> u64 {
+        let disarmed = self.disarmed.as_micros().max(1);
+        let extra = self.armed.as_micros().saturating_sub(self.disarmed.as_micros());
+        u64::try_from(extra * 1000 / disarmed).unwrap_or(u64::MAX)
+    }
+}
+
+/// One pass over the suite: every model's axiomatic check plus, where
+/// supported, a sequential operational exploration — the same work whose
+/// per-test walls the main loop records, so the disarmed wall is comparable
+/// to `totals.wall_us_axiomatic + totals.wall_us_operational_sequential` of
+/// pre-`obs` baselines.
+fn suite_pass(tests: &[LitmusTest]) -> Result<Duration, String> {
+    let start = Instant::now();
+    for model_kind in ModelKind::ALL {
+        let checker = AxiomaticChecker::new(model::by_kind(model_kind));
+        for test in tests {
+            checker
+                .allowed_outcomes_with_stats(test)
+                .map_err(|e| format!("obs pass axiomatic {model_kind}/{}: {e}", test.name()))?;
+            if OperationalChecker::supports(model_kind) {
+                OperationalChecker::new(model_kind).explore(test).map_err(|e| {
+                    format!("obs pass operational {model_kind}/{}: {e}", test.name())
+                })?;
+            }
+        }
+    }
+    Ok(start.elapsed())
+}
+
+/// Measures the suite disarmed and armed, best of three passes each so the
+/// recorded walls reflect the instrumentation, not scheduler noise. Leaves
+/// tracing disarmed and the ring empty on return.
+fn measure_obs_overhead(tests: &[LitmusTest]) -> Result<ObsOverhead, String> {
+    let passes = 3;
+    let mut disarmed = Duration::MAX;
+    for _ in 0..passes {
+        disarmed = disarmed.min(suite_pass(tests)?);
+    }
+    gam_obs::trace::arm();
+    gam_obs::phase::arm_metrics();
+    let mut armed = Duration::MAX;
+    for _ in 0..passes {
+        let pass = suite_pass(tests);
+        gam_obs::trace::clear();
+        armed = armed.min(pass?);
+    }
+    gam_obs::phase::disarm_metrics();
+    gam_obs::trace::disarm();
+    gam_obs::trace::clear();
+    Ok(ObsOverhead { disarmed, armed })
+}
+
 /// Saturates a u128 statistic into the JSON integer space.
 fn uint(n: u128) -> Json {
     Json::UInt(u64::try_from(n).unwrap_or(u64::MAX))
@@ -389,12 +455,76 @@ fn list_gates() {
     }
     println!("snapshot-level gate:");
     println!("  totals.wall_us_operational_parallel <= totals.wall_us_operational_sequential x threshold");
+    println!(
+        "  obs.library_wall_us_disarmed <= baseline disarmed wall x {OBS_OVERHEAD_THRESHOLD:.2}"
+    );
+    println!("    (baseline = its obs.library_wall_us_disarmed, or wall_us_axiomatic +");
+    println!("    wall_us_operational_sequential for pre-v4 snapshots; only gated when");
+    println!("    both snapshots measured the same workload — same test and model counts)");
     println!();
     println!("semantics: a counter regresses when candidate > baseline x threshold");
     println!("(default 1.25); improvements beyond 1/threshold are reported but never");
     println!("fail. --fail-threshold 0 switches to report-only mode: every difference");
     println!("is printed and the exit status stays 0. Wall times other than the");
     println!("parallel-vs-sequential gate are informational only (machine-dependent).");
+}
+
+/// The disarmed-instrumentation wall may regress by at most 2% before the
+/// comparison fails — phase timers are contractually one relaxed load when
+/// off, so any larger movement on the same workload is a broken disarm path,
+/// not noise (the recorded wall is a best-of-three pass).
+const OBS_OVERHEAD_THRESHOLD: f64 = 1.02;
+
+/// A snapshot's disarmed suite wall: the `obs` section when present, else
+/// the pre-v4 equivalent (axiomatic + sequential operational totals — the
+/// same work `suite_pass` times).
+fn disarmed_wall(snapshot: &Json) -> Option<u64> {
+    lookup(snapshot, &["obs", "library_wall_us_disarmed"]).and_then(Json::as_u64).or_else(|| {
+        let ax = lookup(snapshot, &["totals", "wall_us_axiomatic"]).and_then(Json::as_u64)?;
+        let seq = lookup(snapshot, &["totals", "wall_us_operational_sequential"])
+            .and_then(Json::as_u64)?;
+        Some(ax + seq)
+    })
+}
+
+/// The disarmed-overhead gate; pushes onto `regressions` when it fails.
+fn gate_obs_overhead(old: &Json, new: &Json, regressions: &mut Vec<String>) {
+    let Some(candidate) = lookup(new, &["obs", "library_wall_us_disarmed"]).and_then(Json::as_u64)
+    else {
+        println!("compare: obs gate skipped (candidate has no obs section)");
+        return;
+    };
+    let same_workload = ["tests", "models"]
+        .iter()
+        .all(|key| old.get(key).is_some() && old.get(key) == new.get(key));
+    if !same_workload {
+        println!(
+            "compare: obs gate skipped (snapshots measured different workloads — \
+             disarmed walls are not comparable)"
+        );
+        return;
+    }
+    let Some(baseline) = disarmed_wall(old) else {
+        println!("compare: obs gate skipped (baseline has no disarmed wall)");
+        return;
+    };
+    #[allow(clippy::cast_precision_loss)]
+    if candidate as f64 > baseline as f64 * OBS_OVERHEAD_THRESHOLD {
+        regressions.push(format!(
+            "obs.library_wall_us_disarmed: baseline {baseline}us, candidate {candidate}us \
+             (beyond x{OBS_OVERHEAD_THRESHOLD:.2})"
+        ));
+        println!(
+            "compare: REGRESSION obs.library_wall_us_disarmed: {candidate}us exceeds the \
+             baseline {baseline}us beyond x{OBS_OVERHEAD_THRESHOLD:.2} — disarmed \
+             instrumentation must stay free"
+        );
+    } else {
+        println!(
+            "compare: disarmed suite wall {candidate}us <= baseline {baseline}us x \
+             {OBS_OVERHEAD_THRESHOLD:.2} (disarmed-overhead gate holds)"
+        );
+    }
 }
 
 /// Diffs two snapshots over the metrics they share; returns one description
@@ -496,6 +626,7 @@ fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> Vec<String> {
                 );
             }
         }
+        gate_obs_overhead(old, new, &mut regressions);
     }
     println!(
         "compare: {compared} (model, test) pairs compared, {} regressions, \
@@ -624,8 +755,16 @@ fn main() {
         ]));
     }
 
+    let overhead = match measure_obs_overhead(&tests) {
+        Ok(overhead) => overhead,
+        Err(message) => {
+            eprintln!("perf_snapshot: FAILED: {message}");
+            std::process::exit(1);
+        }
+    };
+
     let snapshot = Json::object([
-        ("schema", Json::from("gam-perf-snapshot/v3")),
+        ("schema", Json::from("gam-perf-snapshot/v4")),
         ("date", Json::from(date.as_str())),
         ("quick", Json::from(quick)),
         ("explorer_parallelism", Json::UInt(parallelism as u64)),
@@ -654,6 +793,14 @@ fn main() {
                     "gam_tests_with_2x_state_reduction",
                     Json::array(gam_two_fold.iter().map(|name| Json::from(name.as_str()))),
                 ),
+            ]),
+        ),
+        (
+            "obs",
+            Json::object([
+                ("library_wall_us_disarmed", micros(overhead.disarmed)),
+                ("library_wall_us_armed", micros(overhead.armed)),
+                ("armed_overhead_permille", Json::UInt(overhead.armed_overhead_permille())),
             ]),
         ),
         ("per_model", Json::Array(model_sections)),
@@ -694,6 +841,13 @@ fn main() {
         reduction_factor,
         total_pruned,
         gam_two_fold.len()
+    );
+    println!(
+        "perf_snapshot: obs suite wall {:?} disarmed, {:?} armed \
+         (+{} permille; best of 3 passes each)",
+        overhead.disarmed,
+        overhead.armed,
+        overhead.armed_overhead_permille()
     );
 
     if let Some(old_path) = compare {

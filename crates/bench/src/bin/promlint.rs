@@ -1,0 +1,197 @@
+//! `promlint` — validates a Prometheus text exposition (format 0.0.4).
+//!
+//! Usage: `promlint FILE` (or `-` for stdin). Exits 0 when the document is
+//! valid, 1 with one message per violation otherwise. CI scrapes
+//! `GET /metrics?format=prometheus` from a live `gam serve` and runs the
+//! scrape through this linter, so a malformed exposition fails the build
+//! before it fails somebody's Prometheus.
+//!
+//! Checks:
+//!
+//! * every line is a `# HELP`/`# TYPE` comment, a sample, or blank;
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * at most one `TYPE` per metric, `counter`/`gauge`/`summary`/
+//!   `histogram`/`untyped`, and it precedes every sample of that metric;
+//! * sample values parse as numbers;
+//! * no duplicate `(name, labels)` sample;
+//! * a `summary` metric has its `_sum` and `_count` series.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn name_ok(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// The metric a sample series belongs to: `name_sum`/`name_count` of a
+/// summary roll up to `name`.
+fn base_metric<'a>(series: &'a str, typed: &[(String, String)]) -> &'a str {
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(base) = series.strip_suffix(suffix) {
+            if typed.iter().any(|(n, t)| n == base && (t == "summary" || t == "histogram")) {
+                return base;
+            }
+        }
+    }
+    series
+}
+
+fn lint(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut seen_samples: Vec<String> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let lineno = index + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut words = comment.splitn(3, ' ');
+            match (words.next(), words.next(), words.next()) {
+                (Some("HELP"), Some(name), _) => {
+                    if !name_ok(name) {
+                        errors.push(format!("line {lineno}: bad HELP metric name `{name}`"));
+                    }
+                }
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    if !name_ok(name) {
+                        errors.push(format!("line {lineno}: bad TYPE metric name `{name}`"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                        errors.push(format!("line {lineno}: unknown TYPE `{kind}` for {name}"));
+                    }
+                    if typed.iter().any(|(n, _)| n == name) {
+                        errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
+                    }
+                    if sampled.iter().any(|s| s == name) {
+                        errors.push(format!("line {lineno}: TYPE for {name} after its samples"));
+                    }
+                    typed.push((name.to_string(), kind.to_string()));
+                }
+                _ => errors.push(format!("line {lineno}: malformed comment `{line}`")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            errors.push(format!("line {lineno}: comment must start with `# `"));
+            continue;
+        }
+        // A sample: `name[{labels}] value [timestamp]`.
+        let (series, rest) = match line.find('{') {
+            Some(open) => {
+                let Some(close) = line.rfind('}') else {
+                    errors.push(format!("line {lineno}: unclosed label set"));
+                    continue;
+                };
+                (&line[..open], line[close + 1..].trim_start())
+            }
+            None => match line.split_once(' ') {
+                Some((series, rest)) => (series, rest),
+                None => {
+                    errors.push(format!("line {lineno}: sample without a value"));
+                    continue;
+                }
+            },
+        };
+        if !name_ok(series) {
+            errors.push(format!("line {lineno}: bad metric name `{series}`"));
+        }
+        let value = rest.split_whitespace().next().unwrap_or("");
+        if value.parse::<f64>().is_err() {
+            errors.push(format!("line {lineno}: unparseable sample value `{value}`"));
+        }
+        let id = {
+            let labels = line.find('{').map_or("", |open| &line[open..=line.rfind('}').unwrap()]);
+            format!("{series}{labels}")
+        };
+        if seen_samples.contains(&id) {
+            errors.push(format!("line {lineno}: duplicate sample `{id}`"));
+        }
+        seen_samples.push(id);
+        sampled.push(base_metric(series, &typed).to_string());
+    }
+    // Summaries must carry their aggregate series.
+    for (name, kind) in &typed {
+        if kind == "summary" {
+            for suffix in ["_sum", "_count"] {
+                let wanted = format!("{name}{suffix}");
+                if !seen_samples.iter().any(|s| s == &wanted) {
+                    errors.push(format!("summary {name} is missing its {wanted} series"));
+                }
+            }
+        }
+    }
+    if seen_samples.is_empty() {
+        errors.push("exposition has no samples".to_string());
+    }
+    errors
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: promlint FILE (use - for stdin)");
+        return ExitCode::from(2);
+    };
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        if let Err(err) = std::io::stdin().read_to_string(&mut buffer) {
+            eprintln!("promlint: cannot read stdin: {err}");
+            return ExitCode::from(2);
+        }
+        buffer
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("promlint: cannot read {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let errors = lint(&text);
+    if errors.is_empty() {
+        println!("promlint: ok ({} lines)", text.lines().count());
+        ExitCode::SUCCESS
+    } else {
+        for error in &errors {
+            eprintln!("promlint: {error}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lint;
+
+    #[test]
+    fn a_valid_exposition_passes() {
+        let text = "# HELP serve_checks_total total checks\n\
+                    # TYPE serve_checks_total counter\n\
+                    serve_checks_total 42\n\
+                    # TYPE phase_parse_us summary\n\
+                    phase_parse_us{quantile=\"0.5\"} 10\n\
+                    phase_parse_us_sum 100\n\
+                    phase_parse_us_count 7\n";
+        assert_eq!(lint(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn violations_are_caught() {
+        assert!(lint("1bad_name 3\n").iter().any(|e| e.contains("bad metric name")));
+        assert!(lint("x 1\nx 2\n").iter().any(|e| e.contains("duplicate sample")));
+        assert!(lint("x nope\n").iter().any(|e| e.contains("unparseable")));
+        assert!(lint("# TYPE x counter\n# TYPE x gauge\nx 1\n")
+            .iter()
+            .any(|e| e.contains("duplicate TYPE")));
+        assert!(lint("x 1\n# TYPE x counter\n").iter().any(|e| e.contains("after its samples")));
+        assert!(lint("# TYPE s summary\ns{quantile=\"0.5\"} 1\n")
+            .iter()
+            .any(|e| e.contains("missing its s_sum")));
+        assert!(lint("").iter().any(|e| e.contains("no samples")));
+    }
+}

@@ -1,0 +1,187 @@
+//! `tracelint` — validates a Chrome `trace_event` JSON file as written by
+//! `gam ... --trace-out`.
+//!
+//! Usage: `tracelint FILE`. Exits 0 when the trace is valid, 1 with one
+//! message per violation otherwise. CI runs a traced `gam check` and lints
+//! the file, so a trace Perfetto would refuse to load fails the build
+//! instead.
+//!
+//! Checks:
+//!
+//! * the document parses and has a non-empty `traceEvents` array;
+//! * every event has `ph`, `name`, `ts`, `pid` and `tid`;
+//! * `ph` is `X` (complete span) or `i` (instant) — the only phases the
+//!   exporter emits;
+//! * every `X` event has a `dur`;
+//! * spans are balanced per thread: two spans on one `tid` either nest or
+//!   are disjoint — partial overlap means a corrupt span stack.
+
+use std::process::ExitCode;
+
+use gam_engine::Json;
+
+struct SpanRow {
+    name: String,
+    tid: u64,
+    ts: u64,
+    dur: u64,
+}
+
+fn lint(trace: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let Some(events) = trace.get("traceEvents").and_then(Json::as_array) else {
+        return vec!["missing traceEvents array".to_string()];
+    };
+    if events.is_empty() {
+        return vec!["traceEvents is empty".to_string()];
+    }
+    let mut spans: Vec<SpanRow> = Vec::new();
+    for (index, event) in events.iter().enumerate() {
+        let label = |field: &str| format!("event {index}: missing {field}");
+        let Some(ph) = event.get("ph").and_then(Json::as_str) else {
+            errors.push(label("ph"));
+            continue;
+        };
+        let Some(name) = event.get("name").and_then(Json::as_str) else {
+            errors.push(label("name"));
+            continue;
+        };
+        let Some(ts) = event.get("ts").and_then(Json::as_u64) else {
+            errors.push(label("ts"));
+            continue;
+        };
+        for field in ["pid", "tid"] {
+            if event.get(field).and_then(Json::as_u64).is_none() {
+                errors.push(label(field));
+            }
+        }
+        match ph {
+            "X" => {
+                let Some(dur) = event.get("dur").and_then(Json::as_u64) else {
+                    errors.push(format!("event {index} ({name}): X span without dur"));
+                    continue;
+                };
+                spans.push(SpanRow {
+                    name: name.to_string(),
+                    tid: event.get("tid").and_then(Json::as_u64).unwrap_or(0),
+                    ts,
+                    dur,
+                });
+            }
+            "i" => {}
+            other => errors.push(format!("event {index} ({name}): unexpected ph `{other}`")),
+        }
+    }
+    // Balance: on one thread, spans nest or are disjoint — never partially
+    // overlap. (ts, ts+dur) intervals are compared pairwise per tid; the
+    // ring holds tens of thousands of spans at most, so O(n^2) within a
+    // thread is fine for a lint.
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let thread: Vec<&SpanRow> = spans.iter().filter(|s| s.tid == tid).collect();
+        for (i, a) in thread.iter().enumerate() {
+            for b in &thread[i + 1..] {
+                let (a0, a1) = (a.ts, a.ts + a.dur);
+                let (b0, b1) = (b.ts, b.ts + b.dur);
+                let disjoint = a1 <= b0 || b1 <= a0;
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                if !disjoint && !nested {
+                    errors.push(format!(
+                        "tid {tid}: spans `{}` [{a0},{a1}) and `{}` [{b0},{b1}) partially \
+                         overlap — unbalanced span stack",
+                        a.name, b.name
+                    ));
+                }
+            }
+        }
+    }
+    errors
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: tracelint FILE");
+        return ExitCode::from(2);
+    };
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(err) => {
+            eprintln!("tracelint: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match Json::parse(&raw) {
+        Ok(trace) => trace,
+        Err(err) => {
+            eprintln!("tracelint: {path}: not well-formed JSON: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = lint(&trace);
+    if errors.is_empty() {
+        let count = trace.get("traceEvents").and_then(Json::as_array).map_or(0, <[Json]>::len);
+        println!("tracelint: ok ({count} events)");
+        ExitCode::SUCCESS
+    } else {
+        for error in &errors {
+            eprintln!("tracelint: {error}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lint;
+    use gam_engine::Json;
+
+    fn parse(text: &str) -> Json {
+        Json::parse(text).expect("test JSON parses")
+    }
+
+    #[test]
+    fn a_valid_trace_passes() {
+        let trace = parse(
+            r#"{"traceEvents":[
+                {"ph":"X","name":"outer","ts":0,"dur":100,"pid":1,"tid":1},
+                {"ph":"X","name":"inner","ts":10,"dur":20,"pid":1,"tid":1},
+                {"ph":"X","name":"later","ts":50,"dur":50,"pid":1,"tid":1},
+                {"ph":"i","name":"mark","ts":60,"pid":1,"tid":1,"s":"t"}
+            ]}"#,
+        );
+        assert_eq!(lint(&trace), Vec::<String>::new());
+    }
+
+    #[test]
+    fn partial_overlap_is_unbalanced() {
+        let trace = parse(
+            r#"{"traceEvents":[
+                {"ph":"X","name":"a","ts":0,"dur":60,"pid":1,"tid":1},
+                {"ph":"X","name":"b","ts":50,"dur":60,"pid":1,"tid":1}
+            ]}"#,
+        );
+        assert!(lint(&trace).iter().any(|e| e.contains("partially overlap")));
+    }
+
+    #[test]
+    fn cross_thread_overlap_is_fine() {
+        let trace = parse(
+            r#"{"traceEvents":[
+                {"ph":"X","name":"a","ts":0,"dur":60,"pid":1,"tid":1},
+                {"ph":"X","name":"b","ts":50,"dur":60,"pid":1,"tid":2}
+            ]}"#,
+        );
+        assert_eq!(lint(&trace), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_fields_and_empty_traces_fail() {
+        assert!(lint(&parse(r#"{"traceEvents":[]}"#)).iter().any(|e| e.contains("empty")));
+        assert!(lint(&parse(r#"{}"#)).iter().any(|e| e.contains("missing traceEvents")));
+        let no_dur = parse(r#"{"traceEvents":[{"ph":"X","name":"a","ts":0,"pid":1,"tid":1}]}"#);
+        assert!(lint(&no_dur).iter().any(|e| e.contains("without dur")));
+    }
+}

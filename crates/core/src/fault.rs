@@ -5,8 +5,9 @@
 //! cache persistence (`cache.persist` for the snapshot rename,
 //! `cache.journal.append` for write-ahead-journal appends, `cache.compact`
 //! for the journal truncation after a compaction snapshot), run checkpoints
-//! (`checkpoint.write`) and the HTTP I/O paths (`http.read`, `http.write`)
-//! each call [`hit`] with a stable point name. With no plan installed a hit
+//! (`checkpoint.write`), the HTTP I/O paths (`http.read`, `http.write`) and
+//! the CLI's trace export (`obs.export`, between the tmp write and the
+//! rename) each call [`hit`] with a stable point name. With no plan installed a hit
 //! is a single relaxed atomic load, so the instrumentation is free in normal
 //! operation.
 //!

@@ -287,6 +287,9 @@ impl Engine {
     ///
     /// Propagates the backend's [`EngineError`].
     pub fn check(&self, test: &LitmusTest) -> Result<Verdict, EngineError> {
+        let mut span = gam_obs::trace::span("engine.check");
+        span.arg("test", test.name());
+        span.arg("backend", self.backend());
         self.checker.check(test)
     }
 
@@ -299,6 +302,8 @@ impl Engine {
         &self,
         test: &LitmusTest,
     ) -> Result<std::collections::BTreeSet<gam_isa::litmus::Outcome>, EngineError> {
+        let mut span = gam_obs::trace::span("engine.allowed_outcomes");
+        span.arg("test", test.name());
         self.checker.allowed_outcomes(test)
     }
 
@@ -331,6 +336,9 @@ impl Engine {
         budget: &CheckBudget,
     ) -> Result<SessionOutcome, EngineError> {
         let start = Instant::now();
+        let mut span = gam_obs::trace::span("engine.check");
+        span.arg("test", test.name());
+        span.arg("backend", self.backend());
         let cancel = CancelToken::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.checker.check_budgeted(test, budget, cancel)
@@ -440,6 +448,8 @@ enum SuiteMode {
 /// suite worker moves on to the next test.
 fn run_one(checker: &dyn Checker, test: &LitmusTest, mode: SuiteMode) -> TestReport {
     let start = Instant::now();
+    let mut span = gam_obs::trace::span("engine.check");
+    span.arg("test", test.name());
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match mode {
         SuiteMode::Full => checker.allowed_outcomes(test).map(|outcomes| {
             let allowed = outcomes.iter().any(|outcome| test.condition().matched_by(outcome));

@@ -377,11 +377,18 @@ pub(crate) fn check_job(
     let shared = Arc::new(HandleShared::default());
     let handle = CheckHandle { cancel: cancel.clone(), shared: Arc::clone(&shared) };
     let test = test.clone();
+    // The submitter's trace id travels with the job: the worker re-installs
+    // it, so the check's spans correlate with the request that queued it.
+    let trace_id = gam_obs::trace::current_trace_id();
     let job: Job = Box::new(move || {
+        gam_obs::trace::set_trace_id(trace_id);
         let start = Instant::now();
+        let mut span = gam_obs::trace::span("engine.session");
+        span.arg("test", test.name());
         let result = catch_unwind(AssertUnwindSafe(|| {
             checker.check_budgeted(&test, &budget, cancel.clone())
         }));
+        drop(span);
         let result = match result {
             Ok(Ok(verdict)) => Ok(SessionOutcome { verdict, wall: start.elapsed() }),
             Ok(Err(err)) => Err(err),

@@ -101,6 +101,7 @@ pub struct CanonicalForm {
 /// Computes the canonical form of a litmus test.
 #[must_use]
 pub fn canonical_form(test: &LitmusTest) -> CanonicalForm {
+    let _phase = gam_obs::phase("canon");
     let renamable = renamable_addresses(test);
     let n = test.program().num_threads();
     let orders: Vec<Vec<usize>> = if n <= MAX_PERMUTED_THREADS {

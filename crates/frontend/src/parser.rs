@@ -60,6 +60,7 @@ const KEYWORDS: [&str; 17] = [
 /// program does not have, registers that are never written, or observations
 /// constrained twice in the condition.
 pub fn parse_litmus(text: &str) -> Result<LitmusTest, ParseError> {
+    let _phase = gam_obs::phase("parse");
     // ---- line-oriented phase: header and description -----------------------
     let lines: Vec<&str> = text.split('\n').collect();
     let mut line_offsets = Vec::with_capacity(lines.len());

@@ -1,0 +1,472 @@
+//! The metrics registry: named counters, gauges and log-bucketed histograms.
+//!
+//! A [`Registry`] is a cheaply-cloneable handle to a shared metric table.
+//! Registration (the first lookup of a name) takes a mutex; every update
+//! after that is a plain atomic operation on the handle the caller keeps, so
+//! the hot path is lock-free. Metric values are integers throughout — the
+//! repository's JSON dialect is deliberately float-free, so rates and
+//! quantiles are reported as integer microseconds / per-mille ratios.
+//!
+//! Histograms bucket observations by bit length (powers of two): 65 buckets
+//! cover the full `u64` range, and quantile snapshots report the inclusive
+//! upper bound of the bucket where the cumulative count crosses the
+//! quantile. That makes p50/p90/p99 *estimates* with at most 2x relative
+//! error — plenty for latency triage, and snapshot cost is independent of
+//! the observation count.
+//!
+//! A process-wide default registry is available via [`global`]; components
+//! that need isolation (one server per test, say) build their own
+//! [`Registry`] instead.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Number of histogram buckets: one per possible bit length of a `u64`
+/// observation (0 through 64).
+const BUCKETS: usize = 65;
+
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonically increasing counter. Clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value. Clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram. Clones share the same cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The index of the bucket holding `v`: its bit length, so bucket `b > 0`
+/// holds values in `[2^(b-1), 2^b - 1]` and bucket 0 holds exactly 0.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `b` — the value a quantile snapshot
+/// reports for observations that landed there.
+fn bucket_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let core = &self.0;
+        core.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+        core.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time summary (buckets are read without
+    /// stopping writers; totals can trail by in-flight observations).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        let buckets: Vec<u64> = core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = buckets.iter().sum();
+        let quantile = |q_num: u64, q_den: u64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the quantile observation, 1-based, rounding up.
+            let rank = (count * q_num).div_ceil(q_den).max(1);
+            let mut seen = 0u64;
+            for (b, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_bound(b);
+                }
+            }
+            bucket_bound(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+            p50: quantile(1, 2),
+            p90: quantile(9, 10),
+            p99: quantile(99, 100),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Median estimate (inclusive bucket upper bound).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Cloning shares the underlying table.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = lock_tolerant(&self.metrics);
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))));
+        match metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = lock_tolerant(&self.metrics);
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))));
+        match metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = lock_tolerant(&self.metrics);
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(HistogramCore::new()))));
+        match metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// The registered metric names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        lock_tolerant(&self.metrics).keys().cloned().collect()
+    }
+
+    /// Renders every metric as a JSON object: counters and gauges as
+    /// integers, histograms as `{count, sum, max, p50, p90, p99}` objects.
+    /// Keys are sorted (the table is a `BTreeMap`), so output is stable.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let metrics = lock_tolerant(&self.metrics);
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, metric) in metrics.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&escape_json(name));
+            out.push_str("\":");
+            match metric {
+                Metric::Counter(c) => out.push_str(&c.get().to_string()),
+                Metric::Gauge(g) => out.push_str(&g.get().to_string()),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        s.count, s.sum, s.max, s.p50, s.p90, s.p99
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges as single samples, histograms
+    /// as summaries with `quantile` labels plus `_sum` / `_count`.
+    #[must_use]
+    pub fn render_prometheus_text(&self) -> String {
+        let metrics = lock_tolerant(&self.metrics);
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            let prom = sanitize_prometheus_name(name);
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {prom} counter\n{prom} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {prom} gauge\n{prom} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "# TYPE {prom} summary\n\
+                         {prom}{{quantile=\"0.5\"}} {}\n\
+                         {prom}{{quantile=\"0.9\"}} {}\n\
+                         {prom}{{quantile=\"0.99\"}} {}\n\
+                         {prom}_sum {}\n\
+                         {prom}_count {}\n",
+                        s.p50, s.p90, s.p99, s.sum, s.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a registry name onto the Prometheus metric-name alphabet
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots and dashes become underscores).
+#[must_use]
+pub fn sanitize_prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide default registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_share_cells() {
+        let reg = Registry::new();
+        let a = reg.counter("requests");
+        let b = reg.counter("requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("requests").get(), 3);
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth").get(), 3);
+        assert_eq!(reg.names(), vec!["depth".to_string(), "requests".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.gauge("x");
+        let _ = reg.counter("x");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        // 100 observations: 90 fast (value 10), 10 slow (value 1000).
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 10 + 10 * 1000);
+        assert_eq!(s.max, 1000);
+        // p50 and p90 land in the bucket holding 10 ([8, 15]); p99 lands in
+        // the bucket holding 1000 ([512, 1023]).
+        assert_eq!(s.p50, 15);
+        assert_eq!(s.p90, 15);
+        assert_eq!(s.p99, 1023);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let reg = Registry::new();
+        let s = reg.histogram("empty").snapshot();
+        assert_eq!(s, HistogramSnapshot { count: 0, sum: 0, max: 0, p50: 0, p90: 0, p99: 0 });
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_integer_only() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(7);
+        reg.gauge("a.depth").set(-2);
+        reg.histogram("c.lat").observe(3);
+        let json = reg.render_json();
+        assert_eq!(
+            json,
+            "{\"a.depth\":-2,\"b.count\":7,\
+             \"c.lat\":{\"count\":1,\"sum\":3,\"max\":3,\"p50\":3,\"p90\":3,\"p99\":3}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_names() {
+        let reg = Registry::new();
+        reg.counter("serve.requests_total").add(4);
+        reg.histogram("phase.parse.us").observe(8);
+        let text = reg.render_prometheus_text();
+        assert!(text.contains("# TYPE phase_parse_us summary\n"));
+        assert!(text.contains("phase_parse_us{quantile=\"0.5\"} 15\n"));
+        assert!(text.contains("phase_parse_us_count 1\n"));
+        assert!(text.contains("# TYPE serve_requests_total counter\nserve_requests_total 4\n"));
+        assert_eq!(sanitize_prometheus_name("9lives"), "_9lives");
+        assert_eq!(sanitize_prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn escape_json_handles_controls_and_quotes() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

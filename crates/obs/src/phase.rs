@@ -1,0 +1,117 @@
+//! Named phase timers: the profiling hooks production code is laced with.
+//!
+//! A phase is a well-known pipeline stage (`parse`, `canon`, `rf_enum`,
+//! `mo_search`, `explore_seq`, `explore_sharded`, `cache_lookup`,
+//! `journal_append`, `persist`, …). Instrumented code brackets the stage
+//! with [`phase`]; the guard does nothing until either
+//!
+//! * tracing is armed ([`crate::trace::arm`]) — each phase becomes a span
+//!   named `phase.<name>`, or
+//! * phase metrics are armed ([`arm_metrics`], done by `gam serve`) — each
+//!   phase duration is observed into the `phase.<name>.us` histogram of the
+//!   global metrics registry.
+//!
+//! Disarmed, a phase costs two relaxed loads and allocates nothing — the
+//! same contract as `gam_core::fault::hit`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crate::metrics;
+use crate::trace;
+
+static METRICS_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Whether phase durations feed the global metrics registry.
+#[must_use]
+pub fn metrics_armed() -> bool {
+    METRICS_ARMED.load(Ordering::Relaxed)
+}
+
+/// Starts recording phase durations into the global registry's
+/// `phase.<name>.us` histograms.
+pub fn arm_metrics() {
+    METRICS_ARMED.store(true, Ordering::Release);
+}
+
+/// Stops recording phase durations into the registry.
+pub fn disarm_metrics() {
+    METRICS_ARMED.store(false, Ordering::Release);
+}
+
+/// An open phase timer; dropping it records the duration wherever armed.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately times an empty phase"]
+pub struct PhaseGuard {
+    open: Option<OpenPhase>,
+}
+
+#[derive(Debug)]
+struct OpenPhase {
+    name: &'static str,
+    started: Instant,
+    span: trace::Span,
+}
+
+/// Opens the named phase. Disarmed cost: two relaxed loads.
+pub fn phase(name: &'static str) -> PhaseGuard {
+    let tracing = trace::armed();
+    let metrics = metrics_armed();
+    if !tracing && !metrics {
+        return PhaseGuard { open: None };
+    }
+    let span = trace::span(&format!("phase.{name}"));
+    PhaseGuard { open: Some(OpenPhase { name, started: Instant::now(), span }) }
+}
+
+impl PhaseGuard {
+    /// Annotates the phase's span (no-op unless tracing is armed).
+    pub fn arg(&mut self, key: &str, value: impl ToString) {
+        if let Some(open) = &mut self.open {
+            open.span.arg(key, value);
+        }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        if metrics_armed() {
+            let us = u64::try_from(open.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            metrics::global().histogram(&format!("phase.{}.us", open.name)).observe(us);
+        }
+        drop(open.span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_phase_is_inert() {
+        // Tracing and phase metrics default to disarmed in a fresh process;
+        // other tests in this binary may arm tracing concurrently, so only
+        // assert the metrics half here.
+        disarm_metrics();
+        let before: Vec<String> = metrics::global().names();
+        {
+            let mut p = phase("unit_test_inert");
+            p.arg("k", "v");
+        }
+        let after: Vec<String> = metrics::global().names();
+        assert!(!after.iter().any(|n| n.contains("unit_test_inert")));
+        assert_eq!(before.len(), after.len());
+    }
+
+    #[test]
+    fn armed_phase_observes_a_duration() {
+        arm_metrics();
+        {
+            let _p = phase("unit_test_armed");
+        }
+        disarm_metrics();
+        let h = metrics::global().histogram("phase.unit_test_armed.us");
+        assert!(h.count() >= 1);
+    }
+}

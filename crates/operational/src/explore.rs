@@ -562,6 +562,51 @@ enum SeqOutcome<S> {
 /// Everything a sequential phase migrates into the parallel drivers on
 /// escalation: the visited set (slot order preserved), the unexpanded
 /// frontier as slots into it, and the partial results.
+/// Periodic progress reporting for the sequential drivers.
+///
+/// Construction samples the arming flag once; a disarmed ticker's
+/// [`ProgressTicker::tick`] is a branch on a local bool, so the hot loop
+/// pays nothing when `--progress` is off. Armed, a line with the state
+/// count, frontier depth and states/sec rate goes to stderr every
+/// [`PROGRESS_POLL_MASK`]`+1` expansions.
+struct ProgressTicker {
+    armed: bool,
+    started: std::time::Instant,
+}
+
+/// Progress cadence: every 16384 expansions (must be `2^n - 1`).
+const PROGRESS_POLL_MASK: usize = 0x3FFF;
+
+impl ProgressTicker {
+    fn new() -> ProgressTicker {
+        ProgressTicker { armed: gam_obs::progress::armed(), started: std::time::Instant::now() }
+    }
+
+    fn tick(&self, expansions: usize, states: usize, frontier: usize) {
+        if !self.armed || expansions & PROGRESS_POLL_MASK != 0 {
+            return;
+        }
+        let us = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX).max(1);
+        let rate = (states as u64).saturating_mul(1_000_000) / us;
+        gam_obs::progress!("explore", "{states} states, frontier {frontier}, {rate} states/sec");
+    }
+}
+
+/// Notes a sequential-to-sharded escalation on the progress and trace
+/// streams (the *escalation point* of an adaptive run).
+fn note_escalation<S>(seed: &Seed<S>) {
+    gam_obs::progress!(
+        "explore",
+        "escalating to sharded search: {} states, frontier {}",
+        seed.states.len(),
+        seed.pending.len()
+    );
+    gam_obs::trace::event(
+        "explore.escalate",
+        &[("states", seed.states.len().to_string()), ("frontier", seed.pending.len().to_string())],
+    );
+}
+
 struct Seed<S> {
     states: Vec<S>,
     pending: Vec<u32>,
@@ -760,15 +805,31 @@ impl Explorer {
     {
         fault::hit("explore");
         match self.config.reduction {
-            Reduction::Off => match self.seq_plain(machine, stop, self.escalation())? {
-                SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
-                SeqOutcome::Escalated(seed) => self.parallel_seeded(machine, stop, seed),
-            },
-            mode => {
-                let canon = mode.canonicalizes();
-                match self.seq_plain_reduced(machine, canon, stop, self.escalation())? {
+            Reduction::Off => {
+                let outcome = {
+                    let _phase = gam_obs::phase("explore_seq");
+                    self.seq_plain(machine, stop, self.escalation())?
+                };
+                match outcome {
                     SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
                     SeqOutcome::Escalated(seed) => {
+                        note_escalation(&seed);
+                        let _phase = gam_obs::phase("explore_sharded");
+                        self.parallel_seeded(machine, stop, seed)
+                    }
+                }
+            }
+            mode => {
+                let canon = mode.canonicalizes();
+                let outcome = {
+                    let _phase = gam_obs::phase("explore_seq");
+                    self.seq_plain_reduced(machine, canon, stop, self.escalation())?
+                };
+                match outcome {
+                    SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
+                    SeqOutcome::Escalated(seed) => {
+                        note_escalation(&seed);
+                        let _phase = gam_obs::phase("explore_sharded");
                         self.parallel_reduced_seeded(machine, canon, stop, seed)
                     }
                 }
@@ -788,15 +849,31 @@ impl Explorer {
     {
         fault::hit("explore");
         match self.config.reduction {
-            Reduction::Off => match self.seq_composed(machine, stop, self.escalation())? {
-                SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
-                SeqOutcome::Escalated(seed) => self.parallel_seeded(machine, stop, seed),
-            },
-            mode => {
-                let canon = mode.canonicalizes();
-                match self.seq_composed_reduced(machine, canon, stop, self.escalation())? {
+            Reduction::Off => {
+                let outcome = {
+                    let _phase = gam_obs::phase("explore_seq");
+                    self.seq_composed(machine, stop, self.escalation())?
+                };
+                match outcome {
                     SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
                     SeqOutcome::Escalated(seed) => {
+                        note_escalation(&seed);
+                        let _phase = gam_obs::phase("explore_sharded");
+                        self.parallel_seeded(machine, stop, seed)
+                    }
+                }
+            }
+            mode => {
+                let canon = mode.canonicalizes();
+                let outcome = {
+                    let _phase = gam_obs::phase("explore_seq");
+                    self.seq_composed_reduced(machine, canon, stop, self.escalation())?
+                };
+                match outcome {
+                    SeqOutcome::Finished(exploration, witness) => Ok((exploration, witness)),
+                    SeqOutcome::Escalated(seed) => {
+                        note_escalation(&seed);
+                        let _phase = gam_obs::phase("explore_sharded");
                         self.parallel_reduced_seeded(machine, canon, stop, seed)
                     }
                 }
@@ -820,6 +897,7 @@ impl Explorer {
         stack.push(visited.insert(initial).expect("initial state is new"));
 
         let interrupt_armed = self.interrupt.is_armed();
+        let progress = ProgressTicker::new();
         let mut expansions = 0usize;
         while let Some(index) = stack.pop() {
             if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
@@ -831,6 +909,7 @@ impl Explorer {
                     });
                 }
             }
+            progress.tick(expansions, visited.len(), stack.len());
             expansions += 1;
             // The borrow of the interned state ends with each call, so the
             // arena can keep growing while the successors are inserted.
@@ -915,6 +994,7 @@ impl Explorer {
         let mut final_states = 0usize;
 
         let interrupt_armed = self.interrupt.is_armed();
+        let progress = ProgressTicker::new();
         let mut expansions = 0usize;
         while let Some(slot) = stack.pop() {
             if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
@@ -926,6 +1006,7 @@ impl Explorer {
                     });
                 }
             }
+            progress.tick(expansions, arena.len(), stack.len());
             expansions += 1;
             arena.load(slot, &mut current);
             // Sparse successors: each is valid only in the components its
@@ -1035,6 +1116,7 @@ impl Explorer {
         stack.push(slot);
 
         let interrupt_armed = self.interrupt.is_armed();
+        let progress = ProgressTicker::new();
         let mut expansions = 0usize;
         while let Some(slot) = stack.pop() {
             if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
@@ -1046,6 +1128,7 @@ impl Explorer {
                     });
                 }
             }
+            progress.tick(expansions, visited.len(), stack.len());
             expansions += 1;
             let z = sleep_sets[slot as usize].clone();
             if let Some(previous) = &expanded_with[slot as usize] {
@@ -1203,6 +1286,7 @@ impl Explorer {
         let mut pruned = 0usize;
 
         let interrupt_armed = self.interrupt.is_armed();
+        let progress = ProgressTicker::new();
         let mut expansions = 0usize;
         while let Some(slot) = stack.pop() {
             if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
@@ -1214,6 +1298,7 @@ impl Explorer {
                     });
                 }
             }
+            progress.tick(expansions, arena.len(), stack.len());
             expansions += 1;
             let z = sleep_sets[slot as usize].clone();
             if let Some(previous) = &expanded_with[slot as usize] {

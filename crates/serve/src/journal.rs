@@ -315,6 +315,7 @@ impl JournaledCache {
     /// Propagates snapshot-write and truncation I/O errors (including the
     /// injected `cache.persist`/`cache.compact` kills).
     pub fn compact(&mut self) -> io::Result<()> {
+        let _phase = gam_obs::phase("persist");
         self.cache.save(&self.snapshot_path)?;
         // Fault-injection point: `cache.compact` dies after the snapshot
         // rename, before the journal truncation. Startup then replays a
@@ -338,6 +339,7 @@ impl JournaledCache {
     /// and degrading to memory-only on failure. Returns a warning when the
     /// journal detaches.
     fn append(&mut self, record: &Record) -> Option<String> {
+        let _phase = gam_obs::phase("journal_append");
         let wal = self.wal.as_mut()?;
         let payload = record.to_json().to_string();
         // Fault-injection point: `cache.journal.append` — a kill leaves a

@@ -39,7 +39,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -48,14 +48,25 @@ use gam_core::{ModelKind, StopReason};
 use gam_engine::{Backend, CheckBudget, Engine, EngineError, Json, SessionVerdict};
 use gam_frontend::{canonical_hash, parse_litmus};
 use gam_isa::litmus::LitmusTest;
+use gam_obs::metrics::{Counter, Histogram, Registry};
+use gam_obs::trace;
 use gam_operational::{ExplorerConfig, OperationalChecker};
 
 use crate::cache::{CacheEntry, OutcomeCache};
 use crate::http::{read_request, write_response, Request};
 use crate::journal::JournaledCache;
 
-/// Schema identifier of the `/metrics` document.
-pub const METRICS_SCHEMA: &str = "gam-serve-metrics/v1";
+/// Schema identifier of the `/metrics` document. The `/v2` document is a
+/// strict superset of `/v1`: every v1 field keeps its name and meaning; the
+/// additions (`warnings_total`, `slow_requests_total`, per-endpoint
+/// `latency_us`) are new keys only.
+pub const METRICS_SCHEMA: &str = "gam-serve-metrics/v2";
+
+/// Schema identifier of the `GET /debug/slow` document.
+pub const SLOW_LOG_SCHEMA: &str = "gam-serve-slow/v1";
+
+/// Bound of the in-memory slow-request log served at `GET /debug/slow`.
+const SLOW_LOG_CAPACITY: usize = 64;
 
 /// Configuration of one server instance.
 #[derive(Debug, Clone)]
@@ -86,6 +97,9 @@ pub struct ServeConfig {
     /// stage before shedding. Generous enough that ordinary litmus checks
     /// still conclude; only state-explosion outliers are cut short.
     pub overload_wall_ms: u64,
+    /// Requests slower than this land in the bounded in-memory slow-request
+    /// log exposed at `GET /debug/slow`.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +114,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(30),
             compact_every: crate::journal::DEFAULT_COMPACT_EVERY,
             overload_wall_ms: 2_000,
+            slow_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -128,61 +143,102 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Service counters, shared across workers. Everything is monotonic except
-/// `queue_depth`, which is sampled from the live queue at render time.
-#[derive(Debug, Default)]
+/// The service's request endpoints, as latency-histogram labels.
+const ENDPOINTS: [&str; 6] = ["healthz", "metrics", "check", "batch", "shutdown", "other"];
+
+/// Service counters, shared across workers — handles into the server's own
+/// [`Registry`] (per-server, so concurrent servers in one process never mix
+/// counts). Everything is monotonic except `queue_depth`, which is sampled
+/// from the live queue at render time. `/metrics` renders the registry as
+/// JSON; `/metrics?format=prometheus` renders it as Prometheus text.
+#[derive(Debug)]
 struct Metrics {
-    requests_total: AtomicU64,
-    checks_total: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    shed_total: AtomicU64,
-    states_total: AtomicU64,
-    wall_us_total: AtomicU64,
+    registry: Registry,
+    requests_total: Counter,
+    checks_total: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    shed_total: Counter,
+    states_total: Counter,
+    wall_us_total: Counter,
     /// Checks that ended inconclusive (budget exhausted or cancelled).
     /// Invariant: `checks_total == cache_hits + cache_misses +
     /// inconclusive_total + panics_total` — inconclusive and panicked
     /// checks count as checks but never as hits or misses (and are never
     /// cached).
-    inconclusive_total: AtomicU64,
+    inconclusive_total: Counter,
     /// Checks whose checker panicked; the panic was caught, the worker
     /// survived, and the client got a typed error row.
-    panics_total: AtomicU64,
+    panics_total: Counter,
     /// Wall-budget-exhausted checks plus request reads that hit the
     /// server-side socket timeout.
-    timeouts_total: AtomicU64,
+    timeouts_total: Counter,
     /// Checks stopped by cancellation.
-    cancelled_total: AtomicU64,
+    cancelled_total: Counter,
     /// Requests whose budgets were tightened because the service was
     /// overloaded (the degrade stage before shedding).
-    overload_tightened_total: AtomicU64,
-    per_model: [AtomicU64; ModelKind::ALL.len()],
+    overload_tightened_total: Counter,
+    /// Warnings this server emitted through the `gam_obs::warn!` path.
+    warnings_total: Counter,
+    /// Requests that exceeded [`ServeConfig::slow_threshold`].
+    slow_requests_total: Counter,
+    per_model: [Counter; ModelKind::ALL.len()],
+    /// Per-endpoint request latency, microseconds.
+    latency: [Histogram; ENDPOINTS.len()],
 }
 
 impl Metrics {
+    fn new() -> Metrics {
+        let registry = Registry::new();
+        let counter = |name: &str| registry.counter(name);
+        Metrics {
+            requests_total: counter("serve.requests_total"),
+            checks_total: counter("serve.checks_total"),
+            cache_hits: counter("serve.cache_hits"),
+            cache_misses: counter("serve.cache_misses"),
+            shed_total: counter("serve.shed_total"),
+            states_total: counter("serve.states_total"),
+            wall_us_total: counter("serve.wall_us_total"),
+            inconclusive_total: counter("serve.inconclusive_total"),
+            panics_total: counter("serve.panics_total"),
+            timeouts_total: counter("serve.timeouts_total"),
+            cancelled_total: counter("serve.cancelled_total"),
+            overload_tightened_total: counter("serve.overload_tightened_total"),
+            warnings_total: counter("serve.warnings_total"),
+            slow_requests_total: counter("serve.slow_requests_total"),
+            per_model: std::array::from_fn(|i| {
+                registry.counter(&format!("serve.checks.{}", model_name(ModelKind::ALL[i])))
+            }),
+            latency: std::array::from_fn(|i| {
+                registry.histogram(&format!("serve.latency.{}.us", ENDPOINTS[i]))
+            }),
+            registry,
+        }
+    }
+
     fn record_hit(&self, model: ModelKind) {
-        self.checks_total.fetch_add(1, Ordering::Relaxed);
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.checks_total.inc();
+        self.cache_hits.inc();
         self.bump_model(model);
     }
 
     fn record_miss(&self, model: ModelKind, states: u64, wall_us: u64) {
-        self.checks_total.fetch_add(1, Ordering::Relaxed);
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        self.states_total.fetch_add(states, Ordering::Relaxed);
-        self.wall_us_total.fetch_add(wall_us, Ordering::Relaxed);
+        self.checks_total.inc();
+        self.cache_misses.inc();
+        self.states_total.add(states);
+        self.wall_us_total.add(wall_us);
         self.bump_model(model);
     }
 
     fn record_inconclusive(&self, model: ModelKind, reason: StopReason) {
-        self.checks_total.fetch_add(1, Ordering::Relaxed);
-        self.inconclusive_total.fetch_add(1, Ordering::Relaxed);
+        self.checks_total.inc();
+        self.inconclusive_total.inc();
         match reason {
             StopReason::WallBudget { .. } => {
-                self.timeouts_total.fetch_add(1, Ordering::Relaxed);
+                self.timeouts_total.inc();
             }
             StopReason::Cancelled => {
-                self.cancelled_total.fetch_add(1, Ordering::Relaxed);
+                self.cancelled_total.inc();
             }
             StopReason::StateBudget { .. } => {}
         }
@@ -190,14 +246,20 @@ impl Metrics {
     }
 
     fn record_panicked(&self, model: ModelKind) {
-        self.checks_total.fetch_add(1, Ordering::Relaxed);
-        self.panics_total.fetch_add(1, Ordering::Relaxed);
+        self.checks_total.inc();
+        self.panics_total.inc();
         self.bump_model(model);
     }
 
     fn bump_model(&self, model: ModelKind) {
         let index = ModelKind::ALL.iter().position(|m| *m == model).unwrap_or(0);
-        self.per_model[index].fetch_add(1, Ordering::Relaxed);
+        self.per_model[index].inc();
+    }
+
+    /// Records one finished request on the endpoint's latency histogram.
+    fn record_latency(&self, endpoint: &str, wall_us: u64) {
+        let index = ENDPOINTS.iter().position(|e| *e == endpoint).unwrap_or(ENDPOINTS.len() - 1);
+        self.latency[index].observe(wall_us);
     }
 }
 
@@ -211,9 +273,23 @@ struct Shared {
     metrics: Metrics,
     cache: Mutex<JournaledCache>,
     overload_wall_ms: u64,
+    /// Requests slower than this are logged; served at `GET /debug/slow`.
+    slow_threshold: Duration,
+    /// Bounded log of the most recent slow requests (oldest dropped first).
+    slow_log: Mutex<VecDeque<SlowEntry>>,
     /// Set by `POST /shutdown`; observed by [`Server::wait_for_shutdown_request`].
     shutdown_request: Mutex<bool>,
     shutdown_cond: Condvar,
+}
+
+/// One slow-request record.
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    trace_id: String,
+    method: String,
+    path: String,
+    status: u16,
+    wall_us: u64,
 }
 
 impl Shared {
@@ -233,8 +309,19 @@ impl Shared {
     fn compact_cache(&self) {
         let mut cache = self.cache.lock().expect("cache lock");
         if let Err(err) = cache.compact() {
-            eprintln!("gam-serve: cannot compact cache: {err}");
+            self.metrics.warnings_total.inc();
+            gam_obs::warn!("gam-serve: cannot compact cache: {err}");
         }
+    }
+
+    /// Records one finished request into the bounded slow-request log.
+    fn note_slow(&self, entry: SlowEntry) {
+        self.metrics.slow_requests_total.inc();
+        let mut log = self.slow_log.lock().expect("slow log lock");
+        if log.len() >= SLOW_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(entry);
     }
 
     /// The degrade stage: under sustained pressure (standing queue at least
@@ -251,16 +338,19 @@ impl Shared {
             .map_or(self.overload_wall_ms, |requested| requested.min(self.overload_wall_ms));
         if options.budget_wall_ms != Some(clamped) {
             options.budget_wall_ms = Some(clamped);
-            self.metrics.overload_tightened_total.fetch_add(1, Ordering::Relaxed);
+            self.metrics.overload_tightened_total.inc();
         }
     }
 }
 
-/// Prints journal-layer warnings (degradation to memory-only, failed
-/// compactions) without failing the request that surfaced them.
-fn warn_cache(warnings: impl IntoIterator<Item = String>) {
+/// Emits journal-layer warnings (degradation to memory-only, failed
+/// compactions) through the unified `gam_obs::warn!` path — stderr with a
+/// stable `warn:` prefix, never stdout — without failing the request that
+/// surfaced them.
+fn warn_cache(metrics: &Metrics, warnings: impl IntoIterator<Item = String>) {
     for warning in warnings {
-        eprintln!("gam-serve: {warning}");
+        metrics.warnings_total.inc();
+        gam_obs::warn!("gam-serve: {warning}");
     }
 }
 
@@ -292,6 +382,10 @@ impl Server {
         let (cache, warnings) =
             JournaledCache::open(&config.cache_path, config.cache_capacity, config.compact_every);
         let warning = (!warnings.is_empty()).then(|| warnings.join("; "));
+        // Phase timers (cache_lookup, journal_append, persist, …) feed the
+        // global registry's `phase.*.us` histograms while a server runs, so
+        // the Prometheus scrape can report where request time goes.
+        gam_obs::phase::arm_metrics();
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
@@ -299,9 +393,11 @@ impl Server {
             queue_depth: config.queue_depth.max(1),
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
-            metrics: Metrics::default(),
+            metrics: Metrics::new(),
             cache: Mutex::new(cache),
             overload_wall_ms: config.overload_wall_ms.max(1),
+            slow_threshold: config.slow_threshold,
+            slow_log: Mutex::new(VecDeque::new()),
             shutdown_request: Mutex::new(false),
             shutdown_cond: Condvar::new(),
         });
@@ -366,7 +462,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         let mut queue = shared.queue.lock().expect("queue lock");
         if queue.len() >= shared.queue_depth {
             drop(queue);
-            shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.shed_total.inc();
             shed(stream);
         } else {
             queue.push_back(stream);
@@ -415,40 +511,77 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Handles one connection end to end: arm socket timeouts, read the request,
-/// route it, write the response. A read that exceeds the server-side timeout
-/// is answered with `408 Request Timeout` (and counted) rather than holding
-/// the worker hostage to a slow or half-open client.
+/// Handles one connection end to end: arm socket timeouts, assign the
+/// request its trace id, read the request, route it, write the response
+/// (the trace id is echoed back in `X-Gam-Trace-Id`), then record the
+/// endpoint latency and — past [`ServeConfig::slow_threshold`] — a
+/// slow-log entry. A read that exceeds the server-side timeout is answered
+/// with `408 Request Timeout` (and counted) rather than holding the worker
+/// hostage to a slow or half-open client.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.requests_total.inc();
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.write_timeout));
-    let response = match read_request(&mut stream) {
-        Ok(request) => route(shared, &request),
-        Err(err) if matches!(err.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) => {
-            shared.metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
-            error_response(408, format!("request read timed out: {err}"))
+    let trace_id = trace::next_trace_id();
+    trace::set_trace_id(trace_id);
+    let trace_hex = trace::format_trace_id(trace_id);
+    let start = Instant::now();
+    let mut span = trace::span("serve.request");
+    let (endpoint, method, path, response) = match read_request(&mut stream) {
+        Ok(request) => {
+            let (endpoint, response) = route(shared, &request);
+            (endpoint, request.method.clone(), request.path.clone(), response)
         }
-        Err(err) => error_response(400, format!("bad request: {err}")),
+        Err(err) if matches!(err.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) => {
+            shared.metrics.timeouts_total.inc();
+            let response = error_response(408, format!("request read timed out: {err}"));
+            ("other", String::new(), String::new(), response)
+        }
+        Err(err) => {
+            let response = error_response(400, format!("bad request: {err}"));
+            ("other", String::new(), String::new(), response)
+        }
     };
     let _ = write_response(
         &mut stream,
         response.status,
         response.reason,
-        &[],
-        "application/json",
+        &[("X-Gam-Trace-Id", &trace_hex)],
+        response.content_type,
         &response.body,
     );
+    let wall = start.elapsed();
+    let wall_us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.record_latency(endpoint, wall_us);
+    span.arg("endpoint", endpoint);
+    span.arg("status", response.status);
+    drop(span);
+    if wall >= shared.slow_threshold {
+        shared.note_slow(SlowEntry {
+            trace_id: trace_hex,
+            method,
+            path,
+            status: response.status,
+            wall_us,
+        });
+    }
+    trace::set_trace_id(0);
 }
 
 struct RouteResponse {
     status: u16,
     reason: &'static str,
+    content_type: &'static str,
     body: String,
 }
 
 fn ok_response(body: &Json) -> RouteResponse {
-    RouteResponse { status: 200, reason: "OK", body: body.to_string() }
+    RouteResponse {
+        status: 200,
+        reason: "OK",
+        content_type: "application/json",
+        body: body.to_string(),
+    }
 }
 
 fn error_response(status: u16, message: String) -> RouteResponse {
@@ -460,35 +593,89 @@ fn error_response(status: u16, message: String) -> RouteResponse {
         _ => "Internal Server Error",
     };
     let body = Json::object([("ok", Json::Bool(false)), ("error", Json::Str(message))]);
-    RouteResponse { status, reason, body: body.to_string() }
+    RouteResponse { status, reason, content_type: "application/json", body: body.to_string() }
 }
 
-fn route(shared: &Shared, request: &Request) -> RouteResponse {
-    match (request.method.as_str(), request.path.as_str()) {
+/// Routes one request, returning the endpoint's latency label alongside the
+/// response. Query strings are split off the path before matching, so
+/// `/metrics?format=prometheus` routes like `/metrics`.
+fn route(shared: &Shared, request: &Request) -> (&'static str, RouteResponse) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
-            ok_response(&Json::object([("status", Json::Str("ok".to_string()))]))
+            ("healthz", ok_response(&Json::object([("status", Json::Str("ok".to_string()))])))
         }
-        ("GET", "/metrics") => ok_response(&render_metrics(shared)),
-        ("POST", "/check") => handle_check(shared, request),
-        ("POST", "/batch") => handle_batch(shared, request),
+        ("GET", "/metrics") => ("metrics", metrics_response(shared, query)),
+        ("GET", "/debug/slow") => ("other", ok_response(&render_slow_log(shared))),
+        ("POST", "/check") => ("check", handle_check(shared, request)),
+        ("POST", "/batch") => ("batch", handle_batch(shared, request)),
         ("POST", "/shutdown") => {
             shared.request_shutdown();
-            ok_response(&Json::object([
+            let response = ok_response(&Json::object([
                 ("ok", Json::Bool(true)),
                 ("status", Json::Str("draining".to_string())),
-            ]))
+            ]));
+            ("shutdown", response)
         }
-        ("GET" | "POST", _) => error_response(404, format!("no such endpoint: {}", request.path)),
-        (method, _) => error_response(405, format!("unsupported method: {method}")),
+        ("GET" | "POST", _) => {
+            ("other", error_response(404, format!("no such endpoint: {}", request.path)))
+        }
+        (method, _) => ("other", error_response(405, format!("unsupported method: {method}"))),
     }
+}
+
+/// `GET /metrics`: the JSON document by default; with `format=prometheus`
+/// in the query, the Prometheus text exposition of the server's registry
+/// plus the process-global registry (phase timings, warning counts).
+fn metrics_response(shared: &Shared, query: &str) -> RouteResponse {
+    if query.split('&').any(|pair| pair == "format=prometheus") {
+        let mut text = shared.metrics.registry.render_prometheus_text();
+        text.push_str(&gam_obs::metrics::global().render_prometheus_text());
+        return RouteResponse {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain; version=0.0.4",
+            body: text,
+        };
+    }
+    ok_response(&render_metrics(shared))
+}
+
+/// The `GET /debug/slow` document: the bounded slow-request log, oldest
+/// entry first.
+fn render_slow_log(shared: &Shared) -> Json {
+    let threshold_us = u64::try_from(shared.slow_threshold.as_micros()).unwrap_or(u64::MAX);
+    let entries: Vec<Json> = shared
+        .slow_log
+        .lock()
+        .expect("slow log lock")
+        .iter()
+        .map(|entry| {
+            Json::object([
+                ("trace_id", Json::Str(entry.trace_id.clone())),
+                ("method", Json::Str(entry.method.clone())),
+                ("path", Json::Str(entry.path.clone())),
+                ("status", Json::UInt(u64::from(entry.status))),
+                ("wall_us", Json::UInt(entry.wall_us)),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("schema", Json::Str(SLOW_LOG_SCHEMA.to_string())),
+        ("threshold_us", Json::UInt(threshold_us)),
+        ("entries", Json::Array(entries)),
+    ])
 }
 
 fn render_metrics(shared: &Shared) -> Json {
     let metrics = &shared.metrics;
-    let hits = metrics.cache_hits.load(Ordering::Relaxed);
-    let misses = metrics.cache_misses.load(Ordering::Relaxed);
-    let states = metrics.states_total.load(Ordering::Relaxed);
-    let wall_us = metrics.wall_us_total.load(Ordering::Relaxed);
+    let hits = metrics.cache_hits.get();
+    let misses = metrics.cache_misses.get();
+    let states = metrics.states_total.get();
+    let wall_us = metrics.wall_us_total.get();
     let (cache_entries, evictions, journal) = {
         let cache = shared.cache.lock().expect("cache lock");
         (cache.cache().len() as u64, cache.cache().evictions(), cache.stats())
@@ -498,17 +685,36 @@ fn render_metrics(shared: &Shared) -> Json {
             .iter()
             .enumerate()
             .map(|(i, model)| {
+                (model_name(*model).to_string(), Json::UInt(metrics.per_model[i].get()))
+            })
+            .collect(),
+    );
+    // Per-endpoint request latency quantiles (v2 addition).
+    let latency = Json::Object(
+        ENDPOINTS
+            .iter()
+            .enumerate()
+            .map(|(i, endpoint)| {
+                let snapshot = metrics.latency[i].snapshot();
                 (
-                    model_name(*model).to_string(),
-                    Json::UInt(metrics.per_model[i].load(Ordering::Relaxed)),
+                    (*endpoint).to_string(),
+                    Json::object([
+                        ("count", Json::UInt(snapshot.count)),
+                        ("p50_us", Json::UInt(snapshot.p50)),
+                        ("p90_us", Json::UInt(snapshot.p90)),
+                        ("p99_us", Json::UInt(snapshot.p99)),
+                        ("max_us", Json::UInt(snapshot.max)),
+                    ]),
                 )
             })
             .collect(),
     );
     Json::object([
+        // The v1 fields below are bit-compatible with gam-serve-metrics/v1;
+        // everything from `warnings_total` on is additive in v2.
         ("schema", Json::Str(METRICS_SCHEMA.to_string())),
-        ("requests_total", Json::UInt(metrics.requests_total.load(Ordering::Relaxed))),
-        ("checks_total", Json::UInt(metrics.checks_total.load(Ordering::Relaxed))),
+        ("requests_total", Json::UInt(metrics.requests_total.get())),
+        ("checks_total", Json::UInt(metrics.checks_total.get())),
         ("cache_hits", Json::UInt(hits)),
         ("cache_misses", Json::UInt(misses)),
         // Integer per-mille rate; the JSON layer is deliberately float-free.
@@ -520,21 +726,21 @@ fn render_metrics(shared: &Shared) -> Json {
             Json::UInt(states.saturating_mul(1_000_000).checked_div(wall_us).unwrap_or(0)),
         ),
         ("queue_depth", Json::UInt(shared.queue.lock().expect("queue lock").len() as u64)),
-        ("shed_total", Json::UInt(metrics.shed_total.load(Ordering::Relaxed))),
-        ("inconclusive_total", Json::UInt(metrics.inconclusive_total.load(Ordering::Relaxed))),
-        ("panics_total", Json::UInt(metrics.panics_total.load(Ordering::Relaxed))),
-        ("timeouts_total", Json::UInt(metrics.timeouts_total.load(Ordering::Relaxed))),
-        ("cancelled_total", Json::UInt(metrics.cancelled_total.load(Ordering::Relaxed))),
-        (
-            "overload_tightened_total",
-            Json::UInt(metrics.overload_tightened_total.load(Ordering::Relaxed)),
-        ),
+        ("shed_total", Json::UInt(metrics.shed_total.get())),
+        ("inconclusive_total", Json::UInt(metrics.inconclusive_total.get())),
+        ("panics_total", Json::UInt(metrics.panics_total.get())),
+        ("timeouts_total", Json::UInt(metrics.timeouts_total.get())),
+        ("cancelled_total", Json::UInt(metrics.cancelled_total.get())),
+        ("overload_tightened_total", Json::UInt(metrics.overload_tightened_total.get())),
         ("cache_entries", Json::UInt(cache_entries)),
         ("cache_evictions", Json::UInt(evictions)),
         ("journal_appends_total", Json::UInt(journal.appends)),
         ("journal_compactions_total", Json::UInt(journal.compactions)),
         ("journal_replayed_records", Json::UInt(journal.replayed)),
         ("per_model_checks", per_model),
+        ("warnings_total", Json::UInt(metrics.warnings_total.get())),
+        ("slow_requests_total", Json::UInt(metrics.slow_requests_total.get())),
+        ("latency_us", latency),
     ])
 }
 
@@ -717,8 +923,9 @@ fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> Json
             }
             let key = OutcomeCache::key(&hash, model_name(model), backend_name(backend));
             let cached = {
+                let _phase = gam_obs::phase("cache_lookup");
                 let (entry, warning) = shared.cache.lock().expect("cache lock").lookup(&key);
-                warn_cache(warning);
+                warn_cache(&shared.metrics, warning);
                 entry
             };
             if let Some(entry) = cached {
@@ -734,7 +941,10 @@ fn check_one(shared: &Shared, test: &LitmusTest, options: &CheckOptions) -> Json
             match compute_miss(test, model, backend, options) {
                 MissOutcome::Conclusive(entry) => {
                     shared.metrics.record_miss(model, entry.states, entry.wall_us);
-                    warn_cache(shared.cache.lock().expect("cache lock").insert(key, entry.clone()));
+                    warn_cache(
+                        &shared.metrics,
+                        shared.cache.lock().expect("cache lock").insert(key, entry.clone()),
+                    );
                     results.push(Json::object(base.into_iter().chain([
                         ("verdict", verdict_json(entry.allowed)),
                         ("cached", Json::Bool(false)),
@@ -945,11 +1155,12 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
             let mut miss_indices = Vec::new();
             let mut hit_entries: Vec<Option<CacheEntry>> = Vec::with_capacity(tests.len());
             {
+                let _phase = gam_obs::phase("cache_lookup");
                 let mut cache = shared.cache.lock().expect("cache lock");
                 for hash in &hashes {
                     let key = OutcomeCache::key(hash, model_name(model), backend_name(backend));
                     let (entry, warning) = cache.lookup(&key);
-                    warn_cache(warning);
+                    warn_cache(&shared.metrics, warning);
                     if entry.is_none() {
                         miss_indices.push(hit_entries.len());
                     }
@@ -1031,6 +1242,7 @@ fn batch_check(shared: &Shared, tests: &[LitmusTest], options: &CheckOptions) ->
                             backend_name(backend),
                         );
                         warn_cache(
+                            &shared.metrics,
                             shared.cache.lock().expect("cache lock").insert(key, entry.clone()),
                         );
                         row.push(base(vec![

@@ -117,6 +117,67 @@ fn assert_metrics_reconcile(addr: &str) {
     assert_eq!(checks, accounted, "checks_total must equal hits+misses+inconclusive+panics");
 }
 
+/// Reads one counter sample out of a Prometheus text exposition.
+fn prom_metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("prometheus sample {name} missing:\n{text}"))
+        .trim()
+        .parse()
+        .expect("prometheus counter value")
+}
+
+#[test]
+fn registry_accounting_reconciles_under_faults_in_both_renderings() {
+    let _guard = fault::exclusive();
+    let scratch = Scratch::new("registry");
+    let server = start(&scratch);
+    let addr = server.local_addr().to_string();
+
+    // A fault mix: panics on every 2nd exploration, plus journal-append
+    // kills degrading the cache — the registry must stay balanced through
+    // both.
+    let tests =
+        [library::corr(), library::mp(), library::dekker(), library::iriw(), library::wrc()];
+    fault::install("explore=panic@2,cache.journal.append=kill@3").expect("valid fault spec");
+    quiet_panics(|| {
+        for test in &tests {
+            let (status, _) = post_check(&addr, &print_litmus(test));
+            assert_eq!(status, 200);
+        }
+    });
+    fault::reset();
+
+    // The invariant, read through the registry's Prometheus rendering.
+    let response = request(&addr, "GET", "/metrics?format=prometheus", None)
+        .expect("prometheus scrape answers");
+    assert_eq!(response.status, 200);
+    assert!(
+        response.header("content-type").is_some_and(|ct| ct.starts_with("text/plain")),
+        "prometheus exposition is text/plain"
+    );
+    let text = &response.body;
+    let checks = prom_metric(text, "serve_checks_total");
+    let accounted = prom_metric(text, "serve_cache_hits")
+        + prom_metric(text, "serve_cache_misses")
+        + prom_metric(text, "serve_inconclusive_total")
+        + prom_metric(text, "serve_panics_total");
+    assert_eq!(checks, accounted, "registry counters must reconcile under faults");
+    assert_eq!(checks, tests.len() as u64);
+
+    // Both renderings are views of the same registry: they must agree.
+    assert_eq!(metric(&addr, "checks_total"), checks);
+    assert_eq!(metric(&addr, "panics_total"), prom_metric(text, "serve_panics_total"));
+    // The degraded cache surfaced warnings through the unified warn path,
+    // and the JSON document's additive v2 field reports them too.
+    let warnings = prom_metric(text, "serve_warnings_total");
+    assert!(warnings > 0, "journal degradation must count warnings");
+    assert_eq!(metric(&addr, "warnings_total"), warnings);
+    assert_metrics_reconcile(&addr);
+
+    server.shutdown();
+}
+
 #[test]
 fn service_answers_correctly_while_explorer_panics_fire() {
     let _guard = fault::exclusive();

@@ -60,6 +60,60 @@ fn only_result(json: &Json) -> &Json {
 }
 
 #[test]
+fn every_response_carries_a_unique_trace_id_and_slow_requests_are_logged() {
+    let scratch = Scratch::new("trace-id");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        cache_path: scratch.0.clone(),
+        cache_capacity: 256,
+        // Everything is "slow" at a zero threshold, so each request must
+        // land in the slow log with its trace id.
+        slow_threshold: std::time::Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let (server, _) = Server::start(&config).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let mut trace_ids = Vec::new();
+    for _ in 0..2 {
+        let response = request(&addr, "GET", "/healthz", None).expect("healthz answers");
+        let id = response
+            .header("x-gam-trace-id")
+            .expect("every response echoes X-Gam-Trace-Id")
+            .to_string();
+        assert_eq!(id.len(), 16, "trace id is 16 hex digits: {id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "hex trace id: {id}");
+        trace_ids.push(id);
+    }
+    assert_ne!(trace_ids[0], trace_ids[1], "each request gets its own trace id");
+
+    let (status, slow) = json_body(&addr, "GET", "/debug/slow", None);
+    assert_eq!(status, 200);
+    assert_eq!(slow.get("schema").and_then(Json::as_str), Some("gam-serve-slow/v1"));
+    let entries = slow.get("entries").and_then(Json::as_array).expect("entries");
+    assert!(entries.len() >= 2, "both healthz requests exceeded the zero threshold");
+    for id in &trace_ids {
+        assert!(
+            entries.iter().any(|e| e.get("trace_id").and_then(Json::as_str) == Some(id)),
+            "slow log lost trace id {id}"
+        );
+    }
+    let logged_paths: Vec<_> =
+        entries.iter().filter_map(|e| e.get("path").and_then(Json::as_str)).collect();
+    assert!(logged_paths.contains(&"/healthz"), "slow entries name their path: {logged_paths:?}");
+
+    // The additive v2 counter agrees with the log.
+    let (_, metrics) = json_body(&addr, "GET", "/metrics", None);
+    assert_eq!(metrics.get("schema").and_then(Json::as_str), Some("gam-serve-metrics/v2"));
+    let slow_total = metrics.get("slow_requests_total").and_then(Json::as_u64).expect("v2 field");
+    assert!(slow_total >= entries.len() as u64);
+
+    server.shutdown();
+}
+
+#[test]
 fn healthz_and_unknown_routes() {
     let scratch = Scratch::new("health");
     let server = start(&scratch);

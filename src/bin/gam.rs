@@ -146,7 +146,8 @@ fn run(args: &[String]) -> Result<Status, String> {
     let Some(command) = args.first() else {
         return Err(format!("missing subcommand\n\n{USAGE}"));
     };
-    match command.as_str() {
+    let trace_out = obs_setup(&args[1..]);
+    let result = match command.as_str() {
         "check" => cmd_check(&args[1..]),
         "run" => cmd_run(&args[1..]).map(Status::from_clean),
         "bench" => cmd_bench(&args[1..]).map(Status::from_clean),
@@ -163,15 +164,24 @@ fn run(args: &[String]) -> Result<Status, String> {
             Ok(Status::Clean)
         }
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match (result, trace_out) {
+        (Ok(status), Some(path)) => {
+            write_trace(&path)?;
+            Ok(status)
+        }
+        (result, _) => result,
     }
 }
 
 const USAGE: &str = "usage:
   gam check FILE [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
                 [--time-budget MS] [--checkpoint FILE] [--json] [--no-expectations]
+                [--trace-out FILE] [--progress]
   gam run DIR   [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
-                [--json] [--no-expectations]
+                [--json] [--no-expectations] [--trace-out FILE] [--progress]
   gam bench DIR [--models LIST] [--explorer-threads N] [--checkpoint FILE] [--json]
+                [--trace-out FILE] [--progress]
   gam bench DIR --serve ADDR [--models LIST] [--jobs N] [--min-hit-rate R]
                 [--timeout-ms MS] [--retries N] [--json] [--out PATH]
   gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N] [--workers N]
@@ -223,6 +233,12 @@ const USAGE: &str = "usage:
   --overload-wall-ms MS serve: while the queue is half full, clamp each
                        request's wall budget to MS so the server degrades
                        before it sheds (default 2000)
+  --trace-out FILE     check/run/bench: record phase and engine spans and
+                       write them as Chrome trace_event JSON to FILE on
+                       exit (load in Perfetto or chrome://tracing)
+  --progress           check/run/bench: periodic exploration/search
+                       progress lines on stderr (states/sec, frontier
+                       depth, escalation)
 
 exit status: 0 = clean; 1 = ran but found mismatches, disagreements,
 coverage gaps or check errors; 2 = usage/startup error (bad flags,
@@ -276,6 +292,7 @@ fn positional(args: &[String]) -> Option<&String> {
                     | "--retries"
                     | "--compact-every"
                     | "--overload-wall-ms"
+                    | "--trace-out"
             );
             continue;
         }
@@ -339,6 +356,45 @@ fn explorer_threads(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// Arms tracing (`--trace-out FILE`) and progress reporting (`--progress`)
+/// before the subcommand runs. Returns the trace output path, if any; the
+/// dispatcher writes it with [`write_trace`] once the command finishes.
+fn obs_setup(args: &[String]) -> Option<String> {
+    let trace_out = arg_value(args, "--trace-out");
+    if trace_out.is_some() {
+        gam_obs::trace::arm();
+    }
+    if arg_flag(args, "--progress") {
+        gam_obs::progress::set_progress(true);
+    }
+    trace_out
+}
+
+/// Exports the recorded spans as Chrome `trace_event` JSON: tmp write, then
+/// atomic rename, so the trace file is either absent or complete — never
+/// torn. Fault-injection point `obs.export` kills the export between the
+/// two, mirroring `cache.persist`.
+fn write_trace(path: &str) -> Result<(), String> {
+    let dropped = gam_obs::trace::dropped_records();
+    if dropped > 0 {
+        gam_obs::warn!("gam: trace ring overflowed; {dropped} oldest records were dropped");
+    }
+    let json = gam_obs::trace::export_chrome();
+    let target = std::path::Path::new(path);
+    let tmp = target.with_extension("trace-tmp");
+    std::fs::write(&tmp, json.as_bytes())
+        .map_err(|err| format!("cannot write trace {}: {err}", tmp.display()))?;
+    if gam_core::fault::hit("obs.export") {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(format!(
+            "trace export {path}: injected fault: obs.export killed before rename"
+        ));
+    }
+    std::fs::rename(&tmp, target)
+        .map_err(|err| format!("cannot rename trace into {path}: {err}"))?;
+    Ok(())
+}
+
 /// Opens the `--checkpoint FILE` (alias `--resume FILE`) work-unit log when
 /// either flag is given. Recovered damage and a non-empty resume are
 /// announced on stderr; only a genuine I/O failure to open the file is a
@@ -353,7 +409,7 @@ fn open_checkpoint(
     let (checkpoint, warning) = gam_engine::RunCheckpoint::open(std::path::Path::new(&path))
         .map_err(|err| format!("cannot open checkpoint {path}: {err}"))?;
     if let Some(warning) = warning {
-        eprintln!("{command}: {warning}");
+        gam_obs::warn!("{command}: {warning}");
     }
     if checkpoint.resumed() > 0 {
         eprintln!("{command}: resuming {} completed units from {path}", checkpoint.resumed());
@@ -367,7 +423,7 @@ fn open_checkpoint(
 fn record_unit(checkpoint: &mut Option<gam_engine::RunCheckpoint>, key: &str, result: &Json) {
     if let Some(checkpoint) = checkpoint.as_mut() {
         if let Err(err) = checkpoint.record(key, result.clone()) {
-            eprintln!(
+            gam_obs::warn!(
                 "gam: checkpoint {}: {err}; continuing without durability for this unit",
                 checkpoint.path().display()
             );
@@ -1243,7 +1299,7 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
     // A bind failure is a startup error: `Err` exits 2 with the message.
     let (server, warning) = gam_serve::Server::start(&config).map_err(|err| err.to_string())?;
     if let Some(warning) = warning {
-        eprintln!("gam serve: {warning}");
+        gam_obs::warn!("gam serve: {warning}");
     }
     println!(
         "gam serve: listening on {} ({} workers, queue {}, cache {} [capacity {}])",
@@ -1349,6 +1405,19 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
     let tests = corpus.tests();
     let name = corpus.name();
 
+    // Client-observed latency, per endpoint. Separate registry from the
+    // server's: these are round-trip times as this client saw them,
+    // including retries and backoff.
+    let client_registry = gam_obs::metrics::Registry::new();
+    let check_latency = client_registry.histogram("client.latency.check.us");
+    let metrics_latency = client_registry.histogram("client.latency.metrics.us");
+    let timed_metrics = |addr: &str| -> Result<Json, String> {
+        let started = Instant::now();
+        let doc = fetch_metrics(addr, &client)?;
+        metrics_latency.observe(micros(started.elapsed()));
+        Ok(doc)
+    };
+
     // Ground truth: the same verdicts computed in-process.
     let mut expected: BTreeMap<(String, ModelKind), bool> = BTreeMap::new();
     for &model in &models {
@@ -1366,7 +1435,7 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
         }
     }
 
-    let before = fetch_metrics(&addr, &client)?;
+    let before = timed_metrics(&addr)?;
 
     // Replay: every (test, model) request, drained concurrently by `jobs`
     // client threads off a shared cursor.
@@ -1391,7 +1460,9 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
             scope.spawn(|| loop {
                 let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some((test, model, body)) = work.get(index) else { break };
+                let request_started = Instant::now();
                 let (outcome, retry) = replay_one(&addr, body, &client, &policy);
+                check_latency.observe(micros(request_started.elapsed()));
                 rows.lock().expect("rows lock").push(ReplayRow {
                     test: test.clone(),
                     model: *model,
@@ -1404,7 +1475,7 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
     let wall = started.elapsed();
     let rows = rows.into_inner().expect("rows lock");
 
-    let after = fetch_metrics(&addr, &client)?;
+    let after = timed_metrics(&addr)?;
 
     // Score the replay against the in-process verdicts.
     let mut disagreements = Vec::new();
@@ -1485,8 +1556,23 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
     let clean =
         disagreements.is_empty() && errors.is_empty() && metric_faults.is_empty() && hit_rate_ok;
 
+    // Client-side round-trip quantiles, per endpoint (v2 addition).
+    let latency_json = |histogram: &gam_obs::metrics::Histogram| {
+        let snapshot = histogram.snapshot();
+        Json::object([
+            ("count", Json::UInt(snapshot.count)),
+            ("p50_us", Json::UInt(snapshot.p50)),
+            ("p90_us", Json::UInt(snapshot.p90)),
+            ("p99_us", Json::UInt(snapshot.p99)),
+            ("max_us", Json::UInt(snapshot.max)),
+        ])
+    };
+    let check_snapshot = check_latency.snapshot();
+
     let report = Json::object([
-        ("schema", Json::from("gam-serve-bench/v1")),
+        // Strict superset of gam-serve-bench/v1: `latency_us` is the only
+        // addition; every v1 field is unchanged.
+        ("schema", Json::from("gam-serve-bench/v2")),
         ("suite", Json::from(name.as_str())),
         ("server", Json::from(addr.as_str())),
         ("tests", Json::UInt(tests.len() as u64)),
@@ -1506,6 +1592,13 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
         ("wall_us", Json::UInt(wall_us)),
         ("requests_per_sec", Json::UInt(requests_per_sec)),
         ("metrics_delta_ok", Json::from(metric_faults.is_empty())),
+        (
+            "latency_us",
+            Json::object([
+                ("check", latency_json(&check_latency)),
+                ("metrics", latency_json(&metrics_latency)),
+            ]),
+        ),
         ("ok", Json::from(clean)),
     ]);
     if let Some(path) = out_path {
@@ -1532,6 +1625,10 @@ fn cmd_bench_serve(args: &[String], dir: &str, server: &str) -> Result<bool, Str
             "  overload: {sheds} shed after retries; {retried_requests} requests retried \
              ({retries_total} retries, {backoff_us_total}us backing off, budget {} per request)",
             policy.max_retries
+        );
+        println!(
+            "  latency: /check p50 {}us p90 {}us p99 {}us (max {}us)",
+            check_snapshot.p50, check_snapshot.p90, check_snapshot.p99, check_snapshot.max
         );
         for line in disagreements.iter().chain(&errors).chain(&metric_faults) {
             println!("  FAIL {line}");

@@ -1,0 +1,154 @@
+//! Observability contracts through the real binary.
+//!
+//! * Warnings go to **stderr** with the stable `warn:` prefix and never
+//!   contaminate stdout — `--json` consumers must keep parsing even when
+//!   the run degrades (corrupt checkpoint, truncated WAL).
+//! * `--trace-out FILE` writes well-formed Chrome `trace_event` JSON with
+//!   the promised span nesting: a `phase.parse` span, an `engine.check`
+//!   span, and search-phase spans (`phase.rf_enum`/`phase.mo_search` or
+//!   `phase.explore_*`) *inside* the engine check.
+//! * The `obs.export` fault point kills the export between the tmp write
+//!   and the rename: the trace file is either absent or complete, never
+//!   torn.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use gam_engine::Json;
+
+fn gam() -> Command {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_gam"));
+    // Inherited fault plans would fire in unrelated assertions.
+    command.env_remove("GAM_FAULTS");
+    command
+}
+
+fn litmus_file() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("corpus").join("dekker.litmus")
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gam-obs-cli-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn warnings_are_stderr_only_with_stable_prefix_and_stdout_stays_parseable() {
+    // A corrupt checkpoint makes `gam check` warn (bad magic, recovered by
+    // starting empty) but still run to completion.
+    let checkpoint = Scratch::new("corrupt-checkpoint.log");
+    std::fs::write(&checkpoint.0, b"this is not a WAL\x00\xff garbage").expect("write checkpoint");
+    let output = gam()
+        .arg("check")
+        .arg(litmus_file())
+        .args(["--json", "--checkpoint"])
+        .arg(&checkpoint.0)
+        .output()
+        .expect("gam check runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "check failed: {}\n{stderr}", output.status);
+    assert!(
+        stderr.lines().any(|line| line.starts_with("warn: ")),
+        "expected a `warn: `-prefixed stderr line, got:\n{stderr}"
+    );
+    assert!(!stdout.contains("warn:"), "warning leaked into stdout:\n{stdout}");
+    let report = Json::parse(stdout.trim()).expect("stdout is still one parseable JSON report");
+    assert!(report.get("suite").is_some(), "report lost its suite field");
+}
+
+/// Every trace event of one export, as `(phase, name, ts, dur)` with
+/// microsecond times; `phase` is the Chrome `ph` field.
+fn trace_events(trace: &Json) -> Vec<(String, String, u64, u64)> {
+    trace
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array")
+        .iter()
+        .map(|event| {
+            (
+                event.get("ph").and_then(Json::as_str).expect("ph").to_string(),
+                event.get("name").and_then(Json::as_str).expect("name").to_string(),
+                event.get("ts").and_then(Json::as_u64).expect("ts"),
+                event.get("dur").and_then(Json::as_u64).unwrap_or(0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn trace_out_writes_wellformed_chrome_trace_with_nested_spans() {
+    let trace_path = Scratch::new("trace.json");
+    let output = gam()
+        .arg("check")
+        .arg(litmus_file())
+        .args(["--json", "--trace-out"])
+        .arg(&trace_path.0)
+        .output()
+        .expect("gam check runs");
+    assert!(
+        output.status.success(),
+        "check failed: {}\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let raw = std::fs::read_to_string(&trace_path.0).expect("trace file written");
+    let trace = Json::parse(&raw).expect("trace is well-formed JSON");
+    let events = trace_events(&trace);
+    assert!(!events.is_empty(), "trace has no events");
+
+    let complete =
+        |name: &str| events.iter().filter(|(ph, n, ..)| ph == "X" && n == name).collect::<Vec<_>>();
+    assert!(!complete("phase.parse").is_empty(), "no phase.parse span");
+    let checks = complete("engine.check");
+    assert!(!checks.is_empty(), "no engine.check span");
+
+    // At least one search-phase span must nest (by time) inside an
+    // engine.check span: that is the `parse -> engine check -> search`
+    // hierarchy the flag promises.
+    let search: Vec<_> = events
+        .iter()
+        .filter(|(ph, n, ..)| {
+            ph == "X"
+                && (n == "phase.rf_enum"
+                    || n == "phase.mo_search"
+                    || n == "phase.explore_seq"
+                    || n == "phase.explore_sharded")
+        })
+        .collect();
+    assert!(!search.is_empty(), "no search-phase spans (rf_enum/mo_search/explore)");
+    let nested = search.iter().any(|(_, _, ts, dur)| {
+        checks.iter().any(|(_, _, cts, cdur)| ts >= cts && ts + dur <= cts + cdur)
+    });
+    assert!(nested, "no search span nests inside an engine.check span");
+}
+
+#[test]
+fn a_killed_trace_export_leaves_no_file_behind() {
+    let trace_path = Scratch::new("killed-trace.json");
+    let output = gam()
+        .arg("check")
+        .arg(litmus_file())
+        .args(["--json", "--trace-out"])
+        .arg(&trace_path.0)
+        .env("GAM_FAULTS", "obs.export=kill")
+        .output()
+        .expect("gam check runs");
+    // The check itself succeeded, but the export died: usage-level error.
+    assert_eq!(output.status.code(), Some(2), "expected exit 2 on a killed export");
+    assert!(!trace_path.0.exists(), "killed export must not leave a trace file");
+    let tmp = trace_path.0.with_extension("trace-tmp");
+    assert!(!tmp.exists(), "killed export must clean up its tmp file");
+}
