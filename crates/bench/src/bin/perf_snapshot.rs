@@ -25,25 +25,35 @@
 //!   --against NEW      with --compare: diff OLD against NEW instead of running
 //!   --fail-threshold R factor on the deterministic effort counters above which
 //!                      a difference is a regression (default 1.25; 0 = report only)
+//!   --no-obs-gate      skip the disarmed-instrumentation wall gate — for
+//!                      comparisons across machines, where absolute walls
+//!                      are not comparable (the deterministic counter gates
+//!                      and the intra-run parallelism gate still apply)
 //!   --list-gates       print every gated counter and the threshold semantics,
 //!                      then exit (no benchmark run)
 //! ```
 //!
-//! The JSON schema (`gam-perf-snapshot/v4`) is documented in the README's
-//! "Performance" section: v3 (per-test `states_per_sec` and the
-//! component-arena occupancy) plus a top-level `obs` section measuring the
+//! The JSON schema (`gam-perf-snapshot/v5`) is documented in the README's
+//! "Performance" section: v4 (the top-level `obs` section measuring the
 //! cost of the `gam-obs` instrumentation — the suite's wall time with
-//! tracing disarmed and armed (best of three passes each) and the armed
-//! overhead in permille. `--compare` reads v1 through v4 files and diffs
-//! whatever metrics the two snapshots share, so the committed baselines
-//! stay usable across schema bumps — and it *gates* two walls: the
-//! adaptive parallelism (a candidate whose total parallel operational wall
-//! time exceeds the sequential wall time beyond the threshold factor fails
-//! the comparison, so the sharding regression this schema generation fixed
-//! cannot silently return) and the disarmed instrumentation overhead (a
-//! candidate whose disarmed suite wall exceeds a same-workload baseline's
-//! by more than 2% fails — phase timers must stay one relaxed load when
-//! off).
+//! tracing disarmed and armed, best of three passes each, and the armed
+//! overhead in permille) plus per-test *memory figures*: every operational
+//! entry carries a `memory` object recorded by one extra sequential
+//! exploration with the memory accountant armed (`peak_accounted_bytes`,
+//! `spilled_bytes`, `spill_segments`, `sleep_flushes`), the totals gain the
+//! summed `peak_accounted_bytes`, and the snapshot records the process's
+//! final `resident_bytes` (informational — OS- and allocator-dependent).
+//! `--compare` reads v1 through v5 files and diffs whatever metrics the two
+//! snapshots share, so the committed baselines stay usable across schema
+//! bumps. Besides the per-test counters (which now include the
+//! deterministic `peak_accounted_bytes` — the peak-memory regression gate),
+//! it *gates* two walls: the adaptive parallelism (a candidate whose total
+//! parallel operational wall time exceeds the sequential wall time beyond
+//! the threshold factor fails the comparison, so the sharding regression
+//! this schema generation fixed cannot silently return) and the disarmed
+//! instrumentation overhead (a candidate whose disarmed suite wall exceeds
+//! a same-workload baseline's by more than 2% fails — phase timers must
+//! stay one relaxed load when off).
 
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -53,7 +63,9 @@ use gam_bench::{arg_flag, arg_value};
 use gam_core::{model, ModelKind};
 use gam_engine::Json;
 use gam_isa::litmus::{library, LitmusTest, Outcome};
-use gam_operational::{ArenaOccupancy, ExplorerConfig, OperationalChecker, Reduction};
+use gam_operational::{
+    ArenaOccupancy, ExplorerConfig, MemoryConfig, MemoryStats, OperationalChecker, Reduction,
+};
 
 /// Everything measured for one `(model, test)` pair.
 struct Row {
@@ -73,6 +85,10 @@ struct OperationalRow {
     final_states: usize,
     /// Component-arena sharing statistics of the sequential exploration.
     occupancy: ArenaOccupancy,
+    /// Memory figures of the accounted sequential exploration (budget far
+    /// beyond any test's needs, so the degradation ladder never engages and
+    /// `peak_bytes` is the test's deterministic in-RAM high-water mark).
+    memory: MemoryStats,
     /// Reduced exploration, one entry per reduced [`Reduction`] mode.
     sleep: ReducedRow,
     sleep_canon: ReducedRow,
@@ -156,6 +172,28 @@ fn check_one(model_kind: ModelKind, test: &LitmusTest, parallelism: usize) -> Re
             ));
         }
 
+        // Memory figures: one more sequential exploration with the
+        // accountant armed. The huge budget never trips, so this measures
+        // the undisturbed high-water mark — deterministic for a fixed
+        // search, unlike RSS.
+        let accounted = OperationalChecker::new(model_kind).with_memory(MemoryConfig {
+            max_bytes: Some(usize::MAX / 2),
+            spill_dir: None,
+            checkpoint: None,
+        });
+        let acc = accounted
+            .explore(test)
+            .map_err(|e| format!("accounted operational {model_kind}/{}: {e}", test.name()))?;
+        expect_identical(model_kind, test, "unreduced vs accounted", &seq.outcomes, &acc.outcomes)?;
+        if seq.states_visited != acc.states_visited {
+            return Err(format!(
+                "{model_kind}/{}: accounted exploration visited {} states, plain {}",
+                test.name(),
+                acc.states_visited,
+                seq.states_visited
+            ));
+        }
+
         let sleep = reduced_run(model_kind, test, Reduction::Sleep, &seq.outcomes)?;
         let sleep_canon = reduced_run(model_kind, test, Reduction::SleepPlusCanon, &seq.outcomes)?;
         // The parallel reduced driver must agree too (its states/pruning are
@@ -185,6 +223,7 @@ fn check_one(model_kind: ModelKind, test: &LitmusTest, parallelism: usize) -> Re
             states_visited: seq.states_visited,
             final_states: seq.final_states,
             occupancy: seq.arena.unwrap_or_default(),
+            memory: acc.memory.unwrap_or_default(),
             sleep,
             sleep_canon,
         })
@@ -353,6 +392,15 @@ fn row_json(row: &Row) -> Json {
                     ]),
                 ),
                 (
+                    "memory",
+                    Json::object([
+                        ("peak_accounted_bytes", Json::UInt(op.memory.peak_bytes as u64)),
+                        ("spilled_bytes", Json::UInt(op.memory.spilled_bytes as u64)),
+                        ("spill_segments", Json::UInt(op.memory.spill_segments as u64)),
+                        ("sleep_flushes", Json::UInt(op.memory.sleep_flushes as u64)),
+                    ]),
+                ),
+                (
                     "reduction",
                     Json::object([
                         ("sleep", reduced_json(&op.sleep)),
@@ -390,10 +438,11 @@ fn today() -> String {
 /// The deterministic effort counters a comparison grades (path within a
 /// per-test entry, lower is better). Wall times are reported but never fail
 /// the comparison — they are machine- and load-dependent.
-const GRADED: [(&str, &[&str]); 5] = [
+const GRADED: [(&str, &[&str]); 6] = [
     ("axiomatic.assignments_enumerated", &["axiomatic", "assignments_enumerated"]),
     ("axiomatic.orders_visited", &["axiomatic", "orders_visited"]),
     ("operational.states_visited", &["operational", "states_visited"]),
+    ("operational.memory.peak_accounted_bytes", &["operational", "memory", "peak_accounted_bytes"]),
     (
         "operational.reduction.sleep.states_visited",
         &["operational", "reduction", "sleep", "states_visited"],
@@ -453,6 +502,8 @@ fn list_gates() {
     for (label, _) in GRADED {
         println!("  {label}");
     }
+    println!("  (operational.memory.peak_accounted_bytes is present from v5 snapshots on;");
+    println!("  against an older baseline the entry is skipped, like any missing metric)");
     println!("snapshot-level gate:");
     println!("  totals.wall_us_operational_parallel <= totals.wall_us_operational_sequential x threshold");
     println!(
@@ -529,7 +580,9 @@ fn gate_obs_overhead(old: &Json, new: &Json, regressions: &mut Vec<String>) {
 
 /// Diffs two snapshots over the metrics they share; returns one description
 /// per regression beyond `threshold` (empty = comparison passed).
-fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> Vec<String> {
+/// `obs_gate: false` skips the absolute-wall instrumentation gate
+/// (cross-machine comparisons).
+fn compare_snapshots(old: &Json, new: &Json, threshold: f64, obs_gate: bool) -> Vec<String> {
     let old_schema = old.get("schema").and_then(Json::as_str).unwrap_or("?");
     let new_schema = new.get("schema").and_then(Json::as_str).unwrap_or("?");
     println!("compare: baseline schema {old_schema}, candidate schema {new_schema}");
@@ -626,7 +679,11 @@ fn compare_snapshots(old: &Json, new: &Json, threshold: f64) -> Vec<String> {
                 );
             }
         }
-        gate_obs_overhead(old, new, &mut regressions);
+        if obs_gate {
+            gate_obs_overhead(old, new, &mut regressions);
+        } else {
+            println!("compare: obs gate skipped (--no-obs-gate)");
+        }
     }
     println!(
         "compare: {compared} (model, test) pairs compared, {} regressions, \
@@ -661,11 +718,13 @@ fn main() {
         .map(|v| v.parse::<f64>().expect("--fail-threshold takes a number"))
         .unwrap_or(1.25);
 
+    let obs_gate = !arg_flag(&args, "--no-obs-gate");
+
     if let (Some(old_path), Some(new_path)) = (&compare, &against) {
         // Pure diff mode: no benchmark run.
         let old = load_snapshot(old_path);
         let new = load_snapshot(new_path);
-        let regressions = compare_snapshots(&old, &new, threshold);
+        let regressions = compare_snapshots(&old, &new, threshold, obs_gate);
         std::process::exit(i32::from(!regressions.is_empty()));
     }
 
@@ -703,6 +762,7 @@ fn main() {
     let mut total_naive = 0u128;
     let mut total_enumerated = 0u128;
     let mut total_states = 0u64;
+    let mut total_peak_accounted = 0u64;
     let mut total_components = 0u64;
     let mut total_interned_bytes = 0u64;
     let mut total_states_reduced = 0u64;
@@ -725,6 +785,7 @@ fn main() {
                     total_ax_wall += row.axiomatic_wall;
                     if let Some(op) = &row.operational {
                         total_states += op.states_visited as u64;
+                        total_peak_accounted += op.memory.peak_bytes as u64;
                         total_components += op.occupancy.distinct_components() as u64;
                         total_interned_bytes += op.occupancy.interned_bytes as u64;
                         total_states_reduced += op.sleep_canon.states_visited as u64;
@@ -764,7 +825,7 @@ fn main() {
     };
 
     let snapshot = Json::object([
-        ("schema", Json::from("gam-perf-snapshot/v4")),
+        ("schema", Json::from("gam-perf-snapshot/v5")),
         ("date", Json::from(date.as_str())),
         ("quick", Json::from(quick)),
         ("explorer_parallelism", Json::UInt(parallelism as u64)),
@@ -781,6 +842,7 @@ fn main() {
                 ("assignments_enumerated", uint(total_enumerated)),
                 ("assignments_pruned", uint(total_naive.saturating_sub(total_enumerated))),
                 ("states_visited", Json::UInt(total_states)),
+                ("peak_accounted_bytes", Json::UInt(total_peak_accounted)),
                 ("arena_distinct_components", Json::UInt(total_components)),
                 ("arena_interned_bytes", Json::UInt(total_interned_bytes)),
                 ("states_visited_reduced", Json::UInt(total_states_reduced)),
@@ -802,6 +864,16 @@ fn main() {
                 ("library_wall_us_armed", micros(overhead.armed)),
                 ("armed_overhead_permille", Json::UInt(overhead.armed_overhead_permille())),
             ]),
+        ),
+        // Informational only: the OS view of the whole run's footprint.
+        // Allocator- and platform-dependent, so it is never gated —
+        // `peak_accounted_bytes` is the deterministic figure.
+        (
+            "resident_bytes",
+            Json::UInt(
+                gam_core::memory::process_resident_bytes()
+                    .map_or(0, |b| u64::try_from(b).unwrap_or(u64::MAX)),
+            ),
         ),
         ("per_model", Json::Array(model_sections)),
     ]);
@@ -849,10 +921,14 @@ fn main() {
         overhead.armed,
         overhead.armed_overhead_permille()
     );
+    println!(
+        "perf_snapshot: accounted exploration peak {total_peak_accounted} bytes summed over \
+         all (model, test) pairs"
+    );
 
     if let Some(old_path) = compare {
         let old = load_snapshot(&old_path);
-        let regressions = compare_snapshots(&old, &snapshot, threshold);
+        let regressions = compare_snapshots(&old, &snapshot, threshold, obs_gate);
         if !regressions.is_empty() {
             std::process::exit(1);
         }

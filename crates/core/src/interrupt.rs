@@ -60,6 +60,12 @@ pub enum StopReason {
         /// The state-count limit that was reached.
         limit: usize,
     },
+    /// The memory budget ran out and every degradation step (sleep-cache
+    /// flush, spill-to-disk) was already taken or unavailable.
+    MemoryBudget {
+        /// The byte budget that was exceeded.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for StopReason {
@@ -71,6 +77,9 @@ impl fmt::Display for StopReason {
             }
             StopReason::StateBudget { limit } => {
                 write!(f, "state budget of {limit} states exceeded")
+            }
+            StopReason::MemoryBudget { budget } => {
+                write!(f, "memory budget of {budget} bytes exceeded")
             }
         }
     }
@@ -194,6 +203,10 @@ mod tests {
         assert_eq!(
             StopReason::StateBudget { limit: 42 }.to_string(),
             "state budget of 42 states exceeded"
+        );
+        assert_eq!(
+            StopReason::MemoryBudget { budget: 1024 }.to_string(),
+            "memory budget of 1024 bytes exceeded"
         );
     }
 }

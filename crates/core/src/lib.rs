@@ -42,6 +42,7 @@
 pub mod dependency;
 pub mod fault;
 pub mod interrupt;
+pub mod memory;
 pub mod model;
 pub mod ppo;
 pub mod relation;
@@ -50,6 +51,7 @@ pub mod wal;
 
 pub use dependency::{address_dependencies, data_dependencies};
 pub use interrupt::{CancelToken, Interrupt, StopReason};
+pub use memory::MemoryAccountant;
 pub use model::{BaseOrdering, ModelKind, ModelSpec, SameAddrLoadLoad};
 pub use ppo::preserved_program_order;
 pub use relation::Relation;

@@ -167,13 +167,20 @@ impl Checker for OperationalChecker {
         budget: &CheckBudget,
         cancel: CancelToken,
     ) -> Result<SessionVerdict, EngineError> {
-        // Rebuild the explorer with the budget's state cap and interrupt.
+        // Rebuild the explorer with the budget's state cap, memory cap and
+        // interrupt. The checker's own memory config (spill directory,
+        // checkpoint plan) carries over; the budget's byte cap overrides.
         let mut config = self.config();
         if let Some(max_states) = budget.max_states {
             config.max_states = max_states;
         }
+        let mut memory = self.memory();
+        if budget.max_bytes.is_some() {
+            memory.max_bytes = budget.max_bytes;
+        }
         let checker = OperationalChecker::with_config(OperationalChecker::model(self), config)
-            .with_interrupt(budget.interrupt(cancel));
+            .with_interrupt(budget.interrupt(cancel))
+            .with_memory(memory);
         match checker.allowed_outcomes(test) {
             Ok(outcomes) => Ok(SessionVerdict::conclusive(test, &outcomes)),
             Err(OperationalError::Explore(ExploreError::Interrupted {

@@ -9,7 +9,7 @@ use std::time::Instant;
 use gam_axiomatic::{AxiomaticChecker, CheckerConfig, Verdict};
 use gam_core::{model, CancelToken, ModelKind};
 use gam_isa::litmus::LitmusTest;
-use gam_operational::{ExplorerConfig, OperationalChecker, Reduction};
+use gam_operational::{ExplorerConfig, MemoryConfig, OperationalChecker, Reduction};
 
 use crate::checker::Checker;
 use crate::error::EngineError;
@@ -68,6 +68,7 @@ pub struct EngineBuilder {
     parallelism: usize,
     axiomatic_config: CheckerConfig,
     explorer_config: ExplorerConfig,
+    explorer_memory: MemoryConfig,
 }
 
 impl Default for EngineBuilder {
@@ -78,6 +79,7 @@ impl Default for EngineBuilder {
             parallelism: 1,
             axiomatic_config: CheckerConfig::default(),
             explorer_config: ExplorerConfig::default(),
+            explorer_memory: MemoryConfig::default(),
         }
     }
 }
@@ -123,6 +125,35 @@ impl EngineBuilder {
     #[must_use]
     pub fn explorer_config(mut self, config: ExplorerConfig) -> Self {
         self.explorer_config = config;
+        self
+    }
+
+    /// Sets the operational explorer's memory-pressure configuration:
+    /// byte budget, spill directory and/or intra-exploration checkpoint
+    /// plan (operational backend only). A [`CheckBudget::max_bytes`] on an
+    /// individual check overrides the budget set here; the spill directory
+    /// and checkpoint plan always carry over into budgeted checks.
+    #[must_use]
+    pub fn explorer_memory(mut self, memory: MemoryConfig) -> Self {
+        self.explorer_memory = memory;
+        self
+    }
+
+    /// Sets the directory the operational explorer may spill cold arena
+    /// segments into when a memory budget nears exhaustion (operational
+    /// backend only; spilling stays off without a byte budget).
+    #[must_use]
+    pub fn explorer_spill_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.explorer_memory.spill_dir = Some(dir);
+        self
+    }
+
+    /// Caps the operational explorer's accounted memory footprint
+    /// (operational backend only). See [`CheckBudget::max_bytes`] for the
+    /// per-check override.
+    #[must_use]
+    pub fn explorer_mem_budget(mut self, max_bytes: usize) -> Self {
+        self.explorer_memory.max_bytes = Some(max_bytes);
         self
     }
 
@@ -180,9 +211,10 @@ impl EngineBuilder {
                 model::by_kind(self.model),
                 self.axiomatic_config,
             )),
-            Backend::Operational => {
-                Arc::new(OperationalChecker::with_config(self.model, self.explorer_config))
-            }
+            Backend::Operational => Arc::new(
+                OperationalChecker::with_config(self.model, self.explorer_config)
+                    .with_memory(self.explorer_memory),
+            ),
         };
         Ok(Engine { checker, parallelism: self.parallelism, sessions: OnceLock::new() })
     }

@@ -66,7 +66,7 @@ pub mod report;
 pub mod session;
 
 pub use checker::Checker;
-pub use checkpoint::{RunCheckpoint, CHECKPOINT_SCHEMA};
+pub use checkpoint::{RunCheckpoint, CHECKPOINT_SCHEMA, EXPLORE_CHECKPOINT_SCHEMA};
 pub use engine::{Backend, Engine, EngineBuilder};
 pub use error::EngineError;
 pub use json::{Json, JsonParseError, ToJson};
@@ -77,4 +77,6 @@ pub use session::{CheckBudget, CheckHandle, SessionOutcome, SessionVerdict};
 // depending on the backend crates directly.
 pub use gam_axiomatic::{CheckerConfig, Verdict};
 pub use gam_core::{CancelToken, Interrupt, StopReason};
-pub use gam_operational::{ArenaOccupancy, ExplorerConfig, Reduction};
+pub use gam_operational::{
+    ArenaOccupancy, CheckpointPlan, ExplorerConfig, MemoryConfig, MemoryStats, Reduction,
+};

@@ -68,6 +68,12 @@ pub struct CheckBudget {
     /// Wall-clock budget, measured from the moment the check starts
     /// executing (queue time does not count).
     pub max_wall: Option<Duration>,
+    /// Cap on the explorer's accounted memory footprint in bytes
+    /// (operational backend only). Nearing the cap first degrades the
+    /// search (sleep-cache flushes, then arena spilling when a spill
+    /// directory is configured); crossing it stops the check with
+    /// [`StopReason::MemoryBudget`].
+    pub max_bytes: Option<usize>,
 }
 
 impl CheckBudget {
@@ -88,6 +94,13 @@ impl CheckBudget {
     #[must_use]
     pub fn with_max_wall(mut self, max_wall: Duration) -> Self {
         self.max_wall = Some(max_wall);
+        self
+    }
+
+    /// Caps the explorer's accounted memory footprint.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = Some(max_bytes);
         self
     }
 
@@ -410,10 +423,14 @@ mod tests {
     #[test]
     fn budget_builders_compose() {
         let budget = CheckBudget::none();
-        assert_eq!(budget, CheckBudget { max_states: None, max_wall: None });
-        let budget = budget.with_max_states(10).with_max_wall(Duration::from_millis(5));
+        assert_eq!(budget, CheckBudget { max_states: None, max_wall: None, max_bytes: None });
+        let budget = budget
+            .with_max_states(10)
+            .with_max_wall(Duration::from_millis(5))
+            .with_max_bytes(1 << 20);
         assert_eq!(budget.max_states, Some(10));
         assert_eq!(budget.max_wall, Some(Duration::from_millis(5)));
+        assert_eq!(budget.max_bytes, Some(1 << 20));
         assert!(budget.interrupt(CancelToken::new()).is_armed());
         // Even an unlimited budget arms the interrupt: the cancel token.
         assert!(CheckBudget::none().interrupt(CancelToken::new()).is_armed());

@@ -78,6 +78,15 @@ impl OperationalChecker {
         self
     }
 
+    /// Attaches a memory-pressure configuration (budget, spill directory,
+    /// checkpoint plan) to the underlying explorer. Arming any part of it
+    /// pins the exploration to the deterministic sequential drivers.
+    #[must_use]
+    pub fn with_memory(mut self, memory: crate::explore::MemoryConfig) -> Self {
+        self.explorer = self.explorer.with_memory(memory);
+        self
+    }
+
     /// The model this checker runs.
     #[must_use]
     pub fn model(&self) -> ModelKind {
@@ -88,6 +97,12 @@ impl OperationalChecker {
     #[must_use]
     pub fn config(&self) -> ExplorerConfig {
         self.explorer.config()
+    }
+
+    /// The memory-pressure configuration this checker runs with.
+    #[must_use]
+    pub fn memory(&self) -> crate::explore::MemoryConfig {
+        self.explorer.memory().clone()
     }
 
     /// Returns true if an operational machine exists for the model.

@@ -1,0 +1,97 @@
+//! Little-endian byte codec primitives for spill segments and
+//! intra-exploration checkpoint snapshots.
+//!
+//! Everything the explorer persists (arena components, id rows, frontier,
+//! sleep sets) is encoded with these helpers: fixed-width little-endian
+//! integers consumed from the front of a shrinking slice. Decoders return
+//! `None` on truncated input instead of panicking — snapshot payloads travel
+//! through CRC-framed storage, so corruption is detected a layer below, but
+//! a version-skewed or hand-edited payload must still fail cleanly.
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, value: u8) {
+    out.push(value);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+pub(crate) fn put_usize(out: &mut Vec<u8>, value: usize) {
+    put_u64(out, value as u64);
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, u32::try_from(bytes.len()).expect("chunk fits u32"));
+    out.extend_from_slice(bytes);
+}
+
+pub(crate) fn take_u8(input: &mut &[u8]) -> Option<u8> {
+    let (&first, rest) = input.split_first()?;
+    *input = rest;
+    Some(first)
+}
+
+pub(crate) fn take_u32(input: &mut &[u8]) -> Option<u32> {
+    if input.len() < 4 {
+        return None;
+    }
+    let (head, rest) = input.split_at(4);
+    *input = rest;
+    Some(u32::from_le_bytes(head.try_into().ok()?))
+}
+
+pub(crate) fn take_u64(input: &mut &[u8]) -> Option<u64> {
+    if input.len() < 8 {
+        return None;
+    }
+    let (head, rest) = input.split_at(8);
+    *input = rest;
+    Some(u64::from_le_bytes(head.try_into().ok()?))
+}
+
+pub(crate) fn take_usize(input: &mut &[u8]) -> Option<usize> {
+    usize::try_from(take_u64(input)?).ok()
+}
+
+pub(crate) fn take_bytes<'a>(input: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let len = take_u32(input)? as usize;
+    if input.len() < len {
+        return None;
+    }
+    let (head, rest) = input.split_at(len);
+    *input = rest;
+    Some(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_truncation() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_usize(&mut out, 42);
+        put_bytes(&mut out, b"chunk");
+        let mut input = out.as_slice();
+        assert_eq!(take_u8(&mut input), Some(7));
+        assert_eq!(take_u32(&mut input), Some(0xDEAD_BEEF));
+        assert_eq!(take_u64(&mut input), Some(u64::MAX - 1));
+        assert_eq!(take_usize(&mut input), Some(42));
+        assert_eq!(take_bytes(&mut input), Some(b"chunk".as_slice()));
+        assert!(input.is_empty());
+
+        let mut torn = &out[..out.len() - 3];
+        take_u8(&mut torn);
+        take_u32(&mut torn);
+        take_u64(&mut torn);
+        take_usize(&mut torn);
+        assert_eq!(take_bytes(&mut torn), None, "truncated chunk is refused");
+    }
+}

@@ -47,15 +47,19 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::BuildHasher;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use gam_core::{fault, Interrupt, StopReason};
-use gam_isa::litmus::Outcome;
+use gam_core::{fault, Interrupt, MemoryAccountant, StopReason};
+use gam_isa::litmus::{Observation, Outcome};
+use gam_isa::{Loc, ProcId, Reg, Value};
 use rustc_hash::{FxBuildHasher, FxHashMap};
 
 use crate::arena::{ComponentArena, ComposedState, Touched};
+use crate::codec;
 use crate::machine::{AbstractMachine, Action, ActionKind, Footprint, LabeledMachine};
+use crate::spill::{SpillError, SpillStore};
 
 /// The partial-order/symmetry reduction mode of the exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -156,6 +160,88 @@ impl ExplorerConfig {
     }
 }
 
+/// Memory budgeting, spill-to-disk and intra-exploration checkpointing for
+/// the *composed sequential* drivers (the production path of
+/// `OperationalChecker`).
+///
+/// Arming either the budget or a checkpoint plan forces the exploration to
+/// stay sequential (the adaptive escalation to the sharded parallel driver
+/// is disabled): the budget ladder and checkpoint snapshots rely on the
+/// deterministic single-frontier search. The plain full-state drivers ignore
+/// this configuration entirely.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryConfig {
+    /// Hard in-RAM budget in *accounted* bytes (see
+    /// [`gam_core::MemoryAccountant`] — deterministic figures, not allocator
+    /// truth). At 80% the degradation ladder starts (sleep-cache flush, then
+    /// cold-row spilling); at 100% after every degradation step the
+    /// exploration stops with [`StopReason::MemoryBudget`].
+    pub max_bytes: Option<usize>,
+    /// Directory for cold arena segments. Without it (or without
+    /// `max_bytes`) nothing is ever spilled and the ladder skips straight
+    /// from cache flushing to the hard stop.
+    pub spill_dir: Option<PathBuf>,
+    /// Intra-exploration checkpointing: periodic snapshots of the full
+    /// search state, enabling mid-exploration resume after a crash.
+    pub checkpoint: Option<CheckpointPlan>,
+}
+
+impl MemoryConfig {
+    /// Does this configuration constrain the exploration (and therefore
+    /// force the sequential driver)?
+    pub(crate) fn armed(&self) -> bool {
+        self.max_bytes.is_some() || self.checkpoint.is_some()
+    }
+}
+
+/// Receiver of encoded intra-exploration snapshots (e.g. a run-checkpoint
+/// journal). Must be fast relative to the snapshot cadence.
+pub type SnapshotSink = Arc<dyn Fn(&[u8]) + Send + Sync>;
+
+/// Periodic intra-exploration checkpointing: every `every_expansions`
+/// expansions the sequential composed driver encodes its complete search
+/// state (arena, frontier, outcomes, reduction bookkeeping) and hands the
+/// bytes to `sink`. A run killed between snapshots resumes from `resume`
+/// with counters identical to an uninterrupted run — the search is
+/// deterministic and the snapshot captures all of it.
+#[derive(Clone)]
+pub struct CheckpointPlan {
+    /// Snapshot cadence in expansions (0 disables snapshots; `resume` still
+    /// applies).
+    pub every_expansions: usize,
+    /// Receives each encoded snapshot (e.g. records it into a run
+    /// checkpoint journal). Must be fast relative to the cadence.
+    pub sink: SnapshotSink,
+    /// A snapshot produced by a previous incarnation to resume from. An
+    /// undecodable snapshot is reported on the trace stream and the
+    /// exploration restarts from scratch (still sound, just slower).
+    pub resume: Option<Arc<Vec<u8>>>,
+}
+
+impl fmt::Debug for CheckpointPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointPlan")
+            .field("every_expansions", &self.every_expansions)
+            .field("resume", &self.resume.as_ref().map(|bytes| bytes.len()))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Memory-pressure statistics of a budgeted exploration (accounted bytes —
+/// deterministic for a fixed search; resumed runs may legitimately differ in
+/// `peak_bytes`, so default reports exclude these figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// High-water mark of the accounted in-RAM total.
+    pub peak_bytes: usize,
+    /// Bytes moved to disk by the spill ladder.
+    pub spilled_bytes: usize,
+    /// Spill segment files written.
+    pub spill_segments: usize,
+    /// Times the sleep-set caches were flushed under pressure.
+    pub sleep_flushes: usize,
+}
+
 /// Errors reported by the explorer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -233,6 +319,9 @@ pub struct Exploration {
     /// path, the reference oracle, and explorations that escalated to the
     /// sharded parallel driver).
     pub arena: Option<crate::arena::ArenaOccupancy>,
+    /// Memory-pressure statistics. `Some` only when a
+    /// [`MemoryConfig::max_bytes`] budget was armed.
+    pub memory: Option<MemoryStats>,
 }
 
 /// An exhaustive state-space explorer.
@@ -242,6 +331,8 @@ pub struct Explorer {
     /// Cooperative interruption source, polled in every expansion loop at
     /// [`INTERRUPT_POLL_MASK`] cadence. Defaults to never triggering.
     interrupt: Interrupt,
+    /// Memory budgeting / spilling / checkpointing (composed drivers only).
+    memory: MemoryConfig,
 }
 
 /// Expansion-loop polling cadence: the interrupt is checked on the first
@@ -327,6 +418,11 @@ impl ActionSet {
             }
             ActionSetRepr::Heap(items) => items.push(action),
         }
+    }
+
+    /// Is the set heap-backed (i.e. would dropping it free memory)?
+    pub(crate) fn is_heap(&self) -> bool {
+        matches!(self.repr, ActionSetRepr::Heap(_))
     }
 
     /// Sorts and deduplicates, restoring the set invariant after pushes.
@@ -624,11 +720,401 @@ struct SleepSeed {
     expanded_with: Vec<Option<ActionSet>>,
 }
 
+/// Soft watermark of the memory ladder: degradation starts at 80% of the
+/// hard budget, leaving headroom for the work between polls.
+const SOFT_WATERMARK_NUM: usize = 4;
+const SOFT_WATERMARK_DEN: usize = 5;
+
+/// Rows moved per spill segment. Large enough that segment files amortize
+/// their framing and the one-segment read cache covers real locality; small
+/// enough that one spill round reacts to pressure promptly.
+const SPILL_CHUNK_ROWS: usize = 64 * 1024;
+
+/// Rows always kept resident: the hot tail the DFS is actively revisiting.
+const MIN_RESIDENT_ROWS: usize = 256;
+
+/// Minimum interned-state growth between two sleep-cache flushes, so the
+/// ladder's first rung does not spin when flushing frees little.
+const FLUSH_SPACING_STATES: usize = 1024;
+
+/// Snapshot driver tags ([`CheckpointPlan`] payload versioning within the
+/// `gam-explore-checkpoint/v1` record that wraps these bytes).
+const SNAP_COMPOSED: u8 = 1;
+const SNAP_REDUCED: u8 = 2;
+
+/// The memory governor of a budgeted composed exploration: refreshes the
+/// [`MemoryAccountant`] at poll cadence and walks the degradation ladder
+/// (flush sleep caches → spill cold rows → hard stop).
+struct MemGovernor {
+    max_bytes: usize,
+    soft_bytes: usize,
+    acct: MemoryAccountant,
+    /// Cleared after a spill *write* failure: rows stay resident from then
+    /// on (already-written segments remain readable).
+    spill_enabled: bool,
+    /// Arena size at which the next sleep-cache flush is allowed.
+    next_flush_ok_at: usize,
+}
+
+impl MemGovernor {
+    fn new(memory: &MemoryConfig) -> Option<MemGovernor> {
+        let max_bytes = memory.max_bytes?;
+        Some(MemGovernor {
+            max_bytes,
+            soft_bytes: max_bytes / SOFT_WATERMARK_DEN * SOFT_WATERMARK_NUM,
+            acct: MemoryAccountant::new(),
+            spill_enabled: true,
+            next_flush_ok_at: 0,
+        })
+    }
+
+    /// Refreshes every category from the live structures and returns the
+    /// accounted total. All inputs are length-based (never capacity-based),
+    /// so the figures are identical across a checkpoint resume.
+    fn refresh<S: ComposedState>(
+        &mut self,
+        arena: &ComponentArena<S>,
+        frontier_len: usize,
+        sleep_bytes: usize,
+    ) -> usize {
+        let (component, id_table, index) = arena.account();
+        self.acct.component_bytes = component;
+        self.acct.id_table_bytes = id_table;
+        self.acct.index_bytes = index;
+        self.acct.frontier_bytes = frontier_len * std::mem::size_of::<u32>();
+        self.acct.sleep_bytes = sleep_bytes;
+        // Spill figures come from the arena, not a running tally, so a
+        // resumed exploration reports the segments it inherited.
+        let (spilled_bytes, spill_segments) = arena.spill_stats();
+        self.acct.spilled_bytes = spilled_bytes;
+        self.acct.spill_segments = spill_segments;
+        self.acct.note_peak()
+    }
+
+    fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            peak_bytes: self.acct.peak_bytes,
+            spilled_bytes: self.acct.spilled_bytes,
+            spill_segments: self.acct.spill_segments,
+            sleep_flushes: self.acct.sleep_flushes,
+        }
+    }
+
+    /// One governance round at poll cadence: refresh the accounts, degrade
+    /// while over the soft watermark, stop the run at the hard limit.
+    ///
+    /// `sleep` carries the reduced driver's per-slot bookkeeping (the
+    /// unreduced driver passes `None`). Flushing it is sound: an emptied
+    /// sleep set or a cleared expansion cache only causes redundant
+    /// re-expansion, never a missed state.
+    fn govern<S: ComposedState>(
+        &mut self,
+        arena: &mut ComponentArena<S>,
+        frontier_len: usize,
+        sleep: Option<(&mut Vec<ActionSet>, &mut Vec<Option<ActionSet>>)>,
+    ) -> Result<(), StopReason> {
+        let sleep_bytes = sleep.as_ref().map_or(0, |(sets, expanded)| {
+            sets.len() * std::mem::size_of::<ActionSet>()
+                + expanded.len() * std::mem::size_of::<Option<ActionSet>>()
+        });
+        let mut total = self.refresh(arena, frontier_len, sleep_bytes);
+        if total < self.soft_bytes {
+            return Ok(());
+        }
+        // Rung 1: drop the heap-backed sleep bookkeeping. The accounted
+        // total only tracks the inline footprint, so this rung relieves real
+        // RSS without moving the deterministic figure — the ladder does not
+        // wait on it.
+        if let Some((sets, expanded)) = sleep {
+            if arena.len() >= self.next_flush_ok_at {
+                for set in sets.iter_mut() {
+                    if set.is_heap() {
+                        *set = ActionSet::new();
+                    }
+                }
+                for entry in expanded.iter_mut() {
+                    if entry.as_ref().is_some_and(ActionSet::is_heap) {
+                        *entry = None;
+                    }
+                }
+                self.acct.sleep_flushes += 1;
+                self.next_flush_ok_at = arena.len() + FLUSH_SPACING_STATES;
+                gam_obs::trace::event(
+                    "explore.sleep_flush",
+                    &[("states", arena.len().to_string())],
+                );
+            }
+        }
+        // Rung 2: spill the oldest resident rows until back under the soft
+        // watermark (or out of spillable rows). A write failure stops
+        // spilling for good but never the exploration.
+        while total >= self.soft_bytes
+            && self.spill_enabled
+            && arena.spill_armed()
+            && arena.resident_rows() > MIN_RESIDENT_ROWS
+        {
+            let rows = (arena.resident_rows() - MIN_RESIDENT_ROWS).min(SPILL_CHUNK_ROWS);
+            match arena.spill_oldest(rows) {
+                Ok(0) => break,
+                Ok(bytes) => {
+                    total = self.refresh(arena, frontier_len, sleep_bytes);
+                    gam_obs::trace::event(
+                        "explore.spill",
+                        &[
+                            ("bytes", bytes.to_string()),
+                            ("spilled_total", self.acct.spilled_bytes.to_string()),
+                        ],
+                    );
+                }
+                Err(err) => {
+                    gam_obs::trace::event("explore.spill_write_failed", &[("error", err.message)]);
+                    self.spill_enabled = false;
+                    arena.disarm_spill();
+                    break;
+                }
+            }
+        }
+        // Rung 3: every degradation step taken (or unavailable) and still
+        // over the hard limit — stop with sound partial outcomes.
+        if total >= self.max_bytes {
+            return Err(StopReason::MemoryBudget { budget: self.max_bytes });
+        }
+        Ok(())
+    }
+}
+
+/// Maps a cold-row read failure (lost/corrupt/fault-injected segment) to the
+/// memory-budget stop: the visited set is no longer fully consultable, so
+/// continuing could mis-deduplicate — the sound move is to surface the
+/// partial outcomes as an inconclusive.
+fn spill_read_interrupt(
+    budget: usize,
+    states_visited: usize,
+    outcomes: &BTreeSet<Outcome>,
+    err: &SpillError,
+) -> ExploreError {
+    gam_obs::trace::event("explore.spill_read_failed", &[("error", err.message.clone())]);
+    ExploreError::Interrupted {
+        reason: StopReason::MemoryBudget { budget },
+        states_visited,
+        partial_outcomes: outcomes.clone(),
+    }
+}
+
+fn encode_action(action: &Action, out: &mut Vec<u8>) {
+    codec::put_u32(out, action.thread);
+    codec::put_u32(out, action.id);
+    codec::put_u8(
+        out,
+        match action.kind {
+            ActionKind::Local => 0,
+            ActionKind::Fence => 1,
+            ActionKind::MemoryRead => 2,
+            ActionKind::MemoryCommit => 3,
+            ActionKind::BufferDrain => 4,
+        },
+    );
+    codec::put_u64(out, action.addr);
+}
+
+fn decode_action(input: &mut &[u8]) -> Option<Action> {
+    let thread = codec::take_u32(input)?;
+    let id = codec::take_u32(input)?;
+    let kind = match codec::take_u8(input)? {
+        0 => ActionKind::Local,
+        1 => ActionKind::Fence,
+        2 => ActionKind::MemoryRead,
+        3 => ActionKind::MemoryCommit,
+        4 => ActionKind::BufferDrain,
+        _ => return None,
+    };
+    let addr = codec::take_u64(input)?;
+    Some(Action { thread, id, kind, addr })
+}
+
+fn encode_action_set(set: &ActionSet, out: &mut Vec<u8>) {
+    let actions = set.as_slice();
+    codec::put_u32(out, u32::try_from(actions.len()).expect("set fits u32"));
+    for action in actions {
+        encode_action(action, out);
+    }
+}
+
+fn decode_action_set(input: &mut &[u8]) -> Option<ActionSet> {
+    let len = codec::take_u32(input)? as usize;
+    let mut set = ActionSet::new();
+    for _ in 0..len {
+        set.push(decode_action(input)?);
+    }
+    // Encoded from a valid set, so already sorted — but cheap to re-assert
+    // the invariant against hand-edited payloads.
+    set.sort_dedup();
+    Some(set)
+}
+
+fn encode_outcome(outcome: &Outcome, out: &mut Vec<u8>) {
+    codec::put_u32(out, u32::try_from(outcome.len()).expect("outcome fits u32"));
+    for (observation, value) in outcome.iter() {
+        match observation {
+            Observation::Register(proc, reg) => {
+                codec::put_u8(out, 0);
+                codec::put_u64(out, proc.index() as u64);
+                codec::put_u32(out, reg.index());
+            }
+            Observation::Memory(loc) => {
+                codec::put_u8(out, 1);
+                codec::put_u64(out, loc.address());
+            }
+        }
+        codec::put_u64(out, value.raw());
+    }
+}
+
+fn decode_outcome(input: &mut &[u8]) -> Option<Outcome> {
+    let len = codec::take_u32(input)? as usize;
+    let mut pairs = Vec::with_capacity(len);
+    for _ in 0..len {
+        let observation = match codec::take_u8(input)? {
+            0 => {
+                let proc = ProcId::new(usize::try_from(codec::take_u64(input)?).ok()?);
+                let reg = Reg::new(codec::take_u32(input)?);
+                Observation::Register(proc, reg)
+            }
+            1 => Observation::Memory(Loc::from_address(codec::take_u64(input)?)),
+            _ => return None,
+        };
+        let value = Value::new(codec::take_u64(input)?);
+        pairs.push((observation, value));
+    }
+    Some(pairs.into_iter().collect())
+}
+
+/// The decoded search state of a composed sequential driver, mid-run.
+struct SeqSnapshot<S: ComposedState> {
+    expansions: usize,
+    final_states: usize,
+    pruned: usize,
+    outcomes: BTreeSet<Outcome>,
+    arena: ComponentArena<S>,
+    stack: Vec<u32>,
+    /// `(sleep_sets, expanded_with)` — [`SNAP_REDUCED`] snapshots only.
+    sleep: Option<(Vec<ActionSet>, Vec<Option<ActionSet>>)>,
+}
+
+/// Encodes the complete search state of a composed sequential driver.
+/// Everything a resumed run needs to continue with identical counters is
+/// here; accounted-memory peaks are deliberately *not* (they restart from
+/// the resumed footprint).
+#[allow(clippy::too_many_arguments)] // a plain serialization point, not an API
+fn encode_snapshot<S: ComposedState>(
+    tag: u8,
+    expansions: usize,
+    final_states: usize,
+    pruned: usize,
+    outcomes: &BTreeSet<Outcome>,
+    arena: &ComponentArena<S>,
+    stack: &[u32],
+    sleep: Option<(&[ActionSet], &[Option<ActionSet>])>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u8(&mut out, tag);
+    codec::put_usize(&mut out, expansions);
+    codec::put_usize(&mut out, final_states);
+    codec::put_usize(&mut out, pruned);
+    codec::put_u32(&mut out, u32::try_from(outcomes.len()).expect("outcomes fit u32"));
+    for outcome in outcomes {
+        encode_outcome(outcome, &mut out);
+    }
+    arena.encode(&mut out);
+    codec::put_usize(&mut out, stack.len());
+    for &slot in stack {
+        codec::put_u32(&mut out, slot);
+    }
+    if let Some((sleep_sets, expanded_with)) = sleep {
+        codec::put_usize(&mut out, sleep_sets.len());
+        for set in sleep_sets {
+            encode_action_set(set, &mut out);
+        }
+        codec::put_usize(&mut out, expanded_with.len());
+        for entry in expanded_with {
+            match entry {
+                Some(set) => {
+                    codec::put_u8(&mut out, 1);
+                    encode_action_set(set, &mut out);
+                }
+                None => codec::put_u8(&mut out, 0),
+            }
+        }
+    }
+    out
+}
+
+/// Decodes an [`encode_snapshot`] payload, re-reading spilled segments from
+/// `spill_dir` to rebuild the dedup index.
+fn decode_snapshot<S: ComposedState>(
+    bytes: &[u8],
+    expected_tag: u8,
+    num_procs: usize,
+    spill_dir: Option<&std::path::Path>,
+) -> Result<SeqSnapshot<S>, String> {
+    let truncated = || "truncated exploration snapshot".to_string();
+    let input = &mut &bytes[..];
+    let tag = codec::take_u8(input).ok_or_else(truncated)?;
+    if tag != expected_tag {
+        return Err(format!("snapshot driver tag {tag} does not match this run"));
+    }
+    let expansions = codec::take_usize(input).ok_or_else(truncated)?;
+    let final_states = codec::take_usize(input).ok_or_else(truncated)?;
+    let pruned = codec::take_usize(input).ok_or_else(truncated)?;
+    let outcome_count = codec::take_u32(input).ok_or_else(truncated)? as usize;
+    let mut outcomes = BTreeSet::new();
+    for _ in 0..outcome_count {
+        outcomes.insert(decode_outcome(input).ok_or_else(truncated)?);
+    }
+    let arena = ComponentArena::decode(input, num_procs, spill_dir)?;
+    let stack_len = codec::take_usize(input).ok_or_else(truncated)?;
+    let mut stack = Vec::with_capacity(stack_len);
+    for _ in 0..stack_len {
+        let slot = codec::take_u32(input).ok_or_else(truncated)?;
+        if (slot as usize) >= arena.len() {
+            return Err(format!("snapshot frontier references unknown slot {slot}"));
+        }
+        stack.push(slot);
+    }
+    let sleep = if tag == SNAP_REDUCED {
+        let sets_len = codec::take_usize(input).ok_or_else(truncated)?;
+        let mut sleep_sets = Vec::with_capacity(sets_len);
+        for _ in 0..sets_len {
+            sleep_sets.push(decode_action_set(input).ok_or_else(truncated)?);
+        }
+        let expanded_len = codec::take_usize(input).ok_or_else(truncated)?;
+        let mut expanded_with = Vec::with_capacity(expanded_len);
+        for _ in 0..expanded_len {
+            let entry = match codec::take_u8(input).ok_or_else(truncated)? {
+                0 => None,
+                1 => Some(decode_action_set(input).ok_or_else(truncated)?),
+                _ => return Err("bad expansion-cache flag in snapshot".to_string()),
+            };
+            expanded_with.push(entry);
+        }
+        if sleep_sets.len() != arena.len() || expanded_with.len() != arena.len() {
+            return Err("snapshot sleep bookkeeping does not cover the arena".to_string());
+        }
+        Some((sleep_sets, expanded_with))
+    } else {
+        None
+    };
+    if !input.is_empty() {
+        return Err("trailing bytes after exploration snapshot".to_string());
+    }
+    Ok(SeqSnapshot { expansions, final_states, pruned, outcomes, arena, stack, sleep })
+}
+
 impl Explorer {
     /// Creates an explorer with the given limits.
     #[must_use]
     pub fn new(config: ExplorerConfig) -> Self {
-        Explorer { config, interrupt: Interrupt::none() }
+        Explorer { config, interrupt: Interrupt::none(), memory: MemoryConfig::default() }
     }
 
     /// Attaches a cooperative [`Interrupt`] (cancel token and/or wall-clock
@@ -641,17 +1127,36 @@ impl Explorer {
         self
     }
 
+    /// Attaches a [`MemoryConfig`]: a hard accounted-byte budget with a
+    /// spill-to-disk degradation ladder, and/or intra-exploration
+    /// checkpointing. Only the composed sequential drivers honour it; arming
+    /// a budget or a checkpoint plan disables the escalation to the sharded
+    /// parallel driver (the run stays sequential and deterministic).
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
     /// The explorer's configuration.
     #[must_use]
     pub fn config(&self) -> ExplorerConfig {
         self.config
     }
 
+    /// The explorer's memory-pressure configuration.
+    #[must_use]
+    pub fn memory(&self) -> &MemoryConfig {
+        &self.memory
+    }
+
     /// The escalation budget of a sequential phase: `None` runs sequential
     /// to completion, `Some(n)` hands over to the sharded drivers once more
-    /// than `n` states are interned with frontier work remaining.
+    /// than `n` states are interned with frontier work remaining. Memory
+    /// budgets and checkpoint plans pin the run to the sequential driver.
     fn escalation(&self) -> Option<usize> {
-        (self.config.parallelism > 1).then_some(self.config.parallel_threshold)
+        (self.config.parallelism > 1 && !self.memory.armed())
+            .then_some(self.config.parallel_threshold)
     }
 
     /// Exhaustively explores the machine and collects every reachable final
@@ -928,6 +1433,7 @@ impl Explorer {
                         final_states,
                         transitions_pruned: 0,
                         arena: None,
+                        memory: None,
                     };
                     return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
                 }
@@ -967,6 +1473,7 @@ impl Explorer {
             final_states,
             transitions_pruned: 0,
             arena: None,
+            memory: None,
         };
         Ok(SeqOutcome::Finished(exploration, None))
     }
@@ -987,28 +1494,71 @@ impl Explorer {
         M::State: ComposedState,
     {
         let mut current = machine.initial_state();
-        let mut arena: ComponentArena<M::State> = ComponentArena::new(current.procs().len());
-        let mut stack: Vec<u32> = vec![arena.intern_root(&current)];
+        let num_procs = current.procs().len();
+        let (mut arena, mut stack, mut outcomes, mut final_states, mut expansions) =
+            match self.try_resume::<M::State>(SNAP_COMPOSED, num_procs) {
+                Some(snap) => {
+                    (snap.arena, snap.stack, snap.outcomes, snap.final_states, snap.expansions)
+                }
+                None => {
+                    let mut arena: ComponentArena<M::State> = ComponentArena::new(num_procs);
+                    let root = arena.intern_root(&current);
+                    (arena, vec![root], BTreeSet::new(), 0usize, 0usize)
+                }
+            };
+        self.arm_spill(&mut arena, num_procs);
+        let mut governor = MemGovernor::new(&self.memory);
+        let plan = self.memory.checkpoint.clone();
+        let hard_budget = self.memory.max_bytes.unwrap_or(0);
         let mut succ: Vec<(Action, M::State)> = Vec::new();
-        let mut outcomes = BTreeSet::new();
-        let mut final_states = 0usize;
 
         let interrupt_armed = self.interrupt.is_armed();
         let progress = ProgressTicker::new();
-        let mut expansions = 0usize;
-        while let Some(slot) = stack.pop() {
-            if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
-                if let Some(reason) = self.interrupt.triggered() {
-                    return Err(ExploreError::Interrupted {
-                        reason,
-                        states_visited: arena.len(),
-                        partial_outcomes: outcomes,
-                    });
+        loop {
+            if expansions & INTERRUPT_POLL_MASK == 0 {
+                if interrupt_armed {
+                    if let Some(reason) = self.interrupt.triggered() {
+                        return Err(ExploreError::Interrupted {
+                            reason,
+                            states_visited: arena.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
+                }
+                if let Some(gov) = governor.as_mut() {
+                    if let Err(reason) = gov.govern(&mut arena, stack.len(), None) {
+                        return Err(ExploreError::Interrupted {
+                            reason,
+                            states_visited: arena.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
                 }
             }
+            if let Some(plan) = &plan {
+                if plan.every_expansions != 0
+                    && expansions != 0
+                    && expansions % plan.every_expansions == 0
+                {
+                    let bytes = encode_snapshot(
+                        SNAP_COMPOSED,
+                        expansions,
+                        final_states,
+                        0,
+                        &outcomes,
+                        &arena,
+                        &stack,
+                        None,
+                    );
+                    (plan.sink)(&bytes);
+                }
+            }
+            let Some(slot) = stack.pop() else { break };
             progress.tick(expansions, arena.len(), stack.len());
             expansions += 1;
-            arena.load(slot, &mut current);
+            arena
+                .load(slot, &mut current)
+                .map_err(|err| spill_read_interrupt(hard_budget, arena.len(), &outcomes, &err))?;
             // Sparse successors: each is valid only in the components its
             // action touched — exactly the components `intern_touched`
             // consults below. Nothing else ever reads them.
@@ -1024,6 +1574,7 @@ impl Explorer {
                         final_states,
                         transitions_pruned: 0,
                         arena: Some(arena.occupancy()),
+                        memory: governor.as_ref().map(MemGovernor::stats),
                     };
                     return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
                 }
@@ -1033,7 +1584,9 @@ impl Explorer {
             }
             for (action, next) in &succ {
                 let (next_slot, is_new) =
-                    arena.intern_touched_sparse(next, slot, Touched::from_action(action));
+                    arena.intern_touched_sparse(next, slot, Touched::from_action(action)).map_err(
+                        |err| spill_read_interrupt(hard_budget, arena.len(), &outcomes, &err),
+                    )?;
                 if is_new {
                     if arena.len() > self.config.max_states {
                         return Err(ExploreError::StateLimitExceeded {
@@ -1065,8 +1618,50 @@ impl Explorer {
             final_states,
             transitions_pruned: 0,
             arena: Some(arena.occupancy()),
+            memory: governor.as_ref().map(MemGovernor::stats),
         };
         Ok(SeqOutcome::Finished(exploration, None))
+    }
+
+    /// Decodes the configured resume snapshot, if any. An undecodable or
+    /// mismatched snapshot is reported on the trace stream and ignored — the
+    /// exploration restarts from scratch, which is sound (just slower).
+    fn try_resume<S: ComposedState>(&self, tag: u8, num_procs: usize) -> Option<SeqSnapshot<S>> {
+        let plan = self.memory.checkpoint.as_ref()?;
+        let bytes = plan.resume.as_ref()?;
+        match decode_snapshot(bytes, tag, num_procs, self.memory.spill_dir.as_deref()) {
+            Ok(snap) => {
+                gam_obs::trace::event(
+                    "explore.resume",
+                    &[
+                        ("expansions", snap.expansions.to_string()),
+                        ("states", snap.arena.len().to_string()),
+                    ],
+                );
+                Some(snap)
+            }
+            Err(message) => {
+                gam_obs::trace::event("explore.resume_failed", &[("error", message)]);
+                None
+            }
+        }
+    }
+
+    /// Arms the spill store on a fresh or resumed arena when a budget and a
+    /// spill directory are both configured. An unusable directory is
+    /// reported and spilling stays off (the ladder degrades straight to the
+    /// hard stop).
+    fn arm_spill<S: ComposedState>(&self, arena: &mut ComponentArena<S>, num_procs: usize) {
+        if self.memory.max_bytes.is_none() || arena.spill_armed() {
+            return;
+        }
+        let Some(dir) = &self.memory.spill_dir else { return };
+        match SpillStore::new(dir, 1 + num_procs) {
+            Ok(store) => arena.arm_spill(store),
+            Err(err) => {
+                gam_obs::trace::event("explore.spill_dir_failed", &[("error", err.message)]);
+            }
+        }
     }
 
     /// The reduced sequential driver over plain full-state interning:
@@ -1155,6 +1750,7 @@ impl Explorer {
                         final_states,
                         transitions_pruned: pruned,
                         arena: None,
+                        memory: None,
                     };
                     return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
                 }
@@ -1248,6 +1844,7 @@ impl Explorer {
             final_states,
             transitions_pruned: pruned,
             arena: None,
+            memory: None,
         };
         Ok(SeqOutcome::Finished(exploration, None))
     }
@@ -1273,31 +1870,89 @@ impl Explorer {
             }
             state
         };
-        let mut arena: ComponentArena<M::State> = ComponentArena::new(current.procs().len());
-        let mut sleep_sets: Vec<ActionSet> = vec![ActionSet::new()];
-        let mut expanded_with: Vec<Option<ActionSet>> = vec![None];
-        let mut stack: Vec<u32> = vec![arena.intern_root(&current)];
+        let num_procs = current.procs().len();
+        let resumed = self.try_resume::<M::State>(SNAP_REDUCED, num_procs);
+        let (mut arena, mut stack, mut outcomes, mut final_states, mut pruned, mut expansions);
+        let (mut sleep_sets, mut expanded_with): (Vec<ActionSet>, Vec<Option<ActionSet>>);
+        match resumed {
+            Some(snap) => {
+                arena = snap.arena;
+                stack = snap.stack;
+                outcomes = snap.outcomes;
+                final_states = snap.final_states;
+                pruned = snap.pruned;
+                expansions = snap.expansions;
+                let sleep = snap.sleep.expect("reduced snapshot carries sleep bookkeeping");
+                sleep_sets = sleep.0;
+                expanded_with = sleep.1;
+            }
+            None => {
+                arena = ComponentArena::new(num_procs);
+                let root = arena.intern_root(&current);
+                stack = vec![root];
+                outcomes = BTreeSet::new();
+                final_states = 0;
+                pruned = 0;
+                expansions = 0;
+                sleep_sets = vec![ActionSet::new()];
+                expanded_with = vec![None];
+            }
+        }
+        self.arm_spill(&mut arena, num_procs);
+        let mut governor = MemGovernor::new(&self.memory);
+        let plan = self.memory.checkpoint.clone();
+        let hard_budget = self.memory.max_bytes.unwrap_or(0);
         let mut succ: Vec<(Action, M::State)> = Vec::new();
         let mut chain_buf: Vec<(Action, M::State)> = Vec::new();
         let mut explored: Vec<Action> = Vec::new();
         let mut chain_state = current.clone();
-        let mut outcomes = BTreeSet::new();
-        let mut final_states = 0usize;
-        let mut pruned = 0usize;
 
         let interrupt_armed = self.interrupt.is_armed();
         let progress = ProgressTicker::new();
-        let mut expansions = 0usize;
-        while let Some(slot) = stack.pop() {
-            if interrupt_armed && expansions & INTERRUPT_POLL_MASK == 0 {
-                if let Some(reason) = self.interrupt.triggered() {
-                    return Err(ExploreError::Interrupted {
-                        reason,
-                        states_visited: arena.len(),
-                        partial_outcomes: outcomes,
-                    });
+        loop {
+            if expansions & INTERRUPT_POLL_MASK == 0 {
+                if interrupt_armed {
+                    if let Some(reason) = self.interrupt.triggered() {
+                        return Err(ExploreError::Interrupted {
+                            reason,
+                            states_visited: arena.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
+                }
+                if let Some(gov) = governor.as_mut() {
+                    if let Err(reason) = gov.govern(
+                        &mut arena,
+                        stack.len(),
+                        Some((&mut sleep_sets, &mut expanded_with)),
+                    ) {
+                        return Err(ExploreError::Interrupted {
+                            reason,
+                            states_visited: arena.len(),
+                            partial_outcomes: outcomes,
+                        });
+                    }
                 }
             }
+            if let Some(plan) = &plan {
+                if plan.every_expansions != 0
+                    && expansions != 0
+                    && expansions % plan.every_expansions == 0
+                {
+                    let bytes = encode_snapshot(
+                        SNAP_REDUCED,
+                        expansions,
+                        final_states,
+                        pruned,
+                        &outcomes,
+                        &arena,
+                        &stack,
+                        Some((sleep_sets.as_slice(), expanded_with.as_slice())),
+                    );
+                    (plan.sink)(&bytes);
+                }
+            }
+            let Some(slot) = stack.pop() else { break };
             progress.tick(expansions, arena.len(), stack.len());
             expansions += 1;
             let z = sleep_sets[slot as usize].clone();
@@ -1309,7 +1964,9 @@ impl Explorer {
             let first_expansion = expanded_with[slot as usize].is_none();
             expanded_with[slot as usize] = Some(z.clone());
 
-            arena.load(slot, &mut current);
+            arena
+                .load(slot, &mut current)
+                .map_err(|err| spill_read_interrupt(hard_budget, arena.len(), &outcomes, &err))?;
             machine.labeled_successors_into(&current, &mut succ);
             if machine.is_final(&current) {
                 if first_expansion {
@@ -1324,6 +1981,7 @@ impl Explorer {
                         final_states,
                         transitions_pruned: pruned,
                         arena: Some(arena.occupancy()),
+                        memory: governor.as_ref().map(MemGovernor::stats),
                     };
                     return Ok(SeqOutcome::Finished(exploration, Some(outcome)));
                 }
@@ -1374,7 +2032,10 @@ impl Explorer {
                     continue;
                 }
 
-                let (next_slot, is_new) = arena.intern_touched(&chain_state, slot, touched);
+                let (next_slot, is_new) =
+                    arena.intern_touched(&chain_state, slot, touched).map_err(|err| {
+                        spill_read_interrupt(hard_budget, arena.len(), &outcomes, &err)
+                    })?;
                 if is_new {
                     if arena.len() > self.config.max_states {
                         return Err(ExploreError::StateLimitExceeded {
@@ -1415,6 +2076,7 @@ impl Explorer {
             final_states,
             transitions_pruned: pruned,
             arena: Some(arena.occupancy()),
+            memory: governor.as_ref().map(MemGovernor::stats),
         };
         Ok(SeqOutcome::Finished(exploration, None))
     }
@@ -1584,6 +2246,7 @@ impl Explorer {
             final_states: final_count.load(Ordering::Relaxed),
             transitions_pruned: 0,
             arena: None,
+            memory: None,
         };
         if let Some(witness) = witness {
             // The early exit aborted the workers on purpose; the partial
@@ -1869,6 +2532,7 @@ impl Explorer {
             final_states: final_count.load(Ordering::Relaxed),
             transitions_pruned: pruned_count.load(Ordering::Relaxed),
             arena: None,
+            memory: None,
         };
         if let Some(witness) = witness {
             return Ok((exploration, Some(witness)));

@@ -38,6 +38,7 @@
 
 pub mod arena;
 pub mod checker;
+mod codec;
 pub mod explore;
 mod footprint;
 pub mod gam;
@@ -45,14 +46,18 @@ pub mod machine;
 pub mod mem;
 pub mod random;
 pub mod sc;
+mod spill;
 pub mod tso;
 
 pub use arena::{ArenaOccupancy, ComposedState};
 pub use checker::{OperationalChecker, OperationalError};
-pub use explore::{Exploration, ExploreError, Explorer, ExplorerConfig, Reduction};
+pub use explore::{
+    CheckpointPlan, Exploration, ExploreError, Explorer, ExplorerConfig, MemoryConfig, MemoryStats,
+    Reduction,
+};
 pub use gam::{GamConfig, GamMachine};
 pub use machine::{AbstractMachine, Action, ActionKind, AddrSet, Footprint, LabeledMachine};
 pub use mem::{Memory, RegFile};
-pub use random::{stress_tests, RandomWalker};
+pub use random::{big_tests, stress_tests, RandomWalker};
 pub use sc::ScMachine;
 pub use tso::TsoMachine;

@@ -134,6 +134,116 @@ fn stress_test(rng: &mut StdRng, index: usize) -> LitmusTest {
     builder.build()
 }
 
+/// Generates `count` deterministic *big* litmus tests from `seed`: the
+/// `tests/corpus-big/` tier behind the memory-budget evaluation.
+///
+/// Where [`stress_tests`] stays litmus-sized (hundreds to a few thousand
+/// reachable states), these programs are built to blow past a RAM-resident
+/// state cap: three threads of eight straight-line instructions each — three
+/// shared-memory events over three locations plus a five-instruction ALU
+/// tail. The memory-event count stays small (nine against the axiomatic
+/// checker's limit of sixteen, no branches) so the axiomatic witness search
+/// stays tractable under every model; the ALU tails cost the axiomatic
+/// enumeration *nothing* while multiplying the machines' reorder-buffer
+/// interleavings, so the unreduced operational state space still runs into
+/// the tens of thousands with an accounted footprint of megabytes — enough
+/// that a single-digit-megabyte memory budget trips mid-exploration and the
+/// spill/checkpoint machinery has something real to chew on, while an
+/// *unbudgeted* sequential run finishes in well under a second.
+///
+/// The same `(seed, count)` always yields byte-identical tests, and the
+/// condition of interest is always reachable under SC (taken from the
+/// one-thread-after-another sequential execution), so every model's verdict
+/// is a fast "allowed"-by-witness rather than an exhaustive "forbidden".
+#[must_use]
+pub fn big_tests(seed: u64, count: usize) -> Vec<LitmusTest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|index| big_test(&mut rng, index)).collect()
+}
+
+fn big_test(rng: &mut StdRng, index: usize) -> LitmusTest {
+    /// One shared-memory event, kept for the sequential replay below.
+    enum Ev {
+        Store(usize, u64),
+        Load(Reg, usize),
+    }
+    let locations = [Loc::new("x"), Loc::new("y"), Loc::new("z")];
+    let threads = 3usize;
+    let mut programs = Vec::new();
+    let mut observed: Vec<(ProcId, Reg)> = Vec::new();
+    let mut events: Vec<Vec<Ev>> = Vec::new();
+    for proc_index in 0..threads {
+        let proc = ProcId::new(proc_index);
+        let mut builder = ThreadProgram::builder(proc);
+        let mut thread_events = Vec::new();
+        let mut next_reg = 1u32;
+        // Three memory events per thread: the axiomatic enumeration grows
+        // combinatorially in these, so the mix is fixed-size and only the
+        // targets/values are randomized.
+        for event in 0..3usize {
+            // Alternate store/load so every thread both produces and
+            // observes; a store-only or load-only thread collapses the space.
+            let loc_index = rng.gen_range(0..3usize);
+            let loc = locations[loc_index];
+            if event % 2 == proc_index % 2 {
+                let value = 1 + rng.gen_range(0..3u64);
+                builder.store(Addr::loc(loc), Operand::imm(value));
+                thread_events.push(Ev::Store(loc_index, value));
+            } else {
+                let reg = Reg::new(next_reg);
+                next_reg += 1;
+                builder.load(reg, Addr::loc(loc));
+                observed.push((proc, reg));
+                thread_events.push(Ev::Load(reg, loc_index));
+            }
+        }
+        // A five-instruction ALU tail keeps the ROBs busy without adding
+        // memory events: each extra in-flight instruction multiplies the
+        // machines' interleavings but costs the axiomatic checker nothing.
+        for _ in 0..5usize {
+            let dst = Reg::new(next_reg);
+            let src = if next_reg > 1 {
+                Operand::reg(Reg::new(next_reg - 1))
+            } else {
+                Operand::imm(rng.gen_range(0..4u64))
+            };
+            builder.alu(dst, AluOp::Add, src, Operand::imm(rng.gen_range(0..3u64)));
+            next_reg += 1;
+        }
+        programs.push(builder.build());
+        events.push(thread_events);
+    }
+    let program = Program::new(programs);
+    let mut builder = LitmusTest::builder(format!("big-{index:03}"), program)
+        .observe_mem(locations[0])
+        .observe_mem(locations[1])
+        .observe_mem(locations[2]);
+    for &(proc, reg) in &observed {
+        builder = builder.observe_reg(proc, reg);
+    }
+    // The condition of interest must be *allowed* under every model:
+    // `check` proves "allowed" with one witness but must exhaust the whole
+    // enumeration space to prove "forbidden", which is intractable at
+    // fifteen events. Replaying the one-thread-after-another sequential
+    // execution and expecting an observed register's value from it
+    // guarantees an SC-consistent witness — and SC-allowed implies allowed
+    // under every weaker model, so each backend's check terminates fast.
+    let mut memory = [0u64; 3];
+    let mut sequential: Vec<((ProcId, Reg), u64)> = Vec::new();
+    for (proc_index, thread) in events.iter().enumerate() {
+        for event in thread {
+            match *event {
+                Ev::Store(loc_index, value) => memory[loc_index] = value,
+                Ev::Load(reg, loc_index) => {
+                    sequential.push(((ProcId::new(proc_index), reg), memory[loc_index]));
+                }
+            }
+        }
+    }
+    let ((proc, reg), value) = sequential[rng.gen_range(0..sequential.len())];
+    builder.expect_reg(proc, reg, value).build()
+}
+
 /// A seeded random-walk executor.
 #[derive(Debug, Clone)]
 pub struct RandomWalker {

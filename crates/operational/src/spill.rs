@@ -1,0 +1,296 @@
+//! Cold-state spill segments: disk storage for arena id rows under memory
+//! pressure.
+//!
+//! When an exploration crosses its memory budget's soft watermark, the
+//! component arena moves its *oldest* id rows — the flat `u32` rows of
+//! component ids that back the visited set — into CRC-framed segment files
+//! and keeps only the hot tail resident. The distinct components themselves
+//! stay in RAM (they are shared across states, so their footprint is
+//! sub-linear), and the hash index keeps covering every slot, so spilled
+//! states still deduplicate; a cold row is only re-read when a hash
+//! collision forces a full row comparison or a spilled frontier entry is
+//! expanded.
+//!
+//! ## Segment file format
+//!
+//! ```text
+//! gam-spill/v1\n
+//! [len: u32 LE][crc32: u32 LE][payload: rows × stride u32 LE words]
+//! ```
+//!
+//! One frame per file, using the same self-validating framing as
+//! [`gam_core::wal`]: a torn or bit-flipped segment is *detected*, never
+//! silently misread. The fault points `spill.write` (fires before a segment
+//! lands on disk, simulating a crash mid-write) and `spill.read` (fires
+//! before a segment reload) let the robustness tests drive both failure
+//! directions; on either failure the explorer degrades — it stops spilling,
+//! or reports a memory-budget inconclusive with sound partial outcomes —
+//! rather than panicking or mis-deduplicating.
+
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use gam_core::{fault, wal};
+
+/// Magic first line of every segment file.
+pub(crate) const SPILL_MAGIC: &str = "gam-spill/v1";
+
+/// A spill-layer failure: an I/O error, a damaged segment, or an injected
+/// fault. The explorer never propagates this as a panic — it either disables
+/// spilling (write side) or degrades the run to a memory-budget inconclusive
+/// (read side, since a lost segment means the visited set is no longer
+/// consultable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpillError {
+    /// What went wrong, for the trace stream.
+    pub(crate) message: String,
+}
+
+impl SpillError {
+    fn new(message: impl Into<String>) -> Self {
+        SpillError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// One on-disk segment: `rows` id rows starting at global row `start_row`.
+#[derive(Debug, Clone)]
+pub(crate) struct Segment {
+    /// File name within the spill directory (not a full path, so a
+    /// checkpoint manifest stays relocatable across `--spill-dir` values).
+    pub(crate) name: String,
+    pub(crate) start_row: usize,
+    pub(crate) rows: usize,
+}
+
+/// The spill directory of one exploration: writes cold row segments,
+/// reloads them on demand with a single-segment cache.
+#[derive(Debug)]
+pub(crate) struct SpillStore {
+    dir: PathBuf,
+    stride: usize,
+    segments: Vec<Segment>,
+    total_rows: usize,
+    next_index: usize,
+    /// The most recently reloaded segment (ordinal in `segments`, words).
+    cache: Option<(usize, Vec<u32>)>,
+}
+
+impl SpillStore {
+    /// Opens a spill store rooted at `dir`, creating the directory.
+    pub(crate) fn new(dir: &Path, stride: usize) -> Result<Self, SpillError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|err| SpillError::new(format!("spill dir {}: {err}", dir.display())))?;
+        Ok(SpillStore {
+            dir: dir.to_path_buf(),
+            stride,
+            segments: Vec::new(),
+            total_rows: 0,
+            next_index: 0,
+            cache: None,
+        })
+    }
+
+    /// Reconstructs a store from a checkpoint manifest: segment files that a
+    /// previous incarnation of this exploration already wrote.
+    pub(crate) fn from_manifest(
+        dir: &Path,
+        stride: usize,
+        manifest: Vec<(String, usize)>,
+    ) -> Result<Self, SpillError> {
+        let mut store = SpillStore::new(dir, stride)?;
+        for (name, rows) in manifest {
+            store.segments.push(Segment { name, start_row: store.total_rows, rows });
+            store.total_rows += rows;
+        }
+        store.next_index = store.segments.len();
+        Ok(store)
+    }
+
+    /// The manifest to embed in a checkpoint snapshot.
+    pub(crate) fn manifest(&self) -> Vec<(String, usize)> {
+        self.segments.iter().map(|seg| (seg.name.clone(), seg.rows)).collect()
+    }
+
+    /// Rows across all segments.
+    pub(crate) fn rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Number of segment files.
+    pub(crate) fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Writes `words` (a whole number of rows) as the next segment.
+    ///
+    /// The `spill.write` fault point fires before the write completes; a
+    /// `kill` action leaves a torn file behind — exactly what a crash
+    /// mid-write would — and reports failure, so the caller keeps the rows
+    /// resident and disables further spilling.
+    pub(crate) fn write_segment(&mut self, words: &[u32]) -> Result<(), SpillError> {
+        debug_assert_eq!(words.len() % self.stride, 0, "segments hold whole rows");
+        let rows = words.len() / self.stride;
+        let name = format!("seg-{:05}.gsp", self.next_index);
+        let path = self.dir.join(&name);
+        let mut payload = Vec::with_capacity(words.len() * 4);
+        for &word in words {
+            payload.extend_from_slice(&word.to_le_bytes());
+        }
+        let frame = wal::encode_frame(&payload);
+        let write = |bytes: &[&[u8]]| -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&path)?;
+            for chunk in bytes {
+                file.write_all(chunk)?;
+            }
+            Ok(())
+        };
+        if fault::hit("spill.write") {
+            // Simulated crash mid-write: a torn segment file (header line
+            // plus half a frame) is left on disk, and the write fails.
+            let torn = (frame.len() / 2).max(1);
+            let _ = write(&[format!("{SPILL_MAGIC}\n").as_bytes(), &frame[..torn]]);
+            return Err(SpillError::new(format!("injected fault at spill.write ({name})")));
+        }
+        write(&[format!("{SPILL_MAGIC}\n").as_bytes(), &frame])
+            .map_err(|err| SpillError::new(format!("spill segment {}: {err}", path.display())))?;
+        self.segments.push(Segment { name, start_row: self.total_rows, rows });
+        self.total_rows += rows;
+        self.next_index += 1;
+        self.cache = None;
+        Ok(())
+    }
+
+    /// Copies the id row at global row index `row` into `out` (cleared
+    /// first). `row` must be below [`SpillStore::rows`].
+    pub(crate) fn read_row(&mut self, row: usize, out: &mut Vec<u32>) -> Result<(), SpillError> {
+        let ordinal = self.segments.partition_point(|seg| seg.start_row + seg.rows <= row);
+        let seg = self
+            .segments
+            .get(ordinal)
+            .filter(|seg| row >= seg.start_row && row < seg.start_row + seg.rows)
+            .ok_or_else(|| SpillError::new(format!("row {row} is not in any spill segment")))?
+            .clone();
+        let cached = matches!(&self.cache, Some((held, _)) if *held == ordinal);
+        if !cached {
+            let words = self.load_segment(&seg)?;
+            self.cache = Some((ordinal, words));
+        }
+        let (_, words) = self.cache.as_ref().expect("segment cache was just filled");
+        let start = (row - seg.start_row) * self.stride;
+        out.clear();
+        out.extend_from_slice(&words[start..start + self.stride]);
+        Ok(())
+    }
+
+    /// Reads and validates one whole segment file.
+    fn load_segment(&self, seg: &Segment) -> Result<Vec<u32>, SpillError> {
+        if fault::hit("spill.read") {
+            return Err(SpillError::new(format!("injected fault at spill.read ({})", seg.name)));
+        }
+        let path = self.dir.join(&seg.name);
+        let bytes = std::fs::read(&path)
+            .map_err(|err| SpillError::new(format!("spill segment {}: {err}", path.display())))?;
+        let header = format!("{SPILL_MAGIC}\n");
+        let body = bytes
+            .strip_prefix(header.as_bytes())
+            .ok_or_else(|| SpillError::new(format!("spill segment {}: bad magic", seg.name)))?;
+        let recovery = wal::scan(body);
+        if recovery.frames.len() != 1 || recovery.damage.is_some() {
+            return Err(SpillError::new(format!(
+                "spill segment {}: {}",
+                seg.name,
+                recovery.damage.unwrap_or_else(|| "unexpected frame count".to_string()),
+            )));
+        }
+        let payload = &recovery.frames[0];
+        if payload.len() != seg.rows * self.stride * 4 {
+            return Err(SpillError::new(format!(
+                "spill segment {}: {} bytes, expected {}",
+                seg.name,
+                payload.len(),
+                seg.rows * self.stride * 4,
+            )));
+        }
+        Ok(payload
+            .chunks_exact(4)
+            .map(|chunk| u32::from_le_bytes(chunk.try_into().expect("exact chunks")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gam-spill-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn segments_round_trip_rows() {
+        let dir = temp_dir("roundtrip");
+        let mut store = SpillStore::new(&dir, 3).unwrap();
+        store.write_segment(&[1, 2, 3, 4, 5, 6]).unwrap();
+        store.write_segment(&[7, 8, 9]).unwrap();
+        assert_eq!(store.rows(), 3);
+        assert_eq!(store.segment_count(), 2);
+        let mut row = Vec::new();
+        store.read_row(0, &mut row).unwrap();
+        assert_eq!(row, [1, 2, 3]);
+        store.read_row(2, &mut row).unwrap();
+        assert_eq!(row, [7, 8, 9]);
+        store.read_row(1, &mut row).unwrap();
+        assert_eq!(row, [4, 5, 6]);
+
+        // A manifest rebuild sees the same rows.
+        let manifest = store.manifest();
+        let mut rebuilt = SpillStore::from_manifest(&dir, 3, manifest).unwrap();
+        rebuilt.read_row(1, &mut row).unwrap();
+        assert_eq!(row, [4, 5, 6]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segments_are_detected_not_misread() {
+        let dir = temp_dir("corrupt");
+        let mut store = SpillStore::new(&dir, 2).unwrap();
+        store.write_segment(&[10, 11, 12, 13]).unwrap();
+        let path = dir.join("seg-00000.gsp");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut row = Vec::new();
+        let err = store.read_row(0, &mut row).unwrap_err();
+        assert!(err.message.contains("CRC"), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_write_fault_leaves_a_torn_file_and_fails() {
+        let _guard = fault::exclusive();
+        fault::install("spill.write=kill").unwrap();
+        let dir = temp_dir("fault-write");
+        let mut store = SpillStore::new(&dir, 2).unwrap();
+        let err = store.write_segment(&[1, 2]).unwrap_err();
+        assert!(err.message.contains("spill.write"));
+        assert_eq!(store.segment_count(), 0, "failed segment is not recorded");
+        fault::reset();
+        // The torn file exists but is never referenced; a fresh write with
+        // the same index simply overwrites it.
+        store.write_segment(&[3, 4]).unwrap();
+        let mut row = Vec::new();
+        store.read_row(0, &mut row).unwrap();
+        assert_eq!(row, [3, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -59,8 +59,10 @@ use crate::journal::JournaledCache;
 /// Schema identifier of the `/metrics` document. The `/v2` document is a
 /// strict superset of `/v1`: every v1 field keeps its name and meaning; the
 /// additions (`warnings_total`, `slow_requests_total`, per-endpoint
-/// `latency_us`) are new keys only.
-pub const METRICS_SCHEMA: &str = "gam-serve-metrics/v2";
+/// `latency_us`) are new keys only. `/v3` is additive over `/v2` in the same
+/// way: `memory_resident_bytes`, `memory_tightened_total` and
+/// `memory_budget_stops_total` are new keys only.
+pub const METRICS_SCHEMA: &str = "gam-serve-metrics/v3";
 
 /// Schema identifier of the `GET /debug/slow` document.
 pub const SLOW_LOG_SCHEMA: &str = "gam-serve-slow/v1";
@@ -100,6 +102,17 @@ pub struct ServeConfig {
     /// Requests slower than this land in the bounded in-memory slow-request
     /// log exposed at `GET /debug/slow`.
     pub slow_threshold: Duration,
+    /// Process resident-set watermark (bytes). While the service's RSS is at
+    /// or above it, each request's explorer memory budget is clamped to
+    /// [`ServeConfig::overload_mem_bytes`] — the memory analogue of the
+    /// overload wall clamp, degrading before the acceptor has to shed.
+    /// `0` disables the watermark.
+    pub mem_watermark_bytes: u64,
+    /// Accounted-byte explorer budget imposed on checks while the service is
+    /// over [`ServeConfig::mem_watermark_bytes`]. Generous enough that
+    /// ordinary litmus checks still conclude; only state-explosion outliers
+    /// come back `inconclusive` (memory budget) instead of growing the RSS.
+    pub overload_mem_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +128,8 @@ impl Default for ServeConfig {
             compact_every: crate::journal::DEFAULT_COMPACT_EVERY,
             overload_wall_ms: 2_000,
             slow_threshold: Duration::from_millis(100),
+            mem_watermark_bytes: 0,
+            overload_mem_bytes: 64 << 20,
         }
     }
 }
@@ -178,6 +193,15 @@ struct Metrics {
     /// Requests whose budgets were tightened because the service was
     /// overloaded (the degrade stage before shedding).
     overload_tightened_total: Counter,
+    /// Requests whose explorer memory budget was tightened because the
+    /// process RSS was at or over the configured watermark.
+    memory_tightened_total: Counter,
+    /// Checks stopped by a memory budget (their inconclusive rows are never
+    /// cached — a bigger budget could still conclude them).
+    memory_budget_stops_total: Counter,
+    /// Process resident-set size, sampled whenever admission control or a
+    /// `/metrics` render reads it.
+    memory_resident_bytes: gam_obs::metrics::Gauge,
     /// Warnings this server emitted through the `gam_obs::warn!` path.
     warnings_total: Counter,
     /// Requests that exceeded [`ServeConfig::slow_threshold`].
@@ -204,6 +228,9 @@ impl Metrics {
             timeouts_total: counter("serve.timeouts_total"),
             cancelled_total: counter("serve.cancelled_total"),
             overload_tightened_total: counter("serve.overload_tightened_total"),
+            memory_tightened_total: counter("serve.memory_tightened_total"),
+            memory_budget_stops_total: counter("serve.memory_budget_stops_total"),
+            memory_resident_bytes: registry.gauge("serve.memory_resident_bytes"),
             warnings_total: counter("serve.warnings_total"),
             slow_requests_total: counter("serve.slow_requests_total"),
             per_model: std::array::from_fn(|i| {
@@ -240,6 +267,9 @@ impl Metrics {
             StopReason::Cancelled => {
                 self.cancelled_total.inc();
             }
+            StopReason::MemoryBudget { .. } => {
+                self.memory_budget_stops_total.inc();
+            }
             StopReason::StateBudget { .. } => {}
         }
         self.bump_model(model);
@@ -273,6 +303,10 @@ struct Shared {
     metrics: Metrics,
     cache: Mutex<JournaledCache>,
     overload_wall_ms: u64,
+    /// RSS admission watermark; 0 disables memory tightening.
+    mem_watermark_bytes: u64,
+    /// The explorer byte budget clamped onto requests over the watermark.
+    overload_mem_bytes: u64,
     /// Requests slower than this are logged; served at `GET /debug/slow`.
     slow_threshold: Duration,
     /// Bounded log of the most recent slow requests (oldest dropped first).
@@ -341,6 +375,30 @@ impl Shared {
             self.metrics.overload_tightened_total.inc();
         }
     }
+
+    /// The memory analogue of [`Shared::tighten_for_overload`]: while the
+    /// process RSS sits at or over the configured watermark, clamp the
+    /// request's explorer memory budget so state-explosion checks degrade
+    /// (spill, then stop with a memory-budget inconclusive) instead of
+    /// growing the RSS until the OS kills the service. Memory-budget
+    /// inconclusives are never cached, so a later, less-pressured request
+    /// can still conclude the same test.
+    fn tighten_for_memory(&self, options: &mut CheckOptions) {
+        if self.mem_watermark_bytes == 0 {
+            return;
+        }
+        let Some(resident) = gam_core::memory::process_resident_bytes() else { return };
+        self.metrics.memory_resident_bytes.set(i64::try_from(resident).unwrap_or(i64::MAX));
+        if u64::try_from(resident).unwrap_or(u64::MAX) < self.mem_watermark_bytes {
+            return;
+        }
+        let clamp = usize::try_from(self.overload_mem_bytes).unwrap_or(usize::MAX);
+        let clamped = options.budget_max_bytes.map_or(clamp, |requested| requested.min(clamp));
+        if options.budget_max_bytes != Some(clamped) {
+            options.budget_max_bytes = Some(clamped);
+            self.metrics.memory_tightened_total.inc();
+        }
+    }
 }
 
 /// Emits journal-layer warnings (degradation to memory-only, failed
@@ -396,6 +454,8 @@ impl Server {
             metrics: Metrics::new(),
             cache: Mutex::new(cache),
             overload_wall_ms: config.overload_wall_ms.max(1),
+            mem_watermark_bytes: config.mem_watermark_bytes,
+            overload_mem_bytes: config.overload_mem_bytes.max(1),
             slow_threshold: config.slow_threshold,
             slow_log: Mutex::new(VecDeque::new()),
             shutdown_request: Mutex::new(false),
@@ -672,6 +732,12 @@ fn render_slow_log(shared: &Shared) -> Json {
 
 fn render_metrics(shared: &Shared) -> Json {
     let metrics = &shared.metrics;
+    // Refresh the resident-set gauge on every render; admission control also
+    // samples it, but a scrape must see a current figure even when no check
+    // has run since the last one.
+    if let Some(resident) = gam_core::memory::process_resident_bytes() {
+        metrics.memory_resident_bytes.set(i64::try_from(resident).unwrap_or(i64::MAX));
+    }
     let hits = metrics.cache_hits.get();
     let misses = metrics.cache_misses.get();
     let states = metrics.states_total.get();
@@ -732,6 +798,13 @@ fn render_metrics(shared: &Shared) -> Json {
         ("timeouts_total", Json::UInt(metrics.timeouts_total.get())),
         ("cancelled_total", Json::UInt(metrics.cancelled_total.get())),
         ("overload_tightened_total", Json::UInt(metrics.overload_tightened_total.get())),
+        // v3 additions: memory-pressure admission control.
+        (
+            "memory_resident_bytes",
+            Json::UInt(u64::try_from(metrics.memory_resident_bytes.get()).unwrap_or(0)),
+        ),
+        ("memory_tightened_total", Json::UInt(metrics.memory_tightened_total.get())),
+        ("memory_budget_stops_total", Json::UInt(metrics.memory_budget_stops_total.get())),
         ("cache_entries", Json::UInt(cache_entries)),
         ("cache_evictions", Json::UInt(evictions)),
         ("journal_appends_total", Json::UInt(journal.appends)),
@@ -796,13 +869,18 @@ struct CheckOptions {
     budget_states: Option<usize>,
     /// Per-check wall-clock budget in milliseconds, if the request set one.
     budget_wall_ms: Option<u64>,
+    /// Operational explorer memory budget in accounted bytes, if the request
+    /// set one (or admission control clamped one on).
+    budget_max_bytes: Option<usize>,
 }
 
 impl CheckOptions {
     /// Whether any budget is armed — budgeted requests take the session path
     /// (budget exhaustion is an inconclusive row, not an error row).
     fn budgeted(&self) -> bool {
-        self.budget_states.is_some() || self.budget_wall_ms.is_some()
+        self.budget_states.is_some()
+            || self.budget_wall_ms.is_some()
+            || self.budget_max_bytes.is_some()
     }
 
     fn budget(&self) -> CheckBudget {
@@ -813,6 +891,9 @@ impl CheckOptions {
         if let Some(wall_ms) = self.budget_wall_ms {
             budget = budget.with_max_wall(Duration::from_millis(wall_ms));
         }
+        if let Some(max_bytes) = self.budget_max_bytes {
+            budget = budget.with_max_bytes(max_bytes);
+        }
         budget
     }
 
@@ -822,6 +903,7 @@ impl CheckOptions {
             backends: vec![Backend::Operational],
             budget_states: None,
             budget_wall_ms: None,
+            budget_max_bytes: None,
         };
         if let Some(models) = json.get("models") {
             let list = models.as_array().ok_or("`models` must be an array")?;
@@ -858,6 +940,11 @@ impl CheckOptions {
             options.budget_wall_ms =
                 Some(budget.as_u64().ok_or("`budget_wall_ms` must be an integer")?);
         }
+        if let Some(budget) = json.get("budget_max_bytes") {
+            let value = budget.as_u64().ok_or("`budget_max_bytes` must be an integer")?;
+            options.budget_max_bytes =
+                Some(usize::try_from(value).map_err(|_| "`budget_max_bytes` too large")?);
+        }
         Ok(options)
     }
 }
@@ -885,6 +972,7 @@ fn handle_check(shared: &Shared, request: &Request) -> RouteResponse {
                 backends: vec![Backend::Operational],
                 budget_states: None,
                 budget_wall_ms: None,
+                budget_max_bytes: None,
             },
         )
     };
@@ -894,6 +982,7 @@ fn handle_check(shared: &Shared, request: &Request) -> RouteResponse {
         Err(err) => return error_response(400, format!("litmus parse error: {err}")),
     };
     shared.tighten_for_overload(&mut options);
+    shared.tighten_for_memory(&mut options);
     let result = check_one(shared, &test, &options);
     ok_response(&Json::object([("ok", Json::Bool(true)), ("result", result)]))
 }
@@ -1107,6 +1196,7 @@ fn handle_batch(shared: &Shared, request: &Request) -> RouteResponse {
         Err(err) => return error_response(400, err),
     };
     shared.tighten_for_overload(&mut options);
+    shared.tighten_for_memory(&mut options);
     let mut tests = Vec::with_capacity(entries.len());
     for (index, entry) in entries.iter().enumerate() {
         let Some(text) = entry.as_str() else {

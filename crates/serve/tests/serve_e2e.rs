@@ -106,7 +106,7 @@ fn every_response_carries_a_unique_trace_id_and_slow_requests_are_logged() {
 
     // The additive v2 counter agrees with the log.
     let (_, metrics) = json_body(&addr, "GET", "/metrics", None);
-    assert_eq!(metrics.get("schema").and_then(Json::as_str), Some("gam-serve-metrics/v2"));
+    assert_eq!(metrics.get("schema").and_then(Json::as_str), Some("gam-serve-metrics/v3"));
     let slow_total = metrics.get("slow_requests_total").and_then(Json::as_u64).expect("v2 field");
     assert!(slow_total >= entries.len() as u64);
 
@@ -372,4 +372,53 @@ fn bind_failure_is_reported_not_panicked() {
         Err(ServeError::Bind { addr: reported, .. }) => assert_eq!(reported, addr),
         Ok(_) => panic!("binding an occupied port must fail"),
     }
+}
+
+#[test]
+fn memory_watermark_tightens_admission_to_a_sound_uncached_inconclusive() {
+    let scratch = Scratch::new("memory");
+    // A one-byte watermark puts the server permanently "under pressure":
+    // every request's explorer budget is clamped to overload_mem_bytes,
+    // and a clamp this small trips before the first witness.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        cache_path: scratch.0.clone(),
+        cache_capacity: 256,
+        mem_watermark_bytes: 1,
+        overload_mem_bytes: 64,
+        ..ServeConfig::default()
+    };
+    let (server, warning) = Server::start(&config).expect("server starts");
+    assert!(warning.is_none(), "scratch cache must load silently: {warning:?}");
+    let addr = server.local_addr().to_string();
+
+    // IRIW is forbidden under SC on the operational backend, so the witness
+    // search must exhaust the state space — guaranteeing the tiny clamp
+    // trips before a witness can soundly upgrade the partial answer.
+    let iriw = library::iriw();
+    let envelope = Json::object([
+        ("litmus", Json::Str(print_litmus(&iriw))),
+        ("models", Json::array([Json::Str("sc".into())])),
+        ("backends", Json::array([Json::Str("operational".into())])),
+    ]);
+    let (status, json) = json_body(&addr, "POST", "/check", Some(&envelope.to_string()));
+    assert_eq!(status, 200, "pressure degrades the answer, not the protocol");
+    let row = only_result(&json);
+    assert_eq!(row.get("verdict").and_then(Json::as_str), Some("inconclusive"));
+    assert_eq!(row.get("cached"), Some(&Json::Bool(false)));
+    let reason = row.get("reason").and_then(Json::as_str).expect("inconclusive rows carry reasons");
+    assert!(reason.contains("memory budget"), "unexpected reason: {reason}");
+
+    let (_, metrics) = json_body(&addr, "GET", "/metrics", None);
+    let get = |key: &str| metrics.get(key).and_then(Json::as_u64).unwrap();
+    assert!(get("memory_resident_bytes") > 0, "watermark checks sample the RSS");
+    assert!(get("memory_tightened_total") >= 1, "the request budget must have been clamped");
+    assert!(get("memory_budget_stops_total") >= 1, "the clamped budget must have tripped");
+    // Pressure inconclusives stay out of the cache: nothing to poison a
+    // later, less-pressured request with.
+    assert_eq!(get("cache_entries"), 0);
+
+    server.shutdown();
 }

@@ -4,10 +4,13 @@
 //! usage:
 //!   gam check FILE [--models LIST] [--backends LIST] [--jobs N]
 //!                 [--explorer-threads N] [--time-budget MS]
-//!                 [--checkpoint FILE] [--json] [--no-expectations]
+//!                 [--mem-budget BYTES] [--spill-dir DIR]
+//!                 [--checkpoint FILE] [--checkpoint-every N]
+//!                 [--json] [--no-expectations]
 //!   gam run DIR   [--models LIST] [--backends LIST] [--jobs N]
 //!                 [--explorer-threads N] [--json] [--no-expectations]
 //!   gam bench DIR [--models LIST] [--explorer-threads N]
+//!                 [--mem-budget BYTES] [--spill-dir DIR]
 //!                 [--checkpoint FILE] [--json]
 //!   gam bench DIR --serve ADDR [--models LIST] [--jobs N]
 //!                 [--min-hit-rate R] [--timeout-ms MS] [--retries N]
@@ -16,7 +19,7 @@
 //!             [--workers N] [--queue-depth N] [--read-timeout-ms MS]
 //!             [--write-timeout-ms MS] [--compact-every N]
 //!             [--overload-wall-ms MS]
-//!   gam gen-corpus DIR [--count N] [--seed S]
+//!   gam gen-corpus DIR [--count N] [--seed S] [--big]
 //!   gam print FILE
 //!   gam export-library DIR
 //!   gam --version
@@ -77,6 +80,15 @@
 //! reports INCONCLUSIVE with its partial outcomes instead of running
 //! open-ended.
 //!
+//! `check --mem-budget BYTES` and `bench --mem-budget BYTES` cap the
+//! operational explorer's accounted in-RAM footprint. Over the soft
+//! watermark the explorer degrades — sleep caches flush, then (with
+//! `--spill-dir DIR`) cold visited-state rows spill to CRC-framed segment
+//! files — and only when degradation cannot free enough does the check stop
+//! with INCONCLUSIVE (memory budget) and its partial outcomes. Spilling
+//! changes nothing about the verdicts: a capped run that completes via
+//! spill reports exactly the outcome sets of an uncapped run.
+//!
 //! `check --checkpoint FILE` and `bench --checkpoint FILE` (alias
 //! `--resume FILE`) append every completed work unit — one
 //! (model, backend) verdict for `check`, one (model, test) exploration
@@ -86,6 +98,11 @@
 //! resumed report carries outcome sets and visited-state counts identical
 //! to an uninterrupted run's. Checkpoint keys embed the canonical test
 //! hash, so a checkpoint pointed at a different corpus matches nothing.
+//! For `check`, the log additionally records *intra-exploration* snapshots
+//! of the in-flight operational pair every `--checkpoint-every N`
+//! expansions (default 65536; 0 disables), so a killed run resumes the
+//! interrupted exploration mid-test — with counters identical to an
+//! uninterrupted run's — instead of restarting it from scratch.
 //!
 //! Exit status (all subcommands): 0 = clean, 1 = the command ran but found
 //! mismatches, disagreements, coverage gaps or check errors, 2 = usage or
@@ -176,18 +193,21 @@ fn run(args: &[String]) -> Result<Status, String> {
 
 const USAGE: &str = "usage:
   gam check FILE [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
-                [--time-budget MS] [--checkpoint FILE] [--json] [--no-expectations]
-                [--trace-out FILE] [--progress]
+                [--time-budget MS] [--mem-budget BYTES] [--spill-dir DIR]
+                [--checkpoint FILE] [--checkpoint-every N]
+                [--json] [--no-expectations] [--trace-out FILE] [--progress]
   gam run DIR   [--models LIST] [--backends LIST] [--jobs N] [--explorer-threads N]
                 [--json] [--no-expectations] [--trace-out FILE] [--progress]
-  gam bench DIR [--models LIST] [--explorer-threads N] [--checkpoint FILE] [--json]
+  gam bench DIR [--models LIST] [--explorer-threads N] [--mem-budget BYTES]
+                [--spill-dir DIR] [--checkpoint FILE] [--json]
                 [--trace-out FILE] [--progress]
   gam bench DIR --serve ADDR [--models LIST] [--jobs N] [--min-hit-rate R]
                 [--timeout-ms MS] [--retries N] [--json] [--out PATH]
   gam serve [--addr ADDR] [--cache PATH] [--cache-capacity N] [--workers N]
             [--queue-depth N] [--read-timeout-ms MS] [--write-timeout-ms MS]
             [--compact-every N] [--overload-wall-ms MS]
-  gam gen-corpus DIR [--count N] [--seed S]
+            [--mem-watermark BYTES] [--overload-mem-bytes BYTES]
+  gam gen-corpus DIR [--count N] [--seed S] [--big]
   gam print FILE
   gam export-library DIR
   gam --version
@@ -205,10 +225,21 @@ const USAGE: &str = "usage:
   --time-budget MS     check: wall-clock budget per (model, backend) pair;
                        a check that exhausts it reports INCONCLUSIVE with
                        its partial outcomes and the command exits 3
+  --mem-budget BYTES   check/bench: accounted-byte budget per operational
+                       exploration; over the soft watermark the explorer
+                       degrades (sleep-cache flush, then spill with
+                       --spill-dir), at the hard limit the check reports
+                       INCONCLUSIVE (memory budget) and check exits 3
+  --spill-dir DIR      check/bench: directory for cold visited-state
+                       segments spilled under memory pressure (needs
+                       --mem-budget; without it the ladder skips spilling)
   --checkpoint FILE    check/bench: log each completed work unit to FILE and
                        skip units already recorded there — a killed run
                        relaunched with the same FILE recomputes only the
                        unit the crash interrupted (--resume is an alias)
+  --checkpoint-every N check: also snapshot the in-flight operational
+                       exploration every N expansions into the checkpoint,
+                       enabling mid-test resume (default 65536; 0 disables)
   --serve ADDR         bench: replay the corpus against a live `gam serve`
                        at ADDR instead of checking in-process
   --min-hit-rate R     bench --serve: fail unless the observed cache hit
@@ -233,6 +264,17 @@ const USAGE: &str = "usage:
   --overload-wall-ms MS serve: while the queue is half full, clamp each
                        request's wall budget to MS so the server degrades
                        before it sheds (default 2000)
+  --mem-watermark BYTES serve: while the process RSS is at or over this,
+                       clamp each request's explorer memory budget to
+                       --overload-mem-bytes so checks degrade (spill, then
+                       memory-budget inconclusive) before the OS intervenes
+                       (default 0 = disabled)
+  --overload-mem-bytes BYTES serve: the accounted-byte budget clamped onto
+                       requests over the watermark (default 64 MiB)
+  --big                gen-corpus: generate the large-state-space tier
+                       (gam_operational::big_tests; defaults become
+                       --count 4 --seed 2024) — tests big enough to need
+                       memory budgets, for the spill/budget CI gates
   --trace-out FILE     check/run/bench: record phase and engine spans and
                        write them as Chrome trace_event JSON to FILE on
                        exit (load in Perfetto or chrome://tracing)
@@ -286,8 +328,13 @@ fn positional(args: &[String]) -> Option<&String> {
                     | "--read-timeout-ms"
                     | "--write-timeout-ms"
                     | "--time-budget"
+                    | "--mem-budget"
+                    | "--spill-dir"
+                    | "--mem-watermark"
+                    | "--overload-mem-bytes"
                     | "--timeout-ms"
                     | "--checkpoint"
+                    | "--checkpoint-every"
                     | "--resume"
                     | "--retries"
                     | "--compact-every"
@@ -356,6 +403,29 @@ fn explorer_threads(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// Parses `--mem-budget BYTES` and `--spill-dir DIR`. The spill directory
+/// only matters under a budget (nothing is ever spilled without one), so a
+/// bare `--spill-dir` is a usage error rather than a silent no-op.
+fn memory_flags(args: &[String]) -> Result<(Option<usize>, Option<std::path::PathBuf>), String> {
+    let mem_budget = match arg_value(args, "--mem-budget") {
+        None => None,
+        Some(n) => {
+            let bytes: usize = n.parse().map_err(|_| format!("invalid --mem-budget `{n}`"))?;
+            if bytes == 0 {
+                return Err("--mem-budget must be positive".to_string());
+            }
+            Some(bytes)
+        }
+    };
+    let spill_dir = arg_value(args, "--spill-dir").map(std::path::PathBuf::from);
+    if spill_dir.is_some() && mem_budget.is_none() {
+        return Err(
+            "--spill-dir needs --mem-budget (spilling only happens under a budget)".to_string()
+        );
+    }
+    Ok((mem_budget, spill_dir))
+}
+
 /// Arms tracing (`--trace-out FILE`) and progress reporting (`--progress`)
 /// before the subcommand runs. Returns the trace output path, if any; the
 /// dispatcher writes it with [`write_trace`] once the command finishes.
@@ -420,6 +490,15 @@ fn open_checkpoint(
 /// Records one completed work unit, warning instead of failing: the
 /// checkpoint exists to protect the run, so losing it must never sink the
 /// run it protects.
+/// Locks a shared checkpoint, shrugging off poisoning: the only writers are
+/// `record_unit` and the exploration-snapshot sink, and both tolerate a
+/// half-finished peer (the log itself is torn-record safe).
+fn lock_checkpoint(
+    checkpoint: &std::sync::Mutex<Option<gam_engine::RunCheckpoint>>,
+) -> std::sync::MutexGuard<'_, Option<gam_engine::RunCheckpoint>> {
+    checkpoint.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn record_unit(checkpoint: &mut Option<gam_engine::RunCheckpoint>, key: &str, result: &Json) {
     if let Some(checkpoint) = checkpoint.as_mut() {
         if let Err(err) = checkpoint.record(key, result.clone()) {
@@ -642,13 +721,15 @@ fn cmd_check(args: &[String]) -> Result<Status, String> {
         Some(ms) => Some(ms.parse().map_err(|_| format!("invalid --time-budget `{ms}`"))?),
         None => None,
     };
+    let (mem_budget, _) = memory_flags(args)?;
     let wants_checkpoint =
         arg_value(args, "--checkpoint").is_some() || arg_value(args, "--resume").is_some();
-    if budget_ms.is_some() || wants_checkpoint {
-        // Both the budgeted and the checkpointed paths run the pairs
+    if budget_ms.is_some() || mem_budget.is_some() || wants_checkpoint {
+        // The budgeted (wall or memory) and checkpointed paths run the pairs
         // sequentially through the session API — checkpointing needs the
         // unit-at-a-time loop so each completed pair lands on disk before
-        // the next one starts.
+        // the next one starts, and an armed memory budget forces the
+        // explorer sequential anyway.
         return cmd_check_sequential(
             args,
             path,
@@ -724,7 +805,18 @@ fn cmd_check_sequential(
     if let Some(ms) = budget_ms {
         budget = budget.with_max_wall(std::time::Duration::from_millis(ms));
     }
-    let mut checkpoint = open_checkpoint(args, "gam check")?;
+    let (mem_budget, spill_dir) = memory_flags(args)?;
+    if let Some(bytes) = mem_budget {
+        budget = budget.with_max_bytes(bytes);
+    }
+    let checkpoint_every = match arg_value(args, "--checkpoint-every") {
+        None => 65_536usize,
+        Some(n) => n.parse().map_err(|_| format!("invalid --checkpoint-every `{n}`"))?,
+    };
+    // The checkpoint is shared with the explorer's snapshot sink, which runs
+    // inside the exploration loop; a mutex keeps the two writers ordered.
+    let checkpoint =
+        std::sync::Arc::new(std::sync::Mutex::new(open_checkpoint(args, "gam check")?));
     let hash = gam_frontend::canonical_hash(test).to_string();
     let mut rows: Vec<Json> = Vec::new();
     for &model in models {
@@ -735,16 +827,56 @@ fn cmd_check_sequential(
             // The key pins the unit *and* the test's content: a checkpoint
             // accidentally pointed at a different test matches nothing.
             let key = format!("check/{model}/{}/{hash}", backend.name());
-            if let Some(recorded) = checkpoint.as_ref().and_then(|c| c.completed(&key)) {
-                rows.push(recorded.clone());
+            if let Some(recorded) =
+                lock_checkpoint(&checkpoint).as_ref().and_then(|c| c.completed(&key)).cloned()
+            {
+                rows.push(recorded);
                 continue;
             }
-            let engine = Engine::builder()
+            // Intra-exploration snapshots: only meaningful with a checkpoint
+            // file to land in, and only on operational backends (the plan is
+            // ignored elsewhere). `--checkpoint-every 0` disables them.
+            let plan = if checkpoint_every != 0 && lock_checkpoint(&checkpoint).is_some() {
+                let resume = lock_checkpoint(&checkpoint)
+                    .as_ref()
+                    .and_then(|c| c.explore_snapshot(&key))
+                    .map(std::sync::Arc::new);
+                if resume.is_some() {
+                    eprintln!("gam check: resuming {key} mid-exploration from its snapshot");
+                }
+                let sink_checkpoint = std::sync::Arc::clone(&checkpoint);
+                let sink_key = key.clone();
+                Some(gam_operational::CheckpointPlan {
+                    every_expansions: checkpoint_every,
+                    sink: std::sync::Arc::new(move |bytes: &[u8]| {
+                        if let Some(ckpt) = lock_checkpoint(&sink_checkpoint).as_mut() {
+                            if let Err(err) = ckpt.record_explore_snapshot(&sink_key, bytes) {
+                                gam_obs::warn!(
+                                    "gam check: exploration snapshot for {sink_key}: {err}; \
+                                     continuing without it"
+                                );
+                            }
+                        }
+                    }),
+                    resume,
+                })
+            } else {
+                None
+            };
+            let mut builder = Engine::builder()
                 .model(model)
                 .backend(backend)
-                .explorer_parallelism(explorer_workers)
-                .build()
-                .map_err(|err| err.to_string())?;
+                .explorer_parallelism(explorer_workers);
+            if spill_dir.is_some() || plan.is_some() {
+                builder = builder.explorer_memory(gam_operational::MemoryConfig {
+                    // The byte ceiling arrives through the check budget; the
+                    // explorer config only carries where to degrade to.
+                    max_bytes: None,
+                    spill_dir: spill_dir.clone(),
+                    checkpoint: plan,
+                });
+            }
+            let engine = builder.build().map_err(|err| err.to_string())?;
             let base =
                 [("model", Json::from(model.to_string())), ("backend", Json::from(backend.name()))];
             let row = match engine.check_budgeted(test, &budget) {
@@ -773,7 +905,7 @@ fn cmd_check_sequential(
             // inconclusive ones are recorded — rerunning with the same
             // budget would only reproduce the same partial answer.
             if row.get("error").is_none() {
-                record_unit(&mut checkpoint, &key, &row);
+                record_unit(&mut lock_checkpoint(&checkpoint), &key, &row);
             }
             rows.push(row);
         }
@@ -789,7 +921,10 @@ fn cmd_check_sequential(
         if let Some(ms) = budget_ms {
             fields.push(("time_budget_ms", Json::UInt(ms)));
         }
-        if let Some(ckpt) = &checkpoint {
+        if let Some(bytes) = mem_budget {
+            fields.push(("mem_budget_bytes", Json::UInt(bytes as u64)));
+        }
+        if let Some(ckpt) = lock_checkpoint(&checkpoint).as_ref() {
             fields.push(("resumed_units", Json::UInt(ckpt.resumed() as u64)));
         }
         fields.extend([
@@ -927,6 +1062,7 @@ fn bench_row_json(
     states_visited: u64,
     states_per_sec: u64,
     occupancy: Option<&gam_engine::ArenaOccupancy>,
+    memory: Option<&gam_operational::MemoryStats>,
     axiomatic_wall_us: u64,
     outcomes: &std::collections::BTreeSet<gam_isa::litmus::Outcome>,
     agree: bool,
@@ -942,6 +1078,13 @@ fn bench_row_json(
     if let Some(occupancy) = occupancy {
         pairs.push(("distinct_components", Json::UInt(occupancy.distinct_components() as u64)));
         pairs.push(("interned_bytes", Json::UInt(occupancy.interned_bytes as u64)));
+    }
+    // Present only when a `--mem-budget` armed the accountant.
+    if let Some(memory) = memory {
+        pairs.push(("peak_accounted_bytes", Json::UInt(memory.peak_bytes as u64)));
+        pairs.push(("spilled_bytes", Json::UInt(memory.spilled_bytes as u64)));
+        pairs.push(("spill_segments", Json::UInt(memory.spill_segments as u64)));
+        pairs.push(("sleep_flushes", Json::UInt(memory.sleep_flushes as u64)));
     }
     // A content fingerprint of the complete outcome set, so the
     // checkpoint round-trip test can assert a resumed run reproduced the
@@ -983,6 +1126,7 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
         None => vec![ModelKind::Sc, ModelKind::Tso, ModelKind::Gam, ModelKind::Gam0],
     };
     let explorer_workers = explorer_threads(args)?;
+    let (mem_budget, spill_dir) = memory_flags(args)?;
     let as_json = arg_flag(args, "--json");
     let mut checkpoint = open_checkpoint(args, "gam bench")?;
     let tests = corpus.tests();
@@ -1008,7 +1152,14 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
         let checker = OperationalChecker::with_config(
             model,
             ExplorerConfig { parallelism: explorer_workers, ..ExplorerConfig::default() },
-        );
+        )
+        // The bench loop is serial, so every model reuses one spill
+        // directory safely: segment files are overwritten store-by-store.
+        .with_memory(gam_operational::MemoryConfig {
+            max_bytes: mem_budget,
+            spill_dir: spill_dir.clone(),
+            checkpoint: None,
+        });
         let axiomatic = Engine::axiomatic(model);
         let mut rows: Vec<Json> = Vec::new();
         for (test, hash) in tests.iter().zip(&hashes) {
@@ -1062,6 +1213,7 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
                     exploration.states_visited as u64,
                     states_per_sec,
                     exploration.arena.as_ref(),
+                    exploration.memory.as_ref(),
                     micros(axiomatic_wall),
                     &exploration.outcomes,
                     agree,
@@ -1150,15 +1302,35 @@ fn cmd_gen_corpus(args: &[String]) -> Result<bool, String> {
     let Some(dir) = positional(args) else {
         return Err("`gam gen-corpus` needs a DIR argument".to_string());
     };
+    let big = arg_flag(args, "--big");
     let count = match arg_value(args, "--count") {
-        None => 200usize,
+        None => {
+            if big {
+                4usize
+            } else {
+                200usize
+            }
+        }
         Some(n) => n.parse().map_err(|_| format!("invalid --count `{n}`"))?,
     };
     let seed = match arg_value(args, "--seed") {
-        None => 2026u64,
+        None => {
+            if big {
+                2024u64
+            } else {
+                2026u64
+            }
+        }
         Some(n) => n.parse().map_err(|_| format!("invalid --seed `{n}`"))?,
     };
-    let tests = gam_operational::stress_tests(seed, count);
+    // `--big` trades breadth for depth: a handful of 3-thread, 15-memory-event
+    // tests whose state spaces run into the hundreds of thousands — large
+    // enough to trip realistic `--mem-budget` settings, small enough for CI.
+    let tests = if big {
+        gam_operational::big_tests(seed, count)
+    } else {
+        gam_operational::stress_tests(seed, count)
+    };
     std::fs::create_dir_all(dir).map_err(|err| format!("cannot create {dir}: {err}"))?;
     // Remove stale corpus files first: regenerating with a smaller --count
     // must not leave orphaned tests behind that the fresh expectations.txt
@@ -1172,6 +1344,16 @@ fn cmd_gen_corpus(args: &[String]) -> Result<bool, String> {
             std::fs::remove_file(&path)
                 .map_err(|err| format!("cannot remove stale {}: {err}", path.display()))?;
         }
+    }
+
+    // Write every test first, then compute the expectations: a generation
+    // interrupted mid-verdict still leaves the finished `.litmus` files
+    // behind (without an expectations.txt nothing consumes them as a
+    // corpus, so there is no torn-state hazard).
+    for test in &tests {
+        let path = std::path::Path::new(dir).join(format!("{}.litmus", test.name()));
+        std::fs::write(&path, print_litmus(test))
+            .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
     }
 
     // Compute (and cross-check) every test's verdicts: the axiomatic
@@ -1207,9 +1389,6 @@ fn cmd_gen_corpus(args: &[String]) -> Result<bool, String> {
             gam_arm: allowed[&ModelKind::GamArm],
             source: format!("computed by both backends (seed {seed})"),
         });
-        let path = std::path::Path::new(dir).join(format!("{}.litmus", test.name()));
-        std::fs::write(&path, print_litmus(test))
-            .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
     }
     let expectations_path = std::path::Path::new(dir).join("expectations.txt");
     std::fs::write(&expectations_path, render_expectations(&rows))
@@ -1294,6 +1473,17 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
             ms.parse().map_err(|_| format!("invalid --overload-wall-ms `{ms}`"))?;
         if config.overload_wall_ms == 0 {
             return Err("--overload-wall-ms must be positive".to_string());
+        }
+    }
+    if let Some(bytes) = arg_value(args, "--mem-watermark") {
+        config.mem_watermark_bytes =
+            bytes.parse().map_err(|_| format!("invalid --mem-watermark `{bytes}`"))?;
+    }
+    if let Some(bytes) = arg_value(args, "--overload-mem-bytes") {
+        config.overload_mem_bytes =
+            bytes.parse().map_err(|_| format!("invalid --overload-mem-bytes `{bytes}`"))?;
+        if config.overload_mem_bytes == 0 {
+            return Err("--overload-mem-bytes must be positive".to_string());
         }
     }
     // A bind failure is a startup error: `Err` exits 2 with the message.
